@@ -1,0 +1,27 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench figures examples expand clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# regenerate the paper's figures and all timing tables
+bench:
+	dune exec bench/main.exe
+
+figures:
+	dune exec bench/main.exe figures
+
+examples:
+	@for e in quickstart exceptions enum_io window_proc dynamic_bind \
+	          control semantic state_machine metamacros prelude_tour \
+          embedded_query derive; do \
+	  echo "== examples/$$e =="; dune exec examples/$$e.exe; done
+
+clean:
+	dune clean
