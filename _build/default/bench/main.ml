@@ -1,0 +1,308 @@
+(** Benchmark and figure-regeneration harness.
+
+    Usage: [dune exec bench/main.exe] (everything), or with an argument:
+    - [figures]  — regenerate the paper's Figures 1-3;
+    - [time]     — Bechamel micro-benchmarks (one per experiment table);
+    - [sweep]    — scaling sweeps (enum size, macro nesting depth);
+    - [penalty]  — the compile-time-penalty table (expansion vs. the
+      parse of already-expanded code: the cost the paper says macros
+      trade for zero runtime cost).
+
+    The paper's evaluation is qualitative (Figures 1-3 plus worked
+    examples); the quantitative tables here measure the implied claims:
+    macro processing is a compile-time-only cost, expansion scales
+    linearly, and token substitution (CPP) is cheaper but unsafe. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rule title = Printf.printf "\n%s\n%s\n" title (String.make 72 '-')
+
+let run_figures () =
+  rule "Figure 1: two-dimensional categorization of macro systems";
+  Printf.printf "  %-28s %-14s %-30s %-26s %s\n" "Programmability \\ Basis"
+    "Character" "Token" "Syntax" "Semantic";
+  List.iter
+    (fun (r : Ms2.Figures.fig1_row) ->
+      Printf.printf "  %-28s %-14s %-30s %-26s %s\n" r.programmability
+        r.character r.token r.syntax r.semantic)
+    Ms2.Figures.figure1_table;
+  Printf.printf "\n  Live witnesses:\n";
+  Printf.printf
+    "    character substitution (RE = x on \"int CORE = RE;\"):\n\
+    \      %s   <- corrupts the unrelated identifier\n"
+    (Ms2.Figures.char_witness ());
+  Printf.printf "    MUL(A, B) = A * B on A = x + y, B = m + n:\n";
+  Printf.printf "      token substitution (ms2.cpp): %s   <- wrong parse\n"
+    (Ms2.Figures.cpp_witness ());
+  Printf.printf
+    "      syntax macros (ms2.core):     %s   <- tree-level safety\n"
+    (Ms2.Figures.ms2_witness ());
+
+  rule "Figure 2: parses of the template `[int $y;] by the AST type of y";
+  Printf.printf "  %-20s %s\n" "AST type of y" "Parse";
+  List.iter
+    (fun (ty, parse) -> Printf.printf "  %-20s %s\n" ty parse)
+    (Ms2.Figures.figure2 ());
+
+  rule
+    "Figure 3: parses of `{int x; $ph1 $ph2 return(x);} by placeholder \
+     types";
+  Printf.printf "  %-6s %-6s %s\n" "ph1" "ph2" "Parse";
+  List.iter
+    (fun (t1, t2, parse) -> Printf.printf "  %-6s %-6s %s\n" t1 t2 parse)
+    (Ms2.Figures.figure3 ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let quota =
+  match Sys.getenv_opt "MS2_BENCH_QUOTA" with
+  | Some s -> float_of_string s
+  | None -> 0.5
+
+let measure_tests tests =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  Analyze.all ols Instance.monotonic_clock raw
+
+(* estimated ns/run for each test, sorted by name *)
+let estimates results : (string * float) list =
+  Hashtbl.fold
+    (fun name ols acc ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) -> (name, est) :: acc
+      | _ -> acc)
+    results []
+  |> List.sort compare
+
+let pp_time ppf ns =
+  if ns >= 1e9 then Fmt.pf ppf "%8.2f s " (ns /. 1e9)
+  else if ns >= 1e6 then Fmt.pf ppf "%8.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Fmt.pf ppf "%8.2f us" (ns /. 1e3)
+  else Fmt.pf ppf "%8.2f ns" ns
+
+let print_estimates title results =
+  rule title;
+  List.iter
+    (fun (name, est) -> Fmt.pr "  %-48s %a/run\n" name pp_time est)
+    (estimates results)
+
+(* ------------------------------------------------------------------ *)
+(* Workload runners                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let expand_run src () =
+  match Ms2.Api.expand_string src with
+  | Ok out -> Sys.opaque_identity (String.length out)
+  | Error e -> failwith e
+
+let parse_run src () =
+  Sys.opaque_identity
+    (List.length (Ms2_parser.Parser.program_of_string src))
+
+let lex_run src () =
+  Sys.opaque_identity (Array.length (Ms2_syntax.Lexer.tokenize src))
+
+(* ------------------------------------------------------------------ *)
+(* T1: pipeline stage costs on each paper example                      *)
+(* ------------------------------------------------------------------ *)
+
+let t1_tests () =
+  let painting = Workloads.painting 8 in
+  let myenum = Workloads.myenum 8 in
+  let exceptions = Workloads.exceptions 4 in
+  Test.make_grouped ~name:"T1"
+    [ Test.make ~name:"lex: myenum source" (Staged.stage (lex_run myenum));
+      Test.make ~name:"parse+check: myenum source"
+        (Staged.stage (parse_run myenum));
+      Test.make ~name:"expand: Painting x8"
+        (Staged.stage (expand_run painting));
+      Test.make ~name:"expand: myenum (8 constants)"
+        (Staged.stage (expand_run myenum));
+      Test.make ~name:"expand: exceptions x4"
+        (Staged.stage (expand_run exceptions)) ]
+
+(* ------------------------------------------------------------------ *)
+(* T2: token substitution (CPP) vs syntax macros (MS2), Figure 1 row   *)
+(* ------------------------------------------------------------------ *)
+
+let t2_tests () =
+  let n = 32 in
+  let ms2_src = Workloads.mul_ms2 n in
+  let cpp_input = Workloads.mul_cpp_input n in
+  let cpp_run () =
+    let cpp = Ms2_cpp.Cpp.create () in
+    Ms2_cpp.Cpp.define_function cpp "MUL" [ "A"; "B" ]
+      (Ms2_cpp.Cpp.tokenize "A * B");
+    Sys.opaque_identity
+      (String.length (Ms2_cpp.Cpp.expand_string cpp cpp_input))
+  in
+  Test.make_grouped ~name:"T2"
+    [ Test.make ~name:"cpp token substitution: MUL x32 (unsafe)"
+        (Staged.stage cpp_run);
+      Test.make ~name:"ms2 syntax macros: MUL x32 (tree-safe)"
+        (Staged.stage (expand_run ms2_src)) ]
+
+(* ------------------------------------------------------------------ *)
+(* T3: scaling sweeps                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let t3_tests () =
+  let enum_sizes = [ 1; 4; 16; 64 ] in
+  let depths = [ 1; 4; 16; 64 ] in
+  let macro_counts = [ 1; 16; 64; 256 ] in
+  Test.make_grouped ~name:"T3"
+    (List.map
+       (fun n ->
+         Test.make
+           ~name:(Printf.sprintf "expand: myenum with %3d constants" n)
+           (Staged.stage (expand_run (Workloads.myenum n))))
+       enum_sizes
+    @ List.map
+        (fun d ->
+          Test.make
+            ~name:(Printf.sprintf "expand: Painting nested %3d deep" d)
+            (Staged.stage (expand_run (Workloads.painting_nested d))))
+        depths
+    @ List.map
+        (fun n ->
+          Test.make
+            ~name:(Printf.sprintf "define: %3d macros" n)
+            (Staged.stage (expand_run (Workloads.many_macros n))))
+        macro_counts)
+
+(* ------------------------------------------------------------------ *)
+(* Penalty: expansion vs parsing the pre-expanded code                 *)
+(* ------------------------------------------------------------------ *)
+
+let penalty_names = [ "Painting x8"; "myenum (8)"; "exceptions x4" ]
+
+let penalty_tests () =
+  let pairs =
+    [ ("Painting x8", Workloads.painting 8);
+      ("myenum (8)", Workloads.myenum 8);
+      ("exceptions x4", Workloads.exceptions 4) ]
+  in
+  Test.make_grouped ~name:"penalty"
+    (List.concat_map
+       (fun (name, src) ->
+         let pure_c = Workloads.expanded_form src in
+         [ Test.make ~name:(name ^ ": macro pipeline")
+             (Staged.stage (expand_run src));
+           Test.make ~name:(name ^ ": parse expanded C")
+             (Staged.stage (parse_run pure_c)) ])
+       pairs)
+
+let run_penalty () =
+  let results = measure_tests (penalty_tests ()) in
+  print_estimates
+    "Compile-time penalty (paper: abstraction costs compile time, zero run \
+     time)"
+    results;
+  let ests = estimates results in
+  let find suffix name =
+    List.assoc_opt ("penalty/" ^ name ^ ": " ^ suffix) ests
+  in
+  rule "Derived: expansion overhead over parsing the already-expanded C";
+  List.iter
+    (fun name ->
+      match (find "macro pipeline" name, find "parse expanded C" name) with
+      | Some m, Some p when p > 0. ->
+          Printf.printf "  %-20s %.2fx\n" name (m /. p)
+      | _, _ -> ())
+    penalty_names
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: compiled pattern parsers (paper §3's suggested speedup)   *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_tests () =
+  let src = Workloads.mul_ms2 64 in
+  let run ~compile_patterns () =
+    let engine = Ms2.Engine.create ~compile_patterns () in
+    match Ms2.Api.expand ~source:"bench" engine src with
+    | Ok out -> Sys.opaque_identity (String.length out)
+    | Error e -> failwith e
+  in
+  let hygiene_src = Workloads.exceptions 4 in
+  let run_hygiene ~hygienic () =
+    let engine = Ms2.Engine.create ~hygienic () in
+    match Ms2.Api.expand ~source:"bench" engine hygiene_src with
+    | Ok out -> Sys.opaque_identity (String.length out)
+    | Error e -> failwith e
+  in
+  Test.make_grouped ~name:"ablation"
+    [ Test.make ~name:"MUL x64, interpreted patterns"
+        (Staged.stage (run ~compile_patterns:false));
+      Test.make ~name:"MUL x64, compiled patterns"
+        (Staged.stage (run ~compile_patterns:true));
+      Test.make ~name:"exceptions x4, hygiene off"
+        (Staged.stage (run_hygiene ~hygienic:false));
+      Test.make ~name:"exceptions x4, hygiene on"
+        (Staged.stage (run_hygiene ~hygienic:true)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 2 parse-time type analysis cost                                *)
+(* ------------------------------------------------------------------ *)
+
+let fig2_tests () =
+  let parse_with ty () =
+    let tenv = Ms2_typing.Tenv.create () in
+    Ms2_typing.Tenv.add tenv "y" ty;
+    Sys.opaque_identity
+      (ignore (Ms2_parser.Parser.meta_expr_of_string ~tenv "`[int $y;]"))
+  in
+  let open Ms2_mtype in
+  Test.make_grouped ~name:"fig2-parse"
+    [ Test.make ~name:"y : init-declarator[]"
+        (Staged.stage
+           (parse_with (Mtype.List (Mtype.Ast Sort.Init_declarator))));
+      Test.make ~name:"y : identifier"
+        (Staged.stage (parse_with (Mtype.Ast Sort.Id))) ]
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_time () =
+  print_estimates "T1: pipeline stage costs" (measure_tests (t1_tests ()));
+  print_estimates "T2: CPP token substitution vs MS2 syntax macros"
+    (measure_tests (t2_tests ()));
+  print_estimates "Template parsing with placeholder type analysis (Fig. 2)"
+    (measure_tests (fig2_tests ()));
+  print_estimates
+    "Ablation: compiled invocation parsers (paper: \"could be accelerated \
+     by a routine that compiled a parse routine for each macro's pattern\")"
+    (measure_tests (ablation_tests ()))
+
+let run_sweep () =
+  print_estimates "T3: scaling sweeps" (measure_tests (t3_tests ()))
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match mode with
+  | "figures" | "fig" -> run_figures ()
+  | "time" -> run_time ()
+  | "sweep" -> run_sweep ()
+  | "penalty" -> run_penalty ()
+  | "all" ->
+      run_figures ();
+      run_time ();
+      run_sweep ();
+      run_penalty ()
+  | other ->
+      Printf.eprintf
+        "unknown mode %S (expected figures | time | sweep | penalty)\n" other;
+      exit 2

@@ -1,0 +1,180 @@
+(** ms2c — command-line driver for the MS² macro expander.
+
+    - [ms2c expand file.mc]: expand macros, print pure C (or [-o out.c]);
+    - [ms2c check file.mc]: parse and type check only;
+    - [ms2c figures]: regenerate the paper's Figures 1-3. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Each input file is a separate fragment pushed through the same
+   engine — "meta-programming constructs and regular programs that
+   invoke macros can either be located in separate files, or mixed
+   together" (paper §2).  Diagnostics carry per-file source names. *)
+let with_fragments files k =
+  let fragments =
+    match files with
+    | [] ->
+        let b = Buffer.create 4096 in
+        (try
+           while true do
+             Buffer.add_channel b stdin 4096
+           done
+         with End_of_file -> ());
+        [ ("<stdin>", Buffer.contents b) ]
+    | files -> List.map (fun f -> (f, read_file f)) files
+  in
+  k fragments
+
+
+(* ------------------------------------------------------------------ *)
+(* expand                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let files_arg =
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"Input files \
+       (concatenated in order; reads stdin when none given).")
+
+let output_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT"
+       ~doc:"Write the expansion to $(docv) instead of stdout.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ]
+       ~doc:"Print expansion statistics to stderr.")
+
+let hygienic_arg =
+  Arg.(value & flag & info [ "hygienic" ]
+       ~doc:"Rename template-introduced block locals automatically \
+             (automatic hygiene).")
+
+let semantic_check_arg =
+  Arg.(value & flag & info [ "check"; "semantic-check" ]
+       ~doc:"Run the object-level static checker over the expansion and \
+             print findings to stderr (exit 1 when any are found).")
+
+let prelude_arg =
+  Arg.(value & flag & info [ "prelude" ]
+       ~doc:"Load the standard macro library (unless, repeat, for_range, \
+             times, swap, with_cleanup, assert_that, log_value, bitflags, \
+             myenum) before the input.")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ]
+       ~doc:"Log every macro expansion (name, actuals, result) to stderr.")
+
+let expand_cmd =
+  let run files output stats hygienic semantic_check prelude trace =
+    with_fragments files (fun fragments ->
+        let engine = Ms2.Api.create_engine ~hygienic ~prelude () in
+        if trace then
+          engine.Ms2.Engine.trace <- Some Format.err_formatter;
+        let prog =
+          match
+            Ms2_support.Diag.protect (fun () ->
+                List.concat_map
+                  (fun (source, text) ->
+                    Ms2.Engine.expand_source engine ~source text)
+                  fragments)
+          with
+          | Ok prog -> prog
+          | Error msg ->
+              prerr_endline msg;
+              exit 1
+        in
+        let out =
+          Ms2_syntax.Pretty.program_to_string ~mode:Ms2_syntax.Pretty.strict
+            prog
+        in
+        (match output with
+        | None -> print_string out
+        | Some path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc out));
+        if stats then begin
+          let s = Ms2.Api.stats engine in
+          Printf.eprintf
+            "macros defined: %d\nmeta declarations run: %d\ninvocations \
+             expanded: %d\n"
+            s.Ms2.Engine.macros_defined s.Ms2.Engine.meta_declarations_run
+            s.Ms2.Engine.invocations_expanded
+        end;
+        if semantic_check then begin
+          match Ms2.Api.check_program prog with
+          | [] -> ()
+          | findings ->
+              List.iter prerr_endline findings;
+              exit 1
+        end)
+  in
+  Cmd.v
+    (Cmd.info "expand" ~doc:"Expand syntax macros to pure C")
+    Term.(
+      const run $ files_arg $ output_arg $ stats_arg $ hygienic_arg
+      $ semantic_check_arg $ prelude_arg $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let run files =
+    with_fragments files (fun fragments ->
+        let engine = Ms2.Api.create_engine () in
+        match
+          Ms2_support.Diag.protect (fun () ->
+              List.iter
+                (fun (source, text) ->
+                  ignore (Ms2.Engine.expand_source engine ~source text))
+                fragments)
+        with
+        | Ok () -> prerr_endline "ok"
+        | Error msg ->
+            prerr_endline msg;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Parse, type check and expand without printing the result")
+    Term.(const run $ files_arg)
+
+(* ------------------------------------------------------------------ *)
+(* figures                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let figures_cmd =
+  let run () =
+    print_endline "Figure 2: parses of `[int $y;] by the AST type of y";
+    List.iter
+      (fun (ty, parse) -> Printf.printf "  %-20s %s\n" ty parse)
+      (Ms2.Figures.figure2 ());
+    print_endline "";
+    print_endline
+      "Figure 3: parses of `{int x; $ph1 $ph2 return(x);} by placeholder \
+       types";
+    List.iter
+      (fun (t1, t2, parse) -> Printf.printf "  %-5s %-5s %s\n" t1 t2 parse)
+      (Ms2.Figures.figure3 ());
+    print_endline "";
+    print_endline "Figure 1 witnesses (token substitution vs syntax macros):";
+    Printf.printf "  CPP  MUL(x + y, m + n) -> %s\n" (Ms2.Figures.cpp_witness ());
+    Printf.printf "  MS2  MUL(x + y, m + n) -> %s\n" (Ms2.Figures.ms2_witness ())
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Regenerate the paper's figures")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "ms2c" ~version:"1.0.0"
+       ~doc:"Programmable syntax macros for C (Weise & Crew, PLDI 1993)")
+    [ expand_cmd; check_cmd; figures_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/enum_io.ml: Util

@@ -1,0 +1,1 @@
+examples/metamacros.ml: Util

@@ -1,0 +1,1 @@
+examples/prelude_tour.ml: Ms2 Printf Util

@@ -1,0 +1,1 @@
+examples/prelude_tour.mli:

@@ -1,0 +1,1 @@
+examples/semantic.ml: List Ms2 Printf Util

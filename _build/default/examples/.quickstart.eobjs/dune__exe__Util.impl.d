@@ -1,0 +1,1 @@
+examples/util.ml: List Ms2 Printf String

@@ -1,0 +1,69 @@
+(** New control constructs (paper §4): "specialized looping constructs
+    ... are easily implemented in a programmable syntax macro system."
+
+    Three constructs showing off the pattern language:
+
+    - [for_range (i = lo to hi by step) body] — an optional pattern
+      element with a preamble token ([$$?by exp::step]); the macro
+      generates different code depending on whether [by] was given;
+    - [repeat body until (cond);] — a do/while with inverted condition;
+    - [swap (a, b);] — an expression-level idiom using gensym. *)
+
+let source =
+  {src|
+syntax stmt for_range
+  {| ( $$id::var = $$exp::lo to $$exp::hi $$?by exp::step ) $$stmt::body |}
+{
+  if (length(step) == 0)
+    return `{for ($var = $lo; $var <= $hi; $var++) $body};
+  return `{for ($var = $lo; $var <= $hi; $var += $(*step)) $body};
+}
+
+syntax stmt repeat {| $$stmt::body until ( $$exp::cond ) ; |}
+{
+  return `{do $body while (!($cond));};
+}
+
+syntax stmt swap {| ( $$id::a , $$id::b ) ; |}
+{
+  @id tmp = gensym("swap");
+  return `{{int $tmp = $a; $a = $b; $b = $tmp;}};
+}
+
+int sum_to(int n)
+{
+  int i;
+  int total = 0;
+  for_range (i = 1 to n) { total += i; }
+  return total;
+}
+
+int sum_odds(int n)
+{
+  int i;
+  int total = 0;
+  for_range (i = 1 to n by 2) { total += i; }
+  return total;
+}
+
+int collatz_steps(int n)
+{
+  int steps = 0;
+  repeat {
+    if (n % 2 == 0) n = n / 2; else n = 3 * n + 1;
+    steps++;
+  } until (n == 1);
+  return steps;
+}
+
+void sort2(int *x, int *y)
+{
+  int a = *x;
+  int b = *y;
+  if (a > b) swap(a, b);
+  *x = a;
+  *y = b;
+}
+|src}
+
+let () = Util.run ~title:"New control constructs" ~source ()

@@ -1,0 +1,56 @@
+(** Deriving boilerplate from data declarations (paper §4:
+    "Generalizations of this example are quite useful.  Persistence
+    code, RPC code, dialog boxes, etc., can be automatically created
+    when data is declared.")
+
+    [derive_io struct tag {...};] declares the struct and generates a
+    printer and a field-by-field serializer, by iterating the struct's
+    field list at expansion time ([type_spec->field_names]).
+
+    Run with: [dune exec examples/derive.exe] *)
+
+let source =
+  {src|
+syntax decl derive_io [] {| $$decl::d ; |}
+{
+  @typespec t = d->type_spec;
+  @id tag = t->tag;
+  @id fields[] = t->field_names;
+  return list(
+    d,
+    `[void $(symbolconc("print_", tag))(struct $tag *v)
+      {
+        printf("%s {", $(pstring(tag)));
+        $(map((@id f; `{printf(" %s=%d", $(pstring(f)), v->$f);}), fields))
+        printf(" }\n");
+      }],
+    `[void $(symbolconc("save_", tag))(struct $tag *v, int fd)
+      {
+        $(map((@id f; `{write_int(fd, v->$f);}), fields))
+      }],
+    `[void $(symbolconc("load_", tag))(struct $tag *v, int fd)
+      {
+        $(map((@id f; `{v->$f = read_int(fd);}), fields))
+      }]);
+}
+
+derive_io struct point { int x; int y; int z; }; ;
+
+derive_io struct rect { int left; int top; int right; int bottom; }; ;
+
+int roundtrip(int fd)
+{
+  struct point p;
+  p.x = 1;
+  p.y = 2;
+  p.z = 3;
+  save_point(&p, fd);
+  load_point(&p, fd);
+  print_point(&p);
+  return p.x;
+}
+|src}
+
+let () =
+  Util.run ~title:"Deriving printers and serializers from declarations"
+    ~source ()

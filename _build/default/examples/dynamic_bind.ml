@@ -1,0 +1,42 @@
+(** Dynamic binding (paper §4): a statement macro that saves an integer
+    variable, rebinds it around a body, and restores it afterwards — the
+    fluid-let of Lisp, in C.  The saved-value temporary is created with
+    [gensym], so it cannot capture or be captured by user identifiers.
+
+    Run with: [dune exec examples/dynamic_bind.exe] *)
+
+let source =
+  {src|
+syntax stmt dynamic_bind
+  {| ( $$typespec::type $$id::name = $$exp::init ) $$stmt::body |}
+{
+  @id newname = gensym(name);
+  return `{{$type $newname = $name;
+            $name = $init;
+            $body;
+            $name = $newname;}};
+}
+
+int printlength = 10;
+
+void print_gym()
+{
+  dynamic_bind (int printlength = 2 * printlength)
+  {
+    print_class_structure(gym_class);
+  }
+}
+
+void nested()
+{
+  dynamic_bind (int printlength = 1)
+  {
+    dynamic_bind (int printlength = 2)
+    {
+      print_class_structure(gym_class);
+    }
+  }
+}
+|src}
+
+let () = Util.run ~title:"Dynamic binding" ~source ()

@@ -1,0 +1,111 @@
+(** The paper's exception-handling system: three statement macros —
+    [throw], [catch] and [unwind_protect] — built on setjmp/longjmp,
+    plus the [Painting] macro rebuilt on top of [unwind_protect] so the
+    painting resource is released even when an exception unwinds the
+    stack.
+
+    Note the programmability on display in [throw]: the macro *decides at
+    expansion time* (via the [simple_expression] primitive) whether the
+    thrown value needs a temporary.
+
+    Run with: [dune exec examples/exceptions.exe] *)
+
+let definitions =
+  {src|
+syntax stmt throw {| $$exp::value |}
+{
+  if (simple_expression(value))
+    return `{if (exception_ptr == 0)
+               no_handler($value);
+             else
+               longjmp(exception_ptr, $value);};
+  else
+    return `{{int the_value = $value;
+              if (exception_ptr == 0)
+                no_handler(the_value);
+              else
+                longjmp(exception_ptr, the_value);}};
+}
+
+syntax stmt catch {| $$exp::tag $$stmt::handler $$stmt::body |}
+{
+  return `{{int *old_exception_ptr = exception_ptr;
+            int jmp_buffer[2];
+            int result;
+            result = setjump(jmp_buffer);
+            if (result == 0)
+              {exception_ptr = jmp_buffer; $body}
+            else
+              {exception_ptr = old_exception_ptr;
+               if (result == $tag)
+                 $handler;
+               else
+                 throw result;}}};
+}
+
+syntax stmt unwind_protect {| $$stmt::body $$stmt::cleanup |}
+{
+  return `{{int *old_exception_ptr = exception_ptr;
+            int jmp_buffer[2];
+            int result;
+            result = setjump(jmp_buffer);
+            if (result == 0)
+              {exception_ptr = jmp_buffer; $body}
+            exception_ptr = old_exception_ptr;
+            $cleanup;
+            if (result != 0)
+              throw result;}};
+}
+|src}
+
+let usage =
+  {src|
+myenum error_types {division_by_zero, file_closed, using_unix};
+
+int foo(int a, int b, int *c)
+{
+  int z;
+  z = a + b;
+  catch division_by_zero
+    {printf("%s", "You lose, division by zero.");}
+    {*c = freq(z, a);}
+  unwind_protect
+    {start_faucet_running();}
+    {stop_faucet();}
+  return z;
+}
+|src}
+
+(* the enum-defining macro from the enum_io example, needed by [usage] *)
+let myenum =
+  {src|
+syntax decl myenum [] {| $$id::name { $$+/, id::ids } ; |}
+{
+  return list(`[enum $name {$ids};]);
+}
+|src}
+
+let painting_v2 =
+  {src|
+syntax stmt Painting {| $$stmt::body |}
+{
+  return `{BeginPaint(hDC, &ps);
+           unwind_protect
+             { $body; }
+             { EndPaint(hDC, &ps); }};
+}
+
+int repaint(int hDC)
+{
+  Painting { draw_everything(hDC); throw paint_failure; }
+  return 0;
+}
+|src}
+
+let () =
+  Util.run_staged ~title:"Exception handling with syntax macros"
+    [ ("definitions (meta-program)", definitions);
+      ("myenum helper", myenum);
+      ("user code", usage);
+      ("Painting on top of unwind_protect", painting_v2) ]
+    ()

@@ -1,0 +1,55 @@
+(** Macro-generating macros: templates that contain [syntax] macro
+    definitions.
+
+    The paper's portability discussion (§4) imagines implementing "a
+    common virtual machine as a series of macros".  A natural pattern in
+    such layers is a *family* of similar macros; a macro-generating
+    macro captures the family once.  [def_resource] defines, for each
+    named resource, a bracketing statement macro in the style of
+    [Painting].
+
+    Because parsing precedes expansion within a fragment, a generated
+    macro becomes invocable in the *next* fragment pushed through the
+    engine — exactly how definitions-in-one-file, uses-in-another
+    compile units work.
+
+    Run with: [dune exec examples/metamacros.exe] *)
+
+let generator =
+  {src|
+metadcl @decl mm_nothing[];
+
+syntax decl def_resource [] {| $$id::name ; |}
+{
+  return list(
+    `[syntax stmt $(symbolconc("with_", name)) {| $$stmt::body |}
+      {
+        return `{acquire(); $body; release();};
+      }]);
+}
+|src}
+
+let generate = {src|
+def_resource file;
+def_resource socket;
+|src}
+
+let use =
+  {src|
+int copy(int in, int out)
+{
+  with_file {
+    with_socket {
+      pump(in, out);
+    }
+  }
+  return 0;
+}
+|src}
+
+let () =
+  Util.run_staged ~title:"Macro-generating macros: resource families"
+    [ ("the generator (meta-program)", generator);
+      ("generating two bracketing macros", generate);
+      ("using the generated macros", use) ]
+    ()

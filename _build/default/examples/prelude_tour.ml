@@ -1,0 +1,52 @@
+(** A tour of the standard macro library (the prelude).
+
+    Run with: [dune exec examples/prelude_tour.exe] *)
+
+let source =
+  {src|
+bitflags open_modes {om_read, om_write, om_append, om_create};
+
+myenum level {debug, info, warning};
+
+int fd_flags;
+char *path;
+
+int process(int n)
+{
+  int i;
+  int total = 0;
+
+  unless (n > 0) return -1;
+
+  for_range (i = 1 to n) { total += i; }
+  for_range (i = 0 to n by 8) { prefetch(i); }
+
+  times (2) { flush_caches(); }
+
+  repeat { total = total / 2; } until (total < 100);
+
+  assert_that(total >= 0);
+  log_value(total);
+  log_value(path);
+
+  swap(fd_flags, total);
+
+  with_cleanup { write_all(path, total); }
+               { report(total); }
+
+  print_level(read_level());
+  return total;
+}
+|src}
+
+let () =
+  Util.rule "A tour of the standard macro library";
+  print_endline "--- input (C + prelude macros) ---";
+  print_string source;
+  print_endline "--- expansion (pure C) ---";
+  let engine = Ms2.Api.create_engine ~prelude:true () in
+  match Ms2.Api.expand ~source:"prelude-tour" engine source with
+  | Ok out -> print_string out
+  | Error e ->
+      Printf.eprintf "expansion failed: %s\n" e;
+      exit 1

@@ -1,0 +1,99 @@
+(** Syntactic abstraction at full power: a state-machine DSL.
+
+    "Many software projects ... extend a language to incorporate domain
+    specific data types and statements.  The first task of these
+    projects is to write a preprocessor, a task that would be trivial if
+    a suitable macro facility were available." (paper, §4)
+
+    [state_machine] adds a declaration form with *nested tuple
+    repetitions* in its pattern: a machine is one-or-more states, each
+    with one-or-more transitions.  The macro generates the state enum
+    and a dispatch function, using recursive meta functions over the
+    tuple lists.
+
+    Run with: [dune exec examples/state_machine.exe] *)
+
+let source =
+  {src|
+metadcl @stmt sm_no_stmts[];
+
+@id sm_first_state(struct {@id st;
+                           struct {@id ev; @id target;} transitions[];}
+                   states[])
+{
+  return (*states)->st;
+}
+
+@id sm_state_names(struct {@id st;
+                           struct {@id ev; @id target;} transitions[];}
+                   states[])[]
+{
+  metadcl @id sm_no_ids[];
+  if (length(states) == 0)
+    return sm_no_ids;
+  return cons((*states)->st, sm_state_names(states + 1));
+}
+
+@stmt sm_transition_cases(struct {@id ev; @id target;} ts[])[]
+{
+  if (length(ts) == 0)
+    return sm_no_stmts;
+  return cons(`{case $((*ts)->ev): return $((*ts)->target);},
+              sm_transition_cases(ts + 1));
+}
+
+@stmt sm_state_cases(struct {@id st;
+                             struct {@id ev; @id target;} transitions[];}
+                     states[])[]
+{
+  if (length(states) == 0)
+    return sm_no_stmts;
+  return cons(
+    `{case $((*states)->st):
+        switch (event)
+          {$(sm_transition_cases((*states)->transitions))}
+        return state;},
+    sm_state_cases(states + 1));
+}
+
+syntax decl state_machine []
+  {| $$id::name {
+       $$+.( state $$id::st :
+             $$+.( on $$id::ev goto $$id::target ; )::transitions )::states
+     } |}
+{
+  return list(
+    `[enum $(symbolconc(name, "_states")) {$(sm_state_names(states))};],
+    `[int $(symbolconc(name, "_initial"))()
+      { return $(sm_first_state(states)); }],
+    `[int $(symbolconc(name, "_step"))(int state, int event)
+      {
+        switch (state)
+          {$(sm_state_cases(states))}
+        return state;
+      }]);
+}
+
+state_machine door {
+  state closed:
+    on open_cmd goto opening;
+    on lock_cmd goto locked;
+  state opening:
+    on opened_sensor goto open_state;
+    on obstruction goto closed;
+  state open_state:
+    on close_cmd goto closed;
+  state locked:
+    on unlock_cmd goto closed;
+}
+
+int main()
+{
+  int s = door_initial();
+  s = door_step(s, open_cmd);
+  s = door_step(s, opened_sensor);
+  return s == open_state;
+}
+|src}
+
+let () = Util.run ~title:"A state-machine DSL" ~source ()

@@ -1,0 +1,36 @@
+(** Shared plumbing for the examples: expand an MS² source string and
+    show the input program and the pure-C expansion side by side. *)
+
+let rule title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let run ~title ~(source : string) () =
+  rule title;
+  print_endline "--- input (C + macros) ---";
+  print_string source;
+  print_endline "--- expansion (pure C) ---";
+  match Ms2.Api.expand_string ~source:title source with
+  | Ok out -> print_string out
+  | Error e ->
+      Printf.eprintf "expansion failed: %s\n" e;
+      exit 1
+
+(** Run several fragments through one engine, so macro definitions and
+    meta state persist across fragments (multi-file usage). *)
+let run_staged ~title (stages : (string * string) list) () =
+  rule title;
+  let engine = Ms2.Api.create_engine () in
+  List.iter
+    (fun (stage_title, source) ->
+      Printf.printf "\n--- %s ---\n" stage_title;
+      print_string source;
+      match Ms2.Api.expand ~source:stage_title engine source with
+      | Ok out when String.trim out = "" ->
+          print_endline "(meta-program only: no object code produced)"
+      | Ok out ->
+          print_endline "--- expands to ---";
+          print_string out
+      | Error e ->
+          Printf.eprintf "expansion failed: %s\n" e;
+          exit 1)
+    stages

@@ -1,0 +1,113 @@
+(** Code rearrangement: the paper's non-local transformation.
+
+    The dispatch table of a window procedure is written in a distributed
+    fashion — one [window_proc_dispatch] per message, next to the code it
+    belongs with — and a final [emit_window_proc] glues the accumulated
+    fragments into one dispatch routine.  The accumulation lives in
+    [metadcl] meta globals, which persist across macro invocations (and
+    across fragments pushed through the same engine).
+
+    Run with: [dune exec examples/window_proc.exe] *)
+
+let machinery =
+  {src|
+metadcl @id wp_names[];
+metadcl @id wp_defaults[];
+metadcl @id wp_procs[];
+metadcl @id wp_messages[];
+metadcl @stmt wp_bodies[];
+metadcl @decl wp_no_decls[];
+metadcl @stmt wp_no_stmts[];
+
+syntax decl new_window_proc [] {| $$id::name default $$id::default_proc ; |}
+{
+  wp_names = append(wp_names, list(name));
+  wp_defaults = append(wp_defaults, list(default_proc));
+  return wp_no_decls;
+}
+
+syntax decl window_proc_dispatch []
+  {| ( $$id::proc , $$id::message ) $$stmt::body |}
+{
+  wp_procs = append(wp_procs, list(proc));
+  wp_messages = append(wp_messages, list(message));
+  wp_bodies = append(wp_bodies, list(body));
+  return wp_no_decls;
+}
+
+@stmt wp_cases(@id proc, @id procs[], @id messages[], @stmt bodies[])[]
+{
+  if (length(procs) == 0)
+    return wp_no_stmts;
+  if (*procs == proc)
+    return cons(`{case $(*messages): { $(*bodies) break; }},
+                wp_cases(proc, procs + 1, messages + 1, bodies + 1));
+  return wp_cases(proc, procs + 1, messages + 1, bodies + 1);
+}
+
+@id wp_default(@id proc, @id names[], @id defaults[])
+{
+  if (length(names) == 0)
+    error("emit_window_proc: unknown window procedure", proc);
+  if (*names == proc)
+    return *defaults;
+  return wp_default(proc, names + 1, defaults + 1);
+}
+
+syntax decl emit_window_proc [] {| $$id::name ; |}
+{
+  return list(
+    `[int $name(int hWnd, int message, int wParam, int lParam)
+      {
+        switch (message)
+          {
+            $(wp_cases(name, wp_procs, wp_messages, wp_bodies))
+            default:
+              return $(wp_default(name, wp_names, wp_defaults))
+                       (hWnd, message, wParam, lParam);
+          }
+      }]);
+}
+|src}
+
+let usage =
+  {src|
+new_window_proc wproc default DefWindowProc;
+
+window_proc_dispatch(wproc, WM_DESTROY)
+{
+  KillTimer(hWnd, idTimer);
+  PostQuitMessage(0);
+}
+
+window_proc_dispatch(wproc, WM_CREATE)
+{
+  idTimer = SetTimer(hWnd, 77, 5000, 0);
+}
+
+emit_window_proc wproc;
+|src}
+
+let two_procs =
+  {src|
+new_window_proc dialog_proc default DefDlgProc;
+
+window_proc_dispatch(dialog_proc, WM_INITDIALOG)
+{
+  center_window(hWnd);
+}
+
+window_proc_dispatch(dialog_proc, WM_COMMAND)
+{
+  handle_command(hWnd, wParam);
+}
+
+emit_window_proc dialog_proc;
+|src}
+
+let () =
+  Util.run_staged ~title:"Code rearrangement: distributed dispatch tables"
+    [ ("machinery (meta-program)", machinery);
+      ("distributed dispatch code", usage);
+      ("a second, independent window procedure", two_procs) ]
+    ()

@@ -1,0 +1,1 @@
+lib/core/api.ml: Diag Engine List Ms2_csem Ms2_support Ms2_syntax Prelude

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Diag Format Fun Gensym Hashtbl List Loc Ms2_csem Ms2_meta Ms2_mtype Ms2_parser Ms2_support Ms2_syntax Ms2_typing Option Pretty Printf String

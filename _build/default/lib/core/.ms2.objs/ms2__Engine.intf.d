@@ -1,0 +1,1 @@
+lib/core/engine.mli: Format Hashtbl Ms2_csem Ms2_meta Ms2_parser Ms2_support Ms2_syntax Ms2_typing

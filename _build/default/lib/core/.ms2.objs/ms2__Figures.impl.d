@@ -1,0 +1,1 @@
+lib/core/figures.ml: Diag Engine List Ms2_cpp Ms2_mtype Ms2_parser Ms2_support Ms2_syntax Ms2_typing

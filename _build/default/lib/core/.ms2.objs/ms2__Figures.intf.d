@@ -1,0 +1,1 @@
+lib/core/figures.mli: Ms2_mtype Ms2_syntax

@@ -1,0 +1,65 @@
+(** Public API of the MS² macro system.
+
+    Typical use:
+    {[
+      match Ms2.Api.expand_string source with
+      | Ok c_code -> print_string c_code
+      | Error message -> prerr_endline message
+    ]}
+
+    For multi-file use (definitions in one file, uses in another), create
+    an {!Engine.t} once and call {!expand} repeatedly: macro definitions,
+    [metadcl] globals and meta functions persist across calls. *)
+
+open Ms2_support
+module Pretty = Ms2_syntax.Pretty
+
+type engine = Engine.t
+
+let create_engine ?max_depth ?compile_patterns ?hygienic
+    ?(prelude = false) () =
+  let engine = Engine.create ?max_depth ?compile_patterns ?hygienic () in
+  if prelude then Prelude.load engine;
+  engine
+
+(** Parse and expand [text], rendering the result as pure C.  Raises
+    {!Ms2_support.Diag.Error} on any lexical, syntax, pattern, type or
+    expansion error. *)
+let expand_exn ?(engine = Engine.create ()) ?source (text : string) : string =
+  let prog = Engine.expand_source engine ?source text in
+  Pretty.program_to_string ~mode:Pretty.strict prog
+
+(** Like {!expand_exn} but catching diagnostics. *)
+let expand_string ?engine ?source (text : string) : (string, string) result =
+  Diag.protect (fun () -> expand_exn ?engine ?source text)
+
+(** Expand within an existing engine, keeping its definitions. *)
+let expand (engine : engine) ?source (text : string) :
+    (string, string) result =
+  expand_string ~engine ?source text
+
+(** Parse and expand, returning the AST instead of rendered C. *)
+let expand_to_ast ?(engine = Engine.create ()) ?source (text : string) :
+    (Ms2_syntax.Ast.program, string) result =
+  Diag.protect (fun () -> Engine.expand_source engine ?source text)
+
+(** Expansion statistics of an engine (invocations expanded, meta
+    declarations run, macros defined). *)
+let stats (engine : engine) = engine.Engine.stats
+
+(** Run the object-level static checker over a pure-C program (e.g. an
+    expansion), returning human-readable findings.  This is the
+    downstream half of the paper's semantic-macro story: type errors in
+    generated code are caught here rather than by the C compiler. *)
+let check_program (prog : Ms2_syntax.Ast.program) : string list =
+  List.map Ms2_csem.Check.finding_to_string
+    (Ms2_csem.Check.check_program prog)
+
+(** Expand and then statically check the result: returns the rendered C
+    and any findings of the object-level type checker. *)
+let expand_checked ?(engine = Engine.create ()) ?source (text : string) :
+    (string * string list, string) result =
+  Diag.protect (fun () ->
+      let prog = Engine.expand_source engine ?source text in
+      let rendered = Pretty.program_to_string ~mode:Pretty.strict prog in
+      (rendered, check_program prog))

@@ -1,0 +1,46 @@
+(** Public API of the MS² macro system.
+
+    Typical use:
+    {[
+      match Ms2.Api.expand_string source with
+      | Ok c_code -> print_string c_code
+      | Error message -> prerr_endline message
+    ]}
+
+    For multi-file use, create an engine once and call {!expand}
+    repeatedly: macro definitions, [metadcl] globals, meta functions and
+    generated macros persist across calls. *)
+
+type engine = Engine.t
+
+val create_engine :
+  ?max_depth:int ->
+  ?compile_patterns:bool ->
+  ?hygienic:bool ->
+  ?prelude:bool ->
+  unit ->
+  engine
+(** @param prelude load the standard macro library ({!Prelude}) *)
+
+val expand_exn : ?engine:engine -> ?source:string -> string -> string
+(** Parse and expand, rendering pure C.
+    @raise Ms2_support.Diag.Error on any error. *)
+
+val expand_string : ?engine:engine -> ?source:string -> string -> (string, string) result
+val expand : engine -> ?source:string -> string -> (string, string) result
+
+val expand_to_ast :
+  ?engine:engine -> ?source:string -> string ->
+  (Ms2_syntax.Ast.program, string) result
+
+val stats : engine -> Engine.stats
+
+val check_program : Ms2_syntax.Ast.program -> string list
+(** Object-level static checking of a pure-C program (e.g. an
+    expansion); human-readable findings. *)
+
+val expand_checked :
+  ?engine:engine -> ?source:string -> string ->
+  (string * string list, string) result
+(** Expand, then statically check the result: the rendered C plus any
+    findings of the object-level type checker. *)

@@ -1,0 +1,451 @@
+(** The macro-expansion engine.
+
+    Drives the whole MS² pipeline over a parsed program:
+
+    - [syntax] macro definitions are recorded (their bodies were fully
+      type checked at parse time);
+    - [metadcl] declarations and meta functions are *executed*,
+      extending the persistent meta environment ("the meta-program is
+      fully run during macro-expansion; none of it exists at runtime");
+    - macro invocations are expanded by running the macro body in the
+      interpreter on the pattern-bound actuals, and the produced ASTs
+      replace the invocation; expansion is repeated on the produced code
+      (macros may produce invocations of other macros), with a depth
+      guard;
+    - everything else is walked for embedded invocations and emitted.
+
+    The result is a pure C program: {!expand_program} guarantees no meta
+    construct survives. *)
+
+open Ms2_syntax
+open Ms2_syntax.Ast
+open Ms2_support
+module Mtype = Ms2_mtype.Mtype
+module Tenv = Ms2_typing.Tenv
+module Of_cdecl = Ms2_typing.Of_cdecl
+module State = Ms2_parser.State
+module Parser = Ms2_parser.Parser
+module Value = Ms2_meta.Value
+module Interp = Ms2_meta.Interp
+module Fill = Ms2_meta.Fill
+module Senv = Ms2_csem.Senv
+module Of_ast = Ms2_csem.Of_ast
+
+type stats = {
+  mutable invocations_expanded : int;
+  mutable meta_declarations_run : int;
+  mutable macros_defined : int;
+}
+
+type t = {
+  macros : (string, State.macro_sig) Hashtbl.t;
+      (** signatures, shared with every parser state the engine creates *)
+  compiled : (string, State.compiled_pattern) Hashtbl.t;
+      (** compiled invocation parsers, likewise shared *)
+  defs : (string, macro_def) Hashtbl.t;
+  tenv : Tenv.t;
+  env : Value.env;  (** persistent global meta environment *)
+  senv : Senv.t;
+      (** object-level symbol table, maintained during the expansion
+          walk so semantic primitives see the scope at the invocation
+          point *)
+  gensym : Gensym.t;
+  max_depth : int;
+  compile_patterns : bool;
+  mutable trace : Format.formatter option;
+      (** when set, every invocation expansion is logged ("the ease of
+          debugging macros depends upon the quality of the debugger",
+          paper §3 — this is the poor man's version) *)
+  stats : stats;
+}
+
+let error ?(loc = Loc.dummy) fmt = Diag.error ~loc Diag.Expansion fmt
+
+let rec create ?(max_depth = 200) ?(compile_patterns = true)
+    ?(hygienic = false) () : t =
+  let gensym = Gensym.create () in
+  let env = Value.create_env ~gensym () in
+  env.Value.hygienic <- hygienic;
+  let senv = Senv.create () in
+  env.Value.semantic <- Some senv;
+  let t =
+    {
+      macros = Hashtbl.create 16;
+      compiled = Hashtbl.create 16;
+      defs = Hashtbl.create 16;
+      tenv = Tenv.create ();
+      env;
+      senv;
+      gensym;
+      max_depth;
+      compile_patterns;
+      trace = None;
+      stats =
+        { invocations_expanded = 0; meta_declarations_run = 0;
+          macros_defined = 0 };
+    }
+  in
+  (t.env).Value.expand_invocation := (fun inv -> expand_invocation t inv);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Invocation expansion                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Run a macro body on the invocation's actual parameters and return
+    the produced value, checked against the declared return type. *)
+and expand_invocation (t : t) (inv : invocation) : Value.t =
+  let loc = inv.inv_loc in
+  match Hashtbl.find_opt t.defs inv.inv_name.id_name with
+  | None ->
+      error ~loc "macro %s is declared but has no recorded definition"
+        inv.inv_name.id_name
+  | Some md ->
+      t.stats.invocations_expanded <- t.stats.invocations_expanded + 1;
+      (match t.trace with
+      | Some ppf ->
+          Format.fprintf ppf "@[<v 2>[ms2] expanding %s at %s@,"
+            inv.inv_name.id_name (Loc.to_string loc);
+          List.iter
+            (fun (name, actual) ->
+              Format.fprintf ppf "%s = %s@," name
+                (truncate_for_trace
+                   (Value.to_string (Value.of_actual actual))))
+            inv.inv_actuals
+      | None -> ());
+      let call_env = Value.derived t.env in
+      List.iter
+        (fun (name, actual) ->
+          Value.bind call_env name (Value.of_actual actual))
+        inv.inv_actuals;
+      let v =
+        try Interp.run_body call_env md.m_body
+        with Diag.Error d when d.Diag.phase = Diag.Expansion ->
+          (* point the user at their invocation, keeping the macro-body
+             location for the macro writer *)
+          raise
+            (Diag.Error
+               { d with
+                 Diag.message =
+                   Printf.sprintf "%s (while expanding macro %s invoked at %s)"
+                     d.Diag.message inv.inv_name.id_name (Loc.to_string loc)
+               })
+      in
+      if not (Value.conforms v md.m_ret) then
+        error ~loc
+          "macro %s returned a %s, but its declaration promises %s"
+          inv.inv_name.id_name (Value.type_name v)
+          (Mtype.to_string md.m_ret);
+      (match t.trace with
+      | Some ppf ->
+          Format.fprintf ppf "=> %s@]@."
+            (truncate_for_trace (Value.to_string v))
+      | None -> ());
+      v
+
+and truncate_for_trace s =
+  let s = String.map (function '\n' -> ' ' | c -> c) s in
+  if String.length s > 120 then String.sub s 0 117 ^ "..." else s
+
+(* ------------------------------------------------------------------ *)
+(* Expansion walk over object code                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Record a macro definition — from the source program, or produced by
+    a macro-generating macro (in which case its name placeholder must
+    already be filled). *)
+let register_macro_def (t : t) (md : macro_def) : unit =
+  let name =
+    match md.m_name with
+    | Ii_id id -> id.id_name
+    | Ii_splice sp ->
+        error ~loc:sp.sp_loc
+          "generated macro definition still has a placeholder for its name"
+  in
+  t.stats.macros_defined <- t.stats.macros_defined + 1;
+  Hashtbl.replace t.defs name md;
+  Hashtbl.replace t.macros name
+    { State.sig_ret = md.m_ret; sig_pattern = md.m_pattern };
+  if t.compile_patterns then
+    Hashtbl.replace t.compiled name (Parser.compile_pattern md.m_pattern)
+
+let check_depth t ~loc depth =
+  if depth > t.max_depth then
+    error ~loc
+      "macro expansion exceeded the maximum nesting depth (%d); is a macro \
+       expanding into itself?"
+      t.max_depth
+
+let rec expand_expr t ~depth (expr : expr) : expr =
+  let re e = { expr with e } in
+  match expr.e with
+  | E_macro inv ->
+      check_depth t ~loc:expr.eloc depth;
+      let v = expand_invocation t inv in
+      let e = Fill.value_to_expr ~loc:expr.eloc v in
+      expand_expr t ~depth:(depth + 1) e
+  | E_ident _ | E_const _ -> expr
+  | E_call (f, args) ->
+      re
+        (E_call
+           (expand_expr t ~depth f, List.map (expand_expr t ~depth) args))
+  | E_index (a, i) ->
+      re (E_index (expand_expr t ~depth a, expand_expr t ~depth i))
+  | E_member (e, f) -> re (E_member (expand_expr t ~depth e, f))
+  | E_arrow (e, f) -> re (E_arrow (expand_expr t ~depth e, f))
+  | E_postincr e -> re (E_postincr (expand_expr t ~depth e))
+  | E_postdecr e -> re (E_postdecr (expand_expr t ~depth e))
+  | E_unary (op, e) -> re (E_unary (op, expand_expr t ~depth e))
+  | E_cast (ct, e) ->
+      re (E_cast (expand_ctype t ~depth ct, expand_expr t ~depth e))
+  | E_sizeof_expr e -> re (E_sizeof_expr (expand_expr t ~depth e))
+  | E_sizeof_type ct -> re (E_sizeof_type (expand_ctype t ~depth ct))
+  | E_binary (op, a, b) ->
+      re (E_binary (op, expand_expr t ~depth a, expand_expr t ~depth b))
+  | E_cond (c, a, b) ->
+      re
+        (E_cond
+           ( expand_expr t ~depth c,
+             expand_expr t ~depth a,
+             expand_expr t ~depth b ))
+  | E_assign (op, l, r) ->
+      re (E_assign (op, expand_expr t ~depth l, expand_expr t ~depth r))
+  | E_comma (a, b) ->
+      re (E_comma (expand_expr t ~depth a, expand_expr t ~depth b))
+  | E_backquote _ | E_lambda _ | E_splice _ ->
+      error ~loc:expr.eloc
+        "meta construct left in object code (%s)"
+        (Pretty.expr_to_string expr)
+
+(* specifiers and declarators can embed expressions (enum constant
+   values, array sizes): macro invocations there are expanded too *)
+and expand_specs t ~depth (specs : spec list) : spec list =
+  List.map
+    (fun spec ->
+      match spec with
+      | S_enum es ->
+          let enum_items =
+            Option.map
+              (List.map (function
+                | Enum_item (id, value) ->
+                    Enum_item (id, Option.map (expand_expr t ~depth) value)
+                | Enum_splice _ as e -> e))
+              es.enum_items
+          in
+          S_enum { es with enum_items }
+      | S_struct (tag, fields) -> S_struct (tag, expand_fields t ~depth fields)
+      | S_union (tag, fields) -> S_union (tag, expand_fields t ~depth fields)
+      | spec -> spec)
+    specs
+
+and expand_fields t ~depth = function
+  | None -> None
+  | Some fields ->
+      Some
+        (List.map
+           (fun f ->
+             { f_specs = expand_specs t ~depth f.f_specs;
+               f_declarators =
+                 List.map (expand_declarator t ~depth) f.f_declarators })
+           fields)
+
+and expand_declarator t ~depth (d : declarator) : declarator =
+  match d with
+  | D_ident _ | D_abstract | D_splice _ -> d
+  | D_pointer inner -> D_pointer (expand_declarator t ~depth inner)
+  | D_array (inner, size) ->
+      D_array
+        (expand_declarator t ~depth inner,
+         Option.map (expand_expr t ~depth) size)
+  | D_func (inner, params) ->
+      D_func
+        ( expand_declarator t ~depth inner,
+          List.map
+            (function
+              | P_decl (specs, pd) ->
+                  P_decl
+                    (expand_specs t ~depth specs, expand_declarator t ~depth pd)
+              | (P_name _ | P_ellipsis | P_splice _) as p -> p)
+            params )
+
+and expand_ctype t ~depth (ct : ctype) : ctype =
+  { ct_specs = expand_specs t ~depth ct.ct_specs;
+    ct_decl = expand_declarator t ~depth ct.ct_decl }
+
+and expand_stmts t ~depth (stmt : stmt) : stmt list =
+  let rs s = [ { stmt with s } ] in
+  match stmt.s with
+  | St_macro inv ->
+      check_depth t ~loc:stmt.sloc depth;
+      let v = expand_invocation t inv in
+      let stmts = Fill.value_to_stmts ~loc:stmt.sloc v in
+      List.concat_map (expand_stmts t ~depth:(depth + 1)) stmts
+  | St_expr e -> rs (St_expr (expand_expr t ~depth e))
+  | St_compound items ->
+      (* a block opens an object-level scope for the semantic env *)
+      Senv.push_scope t.senv;
+      Fun.protect
+        ~finally:(fun () -> Senv.pop_scope t.senv)
+        (fun () -> rs (St_compound (expand_block_items t ~depth items)))
+  | St_if (c, th, el) ->
+      rs
+        (St_if
+           ( expand_expr t ~depth c,
+             expand_stmt1 t ~depth th,
+             Option.map (expand_stmt1 t ~depth) el ))
+  | St_while (c, body) ->
+      rs (St_while (expand_expr t ~depth c, expand_stmt1 t ~depth body))
+  | St_do (body, c) ->
+      rs (St_do (expand_stmt1 t ~depth body, expand_expr t ~depth c))
+  | St_for (i, c, s, body) ->
+      rs
+        (St_for
+           ( Option.map (expand_expr t ~depth) i,
+             Option.map (expand_expr t ~depth) c,
+             Option.map (expand_expr t ~depth) s,
+             expand_stmt1 t ~depth body ))
+  | St_switch (e, body) ->
+      rs (St_switch (expand_expr t ~depth e, expand_stmt1 t ~depth body))
+  | St_case (e, s) ->
+      rs (St_case (expand_expr t ~depth e, expand_stmt1 t ~depth s))
+  | St_default s -> rs (St_default (expand_stmt1 t ~depth s))
+  | St_return e -> rs (St_return (Option.map (expand_expr t ~depth) e))
+  | St_break | St_continue | St_goto _ | St_null -> [ stmt ]
+  | St_label (id, s) -> rs (St_label (id, expand_stmt1 t ~depth s))
+  | St_splice _ ->
+      error ~loc:stmt.sloc "placeholder left in object code"
+
+(** Expansion in a position holding exactly one statement: a
+    list-returning macro is wrapped in a block. *)
+and expand_stmt1 t ~depth (stmt : stmt) : stmt =
+  match expand_stmts t ~depth stmt with
+  | [ s ] -> s
+  | [] -> mk_stmt ~loc:stmt.sloc St_null
+  | many ->
+      mk_stmt ~loc:stmt.sloc
+        (St_compound (List.map (fun s -> Bi_stmt s) many))
+
+and expand_block_items t ~depth (items : block_item list) : block_item list =
+  List.concat_map
+    (function
+      | Bi_decl ({ d = Decl_metadcl _; _ } as d) ->
+          (* block-scope meta declaration: run it, emit nothing *)
+          t.stats.meta_declarations_run <- t.stats.meta_declarations_run + 1;
+          Interp.exec_decl t.env d;
+          []
+      | Bi_decl d ->
+          List.map (fun d -> Bi_decl d) (expand_decls t ~depth d)
+      | Bi_stmt s -> List.map (fun s -> Bi_stmt s) (expand_stmts t ~depth s))
+    items
+
+and expand_decls t ~depth (decl : decl) : decl list =
+  let rd d = [ { decl with d } ] in
+  match decl.d with
+  | Decl_macro inv ->
+      check_depth t ~loc:decl.dloc depth;
+      let v = expand_invocation t inv in
+      let decls = Fill.value_to_decls ~loc:decl.dloc v in
+      List.concat_map (expand_decls t ~depth:(depth + 1)) decls
+  | Decl_plain (specs, idecls) ->
+      let specs = expand_specs t ~depth specs in
+      (* declared names enter the semantic env before their initializers
+         are expanded (a name is in scope in its own initializer) *)
+      Of_ast.bind_decl t.senv { decl with d = Decl_plain (specs, idecls) };
+      let idecls =
+        List.map
+          (function
+            | Init_decl (d, init) ->
+                Init_decl
+                  ( expand_declarator t ~depth d,
+                    Option.map (expand_init t ~depth) init )
+            | Init_splice _ ->
+                error ~loc:decl.dloc "placeholder left in object code")
+          idecls
+      in
+      rd (Decl_plain (specs, idecls))
+  | Decl_fun (specs, d, kr, body) ->
+      Of_ast.bind_decl t.senv decl;
+      let specs = expand_specs t ~depth specs in
+      let d = expand_declarator t ~depth d in
+      Senv.push_scope t.senv;
+      Fun.protect
+        ~finally:(fun () -> Senv.pop_scope t.senv)
+        (fun () ->
+          let kr = List.concat_map (expand_decls t ~depth) kr in
+          Of_ast.bind_params t.senv d kr;
+          rd (Decl_fun (specs, d, kr, expand_stmt1 t ~depth body)))
+  | Decl_macro_def md ->
+      (* a macro-generating macro produced a new macro definition: its
+         body was parsed and checked when the template was parsed;
+         register it so *subsequent fragments* can invoke it (uses in
+         the same fragment were already parsed and cannot know it).
+         Generated macros must be self-contained: their placeholders may
+         only reference their own formals. *)
+      register_macro_def t md;
+      []
+  | Decl_metadcl _ ->
+      error ~loc:decl.dloc
+        "meta declaration in a position where object code was expected"
+  | Decl_splice _ -> error ~loc:decl.dloc "placeholder left in object code"
+
+and expand_init t ~depth = function
+  | I_expr e -> I_expr (expand_expr t ~depth e)
+  | I_list items -> I_list (List.map (expand_init t ~depth) items)
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Is this top-level definition part of the meta-program?  Macro
+    definitions and [metadcl] are explicitly so; following the paper's
+    examples ([@stmt paint_function(@stmt s) {...}]), any definition
+    whose type mentions an AST type is a meta function / meta variable
+    even without [metadcl]. *)
+let is_meta_top (decl : decl) : bool =
+  match decl.d with
+  | Decl_metadcl _ | Decl_macro_def _ -> true
+  | Decl_fun (specs, d, _, _) | Decl_plain (specs, (Init_decl (d, _) :: _))
+    ->
+      Of_cdecl.specs_mention_ast specs || Of_cdecl.declarator_mentions_ast d
+  | Decl_plain (_, _) | Decl_splice _ | Decl_macro _ -> false
+
+(** Process one top-level declaration: meta-program elements are
+    recorded/executed and emit nothing; object code is expanded. *)
+let rec process_top (t : t) (decl : decl) : decl list =
+  match decl.d with
+  | Decl_macro_def md ->
+      register_macro_def t md;
+      []
+  | Decl_metadcl inner ->
+      t.stats.meta_declarations_run <- t.stats.meta_declarations_run + 1;
+      Interp.exec_decl t.env inner;
+      (* parse-time types were registered by the parser; runtime values
+         must live in the *global* scope *)
+      promote_globals t inner;
+      []
+  | _ when is_meta_top decl ->
+      t.stats.meta_declarations_run <- t.stats.meta_declarations_run + 1;
+      Interp.exec_decl t.env decl;
+      promote_globals t decl;
+      []
+  | _ -> expand_decls t ~depth:0 decl
+
+(* Interp.exec_decl binds in the current (global, for the engine's env)
+   scope already — the engine env's scope stack is just the global
+   scope, so nothing further is needed; kept as an explicit hook. *)
+and promote_globals _t _decl = ()
+
+(** Expand a whole program to pure C. *)
+let expand_program (t : t) (prog : program) : program =
+  List.concat_map (process_top t) prog
+
+(** Parse (with this engine's macro table and meta type environment,
+    so definitions from earlier calls remain in force) and expand. *)
+let expand_source (t : t) ?(source = "<string>") (text : string) : program =
+  let st =
+    State.of_string ~macros:t.macros ~tenv:t.tenv ~compiled:t.compiled
+      ~source text
+  in
+  st.State.compile_patterns <- t.compile_patterns;
+  let prog = Parser.parse_program st in
+  expand_program t prog

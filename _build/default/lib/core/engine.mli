@@ -1,0 +1,52 @@
+(** The macro-expansion engine: records [syntax] definitions, runs the
+    meta-program ([metadcl], meta functions), expands invocations
+    recursively, maintains the object-level symbol table for semantic
+    macros, and guarantees pure-C output. *)
+
+open Ms2_syntax.Ast
+module State = Ms2_parser.State
+module Tenv = Ms2_typing.Tenv
+module Value = Ms2_meta.Value
+module Senv = Ms2_csem.Senv
+
+type stats = {
+  mutable invocations_expanded : int;
+  mutable meta_declarations_run : int;
+  mutable macros_defined : int;
+}
+
+type t = {
+  macros : (string, State.macro_sig) Hashtbl.t;
+  compiled : (string, State.compiled_pattern) Hashtbl.t;
+  defs : (string, macro_def) Hashtbl.t;
+  tenv : Tenv.t;
+  env : Value.env;  (** persistent global meta environment *)
+  senv : Senv.t;  (** object-level symbol table (semantic macros) *)
+  gensym : Ms2_support.Gensym.t;
+  max_depth : int;
+  compile_patterns : bool;
+  mutable trace : Format.formatter option;
+      (** when set, every invocation expansion is logged *)
+  stats : stats;
+}
+
+val create :
+  ?max_depth:int -> ?compile_patterns:bool -> ?hygienic:bool -> unit -> t
+(** @param max_depth recursive-expansion bound (default 200)
+    @param compile_patterns compile invocation parsers at definition
+    time (default true; disable for the ablation benchmark)
+    @param hygienic automatic renaming of template-introduced block
+    locals (default false) *)
+
+val expand_invocation : t -> invocation -> Value.t
+(** Run a macro body on pattern-bound actuals; checks the result against
+    the declared return type. *)
+
+val register_macro_def : t -> macro_def -> unit
+
+val expand_program : t -> program -> program
+(** Expand a parsed program to pure C. *)
+
+val expand_source : t -> ?source:string -> string -> program
+(** Parse with this engine's macro table and meta type environment
+    (definitions from earlier calls remain in force), then expand. *)

@@ -1,0 +1,1 @@
+lib/cpp/charsub.ml: Buffer Hashtbl List String

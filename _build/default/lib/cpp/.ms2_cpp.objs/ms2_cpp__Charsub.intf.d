@@ -1,0 +1,1 @@
+lib/cpp/charsub.mli:

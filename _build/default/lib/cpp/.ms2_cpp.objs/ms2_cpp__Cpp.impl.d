@@ -1,0 +1,1 @@
+lib/cpp/cpp.ml: Array Diag Hashtbl Lexer List Ms2_support Ms2_syntax String Token

@@ -1,0 +1,1 @@
+lib/cpp/cpp.mli: Ms2_syntax Token

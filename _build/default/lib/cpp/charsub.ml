@@ -1,0 +1,94 @@
+(** A character-level macro baseline (the GPM / pre-ANSI-CPP row of the
+    paper's Figure 1): macros transform *streams of characters* into
+    streams of characters.
+
+    Definitions map a name to replacement text; expansion rescans the
+    output (with a self-reference guard).  A macro name is replaced
+    wherever its characters appear — including inside identifiers and
+    string literals, which is precisely the failure mode that pushed
+    macro processors first to tokens (ANSI CPP) and then to syntax
+    (MS²).  [expand_string] reproduces those hazards on purpose;
+    {!expand_calls} implements GPM-style explicit call markers
+    ([$name$]), which fixes the corruption but still offers no syntactic
+    guarantees. *)
+
+type t = { table : (string, string) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 16 }
+let define t name replacement = Hashtbl.replace t.table name replacement
+
+let find_first (t : t) ~(hide : string list) (text : string) (from : int) :
+    (int * string * string) option =
+  (* leftmost-then-longest definition occurring at or after [from] *)
+  let best = ref None in
+  Hashtbl.iter
+    (fun name repl ->
+      if not (List.mem name hide) then begin
+        let ln = String.length name in
+        let limit = String.length text - ln in
+        let i = ref from in
+        let found = ref false in
+        while (not !found) && !i <= limit do
+          if String.sub text !i ln = name then found := true else incr i
+        done;
+        if !found then
+          match !best with
+          | Some (j, n, _) when j < !i || (j = !i && String.length n >= ln)
+            ->
+              ()
+          | _ -> best := Some (!i, name, repl)
+      end)
+    t.table;
+  !best
+
+(** Blind character substitution with rescanning.  [hide] guards
+    self-reference like CPP does. *)
+let rec expand_from (t : t) ~hide (text : string) (from : int) : string =
+  match find_first t ~hide text from with
+  | None -> text
+  | Some (i, name, repl) ->
+      let expanded_repl =
+        expand_from t ~hide:(name :: hide) repl 0
+      in
+      let before = String.sub text 0 i in
+      let after =
+        String.sub text
+          (i + String.length name)
+          (String.length text - i - String.length name)
+      in
+      (* rescan after the replacement *)
+      expand_from t ~hide
+        (before ^ expanded_repl ^ after)
+        (i + String.length expanded_repl)
+
+let expand_string (t : t) (text : string) : string =
+  expand_from t ~hide:[] text 0
+
+(** GPM-style explicit calls: only [$name$] occurrences are replaced. *)
+let expand_calls (t : t) (text : string) : string =
+  let b = Buffer.create (String.length text) in
+  let n = String.length text in
+  let rec go i =
+    if i >= n then ()
+    else if text.[i] = '$' then begin
+      match String.index_from_opt text (i + 1) '$' with
+      | Some j ->
+          let name = String.sub text (i + 1) (j - i - 1) in
+          (match Hashtbl.find_opt t.table name with
+          | Some repl -> Buffer.add_string b repl
+          | None ->
+              Buffer.add_char b '$';
+              Buffer.add_string b name;
+              Buffer.add_char b '$');
+          go (j + 1)
+      | None ->
+          Buffer.add_char b '$';
+          go (i + 1)
+    end
+    else begin
+      Buffer.add_char b text.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents b

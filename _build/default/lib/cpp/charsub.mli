@@ -1,0 +1,16 @@
+(** A character-level macro baseline (the GPM / pre-ANSI-CPP row of the
+    paper's Figure 1): blind character substitution with rescanning,
+    plus GPM-style explicit call markers. *)
+
+type t
+
+val create : unit -> t
+val define : t -> string -> string -> unit
+
+val expand_string : t -> string -> string
+(** Blind substitution: a name is replaced wherever its characters
+    occur, including inside identifiers and string literals — the
+    hazard that motivated token- and syntax-based macros. *)
+
+val expand_calls : t -> string -> string
+(** Only explicit [$name$] occurrences are replaced. *)

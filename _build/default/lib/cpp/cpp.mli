@@ -1,0 +1,30 @@
+(** A CPP-style token-substitution macro baseline (the paper's Figure 1
+    comparison point): object and function macros over token streams,
+    with the ANSI self-reference guard — and, by construction, the
+    encapsulation and double-evaluation hazards syntax macros remove. *)
+
+open Ms2_syntax
+
+type macro =
+  | Object of Token.t list
+  | Function of string list * Token.t list  (** parameters, body *)
+
+type t
+
+val create : unit -> t
+val define_object : t -> string -> Token.t list -> unit
+val define_function : t -> string -> string list -> Token.t list -> unit
+val define : t -> string -> params:string list option -> Token.t list -> unit
+
+val tokenize : string -> Token.t list
+(** Lex to a plain token list (no locations, no EOF marker). *)
+
+val split_args : Token.t list -> Token.t list list * Token.t list
+(** Split a function-macro argument list (input starts after the open
+    parenthesis); returns the comma-separated arguments and the rest. *)
+
+val expand : t -> Token.t list -> Token.t list
+
+val expand_string : t -> string -> string
+(** Expand a source string and render the resulting token stream
+    (space-separated spellings). *)

@@ -1,0 +1,1 @@
+lib/csem/check.ml: Ctype Fmt Format Fun Infer_c List Ms2_support Ms2_syntax Of_ast Option Senv

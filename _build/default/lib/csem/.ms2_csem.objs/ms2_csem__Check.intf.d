@@ -1,0 +1,1 @@
+lib/csem/check.mli: Ms2_support Ms2_syntax Senv

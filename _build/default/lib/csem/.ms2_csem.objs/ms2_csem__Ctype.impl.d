@@ -1,0 +1,1 @@
+lib/csem/ctype.ml: Fmt List

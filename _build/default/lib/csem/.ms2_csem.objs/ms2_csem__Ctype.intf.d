@@ -1,0 +1,1 @@
+lib/csem/ctype.mli: Format

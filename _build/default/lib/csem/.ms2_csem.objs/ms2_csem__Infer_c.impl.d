@@ -1,0 +1,1 @@
+lib/csem/infer_c.ml: Ctype Ms2_syntax Of_ast Senv

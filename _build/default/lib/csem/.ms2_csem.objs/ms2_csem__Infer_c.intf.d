@@ -1,0 +1,1 @@
+lib/csem/infer_c.mli: Ctype Ms2_syntax Senv

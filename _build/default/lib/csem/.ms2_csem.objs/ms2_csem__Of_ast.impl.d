@@ -1,0 +1,1 @@
+lib/csem/of_ast.ml: Ctype List Ms2_syntax Option Senv

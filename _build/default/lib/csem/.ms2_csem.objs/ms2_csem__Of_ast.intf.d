@@ -1,0 +1,1 @@
+lib/csem/of_ast.mli: Ctype Ms2_syntax Senv

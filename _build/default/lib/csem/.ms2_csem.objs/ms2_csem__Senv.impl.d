@@ -1,0 +1,1 @@
+lib/csem/senv.ml: Ctype Fun Hashtbl List Printf

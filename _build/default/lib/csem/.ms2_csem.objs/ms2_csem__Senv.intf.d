@@ -1,0 +1,1 @@
+lib/csem/senv.mli: Ctype

@@ -1,0 +1,1 @@
+lib/csem/to_ast.ml: Ctype Ms2_syntax Option String

@@ -1,0 +1,1 @@
+lib/csem/to_ast.mli: Ctype Ms2_syntax

@@ -1,0 +1,276 @@
+(** Whole-program static checking of (expanded, pure-C) programs.
+
+    The paper (§5) envisions semantic macros doing "all relevant type
+    checking in the macro itself ... programmers wouldn't end up having
+    to track type errors in code they didn't write".  This checker is
+    the downstream half of that story: run it over the expansion and the
+    type errors are found before any C compiler sees the code.
+
+    Diagnostics are collected, not raised; [Ctype.Unknown] silences
+    checks (incomplete programs are normal for a macro processor). *)
+
+open Ms2_syntax.Ast
+module Loc = Ms2_support.Loc
+
+type finding = { f_loc : Loc.t; f_message : string }
+
+type t = {
+  senv : Senv.t;
+  mutable findings : finding list;
+  mutable current_return : Ctype.t;  (** return type of enclosing fn *)
+}
+
+let create ?senv () =
+  {
+    senv = (match senv with Some s -> s | None -> Senv.create ());
+    findings = [];
+    current_return = Ctype.Unknown;
+  }
+
+let report t loc fmt =
+  Format.kasprintf
+    (fun f_message -> t.findings <- { f_loc = loc; f_message } :: t.findings)
+    fmt
+
+let typeof t e = Infer_c.type_of t.senv e
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec check_expr t (expr : expr) : unit =
+  let loc = expr.eloc in
+  match expr.e with
+  | E_ident _ | E_const _ -> ()
+  | E_call (f, args) -> (
+      check_expr t f;
+      List.iter (check_expr t) args;
+      match Ctype.decay (typeof t f) with
+      | Ctype.Pointer (Ctype.Func (proto, _)) | Ctype.Func (proto, _) -> (
+          match proto with
+          | None -> ()
+          | Some params ->
+              if List.length params <> List.length args then
+                report t loc "call passes %d arguments where %d are expected"
+                  (List.length args) (List.length params)
+              else
+                List.iteri
+                  (fun i (p, a) ->
+                    let ta = typeof t a in
+                    if not (Ctype.compatible ~dst:p ~src:ta) then
+                      report t a.eloc
+                        "argument %d has type %s but %s is expected" (i + 1)
+                        (Ctype.to_string ta) (Ctype.to_string p))
+                  (List.combine params args))
+      | Ctype.Unknown -> ()
+      | ty ->
+          report t loc "called value has type %s, not a function"
+            (Ctype.to_string ty))
+  | E_index (a, i) ->
+      check_expr t a;
+      check_expr t i;
+      (match Ctype.decay (typeof t a) with
+      | Ctype.Pointer _ | Ctype.Unknown -> ()
+      | ty ->
+          report t loc "indexed value has type %s, not an array or pointer"
+            (Ctype.to_string ty));
+      let ti = typeof t i in
+      if not (Ctype.is_integer ti) then
+        report t i.eloc "array index has type %s, not an integer"
+          (Ctype.to_string ti)
+  | E_member (e, _) ->
+      check_expr t e;
+      (match Ctype.decay (typeof t e) with
+      | Ctype.Struct_t _ | Ctype.Union_t _ | Ctype.Unknown -> ()
+      | ty ->
+          report t loc "member access on a value of type %s"
+            (Ctype.to_string ty))
+  | E_arrow (e, _) ->
+      check_expr t e;
+      (match Ctype.decay (typeof t e) with
+      | Ctype.Pointer (Ctype.Struct_t _ | Ctype.Union_t _ | Ctype.Unknown)
+      | Ctype.Unknown ->
+          ()
+      | ty ->
+          report t loc "-> applied to a value of type %s"
+            (Ctype.to_string ty))
+  | E_postincr e | E_postdecr e | E_unary ((Preincr | Predecr), e) ->
+      check_expr t e;
+      let ty = typeof t e in
+      if not (Ctype.is_scalar ty) then
+        report t loc "++/-- applied to a value of type %s"
+          (Ctype.to_string ty)
+  | E_unary (Deref, e) ->
+      check_expr t e;
+      (match Ctype.decay (typeof t e) with
+      | Ctype.Pointer _ | Ctype.Unknown -> ()
+      | ty ->
+          report t loc "* applied to a value of type %s (not a pointer)"
+            (Ctype.to_string ty))
+  | E_unary (_, e) -> check_expr t e
+  | E_binary (op, a, b) ->
+      check_expr t a;
+      check_expr t b;
+      let ta = Ctype.decay (typeof t a) and tb = Ctype.decay (typeof t b) in
+      (match op with
+      | Mul | Div | Mod | Band | Bxor | Bor | Shl | Shr ->
+          if not (Ctype.is_arithmetic ta) then
+            report t a.eloc "arithmetic on a value of type %s"
+              (Ctype.to_string ta);
+          if not (Ctype.is_arithmetic tb) then
+            report t b.eloc "arithmetic on a value of type %s"
+              (Ctype.to_string tb)
+      | Add | Sub | Lt | Gt | Le | Ge | Eq | Ne | Logand | Logor ->
+          if not (Ctype.is_scalar ta) then
+            report t a.eloc "operand has non-scalar type %s"
+              (Ctype.to_string ta);
+          if not (Ctype.is_scalar tb) then
+            report t b.eloc "operand has non-scalar type %s"
+              (Ctype.to_string tb))
+  | E_cond (c, th, el) ->
+      check_expr t c;
+      check_expr t th;
+      check_expr t el
+  | E_assign (_, l, r) ->
+      check_expr t l;
+      check_expr t r;
+      let tl = typeof t l and tr = typeof t r in
+      if not (Ctype.compatible ~dst:tl ~src:tr) then
+        report t loc "assigning a value of type %s to an lvalue of type %s"
+          (Ctype.to_string tr) (Ctype.to_string tl)
+  | E_comma (a, b) ->
+      check_expr t a;
+      check_expr t b
+  | E_cast (_, e) | E_sizeof_expr e -> check_expr t e
+  | E_sizeof_type _ -> ()
+  | E_backquote _ | E_lambda _ | E_splice _ | E_macro _ ->
+      report t loc "meta construct in object code"
+
+(* ------------------------------------------------------------------ *)
+(* Statements and declarations                                         *)
+(* ------------------------------------------------------------------ *)
+
+let check_scalar_cond t (e : expr) =
+  check_expr t e;
+  let ty = Ctype.decay (typeof t e) in
+  if not (Ctype.is_scalar ty) then
+    report t e.eloc "condition has non-scalar type %s" (Ctype.to_string ty)
+
+let rec check_stmt t (stmt : stmt) : unit =
+  match stmt.s with
+  | St_expr e -> check_expr t e
+  | St_compound items ->
+      Senv.with_scope t.senv (fun () ->
+          List.iter
+            (function
+              | Bi_decl d -> check_decl t d
+              | Bi_stmt s -> check_stmt t s)
+            items)
+  | St_if (c, th, el) ->
+      check_scalar_cond t c;
+      check_stmt t th;
+      Option.iter (check_stmt t) el
+  | St_while (c, body) | St_do (body, c) ->
+      check_scalar_cond t c;
+      check_stmt t body
+  | St_for (init, cond, step, body) ->
+      Option.iter (check_expr t) init;
+      Option.iter (check_scalar_cond t) cond;
+      Option.iter (check_expr t) step;
+      check_stmt t body
+  | St_switch (e, body) ->
+      check_expr t e;
+      let ty = typeof t e in
+      if not (Ctype.is_integer ty) then
+        report t e.eloc "switch on a value of type %s" (Ctype.to_string ty);
+      check_stmt t body
+  | St_case (e, s) ->
+      check_expr t e;
+      check_stmt t s
+  | St_default s | St_label (_, s) -> check_stmt t s
+  | St_return None ->
+      if
+        not
+          (Ctype.compatible ~dst:t.current_return ~src:Ctype.Void
+          || t.current_return = Ctype.Unknown)
+      then
+        report t stmt.sloc "return without a value in a function returning %s"
+          (Ctype.to_string t.current_return)
+  | St_return (Some e) ->
+      check_expr t e;
+      let ty = typeof t e in
+      if not (Ctype.compatible ~dst:t.current_return ~src:ty) then
+        report t e.eloc "returning a value of type %s from a function \
+                         returning %s"
+          (Ctype.to_string ty)
+          (Ctype.to_string t.current_return)
+  | St_break | St_continue | St_goto _ | St_null -> ()
+  | St_splice _ | St_macro _ ->
+      report t stmt.sloc "meta construct in object code"
+
+and check_init t ~(dst : Ctype.t) (init : init) : unit =
+  match init with
+  | I_expr e ->
+      check_expr t e;
+      let src = typeof t e in
+      (* brace-less initialization of aggregates is not checked *)
+      if
+        (not (Ctype.compatible ~dst ~src))
+        && not (match dst with Ctype.Array _ -> true | _ -> false)
+      then
+        report t e.eloc "initializing a %s with a value of type %s"
+          (Ctype.to_string dst) (Ctype.to_string src)
+  | I_list items ->
+      let elem =
+        match Ctype.decay dst with
+        | Ctype.Pointer te -> te
+        | _ -> Ctype.Unknown
+      in
+      List.iter (check_init t ~dst:elem) items
+
+and check_decl t (decl : decl) : unit =
+  match decl.d with
+  | Decl_plain (specs, idecls) ->
+      let base = Of_ast.of_specs t.senv specs in
+      let is_typedef = List.mem S_typedef specs in
+      List.iter
+        (function
+          | Init_decl (d, init) -> (
+              let name, ty = Of_ast.of_declarator t.senv base d in
+              (match init with
+              | Some init when not is_typedef -> check_init t ~dst:ty init
+              | Some _ | None -> ());
+              match name with
+              | "" -> ()
+              | name ->
+                  if is_typedef then Senv.add_typedef t.senv name ty
+                  else Senv.add_var t.senv name ty)
+          | Init_splice _ -> report t decl.dloc "meta construct in object code")
+        idecls
+  | Decl_fun (specs, d, kr, body) ->
+      Of_ast.bind_decl t.senv decl;
+      let ret =
+        match snd (Of_ast.of_declarator t.senv (Of_ast.of_specs t.senv specs) d)
+        with
+        | Ctype.Func (_, ret) -> ret
+        | _ -> Ctype.Unknown
+      in
+      Senv.with_scope t.senv (fun () ->
+          Of_ast.bind_params t.senv d kr;
+          let saved = t.current_return in
+          t.current_return <- ret;
+          Fun.protect
+            ~finally:(fun () -> t.current_return <- saved)
+            (fun () -> check_stmt t body))
+  | Decl_metadcl _ | Decl_macro_def _ | Decl_splice _ | Decl_macro _ ->
+      report t decl.dloc "meta construct in object code"
+
+(** Check a whole program; returns findings in source order. *)
+let check_program ?senv (prog : program) : finding list =
+  let t = create ?senv () in
+  List.iter (check_decl t) prog;
+  List.rev t.findings
+
+let finding_to_string f =
+  if Loc.is_dummy f.f_loc then f.f_message
+  else Fmt.str "%a: %s" Loc.pp f.f_loc f.f_message

@@ -1,0 +1,11 @@
+(** Whole-program static checking of (expanded, pure-C) programs:
+    findings are collected, not raised; [Unknown] silences checks. *)
+
+open Ms2_syntax.Ast
+
+type finding = { f_loc : Ms2_support.Loc.t; f_message : string }
+
+val check_program : ?senv:Senv.t -> program -> finding list
+(** Findings in source order. *)
+
+val finding_to_string : finding -> string

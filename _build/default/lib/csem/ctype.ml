@@ -1,0 +1,127 @@
+(** Object-level C types, for the semantic-macro extension.
+
+    The paper's future work (§5): "semantic macros, which are an
+    extension of syntax macros where the macro processor does static
+    semantic analysis (e.g. type checking)".  This module is the type
+    algebra of that analysis: enough of C's type system to type every
+    construct our front end parses.
+
+    [Unknown] is the lenient bottom/top: undeclared identifiers and
+    unanalyzable constructs type as [Unknown], which is compatible with
+    everything — the analyzer reports what it is sure about and stays
+    silent otherwise, which is the right default for a macro processor
+    working on incomplete programs. *)
+
+type rank = Rchar | Rshort | Rint | Rlong
+
+type t =
+  | Void
+  | Integer of { unsigned : bool; rank : rank }
+  | Floating of { double : bool }
+  | Pointer of t
+  | Array of t * int option
+  | Func of t list option * t  (** [None] params: unprototyped *)
+  | Enum_t of string  (** tag, or a generated name for anonymous enums *)
+  | Struct_t of string  (** tag; field layouts live in {!Senv} *)
+  | Union_t of string
+  | Unknown
+
+let int_t = Integer { unsigned = false; rank = Rint }
+let char_t = Integer { unsigned = false; rank = Rchar }
+let string_t = Pointer char_t
+
+let rec pp ppf = function
+  | Void -> Fmt.string ppf "void"
+  | Integer { unsigned; rank } ->
+      if unsigned then Fmt.string ppf "unsigned ";
+      Fmt.string ppf
+        (match rank with
+        | Rchar -> "char"
+        | Rshort -> "short"
+        | Rint -> "int"
+        | Rlong -> "long")
+  | Floating { double } -> Fmt.string ppf (if double then "double" else "float")
+  | Pointer t -> Fmt.pf ppf "%a *" pp t
+  | Array (t, None) -> Fmt.pf ppf "%a []" pp t
+  | Array (t, Some n) -> Fmt.pf ppf "%a [%d]" pp t n
+  | Func (None, ret) -> Fmt.pf ppf "%a ()" pp ret
+  | Func (Some params, ret) ->
+      Fmt.pf ppf "%a (%a)" pp ret (Fmt.list ~sep:(Fmt.any ", ") pp) params
+  | Enum_t tag -> Fmt.pf ppf "enum %s" tag
+  | Struct_t tag -> Fmt.pf ppf "struct %s" tag
+  | Union_t tag -> Fmt.pf ppf "union %s" tag
+  | Unknown -> Fmt.string ppf "?"
+
+let to_string t = Fmt.str "%a" pp t
+
+let is_integer = function
+  | Integer _ | Enum_t _ -> true
+  | Unknown -> true
+  | Void | Floating _ | Pointer _ | Array _ | Func _ | Struct_t _ | Union_t _
+    ->
+      false
+
+let is_arithmetic = function
+  | Floating _ -> true
+  | t -> is_integer t
+
+let is_pointer_like = function
+  | Pointer _ | Array _ | Unknown -> true
+  | _ -> false
+
+let is_scalar t = is_arithmetic t || is_pointer_like t
+
+(** Decayed type in expression position: arrays become pointers,
+    functions become function pointers (C's usual conversions). *)
+let decay = function
+  | Array (t, _) -> Pointer t
+  | Func _ as f -> Pointer f
+  | t -> t
+
+(** Structural equality, with [Unknown] equal to nothing but itself
+    (use {!compatible} for assignment checking). *)
+let rec equal a b =
+  match (a, b) with
+  | Void, Void | Unknown, Unknown -> true
+  | Integer { unsigned = u1; rank = r1 }, Integer { unsigned = u2; rank = r2 }
+    ->
+      u1 = u2 && r1 = r2
+  | Floating { double = d1 }, Floating { double = d2 } -> d1 = d2
+  | Pointer a, Pointer b -> equal a b
+  | Array (a, n), Array (b, m) -> equal a b && n = m
+  | Func (None, ra), Func (None, rb) -> equal ra rb
+  | Func (Some pa, ra), Func (Some pb, rb) ->
+      List.length pa = List.length pb
+      && List.for_all2 equal pa pb && equal ra rb
+  | Enum_t a, Enum_t b | Struct_t a, Struct_t b | Union_t a, Union_t b ->
+      a = b
+  | _, _ -> false
+
+(** May a value of type [src] be assigned to an lvalue of type [dst]?
+    Permissive in the C89 spirit: arithmetic types interconvert,
+    pointers want matching (or [void *], or [Unknown]) pointees, enums
+    and integers interconvert. *)
+let rec compatible ~(dst : t) ~(src : t) : bool =
+  let src = decay src in
+  match (dst, src) with
+  | Unknown, _ | _, Unknown -> true
+  | t1, t2 when is_arithmetic t1 && is_arithmetic t2 -> true
+  | Pointer Void, Pointer _ | Pointer _, Pointer Void -> true
+  | Pointer a, Pointer b -> compatible ~dst:a ~src:b
+  | (Struct_t _ | Union_t _), _ -> equal dst src
+  | Void, Void -> true
+  | Func _, Func _ -> equal dst src
+  | _, _ -> equal dst src
+
+(** Usual arithmetic conversions, much simplified: floats dominate,
+    otherwise everything computes at [int] rank or above. *)
+let arithmetic_join a b =
+  match (decay a, decay b) with
+  | Unknown, t | t, Unknown -> t
+  | Floating _, _ | _, Floating _ -> Floating { double = true }
+  | Integer { unsigned = u1; rank = r1 }, Integer { unsigned = u2; rank = r2 }
+    ->
+      let rank = if r1 = Rlong || r2 = Rlong then Rlong else Rint in
+      Integer { unsigned = u1 || u2; rank }
+  | Enum_t _, t | t, Enum_t _ -> ( match t with Enum_t _ -> int_t | t -> t)
+  | a, _ -> a

@@ -1,0 +1,40 @@
+(** Object-level C types, for the semantic-macro extension (paper §5).
+
+    [Unknown] is the lenient default: undeclared identifiers type as
+    [Unknown], which is compatible with everything — the analyzer only
+    reports what it is sure about. *)
+
+type rank = Rchar | Rshort | Rint | Rlong
+
+type t =
+  | Void
+  | Integer of { unsigned : bool; rank : rank }
+  | Floating of { double : bool }
+  | Pointer of t
+  | Array of t * int option
+  | Func of t list option * t  (** [None] params: unprototyped *)
+  | Enum_t of string
+  | Struct_t of string  (** tag; field layouts live in {!Senv} *)
+  | Union_t of string
+  | Unknown
+
+val int_t : t
+val char_t : t
+val string_t : t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val is_integer : t -> bool
+val is_arithmetic : t -> bool
+val is_pointer_like : t -> bool
+val is_scalar : t -> bool
+
+val decay : t -> t
+(** Arrays become pointers, functions become function pointers. *)
+
+val equal : t -> t -> bool
+
+val compatible : dst:t -> src:t -> bool
+(** Assignment compatibility, permissive in the C89 spirit. *)
+
+val arithmetic_join : t -> t -> t
+(** Usual arithmetic conversions, simplified. *)

@@ -1,0 +1,70 @@
+(** Type inference for object-level C expressions.
+
+    Lenient by design: anything the analysis cannot resolve types as
+    {!Ctype.Unknown}.  This is the information source for semantic
+    macros ([exp_typespec], [type_name_of], ...) and for the optional
+    whole-program checker. *)
+
+open Ms2_syntax.Ast
+open Ctype
+
+let rec type_of (senv : Senv.t) (expr : expr) : Ctype.t =
+  match expr.e with
+  | E_ident id -> (
+      match Senv.find_var senv id.id_name with
+      | Some ty -> ty
+      | None -> Unknown)
+  | E_const (Cint _) -> int_t
+  | E_const (Cfloat _) -> Floating { double = true }
+  | E_const (Cchar _) -> char_t
+  | E_const (Cstring _) -> string_t
+  | E_call (f, _args) -> (
+      match decay (type_of senv f) with
+      | Pointer (Func (_, ret)) | Func (_, ret) -> ret
+      | _ -> Unknown)
+  | E_index (a, _i) -> (
+      match decay (type_of senv a) with
+      | Pointer t -> t
+      | _ -> Unknown)
+  | E_member (e, f) -> member_type senv (type_of senv e) f
+  | E_arrow (e, f) -> (
+      match decay (type_of senv e) with
+      | Pointer inner -> member_type senv inner f
+      | Unknown -> Unknown
+      | _ -> Unknown)
+  | E_postincr e | E_postdecr e | E_unary ((Preincr | Predecr), e) ->
+      decay (type_of senv e)
+  | E_unary (Deref, e) -> (
+      match decay (type_of senv e) with Pointer t -> t | _ -> Unknown)
+  | E_unary (Addr, e) -> Pointer (type_of senv e)
+  | E_unary ((Neg | Plus | Bitnot), e) ->
+      arithmetic_join (type_of senv e) int_t
+  | E_unary (Lognot, _) -> int_t
+  | E_binary ((Add | Sub), a, b) -> (
+      let ta = decay (type_of senv a) and tb = decay (type_of senv b) in
+      match (ta, tb) with
+      | Pointer _, Pointer _ -> int_t (* pointer difference *)
+      | Pointer _, _ -> ta
+      | _, Pointer _ -> tb
+      | _ -> arithmetic_join ta tb)
+  | E_binary ((Mul | Div | Mod | Band | Bxor | Bor | Shl | Shr), a, b) ->
+      arithmetic_join (type_of senv a) (type_of senv b)
+  | E_binary ((Lt | Gt | Le | Ge | Eq | Ne | Logand | Logor), _, _) -> int_t
+  | E_cond (_, t, e) -> (
+      match (decay (type_of senv t), decay (type_of senv e)) with
+      | Unknown, ty | ty, Unknown -> ty
+      | ta, tb -> if is_arithmetic ta && is_arithmetic tb then
+            arithmetic_join ta tb
+          else ta)
+  | E_assign (_, l, _) -> decay (type_of senv l)
+  | E_comma (_, b) -> type_of senv b
+  | E_cast (ct, _) -> Of_ast.of_type_name senv ct
+  | E_sizeof_expr _ | E_sizeof_type _ ->
+      Integer { unsigned = true; rank = Rlong }
+  | E_backquote _ | E_lambda _ | E_splice _ | E_macro _ -> Unknown
+
+and member_type senv (t : Ctype.t) (f : id_or_splice) : Ctype.t =
+  match (t, f) with
+  | (Struct_t tag | Union_t tag), Ii_id id ->
+      Senv.field_type senv tag id.id_name
+  | _, _ -> Unknown

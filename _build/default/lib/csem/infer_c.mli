@@ -1,0 +1,7 @@
+(** Type inference for object-level C expressions: the information
+    source for semantic macros and the whole-program checker. *)
+
+open Ms2_syntax.Ast
+
+val type_of : Senv.t -> expr -> Ctype.t
+val member_type : Senv.t -> Ctype.t -> id_or_splice -> Ctype.t

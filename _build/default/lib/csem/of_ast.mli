@@ -1,0 +1,17 @@
+(** Conversion of C declaration syntax to object-level types, and
+    binding of declarations into a symbol table.  Conversion registers
+    struct/union layouts and enum constants as a side effect, like a C
+    compiler processing declarations left to right. *)
+
+open Ms2_syntax.Ast
+
+val of_specs : Senv.t -> spec list -> Ctype.t
+val of_declarator : Senv.t -> Ctype.t -> declarator -> string * Ctype.t
+val of_type_name : Senv.t -> ctype -> Ctype.t
+
+val bind_decl : Senv.t -> decl -> unit
+(** Register tags, enum constants, typedefs, declared names. *)
+
+val bind_params : Senv.t -> declarator -> decl list -> unit
+(** Bind a function definition's parameters in the current scope (K&R
+    names take their types from the K&R declarations). *)

@@ -1,0 +1,74 @@
+(** Scoped symbol tables for the object-level semantic analysis.
+
+    Tracks, per scope: variables and functions (name → type), typedefs
+    (name → type), enum constants (name → enum type), and — globally,
+    since C tags share one file-scope namespace per kind in our subset —
+    struct/union field layouts. *)
+
+type scope = {
+  vars : (string, Ctype.t) Hashtbl.t;
+  typedefs : (string, Ctype.t) Hashtbl.t;
+}
+
+type t = {
+  mutable scopes : scope list;
+  layouts : (string, (string * Ctype.t) list) Hashtbl.t;
+      (** struct/union tag → field layout *)
+  mutable anon_counter : int;  (** names for anonymous tags *)
+}
+
+let new_scope () = { vars = Hashtbl.create 16; typedefs = Hashtbl.create 4 }
+
+let create () =
+  { scopes = [ new_scope () ]; layouts = Hashtbl.create 16; anon_counter = 0 }
+
+let push_scope t = t.scopes <- new_scope () :: t.scopes
+
+let pop_scope t =
+  match t.scopes with
+  | [] | [ _ ] -> invalid_arg "Senv.pop_scope: global scope"
+  | _ :: rest -> t.scopes <- rest
+
+let with_scope t f =
+  push_scope t;
+  Fun.protect ~finally:(fun () -> pop_scope t) f
+
+let fresh_tag t =
+  t.anon_counter <- t.anon_counter + 1;
+  Printf.sprintf "<anonymous-%d>" t.anon_counter
+
+let add_var t name ty =
+  match t.scopes with
+  | scope :: _ -> Hashtbl.replace scope.vars name ty
+  | [] -> assert false
+
+let add_typedef t name ty =
+  match t.scopes with
+  | scope :: _ -> Hashtbl.replace scope.typedefs name ty
+  | [] -> assert false
+
+let add_layout t tag fields = Hashtbl.replace t.layouts tag fields
+
+let find tbl_of t name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+        match Hashtbl.find_opt (tbl_of scope) name with
+        | Some v -> Some v
+        | None -> go rest)
+  in
+  go t.scopes
+
+let find_var t name = find (fun s -> s.vars) t name
+let find_typedef t name = find (fun s -> s.typedefs) t name
+let find_layout t tag = Hashtbl.find_opt t.layouts tag
+
+(** Field type within a struct/union, [Unknown] when the layout (or the
+    field) is unknown. *)
+let field_type t tag field : Ctype.t =
+  match find_layout t tag with
+  | None -> Ctype.Unknown
+  | Some fields -> (
+      match List.assoc_opt field fields with
+      | Some ty -> ty
+      | None -> Ctype.Unknown)

@@ -1,0 +1,23 @@
+(** Scoped symbol tables for the object-level semantic analysis:
+    variables/functions, typedefs, enum constants (per scope), and
+    struct/union field layouts (per file). *)
+
+type t
+
+val create : unit -> t
+val push_scope : t -> unit
+val pop_scope : t -> unit
+val with_scope : t -> (unit -> 'a) -> 'a
+
+val fresh_tag : t -> string
+(** A name for an anonymous struct/union/enum tag. *)
+
+val add_var : t -> string -> Ctype.t -> unit
+val add_typedef : t -> string -> Ctype.t -> unit
+val add_layout : t -> string -> (string * Ctype.t) list -> unit
+val find_var : t -> string -> Ctype.t option
+val find_typedef : t -> string -> Ctype.t option
+val find_layout : t -> string -> (string * Ctype.t) list option
+
+val field_type : t -> string -> string -> Ctype.t
+(** Field type within a tagged struct/union; [Unknown] when unknown. *)

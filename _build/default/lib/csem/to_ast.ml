@@ -1,0 +1,57 @@
+(** Rendering object-level {!Ctype}s back into syntax, so semantic
+    macros can splice inferred types into templates (the paper's
+    "the macro user wouldn't need to declare the type of name"). *)
+
+open Ms2_syntax.Ast
+
+(** The specifier list denoting a type, when the type is expressible as
+    specifiers alone (no pointer/array/function declarator part). *)
+let rec specs_of (t : Ctype.t) : spec list option =
+  match t with
+  | Ctype.Void -> Some [ S_void ]
+  | Ctype.Integer { unsigned; rank } ->
+      let base =
+        match rank with
+        | Ctype.Rchar -> [ S_char ]
+        | Ctype.Rshort -> [ S_short ]
+        | Ctype.Rint -> [ S_int ]
+        | Ctype.Rlong -> [ S_long ]
+      in
+      Some (if unsigned then S_unsigned :: base else base)
+  | Ctype.Floating { double } ->
+      Some [ (if double then S_double else S_float) ]
+  | Ctype.Enum_t tag when not (is_anonymous tag) ->
+      Some [ S_enum { enum_tag = Some (Ii_id (ident tag)); enum_items = None } ]
+  | Ctype.Struct_t tag when not (is_anonymous tag) ->
+      Some [ S_struct (Some (Ii_id (ident tag)), None) ]
+  | Ctype.Union_t tag when not (is_anonymous tag) ->
+      Some [ S_union (Some (Ii_id (ident tag)), None) ]
+  | Ctype.Enum_t _ | Ctype.Struct_t _ | Ctype.Union_t _
+  | Ctype.Pointer _ | Ctype.Array _ | Ctype.Func _ | Ctype.Unknown ->
+      None
+
+and is_anonymous tag = String.length tag > 0 && tag.[0] = '<'
+
+(** A full declaration [t name;] for any expressible type: the declarator
+    carries the pointer/array part.  Function types are not declarable
+    this way. *)
+let declaration_of (t : Ctype.t) (name : ident) : decl option =
+  let rec split (t : Ctype.t) (d : declarator) :
+      (Ctype.t * declarator) option =
+    match t with
+    | Ctype.Pointer inner -> split inner (D_pointer d)
+    | Ctype.Array (inner, n) ->
+        let size =
+          Option.map (fun n -> e_int n) n
+        in
+        split inner (D_array (d, size))
+    | Ctype.Func _ -> None
+    | base -> Some (base, d)
+  in
+  match split t (D_ident name) with
+  | None -> None
+  | Some (base, d) -> (
+      match specs_of base with
+      | Some specs ->
+          Some (mk_decl (Decl_plain (specs, [ Init_decl (d, None) ])))
+      | None -> None)

@@ -1,0 +1,14 @@
+(** Rendering object-level types back into syntax, so semantic macros
+    can splice inferred types into templates. *)
+
+open Ms2_syntax.Ast
+
+val specs_of : Ctype.t -> spec list option
+(** The specifier list denoting a type, when expressible without a
+    declarator part (no pointers/arrays/functions). *)
+
+val is_anonymous : string -> bool
+
+val declaration_of : Ctype.t -> ident -> decl option
+(** A full declaration [t name;] — the declarator carries the
+    pointer/array part.  [None] for function types. *)

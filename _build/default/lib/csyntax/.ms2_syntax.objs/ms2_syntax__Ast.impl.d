@@ -1,0 +1,1 @@
+lib/csyntax/ast.ml: List Loc Ms2_mtype Ms2_support Token

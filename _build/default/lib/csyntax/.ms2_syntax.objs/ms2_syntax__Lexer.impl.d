@@ -1,0 +1,1 @@
+lib/csyntax/lexer.ml: Array Buffer Diag Format Gensym List Loc Ms2_support Option String Token

@@ -1,0 +1,1 @@
+lib/csyntax/pretty.ml: Ast Char Fmt Ms2_mtype Option Printf Token

@@ -1,0 +1,1 @@
+lib/csyntax/pretty.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/csyntax/sexp.ml: Ast Fmt Format List Ms2_mtype Pretty String

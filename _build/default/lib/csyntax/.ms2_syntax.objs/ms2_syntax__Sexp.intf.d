@@ -1,0 +1,1 @@
+lib/csyntax/sexp.mli: Ast

@@ -1,0 +1,1 @@
+lib/csyntax/token.ml: Char Fmt List Ms2_support Printf

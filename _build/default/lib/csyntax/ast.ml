@@ -1,0 +1,322 @@
+(** Abstract syntax of the extended language.
+
+    This is the AST of C (the subset described in DESIGN.md §3) extended
+    with the paper's meta constructs:
+
+    - {b splices} ([$x], [$(e)]) — placeholders inside code templates.
+      Each syntactic class that the paper allows a placeholder to stand
+      for has a [..._splice] alternative carrying the placeholder
+      expression and its AST type, inferred at parse time;
+    - {b backquote templates} (expressions of the meta language);
+    - {b anonymous functions} (meta language only);
+    - {b macro invocations}, which the parser packages with their
+      pattern-matched actual parameters for later expansion;
+    - {b macro definitions} and {b meta declarations} (top level);
+    - {b invocation patterns} (part of macro headers).
+
+    Expansion (in [ms2.core]) eliminates every meta construct; the
+    pretty-printer for pure C refuses meta residue. *)
+
+open Ms2_support
+module Mtype = Ms2_mtype.Mtype
+module Sort = Ms2_mtype.Sort
+
+type ident = { id_name : string; id_loc : Loc.t }
+
+let ident ?(loc = Loc.dummy) name = { id_name = name; id_loc = loc }
+
+type unop =
+  | Neg | Plus | Lognot | Bitnot
+  | Deref  (** also list head ([car]) in the meta language *)
+  | Addr
+  | Preincr | Predecr
+
+type binop =
+  | Add  (** also list tail ([l + 1] is [cdr l]) in the meta language *)
+  | Sub | Mul | Div | Mod
+  | Shl | Shr
+  | Lt | Gt | Le | Ge | Eq | Ne
+  | Band | Bxor | Bor
+  | Logand | Logor
+
+type assignop =
+  | A_eq | A_add | A_sub | A_mul | A_div | A_mod
+  | A_shl | A_shr | A_band | A_bxor | A_bor
+
+type constant =
+  | Cint of int * string  (** value, original spelling *)
+  | Cfloat of float * string  (** object-level only: no meta floats *)
+  | Cchar of char
+  | Cstring of string
+
+(** A placeholder occurrence inside a backquote template.  [sp_type] is
+    the AST type of the placeholder expression, computed by parse-time
+    type analysis; it decides which syntactic position the placeholder
+    may fill (the mechanism behind the paper's Figures 2 and 3).
+    [sp_depth] is the backquote nesting depth at which the splice fires
+    (1 = innermost enclosing backquote). *)
+type splice = {
+  sp_expr : expr;  (** the meta expression to evaluate at expansion time *)
+  sp_type : Mtype.t;
+  sp_depth : int;
+  sp_loc : Loc.t;
+}
+
+and expr = { e : expr_desc; eloc : Loc.t }
+
+and expr_desc =
+  | E_ident of ident
+  | E_const of constant
+  | E_call of expr * expr list
+  | E_index of expr * expr
+  | E_member of expr * id_or_splice
+  | E_arrow of expr * id_or_splice
+  | E_postincr of expr
+  | E_postdecr of expr
+  | E_unary of unop * expr
+  | E_cast of ctype * expr
+  | E_sizeof_expr of expr
+  | E_sizeof_type of ctype
+  | E_binary of binop * expr * expr
+  | E_cond of expr * expr * expr
+  | E_assign of assignop * expr * expr
+  | E_comma of expr * expr
+  (* --- meta extensions --- *)
+  | E_backquote of template  (** code template; meta language only *)
+  | E_lambda of param list * expr  (** anonymous meta function *)
+  | E_splice of splice  (** placeholder in expression position *)
+  | E_macro of invocation  (** macro invocation in expression position *)
+
+(** Type name as used in casts and [sizeof]: specifiers plus an abstract
+    declarator. *)
+and ctype = { ct_specs : spec list; ct_decl : declarator }
+
+(** Declaration specifier.  A declaration's specifier list mixes storage
+    classes, qualifiers and type specifiers, in source order. *)
+and spec =
+  | S_void | S_char | S_int | S_float | S_double
+  | S_short | S_long | S_signed | S_unsigned
+  | S_named of ident  (** typedef name *)
+  | S_enum of enum_spec
+  | S_struct of id_or_splice option * field list option
+      (** struct tag/fields; the tag may be a placeholder *)
+  | S_union of id_or_splice option * field list option
+  | S_typedef | S_extern | S_static | S_auto | S_register
+  | S_const | S_volatile
+  | S_ast of Sort.t  (** [@stmt] etc.: AST-typed meta declaration *)
+  | S_splice of splice  (** placeholder in type-specifier position *)
+
+and enum_spec = {
+  enum_tag : id_or_splice option;
+  enum_items : enumerator list option;  (** [None] for [enum foo x;] *)
+}
+
+(** An identifier position that may hold a placeholder (e.g. the tag in
+    [enum $name {...}], or the member in [o->$field]). *)
+and id_or_splice = Ii_id of ident | Ii_splice of splice
+
+and enumerator =
+  | Enum_item of id_or_splice * expr option
+      (** the name may be a placeholder, so macros can build enumerators
+          with computed values ([$flag = $(make_num(v))]) *)
+  | Enum_splice of splice  (** an [@id] ([one item]) or [@id[]] (several) *)
+
+and field = { f_specs : spec list; f_declarators : declarator list }
+
+and declarator =
+  | D_ident of ident
+  | D_abstract  (** missing name (abstract declarators) *)
+  | D_pointer of declarator
+  | D_array of declarator * expr option
+  | D_func of declarator * param list
+  | D_splice of splice  (** [@declarator]-typed, or [@id]-typed (Fig. 2) *)
+
+and init_declarator =
+  | Init_decl of declarator * init option
+  | Init_splice of splice  (** [@init_declarator] or [@init_declarator[]] *)
+
+and init = I_expr of expr | I_list of init list
+
+and param =
+  | P_decl of spec list * declarator
+  | P_name of ident  (** K&R-style parameter name *)
+  | P_ellipsis  (** trailing [...] (variadic prototype) *)
+  | P_splice of splice
+
+and stmt = { s : stmt_desc; sloc : Loc.t }
+
+and stmt_desc =
+  | St_expr of expr
+  | St_compound of block_item list
+      (** C89 compounds are declarations followed by statements; the
+          parser enforces that no declaration item follows a statement
+          item (the rule that makes the paper's Figure 3 (stmt, decl)
+          case illegal). *)
+  | St_if of expr * stmt * stmt option
+  | St_while of expr * stmt
+  | St_do of stmt * expr
+  | St_for of expr option * expr option * expr option * stmt
+  | St_switch of expr * stmt
+  | St_case of expr * stmt
+  | St_default of stmt
+  | St_return of expr option
+  | St_break
+  | St_continue
+  | St_goto of ident
+  | St_label of ident * stmt
+  | St_null
+  | St_splice of splice  (** placeholder in statement position *)
+  | St_macro of invocation  (** statement-macro invocation *)
+
+and block_item = Bi_decl of decl | Bi_stmt of stmt
+
+and decl = { d : decl_desc; dloc : Loc.t }
+
+and decl_desc =
+  | Decl_plain of spec list * init_declarator list
+  | Decl_fun of spec list * declarator * decl list * stmt
+      (** return specs, declarator, K&R parameter declarations, body *)
+  | Decl_metadcl of decl  (** [metadcl] declaration: meta level *)
+  | Decl_macro_def of macro_def  (** [syntax] macro definition *)
+  | Decl_splice of splice  (** placeholder in declaration position *)
+  | Decl_macro of invocation  (** declaration-macro invocation *)
+
+(* ------------------------------------------------------------------ *)
+(* Patterns                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Invocation pattern: the concrete syntax and actual-parameter types of
+    a macro's invocations (the part of the header between [{|] and
+    [|}]). *)
+and pattern = pattern_elem list
+
+and pattern_elem =
+  | Pe_token of Token.t  (** concrete ("buzz") token *)
+  | Pe_binder of binder  (** [$$pspec :: name] *)
+
+and binder = { b_spec : pspec; b_name : ident }
+
+and pspec =
+  | Ps_sort of Sort.t
+  | Ps_plus of Token.t option * pspec
+      (** list of one or more, with optional separator token *)
+  | Ps_star of Token.t option * pspec  (** list of zero or more *)
+  | Ps_opt of Token.t option * pspec
+      (** optional element, with optional preamble token *)
+  | Ps_tuple of pattern  (** tuple sub-pattern *)
+
+(* ------------------------------------------------------------------ *)
+(* Macros                                                              *)
+(* ------------------------------------------------------------------ *)
+
+and macro_def = {
+  m_name : id_or_splice;
+      (** a placeholder name ([syntax stmt $name ...]) makes sense only
+          inside templates: macro-generating macros fill it in *)
+  m_ret : Mtype.t;  (** declared AST type of invocation results *)
+  m_pattern : pattern;
+  m_body : stmt;  (** compound statement of meta-code *)
+  m_loc : Loc.t;
+}
+
+(** A parsed macro invocation: the pattern-directed parse binds each
+    binder name to an {!actual}. *)
+and invocation = {
+  inv_name : ident;
+  inv_actuals : (string * actual) list;
+  inv_ret : Mtype.t;  (** copied from the macro's declaration *)
+  inv_loc : Loc.t;
+}
+
+(** Actual parameter shapes mirror pattern shapes: repetitions produce
+    lists, tuple patterns produce tuples, optional elements produce
+    lists of length zero or one. *)
+and actual =
+  | Act_node of node
+  | Act_list of actual list
+  | Act_tuple of (string * actual) list
+
+(** A single AST value, classified by sort.  This is both the payload of
+    actual parameters and the AST part of meta-language runtime values. *)
+and node =
+  | N_id of ident
+  | N_exp of expr
+  | N_num of constant
+  | N_stmt of stmt
+  | N_decl of decl
+  | N_typespec of spec list
+  | N_declarator of declarator
+  | N_init_declarator of init_declarator
+  | N_param of param
+  | N_enumerator of enumerator
+
+(* ------------------------------------------------------------------ *)
+(* Templates                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Backquote templates.  The first token after the backquote selects the
+    syntactic type: [`( e )] expression, [`{ s }] statement, [`[ d ]]
+    top-level declaration, and the general form [`{| pspec :: syntax |}]
+    parses [syntax] according to [pspec]. *)
+and template =
+  | T_exp of expr
+  | T_stmt of stmt
+  | T_decl of decl
+  | T_general of pspec * actual
+      (** general form; the actual's nodes may contain splices *)
+
+type program = decl list
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let mk_expr ?(loc = Loc.dummy) e = { e; eloc = loc }
+let mk_stmt ?(loc = Loc.dummy) s = { s; sloc = loc }
+let mk_decl ?(loc = Loc.dummy) d = { d; dloc = loc }
+
+let e_ident ?loc name = mk_expr ?loc (E_ident (ident ?loc name))
+let e_int ?loc n = mk_expr ?loc (E_const (Cint (n, string_of_int n)))
+let e_string ?loc s = mk_expr ?loc (E_const (Cstring s))
+let e_call ?loc f args = mk_expr ?loc (E_call (f, args))
+
+let node_sort = function
+  | N_id _ -> Sort.Id
+  | N_exp _ -> Sort.Exp
+  | N_num _ -> Sort.Num
+  | N_stmt _ -> Sort.Stmt
+  | N_decl _ -> Sort.Decl
+  | N_typespec _ -> Sort.Typespec
+  | N_declarator _ -> Sort.Declarator
+  | N_init_declarator _ -> Sort.Init_declarator
+  | N_param _ -> Sort.Param
+  | N_enumerator _ -> Sort.Enumerator
+
+let node_loc = function
+  | N_id i -> i.id_loc
+  | N_exp e -> e.eloc
+  | N_num _ -> Loc.dummy
+  | N_stmt s -> s.sloc
+  | N_decl d -> d.dloc
+  | N_typespec _ | N_declarator _ | N_init_declarator _ | N_param _
+  | N_enumerator _ ->
+      Loc.dummy
+
+(** Type of the value bound by a pattern specifier: repetitions and
+    optionals give lists, tuples give tuples. *)
+let rec pspec_type = function
+  | Ps_sort s -> Mtype.Ast s
+  | Ps_plus (_, p) | Ps_star (_, p) | Ps_opt (_, p) ->
+      Mtype.List (pspec_type p)
+  | Ps_tuple pat ->
+      let fields =
+        List.filter_map
+          (function
+            | Pe_token _ -> None
+            | Pe_binder b ->
+                Some
+                  { Mtype.fld_name = b.b_name.id_name;
+                    fld_type = pspec_type b.b_spec })
+          pat
+      in
+      Mtype.Tuple fields

@@ -1,0 +1,15 @@
+(** Hand-written lexer for the extended language (C plus the paper's
+    meta-tokens, which are recognized by character adjacency). *)
+
+val tokenize :
+  ?source:string ->
+  ?reject_reserved:bool ->
+  string ->
+  Token.located array
+(** Lex a whole source into located tokens terminated by one [EOF].
+
+    @param source name used in locations (default ["<string>"])
+    @param reject_reserved reject identifiers that collide with
+    generated (gensym) names; enable when lexing user programs so that
+    hygiene by generated names is sound.
+    @raise Ms2_support.Diag.Error on lexical errors. *)

@@ -1,0 +1,449 @@
+(** Pretty-printer: AST back to concrete C.
+
+    Two modes:
+    - default mode prints meta constructs too (placeholders as [$(e)],
+      templates with backquotes, ...), which is used for diagnostics and
+      for displaying macro definitions;
+    - [strict] mode raises {!Meta_residue} on any meta construct, which
+      the expansion engine uses to guarantee its output is pure C.
+
+    Expression printing is precedence-aware and re-parses to the same
+    AST (a property test in [test/test_roundtrip.ml] checks this). *)
+
+open Ast
+
+exception Meta_residue of string
+
+type mode = { strict : bool }
+
+let residue mode what =
+  if mode.strict then raise (Meta_residue what)
+
+(* ------------------------------------------------------------------ *)
+(* Precedence                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let binop_prec = function
+  | Mul | Div | Mod -> 13
+  | Add | Sub -> 12
+  | Shl | Shr -> 11
+  | Lt | Gt | Le | Ge -> 10
+  | Eq | Ne -> 9
+  | Band -> 8
+  | Bxor -> 7
+  | Bor -> 6
+  | Logand -> 5
+  | Logor -> 4
+
+let expr_prec = function
+  | E_comma _ -> 1
+  | E_assign _ -> 2
+  | E_cond _ -> 3
+  | E_binary (op, _, _) -> binop_prec op
+  | E_cast _ -> 14
+  | E_unary _ | E_sizeof_expr _ | E_sizeof_type _ -> 15
+  | E_call _ | E_index _ | E_member _ | E_arrow _ | E_postincr _
+  | E_postdecr _ ->
+      16
+  | E_ident _ | E_const _ | E_backquote _ | E_lambda _ | E_splice _
+  | E_macro _ ->
+      17
+
+let unop_str = function
+  | Neg -> "-"
+  | Plus -> "+"
+  | Lognot -> "!"
+  | Bitnot -> "~"
+  | Deref -> "*"
+  | Addr -> "&"
+  | Preincr -> "++"
+  | Predecr -> "--"
+
+let binop_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Shl -> "<<" | Shr -> ">>"
+  | Lt -> "<" | Gt -> ">" | Le -> "<=" | Ge -> ">="
+  | Eq -> "==" | Ne -> "!="
+  | Band -> "&" | Bxor -> "^" | Bor -> "|"
+  | Logand -> "&&" | Logor -> "||"
+
+let assignop_str = function
+  | A_eq -> "=" | A_add -> "+=" | A_sub -> "-=" | A_mul -> "*="
+  | A_div -> "/=" | A_mod -> "%=" | A_shl -> "<<=" | A_shr -> ">>="
+  | A_band -> "&=" | A_bxor -> "^=" | A_bor -> "|="
+
+let constant_str = function
+  | Cint (_, text) | Cfloat (_, text) -> text
+  | Cchar c -> Printf.sprintf "'%s'" (Char.escaped c)
+  | Cstring s -> Printf.sprintf "%S" s
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp_expr mode min_prec ppf expr =
+  let prec = expr_prec expr.e in
+  let atom fmt = Fmt.pf ppf fmt in
+  let body ppf () =
+    match expr.e with
+    | E_ident id -> Fmt.string ppf id.id_name
+    | E_const c -> Fmt.string ppf (constant_str c)
+    | E_call (f, args) ->
+        Fmt.pf ppf "%a(%a)" (pp_expr mode 16) f
+          (Fmt.list ~sep:(Fmt.any ", ") (pp_expr mode 2))
+          args
+    | E_index (a, i) ->
+        Fmt.pf ppf "%a[%a]" (pp_expr mode 16) a (pp_expr mode 0) i
+    | E_member (e, f) ->
+        Fmt.pf ppf "%a.%a" (pp_expr mode 16) e (pp_id_or_splice mode) f
+    | E_arrow (e, f) ->
+        Fmt.pf ppf "%a->%a" (pp_expr mode 16) e (pp_id_or_splice mode) f
+    | E_postincr e -> Fmt.pf ppf "%a++" (pp_expr mode 16) e
+    | E_postdecr e -> Fmt.pf ppf "%a--" (pp_expr mode 16) e
+    | E_unary (op, e) ->
+        (* avoid gluing "- -x" into "--x", "+ +x" into "++x", and
+           "& &x" into "&&x": a space keeps the lexer from max-munching
+           the two operators into one token *)
+        let sep =
+          match (op, e.e) with
+          | Neg, E_unary ((Neg | Predecr), _) -> " "
+          | Plus, E_unary ((Plus | Preincr), _) -> " "
+          | Addr, E_unary (Addr, _) -> " "
+          | _, _ -> ""
+        in
+        Fmt.pf ppf "%s%s%a" (unop_str op) sep (pp_expr mode 15) e
+    | E_cast (ct, e) ->
+        Fmt.pf ppf "(%a)%a" (pp_ctype mode) ct (pp_expr mode 14) e
+    | E_sizeof_expr e -> Fmt.pf ppf "sizeof(%a)" (pp_expr mode 0) e
+    | E_sizeof_type ct -> Fmt.pf ppf "sizeof(%a)" (pp_ctype mode) ct
+    | E_binary (op, a, b) ->
+        let p = binop_prec op in
+        (* left-associative: right operand needs higher precedence *)
+        Fmt.pf ppf "%a %s %a" (pp_expr mode p) a (binop_str op)
+          (pp_expr mode (p + 1)) b
+    | E_cond (c, t, e) ->
+        Fmt.pf ppf "%a ? %a : %a" (pp_expr mode 4) c (pp_expr mode 2) t
+          (pp_expr mode 3) e
+    | E_assign (op, l, r) ->
+        (* C restricts assignment targets to unary-expressions *)
+        Fmt.pf ppf "%a %s %a" (pp_expr mode 15) l (assignop_str op)
+          (pp_expr mode 2) r
+    | E_comma (a, b) ->
+        Fmt.pf ppf "%a, %a" (pp_expr mode 1) a (pp_expr mode 2) b
+    | E_backquote t ->
+        residue mode "backquote template";
+        pp_template mode ppf t
+    | E_lambda (params, body) ->
+        residue mode "anonymous meta function";
+        Fmt.pf ppf "(%a; %a)"
+          (Fmt.list ~sep:(Fmt.any ", ") (pp_param mode))
+          params (pp_expr mode 2) body
+    | E_splice sp -> pp_splice mode ppf sp
+    | E_macro inv ->
+        residue mode "macro invocation";
+        pp_invocation mode ppf inv
+  in
+  if prec < min_prec then atom "(%a)" body () else body ppf ()
+
+and pp_id_or_splice mode ppf = function
+  | Ii_id id -> Fmt.string ppf id.id_name
+  | Ii_splice sp -> pp_splice mode ppf sp
+
+and pp_splice mode ppf sp =
+  residue mode "placeholder";
+  match sp.sp_expr.e with
+  | E_ident id -> Fmt.pf ppf "$%s" id.id_name
+  | _ -> Fmt.pf ppf "$(%a)" (pp_expr mode 0) sp.sp_expr
+
+and pp_invocation mode ppf inv =
+  let rec actual ppf = function
+    | Act_node n -> pp_node mode ppf n
+    | Act_list l ->
+        Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any ", ") actual) l
+    | Act_tuple fields ->
+        let f ppf (name, a) = Fmt.pf ppf "%s=%a" name actual a in
+        Fmt.pf ppf "(%a)" (Fmt.list ~sep:(Fmt.any ", ") f) fields
+  in
+  let binding ppf (name, a) = Fmt.pf ppf "%s: %a" name actual a in
+  Fmt.pf ppf "%s<<%a>>" inv.inv_name.id_name
+    (Fmt.list ~sep:(Fmt.any ", ") binding)
+    inv.inv_actuals
+
+and pp_node mode ppf = function
+  | N_id id -> Fmt.string ppf id.id_name
+  | N_exp e -> pp_expr mode 0 ppf e
+  | N_num c -> Fmt.string ppf (constant_str c)
+  | N_stmt s -> pp_stmt mode ppf s
+  | N_decl d -> pp_decl mode ppf d
+  | N_typespec specs -> pp_specs mode ppf specs
+  | N_declarator d -> pp_declarator mode ppf d
+  | N_init_declarator d -> pp_init_declarator mode ppf d
+  | N_param p -> pp_param mode ppf p
+  | N_enumerator e -> pp_enumerator mode ppf e
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+and pp_spec mode ppf = function
+  | S_void -> Fmt.string ppf "void"
+  | S_char -> Fmt.string ppf "char"
+  | S_int -> Fmt.string ppf "int"
+  | S_float -> Fmt.string ppf "float"
+  | S_double -> Fmt.string ppf "double"
+  | S_short -> Fmt.string ppf "short"
+  | S_long -> Fmt.string ppf "long"
+  | S_signed -> Fmt.string ppf "signed"
+  | S_unsigned -> Fmt.string ppf "unsigned"
+  | S_named id -> Fmt.string ppf id.id_name
+  | S_enum es -> pp_enum_spec mode ppf es
+  | S_struct (tag, fields) -> pp_su mode "struct" ppf (tag, fields)
+  | S_union (tag, fields) -> pp_su mode "union" ppf (tag, fields)
+  | S_typedef -> Fmt.string ppf "typedef"
+  | S_extern -> Fmt.string ppf "extern"
+  | S_static -> Fmt.string ppf "static"
+  | S_auto -> Fmt.string ppf "auto"
+  | S_register -> Fmt.string ppf "register"
+  | S_const -> Fmt.string ppf "const"
+  | S_volatile -> Fmt.string ppf "volatile"
+  | S_ast sort ->
+      residue mode "AST type specifier";
+      Fmt.pf ppf "@@%s" (Ms2_mtype.Sort.keyword sort)
+  | S_splice sp -> pp_splice mode ppf sp
+
+and pp_specs mode ppf specs =
+  Fmt.list ~sep:(Fmt.any " ") (pp_spec mode) ppf specs
+
+and pp_enum_spec mode ppf es =
+  Fmt.string ppf "enum";
+  Option.iter
+    (function
+      | Ii_id t -> Fmt.pf ppf " %s" t.id_name
+      | Ii_splice sp -> Fmt.pf ppf " %a" (pp_splice mode) sp)
+    es.enum_tag;
+  match es.enum_items with
+  | None -> ()
+  | Some items ->
+      Fmt.pf ppf " {%a}"
+        (Fmt.list ~sep:(Fmt.any ", ") (pp_enumerator mode))
+        items
+
+and pp_enumerator mode ppf = function
+  | Enum_item (id, None) -> pp_id_or_splice mode ppf id
+  | Enum_item (id, Some e) ->
+      Fmt.pf ppf "%a = %a" (pp_id_or_splice mode) id (pp_expr mode 2) e
+  | Enum_splice sp -> pp_splice mode ppf sp
+
+and pp_su mode kw ppf (tag, fields) =
+  Fmt.string ppf kw;
+  Option.iter (fun t -> Fmt.pf ppf " %a" (pp_id_or_splice mode) t) tag;
+  match fields with
+  | None -> ()
+  | Some fields ->
+      let field ppf f =
+        Fmt.pf ppf "%a %a;" (pp_specs mode) f.f_specs
+          (Fmt.list ~sep:(Fmt.any ", ") (pp_declarator mode))
+          f.f_declarators
+      in
+      Fmt.pf ppf " { %a }" (Fmt.list ~sep:Fmt.sp field) fields
+
+(* Declarator printing uses the standard inside-out algorithm: pointers
+   bind less tightly than array/function suffixes, so a pointer applied
+   to an array or function declarator needs parentheses. *)
+and pp_declarator mode ppf d = pp_declarator_prec mode 0 ppf d
+
+and pp_declarator_prec mode min_prec ppf = function
+  | D_ident id -> Fmt.string ppf id.id_name
+  | D_abstract -> ()
+  | D_splice sp -> pp_splice mode ppf sp
+  | D_pointer d ->
+      let body ppf () = Fmt.pf ppf "*%a" (pp_declarator_prec mode 0) d in
+      if min_prec > 0 then Fmt.pf ppf "(%a)" body () else body ppf ()
+  | D_array (d, size) ->
+      Fmt.pf ppf "%a[%a]"
+        (pp_declarator_prec mode 1)
+        d
+        (Fmt.option (pp_expr mode 0))
+        size
+  | D_func (d, params) ->
+      Fmt.pf ppf "%a(%a)"
+        (pp_declarator_prec mode 1)
+        d
+        (Fmt.list ~sep:(Fmt.any ", ") (pp_param mode))
+        params
+
+and pp_param mode ppf = function
+  | P_decl (specs, D_abstract) -> pp_specs mode ppf specs
+  | P_decl (specs, d) ->
+      Fmt.pf ppf "%a %a" (pp_specs mode) specs (pp_declarator mode) d
+  | P_name id -> Fmt.string ppf id.id_name
+  | P_ellipsis -> Fmt.string ppf "..."
+  | P_splice sp -> pp_splice mode ppf sp
+
+and pp_ctype mode ppf ct =
+  match ct.ct_decl with
+  | D_abstract -> pp_specs mode ppf ct.ct_specs
+  | d -> Fmt.pf ppf "%a %a" (pp_specs mode) ct.ct_specs (pp_declarator mode) d
+
+and pp_init_declarator mode ppf = function
+  | Init_decl (d, None) -> pp_declarator mode ppf d
+  | Init_decl (d, Some i) ->
+      Fmt.pf ppf "%a = %a" (pp_declarator mode) d (pp_init mode) i
+  | Init_splice sp -> pp_splice mode ppf sp
+
+and pp_init mode ppf = function
+  | I_expr e -> pp_expr mode 2 ppf e
+  | I_list items ->
+      Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any ", ") (pp_init mode)) items
+
+and pp_decl mode ppf decl =
+  match decl.d with
+  | Decl_plain (specs, []) -> Fmt.pf ppf "@[%a;@]" (pp_specs mode) specs
+  | Decl_plain (specs, decls) ->
+      Fmt.pf ppf "@[%a %a;@]" (pp_specs mode) specs
+        (Fmt.list ~sep:(Fmt.any ", ") (pp_init_declarator mode))
+        decls
+  | Decl_fun (specs, d, kr_decls, body) ->
+      let specs_part ppf () =
+        if specs = [] then pp_declarator mode ppf d
+        else Fmt.pf ppf "%a %a" (pp_specs mode) specs (pp_declarator mode) d
+      in
+      if kr_decls = [] then
+        Fmt.pf ppf "@[<v>%a@,%a@]" specs_part () (pp_stmt mode) body
+      else
+        Fmt.pf ppf "@[<v>%a@,%a@,%a@]" specs_part ()
+          (Fmt.list ~sep:Fmt.cut (pp_decl mode))
+          kr_decls (pp_stmt mode) body
+  | Decl_metadcl d ->
+      residue mode "metadcl";
+      Fmt.pf ppf "metadcl %a" (pp_decl mode) d
+  | Decl_macro_def md ->
+      residue mode "macro definition";
+      pp_macro_def mode ppf md
+  | Decl_splice sp -> pp_splice mode ppf sp
+  | Decl_macro inv ->
+      residue mode "macro invocation";
+      pp_invocation mode ppf inv
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+and pp_stmt mode ppf stmt =
+  match stmt.s with
+  | St_expr e -> Fmt.pf ppf "@[%a;@]" (pp_expr mode 0) e
+  | St_compound items ->
+      let item ppf = function
+        | Bi_decl d -> pp_decl mode ppf d
+        | Bi_stmt s -> pp_stmt mode ppf s
+      in
+      Fmt.pf ppf "@[<v>{@;<0 2>@[<v>%a@]@,}@]"
+        (Fmt.list ~sep:Fmt.cut item)
+        items
+  | St_if (c, t, None) ->
+      Fmt.pf ppf "@[<v 2>if (%a)@,%a@]" (pp_expr mode 0) c (pp_stmt mode) t
+  | St_if (c, t, Some e) ->
+      Fmt.pf ppf "@[<v>@[<v 2>if (%a)@,%a@]@,@[<v 2>else@,%a@]@]"
+        (pp_expr mode 0) c (pp_stmt mode) t (pp_stmt mode) e
+  | St_while (c, body) ->
+      Fmt.pf ppf "@[<v 2>while (%a)@,%a@]" (pp_expr mode 0) c (pp_stmt mode)
+        body
+  | St_do (body, c) ->
+      Fmt.pf ppf "@[<v 2>do@,%a@]@,while (%a);" (pp_stmt mode) body
+        (pp_expr mode 0) c
+  | St_for (init, cond, step, body) ->
+      Fmt.pf ppf "@[<v 2>for (%a; %a; %a)@,%a@]"
+        (Fmt.option (pp_expr mode 0))
+        init
+        (Fmt.option (pp_expr mode 0))
+        cond
+        (Fmt.option (pp_expr mode 0))
+        step (pp_stmt mode) body
+  | St_switch (e, body) ->
+      Fmt.pf ppf "@[<v 2>switch (%a)@,%a@]" (pp_expr mode 0) e (pp_stmt mode)
+        body
+  | St_case (e, s) ->
+      Fmt.pf ppf "@[<v 2>case %a:@,%a@]" (pp_expr mode 0) e (pp_stmt mode) s
+  | St_default s -> Fmt.pf ppf "@[<v 2>default:@,%a@]" (pp_stmt mode) s
+  | St_return None -> Fmt.string ppf "return;"
+  | St_return (Some e) -> Fmt.pf ppf "@[return %a;@]" (pp_expr mode 0) e
+  | St_break -> Fmt.string ppf "break;"
+  | St_continue -> Fmt.string ppf "continue;"
+  | St_goto id -> Fmt.pf ppf "goto %s;" id.id_name
+  | St_label (id, s) -> Fmt.pf ppf "@[<v>%s:@,%a@]" id.id_name (pp_stmt mode) s
+  | St_null -> Fmt.string ppf ";"
+  | St_splice sp -> pp_splice mode ppf sp
+  | St_macro inv ->
+      residue mode "macro invocation";
+      pp_invocation mode ppf inv
+
+(* ------------------------------------------------------------------ *)
+(* Meta constructs                                                     *)
+(* ------------------------------------------------------------------ *)
+
+and pp_template mode ppf = function
+  | T_exp e -> Fmt.pf ppf "`(%a)" (pp_expr mode 0) e
+  | T_stmt s -> Fmt.pf ppf "`{%a}" (pp_stmt { strict = false }) s
+  | T_decl d -> Fmt.pf ppf "`[%a]" (pp_decl { strict = false }) d
+  | T_general (ps, a) ->
+      Fmt.pf ppf "`{|%a :: %a|}" pp_pspec ps
+        (fun ppf a ->
+          let rec actual ppf = function
+            | Act_node n -> pp_node { strict = false } ppf n
+            | Act_list l -> Fmt.list ~sep:(Fmt.any " ") actual ppf l
+            | Act_tuple fs ->
+                Fmt.list ~sep:(Fmt.any " ")
+                  (fun ppf (_, a) -> actual ppf a)
+                  ppf fs
+          in
+          actual ppf a)
+        a
+
+and pp_pspec ppf = function
+  | Ps_sort s -> Fmt.string ppf (Ms2_mtype.Sort.keyword s)
+  | Ps_plus (None, p) -> Fmt.pf ppf "+%a" pp_pspec p
+  | Ps_plus (Some tok, p) -> Fmt.pf ppf "+/%s %a" (Token.to_string tok) pp_pspec p
+  | Ps_star (None, p) -> Fmt.pf ppf "*%a" pp_pspec p
+  | Ps_star (Some tok, p) -> Fmt.pf ppf "*/%s %a" (Token.to_string tok) pp_pspec p
+  | Ps_opt (None, p) -> Fmt.pf ppf "?%a" pp_pspec p
+  | Ps_opt (Some tok, p) -> Fmt.pf ppf "?%s %a" (Token.to_string tok) pp_pspec p
+  | Ps_tuple pat -> Fmt.pf ppf ".(%a)" pp_pattern pat
+
+and pp_pattern ppf pat =
+  let elem ppf = function
+    | Pe_token tok -> Fmt.string ppf (Token.to_string tok)
+    | Pe_binder b ->
+        Fmt.pf ppf "$$%a :: %s" pp_pspec b.b_spec b.b_name.id_name
+  in
+  Fmt.list ~sep:(Fmt.any " ") elem ppf pat
+
+and pp_macro_def _mode ppf md =
+  Fmt.pf ppf "@[<v>syntax %s %a {| %a |}@,%a@]"
+    (Ms2_mtype.Mtype.to_string md.m_ret)
+    (pp_id_or_splice { strict = false })
+    md.m_name pp_pattern md.m_pattern
+    (pp_stmt { strict = false })
+    md.m_body
+
+(* ------------------------------------------------------------------ *)
+(* Programs / entry points                                             *)
+(* ------------------------------------------------------------------ *)
+
+let pp_program mode ppf (prog : program) =
+  Fmt.pf ppf "@[<v>%a@]@."
+    (Fmt.list ~sep:(Fmt.any "@,@,") (pp_decl mode))
+    prog
+
+let relaxed = { strict = false }
+let strict = { strict = true }
+
+let expr_to_string ?(mode = relaxed) e = Fmt.str "%a" (pp_expr mode 0) e
+let stmt_to_string ?(mode = relaxed) s = Fmt.str "%a" (pp_stmt mode) s
+let decl_to_string ?(mode = relaxed) d = Fmt.str "%a" (pp_decl mode) d
+let node_to_string ?(mode = relaxed) n = Fmt.str "%a" (pp_node mode) n
+
+(** Render a whole program as C source.  With [~strict:true] (the
+    default for engine output) any surviving meta construct raises
+    {!Meta_residue}. *)
+let program_to_string ?(mode = relaxed) prog =
+  Fmt.str "%a" (pp_program mode) prog

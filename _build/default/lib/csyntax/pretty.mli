@@ -1,0 +1,64 @@
+(** Pretty-printer: AST back to concrete C.
+
+    [strict] mode raises {!Meta_residue} on any meta construct — the
+    expansion engine's guarantee that its output is pure C.  The relaxed
+    mode prints meta constructs too (placeholders, templates, macro
+    definitions), for diagnostics.
+
+    Expression printing is precedence-aware: the printed form re-parses
+    to a structurally identical tree. *)
+
+open Ast
+
+exception Meta_residue of string
+
+type mode = { strict : bool }
+
+val relaxed : mode
+val strict : mode
+
+(** {1 Token spellings} *)
+
+val binop_prec : binop -> int
+val expr_prec : expr_desc -> int
+val unop_str : unop -> string
+val binop_str : binop -> string
+val assignop_str : assignop -> string
+val constant_str : constant -> string
+
+(** {1 Printers}
+
+    [pp_expr mode min_prec] parenthesizes when the expression's
+    precedence is below [min_prec]. *)
+
+val pp_expr : mode -> int -> Format.formatter -> expr -> unit
+val pp_splice : mode -> Format.formatter -> splice -> unit
+val pp_invocation : mode -> Format.formatter -> invocation -> unit
+val pp_node : mode -> Format.formatter -> node -> unit
+val pp_spec : mode -> Format.formatter -> spec -> unit
+val pp_specs : mode -> Format.formatter -> spec list -> unit
+val pp_enum_spec : mode -> Format.formatter -> enum_spec -> unit
+val pp_enumerator : mode -> Format.formatter -> enumerator -> unit
+val pp_declarator : mode -> Format.formatter -> declarator -> unit
+val pp_param : mode -> Format.formatter -> param -> unit
+val pp_ctype : mode -> Format.formatter -> ctype -> unit
+val pp_init_declarator : mode -> Format.formatter -> init_declarator -> unit
+val pp_init : mode -> Format.formatter -> init -> unit
+val pp_decl : mode -> Format.formatter -> decl -> unit
+val pp_stmt : mode -> Format.formatter -> stmt -> unit
+val pp_template : mode -> Format.formatter -> template -> unit
+val pp_pspec : Format.formatter -> pspec -> unit
+val pp_pattern : Format.formatter -> pattern -> unit
+val pp_macro_def : mode -> Format.formatter -> macro_def -> unit
+val pp_program : mode -> Format.formatter -> program -> unit
+
+(** {1 String entry points} *)
+
+val expr_to_string : ?mode:mode -> expr -> string
+val stmt_to_string : ?mode:mode -> stmt -> string
+val decl_to_string : ?mode:mode -> decl -> string
+val node_to_string : ?mode:mode -> node -> string
+
+val program_to_string : ?mode:mode -> program -> string
+(** Render a whole program; with {!strict}, meta residue raises
+    {!Meta_residue}. *)

@@ -1,0 +1,20 @@
+(** S-expression rendering of ASTs in the paper's notation
+    ([(node-name child1 ... childn)], with the Figure 3 abbreviations
+    [c-s], [r-s], [decl-list], [stmt-list], ...), used to regenerate
+    Figures 2 and 3 verbatim. *)
+
+open Ast
+
+type t = Atom of string | L of t list
+
+val to_string : t -> string
+val of_expr : expr -> t
+val of_declarator_sexp : declarator -> t
+val of_init_declarator : init_declarator -> t
+val of_decl : decl -> t
+val of_stmt : stmt -> t
+val of_node : node -> t
+val decl_to_string : decl -> string
+val stmt_to_string : stmt -> string
+val expr_to_string : expr -> string
+val node_to_string : node -> string

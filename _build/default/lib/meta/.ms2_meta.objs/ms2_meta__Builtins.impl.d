@@ -1,0 +1,1 @@
+lib/meta/builtins.ml: Ast Char Gensym List Loc Ms2_csem Ms2_mtype Ms2_support Ms2_syntax Ms2_typing Pretty String Value

@@ -1,0 +1,1 @@
+lib/meta/builtins.mli: Loc Ms2_support Ms2_syntax Value

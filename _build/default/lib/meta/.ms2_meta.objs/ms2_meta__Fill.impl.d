@@ -1,0 +1,1 @@
+lib/meta/fill.ml: List Ms2_support Ms2_syntax Option Value

@@ -1,0 +1,1 @@
+lib/meta/fill.mli: Ms2_support Ms2_syntax Value

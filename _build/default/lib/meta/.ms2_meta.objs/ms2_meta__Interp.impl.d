@@ -1,0 +1,1 @@
+lib/meta/interp.ml: Builtins Char Fill List Ms2_mtype Ms2_syntax Ms2_typing Option Value

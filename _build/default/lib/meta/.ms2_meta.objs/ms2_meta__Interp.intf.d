@@ -1,0 +1,1 @@
+lib/meta/interp.mli: Ms2_support Ms2_syntax Value

@@ -1,0 +1,1 @@
+lib/meta/value.ml: Ast Diag Fmt Fun Gensym Hashtbl List Loc Ms2_csem Ms2_mtype Ms2_support Ms2_syntax Option Pretty

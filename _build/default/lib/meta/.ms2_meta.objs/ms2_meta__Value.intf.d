@@ -1,0 +1,1 @@
+lib/meta/value.mli: Ast Format Gensym Hashtbl Loc Ms2_csem Ms2_mtype Ms2_support Ms2_syntax

@@ -1,0 +1,445 @@
+(** Runtime implementations of the macro language's primitive functions,
+    and the component-extraction table (the runtime mirror of
+    [Ms2_typing.Component]). *)
+
+open Ms2_syntax
+open Ms2_syntax.Ast
+open Ms2_support
+open Value
+module Sort = Ms2_mtype.Sort
+
+let error = Value.error
+
+(* ------------------------------------------------------------------ *)
+(* Identifier helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let as_id ~loc ~what v =
+  match v with
+  | Vnode (N_id id) -> id
+  | v -> error ~loc "%s: expected an @id, got a %s" what (type_name v)
+
+let id_node name = Vnode (N_id (Ast.ident name))
+
+(* ------------------------------------------------------------------ *)
+(* Component extraction (x->member on AST values)                      *)
+(* ------------------------------------------------------------------ *)
+
+let node_kind : node -> string = function
+  | N_id _ -> "id"
+  | N_num _ -> "num"
+  | N_exp e -> (
+      match e.e with
+      | E_ident _ -> "identifier"
+      | E_const _ -> "constant"
+      | E_call _ -> "call"
+      | E_index _ -> "index"
+      | E_member _ | E_arrow _ -> "member"
+      | E_unary _ | E_postincr _ | E_postdecr _ -> "unary"
+      | E_binary _ -> "binary"
+      | E_cond _ -> "conditional"
+      | E_assign _ -> "assignment"
+      | E_comma _ -> "comma"
+      | E_cast _ -> "cast"
+      | E_sizeof_expr _ | E_sizeof_type _ -> "sizeof"
+      | E_backquote _ | E_lambda _ | E_splice _ | E_macro _ -> "meta")
+  | N_stmt s -> (
+      match s.s with
+      | St_expr _ -> "expression-statement"
+      | St_compound _ -> "compound"
+      | St_if _ -> "if"
+      | St_while _ -> "while"
+      | St_do _ -> "do"
+      | St_for _ -> "for"
+      | St_switch _ -> "switch"
+      | St_case _ -> "case"
+      | St_default _ -> "default"
+      | St_return _ -> "return"
+      | St_break | St_continue -> "jump"
+      | St_goto _ -> "goto"
+      | St_label _ -> "label"
+      | St_null -> "null"
+      | St_splice _ | St_macro _ -> "meta")
+  | N_decl d -> (
+      match d.d with
+      | Decl_plain _ -> "declaration"
+      | Decl_fun _ -> "function-definition"
+      | Decl_metadcl _ | Decl_macro_def _ | Decl_splice _ | Decl_macro _ ->
+          "meta")
+  | N_typespec _ -> "typespec"
+  | N_declarator _ -> "declarator"
+  | N_init_declarator _ -> "init-declarator"
+  | N_param _ -> "param"
+  | N_enumerator _ -> "enumerator"
+
+let rec declarator_ident ~loc : declarator -> ident = function
+  | D_ident id -> id
+  | D_pointer d | D_array (d, _) | D_func (d, _) -> declarator_ident ~loc d
+  | D_abstract -> error ~loc "abstract declarator has no name"
+  | D_splice _ -> error ~loc "unfilled placeholder in declarator"
+
+(** [component ~loc node member] extracts a component, mirroring the
+    static table in [Ms2_typing.Component.type_of]. *)
+let component ~loc (n : node) (member : string) : Value.t =
+  let no () =
+    error ~loc "@%s values have no component %s"
+      (Sort.keyword (Ast.node_sort n))
+      member
+  in
+  if member = "kind" then Vstring (node_kind n)
+  else
+    match n with
+    | N_decl { d = Decl_plain (specs, idecls); _ } -> (
+        match member with
+        | "type_spec" -> Vnode (N_typespec specs)
+        | "init_declarators" ->
+            Vlist (List.map (fun d -> Vnode (N_init_declarator d)) idecls)
+        | "name" -> (
+            match idecls with
+            | Init_decl (d, _) :: _ ->
+                Vnode (N_id (declarator_ident ~loc d))
+            | _ -> error ~loc "declaration has no declared name")
+        | _ -> no ())
+    | N_decl { d = Decl_fun (_, d, _, _); _ } -> (
+        match member with
+        | "name" -> Vnode (N_id (declarator_ident ~loc d))
+        | _ -> no ())
+    | N_decl _ -> no ()
+    | N_stmt { s = St_compound items; _ } -> (
+        match member with
+        | "declarations" ->
+            Vlist
+              (List.filter_map
+                 (function
+                   | Bi_decl d -> Some (Vnode (N_decl d)) | Bi_stmt _ -> None)
+                 items)
+        | "statements" ->
+            Vlist
+              (List.filter_map
+                 (function
+                   | Bi_stmt s -> Some (Vnode (N_stmt s)) | Bi_decl _ -> None)
+                 items)
+        | _ -> no ())
+    | N_stmt { s = St_expr e; _ } | N_stmt { s = St_return (Some e); _ } -> (
+        match member with "expression" -> Vnode (N_exp e) | _ -> no ())
+    | N_stmt _ -> (
+        match member with
+        | "declarations" | "statements" ->
+            error ~loc "statement is not a compound statement"
+        | _ -> no ())
+    | N_init_declarator (Init_decl (d, _)) -> (
+        match member with
+        | "declarator" -> Vnode (N_declarator d)
+        | _ -> no ())
+    | N_init_declarator (Init_splice _) ->
+        error ~loc "unfilled placeholder in init-declarator"
+    | N_declarator d -> (
+        match member with
+        | "name" -> Vnode (N_id (declarator_ident ~loc d))
+        | _ -> no ())
+    | N_exp { e = E_call (f, args); _ } -> (
+        match member with
+        | "callee" -> Vnode (N_exp f)
+        | "args" -> Vlist (List.map (fun a -> Vnode (N_exp a)) args)
+        | _ -> no ())
+    | N_exp _ -> no ()
+    | N_typespec specs -> (
+        match member with
+        | "enumerators" -> (
+            match
+              List.find_map
+                (function S_enum es -> es.enum_items | _ -> None)
+                specs
+            with
+            | Some items ->
+                Vlist (List.map (fun e -> Vnode (N_enumerator e)) items)
+            | None -> error ~loc "type specifier is not an enum with items")
+        | "tag" -> (
+            match
+              List.find_map
+                (function
+                  | S_enum es -> es.enum_tag
+                  | S_struct (Some tag, _) | S_union (Some tag, _) ->
+                      Some tag
+                  | _ -> None)
+                specs
+            with
+            | Some (Ii_id id) -> Vnode (N_id id)
+            | Some (Ii_splice _) -> error ~loc "unfilled placeholder in tag"
+            | None -> error ~loc "type specifier has no tag")
+        | "field_names" -> (
+            match
+              List.find_map
+                (function
+                  | S_struct (_, Some fields) | S_union (_, Some fields) ->
+                      Some fields
+                  | _ -> None)
+                specs
+            with
+            | Some fields ->
+                Vlist
+                  (List.concat_map
+                     (fun f ->
+                       List.map
+                         (fun d ->
+                           Vnode (N_id (declarator_ident ~loc d)))
+                         f.f_declarators)
+                     fields)
+            | None ->
+                error ~loc
+                  "type specifier is not a struct/union with a member list")
+        | _ -> no ())
+    | N_enumerator (Enum_item (Ii_id id, _)) -> (
+        match member with "name" -> Vnode (N_id id) | _ -> no ())
+    | N_enumerator (Enum_item (Ii_splice _, _)) ->
+        error ~loc "unfilled placeholder in enumerator name"
+    | N_enumerator (Enum_splice _) ->
+        error ~loc "unfilled placeholder in enumerator"
+    | N_num c -> (
+        match member with
+        | "value" -> (
+            match c with
+            | Cint (v, _) -> Vint v
+            | Cchar ch -> Vint (Char.code ch)
+            | Cfloat _ ->
+                error ~loc "no floating-point values at the meta level"
+            | Cstring _ -> error ~loc "string literal has no numeric value")
+        | _ -> no ())
+    | N_param p -> (
+        match member with
+        | "name" -> (
+            match p with
+            | P_name id -> Vnode (N_id id)
+            | P_decl (_, d) -> Vnode (N_id (declarator_ident ~loc d))
+            | P_ellipsis -> error ~loc "... has no name"
+            | P_splice _ -> error ~loc "unfilled placeholder in parameter")
+        | _ -> no ())
+    | N_id _ -> no ()
+
+(* ------------------------------------------------------------------ *)
+(* Primitive functions                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Is an expression "simple" (duplicable without changing semantics)?
+    Used by the paper's [throw] macro to avoid introducing a temporary
+    for identifiers and constants. *)
+let simple_expression (e : expr) : bool =
+  match e.e with E_ident _ | E_const _ -> true | _ -> false
+
+let part_to_string ~loc ~what = function
+  | Vstring s -> s
+  | Vnode (N_id id) -> id.id_name
+  | Vint n -> string_of_int n
+  | v -> error ~loc "%s: expected a string, @id or int, got a %s" what
+           (type_name v)
+
+(* ------------------------------------------------------------------ *)
+(* Semantic-macro primitives                                           *)
+(* ------------------------------------------------------------------ *)
+
+let semantic_env ~loc (env : env) : Ms2_csem.Senv.t =
+  match env.semantic with
+  | Some senv -> senv
+  | None ->
+      error ~loc
+        "semantic primitives need an expansion engine (no semantic \
+         environment is installed)"
+
+let value_as_exp ~loc ~what (v : Value.t) : expr =
+  match v with
+  | Vnode (N_exp e) -> e
+  | Vnode (N_id id) -> Ast.mk_expr ~loc:id.id_loc (E_ident id)
+  | Vnode (N_num c) -> Ast.mk_expr ~loc (E_const c)
+  | v -> error ~loc "%s: expected an @exp, got a %s" what (type_name v)
+
+(** The object-level type of an expression at the current expansion
+    point. *)
+let ctype_of ~loc env ~what v : Ms2_csem.Ctype.t =
+  let senv = semantic_env ~loc env in
+  Ms2_csem.Infer_c.type_of senv (value_as_exp ~loc ~what v)
+
+(** [call ~apply env loc name args] runs primitive [name].  [apply] is
+    the interpreter's function-application entry point, needed by the
+    higher-order primitives ([map], [filter]). *)
+let call ~(apply : loc:Loc.t -> Value.t -> Value.t list -> Value.t)
+    (env : env) (loc : Loc.t) (name : string) (args : Value.t list) : Value.t
+    =
+  let arity ns =
+    if not (List.mem (List.length args) ns) then
+      error ~loc "%s: wrong number of arguments (%d)" name (List.length args)
+  in
+  let arg i = List.nth args i in
+  match name with
+  | "gensym" ->
+      arity [ 0; 1 ];
+      let base =
+        match args with
+        | [] -> "t"
+        | [ Vstring s ] -> s
+        | [ Vnode (N_id id) ] -> id.id_name
+        | [ v ] ->
+            error ~loc "gensym: expected a string or @id, got a %s"
+              (type_name v)
+        | _ -> assert false
+      in
+      id_node (Gensym.fresh env.gensym base)
+  | "concat_ids" ->
+      arity [ 2 ];
+      let a = as_id ~loc ~what:"concat_ids" (arg 0)
+      and b = as_id ~loc ~what:"concat_ids" (arg 1) in
+      id_node (a.id_name ^ b.id_name)
+  | "symbolconc" ->
+      if args = [] then error ~loc "symbolconc: needs at least one argument";
+      id_node
+        (String.concat ""
+           (List.map (part_to_string ~loc ~what:"symbolconc") args))
+  | "make_id" ->
+      arity [ 1 ];
+      id_node (as_string ~loc ~what:"make_id" (arg 0))
+  | "id_string" ->
+      arity [ 1 ];
+      Vstring (as_id ~loc ~what:"id_string" (arg 0)).id_name
+  | "make_string" ->
+      (* a string *literal expression* from a meta string *)
+      arity [ 1 ];
+      Vnode
+        (N_exp (Ast.e_string (as_string ~loc ~what:"make_string" (arg 0))))
+  | "exp_string" ->
+      (* concrete rendering of an expression, e.g. for assertion
+         messages *)
+      arity [ 1 ];
+      Vstring
+        (Pretty.expr_to_string (value_as_exp ~loc ~what:"exp_string" (arg 0)))
+  | "make_num" ->
+      arity [ 1 ];
+      let n = as_int ~loc ~what:"make_num" (arg 0) in
+      Vnode (N_num (Cint (n, string_of_int n)))
+  | "num_value" -> (
+      arity [ 1 ];
+      match arg 0 with
+      | Vnode (N_num (Cint (v, _))) -> Vint v
+      | Vnode (N_num (Cchar c)) -> Vint (Char.code c)
+      | Vnode (N_num (Cfloat _)) ->
+          error ~loc "num_value: no floating-point values at the meta level"
+      | v -> error ~loc "num_value: expected an @num, got a %s" (type_name v))
+  | "int_string" ->
+      arity [ 1 ];
+      Vstring (string_of_int (as_int ~loc ~what:"int_string" (arg 0)))
+  | "pstring" ->
+      arity [ 1 ];
+      let id = as_id ~loc ~what:"pstring" (arg 0) in
+      Vnode (N_exp (Ast.e_string id.id_name))
+  | "simple_expression" -> (
+      arity [ 1 ];
+      match arg 0 with
+      | Vnode (N_exp e) -> Vint (if simple_expression e then 1 else 0)
+      | Vnode (N_id _) | Vnode (N_num _) -> Vint 1
+      | v ->
+          error ~loc "simple_expression: expected an @exp, got a %s"
+            (type_name v))
+  | "strcmp" ->
+      arity [ 2 ];
+      Vint
+        (compare
+           (as_string ~loc ~what:"strcmp" (arg 0))
+           (as_string ~loc ~what:"strcmp" (arg 1)))
+  | "strcat" ->
+      arity [ 2 ];
+      Vstring
+        (as_string ~loc ~what:"strcat" (arg 0)
+        ^ as_string ~loc ~what:"strcat" (arg 1))
+  | "length" ->
+      arity [ 1 ];
+      Vint (List.length (as_list ~loc ~what:"length" (arg 0)))
+  | "list" -> Vlist args
+  | "append" ->
+      arity [ 2 ];
+      Vlist
+        (as_list ~loc ~what:"append" (arg 0)
+        @ as_list ~loc ~what:"append" (arg 1))
+  | "cons" ->
+      arity [ 2 ];
+      Vlist (arg 0 :: as_list ~loc ~what:"cons" (arg 1))
+  | "map" ->
+      arity [ 2 ];
+      let f = arg 0 and l = as_list ~loc ~what:"map" (arg 1) in
+      Vlist (List.map (fun x -> apply ~loc f [ x ]) l)
+  | "filter" ->
+      arity [ 2 ];
+      let f = arg 0 and l = as_list ~loc ~what:"filter" (arg 1) in
+      Vlist (List.filter (fun x -> truthy ~loc (apply ~loc f [ x ])) l)
+  | "reverse" ->
+      arity [ 1 ];
+      Vlist (List.rev (as_list ~loc ~what:"reverse" (arg 0)))
+  | "nth" -> (
+      arity [ 2 ];
+      let l = as_list ~loc ~what:"nth" (arg 0)
+      and i = as_int ~loc ~what:"nth" (arg 1) in
+      match List.nth_opt l i with
+      | Some v -> v
+      | None ->
+          error ~loc "nth: index %d out of bounds (length %d)" i
+            (List.length l))
+  (* semantic-macro primitives (paper §5) *)
+  | "exp_typespec" -> (
+      arity [ 1 ];
+      let ty = ctype_of ~loc env ~what:"exp_typespec" (arg 0) in
+      match Ms2_csem.To_ast.specs_of ty with
+      | Some specs -> Vnode (N_typespec specs)
+      | None ->
+          error ~loc
+            "exp_typespec: type %s cannot be written as a type specifier \
+             (use declare_like for pointer and array types)"
+            (Ms2_csem.Ctype.to_string ty))
+  | "declare_like" -> (
+      arity [ 2 ];
+      (* expression values decay: an array-typed expression stashes into
+         a pointer variable *)
+      let ty =
+        Ms2_csem.Ctype.decay (ctype_of ~loc env ~what:"declare_like" (arg 0))
+      in
+      let name = as_id ~loc ~what:"declare_like" (arg 1) in
+      match Ms2_csem.To_ast.declaration_of ty name with
+      | Some d -> Vnode (N_decl d)
+      | None ->
+          error ~loc "declare_like: cannot declare a variable of type %s"
+            (Ms2_csem.Ctype.to_string ty))
+  | "type_name_of" ->
+      arity [ 1 ];
+      Vstring
+        (Ms2_csem.Ctype.to_string
+           (ctype_of ~loc env ~what:"type_name_of" (arg 0)))
+  | "is_pointer" ->
+      arity [ 1 ];
+      let ty =
+        Ms2_csem.Ctype.decay (ctype_of ~loc env ~what:"is_pointer" (arg 0))
+      in
+      Vint (match ty with Ms2_csem.Ctype.Pointer _ -> 1 | _ -> 0)
+  | "is_integer" ->
+      arity [ 1 ];
+      let ty = ctype_of ~loc env ~what:"is_integer" (arg 0) in
+      Vint
+        (match ty with
+        | Ms2_csem.Ctype.Unknown -> 0
+        | ty -> if Ms2_csem.Ctype.is_integer ty then 1 else 0)
+  | "types_compatible" ->
+      arity [ 2 ];
+      let a = ctype_of ~loc env ~what:"types_compatible" (arg 0)
+      and b = ctype_of ~loc env ~what:"types_compatible" (arg 1) in
+      Vint (if Ms2_csem.Ctype.compatible ~dst:a ~src:b then 1 else 0)
+  | "error" ->
+      let parts =
+        List.map
+          (function
+            | Vstring s -> s
+            | v -> Value.to_string v)
+          args
+      in
+      error ~loc "macro error: %s" (String.concat " " parts)
+  | "print" ->
+      List.iter (fun v -> prerr_string (Value.to_string v)) args;
+      prerr_newline ();
+      Vvoid
+  | _ -> error ~loc "unknown primitive function %s" name
+
+let is_primitive = Ms2_typing.Infer.is_builtin

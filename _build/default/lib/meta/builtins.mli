@@ -1,0 +1,24 @@
+(** Runtime implementations of the macro language's primitive functions,
+    and the runtime mirror of the AST component table
+    ([Ms2_typing.Component]). *)
+
+open Ms2_syntax.Ast
+open Ms2_support
+
+val node_kind : node -> string
+val component : loc:Loc.t -> node -> string -> Value.t
+val simple_expression : expr -> bool
+(** Identifiers and constants are "simple" (duplicable); the paper's
+    [throw] uses this to skip the temporary. *)
+
+val call :
+  apply:(loc:Loc.t -> Value.t -> Value.t list -> Value.t) ->
+  Value.env ->
+  Loc.t ->
+  string ->
+  Value.t list ->
+  Value.t
+(** Run a primitive.  [apply] is the interpreter's application entry
+    point (for [map]/[filter]). *)
+
+val is_primitive : string -> bool

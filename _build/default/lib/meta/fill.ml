@@ -1,0 +1,443 @@
+(** Template instantiation: evaluating a backquote expression.
+
+    Filling walks the template's object-code AST, evaluates every
+    placeholder (splice) in the meta environment, and substitutes the
+    resulting AST values *at the tree level* — the encapsulation property
+    that makes [A * B] with [A = x + y] expand to [(x + y) * ...] rather
+    than token soup.
+
+    List-typed placeholder values are flattened into their surrounding
+    syntactic lists (statement lists, declaration lists, argument lists,
+    init-declarator lists, enumerator lists, parameter lists), and
+    separators are reconstructed by the pretty-printer — "because our
+    syntax macro system explicitly constructs ASTs, and not concrete
+    code, these extraneous concerns vanish" (paper, §2).
+
+    [fill_template] is parameterized by the interpreter's [eval] to break
+    the mutual dependence between filling and evaluation. *)
+
+open Ms2_syntax.Ast
+open Value
+
+type ctx = {
+  eval : env -> expr -> Value.t;
+  env : env;
+  renames : (string * string) list;
+      (** hygienic alpha-renaming of template-introduced block locals:
+          innermost binding first.  Populated only when
+          [env.hygienic]. *)
+}
+
+let error = Value.error
+
+let eval_splice ctx (sp : splice) : Value.t = ctx.eval ctx.env sp.sp_expr
+
+(* ------------------------------------------------------------------ *)
+(* Hygiene                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rename_ident ctx (id : ident) : ident =
+  match List.assoc_opt id.id_name ctx.renames with
+  | Some fresh -> { id with id_name = fresh }
+  | None -> id
+
+let rec declarator_name = function
+  | D_ident id -> Some id.id_name
+  | D_abstract | D_splice _ -> None
+  | D_pointer d | D_array (d, _) | D_func (d, _) -> declarator_name d
+
+(** Names declared by the template's own text at the top of a compound
+    (splice-introduced declarations come from the macro user and are
+    never renamed; splice-named declarators, e.g. [int $tmp = ...], are
+    the macro writer's *intentional* captures and are left alone too). *)
+let template_locals (items : block_item list) : string list =
+  List.concat_map
+    (function
+      | Bi_decl { d = Decl_plain (_, idecls); _ } ->
+          List.filter_map
+            (function
+              | Init_decl (d, _) -> declarator_name d
+              | Init_splice _ -> None)
+            idecls
+      | Bi_decl _ | Bi_stmt _ -> [])
+    items
+
+(* ------------------------------------------------------------------ *)
+(* Value -> syntax coercions                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec value_to_expr ~loc (v : Value.t) : expr =
+  match v with
+  | Vnode (N_exp e) -> e
+  | Vnode (N_id id) -> mk_expr ~loc (E_ident id)
+  | Vnode (N_num c) -> mk_expr ~loc (E_const c)
+  | Vlist [ v ] -> value_to_expr ~loc v
+  | v -> error ~loc "placeholder produced a %s where an expression was \
+                     expected" (type_name v)
+
+let value_to_ident ~loc (v : Value.t) : ident =
+  match v with
+  | Vnode (N_id id) -> id
+  | v -> error ~loc "placeholder produced a %s where an identifier was \
+                     expected" (type_name v)
+
+let rec value_to_stmts ~loc (v : Value.t) : stmt list =
+  match v with
+  | Vnode (N_stmt s) -> [ s ]
+  | Vlist items -> List.concat_map (value_to_stmts ~loc) items
+  | v -> error ~loc "placeholder produced a %s where statements were \
+                     expected" (type_name v)
+
+(** A statement splice in a position that holds exactly one statement
+    (e.g. a branch of [if]): several statements are wrapped in a block,
+    zero become the null statement. *)
+let value_to_stmt ~loc (v : Value.t) : stmt =
+  match value_to_stmts ~loc v with
+  | [ s ] -> s
+  | [] -> mk_stmt ~loc St_null
+  | many -> mk_stmt ~loc (St_compound (List.map (fun s -> Bi_stmt s) many))
+
+let rec value_to_decls ~loc (v : Value.t) : decl list =
+  match v with
+  | Vnode (N_decl d) -> [ d ]
+  | Vlist items -> List.concat_map (value_to_decls ~loc) items
+  | v -> error ~loc "placeholder produced a %s where declarations were \
+                     expected" (type_name v)
+
+let value_to_decl ~loc (v : Value.t) : decl =
+  match value_to_decls ~loc v with
+  | [ d ] -> d
+  | ds ->
+      error ~loc "placeholder produced %d declarations where exactly one \
+                  was expected" (List.length ds)
+
+let value_to_specs ~loc (v : Value.t) : spec list =
+  match v with
+  | Vnode (N_typespec specs) -> specs
+  | v -> error ~loc "placeholder produced a %s where a type specifier was \
+                     expected" (type_name v)
+
+let value_to_declarator ~loc (v : Value.t) : declarator =
+  match v with
+  | Vnode (N_declarator d) -> d
+  | Vnode (N_id id) -> D_ident id
+  | v -> error ~loc "placeholder produced a %s where a declarator was \
+                     expected" (type_name v)
+
+let rec value_to_init_declarators ~loc (v : Value.t) : init_declarator list =
+  match v with
+  | Vnode (N_init_declarator d) -> [ d ]
+  | Vnode (N_declarator d) -> [ Init_decl (d, None) ]
+  | Vnode (N_id id) -> [ Init_decl (D_ident id, None) ]
+  | Vlist items -> List.concat_map (value_to_init_declarators ~loc) items
+  | v -> error ~loc "placeholder produced a %s where init-declarators were \
+                     expected" (type_name v)
+
+let rec value_to_enumerators ~loc (v : Value.t) : enumerator list =
+  match v with
+  | Vnode (N_enumerator e) -> [ e ]
+  | Vnode (N_id id) -> [ Enum_item (Ii_id id, None) ]
+  | Vlist items -> List.concat_map (value_to_enumerators ~loc) items
+  | v -> error ~loc "placeholder produced a %s where enumeration constants \
+                     were expected" (type_name v)
+
+let rec value_to_params ~loc (v : Value.t) : param list =
+  match v with
+  | Vnode (N_param p) -> [ p ]
+  | Vnode (N_id id) -> [ P_name id ]
+  | Vlist items -> List.concat_map (value_to_params ~loc) items
+  | v -> error ~loc "placeholder produced a %s where parameters were \
+                     expected" (type_name v)
+
+let rec value_to_exprs ~loc (v : Value.t) : expr list =
+  match v with
+  | Vlist items -> List.concat_map (value_to_exprs ~loc) items
+  | v -> [ value_to_expr ~loc v ]
+
+let value_to_node ~loc (v : Value.t) : node =
+  match v with
+  | Vnode n -> n
+  | v -> error ~loc "placeholder produced a %s where an AST value was \
+                     expected" (type_name v)
+
+(* ------------------------------------------------------------------ *)
+(* Walk                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec fill_expr ctx (expr : expr) : expr =
+  let loc = expr.eloc in
+  let re e = { expr with e } in
+  match expr.e with
+  | E_splice sp -> value_to_expr ~loc (eval_splice ctx sp)
+  | E_ident id when ctx.renames <> [] ->
+      { expr with e = E_ident (rename_ident ctx id) }
+  | E_ident _ | E_const _ -> expr
+  | E_call (f, args) ->
+      let args =
+        List.concat_map
+          (fun (a : expr) ->
+            match a.e with
+            | E_splice sp -> value_to_exprs ~loc:a.eloc (eval_splice ctx sp)
+            | _ -> [ fill_expr ctx a ])
+          args
+      in
+      re (E_call (fill_expr ctx f, args))
+  | E_index (a, i) -> re (E_index (fill_expr ctx a, fill_expr ctx i))
+  | E_member (e, f) ->
+      re (E_member (fill_expr ctx e, fill_id_or_splice ctx f))
+  | E_arrow (e, f) ->
+      re (E_arrow (fill_expr ctx e, fill_id_or_splice ctx f))
+  | E_postincr e -> re (E_postincr (fill_expr ctx e))
+  | E_postdecr e -> re (E_postdecr (fill_expr ctx e))
+  | E_unary (op, e) -> re (E_unary (op, fill_expr ctx e))
+  | E_cast (ct, e) -> re (E_cast (fill_ctype ctx ct, fill_expr ctx e))
+  | E_sizeof_expr e -> re (E_sizeof_expr (fill_expr ctx e))
+  | E_sizeof_type ct -> re (E_sizeof_type (fill_ctype ctx ct))
+  | E_binary (op, a, b) -> re (E_binary (op, fill_expr ctx a, fill_expr ctx b))
+  | E_cond (c, t, e) ->
+      re (E_cond (fill_expr ctx c, fill_expr ctx t, fill_expr ctx e))
+  | E_assign (op, l, r) -> re (E_assign (op, fill_expr ctx l, fill_expr ctx r))
+  | E_comma (a, b) -> re (E_comma (fill_expr ctx a, fill_expr ctx b))
+  | E_backquote _ | E_lambda _ ->
+      (* meta code embedded in a template (inside a generated macro
+         definition); its placeholders belong to the generated macro and
+         fire at *its* expansion time, so leave it untouched *)
+      expr
+  | E_macro inv -> re (E_macro (fill_invocation ctx inv))
+
+and fill_id_or_splice ctx = function
+  | Ii_id id -> Ii_id id
+  | Ii_splice sp -> Ii_id (value_to_ident ~loc:sp.sp_loc (eval_splice ctx sp))
+
+and fill_ctype ctx ct =
+  { ct_specs = fill_specs ctx ct.ct_specs;
+    ct_decl = fill_declarator ctx ct.ct_decl }
+
+and fill_specs ctx (specs : spec list) : spec list =
+  List.concat_map
+    (function
+      | S_splice sp ->
+          value_to_specs ~loc:sp.sp_loc (eval_splice ctx sp)
+      | S_enum es -> [ S_enum (fill_enum_spec ctx es) ]
+      | S_struct (tag, fields) ->
+          [ S_struct
+              (Option.map (fill_id_or_splice ctx) tag,
+               fill_fields ctx fields) ]
+      | S_union (tag, fields) ->
+          [ S_union
+              (Option.map (fill_id_or_splice ctx) tag,
+               fill_fields ctx fields) ]
+      | s -> [ s ])
+    specs
+
+and fill_fields ctx = function
+  | None -> None
+  | Some fields ->
+      Some
+        (List.map
+           (fun f ->
+             { f_specs = fill_specs ctx f.f_specs;
+               f_declarators = List.map (fill_declarator ctx) f.f_declarators
+             })
+           fields)
+
+and fill_enum_spec ctx (es : enum_spec) : enum_spec =
+  let tag =
+    Option.map
+      (function
+        | Ii_id id -> Ii_id id
+        | Ii_splice sp ->
+            Ii_id (value_to_ident ~loc:sp.sp_loc (eval_splice ctx sp)))
+      es.enum_tag
+  in
+  let items =
+    Option.map
+      (List.concat_map (function
+        | Enum_item (id, value) ->
+            [ Enum_item
+                (fill_id_or_splice ctx id, Option.map (fill_expr ctx) value)
+            ]
+        | Enum_splice sp ->
+            value_to_enumerators ~loc:sp.sp_loc (eval_splice ctx sp)))
+      es.enum_items
+  in
+  { enum_tag = tag; enum_items = items }
+
+and fill_declarator ctx (d : declarator) : declarator =
+  match d with
+  | D_ident id when ctx.renames <> [] -> D_ident (rename_ident ctx id)
+  | D_ident _ | D_abstract -> d
+  | D_pointer d -> D_pointer (fill_declarator ctx d)
+  | D_array (d, size) ->
+      D_array (fill_declarator ctx d, Option.map (fill_expr ctx) size)
+  | D_func (d, params) -> D_func (fill_declarator ctx d, fill_params ctx params)
+  | D_splice sp -> value_to_declarator ~loc:sp.sp_loc (eval_splice ctx sp)
+
+and fill_params ctx (params : param list) : param list =
+  List.concat_map
+    (function
+      | P_decl (specs, d) ->
+          [ P_decl (fill_specs ctx specs, fill_declarator ctx d) ]
+      | P_name id -> [ P_name id ]
+      | P_ellipsis -> [ P_ellipsis ]
+      | P_splice sp -> value_to_params ~loc:sp.sp_loc (eval_splice ctx sp))
+    params
+
+and fill_init ctx = function
+  | I_expr e -> I_expr (fill_expr ctx e)
+  | I_list items -> I_list (List.map (fill_init ctx) items)
+
+and fill_init_declarators ctx (idecls : init_declarator list) :
+    init_declarator list =
+  List.concat_map
+    (function
+      | Init_decl (d, init) ->
+          [ Init_decl (fill_declarator ctx d, Option.map (fill_init ctx) init)
+          ]
+      | Init_splice sp ->
+          value_to_init_declarators ~loc:sp.sp_loc (eval_splice ctx sp))
+    idecls
+
+and fill_stmt ctx (stmt : stmt) : stmt =
+  let loc = stmt.sloc in
+  let rs s = { stmt with s } in
+  match stmt.s with
+  | St_splice sp -> value_to_stmt ~loc (eval_splice ctx sp)
+  | St_expr e -> rs (St_expr (fill_expr ctx e))
+  | St_compound items ->
+      (* hygiene: block locals introduced by the template text get fresh
+         names, so they can neither capture nor be captured by spliced
+         user code *)
+      let ctx =
+        if not ctx.env.hygienic then ctx
+        else
+          match template_locals items with
+          | [] -> ctx
+          | locals ->
+              let mapping =
+                List.map
+                  (fun name ->
+                    (name, Ms2_support.Gensym.fresh ctx.env.gensym name))
+                  locals
+              in
+              { ctx with renames = mapping @ ctx.renames }
+      in
+      rs (St_compound (fill_block_items ctx items))
+  | St_if (c, t, e) ->
+      rs
+        (St_if
+           (fill_expr ctx c, fill_stmt ctx t, Option.map (fill_stmt ctx) e))
+  | St_while (c, body) -> rs (St_while (fill_expr ctx c, fill_stmt ctx body))
+  | St_do (body, c) -> rs (St_do (fill_stmt ctx body, fill_expr ctx c))
+  | St_for (init, cond, step, body) ->
+      rs
+        (St_for
+           ( Option.map (fill_expr ctx) init,
+             Option.map (fill_expr ctx) cond,
+             Option.map (fill_expr ctx) step,
+             fill_stmt ctx body ))
+  | St_switch (e, body) -> rs (St_switch (fill_expr ctx e, fill_stmt ctx body))
+  | St_case (e, s) -> rs (St_case (fill_expr ctx e, fill_stmt ctx s))
+  | St_default s -> rs (St_default (fill_stmt ctx s))
+  | St_return e -> rs (St_return (Option.map (fill_expr ctx) e))
+  | St_break | St_continue | St_goto _ | St_null -> stmt
+  | St_label (id, s) -> rs (St_label (id, fill_stmt ctx s))
+  | St_macro inv -> rs (St_macro (fill_invocation ctx inv))
+
+and fill_block_items ctx (items : block_item list) : block_item list =
+  List.concat_map
+    (function
+      | Bi_decl { d = Decl_splice sp; dloc } ->
+          List.map
+            (fun d -> Bi_decl d)
+            (value_to_decls ~loc:dloc (eval_splice ctx sp))
+      | Bi_decl d -> List.map (fun d -> Bi_decl d) (fill_decl_multi ctx d)
+      | Bi_stmt { s = St_splice sp; sloc } ->
+          List.map
+            (fun s -> Bi_stmt s)
+            (value_to_stmts ~loc:sloc (eval_splice ctx sp))
+      | Bi_stmt s -> [ Bi_stmt (fill_stmt ctx s) ])
+    items
+
+and fill_decl ctx (decl : decl) : decl =
+  match fill_decl_multi ctx decl with
+  | [ d ] -> d
+  | ds ->
+      error ~loc:decl.dloc
+        "placeholder produced %d declarations where exactly one was expected"
+        (List.length ds)
+
+and fill_decl_multi ctx (decl : decl) : decl list =
+  let rd d = [ { decl with d } ] in
+  match decl.d with
+  | Decl_splice sp -> value_to_decls ~loc:decl.dloc (eval_splice ctx sp)
+  | Decl_plain (specs, idecls) ->
+      rd (Decl_plain (fill_specs ctx specs, fill_init_declarators ctx idecls))
+  | Decl_fun (specs, d, kr, body) ->
+      rd
+        (Decl_fun
+           ( fill_specs ctx specs,
+             fill_declarator ctx d,
+             List.concat_map (fill_decl_multi ctx) kr,
+             fill_stmt ctx body ))
+  | Decl_metadcl inner -> rd (Decl_metadcl (fill_decl ctx inner))
+  | Decl_macro_def md ->
+      (* a generated macro definition: the *name* may be parameterized
+         by the generating macro; the body is meta code whose
+         placeholders fire when the generated macro is expanded, so it
+         is left untouched (generated macros are self-contained) *)
+      rd (Decl_macro_def { md with m_name = fill_id_or_splice ctx md.m_name })
+  | Decl_macro inv -> rd (Decl_macro (fill_invocation ctx inv))
+
+and fill_invocation ctx (inv : invocation) : invocation =
+  { inv with inv_actuals = List.map (fun (n, a) -> (n, fill_actual ctx a)) inv.inv_actuals }
+
+and fill_actual ctx (a : actual) : actual =
+  match a with
+  | Act_node (N_exp { e = E_splice sp; eloc }) ->
+      (* an identifier- or num-typed placeholder used as an actual *)
+      Act_node (value_to_node ~loc:eloc (eval_splice ctx sp))
+  | Act_node n -> Act_node (fill_node ctx n)
+  | Act_list items -> Act_list (List.map (fill_actual ctx) items)
+  | Act_tuple fields ->
+      Act_tuple (List.map (fun (n, a) -> (n, fill_actual ctx a)) fields)
+
+and fill_node ctx (n : node) : node =
+  match n with
+  | N_id _ | N_num _ -> n
+  | N_exp e -> N_exp (fill_expr ctx e)
+  | N_stmt s -> N_stmt (fill_stmt ctx s)
+  | N_decl d -> N_decl (fill_decl ctx d)
+  | N_typespec specs -> N_typespec (fill_specs ctx specs)
+  | N_declarator d -> N_declarator (fill_declarator ctx d)
+  | N_init_declarator d -> (
+      match fill_init_declarators ctx [ d ] with
+      | [ d ] -> N_init_declarator d
+      | _ -> error "placeholder produced several init-declarators where one \
+                    was expected")
+  | N_param p -> (
+      match fill_params ctx [ p ] with
+      | [ p ] -> N_param p
+      | _ -> error "placeholder produced several parameters where one was \
+                    expected")
+  | N_enumerator e -> (
+      match fill_enum_spec ctx { enum_tag = None; enum_items = Some [ e ] }
+      with
+      | { enum_items = Some [ e ]; _ } -> N_enumerator e
+      | _ -> error "placeholder produced several enumerators where one was \
+                    expected")
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Evaluate a backquote template to a value.  [eval] is the
+    interpreter's expression evaluator. *)
+let fill_template ~(eval : env -> expr -> Value.t) (env : env)
+    (tpl : template) : Value.t =
+  let ctx = { eval; env; renames = [] } in
+  match tpl with
+  | T_exp e -> Vnode (N_exp (fill_expr ctx e))
+  | T_stmt s -> Vnode (N_stmt (fill_stmt ctx s))
+  | T_decl d -> Vnode (N_decl (fill_decl ctx d))
+  | T_general (_ps, a) -> Value.of_actual (fill_actual ctx a)

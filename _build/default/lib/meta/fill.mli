@@ -1,0 +1,38 @@
+(** Template instantiation: tree-level substitution of placeholder
+    values into object code, with list flattening in every syntactic
+    list position, and optional automatic hygiene (renaming of
+    template-introduced block locals when [env.hygienic]). *)
+
+open Ms2_syntax.Ast
+
+val fill_template :
+  eval:(Value.env -> expr -> Value.t) -> Value.env -> template -> Value.t
+(** Evaluate a backquote template; [eval] is the interpreter's
+    expression evaluator. *)
+
+(** {1 Value-to-syntax coercions}
+
+    Shared with the engine, which uses them to splice macro results. *)
+
+val value_to_expr : loc:Ms2_support.Loc.t -> Value.t -> expr
+val value_to_ident : loc:Ms2_support.Loc.t -> Value.t -> ident
+val value_to_stmts : loc:Ms2_support.Loc.t -> Value.t -> stmt list
+
+val value_to_stmt : loc:Ms2_support.Loc.t -> Value.t -> stmt
+(** Singular statement position: several statements wrap in a block,
+    zero become the null statement. *)
+
+val value_to_decls : loc:Ms2_support.Loc.t -> Value.t -> decl list
+val value_to_decl : loc:Ms2_support.Loc.t -> Value.t -> decl
+val value_to_specs : loc:Ms2_support.Loc.t -> Value.t -> spec list
+val value_to_declarator : loc:Ms2_support.Loc.t -> Value.t -> declarator
+
+val value_to_init_declarators :
+  loc:Ms2_support.Loc.t -> Value.t -> init_declarator list
+
+val value_to_enumerators :
+  loc:Ms2_support.Loc.t -> Value.t -> enumerator list
+
+val value_to_params : loc:Ms2_support.Loc.t -> Value.t -> param list
+val value_to_exprs : loc:Ms2_support.Loc.t -> Value.t -> expr list
+val value_to_node : loc:Ms2_support.Loc.t -> Value.t -> node

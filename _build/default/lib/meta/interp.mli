@@ -1,0 +1,20 @@
+(** The embedded interpreter for the macro language (the paper's
+    "embedded interpreter for a subset of the C language"). *)
+
+open Ms2_syntax.Ast
+
+type outcome = Normal | Returned of Value.t | Broke | Continued
+
+val eval : Value.env -> expr -> Value.t
+val apply :
+  Value.env -> loc:Ms2_support.Loc.t -> Value.t -> Value.t list -> Value.t
+
+val exec_decl : Value.env -> decl -> unit
+(** Execute a meta declaration: bind declared variables (evaluating
+    initializers) and meta functions. *)
+
+val exec_stmt : Value.env -> stmt -> outcome
+
+val run_body : Value.env -> stmt -> Value.t
+(** Run a macro / meta-function body for its [return] value ([Vvoid] if
+    it falls off the end). *)

@@ -1,0 +1,187 @@
+(** Runtime values of the macro (meta) language.
+
+    Meta programs run at macro-expansion time; their values are C scalars
+    (ints, strings), AST nodes, lists, tuples, and the paper's
+    downward-only anonymous functions. *)
+
+open Ms2_syntax
+open Ms2_support
+module Mtype = Ms2_mtype.Mtype
+module Sort = Ms2_mtype.Sort
+
+type t =
+  | Vint of int
+  | Vstring of string
+  | Vnode of Ast.node
+  | Vlist of t list
+  | Vtuple of (string * t) list
+  | Vclosure of closure
+  | Vbuiltin of string  (** a primitive function used as a value *)
+  | Vvoid  (** value of [error]/[print]; also "uninitialized" *)
+
+and closure = {
+  cl_params : (string * Mtype.t) list;
+  cl_body : body;
+  cl_env : env;  (** captured environment (downward-only closures) *)
+}
+
+(** Anonymous functions have expression bodies (no [return] needed, per
+    the paper); meta functions have statement bodies. *)
+and body = Body_expr of Ast.expr | Body_stmt of Ast.stmt
+
+(** Runtime environments: a stack of mutable scopes.  The global scope
+    holds [metadcl] globals and meta functions, and persists across
+    macro expansions — which is what makes the paper's non-local
+    transformations (the window-procedure example) work. *)
+and env = {
+  mutable scopes : (string, t ref) Hashtbl.t list;
+  gensym : Gensym.t;
+  mutable hygienic : bool;
+      (** rename template-introduced block locals automatically when
+          filling templates (the paper's future-work hygiene, opt-in) *)
+  mutable semantic : Ms2_csem.Senv.t option;
+      (** the object-level symbol table at the current expansion point,
+          maintained by the engine; powers the semantic-macro primitives
+          (exp_typespec, type_name_of, ...) *)
+  expand_invocation : (Ast.invocation -> t) ref;
+      (** hook installed by the expansion engine so meta code (and filled
+          templates) can expand macro invocations *)
+}
+
+let error ?(loc = Loc.dummy) fmt = Diag.error ~loc Diag.Expansion fmt
+
+let create_env ?gensym () : env =
+  {
+    scopes = [ Hashtbl.create 16 ];
+    gensym = (match gensym with Some g -> g | None -> Gensym.create ());
+    hygienic = false;
+    semantic = None;
+    expand_invocation =
+      ref (fun (inv : Ast.invocation) ->
+          error ~loc:inv.Ast.inv_loc
+            "macro invocations inside meta code need an expansion engine");
+  }
+
+let push_scope env = env.scopes <- Hashtbl.create 16 :: env.scopes
+
+let pop_scope env =
+  match env.scopes with
+  | [] | [ _ ] -> invalid_arg "Value.pop_scope: global scope"
+  | _ :: rest -> env.scopes <- rest
+
+let with_scope env f =
+  push_scope env;
+  Fun.protect ~finally:(fun () -> pop_scope env) f
+
+(** A child environment sharing the global scope (used to run a macro
+    body: its locals must not leak, but [metadcl] globals are shared). *)
+let derived env : env =
+  match List.rev env.scopes with
+  | global :: _ ->
+      { env with scopes = [ Hashtbl.create 16; global ] }
+  | [] -> assert false
+
+let bind env name v =
+  match env.scopes with
+  | scope :: _ -> Hashtbl.replace scope name (ref v)
+  | [] -> assert false
+
+let bind_global env name v =
+  match List.rev env.scopes with
+  | global :: _ -> Hashtbl.replace global name (ref v)
+  | [] -> assert false
+
+let lookup_ref env name : t ref option =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+        match Hashtbl.find_opt scope name with
+        | Some r -> Some r
+        | None -> go rest)
+  in
+  go env.scopes
+
+let lookup env name : t option = Option.map ( ! ) (lookup_ref env name)
+
+(** Default value for a declared-but-uninitialized meta variable: lists
+    start empty (so [metadcl @stmt frags[];] can be accumulated into),
+    ints are 0, strings are empty; AST variables start out void and
+    reading one is an expansion error. *)
+let rec default_of_type : Mtype.t -> t = function
+  | Mtype.Int -> Vint 0
+  | Mtype.String -> Vstring ""
+  | Mtype.List _ -> Vlist []
+  | Mtype.Tuple fields ->
+      Vtuple
+        (List.map
+           (fun f -> (f.Mtype.fld_name, default_of_type f.Mtype.fld_type))
+           fields)
+  | Mtype.Ast _ | Mtype.Void | Mtype.Fun _ -> Vvoid
+
+let type_name = function
+  | Vint _ -> "int"
+  | Vstring _ -> "string"
+  | Vnode n -> "@" ^ Sort.keyword (Ast.node_sort n)
+  | Vlist _ -> "list"
+  | Vtuple _ -> "tuple"
+  | Vclosure _ | Vbuiltin _ -> "function"
+  | Vvoid -> "void"
+
+let rec pp ppf = function
+  | Vint n -> Fmt.int ppf n
+  | Vstring s -> Fmt.pf ppf "%S" s
+  | Vnode n -> Fmt.pf ppf "@[%s@]" (Pretty.node_to_string n)
+  | Vlist items -> Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any "; ") pp) items
+  | Vtuple fields ->
+      let f ppf (n, v) = Fmt.pf ppf "%s = %a" n pp v in
+      Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any "; ") f) fields
+  | Vclosure _ -> Fmt.string ppf "<function>"
+  | Vbuiltin name -> Fmt.pf ppf "<builtin %s>" name
+  | Vvoid -> Fmt.string ppf "<void>"
+
+let to_string v = Fmt.str "%a" pp v
+
+(** Convert a parsed actual parameter to a runtime value. *)
+let rec of_actual : Ast.actual -> t = function
+  | Ast.Act_node n -> Vnode n
+  | Ast.Act_list items -> Vlist (List.map of_actual items)
+  | Ast.Act_tuple fields ->
+      Vtuple (List.map (fun (n, a) -> (n, of_actual a)) fields)
+
+(** Truthiness for meta conditionals: ints like C; other values err. *)
+let truthy ~loc = function
+  | Vint n -> n <> 0
+  | v -> error ~loc "expected an int in a condition, got a %s" (type_name v)
+
+let as_int ~loc ~what = function
+  | Vint n -> n
+  | v -> error ~loc "%s: expected an int, got a %s" what (type_name v)
+
+let as_string ~loc ~what = function
+  | Vstring s -> s
+  | v -> error ~loc "%s: expected a string, got a %s" what (type_name v)
+
+let as_list ~loc ~what = function
+  | Vlist l -> l
+  | v -> error ~loc "%s: expected a list, got a %s" what (type_name v)
+
+let as_node ~loc ~what = function
+  | Vnode n -> n
+  | v -> error ~loc "%s: expected an AST value, got a %s" what (type_name v)
+
+(** Does a runtime value conform to a meta type?  Used to validate macro
+    return values against the declared return type. *)
+let rec conforms (v : t) (ty : Mtype.t) : bool =
+  match (v, ty) with
+  | Vint _, Mtype.Int -> true
+  | Vstring _, Mtype.String -> true
+  | Vnode n, Mtype.Ast s -> Sort.subsort (Ast.node_sort n) s
+  | Vlist items, Mtype.List t -> List.for_all (fun v -> conforms v t) items
+  | Vtuple fields, Mtype.Tuple tfields ->
+      List.length fields = List.length tfields
+      && List.for_all2
+           (fun (n, v) f -> n = f.Mtype.fld_name && conforms v f.Mtype.fld_type)
+           fields tfields
+  | (Vclosure _ | Vbuiltin _), Mtype.Fun _ -> true
+  | Vvoid, Mtype.Void -> true
+  | _, _ -> false

@@ -1,0 +1,71 @@
+(** Runtime values and environments of the macro (meta) language. *)
+
+open Ms2_syntax
+open Ms2_support
+module Mtype = Ms2_mtype.Mtype
+
+type t =
+  | Vint of int
+  | Vstring of string
+  | Vnode of Ast.node
+  | Vlist of t list
+  | Vtuple of (string * t) list
+  | Vclosure of closure
+  | Vbuiltin of string
+  | Vvoid  (** also "uninitialized" for AST-typed variables *)
+
+and closure = {
+  cl_params : (string * Mtype.t) list;
+  cl_body : body;
+  cl_env : env;  (** captured environment (downward-only closures) *)
+}
+
+and body = Body_expr of Ast.expr | Body_stmt of Ast.stmt
+
+and env = {
+  mutable scopes : (string, t ref) Hashtbl.t list;
+  gensym : Gensym.t;
+  mutable hygienic : bool;
+      (** rename template-introduced block locals automatically *)
+  mutable semantic : Ms2_csem.Senv.t option;
+      (** object-level symbol table at the current expansion point *)
+  expand_invocation : (Ast.invocation -> t) ref;
+      (** engine hook for macro invocations inside meta code *)
+}
+
+val error :
+  ?loc:Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise an [Expansion]-phase diagnostic. *)
+
+val create_env : ?gensym:Gensym.t -> unit -> env
+val push_scope : env -> unit
+val pop_scope : env -> unit
+val with_scope : env -> (unit -> 'a) -> 'a
+
+val derived : env -> env
+(** A child environment sharing only the global scope — the frame a
+    macro body runs in ([metadcl] globals shared, locals isolated). *)
+
+val bind : env -> string -> t -> unit
+val bind_global : env -> string -> t -> unit
+val lookup_ref : env -> string -> t ref option
+val lookup : env -> string -> t option
+
+val default_of_type : Mtype.t -> t
+(** Lists start empty, ints 0, strings empty; AST variables start
+    [Vvoid] and reading one is an error. *)
+
+val type_name : t -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val of_actual : Ast.actual -> t
+
+val truthy : loc:Loc.t -> t -> bool
+val as_int : loc:Loc.t -> what:string -> t -> int
+val as_string : loc:Loc.t -> what:string -> t -> string
+val as_list : loc:Loc.t -> what:string -> t -> t list
+val as_node : loc:Loc.t -> what:string -> t -> Ast.node
+
+val conforms : t -> Mtype.t -> bool
+(** Does a runtime value conform to a meta type?  Validates macro return
+    values against declared return types. *)

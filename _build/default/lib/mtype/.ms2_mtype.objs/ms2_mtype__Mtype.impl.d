@@ -1,0 +1,1 @@
+lib/mtype/mtype.ml: Fmt List Option Sort

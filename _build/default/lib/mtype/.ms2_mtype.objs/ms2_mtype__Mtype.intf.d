@@ -1,0 +1,1 @@
+lib/mtype/mtype.mli: Format Sort

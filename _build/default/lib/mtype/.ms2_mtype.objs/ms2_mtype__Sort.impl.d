@@ -1,0 +1,1 @@
+lib/mtype/sort.ml: Fmt

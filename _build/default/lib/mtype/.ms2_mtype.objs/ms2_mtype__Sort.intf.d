@@ -1,0 +1,1 @@
+lib/mtype/sort.mli: Format

@@ -1,0 +1,79 @@
+(** Types of the macro (meta) language.
+
+    The macro language is "C plus an extended type system": meta-values
+    are C scalars (we support [int] and strings, which is what the
+    paper's examples use), ASTs of some {!Sort.t}, lists of meta-values
+    (declared with array syntax, [@id ids[]]), tuples (declared with
+    struct syntax, and produced by tuple patterns), and functions (meta
+    functions and the paper's downward-only anonymous functions). *)
+
+type t =
+  | Ast of Sort.t  (** [@stmt], [@exp], ... *)
+  | List of t  (** [@id x[]]; also the type of repetition patterns *)
+  | Tuple of field list  (** struct-style tuples; also tuple patterns *)
+  | Int  (** C [int] (and [char]) at the meta level *)
+  | String  (** C [char *] at the meta level *)
+  | Void  (** value of statements-as-expressions, [error], ... *)
+  | Fun of t list * t  (** meta functions and anonymous functions *)
+
+and field = { fld_name : string; fld_type : t }
+
+let ast s = Ast s
+let list t = List t
+
+let rec equal a b =
+  match (a, b) with
+  | Ast s1, Ast s2 -> Sort.equal s1 s2
+  | List t1, List t2 -> equal t1 t2
+  | Tuple f1, Tuple f2 ->
+      List.length f1 = List.length f2
+      && List.for_all2
+           (fun x y -> x.fld_name = y.fld_name && equal x.fld_type y.fld_type)
+           f1 f2
+  | Int, Int | String, String | Void, Void -> true
+  | Fun (p1, r1), Fun (p2, r2) ->
+      List.length p1 = List.length p2
+      && List.for_all2 equal p1 p2 && equal r1 r2
+  | (Ast _ | List _ | Tuple _ | Int | String | Void | Fun _), _ -> false
+
+(** Subtyping: sorts follow {!Sort.subsort}; lists and tuples are
+    covariant; functions are contravariant in parameters.  [Num] and [Id]
+    ASTs may be used where an [Exp] is expected, which is what lets
+    [$name] (an [@id]) appear inside expression templates. *)
+let rec subtype a b =
+  match (a, b) with
+  | Ast s1, Ast s2 -> Sort.subsort s1 s2
+  | List t1, List t2 -> subtype t1 t2
+  | Tuple f1, Tuple f2 ->
+      List.length f1 = List.length f2
+      && List.for_all2 (fun x y -> subtype x.fld_type y.fld_type) f1 f2
+  | Int, Int | String, String | Void, Void -> true
+  | Fun (p1, r1), Fun (p2, r2) ->
+      List.length p1 = List.length p2
+      && List.for_all2 subtype p2 p1 && subtype r1 r2
+  | (Ast _ | List _ | Tuple _ | Int | String | Void | Fun _), _ -> false
+
+let rec pp ppf = function
+  | Ast s -> Fmt.pf ppf "@@%a" Sort.pp s
+  | List t -> Fmt.pf ppf "%a[]" pp t
+  | Tuple fields ->
+      let pp_field ppf f = Fmt.pf ppf "%a %s" pp f.fld_type f.fld_name in
+      Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any ";@ ") pp_field) fields
+  | Int -> Fmt.string ppf "int"
+  | String -> Fmt.string ppf "char *"
+  | Void -> Fmt.string ppf "void"
+  | Fun (params, ret) ->
+      Fmt.pf ppf "%a (%a)" pp ret Fmt.(list ~sep:(any ",@ ") pp) params
+
+let to_string t = Fmt.str "%a" pp t
+
+(** The sort of an AST-or-list-of-AST type, used when deciding whether a
+    placeholder can stand in a given syntactic position (a list-typed
+    placeholder is accepted in list positions of the same element
+    sort). *)
+let rec head_sort = function
+  | Ast s -> Some s
+  | List t -> head_sort t
+  | Tuple _ | Int | String | Void | Fun _ -> None
+
+let is_ast_like t = Option.is_some (head_sort t)

@@ -1,0 +1,30 @@
+(** Types of the macro (meta) language: ASTs of some sort, lists
+    (declared with array syntax), tuples (struct syntax, and tuple
+    patterns), C scalars, and meta functions. *)
+
+type t =
+  | Ast of Sort.t  (** [@stmt], [@exp], ... *)
+  | List of t  (** [@id x[]]; also the type of repetition patterns *)
+  | Tuple of field list
+  | Int
+  | String
+  | Void
+  | Fun of t list * t
+
+and field = { fld_name : string; fld_type : t }
+
+val ast : Sort.t -> t
+val list : t -> t
+val equal : t -> t -> bool
+
+val subtype : t -> t -> bool
+(** Sorts follow {!Sort.subsort}; lists/tuples covariant; functions
+    contravariant in parameters. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val head_sort : t -> Sort.t option
+(** Sort of an AST-or-list-of-AST type ([None] for scalars etc.). *)
+
+val is_ast_like : t -> bool

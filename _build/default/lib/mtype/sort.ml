@@ -1,0 +1,61 @@
+(** Syntactic sorts: the primitive AST types of the macro language.
+
+    The paper's type language has the primitives [id], [stmt], [decl],
+    [exp], [num] and [typespec].  Figure 2 additionally ranges a
+    placeholder over the declarator-level sorts [declarator] and
+    [init-declarator], so those are primitives too, as is [param]
+    (function parameters, needed so patterns and templates can abstract
+    over parameter lists). *)
+
+type t =
+  | Id  (** identifier *)
+  | Exp  (** expression *)
+  | Num  (** numeric literal; a subsort of [Exp] *)
+  | Stmt  (** statement *)
+  | Decl  (** (top-level) declaration *)
+  | Typespec  (** type specifier, e.g. [int], [enum color] *)
+  | Declarator  (** declarator, e.g. [*x[10]] *)
+  | Init_declarator  (** declarator with optional initializer *)
+  | Param  (** function parameter *)
+  | Enumerator  (** enumeration constant with optional value *)
+
+let all =
+  [ Id; Exp; Num; Stmt; Decl; Typespec; Declarator; Init_declarator; Param;
+    Enumerator ]
+
+let equal (a : t) b = a = b
+
+(** Concrete keyword used in source programs (after [@]) and in pattern
+    specifiers. *)
+let keyword = function
+  | Id -> "id"
+  | Exp -> "exp"
+  | Num -> "num"
+  | Stmt -> "stmt"
+  | Decl -> "decl"
+  | Typespec -> "typespec"
+  | Declarator -> "declarator"
+  | Init_declarator -> "init_declarator"
+  | Param -> "param"
+  | Enumerator -> "enumerator"
+
+let of_keyword = function
+  | "id" -> Some Id
+  | "exp" -> Some Exp
+  | "num" -> Some Num
+  | "stmt" -> Some Stmt
+  | "decl" -> Some Decl
+  | "typespec" | "type_spec" -> Some Typespec
+  | "declarator" -> Some Declarator
+  | "init_declarator" | "init-declarator" -> Some Init_declarator
+  | "param" -> Some Param
+  | "enumerator" -> Some Enumerator
+  | _ -> None
+
+(** Subsort order: [Num <= Exp] and [Id <= Exp] (a numeric literal or an
+    identifier may stand wherever an expression is expected). *)
+let subsort a b =
+  equal a b
+  || match (a, b) with Num, Exp | Id, Exp -> true | _, _ -> false
+
+let pp ppf t = Fmt.string ppf (keyword t)

@@ -1,0 +1,28 @@
+(** Syntactic sorts: the primitive AST types of the macro language
+    ([id], [exp], [num], [stmt], [decl], [typespec], plus the
+    declarator-level sorts of the paper's Figure 2). *)
+
+type t =
+  | Id
+  | Exp
+  | Num  (** numeric literal; a subsort of [Exp] *)
+  | Stmt
+  | Decl
+  | Typespec
+  | Declarator
+  | Init_declarator
+  | Param
+  | Enumerator
+
+val all : t list
+val equal : t -> t -> bool
+
+val keyword : t -> string
+(** Concrete keyword used in source (after [@]) and in patterns. *)
+
+val of_keyword : string -> t option
+
+val subsort : t -> t -> bool
+(** [Num <= Exp] and [Id <= Exp]; otherwise reflexive. *)
+
+val pp : Format.formatter -> t -> unit

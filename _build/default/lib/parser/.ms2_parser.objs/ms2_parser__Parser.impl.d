@@ -1,0 +1,1 @@
+lib/parser/parser.ml: Ast Diag Fun Hashtbl List Ms2_mtype Ms2_pattern Ms2_support Ms2_syntax Ms2_typing Option State Token

@@ -1,0 +1,1 @@
+lib/parser/parser.mli: Ast Hashtbl Ms2_mtype Ms2_syntax Ms2_typing State

@@ -1,0 +1,1 @@
+lib/parser/state.ml: Array Ast Diag Fun Hashtbl Lexer List Loc Ms2_mtype Ms2_support Ms2_syntax Ms2_typing Token

@@ -1,0 +1,1 @@
+lib/parser/state.mli: Ast Format Hashtbl Loc Ms2_mtype Ms2_support Ms2_syntax Ms2_typing Token

@@ -1,0 +1,158 @@
+(** Parser state.
+
+    The parser is fully re-entrant, as the paper requires: all state
+    lives in a [t] value, and nested parses (templates inside macro
+    bodies inside programs, strings parsed during expansion) each operate
+    on their own [t], sharing only the macro signature table and the meta
+    type environment they were given. *)
+
+open Ms2_syntax
+open Ms2_support
+module Mtype = Ms2_mtype.Mtype
+module Tenv = Ms2_typing.Tenv
+
+(** What the parser needs to know about a defined macro in order to parse
+    its invocations: the invocation pattern and the declared return
+    type. *)
+type macro_sig = { sig_ret : Mtype.t; sig_pattern : Ast.pattern }
+
+type t = {
+  mutable compile_patterns : bool;
+      (** compile each macro's pattern to a specialized parse routine at
+          definition time (the acceleration the paper suggests in §3);
+          disable for the ablation benchmark *)
+  toks : Token.located array;
+  mutable pos : int;
+  mutable typedef_scopes : (string, unit) Hashtbl.t list;
+  macros : (string, macro_sig) Hashtbl.t;
+  tenv : Tenv.t;
+  mutable in_template : bool;
+      (** parsing object code inside a backquote: placeholders are live *)
+  mutable in_meta : bool;
+      (** parsing meta code: backquote, lambdas, meta declarations live *)
+  mutable ph_cache : (int * (Ast.expr * Mtype.t) * int) option;
+      (** placeholder-token cache: (start position, parsed placeholder,
+          end position).  This implements the paper's placeholder tokens:
+          the "tokenizer" parses and types the [$]-expression once, and
+          every parser routine can then look at its type. *)
+  compiled_patterns : (string, compiled_pattern) Hashtbl.t;
+      (** specialized parse routines, keyed by macro name; shared with
+          the macro-signature table's lifetime *)
+}
+
+(** A compiled invocation parser: runs the pattern against the input and
+    returns the actual-parameter bindings. *)
+and compiled_pattern = t -> (string * Ast.actual) list
+
+let create ?macros ?tenv ?compiled (toks : Token.located array) : t =
+  {
+    compile_patterns = true;
+    toks;
+    pos = 0;
+    typedef_scopes = [ Hashtbl.create 16 ];
+    macros = (match macros with Some m -> m | None -> Hashtbl.create 16);
+    tenv = (match tenv with Some e -> e | None -> Tenv.create ());
+    in_template = false;
+    in_meta = false;
+    ph_cache = None;
+    compiled_patterns =
+      (match compiled with Some c -> c | None -> Hashtbl.create 16);
+  }
+
+let of_string ?macros ?tenv ?compiled ?(source = "<string>")
+    ?(reject_reserved = false) text =
+  create ?macros ?tenv ?compiled (Lexer.tokenize ~source ~reject_reserved text)
+
+(* ------------------------------------------------------------------ *)
+(* Token access                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let peek_located st : Token.located = st.toks.(st.pos)
+let peek st : Token.t = st.toks.(st.pos).Token.tok
+
+let peek_ahead st n : Token.t =
+  let i = st.pos + n in
+  if i < Array.length st.toks then st.toks.(i).Token.tok else Token.EOF
+
+let loc st : Loc.t = st.toks.(st.pos).Token.loc
+
+let advance st =
+  if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let error st fmt = Diag.error ~loc:(loc st) Diag.Parsing fmt
+
+let expect st (tok : Token.t) =
+  if Token.equal (peek st) tok then advance st
+  else
+    error st "expected %S but found %S" (Token.to_string tok)
+      (Token.to_string (peek st))
+
+let accept st (tok : Token.t) : bool =
+  if Token.equal (peek st) tok then (
+    advance st;
+    true)
+  else false
+
+let expect_ident st : Ast.ident =
+  match peek st with
+  | Token.IDENT name ->
+      let l = loc st in
+      advance st;
+      { Ast.id_name = name; id_loc = l }
+  | tok -> error st "expected an identifier but found %S" (Token.to_string tok)
+
+(* ------------------------------------------------------------------ *)
+(* Typedef scopes                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let push_typedef_scope st =
+  st.typedef_scopes <- Hashtbl.create 8 :: st.typedef_scopes
+
+let pop_typedef_scope st =
+  match st.typedef_scopes with
+  | [] | [ _ ] -> invalid_arg "pop_typedef_scope: global scope"
+  | _ :: rest -> st.typedef_scopes <- rest
+
+let with_typedef_scope st f =
+  push_typedef_scope st;
+  Fun.protect ~finally:(fun () -> pop_typedef_scope st) f
+
+let add_typedef st name =
+  match st.typedef_scopes with
+  | scope :: _ -> Hashtbl.replace scope name ()
+  | [] -> assert false
+
+let is_typedef_name st name =
+  List.exists (fun scope -> Hashtbl.mem scope name) st.typedef_scopes
+
+(* ------------------------------------------------------------------ *)
+(* Macro table                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let find_macro st name : macro_sig option = Hashtbl.find_opt st.macros name
+let is_macro st name = Hashtbl.mem st.macros name
+let register_macro st name msig = Hashtbl.replace st.macros name msig
+
+(* ------------------------------------------------------------------ *)
+(* Mode switches                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let save_modes st = (st.in_template, st.in_meta)
+
+let restore_modes st (tpl, meta) =
+  st.in_template <- tpl;
+  st.in_meta <- meta
+
+(** Run [f] in template mode (object code inside a backquote). *)
+let in_template_mode st f =
+  let saved = save_modes st in
+  st.in_template <- true;
+  st.in_meta <- false;
+  Fun.protect ~finally:(fun () -> restore_modes st saved) f
+
+(** Run [f] in meta mode (macro bodies, placeholder expressions). *)
+let in_meta_mode st f =
+  let saved = save_modes st in
+  st.in_template <- false;
+  st.in_meta <- true;
+  Fun.protect ~finally:(fun () -> restore_modes st saved) f

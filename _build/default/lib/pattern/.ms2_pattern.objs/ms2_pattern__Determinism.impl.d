@@ -1,0 +1,1 @@
+lib/pattern/determinism.ml: Ast Diag Firstset List Ms2_mtype Ms2_support Ms2_syntax Token

@@ -1,0 +1,1 @@
+lib/pattern/determinism.mli: Ast Ms2_support Ms2_syntax

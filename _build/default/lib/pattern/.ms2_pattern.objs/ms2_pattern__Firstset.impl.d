@@ -1,0 +1,1 @@
+lib/pattern/firstset.ml: Ast Fmt List Ms2_mtype Ms2_syntax Token

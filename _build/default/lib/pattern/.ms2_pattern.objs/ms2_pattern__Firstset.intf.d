@@ -1,0 +1,1 @@
+lib/pattern/firstset.mli: Ast Format Ms2_mtype Ms2_syntax Token

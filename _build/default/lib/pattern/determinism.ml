@@ -1,0 +1,111 @@
+(** Pattern well-formedness: the one-token-lookahead rule.
+
+    "The pattern parser used to parse macro invocations requires that
+    detecting the end of a repetition or the presence of an optional
+    element require only one token lookahead.  It will report an error in
+    the specification of a pattern if the end of a repetition cannot be
+    uniquely determined by one token lookahead." (paper, §2)
+
+    The check: at each repetition or optional element, the set of tokens
+    that would *continue* the element must be disjoint from the set of
+    tokens that would *follow* it in the rest of the pattern.  We compute
+    follow sets pattern-locally; past the end of the pattern the
+    repetition is greedy by definition, which is deterministic. *)
+
+open Ms2_syntax
+open Ms2_support
+module Mtype = Ms2_mtype.Mtype
+
+let error loc fmt = Diag.error ~loc Diag.Pattern_check fmt
+
+(* FIRST of the remainder of a pattern (the follow set of the current
+   element, within the pattern). *)
+let follow_of_rest rest = Firstset.of_pattern rest
+
+let check_disjoint ~loc ~what firsts follows =
+  match Firstset.inter firsts follows with
+  | [] -> ()
+  | (a, _) :: _ ->
+      error loc
+        "%s cannot be delimited with one token of lookahead: %a can both \
+         continue the element and follow it"
+        what Firstset.pp_tclass a
+
+let rec check_pspec ~loc ~follows (ps : Ast.pspec) : unit =
+  match ps with
+  | Ast.Ps_sort _ -> ()
+  | Ast.Ps_plus (sep, p) | Ast.Ps_star (sep, p) -> (
+      check_pspec ~loc ~follows:[] p;
+      match sep with
+      | Some sep_tok ->
+          (* the separator decides continuation; it must not begin an
+             element, or "sep" after an element would be ambiguous *)
+          if Firstset.pspec_starts_with p sep_tok then
+            error loc
+              "repetition separator %S can begin an element of the \
+               repetition"
+              (Token.to_string sep_tok);
+          (* and the separator must not be a legal follower *)
+          if
+            List.exists
+              (fun c -> Firstset.matches c sep_tok)
+              follows
+          then
+            error loc
+              "repetition separator %S can also follow the repetition"
+              (Token.to_string sep_tok)
+      | None ->
+          (* continuation is decided by FIRST(element) *)
+          check_disjoint ~loc ~what:"this repetition"
+            (Firstset.of_pspec p) follows)
+  | Ast.Ps_opt (Some tok, p) ->
+      check_pspec ~loc ~follows:[] p;
+      (* the preamble token decides presence *)
+      if List.exists (fun c -> Firstset.matches c tok) follows then
+        error loc
+          "optional-element token %S can also follow the optional element"
+          (Token.to_string tok)
+  | Ast.Ps_opt (None, p) ->
+      check_pspec ~loc ~follows:[] p;
+      check_disjoint ~loc ~what:"this optional element"
+        (Firstset.of_pspec p) follows
+  | Ast.Ps_tuple pat -> check_pattern_elems ~loc pat
+
+and check_pattern_elems ~loc (pat : Ast.pattern) : unit =
+  match pat with
+  | [] -> ()
+  | Ast.Pe_token _ :: rest -> check_pattern_elems ~loc rest
+  | Ast.Pe_binder b :: rest ->
+      check_pspec ~loc:b.b_name.id_loc ~follows:(follow_of_rest rest)
+        b.b_spec;
+      check_pattern_elems ~loc rest
+
+(** Check a whole macro pattern; raises a [Pattern_check] diagnostic when
+    the pattern violates the one-token-lookahead rule.  Also rejects
+    duplicate binder names and patterns that cannot be told apart from an
+    ordinary identifier (a macro whose pattern binds nothing and has no
+    tokens). *)
+let check_pattern ~loc (pat : Ast.pattern) : unit =
+  (* duplicate binder names *)
+  let rec binder_names acc = function
+    | [] -> acc
+    | Ast.Pe_token _ :: rest -> binder_names acc rest
+    | Ast.Pe_binder b :: rest ->
+        let rec tuple_names acc = function
+          | Ast.Ps_tuple inner -> binder_names_of_pattern acc inner
+          | Ast.Ps_plus (_, p) | Ast.Ps_star (_, p) | Ast.Ps_opt (_, p) ->
+              tuple_names acc p
+          | Ast.Ps_sort _ -> acc
+        in
+        binder_names (tuple_names ((b.b_name.id_name, b.b_name.id_loc) :: acc) b.b_spec) rest
+  and binder_names_of_pattern acc pat = binder_names acc pat in
+  let names = binder_names [] pat in
+  let rec dup = function
+    | [] -> ()
+    | (n, l) :: rest ->
+        if List.mem_assoc n rest then
+          error l "duplicate binder name %s in pattern" n;
+        dup rest
+  in
+  dup names;
+  check_pattern_elems ~loc pat

@@ -1,0 +1,8 @@
+(** Pattern well-formedness: "the end of a repetition or the presence of
+    an optional element [must] require only one token lookahead"
+    (paper §2); also rejects duplicate binder names. *)
+
+open Ms2_syntax
+
+val check_pattern : loc:Ms2_support.Loc.t -> Ast.pattern -> unit
+(** @raise Ms2_support.Diag.Error with phase [Pattern_check]. *)

@@ -1,0 +1,30 @@
+(** FIRST sets: which tokens can begin a phrase of a given sort — the
+    information behind the paper's one-token-lookahead rule and the
+    invocation parser's repetition decisions. *)
+
+open Ms2_syntax
+module Sort = Ms2_mtype.Sort
+
+(** Token classes: exact tokens plus the unbounded families. *)
+type tclass =
+  | Exact of Token.t
+  | Any_ident
+  | Any_int
+  | Any_char
+  | Any_string
+
+val matches : tclass -> Token.t -> bool
+val overlap : tclass -> tclass -> bool
+val inter : tclass list -> tclass list -> (tclass * tclass) list
+val pp_tclass : Format.formatter -> tclass -> unit
+val of_sort : Sort.t -> tclass list
+
+val of_pspec : Ast.pspec -> tclass list
+(** FIRST of a pattern specifier (repetitions/optionals may be empty —
+    the caller must consider follows). *)
+
+val of_pattern : Ast.pattern -> tclass list
+(** FIRST of a pattern (skipping possibly-empty leading elements). *)
+
+val sort_starts_with : Sort.t -> Token.t -> bool
+val pspec_starts_with : Ast.pspec -> Token.t -> bool

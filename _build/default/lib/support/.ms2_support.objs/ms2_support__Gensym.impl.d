@@ -1,0 +1,1 @@
+lib/support/gensym.ml: Printf String

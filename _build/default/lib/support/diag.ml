@@ -1,0 +1,41 @@
+(** Diagnostics: located errors raised by every phase of the system.
+
+    The paper's central safety claim is that a macro *user* only ever sees
+    syntax errors in code they wrote themselves; errors in macro bodies are
+    reported at macro *definition* time.  To support distinguishing these,
+    every diagnostic records the phase that produced it. *)
+
+type phase =
+  | Lexing
+  | Parsing
+  | Pattern_check  (** pattern well-formedness (one-token-lookahead rule) *)
+  | Type_check  (** parse-time meta type analysis *)
+  | Expansion  (** running the meta-program *)
+
+let phase_name = function
+  | Lexing -> "lexical error"
+  | Parsing -> "syntax error"
+  | Pattern_check -> "pattern error"
+  | Type_check -> "type error"
+  | Expansion -> "expansion error"
+
+type t = { phase : phase; loc : Loc.t; message : string }
+
+exception Error of t
+
+let error ?(loc = Loc.dummy) phase fmt =
+  Format.kasprintf
+    (fun message -> raise (Error { phase; loc; message }))
+    fmt
+
+let errorf = error
+
+let pp ppf { phase; loc; message } =
+  if Loc.is_dummy loc then Fmt.pf ppf "%s: %s" (phase_name phase) message
+  else Fmt.pf ppf "%a: %s: %s" Loc.pp loc (phase_name phase) message
+
+let to_string t = Fmt.str "%a" pp t
+
+(** [protect f] runs [f ()] and converts a raised diagnostic into
+    [Error string]; other exceptions propagate. *)
+let protect f = try Ok (f ()) with Error _ as e -> Result.Error (to_string (match e with Error d -> d | _ -> assert false))

@@ -1,0 +1,29 @@
+(** Diagnostics: located errors raised by every phase of the system.
+
+    Each diagnostic records the phase that produced it — in particular,
+    errors in macro bodies carry definition-time phases
+    ([Pattern_check], [Type_check]), supporting the paper's guarantee
+    that macro users only see errors about code they wrote. *)
+
+type phase =
+  | Lexing
+  | Parsing
+  | Pattern_check  (** pattern well-formedness (one-token lookahead) *)
+  | Type_check  (** parse-time meta type analysis *)
+  | Expansion  (** running the meta-program *)
+
+val phase_name : phase -> string
+
+type t = { phase : phase; loc : Loc.t; message : string }
+
+exception Error of t
+
+val error : ?loc:Loc.t -> phase -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [error ~loc phase fmt ...] raises {!Error}. *)
+
+val errorf : ?loc:Loc.t -> phase -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val protect : (unit -> 'a) -> ('a, string) result
+(** Run a computation, converting a raised diagnostic into [Error msg]. *)

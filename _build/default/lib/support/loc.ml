@@ -1,0 +1,41 @@
+(** Source locations.
+
+    A location is a half-open span [(start, stop)] within a named source
+    (usually a file, or ["<string>"] for in-memory programs).  Positions
+    count lines from 1 and columns from 0, like the OCaml compiler. *)
+
+type pos = {
+  line : int;  (** 1-based line number *)
+  col : int;  (** 0-based column *)
+  offset : int;  (** 0-based byte offset from start of source *)
+}
+
+type t = {
+  source : string;  (** source name, e.g. a file name *)
+  start_pos : pos;
+  end_pos : pos;
+}
+
+let dummy_pos = { line = 0; col = 0; offset = 0 }
+let dummy = { source = "<none>"; start_pos = dummy_pos; end_pos = dummy_pos }
+let is_dummy t = t.start_pos.line = 0
+
+let make ~source ~start_pos ~end_pos = { source; start_pos; end_pos }
+
+(** [merge a b] spans from the start of [a] to the end of [b].  If either
+    side is the dummy location the other is returned unchanged. *)
+let merge a b =
+  if is_dummy a then b
+  else if is_dummy b then a
+  else { a with end_pos = b.end_pos }
+
+let pp ppf t =
+  if is_dummy t then Fmt.string ppf "<unknown location>"
+  else if t.start_pos.line = t.end_pos.line then
+    Fmt.pf ppf "%s:%d:%d-%d" t.source t.start_pos.line t.start_pos.col
+      t.end_pos.col
+  else
+    Fmt.pf ppf "%s:%d:%d-%d:%d" t.source t.start_pos.line t.start_pos.col
+      t.end_pos.line t.end_pos.col
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,24 @@
+(** Source locations: half-open spans within a named source. *)
+
+type pos = {
+  line : int;  (** 1-based line number *)
+  col : int;  (** 0-based column *)
+  offset : int;  (** 0-based byte offset from start of source *)
+}
+
+type t = { source : string; start_pos : pos; end_pos : pos }
+
+val dummy_pos : pos
+
+val dummy : t
+(** The unknown location; {!is_dummy} recognizes it. *)
+
+val is_dummy : t -> bool
+val make : source:string -> start_pos:pos -> end_pos:pos -> t
+
+val merge : t -> t -> t
+(** [merge a b] spans from the start of [a] to the end of [b]; dummy
+    sides are ignored. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/typing/check.ml: Diag Infer List Ms2_mtype Ms2_support Ms2_syntax Of_cdecl Option Tenv

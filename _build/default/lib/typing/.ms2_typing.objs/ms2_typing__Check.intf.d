@@ -1,0 +1,1 @@
+lib/typing/check.mli: Ms2_mtype Ms2_syntax Tenv

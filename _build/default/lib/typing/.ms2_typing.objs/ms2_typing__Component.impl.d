@@ -1,0 +1,1 @@
+lib/typing/component.ml: List Ms2_mtype Option

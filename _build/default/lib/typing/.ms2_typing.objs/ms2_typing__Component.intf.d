@@ -1,0 +1,1 @@
+lib/typing/component.mli: Ms2_mtype

@@ -1,0 +1,1 @@
+lib/typing/infer.ml: Component Diag Lazy List Ms2_mtype Ms2_support Ms2_syntax Of_cdecl Printf String Tenv

@@ -1,0 +1,1 @@
+lib/typing/infer.mli: Ms2_mtype Ms2_support Ms2_syntax Tenv

@@ -1,0 +1,1 @@
+lib/typing/of_cdecl.ml: Diag Fmt List Ms2_mtype Ms2_support Ms2_syntax

@@ -1,0 +1,1 @@
+lib/typing/of_cdecl.mli: Ms2_mtype Ms2_support Ms2_syntax

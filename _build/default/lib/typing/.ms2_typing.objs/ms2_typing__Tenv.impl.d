@@ -1,0 +1,1 @@
+lib/typing/tenv.ml: Fun Hashtbl List Ms2_mtype Option

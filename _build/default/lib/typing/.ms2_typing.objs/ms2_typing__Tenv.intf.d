@@ -1,0 +1,1 @@
+lib/typing/tenv.mli: Ms2_mtype

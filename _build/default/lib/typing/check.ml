@@ -1,0 +1,120 @@
+(** Definition-time checking of meta-code bodies.
+
+    "Full type checking during macro processing guarantees syntactically
+    valid transformations" (paper, §1): the body of every macro and meta
+    function is checked when it is defined, so a macro user can never be
+    handed an ill-typed transformation. *)
+
+open Ms2_syntax.Ast
+open Ms2_support
+module Mtype = Ms2_mtype.Mtype
+module Sort = Ms2_mtype.Sort
+
+let error loc fmt = Diag.error ~loc Diag.Type_check fmt
+
+(** Process a declaration appearing in meta code: yields the (name, type)
+    bindings it introduces, checking any initializers against the
+    declared types.  The same routine handles [metadcl] globals. *)
+let rec declare (env : Tenv.t) (decl : decl) : (string * Mtype.t) list =
+  match decl.d with
+  | Decl_plain (specs, idecls) ->
+      List.concat_map
+        (fun idecl ->
+          match idecl with
+          | Init_decl (d, init) ->
+              let name, ty = Of_cdecl.of_decl ~loc:decl.dloc specs d in
+              if name = "" then
+                error decl.dloc "meta declaration needs a name";
+              (match init with
+              | None -> ()
+              | Some (I_expr e) ->
+                  Infer.check_subtype ~loc:e.eloc ~what:"initializer"
+                    (Infer.type_of env e) ty
+              | Some (I_list _) ->
+                  error decl.dloc
+                    "brace initializers are not part of the macro language");
+              Tenv.add env name ty;
+              [ (name, ty) ]
+          | Init_splice _ ->
+              error decl.dloc "placeholder in meta declaration")
+        idecls
+  | Decl_fun (specs, d, kr, body) ->
+      if kr <> [] then
+        error decl.dloc "K&R parameter declarations are object-level only";
+      let name, ty = Of_cdecl.of_decl ~loc:decl.dloc specs d in
+      (match ty with
+      | Mtype.Fun (param_types, ret) ->
+          (* bind the function name first so it can recurse *)
+          Tenv.add env name ty;
+          let params =
+            match Of_cdecl.func_params d with
+            | Some ps -> Of_cdecl.params_of_func ~loc:decl.dloc ps
+            | None -> error decl.dloc "malformed meta function declarator"
+          in
+          assert (List.length params = List.length param_types);
+          Tenv.with_scope env (fun () ->
+              List.iter (fun (n, t) -> Tenv.add env n t) params;
+              check_body env ~ret body);
+          [ (name, ty) ]
+      | _ -> error decl.dloc "meta function definition without function type")
+  | Decl_metadcl inner -> declare env inner
+  | Decl_macro_def _ ->
+      error decl.dloc "macro definitions cannot be nested in meta code"
+  | Decl_splice _ -> error decl.dloc "placeholder outside a template"
+  | Decl_macro _ ->
+      error decl.dloc
+        "declaration-macro invocations are not allowed inside meta code"
+
+(** Check a statement of meta code.  [ret] is the enclosing macro's or
+    meta function's declared return type. *)
+and check_stmt (env : Tenv.t) ~(ret : Mtype.t) (stmt : stmt) : unit =
+  match stmt.s with
+  | St_expr e -> ignore (Infer.type_of env e)
+  | St_compound items ->
+      Tenv.with_scope env (fun () ->
+          List.iter
+            (function
+              | Bi_decl d -> ignore (declare env d)
+              | Bi_stmt s -> check_stmt env ~ret s)
+            items)
+  | St_if (c, t, e) ->
+      ignore (Infer.type_of env c);
+      check_stmt env ~ret t;
+      Option.iter (check_stmt env ~ret) e
+  | St_while (c, body) | St_do (body, c) ->
+      ignore (Infer.type_of env c);
+      check_stmt env ~ret body
+  | St_for (init, cond, step, body) ->
+      let ign e = ignore (Infer.type_of env e) in
+      Option.iter ign init;
+      Option.iter ign cond;
+      Option.iter ign step;
+      check_stmt env ~ret body
+  | St_switch (e, body) ->
+      ignore (Infer.type_of env e);
+      check_stmt env ~ret body
+  | St_case (e, s) ->
+      ignore (Infer.type_of env e);
+      check_stmt env ~ret s
+  | St_default s -> check_stmt env ~ret s
+  | St_return None ->
+      if not (Mtype.equal ret Mtype.Void) then
+        error stmt.sloc "return without a value in a macro returning %s"
+          (Mtype.to_string ret)
+  | St_return (Some e) ->
+      Infer.check_subtype ~loc:e.eloc ~what:"returned value"
+        (Infer.type_of env e) ret
+  | St_break | St_continue | St_null -> ()
+  | St_goto _ | St_label _ ->
+      error stmt.sloc "goto is not part of the macro language"
+  | St_splice _ -> error stmt.sloc "placeholder outside a template"
+  | St_macro inv ->
+      (* a macro invocation in meta code must itself be meta code once
+         expanded; its declared type must be stmt *)
+      if not (Mtype.subtype inv.inv_ret (Mtype.Ast Sort.Stmt)) then
+        error stmt.sloc
+          "macro %s returns %s and cannot be used as a meta statement"
+          inv.inv_name.id_name
+          (Mtype.to_string inv.inv_ret)
+
+and check_body env ~ret body = check_stmt env ~ret body

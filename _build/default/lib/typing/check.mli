@@ -1,0 +1,15 @@
+(** Definition-time checking of meta-code bodies: "full type checking
+    during macro processing guarantees syntactically valid
+    transformations" (paper §1). *)
+
+open Ms2_syntax.Ast
+module Mtype = Ms2_mtype.Mtype
+
+val declare : Tenv.t -> decl -> (string * Mtype.t) list
+(** Process a meta declaration: bind its names (checking initializers)
+    and return the bindings.  Handles meta functions and [metadcl]. *)
+
+val check_stmt : Tenv.t -> ret:Mtype.t -> stmt -> unit
+val check_body : Tenv.t -> ret:Mtype.t -> stmt -> unit
+(** Check a macro or meta-function body against its declared return
+    type. *)

@@ -1,0 +1,43 @@
+(** Predefined member names for extracting components of ASTs.
+
+    The paper: "We also have predefined member names for extracting
+    components of ASTs such as stmt->declarations and
+    declaration->type_spec."  This module is the *typing* side of that
+    table; the runtime extraction lives in [ms2.meta] (Builtins) and must
+    agree with it. *)
+
+module Sort = Ms2_mtype.Sort
+module Mtype = Ms2_mtype.Mtype
+
+(** [type_of sort member] is the type of [x->member] when [x : @sort]. *)
+let type_of (sort : Sort.t) (member : string) : Mtype.t option =
+  let open Mtype in
+  match (sort, member) with
+  (* every AST value can report what kind of node it is *)
+  | _, "kind" -> Some String
+  | Sort.Decl, "type_spec" -> Some (Ast Sort.Typespec)
+  | Sort.Decl, "init_declarators" -> Some (List (Ast Sort.Init_declarator))
+  | Sort.Decl, "name" -> Some (Ast Sort.Id)  (* declared name, first declarator *)
+  | Sort.Stmt, "declarations" -> Some (List (Ast Sort.Decl))
+  | Sort.Stmt, "statements" -> Some (List (Ast Sort.Stmt))
+  | Sort.Stmt, "expression" -> Some (Ast Sort.Exp)
+  | Sort.Init_declarator, "declarator" -> Some (Ast Sort.Declarator)
+  | Sort.Declarator, "name" -> Some (Ast Sort.Id)
+  | Sort.Exp, "callee" -> Some (Ast Sort.Exp)
+  | Sort.Exp, "args" -> Some (List (Ast Sort.Exp))
+  | Sort.Typespec, "enumerators" -> Some (List (Ast Sort.Enumerator))
+  | Sort.Typespec, "tag" -> Some (Ast Sort.Id)
+  | Sort.Typespec, "field_names" -> Some (List (Ast Sort.Id))
+  | Sort.Enumerator, "name" -> Some (Ast Sort.Id)
+  | Sort.Num, "value" -> Some Int
+  | Sort.Param, "name" -> Some (Ast Sort.Id)
+  | _, _ -> None
+
+(** Members available on a sort, for diagnostics. *)
+let members (sort : Sort.t) : string list =
+  let candidates =
+    [ "kind"; "type_spec"; "init_declarators"; "name"; "declarations";
+      "statements"; "expression"; "declarator"; "callee"; "args";
+      "enumerators"; "tag"; "field_names"; "value" ]
+  in
+  List.filter (fun m -> Option.is_some (type_of sort m)) candidates

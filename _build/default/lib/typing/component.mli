@@ -1,0 +1,12 @@
+(** Typing side of the paper's predefined AST component members
+    ([stmt->declarations], [declaration->type_spec], ...).  Must agree
+    with the runtime table in [Ms2_meta.Builtins.component]. *)
+
+module Sort = Ms2_mtype.Sort
+module Mtype = Ms2_mtype.Mtype
+
+val type_of : Sort.t -> string -> Mtype.t option
+(** Type of [x->member] when [x : @sort]. *)
+
+val members : Sort.t -> string list
+(** Members available on a sort, for diagnostics. *)

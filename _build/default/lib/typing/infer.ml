@@ -1,0 +1,341 @@
+(** Type inference for meta-language expressions.
+
+    This is the semantic analysis the parser performs while parsing: the
+    type of a placeholder expression decides how the surrounding template
+    is parsed (paper §3, Figures 2 and 3), and full checking of macro
+    bodies at definition time is what guarantees macros only build
+    syntactically valid fragments.
+
+    All failures raise {!Ms2_support.Diag.Error} with phase
+    [Type_check]. *)
+
+open Ms2_syntax.Ast
+open Ms2_support
+module Mtype = Ms2_mtype.Mtype
+module Sort = Ms2_mtype.Sort
+
+let error loc fmt = Diag.error ~loc Diag.Type_check fmt
+
+(* ------------------------------------------------------------------ *)
+(* Builtins                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Fixed-signature primitive functions of the macro language. *)
+let fixed_builtins : (string * Mtype.t) list =
+  let open Mtype in
+  [ ("concat_ids", Fun ([ Ast Sort.Id; Ast Sort.Id ], Ast Sort.Id));
+    ("pstring", Fun ([ Ast Sort.Id ], Ast Sort.Exp));
+    (* string <-> identifier <-> number conversions *)
+    ("make_id", Fun ([ String ], Ast Sort.Id));
+    ("id_string", Fun ([ Ast Sort.Id ], String));
+    ("make_string", Fun ([ String ], Ast Sort.Exp));
+    ("exp_string", Fun ([ Ast Sort.Exp ], String));
+    ("make_num", Fun ([ Int ], Ast Sort.Num));
+    ("num_value", Fun ([ Ast Sort.Num ], Int));
+    ("int_string", Fun ([ Int ], String));
+    (* predicates *)
+    ("simple_expression", Fun ([ Ast Sort.Exp ], Int));
+    (* strings *)
+    ("strcmp", Fun ([ String; String ], Int));
+    ("strcat", Fun ([ String; String ], String));
+    (* semantic-macro primitives: the object-level type of an expression
+       at the expansion point (paper §5, "semantic macros") *)
+    ("exp_typespec", Fun ([ Ast Sort.Exp ], Ast Sort.Typespec));
+    ("declare_like", Fun ([ Ast Sort.Exp; Ast Sort.Id ], Ast Sort.Decl));
+    ("type_name_of", Fun ([ Ast Sort.Exp ], String));
+    ("is_pointer", Fun ([ Ast Sort.Exp ], Int));
+    ("is_integer", Fun ([ Ast Sort.Exp ], Int));
+    ("types_compatible", Fun ([ Ast Sort.Exp; Ast Sort.Exp ], Int)) ]
+
+let is_builtin name =
+  List.mem_assoc name fixed_builtins
+  || List.mem name
+       [ "gensym"; "symbolconc"; "length"; "list"; "append"; "cons"; "map";
+         "filter"; "reverse"; "nth"; "error"; "print" ]
+
+(** Least upper bound under the subtype order, or an error. *)
+let join ~loc a b =
+  if Mtype.subtype a b then b
+  else if Mtype.subtype b a then a
+  else
+    error loc "incompatible types %s and %s" (Mtype.to_string a)
+      (Mtype.to_string b)
+
+let check_subtype ~loc ~what actual expected =
+  if not (Mtype.subtype actual expected) then
+    error loc "%s has type %s but %s was expected" what
+      (Mtype.to_string actual) (Mtype.to_string expected)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec type_of (env : Tenv.t) (expr : expr) : Mtype.t =
+  let loc = expr.eloc in
+  match expr.e with
+  | E_ident id -> (
+      match Tenv.find env id.id_name with
+      | Some ty -> ty
+      | None -> (
+          match List.assoc_opt id.id_name fixed_builtins with
+          | Some ty -> ty
+          | None ->
+              error id.id_loc "unbound meta variable %s" id.id_name))
+  | E_const (Cint _ | Cchar _) -> Mtype.Int
+  | E_const (Cstring _) -> Mtype.String
+  | E_const (Cfloat _) ->
+      error loc "floating-point literals are not part of the macro language"
+
+  | E_call ({ e = E_ident f; _ }, args) when special_builtin f.id_name ->
+      type_of_special env loc f.id_name args
+  | E_call (f, args) -> (
+      match type_of env f with
+      | Mtype.Fun (params, ret) ->
+          if List.length params <> List.length args then
+            error loc "wrong number of arguments: expected %d, got %d"
+              (List.length params) (List.length args);
+          List.iteri
+            (fun i (p, a) ->
+              check_subtype ~loc:a.eloc
+                ~what:(Printf.sprintf "argument %d" (i + 1))
+                (type_of env a) p)
+            (List.combine params args);
+          ret
+      | ty ->
+          error loc "this is not a function (it has type %s)"
+            (Mtype.to_string ty))
+  | E_index (l, i) -> (
+      match type_of env l with
+      | Mtype.List t ->
+          check_subtype ~loc:i.eloc ~what:"index" (type_of env i) Mtype.Int;
+          t
+      | Mtype.Tuple fields -> (
+          match i.e with
+          | E_const (Cint (n, _)) when n >= 0 && n < List.length fields ->
+              (List.nth fields n).Mtype.fld_type
+          | E_const (Cint (n, _)) ->
+              error loc "tuple index %d out of range (size %d)" n
+                (List.length fields)
+          | _ -> error loc "tuples may only be indexed by constants")
+      | ty -> error loc "cannot index a value of type %s" (Mtype.to_string ty))
+  | E_member (e, f) | E_arrow (e, f) -> (
+      let f =
+        match f with
+        | Ii_id id -> id
+        | Ii_splice sp ->
+            error sp.sp_loc
+              "placeholders cannot name components of meta values"
+      in
+      match type_of env e with
+      | Mtype.Tuple fields -> (
+          match
+            List.find_opt (fun x -> x.Mtype.fld_name = f.id_name) fields
+          with
+          | Some x -> x.Mtype.fld_type
+          | None -> error f.id_loc "tuple has no field %s" f.id_name)
+      | Mtype.Ast sort -> (
+          match Component.type_of sort f.id_name with
+          | Some ty -> ty
+          | None ->
+              error f.id_loc "@%s values have no component %s (available: %s)"
+                (Sort.keyword sort) f.id_name
+                (String.concat ", " (Component.members sort)))
+      | ty ->
+          error loc "cannot select a component from a value of type %s"
+            (Mtype.to_string ty))
+  | E_unary (Deref, e) -> (
+      (* *l is the head of list l (the paper's car) *)
+      match type_of env e with
+      | Mtype.List t -> t
+      | ty -> error loc "cannot dereference a value of type %s"
+                (Mtype.to_string ty))
+  | E_unary (Addr, _) ->
+      error loc
+        "it is illegal to take the address of a meta value (paper, §2)"
+  | E_unary ((Neg | Plus | Bitnot), e) ->
+      check_subtype ~loc ~what:"operand" (type_of env e) Mtype.Int;
+      Mtype.Int
+  | E_unary (Lognot, e) ->
+      ignore (type_of env e);
+      Mtype.Int
+  | E_unary ((Preincr | Predecr), e) | E_postincr e | E_postdecr e ->
+      check_lvalue env e;
+      check_subtype ~loc ~what:"operand" (type_of env e) Mtype.Int;
+      Mtype.Int
+  | E_binary (Add, l, r) -> (
+      (* l + 1 is the tail of list l (the paper's cdr); s + t is string
+         concatenation *)
+      match type_of env l with
+      | Mtype.List _ as t ->
+          check_subtype ~loc ~what:"list offset" (type_of env r) Mtype.Int;
+          t
+      | Mtype.String ->
+          check_subtype ~loc ~what:"right operand" (type_of env r)
+            Mtype.String;
+          Mtype.String
+      | tl ->
+          check_subtype ~loc ~what:"left operand" tl Mtype.Int;
+          check_subtype ~loc ~what:"right operand" (type_of env r) Mtype.Int;
+          Mtype.Int)
+  | E_binary ((Eq | Ne), l, r) ->
+      let tl = type_of env l and tr = type_of env r in
+      ignore (join ~loc tl tr);
+      Mtype.Int
+  | E_binary ((Logand | Logor), l, r) ->
+      ignore (type_of env l);
+      ignore (type_of env r);
+      Mtype.Int
+  | E_binary (_, l, r) ->
+      check_subtype ~loc ~what:"left operand" (type_of env l) Mtype.Int;
+      check_subtype ~loc ~what:"right operand" (type_of env r) Mtype.Int;
+      Mtype.Int
+  | E_cond (c, t, e) ->
+      ignore (type_of env c);
+      join ~loc (type_of env t) (type_of env e)
+  | E_assign (A_eq, l, r) ->
+      check_lvalue env l;
+      let tl = type_of env l in
+      check_subtype ~loc ~what:"assigned value" (type_of env r) tl;
+      tl
+  | E_assign (_, l, r) ->
+      check_lvalue env l;
+      check_subtype ~loc ~what:"left operand" (type_of env l) Mtype.Int;
+      check_subtype ~loc ~what:"right operand" (type_of env r) Mtype.Int;
+      Mtype.Int
+  | E_comma (a, b) ->
+      ignore (type_of env a);
+      type_of env b
+  | E_sizeof_expr _ | E_sizeof_type _ -> Mtype.Int
+  | E_cast (_, _) -> error loc "casts are not part of the macro language"
+  | E_backquote t -> type_of_template t
+  | E_lambda (params, body) ->
+      let bindings = Of_cdecl.params_of_func ~loc params in
+      Tenv.with_scope env (fun () ->
+          List.iter (fun (n, ty) -> Tenv.add env n ty) bindings;
+          let ret = type_of env body in
+          Mtype.Fun (List.map snd bindings, ret))
+  | E_splice sp ->
+      (* a depth-1 splice has already been typed by the parser; deeper
+         splices are opaque until the enclosing template is filled *)
+      sp.sp_type
+  | E_macro inv -> inv.inv_ret
+
+and type_of_template = function
+  | T_exp _ -> Mtype.Ast Sort.Exp
+  | T_stmt _ -> Mtype.Ast Sort.Stmt
+  | T_decl _ -> Mtype.Ast Sort.Decl
+  | T_general (ps, _) -> pspec_type ps
+
+and check_lvalue env e =
+  match e.e with
+  | E_ident id ->
+      if Tenv.find env id.id_name = None then
+        error id.id_loc "unbound meta variable %s" id.id_name
+  | E_index _ | E_member _ | E_arrow _ | E_unary (Deref, _) -> ()
+  | _ -> error e.eloc "this meta expression is not assignable"
+
+and special_builtin = function
+  | "gensym" | "symbolconc" | "length" | "list" | "append" | "cons" | "map"
+  | "filter" | "reverse" | "nth" | "error" | "print" ->
+      true
+  | _ -> false
+
+and type_of_special env loc name args : Mtype.t =
+  let targs = lazy (List.map (type_of env) args) in
+  let arg i = List.nth (Lazy.force targs) i in
+  let argloc i = (List.nth args i).eloc in
+  let arity ns =
+    if not (List.mem (List.length args) ns) then
+      error loc "%s: wrong number of arguments (%d)" name (List.length args)
+  in
+  match name with
+  | "gensym" ->
+      arity [ 0; 1 ];
+      if List.length args = 1 then (
+        match arg 0 with
+        | Mtype.String | Mtype.Ast Sort.Id -> ()
+        | ty ->
+            error (argloc 0) "gensym: expected a string or @id, got %s"
+              (Mtype.to_string ty));
+      Mtype.Ast Sort.Id
+  | "symbolconc" ->
+      if args = [] then error loc "symbolconc: needs at least one argument";
+      List.iteri
+        (fun i ty ->
+          match ty with
+          | Mtype.String | Mtype.Ast Sort.Id | Mtype.Int -> ()
+          | ty ->
+              error (argloc i)
+                "symbolconc: arguments must be strings, @id or int, got %s"
+                (Mtype.to_string ty))
+        (Lazy.force targs);
+      Mtype.Ast Sort.Id
+  | "length" -> (
+      arity [ 1 ];
+      match arg 0 with
+      | Mtype.List _ -> Mtype.Int
+      | ty ->
+          error (argloc 0) "length: expected a list, got %s"
+            (Mtype.to_string ty))
+  | "list" ->
+      if args = [] then
+        error loc
+          "list: cannot type an empty list (declare a list meta variable \
+           instead)";
+      let elem =
+        List.fold_left (join ~loc) (arg 0) (List.tl (Lazy.force targs))
+      in
+      Mtype.List elem
+  | "append" -> (
+      arity [ 2 ];
+      match (arg 0, arg 1) with
+      | Mtype.List a, Mtype.List b -> Mtype.List (join ~loc a b)
+      | ta, tb ->
+          error loc "append: expected two lists, got %s and %s"
+            (Mtype.to_string ta) (Mtype.to_string tb))
+  | "cons" -> (
+      arity [ 2 ];
+      match arg 1 with
+      | Mtype.List b -> Mtype.List (join ~loc (arg 0) b)
+      | ty ->
+          error (argloc 1) "cons: expected a list, got %s" (Mtype.to_string ty))
+  | "map" -> (
+      arity [ 2 ];
+      match (arg 0, arg 1) with
+      | Mtype.Fun ([ p ], r), Mtype.List elem ->
+          check_subtype ~loc:(argloc 1) ~what:"list elements" elem p;
+          Mtype.List r
+      | ta, tb ->
+          error loc "map: expected a one-argument function and a list, got %s \
+                     and %s"
+            (Mtype.to_string ta) (Mtype.to_string tb))
+  | "filter" -> (
+      arity [ 2 ];
+      match (arg 0, arg 1) with
+      | Mtype.Fun ([ p ], _), (Mtype.List elem as tl) ->
+          check_subtype ~loc:(argloc 1) ~what:"list elements" elem p;
+          tl
+      | ta, tb ->
+          error loc
+            "filter: expected a one-argument function and a list, got %s and \
+             %s"
+            (Mtype.to_string ta) (Mtype.to_string tb))
+  | "reverse" -> (
+      arity [ 1 ];
+      match arg 0 with
+      | Mtype.List _ as t -> t
+      | ty ->
+          error (argloc 0) "reverse: expected a list, got %s"
+            (Mtype.to_string ty))
+  | "nth" -> (
+      arity [ 2 ];
+      match arg 0 with
+      | Mtype.List t ->
+          check_subtype ~loc:(argloc 1) ~what:"index" (arg 1) Mtype.Int;
+          t
+      | ty ->
+          error (argloc 0) "nth: expected a list, got %s" (Mtype.to_string ty))
+  | "error" | "print" ->
+      ignore (Lazy.force targs);
+      Mtype.Void
+  | _ -> assert false

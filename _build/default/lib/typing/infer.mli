@@ -1,0 +1,25 @@
+(** Type inference for meta-language expressions — the semantic analysis
+    the parser performs while parsing, which types placeholders and so
+    drives template disambiguation (paper §3, Figures 2-3).
+
+    All failures raise {!Ms2_support.Diag.Error} with phase
+    [Type_check]. *)
+
+open Ms2_syntax.Ast
+module Mtype = Ms2_mtype.Mtype
+
+val fixed_builtins : (string * Mtype.t) list
+(** Primitive functions with fixed signatures ([concat_ids], [pstring],
+    the semantic-macro primitives, ...). *)
+
+val is_builtin : string -> bool
+(** Including the specially-typed ones ([list], [map], [length], ...). *)
+
+val join : loc:Ms2_support.Loc.t -> Mtype.t -> Mtype.t -> Mtype.t
+(** Least upper bound under subtyping, or a diagnostic. *)
+
+val check_subtype :
+  loc:Ms2_support.Loc.t -> what:string -> Mtype.t -> Mtype.t -> unit
+
+val type_of : Tenv.t -> expr -> Mtype.t
+val type_of_template : template -> Mtype.t

@@ -1,0 +1,25 @@
+(** Conversion of C declaration syntax to meta types: array syntax
+    declares lists, struct syntax declares tuples, [char *] is the meta
+    string type, function declarators (including list-returning
+    [f(...)[] ]) declare meta functions. *)
+
+open Ms2_syntax.Ast
+module Mtype = Ms2_mtype.Mtype
+
+val of_decl :
+  loc:Ms2_support.Loc.t -> spec list -> declarator -> string * Mtype.t
+(** Declared name (empty for abstract declarators) and meta type.
+    @raise Ms2_support.Diag.Error on non-meta-expressible declarations. *)
+
+val func_params : declarator -> param list option
+(** Parameter list of a function declarator, looking through array and
+    pointer layers. *)
+
+val params_of_func :
+  loc:Ms2_support.Loc.t -> param list -> (string * Mtype.t) list
+(** Named, typed parameters of a meta function. *)
+
+val specs_mention_ast : spec list -> bool
+(** Used to classify top-level definitions as meta functions. *)
+
+val declarator_mentions_ast : declarator -> bool

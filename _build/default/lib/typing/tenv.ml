@@ -1,0 +1,50 @@
+(** Meta-level type environments.
+
+    The parse-time semantic analyzer "knows the declared types of
+    meta-variables (both globals and parameters of macros and
+    meta-functions) and the types returned by primitive operations on
+    ASTs" (paper, §3).  A [Tenv.t] holds exactly that knowledge: a stack
+    of scopes mapping meta-variable names to {!Ms2_mtype.Mtype.t}. *)
+
+module Mtype = Ms2_mtype.Mtype
+
+type t = { mutable scopes : (string, Mtype.t) Hashtbl.t list }
+
+let create () = { scopes = [ Hashtbl.create 16 ] }
+
+(** A snapshot usable for re-entrant parses: shares no mutable state with
+    the original. *)
+let copy t = { scopes = List.map Hashtbl.copy t.scopes }
+
+let push_scope t = t.scopes <- Hashtbl.create 16 :: t.scopes
+
+let pop_scope t =
+  match t.scopes with
+  | [] | [ _ ] -> invalid_arg "Tenv.pop_scope: global scope"
+  | _ :: rest -> t.scopes <- rest
+
+let with_scope t f =
+  push_scope t;
+  Fun.protect ~finally:(fun () -> pop_scope t) f
+
+let add t name ty =
+  match t.scopes with
+  | scope :: _ -> Hashtbl.replace scope name ty
+  | [] -> assert false
+
+let add_global t name ty =
+  match List.rev t.scopes with
+  | global :: _ -> Hashtbl.replace global name ty
+  | [] -> assert false
+
+let find t name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+        match Hashtbl.find_opt scope name with
+        | Some ty -> Some ty
+        | None -> go rest)
+  in
+  go t.scopes
+
+let mem t name = Option.is_some (find t name)

@@ -1,0 +1,23 @@
+(** Meta-level type environments: the parse-time semantic analyzer's
+    knowledge of "the declared types of meta-variables (both globals and
+    parameters of macros and meta-functions)" (paper §3). *)
+
+module Mtype = Ms2_mtype.Mtype
+
+type t
+
+val create : unit -> t
+
+val copy : t -> t
+(** A snapshot sharing no mutable state, for re-entrant parses. *)
+
+val push_scope : t -> unit
+val pop_scope : t -> unit
+val with_scope : t -> (unit -> 'a) -> 'a
+
+val add : t -> string -> Mtype.t -> unit
+(** Bind in the innermost scope. *)
+
+val add_global : t -> string -> Mtype.t -> unit
+val find : t -> string -> Mtype.t option
+val mem : t -> string -> bool

@@ -1,0 +1,1 @@
+test/test_c_subset.ml: Alcotest Filename Ms2_syntax Printf Sys Tutil

@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Ms2_parser Ms2_support Tutil

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Array Filename Fun List Ms2 String Sys Tutil

@@ -1,0 +1,1 @@
+test/test_cpp.ml: Alcotest List Ms2_cpp Ms2_support Tutil

@@ -1,0 +1,1 @@
+test/test_csem.ml: Alcotest List Ms2 Ms2_csem String Tutil

@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Buffer List Ms2 Printf String Tutil

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Buffer Format List Ms2 Ms2_syntax String Tutil

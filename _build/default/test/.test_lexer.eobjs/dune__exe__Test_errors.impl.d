@@ -1,0 +1,1 @@
+test/test_errors.ml: Alcotest Ms2 Ms2_support Tutil

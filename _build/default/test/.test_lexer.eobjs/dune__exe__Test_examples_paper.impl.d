@@ -1,0 +1,1 @@
+test/test_examples_paper.ml: Alcotest String Tutil

@@ -1,0 +1,1 @@
+test/test_figures.ml: Alcotest List Ms2 Tutil

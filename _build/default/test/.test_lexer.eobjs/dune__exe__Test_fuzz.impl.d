@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Char Gen List Ms2 Ms2_mtype Ms2_parser Ms2_pattern Ms2_support Ms2_syntax Ms2_typing Mtype Printf QCheck QCheck_alcotest Sort String Test

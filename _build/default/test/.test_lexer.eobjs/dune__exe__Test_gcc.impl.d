@@ -1,0 +1,1 @@
+test/test_gcc.ml: Alcotest Filename Ms2 Printf Sys Tutil

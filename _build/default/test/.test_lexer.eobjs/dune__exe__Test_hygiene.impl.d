@@ -1,0 +1,1 @@
+test/test_hygiene.ml: Alcotest List Ms2_parser Ms2_support Tutil

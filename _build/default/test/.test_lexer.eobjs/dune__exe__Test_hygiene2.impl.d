@@ -1,0 +1,1 @@
+test/test_hygiene2.ml: Alcotest Ms2 String Tutil

@@ -1,0 +1,1 @@
+test/test_infer.ml: Alcotest List Ms2_mtype Ms2_parser Ms2_support Ms2_typing Tutil

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Filename Ms2 Ms2_support Printf String Sys Tutil

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Ms2_syntax Printf Tutil

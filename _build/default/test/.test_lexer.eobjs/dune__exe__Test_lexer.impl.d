@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Array Fmt Lexer List Ms2_support Ms2_syntax Token Tutil

@@ -1,0 +1,1 @@
+test/test_metamacros.ml: Alcotest Ms2 String Tutil

@@ -1,0 +1,1 @@
+test/test_mtype.ml: Alcotest List Ms2_mtype Tutil

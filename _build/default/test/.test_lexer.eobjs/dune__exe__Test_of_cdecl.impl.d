@@ -1,0 +1,1 @@
+test/test_of_cdecl.ml: Alcotest Ms2_mtype Ms2_support Ms2_syntax Ms2_typing Tutil

@@ -1,0 +1,1 @@
+test/test_of_cdecl.mli:

@@ -1,0 +1,1 @@
+test/test_parser_decl.ml: Alcotest List Ms2_parser Ms2_support Ms2_syntax Tutil

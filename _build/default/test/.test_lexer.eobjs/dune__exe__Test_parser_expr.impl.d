@@ -1,0 +1,1 @@
+test/test_parser_expr.ml: Alcotest Ms2_parser Ms2_support Tutil

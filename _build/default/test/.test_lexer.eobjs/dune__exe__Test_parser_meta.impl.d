@@ -1,0 +1,1 @@
+test/test_parser_meta.ml: Alcotest List Ms2_mtype Ms2_syntax Tutil

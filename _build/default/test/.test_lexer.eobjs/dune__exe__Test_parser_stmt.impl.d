@@ -1,0 +1,1 @@
+test/test_parser_stmt.ml: Alcotest List Ms2_parser Ms2_support Ms2_syntax Tutil

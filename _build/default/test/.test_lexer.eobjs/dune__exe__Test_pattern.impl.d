@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest Ast List Ms2_mtype Ms2_pattern Ms2_support Ms2_syntax Token Tutil

@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest List Ms2 Tutil

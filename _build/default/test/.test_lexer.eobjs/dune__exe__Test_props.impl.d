@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Gen List Ms2 Ms2_mtype Ms2_parser Ms2_support Ms2_syntax Printf QCheck QCheck_alcotest String Test Tutil

@@ -1,0 +1,1 @@
+test/test_props_stmt.ml: Alcotest Gen List Ms2 Printf QCheck QCheck_alcotest String Test Tutil

@@ -1,0 +1,1 @@
+test/test_semantic.ml: Alcotest Tutil

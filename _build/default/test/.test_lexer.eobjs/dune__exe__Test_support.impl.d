@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Diag List Loc Ms2_support Tutil

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Ms2_meta Ms2_mtype Ms2_syntax Tutil

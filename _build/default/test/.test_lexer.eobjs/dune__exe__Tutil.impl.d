@@ -1,0 +1,1 @@
+test/tutil.ml: Alcotest Buffer Ms2 Ms2_parser Ms2_support Ms2_syntax String

@@ -1,0 +1,12 @@
+int sum_odds(int n)
+{
+  int i;
+  int total = 0;
+  for (i = 1; i <= n; i += 2)
+    {
+      total += i;
+    }
+  if (!(total > 0))
+    return -1;
+  return total;
+}

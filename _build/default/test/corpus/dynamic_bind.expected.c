@@ -1,0 +1,13 @@
+int printlength = 10;
+
+void print_gym()
+{
+  {
+    int printlength__g1 = printlength;
+    printlength = 2 * printlength;
+    {
+      print_class_structure(gym_class);
+    }
+    printlength = printlength__g1;
+  }
+}

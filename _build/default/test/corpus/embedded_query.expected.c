@@ -1,0 +1,19 @@
+typedef int db_cursor;
+
+struct user_row { int id; int age; };
+
+void report()
+{
+  struct user_row row;
+  {
+    db_cursor *cur = db_open("users");
+    while (db_next(cur))
+      {
+        row.id = db_column_int(cur, 0);
+        row.age = db_column_int(cur, 1);
+        if (row.age > 30)
+          db_emit(&row);
+      }
+    db_close(cur);
+  }
+}

@@ -1,0 +1,38 @@
+enum fruit {apple, banana, kiwi};
+
+void print_fruit(int arg)
+{
+  switch (arg)
+    {
+      case apple:
+        {
+          printf("%s", "apple");
+          break;
+        }
+      case banana:
+        {
+          printf("%s", "banana");
+          break;
+        }
+      case kiwi:
+        {
+          printf("%s", "kiwi");
+          break;
+        }
+    }
+}
+
+int read_fruit()
+{
+  char s[100];
+  getline(s, 100);
+  if (strcmp(s, "apple") == 0)
+    return apple;
+  if (strcmp(s, "banana") == 0)
+    return banana;
+  if (strcmp(s, "kiwi") == 0)
+    return kiwi;
+  return -1;
+}
+
+enum caps {c_read = 1, c_write = 2};

@@ -1,0 +1,33 @@
+int foo(int a, int b, int *c)
+{
+  int z;
+  z = a + b;
+  {
+    int *old_exception_ptr = exception_ptr;
+    int jmp_buffer[2];
+    int result;
+    result = setjump(jmp_buffer);
+    if (result == 0)
+      {
+        exception_ptr = jmp_buffer;
+        {
+          *c = freq(z, a);
+        }
+      }
+    else
+      {
+        exception_ptr = old_exception_ptr;
+        if (result == division_by_zero)
+          {
+            printf("%s", "You lose, division by zero.");
+          }
+        else
+          longjmp(exception_ptr, result);
+      }
+  }
+  {
+    int the_value = z + 1;
+    longjmp(exception_ptr, the_value);
+  }
+  return z;
+}

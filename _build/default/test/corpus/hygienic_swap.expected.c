@@ -1,0 +1,10 @@
+void f()
+{
+  int tmp = 1;
+  int other = 2;
+  {
+    int tmp__g1 = tmp;
+    tmp = other;
+    other = tmp__g1;
+  }
+}

@@ -1,0 +1,18 @@
+int repaint(int hDC)
+{
+  {
+    BeginPaint(hDC, &ps);
+    {
+      draw_line(hDC, 0, 0);
+    }
+    EndPaint(hDC, &ps);
+  }
+  {
+    BeginPaint(hDC, &ps);
+    {
+      flood_fill(hDC);
+    }
+    EndPaint(hDC, &ps);
+  }
+  return 0;
+}

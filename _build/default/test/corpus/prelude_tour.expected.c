@@ -1,0 +1,37 @@
+enum open_modes {om_read = 1, om_write = 2, om_append = 4};
+
+int fd_flags;
+
+int process(int n)
+{
+  int i;
+  int total = 0;
+  if (!(n > 0))
+    return -1;
+  for (i = 1; i <= n; i++)
+    {
+      total += i;
+    }
+  {
+    int times__g1;
+    for (times__g1 = 0; times__g1 < 2; times__g1++)
+      {
+        total = total * 2;
+      }
+  }
+  do
+    {
+      total = total - 1;
+    }
+  while (!(total < 100));
+  if (!(total >= 0))
+    assert_fail("total >= 0");
+  printf("%s = %d\n", "total", total);
+  {
+    int swap__g2;
+    swap__g2 = fd_flags;
+    fd_flags = total;
+    total = swap__g2;
+  }
+  return total;
+}

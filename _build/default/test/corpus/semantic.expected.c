@@ -1,0 +1,16 @@
+struct point { int x; int y; };
+
+int counter;
+
+char *name;
+
+double ratio;
+
+void g(struct point *p)
+{
+  printf("%d", counter);
+  printf("%p", (void *)name);
+  printf("%d", p->x);
+  printf("%p", (void *)&counter);
+  printf("<%s>", "double");
+}

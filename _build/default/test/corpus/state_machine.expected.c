@@ -1,0 +1,27 @@
+enum turnstile_states {locked, unlocked};
+
+int turnstile_step(int state, int event)
+{
+  switch (state)
+    {
+      {
+        case locked:
+          switch (event)
+            {
+              case coin:
+                return unlocked;
+            }
+        return state;
+      }
+      {
+        case unlocked:
+          switch (event)
+            {
+              case push:
+                return locked;
+            }
+        return state;
+      }
+    }
+  return state;
+}

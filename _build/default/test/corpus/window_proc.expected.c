@@ -1,0 +1,23 @@
+int wproc(int hWnd, int message, int wParam, int lParam)
+{
+  switch (message)
+    {
+      case WM_DESTROY:
+        {
+          {
+            KillTimer(hWnd, idTimer);
+            PostQuitMessage(0);
+          }
+          break;
+        }
+      case WM_CREATE:
+        {
+          {
+            idTimer = SetTimer(hWnd, 77, 5000, 0);
+          }
+          break;
+        }
+      default:
+        return DefWindowProc(hWnd, message, wParam, lParam);
+    }
+}

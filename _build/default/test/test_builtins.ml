@@ -1,0 +1,126 @@
+(** Builtin primitives observed through expansion: identifier surgery,
+    pstring, component extraction. *)
+
+open Tutil
+
+let symbolconc () =
+  check_expands
+    "syntax decl mk [] {| $$id::n ; |} {\n\
+     return list(`[int $(symbolconc(\"get_\", n, 2))();]);\n\
+     }\n\
+     mk width;"
+    "int get_width2();"
+
+let concat_ids () =
+  check_expands
+    "syntax decl mk [] {| $$id::a $$id::b ; |} {\n\
+     return list(`[int $(concat_ids(a, b));]);\n\
+     }\n\
+     mk foo bar;"
+    "int foobar;"
+
+let make_id () =
+  check_expands
+    "syntax decl mk [] {| $$id::n ; |} {\n\
+     char *s = strcat(id_string(n), \"_t\");\n\
+     return list(`[typedef int $(make_id(s));]);\n\
+     }\n\
+     mk size;"
+    "typedef int size_t;"
+
+let pstring () =
+  check_expands
+    "syntax stmt say {| $$id::n ; |} { return `{puts($(pstring(n)));}; }\n\
+     int f() { say hello; return 0; }"
+    "int f() { puts(\"hello\"); return 0; }"
+
+let num_conversions () =
+  check_expands
+    "syntax exp double_of {| ( $$num::n ) |} {\n\
+     return make_num(2 * num_value(n));\n\
+     }\n\
+     int x = double_of(21);"
+    "int x = 42;"
+
+let simple_expression () =
+  (* the throw-style dispatch: constants and identifiers are simple *)
+  let src which =
+    Printf.sprintf
+      "syntax stmt once {| $$exp::e ; |} {\n\
+       if (simple_expression(e)) return `{use($e);};\n\
+       return `{{int t = $e; use(t);}};\n\
+       }\n\
+       int f() { once %s; return 0; }"
+      which
+  in
+  check_expands (src "x") "int f() { use(x); return 0; }";
+  check_expands (src "42") "int f() { use(42); return 0; }";
+  check_expands (src "g()")
+    "int f() { { int t = g(); use(t); } return 0; }"
+
+let components () =
+  (* pull a declaration apart and rebuild it with a renamed variable *)
+  check_expands
+    "syntax decl shadow [] {| $$decl::d ; |} {\n\
+     @id n = d->name;\n\
+     return list(d, `[int $(symbolconc(n, \"_copy\"));]);\n\
+     }\n\
+     shadow int counter; ;"
+    "int counter; int counter_copy;"
+
+let stmt_components () =
+  (* count declarations and statements of a compound at expansion time *)
+  check_expands
+    "syntax exp shape {| $$stmt::s |} {\n\
+     return make_num(100 * length(s->declarations) + \
+     length(s->statements));\n\
+     }\n\
+     int x = shape { int a; int b; f(); };"
+    "int x = 201;"
+
+let struct_fields () =
+  (* the paper's "persistence code, RPC code ... can be automatically
+     created when data is declared": generate a field-by-field printer
+     for a struct from its declaration *)
+  check_expands
+    "syntax decl printable [] {| $$decl::d ; |} {\n\
+     @typespec t = d->type_spec;\n\
+     return list(d,\n\
+     `[void $(symbolconc(\"print_\", t->tag))(struct $(t->tag) *v)\n\
+     {\n\
+     $(map((@id f; `{printf(\"%s=%d \", $(pstring(f)), v->$f);}),\n\
+     t->field_names))\n\
+     }]);\n\
+     }\n\
+     printable struct point { int x; int y; int z; }; ;"
+    "struct point { int x; int y; int z; };\n\
+     void print_point(struct point *v)\n\
+     {\n\
+     printf(\"%s=%d \", \"x\", v->x);\n\
+     printf(\"%s=%d \", \"y\", v->y);\n\
+     printf(\"%s=%d \", \"z\", v->z);\n\
+     }"
+
+let kind () =
+  check_expands
+    "syntax exp kind_of {| ( $$stmt::s ) |} {\n\
+     if (strcmp(s->kind, \"while\") == 0) return make_num(1);\n\
+     return make_num(0);\n\
+     }\n\
+     int a = kind_of(while (1) f(););\n\
+     int b = kind_of({ f(); });"
+    "int a = 1;\nint b = 0;"
+
+let () =
+  Alcotest.run "builtins"
+    [ ( "builtins",
+        [ tc "symbolconc" symbolconc;
+          tc "concat_ids" concat_ids;
+          tc "make_id / id_string / strcat" make_id;
+          tc "pstring" pstring;
+          tc "num conversions" num_conversions;
+          tc "simple_expression dispatch" simple_expression;
+          tc "decl components" components;
+          tc "stmt components" stmt_components;
+          tc "struct field iteration" struct_fields;
+          tc "kind" kind ] ) ]

@@ -1,0 +1,107 @@
+(** Definition-time checking of macro bodies: return types, meta
+    declarations, rejected constructs.  These errors surface when the
+    macro is *defined* — the macro user never sees them (the paper's
+    syntactic-safety property). *)
+
+open Tutil
+
+let accepts src = ignore (pprog src)
+
+let rejects src sub =
+  match Ms2_parser.Parser.program_of_string src with
+  | exception Ms2_support.Diag.Error d ->
+      check_contains ~msg:src (Ms2_support.Diag.to_string d) sub
+  | _ -> Alcotest.failf "accepted: %s" src
+
+let return_types () =
+  accepts "syntax stmt m {| $$stmt::s |} { return s; }";
+  (* subsort: an @id may be returned where @exp is promised *)
+  accepts "syntax exp m {| $$id::i |} { return i; }";
+  rejects "syntax exp m {| $$stmt::s |} { return s; }" "returned value";
+  rejects "syntax stmt m {| $$stmt::s |} { return 1; }" "returned value";
+  rejects "syntax stmt m {| $$stmt::s |} { return; }" "return without a value"
+
+let body_declarations () =
+  accepts
+    "syntax stmt m {| $$exp::e |} {\n\
+     @id tmp = gensym();\n\
+     int n = 3;\n\
+     char *msg = \"hi\";\n\
+     return `{int $tmp = $e;};\n\
+     }";
+  rejects "syntax stmt m {| $$exp::e |} { @id x = 1; return `{;}; }"
+    "initializer";
+  rejects "syntax stmt m {| $$exp::e |} { int a[2] = {1, 2}; return `{;}; }"
+    "brace initializers"
+
+let scoping () =
+  (* compound scopes nest and pop *)
+  accepts
+    "syntax stmt m {| $$exp::e |} {\n\
+     if (1) { @id t = gensym(); return `{f($t);}; }\n\
+     return `{g($e);};\n\
+     }";
+  (* t is out of scope after its block *)
+  rejects
+    "syntax stmt m {| $$exp::e |} {\n\
+     if (1) { @id t = gensym(); return `{f($t);}; }\n\
+     return `{g($t);};\n\
+     }"
+    "unbound meta variable"
+
+let meta_statements () =
+  accepts
+    "syntax stmt m {| $$+/, exp::es |} {\n\
+     int i;\n\
+     int n = length(es);\n\
+     for (i = 0; i < n; i++) print(es[i]);\n\
+     while (n > 0) n--;\n\
+     do n++; while (n < 2);\n\
+     switch (n) { case 2: break; default: break; }\n\
+     return `{;};\n\
+     }";
+  rejects "syntax stmt m {| $$exp::e |} { lab: return `{;}; }"
+    "goto is not part"
+
+let meta_statements_cond () =
+  (* expansion-time dispatch on simple_expression type checks *)
+  accepts
+    "syntax stmt m {| $$exp::e |} {\n\
+     if (simple_expression(e)) return `{a();};\n\
+     else return `{b();};\n\
+     }"
+
+let nested_functions () =
+  (* nested function definitions are not part of the macro language *)
+  rejects
+    "syntax stmt m {| $$exp::e |} { @stmt f(@stmt s) { return s; } return \
+     `{;}; }"
+    "expected";
+  accepts
+    "@stmt bracket(@stmt s) { return `{enter(); $s; leave();}; }\n\
+     syntax stmt m {| $$stmt::s |} { return bracket(s); }"
+
+let downward_only_closures () =
+  (* the paper: anonymous functions "may only be passed downwards" *)
+  rejects
+    "metadcl @stmt mk(@id n)(@stmt s) { return `{;}; }"
+    "passed downward";
+  accepts
+    "metadcl int apply_twice(@stmt s) { return 0; }"
+
+let placeholders_outside () =
+  rejects "int f() { return $x; }" "placeholder outside";
+  rejects "syntax stmt m {| $$exp::e |} { $e; return `{;}; }"
+    "placeholder outside"
+
+let () =
+  Alcotest.run "check"
+    [ ( "check",
+        [ tc "return type checking" return_types;
+          tc "meta declarations in bodies" body_declarations;
+          tc "scoping" scoping;
+          tc "meta statements" meta_statements;
+          tc "conditions" meta_statements_cond;
+          tc "nested and top-level meta functions" nested_functions;
+          tc "downward-only closures" downward_only_closures;
+          tc "placeholders outside templates" placeholders_outside ] ) ]

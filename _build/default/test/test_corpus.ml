@@ -1,0 +1,65 @@
+(** File-driven golden tests: every [corpus/*.mc] file is expanded and
+    compared against its [corpus/*.expected.c] sibling.
+
+    The first line of each [.mc] file selects engine options:
+    [// ms2: prelude hygienic].
+
+    Regenerate the expected outputs (after reviewing a diff!) with
+    [MS2_CORPUS_BLESS=1 dune test]. *)
+
+open Tutil
+
+let corpus_dir = "corpus"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let options_of_source (src : string) : bool * bool =
+  (* (prelude, hygienic) from the first-line "// ms2: ..." marker *)
+  match String.index_opt src '\n' with
+  | None -> (false, false)
+  | Some i ->
+      let first = String.sub src 0 i in
+      let has word = contains ~sub:word first in
+      if contains ~sub:"ms2:" first then (has "prelude", has "hygienic")
+      else (false, false)
+
+let bless = Sys.getenv_opt "MS2_CORPUS_BLESS" = Some "1"
+
+let check_file name () =
+  let mc_path = Filename.concat corpus_dir name in
+  let expected_path =
+    Filename.concat corpus_dir (Filename.chop_suffix name ".mc" ^ ".expected.c")
+  in
+  let src = read_file mc_path in
+  let prelude, hygienic = options_of_source src in
+  let engine = Ms2.Api.create_engine ~prelude ~hygienic () in
+  match Ms2.Api.expand ~source:name engine src with
+  | Error e -> Alcotest.failf "%s failed to expand: %s" name e
+  | Ok out ->
+      if bless then write_file expected_path out
+      else if Sys.file_exists expected_path then
+        Alcotest.(check string) name (read_file expected_path) out
+      else
+        Alcotest.failf
+          "%s has no expected output; run with MS2_CORPUS_BLESS=1 to create \
+           it"
+          expected_path
+
+let () =
+  let cases =
+    Sys.readdir corpus_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".mc")
+    |> List.sort compare
+    |> List.map (fun f -> tc f (check_file f))
+  in
+  Alcotest.run "corpus" [ ("corpus", cases) ]

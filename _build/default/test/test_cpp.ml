@@ -1,0 +1,137 @@
+(** Tests for the token-substitution baseline (the paper's comparison
+    point), including the failure modes that motivate syntax macros. *)
+
+open Tutil
+module Cpp = Ms2_cpp.Cpp
+
+let expand_str defs src =
+  let cpp = Cpp.create () in
+  List.iter
+    (fun (name, params, body) ->
+      Cpp.define cpp name ~params (Cpp.tokenize body))
+    defs;
+  Cpp.expand_string cpp src
+
+let object_macros () =
+  Alcotest.(check string) "simple" "3 + 4"
+    (expand_str [ ("N", None, "3") ] "N + 4");
+  Alcotest.(check string) "multi-token" "( 1 + 2 ) * x"
+    (expand_str [ ("PAIR", None, "(1 + 2)") ] "PAIR * x");
+  Alcotest.(check string) "chained" "5"
+    (expand_str [ ("A", None, "B"); ("B", None, "5") ] "A")
+
+let function_macros () =
+  Alcotest.(check string) "substitution" "x + x"
+    (expand_str [ ("DOUBLE", Some [ "a" ], "a + a") ] "DOUBLE(x)");
+  Alcotest.(check string) "two params" "x * y + 1"
+    (expand_str [ ("MA", Some [ "a"; "b" ], "a * b + 1") ] "MA(x, y)");
+  Alcotest.(check string) "nested call args" "f ( 1 , 2 ) + g ( 3 )"
+    (expand_str
+       [ ("ADD", Some [ "a"; "b" ], "a + b") ]
+       "ADD(f(1, 2), g(3))");
+  Alcotest.(check string) "name without parens left alone" "DOUBLE ;"
+    (expand_str [ ("DOUBLE", Some [ "a" ], "a + a") ] "DOUBLE;")
+
+let encapsulation_failure () =
+  (* the paper's motivating bug, reproduced on purpose *)
+  Alcotest.(check string) "A * B mis-parenthesizes" "x + y * m + n"
+    (expand_str [ ("MUL", Some [ "A"; "B" ], "A * B") ] "MUL(x + y, m + n)");
+  (* the standard CPP workaround: parenthesize everything by hand *)
+  Alcotest.(check string) "manual parens fix it"
+    "( x + y ) * ( m + n )"
+    (expand_str
+       [ ("MUL", Some [ "A"; "B" ], "(A) * (B)") ]
+       "MUL(x + y, m + n)")
+
+let double_evaluation () =
+  (* token substitution duplicates argument tokens — the other classic
+     CPP hazard (MS² macros can decide with simple_expression) *)
+  Alcotest.(check string) "side effect duplicated" "i ++ * i ++"
+    (expand_str [ ("SQ", Some [ "a" ], "a * a") ] "SQ(i++)")
+
+let self_reference_guard () =
+  Alcotest.(check string) "self-reference stops" "FOO + 1"
+    (expand_str [ ("FOO", None, "FOO + 1") ] "FOO");
+  Alcotest.(check string) "mutual recursion stops" "A + 1 + 1"
+    (expand_str
+       [ ("A", None, "B + 1"); ("B", None, "A + 1") ]
+       "A")
+
+let recursive_expansion_in_args () =
+  Alcotest.(check string) "args pre-expanded" "2 + 2"
+    (expand_str
+       [ ("TWO", None, "2"); ("ADD", Some [ "a"; "b" ], "a + b") ]
+       "ADD(TWO, TWO)")
+
+let errors () =
+  let cpp = Cpp.create () in
+  Cpp.define_function cpp "F" [ "a"; "b" ] (Cpp.tokenize "a + b");
+  (match Cpp.expand_string cpp "F(1)" with
+  | exception Ms2_support.Diag.Error d ->
+      check_contains ~msg:"arity" (Ms2_support.Diag.to_string d) "arguments"
+  | s -> Alcotest.failf "accepted arity mismatch: %s" s);
+  match Cpp.expand_string cpp "F(1, 2" with
+  | exception Ms2_support.Diag.Error d ->
+      check_contains ~msg:"unterminated" (Ms2_support.Diag.to_string d)
+        "unterminated"
+  | s -> Alcotest.failf "accepted unterminated args: %s" s
+
+(* ------------------------------------------------------------------ *)
+(* The character-level baseline (Figure 1's leftmost column)           *)
+(* ------------------------------------------------------------------ *)
+
+module Charsub = Ms2_cpp.Charsub
+
+let char_level_basics () =
+  let c = Charsub.create () in
+  Charsub.define c "N" "16";
+  Alcotest.(check string) "substitutes" "int x = 16;"
+    (Charsub.expand_string c "int x = N;")
+
+let char_level_corruption () =
+  (* blind character substitution corrupts identifiers and strings —
+     why macro processors moved to tokens, then to syntax *)
+  let c = Charsub.create () in
+  Charsub.define c "RE" "x";
+  Alcotest.(check string) "identifier corrupted" "int COx = 1;"
+    (Charsub.expand_string c "int CORE = 1;");
+  let c2 = Charsub.create () in
+  Charsub.define c2 "max" "MAX_VALUE";
+  Alcotest.(check string) "string corrupted"
+    "puts(\"MAX_VALUE size\");"
+    (Charsub.expand_string c2 "puts(\"max size\");")
+
+let char_level_rescan () =
+  let c = Charsub.create () in
+  Charsub.define c "A" "B1";
+  Charsub.define c "B" "C";
+  Alcotest.(check string) "rescans output" "C11"
+    (Charsub.expand_string c "A1");
+  (* self-reference guarded *)
+  let c2 = Charsub.create () in
+  Charsub.define c2 "X" "X+Y";
+  Alcotest.(check string) "no infinite loop" "X+Y" (Charsub.expand_string c2 "X")
+
+let char_level_explicit_calls () =
+  let c = Charsub.create () in
+  Charsub.define c "RE" "x";
+  Alcotest.(check string) "explicit calls leave words alone"
+    "int CORE = x;"
+    (Charsub.expand_calls c "int CORE = $RE$;");
+  Alcotest.(check string) "unknown names kept" "$nope$"
+    (Charsub.expand_calls c "$nope$")
+
+let () =
+  Alcotest.run "cpp"
+    [ ( "cpp",
+        [ tc "object macros" object_macros;
+          tc "function macros" function_macros;
+          tc "encapsulation failure (paper's example)" encapsulation_failure;
+          tc "double evaluation hazard" double_evaluation;
+          tc "self-reference guard" self_reference_guard;
+          tc "arguments pre-expanded" recursive_expansion_in_args;
+          tc "errors" errors;
+          tc "character-level substitution" char_level_basics;
+          tc "character-level corruption" char_level_corruption;
+          tc "character-level rescanning" char_level_rescan;
+          tc "GPM-style explicit calls" char_level_explicit_calls ] ) ]

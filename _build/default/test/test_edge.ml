@@ -1,0 +1,183 @@
+(** Tricky interactions: macros vs typedefs, macros in odd positions,
+    templates referring to typedefs, scale smoke tests. *)
+
+open Tutil
+
+let exp_macro_as_statement () =
+  (* an expression macro used as an expression statement *)
+  check_expands
+    "syntax exp bump {| |} { return `(counter++); }\n\
+     int counter;\n\
+     int f() { bump; bump; return counter; }"
+    "int counter;\nint f() { counter++; counter++; return counter; }"
+
+let exp_macro_in_condition_position () =
+  check_expands
+    "syntax exp limit {| |} { return make_num(10); }\n\
+     int f(int x) { while (x < limit) x++; do x--; while (x > limit); \
+     return x ? limit : -limit; }"
+    "int f(int x) { while (x < 10) x++; do x--; while (x > 10); return x ? \
+     10 : -10; }"
+
+let typedefs_in_templates () =
+  (* a template may use typedef names from the definition site *)
+  check_expands
+    "typedef unsigned long word;\n\
+     syntax stmt declare_word {| $$id::n ; |} {\n\
+     return `{word $n = 0;};\n\
+     }\n\
+     int f() { declare_word w; return 0; }"
+    (* declarations are not statements in C89, so the macro's result
+       stays a (one-declaration) block *)
+    "typedef unsigned long word;\n\
+     int f() { { word w = 0; } return 0; }"
+
+let paper_typedef_limitation () =
+  (* the paper, "Dealing with Context Sensitivity": fragments parse
+     independently of the context they will appear in, so a template
+     using a name that is *not* a typedef at the definition site parses
+     it as an ordinary identifier — "db_cursor *cur" becomes a
+     multiplication.  We reproduce the limitation faithfully. *)
+  let out =
+    expand
+      "syntax stmt open_it {| ; |} { return `{db_cursor *cur = open();}; }\n\
+       int f() { open_it; return 0; }"
+  in
+  check_contains ~msg:"parsed as multiplication/assignment" (norm out)
+    "(db_cursor * cur) = open();";
+  (* with the typedef in scope at definition time, it is a declaration *)
+  check_expands
+    "typedef int db_cursor;\n\
+     syntax stmt open_it {| ; |} { return `{db_cursor *cur = open();}; }\n\
+     int f() { open_it; return 0; }"
+    "typedef int db_cursor;\n\
+     int f() { { db_cursor *cur = open(); } return 0; }"
+
+let macro_name_shadows_nothing () =
+  (* a macro keyword does not interfere with same-named struct tags or
+     members (different namespaces in C) *)
+  check_expands
+    "syntax exp size {| ( $$exp::e ) |} { return `(($e) * 2); }\n\
+     struct box { int size; };\n\
+     int f(struct box *b) { return size(b->size); }"
+    "struct box { int size; };\n\
+     int f(struct box *b) { return b->size * 2; }"
+
+let nested_invocations_in_actuals () =
+  check_expands
+    "syntax exp twice {| ( $$exp::e ) |} { return `(($e) + ($e)); }\n\
+     int x = twice(twice(twice(1)));"
+    "int x = ((1 + 1) + (1 + 1)) + ((1 + 1) + (1 + 1));"
+
+let pattern_with_brackets_and_keywords () =
+  (* buzz tokens may be keywords and brackets *)
+  check_expands
+    "metadcl @decl edge_none[];\n\
+     syntax decl shape [] {| struct $$id::n [ $$num::sz ] while ; |} {\n\
+     return list(`[char $n[$sz];]);\n\
+     }\n\
+     shape struct buffer [ 128 ] while ;"
+    "char buffer[128];"
+
+let template_building_templates () =
+  (* a meta function result spliced into another template repeatedly *)
+  check_expands
+    "@exp wrapn(int n, @exp e) {\n\
+     if (n == 0) return e;\n\
+     return wrapn(n - 1, `(w($e)));\n\
+     }\n\
+     syntax exp deep {| ( $$num::n , $$exp::e ) |} {\n\
+     return wrapn(num_value(n), e);\n\
+     }\n\
+     int x = deep(3, seed);"
+    "int x = w(w(w(seed)));"
+
+let metadcl_initializer_runs_once () =
+  check_expands
+    "metadcl int base = 40 + 2;\n\
+     syntax exp basis {| |} { return make_num(base); }\n\
+     int a = basis;\n\
+     int b = basis;"
+    "int a = 42;\nint b = 42;"
+
+let scale_smoke () =
+  (* a sizeable generated workload expands and stays pure C *)
+  let n = 200 in
+  let ids = List.init n (fun i -> Printf.sprintf "c%d" i) in
+  let src =
+    "syntax decl colors [] {| { $$+/, id::ids } ; |} {\n\
+     return list(`[enum palette {$ids};]);\n\
+     }\n\
+     colors {" ^ String.concat ", " ids ^ "};"
+  in
+  let out = expand src in
+  check_contains ~msg:"first" out "c0";
+  check_contains ~msg:"last" out (Printf.sprintf "c%d" (n - 1));
+  ignore (pprog out)
+
+let deep_nesting_smoke () =
+  let d = 60 in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    "syntax stmt w {| $$stmt::s |} { return `{pre(); $s; post();}; }\n\
+     int f() { ";
+  for _ = 1 to d do
+    Buffer.add_string b "w { "
+  done;
+  Buffer.add_string b "core();";
+  for _ = 1 to d do
+    Buffer.add_string b " }"
+  done;
+  Buffer.add_string b " return 0; }";
+  let out = expand (Buffer.contents b) in
+  check_contains ~msg:"innermost survives" out "core();";
+  ignore (pprog out)
+
+let engine_reuse_after_error () =
+  (* an expansion error leaves the engine usable *)
+  let engine = Ms2.Api.create_engine () in
+  (match
+     Ms2.Api.expand ~source:"bad" engine
+       "syntax stmt boom {| |} { error(\"no\"); return `{;}; }\n\
+        int f() { boom }"
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected failure");
+  match Ms2.Api.expand ~source:"good" engine "int ok_after_error;" with
+  | Ok out ->
+      Alcotest.(check string) "engine still works"
+        (canon "int ok_after_error;") (norm out)
+  | Error e -> Alcotest.failf "engine unusable after error: %s" e
+
+let independent_engines () =
+  (* two engines interleaved share nothing: same macro name, different
+     bodies, independent gensym counters and meta state *)
+  let e1 = Ms2.Api.create_engine () and e2 = Ms2.Api.create_engine () in
+  let ok e src =
+    match Ms2.Api.expand ~source:"t" e src with
+    | Ok out -> norm out
+    | Error err -> Alcotest.fail err
+  in
+  ignore (ok e1 "metadcl int n;\nsyntax exp c {| |} { n = n + 1; return make_num(n); }");
+  ignore (ok e2 "metadcl int n;\nsyntax exp c {| |} { n = n + 10; return make_num(n); }");
+  Alcotest.(check string) "e1 first" (canon "int a = 1;") (ok e1 "int a = c;");
+  Alcotest.(check string) "e2 first" (canon "int a = 10;") (ok e2 "int a = c;");
+  Alcotest.(check string) "e1 second" (canon "int b = 2;") (ok e1 "int b = c;");
+  Alcotest.(check string) "e2 second" (canon "int b = 20;") (ok e2 "int b = c;")
+
+let () =
+  Alcotest.run "edge"
+    [ ( "edge",
+        [ tc "exp macro as statement" exp_macro_as_statement;
+          tc "exp macro in conditions" exp_macro_in_condition_position;
+          tc "typedefs in templates" typedefs_in_templates;
+          tc "the paper's typedef limitation" paper_typedef_limitation;
+          tc "macro vs member namespaces" macro_name_shadows_nothing;
+          tc "nested invocations in actuals" nested_invocations_in_actuals;
+          tc "keyword/bracket buzz tokens" pattern_with_brackets_and_keywords;
+          tc "recursive template building" template_building_templates;
+          tc "metadcl initializers run once" metadcl_initializer_runs_once;
+          tc "scale smoke (200 enumerators)" scale_smoke;
+          tc "deep nesting smoke (60 levels)" deep_nesting_smoke;
+          tc "engine reuse after errors" engine_reuse_after_error;
+          tc "interleaved engines are independent" independent_engines ] ) ]

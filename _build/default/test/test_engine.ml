@@ -1,0 +1,212 @@
+(** Engine integration tests: the whole pipeline, recursive expansion,
+    expansion in every syntactic position, multi-fragment engines,
+    statistics, and the purity guarantee. *)
+
+open Tutil
+
+let exp_macro_positions () =
+  let defs =
+    "syntax exp two {| |} { return make_num(2); }\n"
+  in
+  check_expands (defs ^ "int x = two + two;") "int x = 2 + 2;";
+  check_expands (defs ^ "int f() { return two * 3; }")
+    "int f() { return 2 * 3; }";
+  check_expands (defs ^ "int f() { if (two) g(two); return 0; }")
+    "int f() { if (2) g(2); return 0; }";
+  check_expands (defs ^ "int a[3] = {two, two, two};")
+    "int a[3] = {2, 2, 2};";
+  check_expands (defs ^ "int f() { for (i = two; i < two; i++) ; return 0; }")
+    "int f() { for (i = 2; i < 2; i++) ; return 0; }";
+  check_expands (defs ^ "int f() { switch (two) { case 1: break; } return 0; }")
+    "int f() { switch (2) { case 1: break; } return 0; }"
+
+let recursive_expansion () =
+  (* a macro that expands into an invocation of another macro *)
+  check_expands
+    "syntax exp one {| |} { return make_num(1); }\n\
+     syntax exp oneplus {| |} { return `(one + 1); }\n\
+     int x = oneplus;"
+    "int x = 1 + 1;";
+  (* bounded self-recursion through meta state *)
+  check_expands
+    "metadcl int depth;\n\
+     syntax stmt countdown {| |} {\n\
+     if (depth == 3) return `{done();};\n\
+     depth = depth + 1;\n\
+     return `{tick(); countdown};\n\
+     }\n\
+     int f() { countdown return 0; }"
+    "int f() { { tick(); { tick(); { tick(); done(); } } } return 0; }"
+
+let runaway_recursion () =
+  check_error
+    "syntax stmt loop {| |} { return `{loop}; }\n\
+     int f() { loop }"
+    "nesting depth"
+
+let list_returning_decl_macro () =
+  check_expands
+    "syntax decl pair [] {| $$id::n ; |} {\n\
+     return list(`[int $n;], `[int $(symbolconc(n, \"_max\"));]);\n\
+     }\n\
+     pair count;"
+    "int count;\nint count_max;"
+
+let empty_expansion () =
+  check_expands
+    "metadcl @decl none[];\n\
+     syntax decl note [] {| $$id::n ; |} { return none; }\n\
+     note whatever;\n\
+     int keep;"
+    "int keep;"
+
+let stmt_list_macro_in_block () =
+  check_expands
+    "syntax stmt both [] {| $$exp::e ; |} {\n\
+     return list(`{pre($e);}, `{post($e);});\n\
+     }\n\
+     int f() { both 7; return 0; }"
+    "int f() { pre(7); post(7); return 0; }"
+
+let macro_args_containing_macros () =
+  check_expands
+    "syntax exp two {| |} { return make_num(2); }\n\
+     syntax exp dbl {| ( $$exp::e ) |} { return `(($e) * 2); }\n\
+     int x = dbl(two + two);"
+    "int x = (2 + 2) * 2;"
+
+let macros_in_types () =
+  (* invocations inside enum values, array sizes and sizeof types *)
+  check_expands
+    "syntax exp two {| |} { return make_num(2); }\n\
+     enum sizes {small = two, big = two * 8};\n\
+     int buffer[two];\n\
+     struct s { int pad[two]; };\n\
+     int f() { return sizeof(int [two]) + (int)two; }"
+    "enum sizes {small = 2, big = 2 * 8};\n\
+     int buffer[2];\n\
+     struct s { int pad[2]; };\n\
+     int f() { return sizeof(int [2]) + (int)2; }"
+
+let staged_engine () =
+  let engine = Ms2.Api.create_engine () in
+  let ok src =
+    match Ms2.Api.expand ~source:"stage" engine src with
+    | Ok out -> out
+    | Error e -> Alcotest.failf "stage failed: %s" e
+  in
+  let defs = ok "syntax exp three {| |} { return make_num(3); }" in
+  Alcotest.(check string) "definitions emit nothing" "" (String.trim defs);
+  let use = ok "int x = three;" in
+  Alcotest.(check string) "later fragment sees the macro"
+    (canon "int x = 3;") (norm use);
+  (* meta globals persist across fragments *)
+  ignore (ok "metadcl int n;");
+  ignore (ok "syntax exp bump {| |} { n = n + 1; return make_num(n); }");
+  let a = ok "int a = bump;" and b = ok "int b = bump;" in
+  Alcotest.(check string) "first bump" (canon "int a = 1;") (norm a);
+  Alcotest.(check string) "second bump" (canon "int b = 2;") (norm b)
+
+let stats () =
+  let engine = Ms2.Api.create_engine () in
+  (match
+     Ms2.Api.expand engine
+       "syntax exp z {| |} { return make_num(0); }\n\
+        metadcl int g;\n\
+        int a = z + z;"
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let s = Ms2.Api.stats engine in
+  Alcotest.(check int) "macros" 1 s.Ms2.Engine.macros_defined;
+  Alcotest.(check int) "metadcls" 1 s.Ms2.Engine.meta_declarations_run;
+  Alcotest.(check int) "invocations" 2 s.Ms2.Engine.invocations_expanded
+
+let output_purity () =
+  (* the output of expansion always re-parses as pure C *)
+  let srcs =
+    [ "syntax stmt w {| $$stmt::s |} { return `{lock(); $s; unlock();}; }\n\
+       int f() { w { g(); } return 0; }";
+      "syntax decl d [] {| $$id::n ; |} { return list(`[int $n;]); }\n\
+       d alpha;\nd beta;" ]
+  in
+  List.iter
+    (fun src ->
+      let out = expand src in
+      let reparsed = pprog out in
+      ignore
+        (Ms2_syntax.Pretty.program_to_string ~mode:Ms2_syntax.Pretty.strict
+           reparsed))
+    srcs
+
+let return_type_violation () =
+  (* a macro that promises @stmt[] but returns an int is caught at
+     run time even if the static check is fooled... it cannot be fooled
+     here, so check the declared/actual mismatch diagnostic path via a
+     list with wrong element sorts is impossible statically; instead
+     check that conforms() backs the engine by running a well-typed
+     macro and confirming no error *)
+  check_expands
+    "syntax stmt ok {| |} { return `{f();}; }\nint g() { ok return 0; }"
+    "int g() { f(); return 0; }"
+
+let compiled_patterns_agree () =
+  (* the compiled invocation parsers (paper §3's suggested acceleration)
+     must produce the same expansions as the interpretive path *)
+  let src =
+    "metadcl @decl none[];\n\
+     syntax decl reg [] {| $$id::name ( $$*/, exp::args ) $$?at num::pos \
+     ; |} {\n\
+     return list(`[int $name;]);\n\
+     }\n\
+     syntax stmt loopy {| [ $$+stmt::body ] ( $$.( $$id::k , $$exp::v \
+     )::p ) |} {\n\
+     return `{setup($(p->k), $(p->v)); $body;};\n\
+     }\n\
+     reg alpha(1, 2, 3) at 7;\n\
+     reg beta();\n\
+     int f() { loopy [ a(); b(); ] (key, 41 + 1) return 0; }"
+  in
+  let run ~compile_patterns =
+    let engine = Ms2.Engine.create ~compile_patterns () in
+    match Ms2.Api.expand ~source:"t" engine src with
+    | Ok out -> norm out
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check string) "identical expansions" (run ~compile_patterns:false)
+    (run ~compile_patterns:true)
+
+let tracing () =
+  let engine = Ms2.Engine.create () in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  engine.Ms2.Engine.trace <- Some ppf;
+  (match
+     Ms2.Api.expand ~source:"t" engine
+       "syntax exp two {| |} { return make_num(2); }\nint x = two;"
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Format.pp_print_flush ppf ();
+  let log = Buffer.contents buf in
+  check_contains ~msg:"logs the macro name" log "expanding two";
+  check_contains ~msg:"logs the result" log "=> 2"
+
+let () =
+  Alcotest.run "engine"
+    [ ( "engine",
+        [ tc "expression macros in all positions" exp_macro_positions;
+          tc "recursive expansion" recursive_expansion;
+          tc "runaway recursion bounded" runaway_recursion;
+          tc "list-returning decl macros" list_returning_decl_macro;
+          tc "macros expanding to nothing" empty_expansion;
+          tc "stmt-list macros flatten in blocks" stmt_list_macro_in_block;
+          tc "macro arguments containing macros" macro_args_containing_macros;
+          tc "macros inside types" macros_in_types;
+          tc "staged engines persist state" staged_engine;
+          tc "statistics" stats;
+          tc "output is pure C" output_purity;
+          tc "well-typed returns pass conformance" return_type_violation;
+          tc "compiled and interpreted patterns agree"
+            compiled_patterns_agree;
+          tc "expansion tracing" tracing ] ) ]

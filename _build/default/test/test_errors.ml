@@ -1,0 +1,101 @@
+(** Failure-injection tests: every class of diagnostic, and the paper's
+    safety property — errors in macro *bodies* are reported at
+    definition time with a [type error]/[pattern error] phase, while a
+    macro *user* only ever sees syntax errors about code they wrote. *)
+
+open Tutil
+module Diag = Ms2_support.Diag
+
+let phase_of src =
+  match Ms2.Api.expand_to_ast src with
+  | Ok _ -> Alcotest.failf "expected an error for: %s" src
+  | Error _ -> (
+      (* re-run to get the structured diagnostic *)
+      match
+        Ms2.Engine.expand_source (Ms2.Engine.create ()) src
+      with
+      | exception Diag.Error d -> d.Diag.phase
+      | _ -> Alcotest.fail "inconsistent error behavior")
+
+let check_phase name src phase =
+  Alcotest.(check string) name (Diag.phase_name phase)
+    (Diag.phase_name (phase_of src))
+
+let lexical () =
+  check_phase "bad char" "int x = #3;" Diag.Lexing;
+  check_phase "unterminated string" "char *s = \"oops;" Diag.Lexing
+
+let syntax () =
+  check_phase "missing semi" "int x" Diag.Parsing;
+  check_phase "bad decl" "int 3;" Diag.Parsing;
+  check_phase "unbalanced" "int f() { return 0;" Diag.Parsing;
+  check_phase "fig3 illegal order" "int f() { g(); int x; return 0; }"
+    Diag.Parsing
+
+let pattern_errors () =
+  check_phase "ambiguous repetition"
+    "syntax stmt m {| $$*exp::xs $$exp::y |} { return `{;}; }"
+    Diag.Pattern_check;
+  check_phase "duplicate binders"
+    "syntax stmt m {| $$exp::x $$exp::x |} { return `{;}; }"
+    Diag.Pattern_check
+
+let type_errors () =
+  check_phase "unbound placeholder"
+    "syntax stmt m {| $$exp::e |} { return `{$oops;}; }" Diag.Type_check;
+  check_phase "wrong return"
+    "syntax exp m {| $$stmt::s |} { return s; }" Diag.Type_check;
+  check_phase "placeholder sort misuse"
+    "syntax stmt m {| $$stmt::s |} { return `(f($s)); }" Diag.Type_check;
+  check_phase "bad builtin arity"
+    "syntax stmt m {| $$exp::e |} { return `{f($(gensym(1, 2)));}; }"
+    Diag.Type_check
+
+let expansion_errors () =
+  check_phase "macro error()"
+    "syntax stmt m {| |} { error(\"no\"); return `{;}; }\nint f() { m }"
+    Diag.Expansion;
+  check_phase "runaway recursion"
+    "syntax stmt m {| |} { return `{m}; }\nint f() { m }" Diag.Expansion;
+  check_phase "empty list head"
+    "metadcl @stmt none[];\n\
+     syntax stmt m {| |} { return *none; }\nint f() { m }"
+    Diag.Expansion
+
+(* The safety claim: when a macro is sound, errors in invocations point
+   at the user's own tokens. *)
+let user_errors_are_user_errors () =
+  let err =
+    expand_err
+      "syntax stmt pair {| ( $$exp::a , $$exp::b ) |} { return `{f($a, \
+       $b);}; }\n\
+       int g() { pair (1 2); return 0; }"
+  in
+  (* the diagnostic mentions what the *user* wrote: a missing comma *)
+  check_contains ~msg:"mentions expected token" err "\",\""
+
+let diagnostics_have_locations () =
+  let err =
+    expand_err "int f() {\n  int x;\n  return x +;\n}"
+  in
+  check_contains ~msg:"line number" err ":3:"
+
+let result_api () =
+  (match Ms2.Api.expand_string "int x;" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "valid program rejected: %s" e);
+  match Ms2.Api.expand_string "int;;;x" with
+  | Ok _ -> ()
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "errors"
+    [ ( "errors",
+        [ tc "lexical phase" lexical;
+          tc "syntax phase" syntax;
+          tc "pattern phase" pattern_errors;
+          tc "type phase" type_errors;
+          tc "expansion phase" expansion_errors;
+          tc "user errors name user tokens" user_errors_are_user_errors;
+          tc "locations in diagnostics" diagnostics_have_locations;
+          tc "result API" result_api ] ) ]

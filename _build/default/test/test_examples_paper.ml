@@ -1,0 +1,210 @@
+(** Golden tests for the paper's Section 4 examples: each worked example
+    must expand to the code the paper prints (modulo identifier spelling
+    of generated names and layout). *)
+
+open Tutil
+
+let painting () =
+  check_expands
+    "syntax stmt Painting {| $$stmt::body |} {\n\
+     return `{BeginPaint(hDC, &ps);\n\
+     $body;\n\
+     EndPaint(hDC, &ps);};\n\
+     }\n\
+     int draw(int hDC) { Painting { blit(); } return 0; }"
+    "int draw(int hDC) {\n\
+     { BeginPaint(hDC, &ps); { blit(); } EndPaint(hDC, &ps); }\n\
+     return 0; }"
+
+let dynamic_bind () =
+  let out =
+    expand
+      "syntax stmt dynamic_bind\n\
+       {| ( $$typespec::type $$id::name = $$exp::init ) $$stmt::body |} {\n\
+       @id newname = gensym(name);\n\
+       return `{{$type $newname = $name;\n\
+       $name = $init;\n\
+       $body;\n\
+       $name = $newname;}};\n\
+       }\n\
+       int f() {\n\
+       dynamic_bind (int printlength = 10)\n\
+       { print_class_structure(gym_class); }\n\
+       return 0; }"
+  in
+  (* shape: save, set, body, restore — with a generated temporary *)
+  check_contains ~msg:"save" (norm out) "= printlength;";
+  check_contains ~msg:"set" (norm out) "printlength = 10;";
+  check_contains ~msg:"body" (norm out) "print_class_structure(gym_class);";
+  check_contains ~msg:"restore" (norm out) "printlength = printlength__g";
+  (* the temporary embeds the variable name and the gensym marker *)
+  check_contains ~msg:"gensym name" (norm out) "int printlength__g"
+
+let exceptions_throw_simple () =
+  (* paper: throw of a simple expression produces the direct form *)
+  let defs =
+    "syntax stmt throw {| $$exp::value |} {\n\
+     if (simple_expression(value))\n\
+     return `{if (exception_ptr == 0) no_handler($value);\n\
+     else longjmp(exception_ptr, $value);};\n\
+     else\n\
+     return `{{int the_value = $value;\n\
+     if (exception_ptr == 0) no_handler(the_value);\n\
+     else longjmp(exception_ptr, the_value);}};\n\
+     }\n"
+  in
+  check_expands
+    (defs ^ "int f() { throw err_code; return 0; }")
+    "int f() {\n\
+     if (exception_ptr == 0) no_handler(err_code);\n\
+     else longjmp(exception_ptr, err_code);\n\
+     return 0; }";
+  check_expands
+    (defs ^ "int f() { throw compute(); return 0; }")
+    "int f() {\n\
+     { int the_value = compute();\n\
+     if (exception_ptr == 0) no_handler(the_value);\n\
+     else longjmp(exception_ptr, the_value); }\n\
+     return 0; }"
+
+let exceptions_catch () =
+  let out =
+    expand
+      "syntax stmt throw {| $$exp::value |} {\n\
+       return `{longjmp(exception_ptr, $value);};\n\
+       }\n\
+       syntax stmt catch {| $$exp::tag $$stmt::handler $$stmt::body |} {\n\
+       return `{{int *old_exception_ptr = exception_ptr;\n\
+       int jmp_buffer[2];\n\
+       int result;\n\
+       result = setjump(jmp_buffer);\n\
+       if (result == 0)\n\
+       {exception_ptr = jmp_buffer; $body}\n\
+       else\n\
+       {exception_ptr = old_exception_ptr;\n\
+       if (result == $tag) $handler;\n\
+       else throw result;}}};\n\
+       }\n\
+       int foo() {\n\
+       catch division_by_zero\n\
+       {printf(\"%s\", \"You lose, division by zero.\");}\n\
+       {c = freq(z, a);}\n\
+       return z; }"
+  in
+  let out = norm out in
+  check_contains ~msg:"setjmp" out "result = setjump(jmp_buffer);";
+  check_contains ~msg:"install" out "exception_ptr = jmp_buffer;";
+  check_contains ~msg:"body" out "c = freq(z, a);";
+  check_contains ~msg:"tag test" out "if (result == division_by_zero)";
+  check_contains ~msg:"rethrow expanded" out
+    "longjmp(exception_ptr, result);"
+
+let myenum_full () =
+  (* the paper's full myenum example: enum + print_fruit + read_fruit *)
+  let out =
+    expand
+      "syntax decl myenum [] {| $$id::name { $$+/, id::ids } ; |} {\n\
+       return list(\n\
+       `[enum $name {$ids};],\n\
+       `[void $(symbolconc(\"print_\", name))(int arg)\n\
+       { switch (arg)\n\
+       {$(map((@id id; `{case $id: printf(\"%s\", $(pstring(id)));}),\n\
+       ids))} }],\n\
+       `[int $(symbolconc(\"read_\", name))()\n\
+       { char s[100];\n\
+       getline(s, 100);\n\
+       $(map((@id id;\n\
+       `{if (strcmp(s, $(pstring(id)))) return $id;}), ids))\n\
+       return -1; }]);\n\
+       }\n\
+       myenum fruit {apple, banana, kiwi};"
+  in
+  let out = norm out in
+  check_contains ~msg:"enum" out "enum fruit {apple, banana, kiwi};";
+  check_contains ~msg:"printer name" out "void print_fruit(int arg)";
+  check_contains ~msg:"case" out "case apple: printf(\"%s\", \"apple\");";
+  check_contains ~msg:"reader name" out "int read_fruit()";
+  check_contains ~msg:"read test" out
+    "if (strcmp(s, \"banana\")) return banana;";
+  check_contains ~msg:"buffer" out "char s[100];"
+
+let window_proc () =
+  let out =
+    expand
+      "metadcl @id wp_procs[];\n\
+       metadcl @id wp_messages[];\n\
+       metadcl @stmt wp_bodies[];\n\
+       metadcl @decl wp_no_decls[];\n\
+       metadcl @stmt wp_no_stmts[];\n\
+       syntax decl window_proc_dispatch []\n\
+       {| ( $$id::proc , $$id::message ) $$stmt::body |} {\n\
+       wp_procs = append(wp_procs, list(proc));\n\
+       wp_messages = append(wp_messages, list(message));\n\
+       wp_bodies = append(wp_bodies, list(body));\n\
+       return wp_no_decls;\n\
+       }\n\
+       @stmt wp_cases(@id proc, @id procs[], @id messages[], @stmt \
+       bodies[])[] {\n\
+       if (length(procs) == 0) return wp_no_stmts;\n\
+       if (*procs == proc)\n\
+       return cons(`{case $(*messages): { $(*bodies) break; }},\n\
+       wp_cases(proc, procs + 1, messages + 1, bodies + 1));\n\
+       return wp_cases(proc, procs + 1, messages + 1, bodies + 1);\n\
+       }\n\
+       syntax decl emit_window_proc [] {| $$id::name ; |} {\n\
+       return list(\n\
+       `[int $name(int hWnd, int message, int wParam, int lParam)\n\
+       { switch (message)\n\
+       { $(wp_cases(name, wp_procs, wp_messages, wp_bodies))\n\
+       default: return DefWindowProc(hWnd, message, wParam, lParam);\n\
+       } }]);\n\
+       }\n\
+       window_proc_dispatch(wproc, WM_DESTROY)\n\
+       { KillTimer(hWnd, idTimer); PostQuitMessage(0); }\n\
+       window_proc_dispatch(wproc, WM_CREATE)\n\
+       { idTimer = SetTimer(hWnd, 77, 5000, 0); }\n\
+       emit_window_proc wproc;"
+  in
+  let out = norm out in
+  check_contains ~msg:"signature" out
+    "int wproc(int hWnd, int message, int wParam, int lParam)";
+  check_contains ~msg:"destroy case" out "case WM_DESTROY:";
+  check_contains ~msg:"destroy body" out "KillTimer(hWnd, idTimer);";
+  check_contains ~msg:"create case" out "case WM_CREATE:";
+  check_contains ~msg:"create body" out
+    "idTimer = SetTimer(hWnd, 77, 5000, 0);";
+  check_contains ~msg:"default" out
+    "default: return DefWindowProc(hWnd, message, wParam, lParam);";
+  (* order: WM_DESTROY was dispatched first *)
+  let destroy = ref 0 and create = ref 0 in
+  String.iteri
+    (fun i _ ->
+      if i + 10 < String.length out then begin
+        if String.sub out i 10 = "WM_DESTROY" && !destroy = 0 then
+          destroy := i;
+        if i + 9 < String.length out && String.sub out i 9 = "WM_CREATE"
+           && !create = 0
+        then create := i
+      end)
+    out;
+  Alcotest.(check bool) "destroy before create" true (!destroy < !create)
+
+let enum_color_separator () =
+  (* paper §2: the macro writer never touches separator commas *)
+  check_expands
+    "syntax decl colordecl [] {| $$+/, id::ids ; |} {\n\
+     return list(`[enum color $ids;]);\n\
+     }\n\
+     colordecl red, blue, green;"
+    "enum color red, blue, green;"
+
+let () =
+  Alcotest.run "examples-paper"
+    [ ( "paper",
+        [ tc "Painting" painting;
+          tc "dynamic_bind" dynamic_bind;
+          tc "throw: simple_expression dispatch" exceptions_throw_simple;
+          tc "catch with rethrow" exceptions_catch;
+          tc "myenum readers and writers" myenum_full;
+          tc "window_proc rearrangement" window_proc;
+          tc "enum color separator handling" enum_color_separator ] ) ]

@@ -1,0 +1,64 @@
+(** Golden tests for the regenerated paper figures (the paper's
+    "evaluation"): the rows must match the paper symbol for symbol. *)
+
+open Tutil
+
+let figure2 () =
+  let rows = Ms2.Figures.figure2 () in
+  let expected =
+    [ ("init-declarator[]", "(declaration (int) y)");
+      ("init-declarator", "(declaration (int) (y))");
+      ("declarator", "(declaration (int) ((init-declarator y ())))");
+      ("identifier",
+       "(declaration (int) ((init-declarator (direct-declarator y) ())))") ]
+  in
+  Alcotest.(check (list (pair string string))) "figure 2" expected rows
+
+let figure3 () =
+  let rows = Ms2.Figures.figure3 () in
+  let expected =
+    [ ("decl", "decl",
+       "(c-s (decl-list ((decl \"int x\") ph1 ph2)) (stmt-list ((r-s (exp \
+        (id x))))))");
+      ("decl", "stmt",
+       "(c-s (decl-list ((decl \"int x\") ph1)) (stmt-list (ph2 (r-s (exp \
+        (id x))))))");
+      ("stmt", "stmt",
+       "(c-s (decl-list ((decl \"int x\"))) (stmt-list (ph1 ph2 (r-s (exp \
+        (id x))))))");
+      ("stmt", "decl", "Syntactically Illegal Program") ]
+  in
+  Alcotest.(check (list (triple string string string))) "figure 3" expected
+    rows
+
+let figure1_witnesses () =
+  (* character substitution corrupts tokens; CPP token substitution
+     mis-parenthesizes; MS² does neither *)
+  Alcotest.(check string) "char" "int COx = x;"
+    (Ms2.Figures.char_witness ());
+  Alcotest.(check string) "cpp" "x + y * m + n" (Ms2.Figures.cpp_witness ());
+  Alcotest.(check string) "ms2" "(x + y) * (m + n)"
+    (Ms2.Figures.ms2_witness ())
+
+let figure1_table () =
+  let rows = Ms2.Figures.figure1_table in
+  Alcotest.(check int) "three programmability rows" 3 (List.length rows);
+  let top = List.hd rows in
+  check_contains ~msg:"MS2 is the programmable syntax entry"
+    top.Ms2.Figures.syntax "MS2"
+
+let deterministic () =
+  (* regenerating the figures twice gives identical rows *)
+  Alcotest.(check (list (pair string string)))
+    "figure 2 deterministic" (Ms2.Figures.figure2 ()) (Ms2.Figures.figure2 ());
+  Alcotest.(check (list (triple string string string)))
+    "figure 3 deterministic" (Ms2.Figures.figure3 ()) (Ms2.Figures.figure3 ())
+
+let () =
+  Alcotest.run "figures"
+    [ ( "figures",
+        [ tc "figure 2 rows" figure2;
+          tc "figure 3 rows" figure3;
+          tc "figure 1 witnesses" figure1_witnesses;
+          tc "figure 1 table" figure1_table;
+          tc "determinism" deterministic ] ) ]

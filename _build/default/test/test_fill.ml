@@ -1,0 +1,134 @@
+(** Template-filling tests: tree-level substitution, list flattening in
+    every syntactic list position, and coercions. *)
+
+open Tutil
+
+let encapsulation () =
+  (* the paper's A * B example: substitution at the tree level cannot
+     change the parse *)
+  check_expands
+    "syntax exp mul {| ( $$exp::a , $$exp::b ) |} { return `($a * $b); }\n\
+     int r = mul(x + y, m + n);"
+    "int r = (x + y) * (m + n);";
+  (* and the symmetric case: a low-precedence context around the use *)
+  check_expands
+    "syntax exp inc {| ( $$exp::e ) |} { return `($e + 1); }\n\
+     int r = 2 * inc(3);"
+    "int r = 2 * (3 + 1);"
+
+let stmt_list_flatten () =
+  check_expands
+    "syntax stmt seq {| [ $$+stmt::body ] |} {\n\
+     return `{begin_tx(); $body; commit_tx();};\n\
+     }\n\
+     int f() { seq [ a(); b(); c(); ] return 0; }"
+    "int f() { { begin_tx(); a(); b(); c(); commit_tx(); } return 0; }"
+
+let stmt_single_positions () =
+  (* a list-valued placeholder in an if-branch gets wrapped in a block *)
+  check_expands
+    "syntax stmt when2 {| ( $$exp::c ) [ $$+stmt::body ] |} {\n\
+     return `{if ($c) $body;};\n\
+     }\n\
+     int f() { when2 (x) [ a(); b(); ] return 0; }"
+    "int f() { if (x) { a(); b(); } return 0; }"
+
+let arg_list_flatten () =
+  check_expands
+    "syntax stmt call_all {| $$id::f ( $$+/, exp::args ) twice ; |} {\n\
+     return `{$f($args); $f($args, extra);};\n\
+     }\n\
+     int g() { call_all h(1, 2) twice; return 0; }"
+    "int g() { { h(1, 2); h(1, 2, extra); } return 0; }"
+
+let enum_flatten () =
+  check_expands
+    "syntax decl colors [] {| $$+/, id::ids ; |} {\n\
+     return list(`[enum color {$ids};]);\n\
+     }\n\
+     colors red, green, blue;"
+    "enum color {red, green, blue};"
+
+let init_declarator_flatten () =
+  (* the paper's "enum color $ids;" example: an @id[] in init-declarator
+     position *)
+  check_expands
+    "syntax decl declare_all [] {| $$typespec::t : $$+/, id::vars ; |} {\n\
+     return list(`[$t $vars;]);\n\
+     }\n\
+     declare_all int : a, b, c;"
+    "int a, b, c;"
+
+let param_splices () =
+  check_expands
+    "syntax decl fwd [] {| $$id::name ( $$*/, param::ps ) ; |} {\n\
+     return list(`[int $name($ps);]);\n\
+     }\n\
+     fwd handler(int sig, char *info);"
+    "int handler(int sig, char *info);"
+
+let typespec_splice () =
+  check_expands
+    "syntax stmt declare {| $$typespec::t $$id::n = $$exp::e ; |} {\n\
+     return `{$t $n = $e;};\n\
+     }\n\
+     int f() { declare unsigned long x = 3; return 0; }"
+    "int f() { { unsigned long x = 3; } return 0; }"
+
+let declarator_splices () =
+  check_expands
+    "syntax decl defun [] {| $$declarator::d ; |} {\n\
+     return list(`[int $d { return 0; }]);\n\
+     }\n\
+     defun get_count(void);"
+    "int get_count() { return 0; }"
+
+let id_in_expr_and_case () =
+  check_expands
+    "syntax stmt dispatch {| on $$+/, id::tags : $$stmt::s |} {\n\
+     return `{switch (tag)\n\
+     {$(map((@id t; `{case $t: $s;}), tags))}};\n\
+     }\n\
+     int f() { dispatch on A, B : handle(); return 0; }"
+    "int f() { switch (tag) { case A: handle(); case B: handle(); } \
+     return 0; }"
+
+let decl_template_with_body () =
+  check_expands
+    "syntax decl getter [] {| $$id::field ; |} {\n\
+     return list(`[int $(symbolconc(\"get_\", field))(struct obj *o)\n\
+     { return o->$field; }]);\n\
+     }\n\
+     getter size;"
+    "int get_size(struct obj *o) { return o->size; }"
+
+let singleton_unwrap () =
+  (* `{single statement} denotes the statement, not a compound *)
+  check_expands
+    "syntax stmt pass {| $$exp::e ; |} { return `{use($e);}; }\n\
+     int f() { if (c) pass x; return 0; }"
+    "int f() { if (c) use(x); return 0; }"
+
+let wrong_value_shape () =
+  (* a typespec placeholder cannot stand in expression position; the
+     type system rejects it at definition time *)
+  check_error
+    "syntax stmt m {| $$typespec::t |} { return `{ f($t); }; }"
+    "cannot stand for"
+
+let () =
+  Alcotest.run "fill"
+    [ ( "fill",
+        [ tc "encapsulation (A * B)" encapsulation;
+          tc "statement lists flatten" stmt_list_flatten;
+          tc "single-statement positions wrap" stmt_single_positions;
+          tc "argument lists flatten" arg_list_flatten;
+          tc "enumerator lists flatten" enum_flatten;
+          tc "init-declarator lists flatten" init_declarator_flatten;
+          tc "parameter splices" param_splices;
+          tc "typespec splices" typespec_splice;
+          tc "declarator splices" declarator_splices;
+          tc "ids in case labels" id_in_expr_and_case;
+          tc "members named by placeholders" decl_template_with_body;
+          tc "singleton statement templates unwrap" singleton_unwrap;
+          tc "ill-typed placeholder positions" wrong_value_shape ] ) ]

@@ -1,0 +1,182 @@
+(** Robustness fuzzing: on *arbitrary* input the system must either
+    succeed or raise a located diagnostic — never crash, hang, or throw
+    anything else.  [Api.expand_string] already converts diagnostics to
+    [Error]; any other exception fails the property. *)
+
+open QCheck
+module Token = Ms2_syntax.Token
+
+let no_crash (f : unit -> unit) : bool =
+  match f () with
+  | () -> true
+  | exception Ms2_support.Diag.Error _ -> true
+  | exception _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Random token soup                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let token_spellings =
+  [ "int"; "char"; "return"; "if"; "else"; "while"; "enum"; "struct";
+    "typedef"; "syntax"; "metadcl"; "stmt"; "exp"; "id"; "x"; "foo";
+    "0"; "42"; "\"s\""; "'c'"; "1.5";
+    "{"; "}"; "("; ")"; "["; "]"; ";"; ","; ":"; "?"; ".";
+    "+"; "-"; "*"; "/"; "%"; "="; "=="; "<"; ">"; "&&"; "||"; "&"; "|";
+    "->"; "++"; "--";
+    "{|"; "|}"; "$"; "$$"; "::"; "`"; "@" ]
+
+let gen_token_soup =
+  Gen.map (String.concat " ")
+    (Gen.list_size (Gen.int_range 0 60) (Gen.oneofl token_spellings))
+
+let prop_token_soup =
+  Test.make ~name:"no crash on token soup" ~count:2000 (make gen_token_soup)
+    (fun src ->
+      match Ms2.Api.expand_string src with
+      | Ok _ | Error _ -> true
+      | exception _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Random bytes                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let gen_ascii =
+  Gen.map
+    (fun l -> String.init (List.length l) (List.nth l))
+    (Gen.list_size (Gen.int_range 0 80)
+       (Gen.map Char.chr (Gen.int_range 32 126)))
+
+let prop_random_bytes =
+  Test.make ~name:"no crash on random printable bytes" ~count:2000
+    (make gen_ascii)
+    (fun src ->
+      match Ms2.Api.expand_string src with
+      | Ok _ | Error _ -> true
+      | exception _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Random patterns through the determinism checker                     *)
+(* ------------------------------------------------------------------ *)
+
+let gen_pattern =
+  let open Ms2_syntax.Ast in
+  let gen_sort = Gen.oneofl Ms2_mtype.Sort.all in
+  let gen_tok =
+    Gen.oneofl
+      [ Token.SEMI; Token.COMMA; Token.LPAREN; Token.RPAREN;
+        Token.LBRACKET; Token.RBRACKET; Token.IDENT "kw"; Token.COLON ]
+  in
+  let gen_pspec =
+    Gen.sized
+      (Gen.fix (fun self n ->
+           if n = 0 then Gen.map (fun s -> Ps_sort s) gen_sort
+           else
+             let sub = self (n / 2) in
+             Gen.oneof
+               [ Gen.map (fun s -> Ps_sort s) gen_sort;
+                 Gen.map2 (fun t p -> Ps_plus (Some t, p)) gen_tok sub;
+                 Gen.map (fun p -> Ps_plus (None, p)) sub;
+                 Gen.map2 (fun t p -> Ps_star (Some t, p)) gen_tok sub;
+                 Gen.map (fun p -> Ps_star (None, p)) sub;
+                 Gen.map2 (fun t p -> Ps_opt (Some t, p)) gen_tok sub;
+                 Gen.map (fun p -> Ps_opt (None, p)) sub ]))
+  in
+  let counter = ref 0 in
+  let gen_elem =
+    Gen.oneof
+      [ Gen.map (fun t -> Pe_token t) gen_tok;
+        Gen.map
+          (fun spec ->
+            incr counter;
+            Pe_binder
+              { b_spec = spec;
+                b_name = Ms2_syntax.Ast.ident (Printf.sprintf "b%d" !counter)
+              })
+          gen_pspec ]
+  in
+  Gen.list_size (Gen.int_range 0 8) gen_elem
+
+let prop_determinism_total =
+  Test.make ~name:"determinism checker is total" ~count:2000
+    (make gen_pattern)
+    (fun pat ->
+      no_crash (fun () ->
+          Ms2_pattern.Determinism.check_pattern ~loc:Ms2_support.Loc.dummy
+            pat))
+
+(* ------------------------------------------------------------------ *)
+(* Random meta expressions through the type checker                    *)
+(* ------------------------------------------------------------------ *)
+
+let gen_meta_exp =
+  Gen.sized
+    (Gen.fix (fun self n ->
+         if n = 0 then
+           Gen.oneofl
+             [ "e"; "s"; "ids"; "n"; "str"; "1"; "\"t\""; "gensym()";
+               "length(ids)"; "*ids" ]
+         else
+           let sub = self (n / 2) in
+           Gen.oneof
+             [ sub;
+               Gen.map2 (Printf.sprintf "%s + %s") sub sub;
+               Gen.map2 (Printf.sprintf "list(%s, %s)") sub sub;
+               Gen.map2 (Printf.sprintf "cons(%s, %s)") sub sub;
+               Gen.map (Printf.sprintf "length(%s)") sub;
+               Gen.map (Printf.sprintf "reverse(%s)") sub;
+               Gen.map (Printf.sprintf "map((@id x; x), %s)") sub;
+               Gen.map (Printf.sprintf "symbolconc(\"p\", %s)") sub;
+               Gen.map2 (Printf.sprintf "%s == %s") sub sub;
+               Gen.map (Printf.sprintf "(%s)") sub;
+               Gen.map (Printf.sprintf "`($e + %s)") sub ]))
+
+let prop_infer_total =
+  Test.make ~name:"meta type inference is total" ~count:1000
+    (make gen_meta_exp)
+    (fun src ->
+      no_crash (fun () ->
+          let tenv = Ms2_typing.Tenv.create () in
+          let open Ms2_mtype in
+          Ms2_typing.Tenv.add tenv "e" (Mtype.Ast Sort.Exp);
+          Ms2_typing.Tenv.add tenv "s" (Mtype.Ast Sort.Stmt);
+          Ms2_typing.Tenv.add tenv "ids" (Mtype.List (Mtype.Ast Sort.Id));
+          Ms2_typing.Tenv.add tenv "n" Mtype.Int;
+          Ms2_typing.Tenv.add tenv "str" Mtype.String;
+          ignore (Ms2_parser.Parser.meta_expr_of_string ~tenv src)))
+
+(* ------------------------------------------------------------------ *)
+(* Random macro definitions end to end                                 *)
+(* ------------------------------------------------------------------ *)
+
+let gen_macro_program =
+  let gen_sorts = Gen.oneofl [ "exp"; "stmt"; "id" ] in
+  Gen.map2
+    (fun sort body ->
+      Printf.sprintf
+        "syntax stmt m {| ( $$%s::a ) ; |} { %s }\nint f() { m (x); return \
+         0; }"
+        sort body)
+    gen_sorts
+    (Gen.oneofl
+       [ "return `{use($a);};" (* ok when a is exp-like *);
+         "return `{$a;};";
+         "return a;" (* ok when a is stmt *);
+         "return `{;};";
+         "error(\"give up\"); return `{;};";
+         "@id t = gensym(); return `{int $t = 1;};" ])
+
+let prop_macro_defs_total =
+  Test.make ~name:"random macro definitions never crash the pipeline"
+    ~count:500 (make gen_macro_program)
+    (fun src ->
+      match Ms2.Api.expand_string src with
+      | Ok _ | Error _ -> true
+      | exception _ -> false)
+
+let () =
+  let suite =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_token_soup; prop_random_bytes; prop_determinism_total;
+        prop_infer_total; prop_macro_defs_total ]
+  in
+  Alcotest.run "fuzz" [ ("robustness", suite) ]

@@ -1,0 +1,90 @@
+(** Hygiene by generated names: gensym'd identifiers cannot collide with
+    user identifiers, because the marker they embed is rejected by the
+    user-program lexer. *)
+
+open Tutil
+module Gensym = Ms2_support.Gensym
+
+let freshness () =
+  let g = Gensym.create () in
+  let names = List.init 100 (fun _ -> Gensym.fresh g "t") in
+  let sorted = List.sort_uniq compare names in
+  Alcotest.(check int) "100 distinct names" 100 (List.length sorted);
+  Alcotest.(check int) "count" 100 (Gensym.count g)
+
+let reserved_marker () =
+  let g = Gensym.create () in
+  List.iter
+    (fun base ->
+      let n = Gensym.fresh g base in
+      Alcotest.(check bool) (n ^ " is reserved") true (Gensym.is_reserved n))
+    [ "t"; "printlength"; "x_y"; "" ];
+  Alcotest.(check bool) "plain name not reserved" false
+    (Gensym.is_reserved "printlength");
+  Alcotest.(check bool) "marker without digits not reserved" false
+    (Gensym.is_reserved "foo__g");
+  Alcotest.(check bool) "marker with digit reserved" true
+    (Gensym.is_reserved "foo__g7bar")
+
+let no_capture () =
+  (* the dynamic_bind scenario: the user's own variable named like the
+     temporary cannot exist, so the expansion cannot capture *)
+  let out =
+    expand
+      "syntax stmt save_around {| $$id::v $$stmt::body |} {\n\
+       @id tmp = gensym(v);\n\
+       return `{{int $tmp = $v; $body; $v = $tmp;}};\n\
+       }\n\
+       int f() { int x = 1; save_around x { x = 2; } return x; }"
+  in
+  check_contains ~msg:"temp used" (norm out) "int x__g";
+  (* two invocations get distinct temporaries *)
+  let out2 =
+    expand
+      "syntax stmt save_around {| $$id::v $$stmt::body |} {\n\
+       @id tmp = gensym(v);\n\
+       return `{{int $tmp = $v; $body; $v = $tmp;}};\n\
+       }\n\
+       int f() { int x = 1;\n\
+       save_around x { save_around x { x = 2; } }\n\
+       return x; }"
+  in
+  check_contains ~msg:"first temp" (norm out2) "x__g1";
+  check_contains ~msg:"second temp" (norm out2) "x__g2"
+
+let user_cannot_forge () =
+  (* a user program containing a reserved name is rejected up front, at
+     lexing time *)
+  match
+    Ms2_parser.State.of_string ~reject_reserved:true "int x__g1 = 0;"
+  with
+  | exception Ms2_support.Diag.Error d ->
+      check_contains ~msg:"reserved" (Ms2_support.Diag.to_string d)
+        "reserved"
+  | _ -> Alcotest.fail "reserved name accepted"
+
+let gensym_in_meta_functions () =
+  (* each call to a meta function gets fresh names from the same engine
+     counter *)
+  let out =
+    expand
+      "@stmt with_tmp(@exp e) {\n\
+       @id t = gensym(\"v\");\n\
+       return `{{int $t = $e; use($t);}};\n\
+       }\n\
+       syntax stmt tmp2 {| $$exp::a $$exp::b ; |} {\n\
+       return `{ $(with_tmp(a)) $(with_tmp(b)) };\n\
+       }\n\
+       int f() { tmp2 1 2; return 0; }"
+  in
+  check_contains ~msg:"first" (norm out) "v__g1";
+  check_contains ~msg:"second" (norm out) "v__g2"
+
+let () =
+  Alcotest.run "hygiene"
+    [ ( "hygiene",
+        [ tc "gensym freshness" freshness;
+          tc "reserved marker" reserved_marker;
+          tc "no capture in expansions" no_capture;
+          tc "users cannot forge generated names" user_cannot_forge;
+          tc "fresh names in meta functions" gensym_in_meta_functions ] ) ]

@@ -1,0 +1,143 @@
+(** Automatic hygiene (the paper's future-work direction, §5): with a
+    hygienic engine, block locals introduced by a template's own text
+    are renamed automatically, so the macro writer does not need to call
+    gensym at all. *)
+
+open Tutil
+
+let expand_hygienic src =
+  let engine = Ms2.Engine.create ~hygienic:true () in
+  match Ms2.Api.expand ~source:"t" engine src with
+  | Ok out -> out
+  | Error e -> Alcotest.failf "hygienic expansion failed: %s" e
+
+(* The classic capture bug: a swap macro whose temporary is named [tmp],
+   used on a user variable that is itself named [tmp]. *)
+let swap_src =
+  "syntax stmt swap {| ( $$exp::a , $$exp::b ) ; |} {\n\
+   return `{{int tmp = $a; $a = $b; $b = tmp;}};\n\
+   }\n\
+   int f() {\n\
+   int tmp = 1;\n\
+   int other = 2;\n\
+   swap(tmp, other);\n\
+   return tmp;\n\
+   }"
+
+let unhygienic_captures () =
+  (* without hygiene the expansion is silently wrong: the user's [tmp]
+     is captured by the macro's [tmp] *)
+  let out = norm (expand swap_src) in
+  check_contains ~msg:"macro temp collides" out "int tmp = tmp;"
+
+let hygienic_renames () =
+  let out = norm (expand_hygienic swap_src) in
+  (* the macro's temporary got a fresh name... *)
+  check_contains ~msg:"fresh temp declared" out "int tmp__g";
+  (* ...all its template uses were renamed consistently... *)
+  check_contains ~msg:"restore uses fresh temp" out "other = tmp__g";
+  (* ...and the user's own identifiers were left alone *)
+  check_contains ~msg:"user args untouched" out "tmp = other;"
+
+let catch_scenario () =
+  (* the paper's exception system: [catch]'s internal [result] must not
+     capture a user variable named [result] *)
+  let src =
+    "syntax stmt catch {| $$exp::tag $$stmt::handler $$stmt::body |} {\n\
+     return `{{int result;\n\
+     result = setjump(buf);\n\
+     if (result == 0) $body; else { if (result == $tag) $handler; }}};\n\
+     }\n\
+     int f() {\n\
+     int result = 42;\n\
+     catch bad_tag { fix(result); } { result = risky(result); }\n\
+     return result;\n\
+     }"
+  in
+  let out = norm (expand_hygienic src) in
+  check_contains ~msg:"internal result renamed" out "int result__g";
+  check_contains ~msg:"user body untouched" out "result = risky(result);";
+  check_contains ~msg:"handler untouched" out "fix(result);"
+
+let free_identifiers_untouched () =
+  (* identifiers the template uses but does not declare refer to the
+     surrounding program and must not be renamed *)
+  let out =
+    norm
+      (expand_hygienic
+         "syntax stmt log_it {| $$exp::e ; |} {\n\
+          return `{{int v = $e; logger(v, log_level);}};\n\
+          }\n\
+          int f() { log_it compute(); return 0; }")
+  in
+  check_contains ~msg:"declared local renamed" out "int v__g";
+  check_contains ~msg:"free identifier kept" out "log_level"
+
+let intentional_capture_survives () =
+  (* a macro that *wants* to bind a user-visible name declares it
+     through a placeholder; hygiene leaves splice-named declarators
+     alone *)
+  let out =
+    norm
+      (expand_hygienic
+         "syntax stmt let_var {| $$id::name = $$exp::e in $$stmt::body |} {\n\
+          return `{{int $name = $e; $body;}};\n\
+          }\n\
+          int f() { let_var x = 3 in { use(x); } return 0; }")
+  in
+  check_contains ~msg:"binder keeps its user name" out "int x = 3;";
+  check_contains ~msg:"body sees it" out "use(x);"
+
+let nested_blocks () =
+  (* each template block gets its own fresh names *)
+  let out =
+    norm
+      (expand_hygienic
+         "syntax stmt twice {| $$stmt::s |} {\n\
+          return `{{int i = 0; { int i = 1; inner(i); } outer(i); $s;}};\n\
+          }\n\
+          int f() { twice { user(); } return 0; }")
+  in
+  check_contains ~msg:"outer renamed" out "int i__g";
+  (* inner block's [i] gets a different fresh name than the outer one *)
+  let count_decls needle s =
+    let n = ref 0 and i = ref 0 in
+    let len = String.length needle in
+    while !i + len <= String.length s do
+      if String.sub s !i len = needle then incr n;
+      incr i
+    done;
+    !n
+  in
+  Alcotest.(check int) "two distinct declarations" 2
+    (count_decls "int i__g" out)
+
+let gensym_still_works () =
+  (* explicit gensym and automatic hygiene coexist *)
+  let out =
+    norm
+      (expand_hygienic
+         "syntax stmt m {| $$exp::e |} {\n\
+          @id t = gensym(\"explicit\");\n\
+          return `{{int $t = $e; int implicit = $t + 1; use(implicit);}};\n\
+          }\n\
+          int f() { m 5; return 0; }")
+  in
+  check_contains ~msg:"explicit gensym name" out "int explicit__g";
+  check_contains ~msg:"implicit renamed too" out "int implicit__g"
+
+let off_by_default () =
+  let out = norm (expand swap_src) in
+  check_contains ~msg:"default engine does not rename" out "int tmp = tmp;"
+
+let () =
+  Alcotest.run "hygiene2"
+    [ ( "automatic hygiene",
+        [ tc "capture without hygiene (baseline)" unhygienic_captures;
+          tc "template locals renamed" hygienic_renames;
+          tc "catch scenario" catch_scenario;
+          tc "free identifiers untouched" free_identifiers_untouched;
+          tc "intentional capture via placeholders" intentional_capture_survives;
+          tc "nested blocks rename independently" nested_blocks;
+          tc "explicit gensym coexists" gensym_still_works;
+          tc "off by default" off_by_default ] ) ]

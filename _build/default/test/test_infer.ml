@@ -1,0 +1,141 @@
+(** Tests for meta-expression type inference — the parse-time semantic
+    analysis that drives template disambiguation. *)
+
+open Tutil
+module Mtype = Ms2_mtype.Mtype
+module Sort = Ms2_mtype.Sort
+module Tenv = Ms2_typing.Tenv
+module Infer = Ms2_typing.Infer
+
+let exp = Mtype.Ast Sort.Exp
+let id = Mtype.Ast Sort.Id
+let stmt = Mtype.Ast Sort.Stmt
+
+let tenv bindings =
+  let env = Tenv.create () in
+  List.iter (fun (n, ty) -> Tenv.add env n ty) bindings;
+  env
+
+let infer ?(env = []) src =
+  (* share the environment with the parser, so placeholders inside
+     templates are typed against the same bindings *)
+  let te = tenv env in
+  Infer.type_of te (Ms2_parser.Parser.meta_expr_of_string ~tenv:te src)
+
+let check ?env name src ty =
+  Alcotest.(check string) name (Mtype.to_string ty)
+    (Mtype.to_string (infer ?env src))
+
+let fails ?env src sub =
+  match infer ?env src with
+  | exception Ms2_support.Diag.Error d ->
+      check_contains ~msg:src (Ms2_support.Diag.to_string d) sub
+  | ty ->
+      Alcotest.failf "%s typed as %s" src (Mtype.to_string ty)
+
+let scalars () =
+  check "int literal" "1 + 2 * 3" Mtype.Int;
+  check "string literal" "\"x\"" Mtype.String;
+  check "char literal" "'c'" Mtype.Int;
+  check "comparison" "1 < 2" Mtype.Int;
+  check "logical" "1 && 0 || 2" Mtype.Int;
+  check "conditional" "1 ? 2 : 3" Mtype.Int;
+  check "comma" "1, \"s\"" Mtype.String
+
+let variables () =
+  check ~env:[ ("s", stmt) ] "variable" "s" stmt;
+  check ~env:[ ("x", Mtype.Int) ] "assignment" "x = 3" Mtype.Int;
+  fails "nope" "unbound meta variable";
+  fails ~env:[ ("s", stmt) ] "s = 1" "has type"
+
+let list_ops () =
+  let env = [ ("ids", Mtype.List id) ] in
+  check ~env "car" "*ids" id;
+  check ~env "cdr" "ids + 1" (Mtype.List id);
+  check ~env "index" "ids[2]" id;
+  check ~env "length" "length(ids)" Mtype.Int;
+  check ~env "cons" "cons(*ids, ids + 1)" (Mtype.List id);
+  check ~env "append" "append(ids, ids)" (Mtype.List id);
+  check ~env "reverse" "reverse(ids)" (Mtype.List id);
+  check ~env "nth" "nth(ids, 0)" id;
+  fails ~env "length(1)" "expected a list";
+  fails ~env "*length(ids)" "cannot dereference"
+
+let list_join () =
+  let env = [ ("e", exp); ("n", Mtype.Ast Sort.Num); ("i", id) ] in
+  (* list() joins element types upward: num and id join at exp *)
+  check ~env "join to exp" "list(e, n, i)" (Mtype.List exp);
+  check ~env "singleton" "list(n)" (Mtype.List (Mtype.Ast Sort.Num));
+  fails ~env "list(e, length(list(e)))" "incompatible types";
+  fails "list()" "empty list"
+
+let builtin_sigs () =
+  check "gensym" "gensym()" id;
+  check "gensym with base" "gensym(\"tmp\")" id;
+  check ~env:[ ("i", id) ] "gensym with id" "gensym(i)" id;
+  check ~env:[ ("i", id) ] "symbolconc" "symbolconc(\"print_\", i)" id;
+  check ~env:[ ("i", id) ] "concat_ids" "concat_ids(i, i)" id;
+  check ~env:[ ("i", id) ] "pstring is an exp" "pstring(i)" exp;
+  check "make_num" "make_num(3)" (Mtype.Ast Sort.Num);
+  check ~env:[ ("e", exp) ] "simple_expression" "simple_expression(e)"
+    Mtype.Int;
+  fails "gensym(1)" "expected a string or @id";
+  fails "gensym(\"a\", \"b\")" "wrong number";
+  fails ~env:[ ("s", stmt) ] "symbolconc(s)" "must be strings"
+
+let higher_order () =
+  let env = [ ("ids", Mtype.List id) ] in
+  check ~env "map with lambda" "map((@id x; pstring(x)), ids)"
+    (Mtype.List exp);
+  check ~env "filter" "filter((@id x; 1), ids)" (Mtype.List id);
+  fails ~env "map((@stmt s; s), ids)" "list elements";
+  fails ~env "map(ids, ids)" "one-argument function"
+
+let components () =
+  let env = [ ("d", Mtype.Ast Sort.Decl); ("s", stmt) ] in
+  check ~env "decl type_spec" "d->type_spec" (Mtype.Ast Sort.Typespec);
+  check ~env "decl init_declarators" "d->init_declarators"
+    (Mtype.List (Mtype.Ast Sort.Init_declarator));
+  check ~env "stmt declarations" "s->declarations"
+    (Mtype.List (Mtype.Ast Sort.Decl));
+  check ~env "kind is a string" "d->kind" Mtype.String;
+  fails ~env "d->bogus" "no component";
+  fails ~env "d->bogus" "available"
+
+let tuples () =
+  let pair =
+    Mtype.Tuple
+      [ { Mtype.fld_name = "k"; fld_type = id };
+        { Mtype.fld_name = "v"; fld_type = exp } ]
+  in
+  let env = [ ("p", pair) ] in
+  check ~env "field" "p->k" id;
+  check ~env "index" "p[1]" exp;
+  fails ~env "p->w" "no field";
+  fails ~env "p[5]" "out of range"
+
+let templates () =
+  let env = [ ("e", exp); ("s", stmt) ] in
+  check ~env "exp template" "`($e + 1)" exp;
+  check ~env "stmt template" "`{f($e);}" stmt;
+  check ~env "decl template" "`[int x = $e;]" (Mtype.Ast Sort.Decl);
+  check ~env "general template" "`{| +/, id :: a, b |}" (Mtype.List id)
+
+let forbidden () =
+  fails ~env:[ ("s", stmt) ] "&s" "illegal to take the address";
+  fails "(int)1" "casts are not part of the macro language";
+  fails ~env:[ ("s", stmt) ] "s + s" "has type"
+
+let () =
+  Alcotest.run "infer"
+    [ ( "infer",
+        [ tc "scalar expressions" scalars;
+          tc "variables and assignment" variables;
+          tc "list operators" list_ops;
+          tc "list joins" list_join;
+          tc "builtin signatures" builtin_sigs;
+          tc "higher-order builtins" higher_order;
+          tc "AST components" components;
+          tc "tuples" tuples;
+          tc "template types" templates;
+          tc "forbidden constructs" forbidden ] ) ]

@@ -1,0 +1,116 @@
+(** The everything test: one program through one engine exercising the
+    prelude, user macros, semantic primitives, non-local state,
+    macro-generating macros, automatic hygiene and the object-level
+    checker together — then compiled and run with gcc when available. *)
+
+open Tutil
+
+let gcc_available = Sys.command "gcc --version > /dev/null 2>&1" = 0
+
+let stage engine src =
+  match Ms2.Api.expand ~source:"integration" engine src with
+  | Ok out -> out
+  | Error e -> Alcotest.failf "stage failed: %s" e
+
+let meta_layer =
+  {src|
+metadcl @decl ig_none[];
+metadcl @id ig_registered[];
+metadcl @stmt ig_no_stmts[];
+
+syntax decl def_flag [] {| $$id::name ; |}
+{
+  ig_registered = append(ig_registered, list(name));
+  return list(`[int $name;]);
+}
+
+@stmt ig_reset_stmts(@id names[])[]
+{
+  if (length(names) == 0)
+    return ig_no_stmts;
+  return cons(`{$(*names) = 0;}, ig_reset_stmts(names + 1));
+}
+
+syntax decl emit_reset_all [] {| ; |}
+{
+  return list(`[void reset_all(void) { $(ig_reset_stmts(ig_registered)) }]);
+}
+
+/* a semantic macro with a hygienic temporary */
+syntax stmt stash_double {| ( $$exp::e ) ; |}
+{
+  @id t = gensym("stash");
+  if (!is_integer(e))
+    error("stash_double: integer expected, got", type_name_of(e));
+  return `{{ $(declare_like(e, t)) $t = $e; sink($t + $t); }};
+}
+|src}
+
+let user_program =
+  {src|
+def_flag verbose;
+def_flag dry_run;
+emit_reset_all;
+
+int sunk;
+void sink(int v) { sunk = v; }
+
+int main()
+{
+  int i;
+  int total = 0;
+  reset_all();
+  for_range (i = 1 to 5) { total += i; }
+  unless (total == 15) return 1;
+  stash_double(total);
+  unless (sunk == 30) return 2;
+  swap(verbose, total);
+  printf("%d %d %d\n", verbose, total, sunk);
+  return 0;
+}
+|src}
+
+let integration () =
+  let engine = Ms2.Api.create_engine ~prelude:true ~hygienic:true () in
+  let out_meta = stage engine meta_layer in
+  Alcotest.(check string) "meta layer emits nothing" ""
+    (String.trim out_meta);
+  let out = stage engine user_program in
+  (* structure checks *)
+  check_contains ~msg:"flags declared" (norm out) "int verbose;";
+  check_contains ~msg:"reset generated" (norm out)
+    "void reset_all() { verbose = 0; dry_run = 0; }";
+  check_contains ~msg:"semantic temp typed int" (norm out) "int stash__g";
+  (* the object-level checker is clean on the whole expansion *)
+  let engine2 = Ms2.Api.create_engine ~prelude:true ~hygienic:true () in
+  ignore (stage engine2 meta_layer);
+  (match
+     Ms2_support.Diag.protect (fun () ->
+         Ms2.Engine.expand_source engine2 ~source:"i" user_program)
+   with
+  | Ok prog ->
+      Alcotest.(check (list string)) "checker clean" []
+        (Ms2.Api.check_program prog)
+  | Error e -> Alcotest.fail e);
+  (* and the binary runs *)
+  if gcc_available then begin
+    let src = Filename.temp_file "ms2int" ".c" in
+    let exe = Filename.chop_suffix src ".c" ^ ".exe" in
+    let oc = open_out src in
+    output_string oc "#include <stdio.h>\n";
+    output_string oc out;
+    close_out oc;
+    if Sys.command (Printf.sprintf "gcc -std=c89 -w -o %s %s" exe src) <> 0
+    then Alcotest.fail "gcc rejected the integration expansion";
+    let out_file = src ^ ".out" in
+    if Sys.command (Printf.sprintf "%s > %s" exe out_file) <> 0 then
+      Alcotest.fail "integration binary exited nonzero";
+    let ic = open_in out_file in
+    let line = input_line ic in
+    close_in ic;
+    Alcotest.(check string) "program output" "15 0 30" line
+  end
+
+let () =
+  Alcotest.run "integration"
+    [ ("integration", [ tc "everything together" integration ]) ]

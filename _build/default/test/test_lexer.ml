@@ -1,0 +1,123 @@
+(** Lexer unit tests: token recognition, adjacency-sensitive meta tokens,
+    literals, comments, locations and error cases. *)
+
+open Ms2_syntax
+
+let toks src =
+  Lexer.tokenize src |> Array.to_list
+  |> List.filter_map (fun { Token.tok; _ } ->
+         match tok with Token.EOF -> None | t -> Some t)
+
+let tok = Alcotest.testable (Fmt.of_to_string Token.to_string) Token.equal
+
+let check_toks name src expected =
+  Alcotest.(check (list tok)) name expected (toks src)
+
+let lex_error src =
+  match Lexer.tokenize src with
+  | exception Ms2_support.Diag.Error d ->
+      Alcotest.(check bool) "phase" true (d.phase = Ms2_support.Diag.Lexing)
+  | _ -> Alcotest.fail "expected a lexical error"
+
+open Token
+
+let basic () =
+  check_toks "idents and ints" "foo bar42 7 0x1f"
+    [ IDENT "foo"; IDENT "bar42"; INT_LIT (7, "7"); INT_LIT (31, "0x1f") ];
+  check_toks "keywords" "int return sizeof syntax metadcl"
+    [ KW Kint; KW Kreturn; KW Ksizeof; KW Ksyntax; KW Kmetadcl ];
+  check_toks "suffixed int" "10UL" [ INT_LIT (10, "10UL") ]
+
+let floats () =
+  check_toks "simple float" "1.5" [ FLOAT_LIT (1.5, "1.5") ];
+  check_toks "exponent" "2e3" [ FLOAT_LIT (2000., "2e3") ];
+  check_toks "signed exponent" "1.5e-2" [ FLOAT_LIT (0.015, "1.5e-2") ];
+  check_toks "float suffix" "1.0f" [ FLOAT_LIT (1.0, "1.0f") ];
+  (* member access on an integer literal is not a float *)
+  check_toks "int then dot" "1 .m" [ INT_LIT (1, "1"); DOT; IDENT "m" ];
+  check_toks "paren int member" "(1).m"
+    [ LPAREN; INT_LIT (1, "1"); RPAREN; DOT; IDENT "m" ];
+  (* a float literal re-parses through expressions *)
+  let d = Tutil.pdecl "double x = 1.25e2;" in
+  Tutil.check_contains ~msg:"printed float"
+    (Tutil.print_decl d) "1.25e2"
+
+let operators () =
+  check_toks "compound ops" "<<= >>= ... -> ++ -- && || == != <= >="
+    [ SHL_ASSIGN; SHR_ASSIGN; ELLIPSIS; ARROW; PLUSPLUS; MINUSMINUS; ANDAND;
+      OROR; EQEQ; NE; LE; GE ];
+  check_toks "shift vs relational" "a << b < c >> d"
+    [ IDENT "a"; SHL; IDENT "b"; LT; IDENT "c"; SHR; IDENT "d" ];
+  check_toks "assign ops" "= += -= *= /= %= &= ^= |="
+    [ ASSIGN; PLUS_ASSIGN; MINUS_ASSIGN; STAR_ASSIGN; SLASH_ASSIGN;
+      PERCENT_ASSIGN; AMP_ASSIGN; CARET_ASSIGN; BAR_ASSIGN ]
+
+let meta_tokens () =
+  check_toks "meta braces" "{| |}" [ LMETA; RMETA ];
+  check_toks "dollars" "$ $$ $x"
+    [ DOLLAR; DOLLARDOLLAR; DOLLAR; IDENT "x" ];
+  check_toks "colons" ":: : ::" [ COLONCOLON; COLON; COLONCOLON ];
+  check_toks "backquote and at" "`( @stmt"
+    [ BACKQUOTE; LPAREN; AT; IDENT "stmt" ];
+  (* adjacency: separated characters lex as ordinary C tokens *)
+  check_toks "separated braces" "{ | | }"
+    [ LBRACE; BAR; BAR; RBRACE ];
+  check_toks "bar-brace adjacency" "a|}b"
+    [ IDENT "a"; RMETA; IDENT "b" ]
+
+let literals () =
+  check_toks "string" "\"hello\"" [ STRING_LIT "hello" ];
+  check_toks "string escapes" "\"a\\n\\t\\\"b\\\\\""
+    [ STRING_LIT "a\n\t\"b\\" ];
+  check_toks "char" "'x'" [ CHAR_LIT 'x' ];
+  check_toks "char escape" "'\\n'" [ CHAR_LIT '\n' ];
+  check_toks "char quote" "'\\''" [ CHAR_LIT '\'' ]
+
+let comments () =
+  check_toks "block comment" "a /* b c */ d" [ IDENT "a"; IDENT "d" ];
+  check_toks "line comment" "a // b c\nd" [ IDENT "a"; IDENT "d" ];
+  check_toks "comment with stars" "a /* * ** */ b" [ IDENT "a"; IDENT "b" ];
+  check_toks "division not comment" "a / b" [ IDENT "a"; SLASH; IDENT "b" ]
+
+let locations () =
+  let located = Lexer.tokenize ~source:"t.c" "ab\n  cd" in
+  let second = located.(1) in
+  Alcotest.(check string) "token" "cd" (Token.to_string second.Token.tok);
+  Alcotest.(check int) "line" 2 second.Token.loc.Ms2_support.Loc.start_pos.line;
+  Alcotest.(check int) "col" 2 second.Token.loc.Ms2_support.Loc.start_pos.col;
+  Alcotest.(check string) "source" "t.c" second.Token.loc.Ms2_support.Loc.source
+
+let eof_marker () =
+  let located = Lexer.tokenize "x" in
+  Alcotest.(check int) "two tokens" 2 (Array.length located);
+  Alcotest.(check bool) "last is eof" true
+    (located.(1).Token.tok = Token.EOF)
+
+let errors () =
+  lex_error "\"unterminated";
+  lex_error "'a";
+  lex_error "/* unterminated";
+  lex_error "#";
+  lex_error "'\\q'"
+
+(* reserved gensym-style names are rejected only when asked *)
+let reserved () =
+  ignore (Lexer.tokenize "x__g1");
+  match Lexer.tokenize ~reject_reserved:true "x__g1" with
+  | exception Ms2_support.Diag.Error _ -> ()
+  | _ -> Alcotest.fail "reserved identifier accepted"
+
+let () =
+  ignore errors;
+  Alcotest.run "lexer"
+    [ ( "lexer",
+        [ Tutil.tc "basic tokens" basic;
+          Tutil.tc "float literals" floats;
+          Tutil.tc "operators" operators;
+          Tutil.tc "meta tokens" meta_tokens;
+          Tutil.tc "literals" literals;
+          Tutil.tc "comments" comments;
+          Tutil.tc "locations" locations;
+          Tutil.tc "eof marker" eof_marker;
+          Tutil.tc "lexical errors" errors;
+          Tutil.tc "reserved generated names" reserved ] ) ]

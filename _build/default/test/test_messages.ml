@@ -1,0 +1,102 @@
+(** Error-message quality: every class of diagnostic must name the
+    offending construct precisely (table-driven, one row per failure
+    class).  These lock in the user experience: a regression that makes
+    a message vaguer fails here. *)
+
+open Tutil
+
+(* (name, source, substrings the message must contain) *)
+let cases =
+  [ (* lexing *)
+    ("unknown character", "int x = #;", [ "unexpected character"; "'#'" ]);
+    ("unterminated string", "char *s = \"abc", [ "unterminated string" ]);
+    ("unterminated comment", "/* hm", [ "unterminated comment" ]);
+    ("bad escape", "char c = '\\q';", [ "unknown escape" ]);
+    (* parsing *)
+    ("missing rparen", "int x = (1 + 2;", [ "expected \")\"" ]);
+    ("missing semicolon", "int f() { return 0 }", [ "expected" ]);
+    ("decl after stmt", "int f() { g(); int x; return 0; }",
+     [ "declaration after the first statement" ]);
+    ("bad template opener",
+     "syntax stmt m {| |} { return `@; }",
+     [ "after backquote" ]);
+    ("placeholder outside template", "int x = $y;",
+     [ "placeholder outside" ]);
+    (* pattern checking *)
+    ("ambiguous repetition",
+     "syntax stmt m {| $$*exp::xs $$exp::y |} { return `{;}; }",
+     [ "one token"; "lookahead" ]);
+    ("duplicate binders",
+     "syntax stmt m {| $$exp::a $$stmt::a |} { return `{;}; }",
+     [ "duplicate binder"; "a" ]);
+    ("separator starts element",
+     "syntax stmt m {| $$+/x id::xs |} { return `{;}; }",
+     [ "separator"; "begin an element" ]);
+    (* meta typing *)
+    ("unbound meta variable",
+     "syntax stmt m {| $$exp::e |} { return `{$oops;}; }",
+     [ "unbound meta variable"; "oops" ]);
+    ("sort mismatch in template",
+     "syntax stmt m {| $$stmt::s |} { return `($s + 1); }",
+     [ "placeholder of type @stmt"; "cannot stand for" ]);
+    ("wrong return sort",
+     "syntax exp m {| $$stmt::s |} { return s; }",
+     [ "returned value"; "@stmt"; "@exp" ]);
+    ("arity of meta function",
+     "metadcl @stmt f(@stmt s) { return s; }\n\
+      syntax stmt m {| $$stmt::s |} { return f(s, s); }",
+     [ "wrong number of arguments"; "expected 1"; "got 2" ]);
+    ("list of mixed sorts",
+     "syntax stmt m {| $$stmt::s $$exp::e |} { return \
+      `{f($(*list(s, e)));}; }",
+     [ "incompatible types" ]);
+    ("unknown component",
+     "syntax stmt m {| $$decl::d |} { return `{f($(d->wat));}; }",
+     [ "no component"; "wat"; "available" ]);
+    ("address of meta value",
+     "syntax stmt m {| $$stmt::s |} { print(&s); return `{;}; }",
+     [ "illegal to take the address" ]);
+    (* invocation placement *)
+    ("decl macro in expression",
+     "metadcl @decl none[];\n\
+      syntax decl gen [] {| $$id::n ; |} { return none; }\n\
+      int x = gen y;;",
+     [ "gen"; "cannot be invoked"; "expression" ]);
+    (* expansion *)
+    ("macro error()",
+     "syntax stmt m {| $$exp::e |} { error(\"bad operand\", \
+      exp_string(e)); return `{;}; }\n\
+      int f() { m 1 + 2; return 0; }",
+     [ "bad operand"; "1 + 2" ]);
+    ("runaway recursion",
+     "syntax stmt loop {| |} { return `{loop}; }\nint f() { loop }",
+     [ "nesting depth" ]);
+    ("head of empty list",
+     "metadcl @exp none[];\n\
+      syntax exp m {| |} { return *none; }\nint x = m;",
+     [ "empty list" ]);
+    ("uninitialized ast variable",
+     "syntax stmt m {| |} { @stmt s; return s; }\nint f() { m }",
+     [ "uninitialized"; "s" ]) ]
+
+let run_case (name, src, needles) () =
+  let err = expand_err src in
+  List.iter (fun needle -> check_contains ~msg:name err needle) needles
+
+let locations_point_at_the_use () =
+  (* expansion errors carry the invocation's location *)
+  let err =
+    expand_err
+      "syntax stmt m {| |} { error(\"x\"); return `{;}; }\n\
+       int f() {\n\
+       m\n\
+       return 0; }"
+  in
+  check_contains ~msg:"line of the invocation" err ":3:"
+
+let () =
+  Alcotest.run "messages"
+    [ ( "diagnostic quality",
+        List.map (fun c -> let n, _, _ = c in tc n (run_case c)) cases
+        @ [ tc "expansion errors point at the use" locations_point_at_the_use ]
+      ) ]

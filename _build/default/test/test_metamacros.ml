@@ -1,0 +1,71 @@
+(** Macro-generating macros: templates containing [syntax] definitions.
+
+    The generating macro can parameterize the *name* of the macro it
+    defines; the generated body is self-contained meta code whose
+    placeholders refer to the generated macro's own formals.  Generated
+    macros become invocable in subsequent fragments pushed through the
+    same engine (uses in the same fragment were already parsed). *)
+
+open Tutil
+
+let staged engine src =
+  match Ms2.Api.expand ~source:"t" engine src with
+  | Ok out -> out
+  | Error e -> Alcotest.failf "stage failed: %s" e
+
+let generator_defs =
+  "metadcl @decl mm_nothing[];\n\
+   syntax decl def_tracer [] {| $$id::name ; |}\n\
+   {\n\
+   return list(`[syntax stmt $name {| ( $$exp::e ) ; |}\n\
+   {\n\
+   return `{trace(\"entry\"); consume($e); trace(\"exit\");};\n\
+   }]);\n\
+   }\n"
+
+let generate_and_use () =
+  let engine = Ms2.Api.create_engine () in
+  ignore (staged engine generator_defs);
+  (* generating fragment: defines the new macro, emits no object code *)
+  let out1 = staged engine "def_tracer traced_call;" in
+  Alcotest.(check string) "generation emits nothing" ""
+    (String.trim out1);
+  (* the generated macro is invocable in the next fragment *)
+  let out2 = staged engine "int f() { traced_call(g(1)); return 0; }" in
+  Alcotest.(check string) "generated macro expands"
+    (canon
+       "int f() { { trace(\"entry\"); consume(g(1)); trace(\"exit\"); } \
+        return 0; }")
+    (norm out2)
+
+let two_generated_macros () =
+  let engine = Ms2.Api.create_engine () in
+  ignore (staged engine generator_defs);
+  ignore (staged engine "def_tracer alpha;\ndef_tracer beta;");
+  let out =
+    staged engine "int f() { alpha(1); beta(2); return 0; }"
+  in
+  check_contains ~msg:"alpha body" (norm out) "consume(1);";
+  check_contains ~msg:"beta body" (norm out) "consume(2);"
+
+let generated_macro_stats () =
+  let engine = Ms2.Api.create_engine () in
+  ignore (staged engine generator_defs);
+  ignore (staged engine "def_tracer gamma;");
+  let s = Ms2.Api.stats engine in
+  (* def_tracer itself + the generated gamma *)
+  Alcotest.(check int) "two macros defined" 2 s.Ms2.Engine.macros_defined
+
+let unfilled_name_is_static_error () =
+  (* outside a template, a placeholder macro name is meaningless *)
+  check_error "syntax stmt $oops {| $$exp::e |} { return `{;}; }"
+    "expected an identifier"
+
+let () =
+  Alcotest.run "metamacros"
+    [ ( "macro-generating macros",
+        [ tc "generate then use" generate_and_use;
+          tc "several generated macros" two_generated_macros;
+          tc "statistics count generated macros" generated_macro_stats;
+          tc "name placeholder outside template" unfilled_name_is_static_error
+        ] ) ]

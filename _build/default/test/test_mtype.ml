@@ -1,0 +1,79 @@
+(** Tests for the AST type language: equality, subtyping, printing. *)
+
+open Tutil
+module Mtype = Ms2_mtype.Mtype
+module Sort = Ms2_mtype.Sort
+open Mtype
+
+let exp = Ast Sort.Exp
+let num = Ast Sort.Num
+let id = Ast Sort.Id
+let stmt = Ast Sort.Stmt
+
+let sorts () =
+  Alcotest.(check int) "ten sorts" 10 (List.length Sort.all);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Sort.keyword s ^ " round-trips")
+        true
+        (Sort.of_keyword (Sort.keyword s) = Some s))
+    Sort.all;
+  Alcotest.(check bool) "unknown keyword" true (Sort.of_keyword "foo" = None)
+
+let subsorts () =
+  Alcotest.(check bool) "num <= exp" true (Sort.subsort Sort.Num Sort.Exp);
+  Alcotest.(check bool) "id <= exp" true (Sort.subsort Sort.Id Sort.Exp);
+  Alcotest.(check bool) "exp </= num" false (Sort.subsort Sort.Exp Sort.Num);
+  Alcotest.(check bool) "stmt </= exp" false (Sort.subsort Sort.Stmt Sort.Exp);
+  Alcotest.(check bool) "reflexive" true (Sort.subsort Sort.Decl Sort.Decl)
+
+let equality () =
+  Alcotest.(check bool) "list eq" true (equal (List exp) (List exp));
+  Alcotest.(check bool) "list neq" false (equal (List exp) (List stmt));
+  Alcotest.(check bool) "nested" true
+    (equal (List (List id)) (List (List id)));
+  let t1 = Tuple [ { fld_name = "a"; fld_type = id } ] in
+  let t2 = Tuple [ { fld_name = "b"; fld_type = id } ] in
+  Alcotest.(check bool) "tuple field names matter" false (equal t1 t2);
+  Alcotest.(check bool) "fun eq" true
+    (equal (Fun ([ id ], stmt)) (Fun ([ id ], stmt)))
+
+let subtyping () =
+  Alcotest.(check bool) "num <= exp" true (subtype num exp);
+  Alcotest.(check bool) "num[] <= exp[]" true (subtype (List num) (List exp));
+  Alcotest.(check bool) "exp[] </= num[]" false (subtype (List exp) (List num));
+  (* functions: contravariant parameters, covariant results *)
+  Alcotest.(check bool) "fun co/contra" true
+    (subtype (Fun ([ exp ], num)) (Fun ([ num ], exp)));
+  Alcotest.(check bool) "fun not the reverse" false
+    (subtype (Fun ([ num ], exp)) (Fun ([ exp ], num)));
+  Alcotest.(check bool) "int not exp" false (subtype Int exp)
+
+let printing () =
+  Alcotest.(check string) "sort" "@stmt" (to_string stmt);
+  Alcotest.(check string) "list" "@id[]" (to_string (List id));
+  Alcotest.(check string) "int" "int" (to_string Int);
+  Alcotest.(check string) "string" "char *" (to_string String);
+  check_contains ~msg:"tuple shows fields"
+    (to_string (Tuple [ { fld_name = "k"; fld_type = id } ]))
+    "@id k"
+
+let head_sorts () =
+  Alcotest.(check bool) "sort" true (head_sort exp = Some Sort.Exp);
+  Alcotest.(check bool) "list" true (head_sort (List stmt) = Some Sort.Stmt);
+  Alcotest.(check bool) "nested list" true
+    (head_sort (List (List id)) = Some Sort.Id);
+  Alcotest.(check bool) "int has none" true (head_sort Int = None);
+  Alcotest.(check bool) "ast-like" true (is_ast_like (List exp));
+  Alcotest.(check bool) "not ast-like" false (is_ast_like String)
+
+let () =
+  Alcotest.run "mtype"
+    [ ( "mtype",
+        [ tc "sorts" sorts;
+          tc "subsort order" subsorts;
+          tc "type equality" equality;
+          tc "subtyping" subtyping;
+          tc "printing" printing;
+          tc "head sorts" head_sorts ] ) ]

@@ -1,0 +1,96 @@
+(** Non-local transformations: meta state persisting across invocations
+    (the mechanism behind the paper's window-procedure example), and
+    related engine behaviors. *)
+
+open Tutil
+
+let accumulate_and_emit () =
+  check_expands
+    "metadcl @stmt inits[];\n\
+     metadcl @decl nothing[];\n\
+     syntax decl at_startup [] {| $$stmt::s |} {\n\
+     inits = append(inits, list(s));\n\
+     return nothing;\n\
+     }\n\
+     syntax decl emit_startup [] {| ; |} {\n\
+     return list(`[void startup(void) { $inits; }]);\n\
+     }\n\
+     at_startup { open_log(); }\n\
+     at_startup { init_allocator(); }\n\
+     at_startup { spawn_workers(4); }\n\
+     emit_startup;"
+    "void startup() { { open_log(); } { init_allocator(); } { \
+     spawn_workers(4); } }"
+
+let counter_macros () =
+  (* unique numbering across a compilation unit *)
+  check_expands
+    "metadcl int n;\n\
+     syntax exp unique_id {| |} { n = n + 1; return make_num(n); }\n\
+     int a = unique_id;\n\
+     int b = unique_id;\n\
+     int f() { return unique_id; }"
+    "int a = 1;\nint b = 2;\nint f() { return 3; }"
+
+let registry () =
+  (* register names, then generate a dispatcher over all of them *)
+  check_expands
+    "metadcl @id commands[];\n\
+     metadcl @decl nothing[];\n\
+     metadcl @stmt no_stmts[];\n\
+     syntax decl command [] {| $$id::name ; |} {\n\
+     commands = append(commands, list(name));\n\
+     return nothing;\n\
+     }\n\
+     @stmt dispatch_cases(@id names[])[] {\n\
+     if (length(names) == 0) return no_stmts;\n\
+     return cons(\n\
+     `{if (strcmp(arg, $(pstring(*names))) == 0) return \
+     $(concat_ids(*names, make_id(\"_cmd\")))();},\n\
+     dispatch_cases(names + 1));\n\
+     }\n\
+     syntax decl emit_dispatcher [] {| ; |} {\n\
+     return list(`[int dispatch(char *arg)\n\
+     { $(dispatch_cases(commands)) return -1; }]);\n\
+     }\n\
+     command help;\n\
+     command version;\n\
+     emit_dispatcher;"
+    "int dispatch(char *arg) {\n\
+     if (strcmp(arg, \"help\") == 0) return help_cmd();\n\
+     if (strcmp(arg, \"version\") == 0) return version_cmd();\n\
+     return -1; }"
+
+let block_scope_metadcl () =
+  (* metadcl inside a function body runs at expansion time, can update
+     meta state, and emits no object code *)
+  check_expands
+    "metadcl int counter;\n\
+     syntax exp peek_counter {| |} { return make_num(counter); }\n\
+     int f() {\n\
+     metadcl int counter = 5;\n\
+     return peek_counter;\n\
+     }"
+    "int f() { return 5; }"
+
+let state_mutation_between_uses () =
+  check_expands
+    "metadcl @id last;\n\
+     syntax decl remember [] {| $$id::n ; |} {\n\
+     metadcl @decl nothing[];\n\
+     last = n;\n\
+     return nothing;\n\
+     }\n\
+     syntax decl recall [] {| ; |} { return list(`[int $last;]); }\n\
+     remember treasure;\n\
+     recall;"
+    "int treasure;"
+
+let () =
+  Alcotest.run "nonlocal"
+    [ ( "nonlocal",
+        [ tc "accumulate and emit" accumulate_and_emit;
+          tc "compile-time counters" counter_macros;
+          tc "registries and dispatchers" registry;
+          tc "block-scope metadcl" block_scope_metadcl;
+          tc "state mutation between uses" state_mutation_between_uses ] ) ]

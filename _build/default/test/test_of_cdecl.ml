@@ -1,0 +1,96 @@
+(** Tests for C-declaration-to-meta-type conversion: array syntax makes
+    lists, struct syntax makes tuples, [char *] is the string type, and
+    function declarators (including list-returning ones) make function
+    types. *)
+
+open Tutil
+open Ms2_syntax.Ast
+module Mtype = Ms2_mtype.Mtype
+module Sort = Ms2_mtype.Sort
+module Of_cdecl = Ms2_typing.Of_cdecl
+
+(* parse "specs declarator ;" and convert *)
+let conv src =
+  match (pdecl src).d with
+  | Decl_plain (specs, [ Init_decl (d, _) ]) ->
+      Of_cdecl.of_decl ~loc:Ms2_support.Loc.dummy specs d
+  | Decl_fun (specs, d, _, _) ->
+      Of_cdecl.of_decl ~loc:Ms2_support.Loc.dummy specs d
+  | _ -> Alcotest.fail "unexpected declaration shape"
+
+let check src name ty =
+  let n, t = conv src in
+  Alcotest.(check string) (src ^ " name") name n;
+  Alcotest.(check string) (src ^ " type") (Mtype.to_string ty)
+    (Mtype.to_string t)
+
+let scalars () =
+  check "int n;" "n" Mtype.Int;
+  check "char c;" "c" Mtype.Int;
+  check "unsigned long u;" "u" Mtype.Int;
+  check "char *s;" "s" Mtype.String
+
+let ast_types () =
+  check "@stmt s;" "s" (Mtype.Ast Sort.Stmt);
+  check "@exp e;" "e" (Mtype.Ast Sort.Exp);
+  check "@init_declarator d;" "d" (Mtype.Ast Sort.Init_declarator)
+
+let lists () =
+  check "@id ids[];" "ids" (Mtype.List (Mtype.Ast Sort.Id));
+  check "@stmt ss[10];" "ss" (Mtype.List (Mtype.Ast Sort.Stmt));
+  check "@decl ds[][];" "ds" (Mtype.List (Mtype.List (Mtype.Ast Sort.Decl)));
+  check "char *names[];" "names" (Mtype.List Mtype.String)
+
+let tuples () =
+  check "struct {@id k; @exp v;} pair;" "pair"
+    (Mtype.Tuple
+       [ { Mtype.fld_name = "k"; fld_type = Mtype.Ast Sort.Id };
+         { Mtype.fld_name = "v"; fld_type = Mtype.Ast Sort.Exp } ])
+
+let functions () =
+  check "@stmt f(@stmt s) { return s; }" "f"
+    (Mtype.Fun ([ Mtype.Ast Sort.Stmt ], Mtype.Ast Sort.Stmt));
+  check "@id g(@id a, @id b) { return a; }" "g"
+    (Mtype.Fun
+       ([ Mtype.Ast Sort.Id; Mtype.Ast Sort.Id ], Mtype.Ast Sort.Id));
+  (* function returning a list: the window_proc helper shape *)
+  check "@stmt h(@id x)[] { return list(`{;}); }" "h"
+    (Mtype.Fun ([ Mtype.Ast Sort.Id ], Mtype.List (Mtype.Ast Sort.Stmt)))
+
+let errors () =
+  let fails src =
+    match conv src with
+    | exception Ms2_support.Diag.Error d ->
+        Alcotest.(check bool) "type-check phase" true
+          (d.phase = Ms2_support.Diag.Type_check)
+    | n, t ->
+        Alcotest.failf "accepted %s as %s : %s" src n (Mtype.to_string t)
+  in
+  fails "int *p;" (* only char may be pointed to *);
+  fails "float f;" (* no floats at the meta level *);
+  fails "char **pp;" (* no pointer to string *)
+
+let mention_detection () =
+  let mentions src =
+    match (pdecl src).d with
+    | Decl_plain (specs, [ Init_decl (d, _) ]) | Decl_fun (specs, d, _, _) ->
+        Of_cdecl.specs_mention_ast specs
+        || Of_cdecl.declarator_mentions_ast d
+    | _ -> Alcotest.fail "unexpected shape"
+  in
+  Alcotest.(check bool) "plain C" false (mentions "int f(int x) { return x; }");
+  Alcotest.(check bool) "ast return" true
+    (mentions "@stmt f(@stmt s) { return s; }");
+  Alcotest.(check bool) "ast param only" true
+    (mentions "int f(@stmt s) { return 0; }")
+
+let () =
+  Alcotest.run "of-cdecl"
+    [ ( "of-cdecl",
+        [ tc "scalar types" scalars;
+          tc "AST types" ast_types;
+          tc "array syntax is lists" lists;
+          tc "struct syntax is tuples" tuples;
+          tc "function types" functions;
+          tc "rejected declarations" errors;
+          tc "meta-mention detection" mention_detection ] ) ]

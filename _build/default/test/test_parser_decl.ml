@@ -1,0 +1,119 @@
+(** Declaration parser tests: declarators, initializers, enums, structs,
+    typedefs, function definitions (ANSI and K&R). *)
+
+open Tutil
+open Ms2_syntax.Ast
+
+let check name src printed =
+  Alcotest.(check string) name (norm printed) (norm (print_decl (pdecl src)))
+
+let declarators () =
+  check "simple" "int x;" "int x;";
+  check "pointer" "int *p;" "int *p;";
+  check "pointer to pointer" "char **argv;" "char **argv;";
+  check "array" "int a[10];" "int a[10];";
+  check "unsized array" "int a[];" "int a[];";
+  check "array of pointers" "char *names[3];" "char *names[3];";
+  check "pointer to array" "int (*pa)[10];" "int (*pa)[10];";
+  check "function pointer" "int (*f)(int, char *);" "int (*f)(int, char *);";
+  check "multi" "int x, *y, z[2];" "int x, *y, z[2];"
+
+let initializers () =
+  check "scalar" "int x = 1 + 2;" "int x = 1 + 2;";
+  check "list" "int a[3] = {1, 2, 3};" "int a[3] = {1, 2, 3};";
+  check "nested list" "int m[2][2] = {{1, 2}, {3, 4}};"
+    "int m[2][2] = {{1, 2}, {3, 4}};";
+  check "trailing comma swallowed" "int a[2] = {1, 2,};" "int a[2] = {1, 2};"
+
+let enums () =
+  check "anonymous" "enum {a, b, c} e;" "enum {a, b, c} e;";
+  check "tagged" "enum color {red, green = 3, blue};"
+    "enum color {red, green = 3, blue};";
+  check "reference" "enum color c;" "enum color c;"
+
+let structs () =
+  check "definition" "struct point {int x; int y;};"
+    "struct point { int x; int y; };";
+  check "reference" "struct point p;" "struct point p;";
+  check "nested declarators" "struct s {int *p; char name[8];};"
+    "struct s { int *p; char name[8]; };";
+  check "union" "union u {int i; char c;};" "union u { int i; char c; };"
+
+let typedefs () =
+  let prog = pprog "typedef unsigned long size_t;\nsize_t n;" in
+  match prog with
+  | [ _; { d = Decl_plain (specs, _); _ } ] ->
+      (match specs with
+      | [ S_named id ] -> Alcotest.(check string) "typedef use" "size_t" id.id_name
+      | _ -> Alcotest.fail "typedef name not used as specifier")
+  | _ -> Alcotest.fail "unexpected program shape"
+
+let functions () =
+  let prog = pprog "int max(int a, int b) { if (a > b) return a; return b; }" in
+  (match prog with
+  | [ { d = Decl_fun ([ S_int ], D_func (D_ident f, params), [], _); _ } ] ->
+      Alcotest.(check string) "name" "max" f.id_name;
+      Alcotest.(check int) "params" 2 (List.length params)
+  | _ -> Alcotest.fail "ANSI function definition misparsed");
+  (* K&R style, as in the paper's foo example *)
+  let prog =
+    pprog "int foo(a, b, c) int a, b; int *c; { return a + b; }"
+  in
+  match prog with
+  | [ { d = Decl_fun (_, D_func (_, params), kr, _); _ } ] ->
+      Alcotest.(check int) "K&R names" 3 (List.length params);
+      Alcotest.(check int) "K&R decls" 2 (List.length kr)
+  | _ -> Alcotest.fail "K&R function definition misparsed"
+
+let implicit_int () =
+  (* C89 implicit-int function definitions *)
+  let prog = pprog "main() { return 0; }" in
+  match prog with
+  | [ { d = Decl_fun ([], D_func (D_ident f, []), [], _); _ } ] ->
+      Alcotest.(check string) "name" "main" f.id_name
+  | _ -> Alcotest.fail "implicit-int definition misparsed"
+
+let void_params () =
+  let prog = pprog "int f(void) { return 0; }" in
+  match prog with
+  | [ { d = Decl_fun (_, D_func (_, []), _, _); _ } ] -> ()
+  | _ -> Alcotest.fail "void parameter list should be empty"
+
+let prototypes () =
+  check "prototype" "int f(int, char *);" "int f(int, char *);";
+  check "named prototype" "int f(int a, char *b);" "int f(int a, char *b);";
+  check "extern" "extern int errno;" "extern int errno;";
+  check "static function pointer" "static int (*handler)(int);"
+    "static int (*handler)(int);"
+
+let varargs () =
+  let open Tutil in
+  Alcotest.(check string) "variadic prototype"
+    (norm "int printf(char *fmt, ...);")
+    (norm (print_decl (pdecl "int printf(char *fmt, ...);")));
+  (* a variadic prototype disables arity checking but keeps parsing *)
+  (match Ms2_parser.Parser.decl_of_string "int f(..., int x);" with
+  | exception Ms2_support.Diag.Error _ -> ()
+  | _ -> Alcotest.fail "... must be last");
+  check "variadic def" "int log_all(char *fmt, ...) { return 0; }"
+    "int log_all(char *fmt, ...) { return 0; }"
+
+let storage_errors () =
+  match Ms2_parser.Parser.expr_of_string "(static int)x" with
+  | exception Ms2_support.Diag.Error _ -> ()
+  | _ -> Alcotest.fail "storage class in cast accepted"
+
+let () =
+  Alcotest.run "parser-decl"
+    [ ( "declarations",
+        [ tc "declarators" declarators;
+          tc "initializers" initializers;
+          tc "enums" enums;
+          tc "structs and unions" structs;
+          tc "typedef registration" typedefs;
+          tc "function definitions" functions;
+          tc "implicit int" implicit_int;
+          tc "void parameters" void_params;
+          tc "prototypes and storage" prototypes;
+          tc "variadic parameters" varargs;
+          tc "storage class misuse" storage_errors ] ) ]

@@ -1,0 +1,100 @@
+(** Expression parser tests: the bottom-up precedence parser.
+
+    Strategy: parse and compare the pretty-printed form, whose
+    parenthesization reflects the tree shape. *)
+
+open Tutil
+
+let check name src printed =
+  Alcotest.(check string) name printed (print_expr (pexpr src))
+
+let precedence () =
+  check "mul over add" "a + b * c" "a + b * c";
+  check "explicit parens survive as shape" "(a + b) * c" "(a + b) * c";
+  check "left assoc sub" "a - b - c" "a - b - c";
+  check "right nesting needs parens" "a - (b - c)" "a - (b - c)";
+  check "shift vs relational" "a << 2 < b" "a << 2 < b";
+  (* C precedence: == binds tighter than &, so "a & b == c" already
+     means a & (b == c) and needs no parentheses when printed *)
+  check "bitand vs eq" "a & b == c" "a & b == c";
+  check "bitand of eq forced left" "(a & b) == c" "(a & b) == c";
+  check "and-or" "a && b || c && d" "a && b || c && d";
+  check "or assoc" "(a || b) && c" "(a || b) && c"
+
+let conditional () =
+  check "cond" "a ? b : c" "a ? b : c";
+  check "nested cond right" "a ? b : c ? d : e" "a ? b : c ? d : e";
+  (* the middle operand extends to the colon, so no parens are needed *)
+  check "nested cond middle" "a ? b ? c : d : e" "a ? b ? c : d : e";
+  check "assign in middle" "a ? b = c : d" "a ? b = c : d"
+
+let assignment () =
+  check "simple" "x = y" "x = y";
+  check "chained right" "x = y = z" "x = y = z";
+  check "compound" "x += y * 2" "x += y * 2";
+  check "deref lhs" "*p = 3" "*p = 3";
+  check "index lhs" "a[i] = b" "a[i] = b"
+
+let comma () =
+  check "comma" "a, b, c" "a, b, c";
+  check "comma under parens in call" "f((a, b))" "f((a, b))";
+  check "call args are not comma" "f(a, b)" "f(a, b)"
+
+let unary_postfix () =
+  check "deref deref" "**p" "**p";
+  check "addr of deref" "&*p" "&*p";
+  check "neg literal" "-1" "-1";
+  check "double neg spaced" "- -x" "- -x";
+  check "not" "!x" "!x";
+  check "preincr" "++x" "++x";
+  check "postincr" "x++" "x++";
+  check "postfix chain" "a.b->c[0](x)++" "a.b->c[0](x)++";
+  check "sizeof expr" "sizeof(x + 1)" "sizeof(x + 1)";
+  check "sizeof type" "sizeof(int)" "sizeof(int)";
+  check "sizeof pointer type" "sizeof(char *)" "sizeof(char *)"
+
+let casts () =
+  check "cast int" "(int)x" "(int)x";
+  check "cast pointer" "(char *)p" "(char *)p";
+  check "cast binds tighter than mul" "(int)x * y" "(int)x * y";
+  (* (foo)(x) is a call when foo is not a typedef name *)
+  check "call not cast" "(foo)(x)" "foo(x)"
+
+let literals () =
+  check "string" "\"hi\"" "\"hi\"";
+  check "char" "'a'" "'a'";
+  check "hex keeps spelling" "0x10" "0x10"
+
+let calls () =
+  check "nested calls" "f(g(x), h(y, z))" "f(g(x), h(y, z))";
+  check "zero arg" "f()" "f()";
+  (* the deref in "( *fp)(x)" has prec 15 < 16, so it keeps its parens *)
+  check "call of expr" "(*fp)(x)" "(*fp)(x)"
+
+let errors () =
+  let syntax_err src =
+    match Ms2_parser.Parser.expr_of_string src with
+    | exception Ms2_support.Diag.Error d ->
+        Alcotest.(check bool) "phase is parsing" true
+          (d.phase = Ms2_support.Diag.Parsing)
+    | e -> Alcotest.failf "parsed: %s" (print_expr e)
+  in
+  syntax_err "a +";
+  syntax_err "(a";
+  syntax_err "a ? b";
+  syntax_err "f(a,)";
+  syntax_err "";
+  syntax_err "a b" (* trailing input *)
+
+let () =
+  Alcotest.run "parser-expr"
+    [ ( "expressions",
+        [ tc "precedence" precedence;
+          tc "conditional" conditional;
+          tc "assignment" assignment;
+          tc "comma" comma;
+          tc "unary and postfix" unary_postfix;
+          tc "casts" casts;
+          tc "literals" literals;
+          tc "calls" calls;
+          tc "syntax errors" errors ] ) ]

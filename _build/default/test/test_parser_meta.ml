@@ -1,0 +1,223 @@
+(** Parser tests for the meta extensions: macro definitions, patterns,
+    templates, placeholder typing, and pattern-directed invocation
+    parsing. *)
+
+open Tutil
+open Ms2_syntax.Ast
+module Mtype = Ms2_mtype.Mtype
+module Sort = Ms2_mtype.Sort
+
+let get_macro_def src =
+  match pprog src with
+  | [ { d = Decl_macro_def md; _ } ] -> md
+  | _ -> Alcotest.fail "expected exactly one macro definition"
+
+let header_basic () =
+  let md =
+    get_macro_def "syntax stmt foo {| $$stmt::body |} { return body; }"
+  in
+  (match md.m_name with
+  | Ii_id id -> Alcotest.(check string) "name" "foo" id.id_name
+  | Ii_splice _ -> Alcotest.fail "unexpected name placeholder");
+  Alcotest.(check bool) "ret" true (Mtype.equal md.m_ret (Mtype.Ast Sort.Stmt));
+  match md.m_pattern with
+  | [ Pe_binder { b_spec = Ps_sort Sort.Stmt; b_name } ] ->
+      Alcotest.(check string) "binder" "body" b_name.id_name
+  | _ -> Alcotest.fail "pattern misparsed"
+
+let header_list_return () =
+  match
+    pprog
+      "metadcl @decl none[];\n\
+       syntax decl gen [] {| $$id::name ; |} { return none; }"
+  with
+  | [ _; { d = Decl_macro_def md; _ } ] ->
+      Alcotest.(check bool) "ret is decl list" true
+        (Mtype.equal md.m_ret (Mtype.List (Mtype.Ast Sort.Decl)))
+  | _ -> Alcotest.fail "unexpected shape"
+
+let patterns () =
+  let md =
+    get_macro_def
+      "syntax stmt m {| begin $$+/, exp::args ; $$?when exp::guard end \
+       $$.( $$id::k , $$num::v )::pair |} { return `{;}; }"
+  in
+  match md.m_pattern with
+  | [ Pe_token (Ms2_syntax.Token.IDENT "begin");
+      Pe_binder
+        { b_spec = Ps_plus (Some Ms2_syntax.Token.COMMA, Ps_sort Sort.Exp); _ };
+      Pe_token Ms2_syntax.Token.SEMI;
+      Pe_binder
+        { b_spec =
+            Ps_opt (Some (Ms2_syntax.Token.IDENT "when"), Ps_sort Sort.Exp);
+          _ };
+      Pe_token (Ms2_syntax.Token.IDENT "end");
+      Pe_binder { b_spec = Ps_tuple _; b_name } ] ->
+      Alcotest.(check string) "tuple binder" "pair" b_name.id_name
+  | _ -> Alcotest.fail "rich pattern misparsed"
+
+let star_pattern () =
+  let md =
+    get_macro_def
+      "syntax stmt m {| [ $$*stmt::body ] |} { return `{;}; }"
+  in
+  match md.m_pattern with
+  | [ Pe_token Ms2_syntax.Token.LBRACKET;
+      Pe_binder { b_spec = Ps_star (None, Ps_sort Sort.Stmt); _ };
+      Pe_token Ms2_syntax.Token.RBRACKET ] ->
+      ()
+  | _ -> Alcotest.fail "star pattern misparsed"
+
+let pattern_bindings_type md =
+  match md.m_pattern with
+  | [ Pe_binder b ] -> Some (pspec_type b.b_spec)
+  | _ -> None
+
+let binder_types () =
+  (* binder types flow into the meta type environment: a repetition of
+     ids gives @id[], so length(ids) type checks at definition time *)
+  let md =
+    get_macro_def
+      "syntax stmt m {| $$+/, id::ids |} {\n\
+       int n = length(ids);\n\
+       if (n == 0) return `{;};\n\
+       return `{f($(make_num(n)));};\n\
+       }"
+  in
+  Alcotest.(check bool) "pattern binds a list" true
+    (match pattern_bindings_type md with
+    | Some ty -> Mtype.equal ty (Mtype.List (Mtype.Ast Sort.Id))
+    | None -> false)
+
+let template_kinds () =
+  (* all four backquote forms in one macro body *)
+  let md =
+    get_macro_def
+      "syntax stmt m {| $$exp::e |} {\n\
+       @exp x = `($e + 1);\n\
+       @decl d = `[int v;];\n\
+       @id ids[] = `{| +/, id :: a, b, c |};\n\
+       if (length(ids) == 3) return `{f($x);};\n\
+       return `{g($(d->name));};\n\
+       }"
+  in
+  ignore md
+
+let placeholder_typing_errors () =
+  (* the (stmt, decl) illegality of Figure 3 *)
+  check_error
+    "syntax stmt m {| $$exp::e |} { return `{ $e; int x; }; }"
+    "declaration after the first statement";
+  (* a statement placeholder cannot stand in an expression *)
+  check_error "syntax stmt m {| $$stmt::s |} { return `(1 + $s); }"
+    "cannot stand for";
+  (* unknown meta variables are definition-time errors *)
+  check_error "syntax stmt m {| $$exp::e |} { return `{ $nosuch; }; }"
+    "unbound meta variable"
+
+let invocation_actuals () =
+  (* star with separator: zero, one, many *)
+  let parse_inv src =
+    match
+      pprog
+        ("metadcl @decl none[];\n\
+          syntax decl reg [] {| $$id::name ( $$*/, exp::args ) ; |} { \
+          return none; }\n" ^ src)
+    with
+    | [ _; _; { d = Decl_macro inv; _ } ] -> inv
+    | _ -> Alcotest.fail "expected an invocation"
+  in
+  let args_of inv =
+    match List.assoc "args" inv.inv_actuals with
+    | Act_list l -> List.length l
+    | _ -> Alcotest.fail "args not a list"
+  in
+  Alcotest.(check int) "zero args" 0 (args_of (parse_inv "reg empty();"));
+  Alcotest.(check int) "one arg" 1 (args_of (parse_inv "reg one(42);"));
+  Alcotest.(check int) "three args" 3
+    (args_of (parse_inv "reg three(a, b + 1, f(c));"))
+
+let invocation_optional () =
+  let parse_inv src =
+    match
+      pprog
+        ("metadcl @decl none[];\n\
+          syntax decl opt [] {| $$id::name $$?at num::pos ; |} { return \
+          none; }\n" ^ src)
+    with
+    | [ _; _; { d = Decl_macro inv; _ } ] -> inv
+    | _ -> Alcotest.fail "expected an invocation"
+  in
+  let pos_of inv =
+    match List.assoc "pos" inv.inv_actuals with
+    | Act_list l -> List.length l
+    | _ -> Alcotest.fail "optional not a list"
+  in
+  Alcotest.(check int) "absent" 0 (pos_of (parse_inv "opt x;"));
+  Alcotest.(check int) "present" 1 (pos_of (parse_inv "opt x at 3;"))
+
+let invocation_tuple () =
+  let prog =
+    pprog
+      "metadcl @decl none[];\n\
+       syntax decl pairs [] {| $$+/, .( $$id::k = $$exp::v )::ps ; |} { \
+       return none; }\n\
+       pairs a = 1, b = 2 + 3;"
+  in
+  match prog with
+  | [ _; _; { d = Decl_macro inv; _ } ] -> (
+      match List.assoc "ps" inv.inv_actuals with
+      | Act_list [ Act_tuple t1; Act_tuple _ ] ->
+          Alcotest.(check (list string)) "tuple fields" [ "k"; "v" ]
+            (List.map fst t1)
+      | _ -> Alcotest.fail "tuple repetition misparsed")
+  | _ -> Alcotest.fail "unexpected shape"
+
+let invocation_wrong_position () =
+  (* a decl-returning macro is fine at block level (block-scope
+     declarations)... *)
+  check_expands
+    "metadcl @decl none[];\n\
+     syntax decl gen [] {| $$id::n ; |} { return none; }\n\
+     int f() { gen x; return 0; }"
+    "int f() { return 0; }";
+  (* ...but not where an expression is expected *)
+  check_error
+    "metadcl @decl none[];\n\
+     syntax decl gen [] {| $$id::n ; |} { return none; }\n\
+     int x = gen y;;"
+    "cannot be invoked";
+  (* a stmt-returning macro cannot appear where an expression is
+     expected *)
+  check_error
+    "syntax stmt s {| $$stmt::b |} { return b; }\n\
+     int x = s { f(); };"
+    "cannot be invoked"
+
+let buzz_tokens () =
+  check_error
+    "syntax stmt m {| $$exp::c then $$stmt::s |} { return s; }\n\
+     int f() { m 1 els {g();} return 0; }"
+    "expected"
+
+let undefined_macro () =
+  (* without a definition, "mymac x;" is just a broken expression
+     statement: the user sees an error in their own code *)
+  check_error "int f() { mymac x; return 0; }\n" "expected"
+
+let () =
+  Alcotest.run "parser-meta"
+    [ ( "meta",
+        [ tc "macro header" header_basic;
+          tc "list-returning header" header_list_return;
+          tc "pattern language" patterns;
+          tc "star pattern" star_pattern;
+          tc "binder types" binder_types;
+          tc "template kinds" template_kinds;
+          tc "placeholder typing errors" placeholder_typing_errors;
+          tc "repetition actuals" invocation_actuals;
+          tc "optional actuals" invocation_optional;
+          tc "tuple actuals" invocation_tuple;
+          tc "invocations in wrong positions" invocation_wrong_position;
+          tc "buzz token mismatch" buzz_tokens;
+          tc "undefined macro" undefined_macro ] ) ]

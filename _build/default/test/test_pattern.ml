@@ -1,0 +1,146 @@
+(** Tests for the pattern machinery: FIRST sets and the one-token-
+    lookahead determinism rule the paper requires of macro patterns. *)
+
+open Tutil
+open Ms2_syntax
+open Ms2_syntax.Ast
+module Sort = Ms2_mtype.Sort
+module Firstset = Ms2_pattern.Firstset
+module Determinism = Ms2_pattern.Determinism
+
+let first_sets () =
+  let starts sort tok = Firstset.sort_starts_with sort tok in
+  Alcotest.(check bool) "id starts with ident" true
+    (starts Sort.Id (Token.IDENT "x"));
+  Alcotest.(check bool) "id not with int" false
+    (starts Sort.Id (Token.INT_LIT (1, "1")));
+  Alcotest.(check bool) "exp with int" true
+    (starts Sort.Exp (Token.INT_LIT (1, "1")));
+  Alcotest.(check bool) "exp with lparen" true (starts Sort.Exp Token.LPAREN);
+  Alcotest.(check bool) "exp not with rbrace" false
+    (starts Sort.Exp Token.RBRACE);
+  Alcotest.(check bool) "stmt with lbrace" true (starts Sort.Stmt Token.LBRACE);
+  Alcotest.(check bool) "stmt with if" true
+    (starts Sort.Stmt (Token.KW Token.Kif));
+  Alcotest.(check bool) "decl with int kw" true
+    (starts Sort.Decl (Token.KW Token.Kint));
+  Alcotest.(check bool) "decl with at" true (starts Sort.Decl Token.AT);
+  Alcotest.(check bool) "declarator with star" true
+    (starts Sort.Declarator Token.STAR);
+  (* placeholders can begin any phrase inside templates *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Sort.keyword s ^ " with $")
+        true (starts s Token.DOLLAR))
+    Sort.all
+
+let overlap () =
+  Alcotest.(check bool) "exact ident overlaps ident class" true
+    (Firstset.overlap (Firstset.Exact (Token.IDENT "when")) Firstset.Any_ident);
+  Alcotest.(check bool) "distinct exacts" false
+    (Firstset.overlap (Firstset.Exact Token.SEMI) (Firstset.Exact Token.COMMA))
+
+(* build patterns directly *)
+let binder spec name =
+  Pe_binder { b_spec = spec; b_name = Ast.ident name }
+
+let ok pat = Determinism.check_pattern ~loc:Ms2_support.Loc.dummy pat
+
+let bad pat sub =
+  match Determinism.check_pattern ~loc:Ms2_support.Loc.dummy pat with
+  | exception Ms2_support.Diag.Error d ->
+      Alcotest.(check bool) "pattern-check phase" true
+        (d.phase = Ms2_support.Diag.Pattern_check);
+      check_contains ~msg:"message" (Ms2_support.Diag.to_string d) sub
+  | () -> Alcotest.fail "non-deterministic pattern accepted"
+
+let deterministic_patterns () =
+  (* separated repetition followed by a distinct token *)
+  ok
+    [ binder (Ps_plus (Some Token.COMMA, Ps_sort Sort.Id)) "ids";
+      Pe_token Token.SEMI ];
+  (* unseparated statement repetition delimited by a bracket *)
+  ok
+    [ Pe_token Token.LBRACKET;
+      binder (Ps_star (None, Ps_sort Sort.Stmt)) "body";
+      Pe_token Token.RBRACKET ];
+  (* optional with deciding token distinct from what follows *)
+  ok
+    [ binder (Ps_opt (Some (Token.IDENT "by"), Ps_sort Sort.Exp)) "step";
+      Pe_token Token.RPAREN ];
+  (* greedy repetition at the end of the pattern is fine *)
+  ok [ binder (Ps_plus (None, Ps_sort Sort.Stmt)) "body" ]
+
+let nondeterministic_patterns () =
+  (* an expression can follow an expression repetition: ambiguous *)
+  bad
+    [ binder (Ps_star (None, Ps_sort Sort.Exp)) "xs";
+      binder (Ps_sort Sort.Exp) "y" ]
+    "one token";
+  (* the separator can begin an element: "," is not a problem for ids,
+     but an ident separator is *)
+  bad
+    [ binder (Ps_plus (Some (Token.IDENT "x"), Ps_sort Sort.Id)) "ids" ]
+    "can begin an element";
+  (* the optional's deciding token also follows it *)
+  bad
+    [ binder (Ps_opt (Some Token.SEMI, Ps_sort Sort.Exp)) "e";
+      Pe_token Token.SEMI ]
+    "also follow";
+  (* optional element whose FIRST collides with what follows *)
+  bad
+    [ binder (Ps_opt (None, Ps_sort Sort.Exp)) "e";
+      binder (Ps_sort Sort.Num) "n" ]
+    "one token";
+  (* separator is also a legal follower *)
+  bad
+    [ binder (Ps_plus (Some Token.COMMA, Ps_sort Sort.Id)) "ids";
+      Pe_token Token.COMMA ]
+    "also follow"
+
+let duplicate_binders () =
+  bad
+    [ binder (Ps_sort Sort.Exp) "x"; binder (Ps_sort Sort.Stmt) "x" ]
+    "duplicate binder";
+  (* duplicates inside tuple sub-patterns are caught too *)
+  bad
+    [ binder
+        (Ps_tuple [ binder (Ps_sort Sort.Id) "x" ])
+        "x" ]
+    "duplicate binder"
+
+let through_the_parser () =
+  (* the determinism check fires at macro definition time *)
+  check_error
+    "syntax stmt m {| $$*exp::xs $$exp::y |} { return `{;}; }"
+    "one token";
+  check_error
+    "syntax stmt m {| $$exp::x $$exp::x |} { return `{;}; }"
+    "duplicate binder"
+
+let pspec_types () =
+  let ty spec = Ast.pspec_type spec in
+  Alcotest.(check string) "sort" "@exp"
+    (Ms2_mtype.Mtype.to_string (ty (Ps_sort Sort.Exp)));
+  Alcotest.(check string) "repetition" "@id[]"
+    (Ms2_mtype.Mtype.to_string (ty (Ps_plus (Some Token.COMMA, Ps_sort Sort.Id))));
+  Alcotest.(check string) "optional is a list" "@exp[]"
+    (Ms2_mtype.Mtype.to_string (ty (Ps_opt (None, Ps_sort Sort.Exp))));
+  check_contains ~msg:"tuple type"
+    (Ms2_mtype.Mtype.to_string
+       (ty
+          (Ps_tuple
+             [ binder (Ps_sort Sort.Id) "k"; binder (Ps_sort Sort.Exp) "v" ])))
+    "@id k"
+
+let () =
+  Alcotest.run "pattern"
+    [ ( "pattern",
+        [ tc "first sets" first_sets;
+          tc "token-class overlap" overlap;
+          tc "deterministic patterns accepted" deterministic_patterns;
+          tc "non-deterministic patterns rejected" nondeterministic_patterns;
+          tc "duplicate binders rejected" duplicate_binders;
+          tc "checked at definition time" through_the_parser;
+          tc "pattern value types" pspec_types ] ) ]

@@ -1,0 +1,108 @@
+(** Tests for the standard macro library: every prelude macro expands as
+    documented, and the prelude itself is pure meta-program. *)
+
+open Tutil
+
+let expand_p src =
+  let engine = Ms2.Api.create_engine ~prelude:true () in
+  match Ms2.Api.expand ~source:"t" engine src with
+  | Ok out -> out
+  | Error e -> Alcotest.failf "expansion failed: %s" e
+
+let check_p ?(msg = "expansion") src expected =
+  Alcotest.(check string) msg (canon expected) (norm (expand_p src))
+
+let loads_cleanly () =
+  let engine = Ms2.Api.create_engine ~prelude:true () in
+  let s = Ms2.Api.stats engine in
+  Alcotest.(check int) "all macros defined"
+    (List.length Ms2.Prelude.macro_names)
+    s.Ms2.Engine.macros_defined
+
+let unless_m () =
+  check_p "int f(int x) { unless (x > 0) return -1; return x; }"
+    "int f(int x) { if (!(x > 0)) return -1; return x; }"
+
+let repeat_m () =
+  check_p "int f(int n) { repeat { n--; } until (n == 0); return n; }"
+    "int f(int n) { do { n--; } while (!(n == 0)); return n; }"
+
+let for_range_m () =
+  check_p
+    "int f(int n) { int i; int t = 0; for_range (i = 1 to n) { t += i; } \
+     return t; }"
+    "int f(int n) { int i; int t = 0; for (i = 1; i <= n; i++) { t += i; } \
+     return t; }";
+  check_p
+    "int f(int n) { int i; int t = 0; for_range (i = 0 to n by 4) { t++; } \
+     return t; }"
+    "int f(int n) { int i; int t = 0; for (i = 0; i <= n; i += 4) { t++; } \
+     return t; }"
+
+let times_m () =
+  let out = norm (expand_p "void f() { times (3) { tick(); } }") in
+  check_contains ~msg:"gensym counter declared" out "int times__g";
+  check_contains ~msg:"loop bound" out "< 3;"
+
+let swap_m () =
+  check_p "int a, b;\nvoid f() { swap(a, b); }"
+    "int a, b;\n\
+     void f() { { int swap__g1; swap__g1 = a; a = b; b = swap__g1; } }";
+  (* pointers swap through declare_like *)
+  let out = norm (expand_p "char *p, *q;\nvoid f() { swap(p, q); }") in
+  check_contains ~msg:"pointer temp" out "char *swap__g";
+  (* incompatible operands are a macro-side error *)
+  let engine = Ms2.Api.create_engine ~prelude:true () in
+  match
+    Ms2.Api.expand ~source:"t" engine
+      "int i; char *s;\nvoid f() { swap(i, s); }"
+  with
+  | Ok out -> Alcotest.failf "accepted: %s" out
+  | Error e -> check_contains ~msg:"guard fires" e "incompatible operand"
+
+let with_cleanup_m () =
+  check_p "void f() { with_cleanup { use(); } { release(); } }"
+    "void f() { { { use(); } { release(); } } }"
+
+let assert_that_m () =
+  check_p "void f(int x) { assert_that(x + 1 > 0); }"
+    "void f(int x) { if (!(x + 1 > 0)) assert_fail(\"x + 1 > 0\"); }"
+
+let log_value_m () =
+  check_p "int n;\nvoid f() { log_value(n * 2); }"
+    "int n;\nvoid f() { printf(\"%s = %d\\n\", \"n * 2\", n * 2); }";
+  check_p "char *s;\nvoid f() { log_value(s); }"
+    "char *s;\nvoid f() { printf(\"%s = %p\\n\", \"s\", (void *)s); }"
+
+let bitflags_m () =
+  check_p "bitflags modes {m_read, m_write, m_exec, m_lock};"
+    "enum modes {m_read = 1, m_write = 2, m_exec = 4, m_lock = 8};"
+
+let myenum_m () =
+  let out = norm (expand_p "myenum fruit {apple, kiwi};") in
+  check_contains ~msg:"enum" out "enum fruit {apple, kiwi};";
+  check_contains ~msg:"printer" out "void print_fruit(int arg)";
+  check_contains ~msg:"reader" out "int read_fruit()"
+
+let composes_with_user_macros () =
+  (* prelude macros and user macros interleave freely *)
+  check_p
+    "syntax stmt twice {| $$stmt::s |} { return `{$s; $s;}; }\n\
+     void f() { unless (ready()) twice { kick(); } }"
+    "void f() { if (!ready()) { { kick(); } { kick(); } } }"
+
+let () =
+  Alcotest.run "prelude"
+    [ ( "prelude",
+        [ tc "loads cleanly" loads_cleanly;
+          tc "unless" unless_m;
+          tc "repeat/until" repeat_m;
+          tc "for_range" for_range_m;
+          tc "times" times_m;
+          tc "swap" swap_m;
+          tc "with_cleanup" with_cleanup_m;
+          tc "assert_that" assert_that_m;
+          tc "log_value" log_value_m;
+          tc "bitflags" bitflags_m;
+          tc "myenum" myenum_m;
+          tc "composes with user macros" composes_with_user_macros ] ) ]

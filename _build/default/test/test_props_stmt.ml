@@ -1,0 +1,156 @@
+(** Property tests at the statement, declaration and program levels:
+    compositional generators of valid C, round-tripped through the
+    printer/parser, the expansion engine (identity on macro-free code),
+    and the object-level checker (no findings on well-typed programs
+    built only from declared [int] variables). *)
+
+open QCheck
+
+let gen_var = Gen.oneofl [ "v0"; "v1"; "v2"; "v3" ]
+
+(* expressions over the fixed int variables v0..v3 — every generated
+   expression is well-typed C *)
+let gen_int_exp =
+  Gen.sized
+    (Gen.fix (fun self n ->
+         if n = 0 then
+           Gen.oneof [ gen_var; Gen.map string_of_int (Gen.int_range 0 99) ]
+         else
+           let sub = self (n / 2) in
+           Gen.oneof
+             [ sub;
+               Gen.map2 (Printf.sprintf "(%s + %s)") sub sub;
+               Gen.map2 (Printf.sprintf "(%s * %s)") sub sub;
+               Gen.map2 (Printf.sprintf "(%s < %s)") sub sub;
+               Gen.map2 (Printf.sprintf "(%s == %s)") sub sub;
+               Gen.map (Printf.sprintf "(-%s)") sub;
+               Gen.map (Printf.sprintf "(!%s)") sub;
+               Gen.map3 (Printf.sprintf "(%s ? %s : %s)") sub sub sub ]))
+
+(* statements over those variables; all loops syntactic only *)
+let gen_stmt =
+  Gen.sized
+    (Gen.fix (fun self n ->
+         let assign =
+           Gen.map2 (Printf.sprintf "%s = %s;") gen_var gen_int_exp
+         in
+         if n = 0 then
+           Gen.oneof [ assign; Gen.return ";"; Gen.return "break_counter++;" ]
+         else
+           let sub = self (n / 2) in
+           Gen.oneof
+             [ assign;
+               Gen.map2 (Printf.sprintf "if (%s) %s") gen_int_exp sub;
+               Gen.map3 (Printf.sprintf "if (%s) %s else %s") gen_int_exp sub
+                 sub;
+               Gen.map2 (Printf.sprintf "while (%s) %s") gen_int_exp sub;
+               Gen.map2 (Printf.sprintf "do %s while (%s);") sub gen_int_exp;
+               Gen.map2 (Printf.sprintf "{ %s %s }") sub sub;
+               Gen.map
+                 (fun (v, e, s) ->
+                   Printf.sprintf "for (%s = 0; %s < %s; %s++) %s" v v e v s)
+                 (Gen.triple gen_var gen_int_exp sub);
+               Gen.map2
+                 (Printf.sprintf
+                    "switch (%s) { case 1: %s break; default: ; }")
+                 gen_int_exp sub ]))
+
+let gen_program =
+  Gen.map
+    (fun stmts ->
+      "int v0, v1, v2, v3;\nint break_counter;\nint f()\n{\n"
+      ^ String.concat "\n" stmts
+      ^ "\nreturn v0;\n}")
+    (Gen.list_size (Gen.int_range 1 6) gen_stmt)
+
+(* print/parse round trip at the program level *)
+let prop_program_roundtrip =
+  Test.make ~name:"print/parse round trip on programs" ~count:300
+    (make gen_program)
+    (fun src ->
+      let p1 = Tutil.canon src in
+      Tutil.canon p1 = p1)
+
+(* expansion is the identity on macro-free programs *)
+let prop_expand_identity =
+  Test.make ~name:"expansion is the identity on macro-free programs"
+    ~count:300 (make gen_program)
+    (fun src ->
+      match Ms2.Api.expand_string src with
+      | Error _ -> false
+      | Ok out -> Tutil.norm out = Tutil.canon src)
+
+(* hygiene does not touch user programs *)
+let prop_hygiene_inert =
+  Test.make ~name:"hygienic engines do not rewrite macro-free programs"
+    ~count:150 (make gen_program)
+    (fun src ->
+      let engine = Ms2.Engine.create ~hygienic:true () in
+      match Ms2.Api.expand ~source:"p" engine src with
+      | Error _ -> false
+      | Ok out -> Tutil.norm out = Tutil.canon src)
+
+(* the object-level checker accepts these well-typed programs *)
+let prop_checker_clean =
+  Test.make ~name:"checker finds nothing in well-typed generated programs"
+    ~count:300 (make gen_program)
+    (fun src ->
+      match Ms2.Api.expand_checked src with
+      | Error _ -> false
+      | Ok (_, findings) -> findings = [])
+
+(* wrapping every generated statement in a trivial stmt macro and
+   expanding gives back the original statement *)
+let prop_identity_macro =
+  Test.make ~name:"the identity macro is the identity" ~count:200
+    (make gen_stmt)
+    (fun stmt ->
+      let with_macro =
+        Printf.sprintf
+          "syntax stmt id_macro {| [ $$stmt::s ] |} { return s; }\n\
+           int v0, v1, v2, v3;\nint break_counter;\n\
+           int f() { id_macro [ %s ] return v0; }"
+          stmt
+      and plain =
+        Printf.sprintf
+          "int v0, v1, v2, v3;\nint break_counter;\n\
+           int f() { %s return v0; }"
+          stmt
+      in
+      match Ms2.Api.expand_string with_macro with
+      | Error _ -> false
+      | Ok out -> Tutil.norm out = Tutil.canon plain)
+
+(* a bracketing macro adds exactly its bracket and preserves the body *)
+let prop_bracket_macro =
+  Test.make ~name:"bracketing macros preserve their bodies" ~count:200
+    (make gen_stmt)
+    (fun stmt ->
+      let src =
+        Printf.sprintf
+          "syntax stmt guard {| [ $$stmt::s ] |} { return `{enter(); $s; \
+           leave();}; }\n\
+           int v0, v1, v2, v3;\nint break_counter;\n\
+           int f() { guard [ %s ] return v0; }"
+          stmt
+      and expected =
+        Printf.sprintf
+          "int v0, v1, v2, v3;\nint break_counter;\n\
+           int f() { { enter(); %s leave(); } return v0; }"
+          stmt
+      in
+      match Ms2.Api.expand_string src with
+      | Error _ -> false
+      | Ok out -> Tutil.norm out = Tutil.canon expected)
+
+let () =
+  let suite =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_program_roundtrip;
+        prop_expand_identity;
+        prop_hygiene_inert;
+        prop_checker_clean;
+        prop_identity_macro;
+        prop_bracket_macro ]
+  in
+  Alcotest.run "props-stmt" [ ("program-level properties", suite) ]

@@ -1,0 +1,153 @@
+(** Semantic-macro tests: macros that query the object-level types of
+    their actual parameters (the paper's §5 extension). *)
+
+open Tutil
+
+let typespec_query () =
+  (* exp_typespec sees globals, locals, parameters, and scopes *)
+  check_expands
+    "syntax stmt clone {| ( $$id::v ) ; |} {\n\
+     @id c = gensym(v);\n\
+     return `{{$(exp_typespec(v)) $c = $v; use($c);}};\n\
+     }\n\
+     unsigned long big;\n\
+     void f(short s) {\n\
+     char c;\n\
+     clone(big);\n\
+     clone(s);\n\
+     clone(c);\n\
+     }"
+    "unsigned long big;\n\
+     void f(short s) {\n\
+     char c;\n\
+     { unsigned long big__g1 = big; use(big__g1); }\n\
+     { short s__g2 = s; use(s__g2); }\n\
+     { char c__g3 = c; use(c__g3); }\n\
+     }"
+
+let dispatch_on_type () =
+  check_expands
+    "syntax exp fmt_of {| ( $$exp::e ) |} {\n\
+     if (is_pointer(e)) return `(\"%p\");\n\
+     return `(\"%d\");\n\
+     }\n\
+     int i;\n\
+     char *s;\n\
+     void f() { printf(fmt_of(i), i); printf(fmt_of(s), s); }"
+    "int i;\n\
+     char *s;\n\
+     void f() { printf(\"%d\", i); printf(\"%p\", s); }"
+
+let struct_members () =
+  (* the analysis follows struct layouts through pointers *)
+  check_expands
+    "syntax exp fmt_of {| ( $$exp::e ) |} {\n\
+     if (is_pointer(e)) return `(\"%p\");\n\
+     return `(\"%d\");\n\
+     }\n\
+     struct node {int value; struct node *next;};\n\
+     void f(struct node *n) {\n\
+     printf(fmt_of(n->value), n->value);\n\
+     printf(fmt_of(n->next), n->next);\n\
+     }"
+    "struct node { int value; struct node *next; };\n\
+     void f(struct node *n) {\n\
+     printf(\"%d\", n->value);\n\
+     printf(\"%p\", n->next);\n\
+     }"
+
+let scope_sensitivity () =
+  (* the same macro sees different types for the same name in different
+     scopes — the expansion point's environment decides *)
+  check_expands
+    "syntax exp fmt_of {| ( $$exp::e ) |} {\n\
+     if (is_pointer(e)) return `(\"%p\");\n\
+     return `(\"%d\");\n\
+     }\n\
+     int x;\n\
+     void f() { printf(fmt_of(x), x); { char *x; printf(fmt_of(x), x); } }"
+    "int x;\n\
+     void f() { printf(\"%d\", x); { char *x; printf(\"%p\", x); } }"
+
+let declare_like_pointers () =
+  (* declare_like handles types a bare typespec cannot express *)
+  let out =
+    expand
+      "syntax stmt stash {| ( $$exp::e ) ; |} {\n\
+       @id t = gensym(\"stash\");\n\
+       return `{{ $(declare_like(e, t)) $t = $e; consume($t); }};\n\
+       }\n\
+       char *argv[4];\n\
+       void f() { stash(argv[0]); stash(argv); }"
+  in
+  let out = norm out in
+  check_contains ~msg:"element type" out "char *stash__g1";
+  check_contains ~msg:"decayed array type" out "char **stash__g2"
+
+let type_name_strings () =
+  check_expands
+    "syntax exp tn {| ( $$exp::e ) |} {\n\
+     return `($(pstring(make_id(type_name_of(e)))));\n\
+     }\n\
+     struct p {int x;} v;\n\
+     char *f() { return tn(v); }"
+    "struct p { int x; } v;\nchar *f() { return \"struct p\"; }"
+
+let compatibility_guard () =
+  (* a macro can reject invocations on semantic grounds *)
+  check_error
+    "syntax stmt swap {| ( $$exp::a , $$exp::b ) ; |} {\n\
+     @id t = gensym(\"t\");\n\
+     if (!types_compatible(a, b))\n\
+     error(\"swap: incompatible types\", type_name_of(a), type_name_of(b));\n\
+     return `{{ $(declare_like(a, t)) $t = $a; $a = $b; $b = $t; }};\n\
+     }\n\
+     int i;\n\
+     char *s;\n\
+     void f() { swap(i, s); }"
+    "incompatible types";
+  check_expands
+    "syntax stmt swap {| ( $$exp::a , $$exp::b ) ; |} {\n\
+     @id t = gensym(\"t\");\n\
+     if (!types_compatible(a, b))\n\
+     error(\"swap: incompatible types\");\n\
+     return `{{ $(declare_like(a, t)) $t = $a; $a = $b; $b = $t; }};\n\
+     }\n\
+     int i, j;\n\
+     void f() { swap(i, j); }"
+    "int i, j;\n\
+     void f() { { int t__g1; t__g1 = i; i = j; j = t__g1; } }"
+
+let enum_types () =
+  check_expands
+    "syntax stmt clone {| ( $$id::v ) ; |} {\n\
+     @id c = gensym(v);\n\
+     return `{{$(exp_typespec(v)) $c = $v; use($c);}};\n\
+     }\n\
+     enum color {red, green} tint;\n\
+     void f() { clone(tint); }"
+    "enum color {red, green} tint;\n\
+     void f() { { enum color tint__g1 = tint; use(tint__g1); } }"
+
+let unknown_types () =
+  (* querying an undeclared identifier is not an error, but splicing its
+     unknown type is *)
+  check_error
+    "syntax stmt clone {| ( $$id::v ) ; |} {\n\
+     return `{{$(exp_typespec(v)) copy = $v;}};\n\
+     }\n\
+     void f() { clone(mystery); }"
+    "cannot be written as a type specifier"
+
+let () =
+  Alcotest.run "semantic"
+    [ ( "semantic macros",
+        [ tc "exp_typespec across scopes" typespec_query;
+          tc "dispatch on object types" dispatch_on_type;
+          tc "struct member types" struct_members;
+          tc "scope sensitivity" scope_sensitivity;
+          tc "declare_like for pointer types" declare_like_pointers;
+          tc "type_name_of" type_name_strings;
+          tc "compatibility guards" compatibility_guard;
+          tc "enum types round-trip" enum_types;
+          tc "unknown types" unknown_types ] ) ]

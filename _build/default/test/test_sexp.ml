@@ -1,0 +1,33 @@
+(** Tests for the paper-notation s-expression printer used by the
+    regenerated figures. *)
+
+open Tutil
+module Sexp = Ms2_syntax.Sexp
+
+let decl_sexp () =
+  Alcotest.(check string) "plain declaration"
+    "(declaration (int) ((init-declarator (direct-declarator x) ())))"
+    (Sexp.decl_to_string (pdecl "int x;"));
+  Alcotest.(check string) "with initializer"
+    "(declaration (int) ((init-declarator (direct-declarator x) (const 1))))"
+    (Sexp.decl_to_string (pdecl "int x = 1;"))
+
+let stmt_sexp () =
+  Alcotest.(check string) "return" "(r-s (exp (id x)))"
+    (Sexp.stmt_to_string (pstmt "return (x);"));
+  let s = Sexp.stmt_to_string (pstmt "{ int x; f(x); }") in
+  check_contains ~msg:"compound head" s "(c-s (decl-list ((decl \"int x\")))";
+  check_contains ~msg:"stmt list" s "(stmt-list"
+
+let expr_sexp () =
+  Alcotest.(check string) "binary" "(+ (id a) (id b))"
+    (Sexp.expr_to_string (pexpr "a + b"));
+  Alcotest.(check string) "call" "(call (id f) (id x) (const 1))"
+    (Sexp.expr_to_string (pexpr "f(x, 1)"))
+
+let () =
+  Alcotest.run "sexp"
+    [ ( "sexp",
+        [ tc "declarations" decl_sexp;
+          tc "statements" stmt_sexp;
+          tc "expressions" expr_sexp ] ) ]

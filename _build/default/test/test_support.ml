@@ -1,0 +1,77 @@
+(** Unit tests for the support library: locations, diagnostics. *)
+
+open Ms2_support
+
+let mk_loc a b =
+  Loc.make ~source:"f.c"
+    ~start_pos:{ Loc.line = a; col = 0; offset = a * 10 }
+    ~end_pos:{ Loc.line = b; col = 5; offset = (b * 10) + 5 }
+
+let loc_merge () =
+  let l1 = mk_loc 1 2 and l2 = mk_loc 3 4 in
+  let m = Loc.merge l1 l2 in
+  Alcotest.(check int) "start from first" 1 m.Loc.start_pos.line;
+  Alcotest.(check int) "end from second" 4 m.Loc.end_pos.line;
+  (* dummy sides are ignored *)
+  Alcotest.(check int) "dummy left" 3
+    (Loc.merge Loc.dummy l2).Loc.start_pos.line;
+  Alcotest.(check int) "dummy right" 1
+    (Loc.merge l1 Loc.dummy).Loc.start_pos.line
+
+let loc_printing () =
+  Tutil.check_contains ~msg:"single line"
+    (Loc.to_string (mk_loc 3 3)) "f.c:3:0-5";
+  Tutil.check_contains ~msg:"multi line"
+    (Loc.to_string (mk_loc 3 5)) "f.c:3:0-5:5";
+  Alcotest.(check string) "dummy" "<unknown location>"
+    (Loc.to_string Loc.dummy);
+  Alcotest.(check bool) "is_dummy" true (Loc.is_dummy Loc.dummy);
+  Alcotest.(check bool) "not dummy" false (Loc.is_dummy (mk_loc 1 1))
+
+let diag_phases () =
+  List.iter
+    (fun (phase, name) ->
+      Alcotest.(check string) name name (Diag.phase_name phase))
+    [ (Diag.Lexing, "lexical error"); (Diag.Parsing, "syntax error");
+      (Diag.Pattern_check, "pattern error"); (Diag.Type_check, "type error");
+      (Diag.Expansion, "expansion error") ]
+
+let diag_raise_and_protect () =
+  (match Diag.error ~loc:(mk_loc 1 1) Diag.Parsing "oops %d" 42 with
+  | exception Diag.Error d ->
+      Alcotest.(check string) "message" "oops 42" d.Diag.message;
+      Tutil.check_contains ~msg:"rendered" (Diag.to_string d) "f.c:1:0-5";
+      Tutil.check_contains ~msg:"phase shown" (Diag.to_string d)
+        "syntax error"
+  | _ -> Alcotest.fail "error did not raise");
+  (match Diag.protect (fun () -> 7) with
+  | Ok 7 -> ()
+  | _ -> Alcotest.fail "protect passes values");
+  match
+    Diag.protect (fun () -> Diag.error Diag.Expansion "boom")
+  with
+  | Error msg -> Tutil.check_contains ~msg:"protect catches" msg "boom"
+  | Ok _ -> Alcotest.fail "protect should catch diagnostics"
+
+let protect_is_selective () =
+  (* non-diagnostic exceptions pass through *)
+  match Diag.protect (fun () -> failwith "other") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "protect must not catch Failure"
+
+let gensym_prefixes () =
+  let g = Ms2_support.Gensym.create ~prefix:"__x" () in
+  let n = Ms2_support.Gensym.fresh g "t" in
+  Tutil.check_contains ~msg:"custom prefix" n "__x";
+  Ms2_support.Gensym.reset g;
+  Alcotest.(check int) "reset" 0 (Ms2_support.Gensym.count g)
+
+let () =
+  Alcotest.run "support"
+    [ ( "support",
+        [ Tutil.tc "location merging" loc_merge;
+          Tutil.tc "location printing" loc_printing;
+          Tutil.tc "phase names" diag_phases;
+          Tutil.tc "diagnostics raise and render" diag_raise_and_protect;
+          Tutil.tc "protect is selective" protect_is_selective;
+          Tutil.tc "gensym prefixes" gensym_prefixes ] ) ]
