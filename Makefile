@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench figures examples expand clean
+.PHONY: all build test faults bench bench-fuel figures examples expand clean
 
 all: build
 
@@ -10,9 +10,17 @@ build:
 test:
 	dune runtest
 
+# the fault-injection harness alone (also part of the default runtest)
+faults:
+	dune exec test/test_faults.exe
+
 # regenerate the paper's figures and all timing tables
 bench:
 	dune exec bench/main.exe
+
+# fuel-accounting overhead table (writes BENCH_FUEL.json)
+bench-fuel:
+	dune exec bench/main.exe fuel
 
 figures:
 	dune exec bench/main.exe figures

@@ -254,6 +254,81 @@ let ablation_tests () =
         (Staged.stage (run_hygiene ~hygienic:true)) ]
 
 (* ------------------------------------------------------------------ *)
+(* Fuel accounting overhead                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The resilient pipeline charges every interpreter step and every
+   filled template node against a budget.  This table measures what that
+   governance costs: the same workloads expanded with the production
+   budgets ({!Ms2_support.Limits.default}) and with the budgets disabled
+   ({!Ms2_support.Limits.unlimited}, the max_int sentinel — the
+   counters never trip and impose their minimum possible cost).  The
+   target is <5% overhead. *)
+
+let fuel_pairs () =
+  [ ("fuel-heavy (2000-step meta loop x8)", Workloads.fuel_heavy 2000);
+    ("myenum (32 constants)", Workloads.myenum 32);
+    ("Painting x32", Workloads.painting 32) ]
+
+let fuel_tests () =
+  let run ~limits src () =
+    let engine = Ms2.Engine.create ~limits () in
+    match Ms2.Api.expand ~source:"bench" engine src with
+    | Ok out -> Sys.opaque_identity (String.length out)
+    | Error e -> failwith e
+  in
+  Test.make_grouped ~name:"fuel"
+    (List.concat_map
+       (fun (name, src) ->
+         [ Test.make ~name:(name ^ ": budgets off")
+             (Staged.stage (run ~limits:Ms2_support.Limits.unlimited src));
+           Test.make ~name:(name ^ ": budgets on")
+             (Staged.stage (run ~limits:Ms2_support.Limits.default src)) ])
+       (fuel_pairs ()))
+
+let run_fuel () =
+  let results = measure_tests (fuel_tests ()) in
+  print_estimates
+    "Fuel accounting overhead (default budgets vs unlimited sentinel)"
+    results;
+  let ests = estimates results in
+  let find suffix name = List.assoc_opt ("fuel/" ^ name ^ ": " ^ suffix) ests in
+  rule "Derived: overhead of enforced budgets (<5% target)";
+  let rows =
+    List.filter_map
+      (fun (name, _) ->
+        match (find "budgets on" name, find "budgets off" name) with
+        | Some on, Some off when off > 0. ->
+            let pct = (on -. off) /. off *. 100. in
+            Printf.printf "  %-42s %+.2f%%\n" name pct;
+            Some (name, off, on, pct)
+        | _, _ -> None)
+      (fuel_pairs ())
+  in
+  (* machine-readable record alongside the other BENCH_*.json trackers *)
+  let oc = open_out "BENCH_FUEL.json" in
+  Printf.fprintf oc "{\n  \"quota_s\": %g,\n  \"workloads\": [\n" quota;
+  List.iteri
+    (fun i (name, off, on, pct) ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"ns_per_run_unlimited\": %.1f, \
+         \"ns_per_run_default\": %.1f, \"overhead_percent\": %.2f}%s\n"
+        name off on pct
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  let mean =
+    match rows with
+    | [] -> 0.
+    | _ ->
+        List.fold_left (fun a (_, _, _, p) -> a +. p) 0. rows
+        /. float_of_int (List.length rows)
+  in
+  Printf.fprintf oc "  ],\n  \"mean_overhead_percent\": %.2f\n}\n" mean;
+  close_out oc;
+  Printf.printf "\n  mean overhead: %+.2f%%  (written to BENCH_FUEL.json)\n"
+    mean
+
+(* ------------------------------------------------------------------ *)
 (* Fig. 2 parse-time type analysis cost                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -297,12 +372,15 @@ let () =
   | "time" -> run_time ()
   | "sweep" -> run_sweep ()
   | "penalty" -> run_penalty ()
+  | "fuel" -> run_fuel ()
   | "all" ->
       run_figures ();
       run_time ();
       run_sweep ();
-      run_penalty ()
+      run_penalty ();
+      run_fuel ()
   | other ->
       Printf.eprintf
-        "unknown mode %S (expected figures | time | sweep | penalty)\n" other;
+        "unknown mode %S (expected figures | time | sweep | penalty | fuel)\n"
+        other;
       exit 2

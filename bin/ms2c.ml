@@ -2,9 +2,27 @@
 
     - [ms2c expand file.mc]: expand macros, print pure C (or [-o out.c]);
     - [ms2c check file.mc]: parse and type check only;
-    - [ms2c figures]: regenerate the paper's Figures 1-3. *)
+    - [ms2c figures]: regenerate the paper's Figures 1-3.
+
+    Exit codes: 0 = clean; 1 = fatal error (no usable output);
+    3 = degraded ([--keep-going] recovered from at least one expansion
+    error and output was still produced). *)
 
 open Cmdliner
+module Diag = Ms2_support.Diag
+module Limits = Ms2_support.Limits
+
+let exit_fatal = 1
+let exit_degraded = 3
+
+type diag_format = Text | Json
+
+let emit_diag fmt (d : Diag.t) =
+  match fmt with
+  | Text -> prerr_endline (Diag.render d)
+  | Json -> prerr_endline (Diag.to_json d)
+
+let emit_diags fmt ds = List.iter (emit_diag fmt) ds
 
 let read_file path =
   let ic = open_in_bin path in
@@ -68,25 +86,88 @@ let trace_arg =
   Arg.(value & flag & info [ "trace" ]
        ~doc:"Log every macro expansion (name, actuals, result) to stderr.")
 
+let fuel_arg =
+  Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N"
+       ~doc:"Global interpreter fuel budget: total meta-program steps \
+             (statements executed, expressions evaluated) the whole run \
+             may consume.  Defaults to a generous production bound; 0 \
+             means unlimited.")
+
+let invocation_fuel_arg =
+  Arg.(value & opt (some int) None & info [ "invocation-fuel" ] ~docv:"N"
+       ~doc:"Interpreter fuel budget for a single macro invocation, so \
+             one runaway macro cannot starve the rest of the file.  0 \
+             means unlimited.")
+
+let max_nodes_arg =
+  Arg.(value & opt (some int) None & info [ "max-nodes" ] ~docv:"N"
+       ~doc:"Maximum AST nodes a single macro invocation's expansion may \
+             produce (the expansion-bomb guard).  0 means unlimited.")
+
+let max_errors_arg =
+  Arg.(value & opt (some int) None & info [ "max-errors" ] ~docv:"N"
+       ~doc:"Stop after recording $(docv) diagnostics in --keep-going \
+             mode (default 20).")
+
+let keep_going_arg =
+  Arg.(value & flag & info [ "k"; "keep-going" ]
+       ~doc:"Error recovery: when a macro invocation fails to expand, \
+             record the diagnostic, substitute a placeholder of the \
+             invocation's syntactic type, and continue, reporting every \
+             independent error.  Exits with code 3 when anything was \
+             recovered.")
+
+let diag_format_arg =
+  Arg.(value & opt (enum [ ("text", Text); ("json", Json) ]) Text
+       & info [ "diag-format" ] ~docv:"FMT"
+       ~doc:"Diagnostic rendering: $(b,text) (human-readable, with \
+             source-line carets) or $(b,json) (one JSON object per \
+             line, stable field order).")
+
+(* 0 on the command line means "unlimited" *)
+let budget_override default = function
+  | None -> default
+  | Some 0 -> max_int
+  | Some n -> n
+
+let limits_of ~fuel ~invocation_fuel ~max_nodes ~max_errors : Limits.t =
+  let d = Limits.default in
+  {
+    d with
+    Limits.fuel = budget_override d.Limits.fuel fuel;
+    invocation_fuel = budget_override d.Limits.invocation_fuel invocation_fuel;
+    max_nodes = budget_override d.Limits.max_nodes max_nodes;
+    max_errors = budget_override d.Limits.max_errors max_errors;
+  }
+
 let expand_cmd =
-  let run files output stats hygienic semantic_check prelude trace =
+  let run files output stats hygienic semantic_check prelude trace fuel
+      invocation_fuel max_nodes max_errors keep_going diag_format =
     with_fragments files (fun fragments ->
-        let engine = Ms2.Api.create_engine ~hygienic ~prelude () in
+        let limits = limits_of ~fuel ~invocation_fuel ~max_nodes ~max_errors in
+        let engine =
+          Ms2.Api.create_engine ~limits ~recover:keep_going ~hygienic
+            ~prelude ()
+        in
         if trace then
           engine.Ms2.Engine.trace <- Some Format.err_formatter;
         let prog =
           match
-            Ms2_support.Diag.protect (fun () ->
+            Diag.protect (fun () ->
                 List.concat_map
                   (fun (source, text) ->
                     Ms2.Engine.expand_source engine ~source text)
                   fragments)
           with
           | Ok prog -> prog
-          | Error msg ->
-              prerr_endline msg;
-              exit 1
+          | Error d ->
+              (* show what recovery salvaged before the fatal error *)
+              emit_diags diag_format (Ms2.Api.diagnostics engine);
+              emit_diag diag_format d;
+              exit exit_fatal
         in
+        let recovered = Ms2.Api.diagnostics engine in
+        emit_diags diag_format recovered;
         let out =
           Ms2_syntax.Pretty.program_to_string ~mode:Ms2_syntax.Pretty.strict
             prog
@@ -102,48 +183,52 @@ let expand_cmd =
           let s = Ms2.Api.stats engine in
           Printf.eprintf
             "macros defined: %d\nmeta declarations run: %d\ninvocations \
-             expanded: %d\n"
-            s.Ms2.Engine.macros_defined s.Ms2.Engine.meta_declarations_run
-            s.Ms2.Engine.invocations_expanded
+             expanded: %d\nfuel consumed: %d\nAST nodes produced: %d\n"
+            s.Ms2.Api.macros_defined s.Ms2.Api.meta_declarations_run
+            s.Ms2.Api.invocations_expanded s.Ms2.Api.fuel_consumed
+            s.Ms2.Api.nodes_produced
         end;
         if semantic_check then begin
           match Ms2.Api.check_program prog with
           | [] -> ()
           | findings ->
               List.iter prerr_endline findings;
-              exit 1
-        end)
+              exit exit_fatal
+        end;
+        if recovered <> [] then exit exit_degraded)
   in
   Cmd.v
     (Cmd.info "expand" ~doc:"Expand syntax macros to pure C")
     Term.(
       const run $ files_arg $ output_arg $ stats_arg $ hygienic_arg
-      $ semantic_check_arg $ prelude_arg $ trace_arg)
+      $ semantic_check_arg $ prelude_arg $ trace_arg $ fuel_arg
+      $ invocation_fuel_arg $ max_nodes_arg $ max_errors_arg
+      $ keep_going_arg $ diag_format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* check                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let check_cmd =
-  let run files =
+  let run files diag_format =
     with_fragments files (fun fragments ->
         let engine = Ms2.Api.create_engine () in
         match
-          Ms2_support.Diag.protect (fun () ->
+          Diag.protect (fun () ->
               List.iter
                 (fun (source, text) ->
                   ignore (Ms2.Engine.expand_source engine ~source text))
                 fragments)
         with
         | Ok () -> prerr_endline "ok"
-        | Error msg ->
-            prerr_endline msg;
-            exit 1)
+        | Error d ->
+            emit_diag diag_format d;
+            exit exit_fatal)
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Parse, type check and expand without printing the result")
-    Term.(const run $ files_arg)
+    Term.(const run $ files_arg $ diag_format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* figures                                                             *)

@@ -16,9 +16,19 @@ module Pretty = Ms2_syntax.Pretty
 
 type engine = Engine.t
 
-let create_engine ?max_depth ?compile_patterns ?hygienic
+(** Point-in-time expansion-cost counters of an engine. *)
+type stats = {
+  invocations_expanded : int;
+  meta_declarations_run : int;
+  macros_defined : int;
+  fuel_consumed : int;  (** interpreter steps charged so far *)
+  nodes_produced : int;  (** AST nodes charged to template fills so far *)
+}
+
+let create_engine ?limits ?compile_patterns ?hygienic ?recover
     ?(prelude = false) () =
-  let engine = Engine.create ?max_depth ?compile_patterns ?hygienic () in
+  let engine = Engine.create ?limits ?compile_patterns ?hygienic ?recover ()
+  in
   if prelude then Prelude.load engine;
   engine
 
@@ -29,9 +39,13 @@ let expand_exn ?(engine = Engine.create ()) ?source (text : string) : string =
   let prog = Engine.expand_source engine ?source text in
   Pretty.program_to_string ~mode:Pretty.strict prog
 
-(** Like {!expand_exn} but catching diagnostics. *)
-let expand_string ?engine ?source (text : string) : (string, string) result =
+(** Like {!expand_exn} but catching diagnostics, structured. *)
+let expand_diag ?engine ?source (text : string) : (string, Diag.t) result =
   Diag.protect (fun () -> expand_exn ?engine ?source text)
+
+(** Like {!expand_diag} with the error pre-rendered to a string. *)
+let expand_string ?engine ?source (text : string) : (string, string) result =
+  Result.map_error Diag.to_string (expand_diag ?engine ?source text)
 
 (** Expand within an existing engine, keeping its definitions. *)
 let expand (engine : engine) ?source (text : string) :
@@ -40,12 +54,22 @@ let expand (engine : engine) ?source (text : string) :
 
 (** Parse and expand, returning the AST instead of rendered C. *)
 let expand_to_ast ?(engine = Engine.create ()) ?source (text : string) :
-    (Ms2_syntax.Ast.program, string) result =
+    (Ms2_syntax.Ast.program, Diag.t) result =
   Diag.protect (fun () -> Engine.expand_source engine ?source text)
 
-(** Expansion statistics of an engine (invocations expanded, meta
-    declarations run, macros defined). *)
-let stats (engine : engine) = engine.Engine.stats
+(** Expansion statistics of an engine, including resource consumption
+    (fuel and produced-AST accounting), as a snapshot. *)
+let stats (engine : engine) : stats =
+  {
+    invocations_expanded = engine.Engine.stats.Engine.invocations_expanded;
+    meta_declarations_run = engine.Engine.stats.Engine.meta_declarations_run;
+    macros_defined = engine.Engine.stats.Engine.macros_defined;
+    fuel_consumed = Engine.fuel_consumed engine;
+    nodes_produced = Engine.nodes_produced engine;
+  }
+
+(** Diagnostics recorded by an engine's recovery mode, oldest first. *)
+let diagnostics (engine : engine) : Diag.t list = Engine.diagnostics engine
 
 (** Run the object-level static checker over a pure-C program (e.g. an
     expansion), returning human-readable findings.  This is the
@@ -59,7 +83,8 @@ let check_program (prog : Ms2_syntax.Ast.program) : string list =
     and any findings of the object-level type checker. *)
 let expand_checked ?(engine = Engine.create ()) ?source (text : string) :
     (string * string list, string) result =
-  Diag.protect (fun () ->
-      let prog = Engine.expand_source engine ?source text in
-      let rendered = Pretty.program_to_string ~mode:Pretty.strict prog in
-      (rendered, check_program prog))
+  Result.map_error Diag.to_string
+    (Diag.protect (fun () ->
+         let prog = Engine.expand_source engine ?source text in
+         let rendered = Pretty.program_to_string ~mode:Pretty.strict prog in
+         (rendered, check_program prog)))

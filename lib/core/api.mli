@@ -11,29 +11,59 @@
     repeatedly: macro definitions, [metadcl] globals, meta functions and
     generated macros persist across calls. *)
 
+open Ms2_support
+
 type engine = Engine.t
 
+(** Point-in-time expansion-cost counters of an engine. *)
+type stats = {
+  invocations_expanded : int;
+  meta_declarations_run : int;
+  macros_defined : int;
+  fuel_consumed : int;  (** interpreter steps charged so far *)
+  nodes_produced : int;  (** AST nodes charged to template fills so far *)
+}
+
 val create_engine :
-  ?max_depth:int ->
+  ?limits:Limits.t ->
   ?compile_patterns:bool ->
   ?hygienic:bool ->
+  ?recover:bool ->
   ?prelude:bool ->
   unit ->
   engine
-(** @param prelude load the standard macro library ({!Prelude}) *)
+(** @param limits resource bounds (default {!Ms2_support.Limits.default})
+    @param recover record expansion failures and degrade gracefully
+    instead of aborting at the first one (default false)
+    @param prelude load the standard macro library ({!Prelude}) *)
 
 val expand_exn : ?engine:engine -> ?source:string -> string -> string
 (** Parse and expand, rendering pure C.
     @raise Ms2_support.Diag.Error on any error. *)
 
-val expand_string : ?engine:engine -> ?source:string -> string -> (string, string) result
+val expand_diag :
+  ?engine:engine -> ?source:string -> string -> (string, Diag.t) result
+(** Like {!expand_exn} but catching diagnostics, keeping their
+    structure (phase, code, location). *)
+
+val expand_string :
+  ?engine:engine -> ?source:string -> string -> (string, string) result
+(** {!expand_diag} with the error pre-rendered via
+    {!Ms2_support.Diag.to_string}. *)
+
 val expand : engine -> ?source:string -> string -> (string, string) result
 
 val expand_to_ast :
   ?engine:engine -> ?source:string -> string ->
-  (Ms2_syntax.Ast.program, string) result
+  (Ms2_syntax.Ast.program, Diag.t) result
 
-val stats : engine -> Engine.stats
+val stats : engine -> stats
+(** Snapshot of the engine's expansion-cost counters, including fuel
+    and produced-AST accounting. *)
+
+val diagnostics : engine -> Diag.t list
+(** Diagnostics recorded by the engine's recovery mode, oldest first
+    (empty unless the engine was created with [~recover:true]). *)
 
 val check_program : Ms2_syntax.Ast.program -> string list
 (** Object-level static checking of a pure-C program (e.g. an

@@ -50,8 +50,16 @@ type t = {
           walk so semantic primitives see the scope at the invocation
           point *)
   gensym : Gensym.t;
-  max_depth : int;
+  limits : Limits.t;
+      (** resource governance: fuel, output size, depth, error cap *)
   compile_patterns : bool;
+  mutable recover : bool;
+      (** graceful degradation: a failed invocation is recorded in
+          [diags] and replaced by a placeholder of its syntactic type
+          instead of aborting the run *)
+  diags : Diag.collector;
+      (** diagnostics recorded by recovery mode, bounded by
+          [limits.max_errors] *)
   mutable trace : Format.formatter option;
       (** when set, every invocation expansion is logged ("the ease of
           debugging macros depends upon the quality of the debugger",
@@ -61,40 +69,40 @@ type t = {
 
 let error ?(loc = Loc.dummy) fmt = Diag.error ~loc Diag.Expansion fmt
 
-let rec create ?(max_depth = 200) ?(compile_patterns = true)
-    ?(hygienic = false) () : t =
-  let gensym = Gensym.create () in
-  let env = Value.create_env ~gensym () in
-  env.Value.hygienic <- hygienic;
-  let senv = Senv.create () in
-  env.Value.semantic <- Some senv;
-  let t =
-    {
-      macros = Hashtbl.create 16;
-      compiled = Hashtbl.create 16;
-      defs = Hashtbl.create 16;
-      tenv = Tenv.create ();
-      env;
-      senv;
-      gensym;
-      max_depth;
-      compile_patterns;
-      trace = None;
-      stats =
-        { invocations_expanded = 0; meta_declarations_run = 0;
-          macros_defined = 0 };
-    }
-  in
-  (t.env).Value.expand_invocation := (fun inv -> expand_invocation t inv);
-  t
-
 (* ------------------------------------------------------------------ *)
 (* Invocation expansion                                                *)
 (* ------------------------------------------------------------------ *)
 
+let truncate_for_trace s =
+  let s = String.map (function '\n' -> ' ' | c -> c) s in
+  if String.length s > 120 then String.sub s 0 117 ^ "..." else s
+
+(** Narrow the shared budget to this invocation's caps for the duration
+    of [f], then restore it, deducting whatever [f] consumed.  Nested
+    invocations compose: an inner invocation's consumption counts
+    against every enclosing cap and the global budget. *)
+let with_invocation_budget (t : t) (f : unit -> 'a) : 'a =
+  let b = t.env.Value.budget in
+  let entry_fuel = b.Value.fuel and entry_nodes = b.Value.nodes in
+  let cap_fuel = min entry_fuel t.limits.Limits.invocation_fuel in
+  let cap_nodes = min entry_nodes t.limits.Limits.max_nodes in
+  b.Value.fuel <- cap_fuel;
+  b.Value.nodes <- cap_nodes;
+  let restore () =
+    b.Value.fuel <- entry_fuel - (cap_fuel - b.Value.fuel);
+    b.Value.nodes <- entry_nodes - (cap_nodes - b.Value.nodes)
+  in
+  match f () with
+  | v ->
+      restore ();
+      v
+  | exception e ->
+      restore ();
+      raise e
+
 (** Run a macro body on the invocation's actual parameters and return
     the produced value, checked against the declared return type. *)
-and expand_invocation (t : t) (inv : invocation) : Value.t =
+let expand_invocation (t : t) (inv : invocation) : Value.t =
   let loc = inv.inv_loc in
   match Hashtbl.find_opt t.defs inv.inv_name.id_name with
   | None ->
@@ -119,17 +127,25 @@ and expand_invocation (t : t) (inv : invocation) : Value.t =
           Value.bind call_env name (Value.of_actual actual))
         inv.inv_actuals;
       let v =
-        try Interp.run_body call_env md.m_body
-        with Diag.Error d when d.Diag.phase = Diag.Expansion ->
-          (* point the user at their invocation, keeping the macro-body
-             location for the macro writer *)
-          raise
-            (Diag.Error
-               { d with
-                 Diag.message =
-                   Printf.sprintf "%s (while expanding macro %s invoked at %s)"
-                     d.Diag.message inv.inv_name.id_name (Loc.to_string loc)
-               })
+        try
+          with_invocation_budget t (fun () ->
+              Interp.run_body call_env md.m_body)
+        with
+        | Diag.Error ({ Diag.phase = Diag.Expansion | Diag.Resource; _ } as d)
+          ->
+            (* point the user at their invocation (and name the macro —
+               essential for resource diagnostics), keeping the macro-body
+               location for the macro writer *)
+            raise
+              (Diag.Error
+                 { d with
+                   Diag.loc =
+                     (if Loc.is_dummy d.Diag.loc then loc else d.Diag.loc);
+                   Diag.message =
+                     Printf.sprintf
+                       "%s (while expanding macro %s invoked at %s)"
+                       d.Diag.message inv.inv_name.id_name (Loc.to_string loc)
+                 })
       in
       if not (Value.conforms v md.m_ret) then
         error ~loc
@@ -143,9 +159,70 @@ and expand_invocation (t : t) (inv : invocation) : Value.t =
       | None -> ());
       v
 
-and truncate_for_trace s =
-  let s = String.map (function '\n' -> ' ' | c -> c) s in
-  if String.length s > 120 then String.sub s 0 117 ^ "..." else s
+let create ?(limits = Limits.default) ?(compile_patterns = true)
+    ?(hygienic = false) ?(recover = false) () : t =
+  let gensym = Gensym.create () in
+  let budget = Value.create_budget ~fuel:limits.Limits.fuel () in
+  let env = Value.create_env ~gensym ~budget () in
+  env.Value.hygienic <- hygienic;
+  let senv = Senv.create () in
+  env.Value.semantic <- Some senv;
+  let t =
+    {
+      macros = Hashtbl.create 16;
+      compiled = Hashtbl.create 16;
+      defs = Hashtbl.create 16;
+      tenv = Tenv.create ();
+      env;
+      senv;
+      gensym;
+      limits;
+      compile_patterns;
+      recover;
+      diags = Diag.collector ~max_errors:limits.Limits.max_errors ();
+      trace = None;
+      stats =
+        { invocations_expanded = 0; meta_declarations_run = 0;
+          macros_defined = 0 };
+    }
+  in
+  (t.env).Value.expand_invocation := (fun inv -> expand_invocation t inv);
+  t
+
+(** Diagnostics recorded by recovery mode so far, oldest first. *)
+let diagnostics (t : t) : Diag.t list = Diag.items t.diags
+
+let fuel_consumed (t : t) : int = Value.fuel_consumed t.env.Value.budget
+let nodes_produced (t : t) : int = Value.nodes_produced t.env.Value.budget
+
+(* ------------------------------------------------------------------ *)
+(* Error recovery                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A failed invocation is recoverable when recovery is on, the failure
+   happened while *running* the meta-program (definition-time errors
+   still abort: the paper's staging guarantee means they are the macro
+   writer's bugs, not the user's), the error cap has room, and the
+   *global* fuel budget is not what ran out (once that pool is dry every
+   later invocation would fail identically — degrading further would
+   just repeat one diagnostic per invocation). *)
+let recoverable (t : t) (d : Diag.t) : bool =
+  t.recover
+  && (match d.Diag.phase with
+     | Diag.Expansion | Diag.Resource -> true
+     | Diag.Lexing | Diag.Parsing | Diag.Pattern_check | Diag.Type_check ->
+         false)
+  && t.env.Value.budget.Value.fuel >= 0
+
+(** Record a recovered diagnostic; aborts with [E0604] when the
+    collector is full. *)
+let record (t : t) (d : Diag.t) : unit =
+  if Diag.is_full t.diags then begin
+    Diag.add t.diags d;
+    Diag.error ~loc:d.Diag.loc ~code:Diag.code_too_many_errors Diag.Resource
+      "too many errors (%d); giving up on recovery" (Diag.count t.diags)
+  end
+  else Diag.add t.diags d
 
 (* ------------------------------------------------------------------ *)
 (* Expansion walk over object code                                     *)
@@ -170,20 +247,28 @@ let register_macro_def (t : t) (md : macro_def) : unit =
     Hashtbl.replace t.compiled name (Parser.compile_pattern md.m_pattern)
 
 let check_depth t ~loc depth =
-  if depth > t.max_depth then
-    error ~loc
+  if depth > t.limits.Limits.max_depth then
+    Diag.error ~loc ~code:Diag.code_depth Diag.Resource
       "macro expansion exceeded the maximum nesting depth (%d); is a macro \
        expanding into itself?"
-      t.max_depth
+      t.limits.Limits.max_depth
 
 let rec expand_expr t ~depth (expr : expr) : expr =
   let re e = { expr with e } in
   match expr.e with
-  | E_macro inv ->
-      check_depth t ~loc:expr.eloc depth;
-      let v = expand_invocation t inv in
-      let e = Fill.value_to_expr ~loc:expr.eloc v in
-      expand_expr t ~depth:(depth + 1) e
+  | E_macro inv -> (
+      (* on failure in recovery mode: record, substitute a well-typed
+         placeholder of the invocation's syntactic type (the paper's
+         type guarantee is what makes this safe to keep parsing), and
+         keep going so later errors still surface *)
+      try
+        check_depth t ~loc:expr.eloc depth;
+        let v = expand_invocation t inv in
+        let e = Fill.value_to_expr ~loc:expr.eloc v in
+        expand_expr t ~depth:(depth + 1) e
+      with Diag.Error d when recoverable t d ->
+        record t d;
+        e_int ~loc:expr.eloc 0)
   | E_ident _ | E_const _ -> expr
   | E_call (f, args) ->
       re
@@ -275,11 +360,15 @@ and expand_ctype t ~depth (ct : ctype) : ctype =
 and expand_stmts t ~depth (stmt : stmt) : stmt list =
   let rs s = [ { stmt with s } ] in
   match stmt.s with
-  | St_macro inv ->
-      check_depth t ~loc:stmt.sloc depth;
-      let v = expand_invocation t inv in
-      let stmts = Fill.value_to_stmts ~loc:stmt.sloc v in
-      List.concat_map (expand_stmts t ~depth:(depth + 1)) stmts
+  | St_macro inv -> (
+      try
+        check_depth t ~loc:stmt.sloc depth;
+        let v = expand_invocation t inv in
+        let stmts = Fill.value_to_stmts ~loc:stmt.sloc v in
+        List.concat_map (expand_stmts t ~depth:(depth + 1)) stmts
+      with Diag.Error d when recoverable t d ->
+        record t d;
+        [ mk_stmt ~loc:stmt.sloc St_null ])
   | St_expr e -> rs (St_expr (expand_expr t ~depth e))
   | St_compound items ->
       (* a block opens an object-level scope for the semantic env *)
@@ -331,7 +420,8 @@ and expand_block_items t ~depth (items : block_item list) : block_item list =
       | Bi_decl ({ d = Decl_metadcl _; _ } as d) ->
           (* block-scope meta declaration: run it, emit nothing *)
           t.stats.meta_declarations_run <- t.stats.meta_declarations_run + 1;
-          Interp.exec_decl t.env d;
+          (try with_invocation_budget t (fun () -> Interp.exec_decl t.env d)
+           with Diag.Error diag when recoverable t diag -> record t diag);
           []
       | Bi_decl d ->
           List.map (fun d -> Bi_decl d) (expand_decls t ~depth d)
@@ -341,11 +431,15 @@ and expand_block_items t ~depth (items : block_item list) : block_item list =
 and expand_decls t ~depth (decl : decl) : decl list =
   let rd d = [ { decl with d } ] in
   match decl.d with
-  | Decl_macro inv ->
-      check_depth t ~loc:decl.dloc depth;
-      let v = expand_invocation t inv in
-      let decls = Fill.value_to_decls ~loc:decl.dloc v in
-      List.concat_map (expand_decls t ~depth:(depth + 1)) decls
+  | Decl_macro inv -> (
+      try
+        check_depth t ~loc:decl.dloc depth;
+        let v = expand_invocation t inv in
+        let decls = Fill.value_to_decls ~loc:decl.dloc v in
+        List.concat_map (expand_decls t ~depth:(depth + 1)) decls
+      with Diag.Error d when recoverable t d ->
+        record t d;
+        [])
   | Decl_plain (specs, idecls) ->
       let specs = expand_specs t ~depth specs in
       (* declared names enter the semantic env before their initializers
@@ -418,14 +512,16 @@ let rec process_top (t : t) (decl : decl) : decl list =
       []
   | Decl_metadcl inner ->
       t.stats.meta_declarations_run <- t.stats.meta_declarations_run + 1;
-      Interp.exec_decl t.env inner;
+      (try with_invocation_budget t (fun () -> Interp.exec_decl t.env inner)
+       with Diag.Error d when recoverable t d -> record t d);
       (* parse-time types were registered by the parser; runtime values
          must live in the *global* scope *)
       promote_globals t inner;
       []
   | _ when is_meta_top decl ->
       t.stats.meta_declarations_run <- t.stats.meta_declarations_run + 1;
-      Interp.exec_decl t.env decl;
+      (try with_invocation_budget t (fun () -> Interp.exec_decl t.env decl)
+       with Diag.Error d when recoverable t d -> record t d);
       promote_globals t decl;
       []
   | _ -> expand_decls t ~depth:0 decl

@@ -1,9 +1,18 @@
 (** The macro-expansion engine: records [syntax] definitions, runs the
     meta-program ([metadcl], meta functions), expands invocations
     recursively, maintains the object-level symbol table for semantic
-    macros, and guarantees pure-C output. *)
+    macros, and guarantees pure-C output.
+
+    The engine enforces a {!Ms2_support.Limits.t}: interpreter fuel
+    (global and per-invocation), a produced-AST node budget per
+    invocation, and the recursive-expansion depth bound.  In recovery
+    mode ([~recover:true]) a failed invocation is recorded in the
+    engine's diagnostic collector and replaced by a placeholder of its
+    syntactic type, so one bad macro no longer hides every later
+    error. *)
 
 open Ms2_syntax.Ast
+open Ms2_support
 module State = Ms2_parser.State
 module Tenv = Ms2_typing.Tenv
 module Value = Ms2_meta.Value
@@ -22,31 +31,48 @@ type t = {
   tenv : Tenv.t;
   env : Value.env;  (** persistent global meta environment *)
   senv : Senv.t;  (** object-level symbol table (semantic macros) *)
-  gensym : Ms2_support.Gensym.t;
-  max_depth : int;
+  gensym : Gensym.t;
+  limits : Limits.t;  (** resource governance *)
   compile_patterns : bool;
+  mutable recover : bool;  (** graceful degradation on *)
+  diags : Diag.collector;  (** diagnostics recorded by recovery mode *)
   mutable trace : Format.formatter option;
       (** when set, every invocation expansion is logged *)
   stats : stats;
 }
 
 val create :
-  ?max_depth:int -> ?compile_patterns:bool -> ?hygienic:bool -> unit -> t
-(** @param max_depth recursive-expansion bound (default 200)
+  ?limits:Limits.t -> ?compile_patterns:bool -> ?hygienic:bool ->
+  ?recover:bool -> unit -> t
+(** @param limits resource bounds (default {!Limits.default})
     @param compile_patterns compile invocation parsers at definition
     time (default true; disable for the ablation benchmark)
     @param hygienic automatic renaming of template-introduced block
-    locals (default false) *)
+    locals (default false)
+    @param recover record expansion failures and substitute placeholder
+    nodes instead of aborting at the first one (default false) *)
 
 val expand_invocation : t -> invocation -> Value.t
-(** Run a macro body on pattern-bound actuals; checks the result against
-    the declared return type. *)
+(** Run a macro body on pattern-bound actuals under the per-invocation
+    fuel and node budgets; checks the result against the declared
+    return type. *)
 
 val register_macro_def : t -> macro_def -> unit
 
 val expand_program : t -> program -> program
-(** Expand a parsed program to pure C. *)
+(** Expand a parsed program to pure C.  In recovery mode, failed
+    invocations become placeholder nodes and their diagnostics are
+    available from {!diagnostics}. *)
 
 val expand_source : t -> ?source:string -> string -> program
 (** Parse with this engine's macro table and meta type environment
     (definitions from earlier calls remain in force), then expand. *)
+
+val diagnostics : t -> Diag.t list
+(** Diagnostics recorded by recovery mode so far, oldest first. *)
+
+val fuel_consumed : t -> int
+(** Interpreter steps consumed over this engine's lifetime. *)
+
+val nodes_produced : t -> int
+(** AST nodes charged to template fills over this engine's lifetime. *)

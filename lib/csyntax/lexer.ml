@@ -30,7 +30,7 @@ let error st start fmt =
   Format.kasprintf
     (fun message ->
       raise
-        (Diag.Error { phase = Diag.Lexing; loc = loc_from st start; message }))
+        (Diag.Error (Diag.make ~loc:(loc_from st start) Diag.Lexing message)))
     fmt
 
 let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
@@ -347,6 +347,9 @@ let lex_token st =
     generated names is sound. *)
 let tokenize ?(source = "<string>") ?(reject_reserved = false) text :
     Token.located array =
+  (* feed the diagnostic source registry so errors anywhere downstream
+     can quote the offending line *)
+  Diag.register_source source text;
   let st =
     { src = text; source_name = source; pos = 0; line = 1; bol = 0;
       reject_reserved }

@@ -166,6 +166,7 @@ let value_to_node ~loc (v : Value.t) : node =
 
 let rec fill_expr ctx (expr : expr) : expr =
   let loc = expr.eloc in
+  Value.charge_node ctx.env ~loc;
   let re e = { expr with e } in
   match expr.e with
   | E_splice sp -> value_to_expr ~loc (eval_splice ctx sp)
@@ -300,6 +301,7 @@ and fill_init_declarators ctx (idecls : init_declarator list) :
 
 and fill_stmt ctx (stmt : stmt) : stmt =
   let loc = stmt.sloc in
+  Value.charge_node ctx.env ~loc;
   let rs s = { stmt with s } in
   match stmt.s with
   | St_splice sp -> value_to_stmt ~loc (eval_splice ctx sp)
@@ -368,6 +370,7 @@ and fill_decl ctx (decl : decl) : decl =
         (List.length ds)
 
 and fill_decl_multi ctx (decl : decl) : decl list =
+  Value.charge_node ctx.env ~loc:decl.dloc;
   let rd d = [ { decl with d } ] in
   match decl.d with
   | Decl_splice sp -> value_to_decls ~loc:decl.dloc (eval_splice ctx sp)

@@ -24,6 +24,7 @@ let error = Value.error
 
 let rec eval (env : env) (expr : expr) : Value.t =
   let loc = expr.eloc in
+  charge_fuel env ~loc;
   match expr.e with
   | E_ident id -> (
       match lookup env id.id_name with
@@ -271,6 +272,7 @@ and exec_decl (env : env) (decl : decl) : unit =
 
 and exec_stmt (env : env) (stmt : stmt) : outcome =
   let loc = stmt.sloc in
+  charge_fuel env ~loc;
   match stmt.s with
   | St_expr e ->
       ignore (eval env e);

@@ -46,11 +46,57 @@ and env = {
   expand_invocation : (Ast.invocation -> t) ref;
       (** hook installed by the expansion engine so meta code (and filled
           templates) can expand macro invocations *)
+  budget : budget;
+      (** fuel and output-size accounting, shared (not copied) by every
+          {!derived} environment so all meta code drains one pool *)
+}
+
+(** Mutable resource counters.  [fuel] and [nodes] count *down*;
+    [max_int] effectively disables a bound (decrements still happen, so
+    consumption can always be observed via the [_initial] baselines).
+    The engine narrows both to per-invocation caps around each macro
+    invocation. *)
+and budget = {
+  mutable fuel : int;  (** remaining interpreter steps *)
+  mutable nodes : int;  (** remaining produced-AST node allowance *)
+  fuel_initial : int;
+  nodes_initial : int;
 }
 
 let error ?(loc = Loc.dummy) fmt = Diag.error ~loc Diag.Expansion fmt
 
-let create_env ?gensym () : env =
+let create_budget ?(fuel = max_int) ?(nodes = max_int) () : budget =
+  { fuel; nodes; fuel_initial = fuel; nodes_initial = nodes }
+
+let fuel_consumed b = b.fuel_initial - b.fuel
+let nodes_produced b = b.nodes_initial - b.nodes
+
+let out_of_fuel ~loc =
+  Diag.error ~loc ~code:Diag.code_fuel Diag.Resource
+    "meta-program fuel budget exhausted; is a macro body looping forever?"
+
+(** Charge one interpreter step; raises a [Resource] diagnostic once the
+    budget runs dry.  Kept tiny — it runs on every statement executed
+    and expression evaluated. *)
+let charge_fuel env ~loc =
+  let b = env.budget in
+  let f = b.fuel - 1 in
+  b.fuel <- f;
+  if f < 0 then out_of_fuel ~loc
+
+let out_of_nodes ~loc =
+  Diag.error ~loc ~code:Diag.code_nodes Diag.Resource
+    "macro expansion exceeded its produced-AST node budget (an expansion \
+     bomb?)"
+
+(** Charge one produced AST node (called by the template filler). *)
+let charge_node env ~loc =
+  let b = env.budget in
+  let n = b.nodes - 1 in
+  b.nodes <- n;
+  if n < 0 then out_of_nodes ~loc
+
+let create_env ?gensym ?budget () : env =
   {
     scopes = [ Hashtbl.create 16 ];
     gensym = (match gensym with Some g -> g | None -> Gensym.create ());
@@ -60,6 +106,7 @@ let create_env ?gensym () : env =
       ref (fun (inv : Ast.invocation) ->
           error ~loc:inv.Ast.inv_loc
             "macro invocations inside meta code need an expansion engine");
+    budget = (match budget with Some b -> b | None -> create_budget ());
   }
 
 let push_scope env = env.scopes <- Hashtbl.create 16 :: env.scopes

@@ -31,13 +31,35 @@ and env = {
       (** object-level symbol table at the current expansion point *)
   expand_invocation : (Ast.invocation -> t) ref;
       (** engine hook for macro invocations inside meta code *)
+  budget : budget;
+      (** fuel / output-size accounting, shared by derived environments *)
+}
+
+(** Countdown resource counters ([max_int] = effectively unlimited). *)
+and budget = {
+  mutable fuel : int;  (** remaining interpreter steps *)
+  mutable nodes : int;  (** remaining produced-AST node allowance *)
+  fuel_initial : int;
+  nodes_initial : int;
 }
 
 val error :
   ?loc:Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 (** Raise an [Expansion]-phase diagnostic. *)
 
-val create_env : ?gensym:Gensym.t -> unit -> env
+val create_budget : ?fuel:int -> ?nodes:int -> unit -> budget
+val fuel_consumed : budget -> int
+val nodes_produced : budget -> int
+
+val charge_fuel : env -> loc:Loc.t -> unit
+(** Charge one interpreter step; raises a [Resource]-phase diagnostic
+    (code {!Ms2_support.Diag.code_fuel}) when the budget is exhausted. *)
+
+val charge_node : env -> loc:Loc.t -> unit
+(** Charge one produced AST node; raises with code
+    {!Ms2_support.Diag.code_nodes} when the allowance is exhausted. *)
+
+val create_env : ?gensym:Gensym.t -> ?budget:budget -> unit -> env
 val push_scope : env -> unit
 val pop_scope : env -> unit
 val with_scope : env -> (unit -> 'a) -> 'a

@@ -1,9 +1,16 @@
-(** Diagnostics: located errors raised by every phase of the system.
+(** Diagnostics: located, coded messages raised or collected by every
+    phase of the system.
 
     The paper's central safety claim is that a macro *user* only ever sees
     syntax errors in code they wrote themselves; errors in macro bodies are
     reported at macro *definition* time.  To support distinguishing these,
-    every diagnostic records the phase that produced it. *)
+    every diagnostic records the phase that produced it.
+
+    Beyond the classic raise-first-error model, this module supports the
+    resilient pipeline: severities, stable error codes, a bounded
+    collector for multi-error runs, source-line caret rendering (backed
+    by a source-text registry fed by the lexer), and a machine-readable
+    JSON form with stable field order. *)
 
 type phase =
   | Lexing
@@ -11,6 +18,7 @@ type phase =
   | Pattern_check  (** pattern well-formedness (one-token-lookahead rule) *)
   | Type_check  (** parse-time meta type analysis *)
   | Expansion  (** running the meta-program *)
+  | Resource  (** a {!Limits.t} budget was exhausted *)
 
 let phase_name = function
   | Lexing -> "lexical error"
@@ -18,24 +26,216 @@ let phase_name = function
   | Pattern_check -> "pattern error"
   | Type_check -> "type error"
   | Expansion -> "expansion error"
+  | Resource -> "resource limit"
 
-type t = { phase : phase; loc : Loc.t; message : string }
+let phase_slug = function
+  | Lexing -> "lexing"
+  | Parsing -> "parsing"
+  | Pattern_check -> "pattern"
+  | Type_check -> "type"
+  | Expansion -> "expansion"
+  | Resource -> "resource"
+
+(* Stable error codes: EPNN where P identifies the phase.  Sites that
+   want a more specific code (the resource guards do) pass ~code. *)
+let default_code = function
+  | Lexing -> "E0101"
+  | Parsing -> "E0201"
+  | Pattern_check -> "E0301"
+  | Type_check -> "E0401"
+  | Expansion -> "E0501"
+  | Resource -> "E0601"
+
+(* Specific resource codes, used by the budget guards. *)
+let code_fuel = "E0601"
+let code_nodes = "E0602"
+let code_depth = "E0603"
+let code_too_many_errors = "E0604"
+
+type severity = Error | Warning | Note
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+type t = {
+  severity : severity;
+  phase : phase;
+  code : string;  (** stable machine-readable code, e.g. ["E0501"] *)
+  loc : Loc.t;
+  message : string;
+}
 
 exception Error of t
 
-let error ?(loc = Loc.dummy) phase fmt =
+let make ?(severity = (Error : severity)) ?(loc = Loc.dummy) ?code phase
+    message =
+  let code = match code with Some c -> c | None -> default_code phase in
+  { severity; phase; code; loc; message }
+
+let error ?(loc = Loc.dummy) ?code phase fmt =
   Format.kasprintf
-    (fun message -> raise (Error { phase; loc; message }))
+    (fun message -> raise (Error (make ~loc ?code phase message)))
     fmt
 
 let errorf = error
 
-let pp ppf { phase; loc; message } =
-  if Loc.is_dummy loc then Fmt.pf ppf "%s: %s" (phase_name phase) message
-  else Fmt.pf ppf "%a: %s: %s" Loc.pp loc (phase_name phase) message
+let pp ppf { severity; phase; code; loc; message } =
+  let sev =
+    match severity with Error -> "" | s -> severity_name s ^ ": "
+  in
+  if Loc.is_dummy loc then
+    Fmt.pf ppf "%s%s[%s]: %s" sev (phase_name phase) code message
+  else
+    Fmt.pf ppf "%a: %s%s[%s]: %s" Loc.pp loc sev (phase_name phase) code
+      message
 
 let to_string t = Fmt.str "%a" pp t
 
+(* ------------------------------------------------------------------ *)
+(* Source registry and caret rendering                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Source texts, registered by the lexer (and anyone else who parses),
+   so diagnostics can quote the offending line.  Keyed by source name;
+   re-registering replaces, which is what repeated in-memory parses of
+   "<string>" want. *)
+let sources : (string, string) Hashtbl.t = Hashtbl.create 16
+
+let register_source name text = Hashtbl.replace sources name text
+
+let source_line name n =
+  match Hashtbl.find_opt sources name with
+  | None -> None
+  | Some text ->
+      let len = String.length text in
+      let rec skip_lines i line =
+        if line >= n then Some i
+        else
+          match String.index_from_opt text i '\n' with
+          | Some j when j + 1 <= len -> skip_lines (j + 1) (line + 1)
+          | _ -> None
+      in
+      if n < 1 then None
+      else
+        Option.map
+          (fun start ->
+            let stop =
+              match String.index_from_opt text start '\n' with
+              | Some j -> j
+              | None -> len
+            in
+            String.sub text start (stop - start))
+          (skip_lines 0 1)
+
+(** Render with source context when the registry knows the source:
+
+    {v
+    f.mc:3:2: expansion error[E0501]: boom
+      3 | m bad;
+        |   ^^^
+    v} *)
+let render t =
+  let header = to_string t in
+  if Loc.is_dummy t.loc then header
+  else
+    match source_line t.loc.Loc.source t.loc.Loc.start_pos.Loc.line with
+    | None -> header
+    | Some line ->
+        let lno = t.loc.Loc.start_pos.Loc.line in
+        let col = t.loc.Loc.start_pos.Loc.col in
+        let width =
+          if t.loc.Loc.end_pos.Loc.line = lno then
+            max 1 (t.loc.Loc.end_pos.Loc.col - col)
+          else max 1 (String.length line - col)
+        in
+        let col = min col (String.length line) in
+        let width = min width (max 1 (String.length line - col + 1)) in
+        let gutter = string_of_int lno in
+        let pad = String.make (String.length gutter) ' ' in
+        Fmt.str "%s\n  %s | %s\n  %s | %s%s" header gutter line pad
+          (String.make col ' ')
+          (String.make width '^')
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(** One diagnostic as a single-line JSON object with stable field
+    order: severity, code, phase, source, line, col, end_line, end_col,
+    message.  Location fields are null for dummy locations. *)
+let to_json t =
+  let loc_fields =
+    if Loc.is_dummy t.loc then
+      {|"source":null,"line":null,"col":null,"end_line":null,"end_col":null|}
+    else
+      Printf.sprintf
+        {|"source":"%s","line":%d,"col":%d,"end_line":%d,"end_col":%d|}
+        (json_escape t.loc.Loc.source)
+        t.loc.Loc.start_pos.Loc.line t.loc.Loc.start_pos.Loc.col
+        t.loc.Loc.end_pos.Loc.line t.loc.Loc.end_pos.Loc.col
+  in
+  Printf.sprintf {|{"severity":"%s","code":"%s","phase":"%s",%s,"message":"%s"}|}
+    (severity_name t.severity) (json_escape t.code) (phase_slug t.phase)
+    loc_fields (json_escape t.message)
+
+(* ------------------------------------------------------------------ *)
+(* Collector                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** A bounded diagnostic collector for multi-error (recovery) runs.
+    Keeps at most [max_errors] diagnostics; further ones are counted in
+    [dropped] but not stored. *)
+type collector = {
+  mutable items_rev : t list;
+  mutable count : int;
+  mutable dropped : int;
+  max_errors : int;
+}
+
+let collector ?(max_errors = max_int) () =
+  { items_rev = []; count = 0; dropped = 0; max_errors }
+
+let add c d =
+  if c.count >= c.max_errors then c.dropped <- c.dropped + 1
+  else begin
+    c.items_rev <- d :: c.items_rev;
+    c.count <- c.count + 1
+  end
+
+let is_full c = c.count >= c.max_errors
+let count c = c.count
+let dropped c = c.dropped
+let items c = List.rev c.items_rev
+
+let error_count c =
+  List.fold_left
+    (fun n d -> if d.severity = (Error : severity) then n + 1 else n)
+    0 c.items_rev
+
+(* ------------------------------------------------------------------ *)
+(* Protect                                                             *)
+(* ------------------------------------------------------------------ *)
+
 (** [protect f] runs [f ()] and converts a raised diagnostic into
-    [Error string]; other exceptions propagate. *)
-let protect f = try Ok (f ()) with Error _ as e -> Result.Error (to_string (match e with Error d -> d | _ -> assert false))
+    [Error diag], keeping its structure (phase, code, location); other
+    exceptions propagate.  Callers that only need text apply
+    {!to_string} (or {!render}) to the error. *)
+let protect f = try Ok (f ()) with Error d -> Result.Error d

@@ -1,9 +1,15 @@
-(** Diagnostics: located errors raised by every phase of the system.
+(** Diagnostics: located, coded messages raised or collected by every
+    phase of the system.
 
     Each diagnostic records the phase that produced it — in particular,
     errors in macro bodies carry definition-time phases
     ([Pattern_check], [Type_check]), supporting the paper's guarantee
-    that macro users only see errors about code they wrote. *)
+    that macro users only see errors about code they wrote.
+
+    Diagnostics carry a severity, a stable machine-readable code, and a
+    location; they can be raised (the classic first-error model),
+    collected into a bounded {!collector} (the multi-error recovery
+    model), rendered with source-line carets, or serialized to JSON. *)
 
 type phase =
   | Lexing
@@ -11,19 +17,96 @@ type phase =
   | Pattern_check  (** pattern well-formedness (one-token lookahead) *)
   | Type_check  (** parse-time meta type analysis *)
   | Expansion  (** running the meta-program *)
+  | Resource  (** a {!Limits.t} budget was exhausted *)
 
 val phase_name : phase -> string
+val phase_slug : phase -> string
+(** Short lowercase identifier used in the JSON form. *)
 
-type t = { phase : phase; loc : Loc.t; message : string }
+val default_code : phase -> string
+(** The stable error code used when a raise site does not pass one. *)
+
+val code_fuel : string
+(** ["E0601"]: interpreter fuel exhausted. *)
+
+val code_nodes : string
+(** ["E0602"]: produced-AST node budget exceeded. *)
+
+val code_depth : string
+(** ["E0603"]: expansion nesting too deep. *)
+
+val code_too_many_errors : string
+(** ["E0604"]: collector overflowed. *)
+
+type severity = Error | Warning | Note
+
+val severity_name : severity -> string
+
+type t = {
+  severity : severity;
+  phase : phase;
+  code : string;  (** stable machine-readable code, e.g. ["E0501"] *)
+  loc : Loc.t;
+  message : string;
+}
 
 exception Error of t
 
-val error : ?loc:Loc.t -> phase -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val make :
+  ?severity:severity -> ?loc:Loc.t -> ?code:string -> phase -> string -> t
+(** Build a diagnostic without raising it (for collectors). *)
+
+val error :
+  ?loc:Loc.t -> ?code:string -> phase ->
+  ('a, Format.formatter, unit, 'b) format4 -> 'a
 (** [error ~loc phase fmt ...] raises {!Error}. *)
 
-val errorf : ?loc:Loc.t -> phase -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val errorf :
+  ?loc:Loc.t -> ?code:string -> phase ->
+  ('a, Format.formatter, unit, 'b) format4 -> 'a
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
-val protect : (unit -> 'a) -> ('a, string) result
-(** Run a computation, converting a raised diagnostic into [Error msg]. *)
+(** {1 Source registry and rendering} *)
+
+val register_source : string -> string -> unit
+(** [register_source name text] records a source text so later
+    diagnostics in [name] can quote the offending line.  The lexer does
+    this automatically for everything it tokenizes. *)
+
+val source_line : string -> int -> string option
+(** [source_line name n] is line [n] (1-based) of a registered source. *)
+
+val render : t -> string
+(** Like {!to_string}, followed by the source line and a caret marker
+    when the source is registered and the location is real. *)
+
+val to_json : t -> string
+(** One diagnostic as a single-line JSON object with stable field order:
+    severity, code, phase, source, line, col, end_line, end_col,
+    message. *)
+
+(** {1 Collector} *)
+
+type collector
+(** A bounded bag of diagnostics for multi-error (recovery) runs. *)
+
+val collector : ?max_errors:int -> unit -> collector
+val add : collector -> t -> unit
+(** Diagnostics beyond [max_errors] are counted as dropped, not stored. *)
+
+val is_full : collector -> bool
+val count : collector -> int
+val dropped : collector -> int
+val items : collector -> t list
+(** Oldest first. *)
+
+val error_count : collector -> int
+
+(** {1 Protect} *)
+
+val protect : (unit -> 'a) -> ('a, t) result
+(** Run a computation, converting a raised diagnostic into [Error diag]
+    (structured — apply {!to_string} or {!render} for text).  Other
+    exceptions propagate. *)

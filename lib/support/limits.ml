@@ -1,0 +1,65 @@
+(** Resource limits for the expansion pipeline.
+
+    MS² runs user-written meta-programs at compile time, so a buggy
+    macro can loop forever or produce unbounded output.  A [Limits.t]
+    bundles every defensive bound the pipeline enforces:
+
+    - [fuel]: total interpreter steps (statements executed, expressions
+      evaluated) across the whole run — a global budget shared by every
+      macro invocation and meta declaration;
+    - [invocation_fuel]: interpreter steps a single macro invocation may
+      consume before it is cut off (so one runaway macro cannot starve
+      the rest of the file of the global budget);
+    - [max_nodes]: AST nodes a single invocation's expansion may
+      produce (template fills plus spliced results) — the guard against
+      expansion bombs;
+    - [max_depth]: recursive-expansion nesting (macros expanding into
+      invocations of other macros);
+    - [max_errors]: diagnostics recorded before error recovery gives up
+      and the run aborts.
+
+    [max_int] in any budget field means "unlimited": the accounting
+    still runs (a decrement and a comparison), but the bound can never
+    fire. *)
+
+type t = {
+  fuel : int;  (** global interpreter step budget ([max_int] = unlimited) *)
+  invocation_fuel : int;  (** interpreter steps per macro invocation *)
+  max_nodes : int;  (** AST nodes produced per macro invocation *)
+  max_depth : int;  (** recursive-expansion nesting bound *)
+  max_errors : int;  (** diagnostics collected before aborting *)
+}
+
+(** No bound ever fires (the seed system's behaviour, except for the
+    nesting depth, which was always guarded). *)
+let unlimited =
+  {
+    fuel = max_int;
+    invocation_fuel = max_int;
+    max_nodes = max_int;
+    max_depth = 200;
+    max_errors = max_int;
+  }
+
+(** Generous production defaults: far above anything a legitimate macro
+    library needs, low enough that a nonterminating macro fails in well
+    under a second. *)
+let default =
+  {
+    fuel = 100_000_000;
+    invocation_fuel = 10_000_000;
+    max_nodes = 2_000_000;
+    max_depth = 200;
+    max_errors = 20;
+  }
+
+let pp_budget ppf n =
+  if n = max_int then Fmt.string ppf "unlimited" else Fmt.int ppf n
+
+let pp ppf t =
+  Fmt.pf ppf
+    "fuel=%a invocation-fuel=%a max-nodes=%a max-depth=%d max-errors=%a"
+    pp_budget t.fuel pp_budget t.invocation_fuel pp_budget t.max_nodes
+    t.max_depth pp_budget t.max_errors
+
+let to_string t = Fmt.str "%a" pp t

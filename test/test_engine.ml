@@ -118,9 +118,9 @@ let stats () =
   | Ok _ -> ()
   | Error e -> Alcotest.fail e);
   let s = Ms2.Api.stats engine in
-  Alcotest.(check int) "macros" 1 s.Ms2.Engine.macros_defined;
-  Alcotest.(check int) "metadcls" 1 s.Ms2.Engine.meta_declarations_run;
-  Alcotest.(check int) "invocations" 2 s.Ms2.Engine.invocations_expanded
+  Alcotest.(check int) "macros" 1 s.Ms2.Api.macros_defined;
+  Alcotest.(check int) "metadcls" 1 s.Ms2.Api.meta_declarations_run;
+  Alcotest.(check int) "invocations" 2 s.Ms2.Api.invocations_expanded
 
 let output_purity () =
   (* the output of expansion always re-parses as pure C *)

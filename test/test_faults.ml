@@ -1,0 +1,306 @@
+(** Fault injection: the resilient-pipeline guarantees under deliberate
+    abuse.  Each corpus file in [corpus/faults/] encodes one failure
+    mode — nontermination, expansion bombs, unbounded recursion, and
+    mid-file macro failures — and the tests assert that the engine (a)
+    fails within its budgets in bounded time, (b) reports the right
+    stable error code pointing at the offending macro, and (c) in
+    recovery mode collects every independent error while still emitting
+    the salvageable expansions.  The CLI tests additionally lock in the
+    driver's exit-code contract (0 clean / 3 degraded / 1 fatal). *)
+
+open Tutil
+module Diag = Ms2_support.Diag
+module Limits = Ms2_support.Limits
+
+(* Tests normally run from [_build/default/test] ([dune runtest]), but
+   also work from the project root ([dune exec test/test_faults.exe]). *)
+let corpus_dir =
+  if Sys.file_exists "corpus/faults" then "corpus/faults"
+  else "test/corpus/faults"
+
+let corpus name =
+  let path = Filename.concat corpus_dir name in
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let expand_fault ?(limits = Limits.default) ?(recover = false) name =
+  let engine = Ms2.Api.create_engine ~limits ~recover () in
+  (engine, Ms2.Api.expand_diag ~engine ~source:name (corpus name))
+
+let check_code ~msg expected (d : Diag.t) =
+  Alcotest.(check string) (msg ^ ": code") expected d.Diag.code
+
+(* ------------------------------------------------------------------ *)
+(* Nontermination                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let nontermination_bounded () =
+  (* a while(1) body stops within the fuel budget — and within bounded
+     CPU time, which is the point of having the budget at all *)
+  let fuel = 200_000 in
+  let limits = { Limits.default with Limits.fuel; invocation_fuel = fuel } in
+  let t0 = Sys.time () in
+  let engine, result = expand_fault ~limits "nonterminating.mc" in
+  let elapsed = Sys.time () -. t0 in
+  (match result with
+  | Ok out -> Alcotest.failf "expected fuel exhaustion, got:\n%s" out
+  | Error d ->
+      check_code ~msg:"fuel" Diag.code_fuel d;
+      check_contains ~msg:"names the macro" d.Diag.message "spin";
+      check_contains ~msg:"mentions fuel" d.Diag.message "fuel";
+      check_contains ~msg:"points at the invocation"
+        (Diag.to_string d) "nonterminating.mc");
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded wall time (%.2fs)" elapsed)
+    true (elapsed < 10.0);
+  (* consumption is observable and equals the budget that was burned *)
+  let s = Ms2.Api.stats engine in
+  Alcotest.(check bool) "fuel accounted" true
+    (s.Ms2.Api.fuel_consumed >= fuel)
+
+let invocation_fuel_isolates () =
+  (* a small per-invocation budget inside a large global one: the
+     runaway macro fails alone, recovery keeps the rest of the file *)
+  let limits =
+    { Limits.default with
+      Limits.fuel = 10_000_000;
+      invocation_fuel = 50_000
+    }
+  in
+  let engine, result =
+    expand_fault ~limits ~recover:true "nonterminating.mc"
+  in
+  (match result with
+  | Ok out ->
+      check_contains ~msg:"rest of the file expanded" (norm out)
+        "return 0;"
+  | Error d -> Alcotest.failf "should degrade, not die: %s" (Diag.to_string d));
+  match Ms2.Api.diagnostics engine with
+  | [ d ] ->
+      check_code ~msg:"recovered fuel error" Diag.code_fuel d;
+      check_contains ~msg:"names the macro" d.Diag.message "spin"
+  | ds -> Alcotest.failf "expected 1 recovered diagnostic, got %d"
+            (List.length ds)
+
+(* ------------------------------------------------------------------ *)
+(* Expansion bombs                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let expansion_bomb () =
+  (* plenty of fuel, tight node budget: the bomb trips the output-size
+     guard, not the step counter *)
+  let limits =
+    { Limits.default with
+      Limits.fuel = 1_000_000_000;
+      invocation_fuel = 1_000_000_000;
+      max_nodes = 10_000
+    }
+  in
+  let _, result = expand_fault ~limits "bomb.mc" in
+  match result with
+  | Ok out -> Alcotest.failf "expected a node-budget error, got:\n%s" out
+  | Error d ->
+      check_code ~msg:"nodes" Diag.code_nodes d;
+      check_contains ~msg:"names the macro" d.Diag.message "bomb";
+      check_contains ~msg:"explains itself" d.Diag.message "node"
+
+let expansion_bomb_recovers () =
+  let limits =
+    { Limits.default with
+      Limits.fuel = 1_000_000_000;
+      invocation_fuel = 1_000_000_000;
+      max_nodes = 10_000
+    }
+  in
+  let engine, result = expand_fault ~limits ~recover:true "bomb.mc" in
+  (match result with
+  | Ok out -> check_contains ~msg:"file survives" (norm out) "int x;"
+  | Error d -> Alcotest.failf "should degrade, not die: %s" (Diag.to_string d));
+  match Ms2.Api.diagnostics engine with
+  | [ d ] -> check_code ~msg:"recovered bomb" Diag.code_nodes d
+  | ds -> Alcotest.failf "expected 1 recovered diagnostic, got %d"
+            (List.length ds)
+
+(* ------------------------------------------------------------------ *)
+(* Deep recursion                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let deep_recursion () =
+  let _, result = expand_fault "deep.mc" in
+  match result with
+  | Ok out -> Alcotest.failf "expected a depth error, got:\n%s" out
+  | Error d ->
+      check_code ~msg:"depth" Diag.code_depth d;
+      check_contains ~msg:"explains itself" d.Diag.message "nesting depth"
+
+let deep_recursion_recovers () =
+  let engine, result = expand_fault ~recover:true "deep.mc" in
+  (match result with
+  | Ok out -> check_contains ~msg:"file survives" (norm out) "return 0;"
+  | Error d -> Alcotest.failf "should degrade, not die: %s" (Diag.to_string d));
+  match Ms2.Api.diagnostics engine with
+  | [ d ] -> check_code ~msg:"recovered depth" Diag.code_depth d
+  | ds -> Alcotest.failf "expected 1 recovered diagnostic, got %d"
+            (List.length ds)
+
+(* ------------------------------------------------------------------ *)
+(* Mid-file failures and multi-error recovery                          *)
+(* ------------------------------------------------------------------ *)
+
+let midfile_fatal_without_recovery () =
+  let _, result = expand_fault "midfile.mc" in
+  match result with
+  | Ok out -> Alcotest.failf "expected a fatal error, got:\n%s" out
+  | Error d ->
+      check_code ~msg:"plain expansion error" "E0501" d;
+      check_contains ~msg:"first failure wins" d.Diag.message "doomed: 1"
+
+let midfile_recovery_reports_all () =
+  let engine, result = expand_fault ~recover:true "midfile.mc" in
+  let out =
+    match result with
+    | Ok out -> out
+    | Error d ->
+        Alcotest.failf "should degrade, not die: %s" (Diag.to_string d)
+  in
+  (* the good expansions survive, all three of them *)
+  let occurrences sub s =
+    let n = String.length s and m = String.length sub in
+    let rec go i acc =
+      if i + m > n then acc
+      else if String.sub s i m = sub then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "all three ticks expanded" 3
+    (occurrences "ticks = ticks + 1;" (norm out));
+  (* and all three independent errors were reported, in file order *)
+  match Ms2.Api.diagnostics engine with
+  | [ d1; d2; d3 ] ->
+      List.iter (check_code ~msg:"recovered expansion error" "E0501")
+        [ d1; d2; d3 ];
+      check_contains ~msg:"first" d1.Diag.message "doomed: 1";
+      check_contains ~msg:"second" d2.Diag.message "doomed: 2 + 2";
+      check_contains ~msg:"third" d3.Diag.message "doomed: 3";
+      (* each diagnostic names its own invocation site (the loc proper
+         points into the macro body, for the macro writer) *)
+      List.iter
+        (fun (d : Diag.t) ->
+          check_contains ~msg:"invocation site named" d.Diag.message
+            "invoked at midfile.mc")
+        [ d1; d2; d3 ]
+  | ds ->
+      Alcotest.failf "expected 3 recovered diagnostics, got %d:\n%s"
+        (List.length ds)
+        (String.concat "\n" (List.map Diag.to_string ds))
+
+let max_errors_caps_recovery () =
+  let limits = { Limits.default with Limits.max_errors = 2 } in
+  let engine, result = expand_fault ~limits ~recover:true "midfile.mc" in
+  (match result with
+  | Ok out -> Alcotest.failf "expected E0604, got:\n%s" out
+  | Error d ->
+      check_code ~msg:"collector overflow" Diag.code_too_many_errors d;
+      check_contains ~msg:"explains itself" d.Diag.message "too many errors");
+  Alcotest.(check int) "collector kept the cap" 2
+    (List.length (Ms2.Api.diagnostics engine))
+
+(* ------------------------------------------------------------------ *)
+(* CLI exit codes (tests run from _build/default/test)                 *)
+(* ------------------------------------------------------------------ *)
+
+let ms2c =
+  if Sys.file_exists "../bin/ms2c.exe" then "../bin/ms2c.exe"
+  else "_build/default/bin/ms2c.exe"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(** Run [ms2c args], returning (exit code, stdout, stderr). *)
+let run_cli args =
+  let out = Filename.temp_file "ms2c_faults" ".out" in
+  let err = Filename.temp_file "ms2c_faults" ".err" in
+  let code =
+    Sys.command (Printf.sprintf "%s %s > %s 2> %s" ms2c args out err)
+  in
+  let stdout = read_file out and stderr = read_file err in
+  Sys.remove out;
+  Sys.remove err;
+  (code, stdout, stderr)
+
+let cli_clean_exit_zero () =
+  let src = Filename.temp_file "ms2c_clean" ".mc" in
+  let oc = open_out src in
+  output_string oc "int x;\nint f() { return x; }\n";
+  close_out oc;
+  let code, out, _ = run_cli (Printf.sprintf "expand %s" src) in
+  Sys.remove src;
+  Alcotest.(check int) "clean exit" 0 code;
+  check_contains ~msg:"output produced" (norm out) "int x;"
+
+let cli_fatal_exit_one () =
+  let code, _, err =
+    run_cli ("expand " ^ corpus_dir ^ "/nonterminating.mc --fuel 100000")
+  in
+  Alcotest.(check int) "fatal exit" 1 code;
+  check_contains ~msg:"fuel code on stderr" err "E0601";
+  check_contains ~msg:"macro named on stderr" err "spin"
+
+let cli_keep_going_exit_degraded () =
+  let code, out, err = run_cli ("expand " ^ corpus_dir ^ "/midfile.mc --keep-going") in
+  Alcotest.(check int) "degraded exit" 3 code;
+  check_contains ~msg:"good expansions on stdout" (norm out)
+    "ticks = ticks + 1;";
+  List.iter
+    (fun needle -> check_contains ~msg:"all errors on stderr" err needle)
+    [ "doomed: 1"; "doomed: 2 + 2"; "doomed: 3" ]
+
+let cli_json_diagnostics () =
+  let code, _, err =
+    run_cli ("expand " ^ corpus_dir ^ "/midfile.mc -k --diag-format json")
+  in
+  Alcotest.(check int) "degraded exit" 3 code;
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' err)
+  in
+  Alcotest.(check int) "one JSON object per diagnostic" 3 (List.length lines);
+  List.iter
+    (fun l ->
+      check_contains ~msg:"stable JSON prefix" l
+        {|{"severity":"error","code":"E0501","phase":"expansion",|})
+    lines
+
+let cli_max_nodes_flag () =
+  let code, _, err =
+    run_cli ("expand " ^ corpus_dir ^ "/bomb.mc --max-nodes 10000")
+  in
+  Alcotest.(check int) "fatal exit" 1 code;
+  check_contains ~msg:"node code on stderr" err "E0602"
+
+let () =
+  Alcotest.run "faults"
+    [ ( "fault injection",
+        [ tc "nontermination is fuel-bounded" nontermination_bounded;
+          tc "invocation fuel isolates the runaway" invocation_fuel_isolates;
+          tc "expansion bomb trips the node budget" expansion_bomb;
+          tc "expansion bomb is recoverable" expansion_bomb_recovers;
+          tc "deep recursion trips the depth guard" deep_recursion;
+          tc "deep recursion is recoverable" deep_recursion_recovers;
+          tc "mid-file failure is fatal by default"
+            midfile_fatal_without_recovery;
+          tc "recovery reports all independent errors"
+            midfile_recovery_reports_all;
+          tc "max-errors caps recovery" max_errors_caps_recovery ] );
+      ( "cli exit codes",
+        [ tc "clean run exits 0" cli_clean_exit_zero;
+          tc "fatal run exits 1" cli_fatal_exit_one;
+          tc "keep-going exits 3 and reports everything"
+            cli_keep_going_exit_degraded;
+          tc "json diagnostics are line-oriented" cli_json_diagnostics;
+          tc "max-nodes flag reaches the engine" cli_max_nodes_flag ] ) ]

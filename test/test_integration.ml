@@ -91,7 +91,7 @@ let integration () =
   | Ok prog ->
       Alcotest.(check (list string)) "checker clean" []
         (Ms2.Api.check_program prog)
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Ms2_support.Diag.to_string e));
   (* and the binary runs *)
   if gcc_available then begin
     let src = Filename.temp_file "ms2int" ".c" in

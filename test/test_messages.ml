@@ -83,6 +83,82 @@ let run_case (name, src, needles) () =
   let err = expand_err src in
   List.iter (fun needle -> check_contains ~msg:name err needle) needles
 
+(* ------------------------------------------------------------------ *)
+(* Golden renderings: caret output, JSON, stable error codes           *)
+(* ------------------------------------------------------------------ *)
+
+module Diag = Ms2_support.Diag
+module Loc = Ms2_support.Loc
+
+let golden_loc =
+  Loc.make ~source:"golden.mc"
+    ~start_pos:{ Loc.line = 2; col = 2; offset = 9 }
+    ~end_pos:{ Loc.line = 2; col = 5; offset = 12 }
+
+let golden_caret_render () =
+  Diag.register_source "golden.mc" "int x;\nm bad;\nint y;\n";
+  let d = Diag.make ~loc:golden_loc Diag.Expansion "boom" in
+  Alcotest.(check string) "caret render"
+    "golden.mc:2:2-5: expansion error[E0501]: boom\n\
+    \  2 | m bad;\n\
+    \    |   ^^^"
+    (Diag.render d);
+  (* unknown sources degrade to the plain header *)
+  let far = { golden_loc with Loc.source = "never-registered.mc" } in
+  Alcotest.(check string) "no source, no caret"
+    "never-registered.mc:2:2-5: expansion error[E0501]: boom"
+    (Diag.render (Diag.make ~loc:far Diag.Expansion "boom"))
+
+let golden_json () =
+  let d = Diag.make ~loc:golden_loc Diag.Expansion "boom \"quoted\"" in
+  Alcotest.(check string) "json with location"
+    {|{"severity":"error","code":"E0501","phase":"expansion","source":"golden.mc","line":2,"col":2,"end_line":2,"end_col":5,"message":"boom \"quoted\""}|}
+    (Diag.to_json d);
+  let d = Diag.make ~severity:Diag.Warning Diag.Type_check "t" in
+  Alcotest.(check string) "json with dummy location"
+    {|{"severity":"warning","code":"E0401","phase":"type","source":null,"line":null,"col":null,"end_line":null,"end_col":null,"message":"t"}|}
+    (Diag.to_json d)
+
+(* One source per phase; each must fail with that phase's stable code. *)
+let code_cases =
+  [ ("E0101", "int x = #;");
+    ("E0201", "int x = (1;");
+    ("E0301", "syntax stmt m {| $$*exp::xs $$exp::y |} { return `{;}; }");
+    ("E0401", "syntax stmt m {| $$exp::e |} { return `{$oops;}; }");
+    ("E0501",
+     "syntax stmt m {| |} { error(\"x\"); return `{;}; }\nint f() { m }");
+    ("E0603", "syntax stmt loop {| |} { return `{loop}; }\nint f() { loop }")
+  ]
+
+let stable_codes () =
+  List.iter
+    (fun (code, src) ->
+      match Ms2.Api.expand_diag src with
+      | Ok out -> Alcotest.failf "%s case expanded cleanly:\n%s" code out
+      | Error d -> Alcotest.(check string) ("code " ^ code) code d.Diag.code)
+    code_cases
+
+let expansion_errors_carry_carets () =
+  (* end-to-end: the lexer registers the source, so a real expansion
+     error renders with its offending line quoted *)
+  match
+    Ms2.Api.expand_diag ~source:"caret.mc"
+      "syntax stmt m {| |} { error(\"boom\"); return `{;}; }\n\
+       int f() {\n\
+       m\n\
+       return 0; }"
+  with
+  | Ok out -> Alcotest.failf "expected an error, got:\n%s" out
+  | Error d ->
+      let rendered = Diag.render d in
+      (* the loc (and thus the quoted line) is the error() call in the
+         macro body; the invocation site is named in the message *)
+      check_contains ~msg:"quotes the offending line" rendered
+        "1 | syntax stmt m";
+      check_contains ~msg:"draws a caret" rendered "^";
+      check_contains ~msg:"names the invocation site" rendered
+        "invoked at caret.mc:3:"
+
 let locations_point_at_the_use () =
   (* expansion errors carry the invocation's location *)
   let err =
@@ -99,4 +175,10 @@ let () =
     [ ( "diagnostic quality",
         List.map (fun c -> let n, _, _ = c in tc n (run_case c)) cases
         @ [ tc "expansion errors point at the use" locations_point_at_the_use ]
+      );
+      ( "golden renderings",
+        [ tc "caret output" golden_caret_render;
+          tc "json output" golden_json;
+          tc "stable error codes" stable_codes;
+          tc "expansion errors carry carets" expansion_errors_carry_carets ]
       ) ]

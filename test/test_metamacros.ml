@@ -54,7 +54,7 @@ let generated_macro_stats () =
   ignore (staged engine "def_tracer gamma;");
   let s = Ms2.Api.stats engine in
   (* def_tracer itself + the generated gamma *)
-  Alcotest.(check int) "two macros defined" 2 s.Ms2.Engine.macros_defined
+  Alcotest.(check int) "two macros defined" 2 s.Ms2.Api.macros_defined
 
 let unfilled_name_is_static_error () =
   (* outside a template, a placeholder macro name is meaningless *)

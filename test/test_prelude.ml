@@ -17,7 +17,7 @@ let loads_cleanly () =
   let s = Ms2.Api.stats engine in
   Alcotest.(check int) "all macros defined"
     (List.length Ms2.Prelude.macro_names)
-    s.Ms2.Engine.macros_defined
+    s.Ms2.Api.macros_defined
 
 let unless_m () =
   check_p "int f(int x) { unless (x > 0) return -1; return x; }"

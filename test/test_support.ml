@@ -50,7 +50,11 @@ let diag_raise_and_protect () =
   match
     Diag.protect (fun () -> Diag.error Diag.Expansion "boom")
   with
-  | Error msg -> Tutil.check_contains ~msg:"protect catches" msg "boom"
+  | Error d ->
+      (* structured: phase and code survive, text is derived *)
+      Alcotest.(check string) "message intact" "boom" d.Diag.message;
+      Alcotest.(check string) "default code" "E0501" d.Diag.code;
+      Tutil.check_contains ~msg:"protect catches" (Diag.to_string d) "boom"
   | Ok _ -> Alcotest.fail "protect should catch diagnostics"
 
 let protect_is_selective () =
