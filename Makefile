@@ -1,6 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test faults bench bench-fuel figures examples expand clean
+.PHONY: all build test faults bench bench-fuel bench-provenance figures \
+        examples expand clean
 
 all: build
 
@@ -21,6 +22,10 @@ bench:
 # fuel-accounting overhead table (writes BENCH_FUEL.json)
 bench-fuel:
 	dune exec bench/main.exe fuel
+
+# provenance-stamping overhead table (writes BENCH_PROVENANCE.json)
+bench-provenance:
+	dune exec bench/main.exe provenance
 
 figures:
 	dune exec bench/main.exe figures

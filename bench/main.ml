@@ -329,6 +329,81 @@ let run_fuel () =
     mean
 
 (* ------------------------------------------------------------------ *)
+(* Provenance stamping overhead                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Every filled template node gets an origin stamped onto its location
+   (the expansion-backtrace chain behind diagnostics, --line-directives
+   and --sourcemap).  This table measures what the stamping costs: the
+   same workloads expanded with provenance on (the default) and off
+   ([Engine.create ~provenance:false], the benchmarking ablation).  The
+   target is <5% overhead. *)
+
+let provenance_pairs () =
+  [ ("myenum (32 constants)", Workloads.myenum 32);
+    ("Painting x32", Workloads.painting 32);
+    ("Painting nested 16 deep", Workloads.painting_nested 16) ]
+
+let provenance_tests () =
+  let run ~provenance src () =
+    let engine = Ms2.Engine.create ~provenance () in
+    match Ms2.Api.expand ~source:"bench" engine src with
+    | Ok out -> Sys.opaque_identity (String.length out)
+    | Error e -> failwith e
+  in
+  Test.make_grouped ~name:"provenance"
+    (List.concat_map
+       (fun (name, src) ->
+         [ Test.make ~name:(name ^ ": provenance off")
+             (Staged.stage (run ~provenance:false src));
+           Test.make ~name:(name ^ ": provenance on")
+             (Staged.stage (run ~provenance:true src)) ])
+       (provenance_pairs ()))
+
+let run_provenance () =
+  let results = measure_tests (provenance_tests ()) in
+  print_estimates
+    "Provenance stamping overhead (expansion backtraces on vs off)"
+    results;
+  let ests = estimates results in
+  let find suffix name =
+    List.assoc_opt ("provenance/" ^ name ^ ": " ^ suffix) ests
+  in
+  rule "Derived: overhead of provenance stamping (<5% target)";
+  let rows =
+    List.filter_map
+      (fun (name, _) ->
+        match (find "provenance on" name, find "provenance off" name) with
+        | Some on, Some off when off > 0. ->
+            let pct = (on -. off) /. off *. 100. in
+            Printf.printf "  %-42s %+.2f%%\n" name pct;
+            Some (name, off, on, pct)
+        | _, _ -> None)
+      (provenance_pairs ())
+  in
+  let oc = open_out "BENCH_PROVENANCE.json" in
+  Printf.fprintf oc "{\n  \"quota_s\": %g,\n  \"workloads\": [\n" quota;
+  List.iteri
+    (fun i (name, off, on, pct) ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"ns_per_run_off\": %.1f, \
+         \"ns_per_run_on\": %.1f, \"overhead_percent\": %.2f}%s\n"
+        name off on pct
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  let mean =
+    match rows with
+    | [] -> 0.
+    | _ ->
+        List.fold_left (fun a (_, _, _, p) -> a +. p) 0. rows
+        /. float_of_int (List.length rows)
+  in
+  Printf.fprintf oc "  ],\n  \"mean_overhead_percent\": %.2f\n}\n" mean;
+  close_out oc;
+  Printf.printf
+    "\n  mean overhead: %+.2f%%  (written to BENCH_PROVENANCE.json)\n" mean
+
+(* ------------------------------------------------------------------ *)
 (* Fig. 2 parse-time type analysis cost                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -373,14 +448,17 @@ let () =
   | "sweep" -> run_sweep ()
   | "penalty" -> run_penalty ()
   | "fuel" -> run_fuel ()
+  | "provenance" -> run_provenance ()
   | "all" ->
       run_figures ();
       run_time ();
       run_sweep ();
       run_penalty ();
-      run_fuel ()
+      run_fuel ();
+      run_provenance ()
   | other ->
       Printf.eprintf
-        "unknown mode %S (expected figures | time | sweep | penalty | fuel)\n"
+        "unknown mode %S (expected figures | time | sweep | penalty | fuel \
+         | provenance)\n"
         other;
       exit 2

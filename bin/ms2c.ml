@@ -117,6 +117,19 @@ let keep_going_arg =
              independent error.  Exits with code 3 when anything was \
              recovered.")
 
+let line_directives_arg =
+  Arg.(value & flag & info [ "line-directives" ]
+       ~doc:"Interleave C $(b,#line) directives mapping each emitted \
+             construct back to its outermost user-written location (the \
+             macro invocation site for expanded code), so compiler \
+             errors and debuggers point at the source the user wrote.")
+
+let sourcemap_arg =
+  Arg.(value & opt (some string) None & info [ "sourcemap" ] ~docv:"FILE"
+       ~doc:"Write a line-oriented JSON source map to $(docv): one \
+             object per output line, giving the producing span and its \
+             macro expansion stack (innermost frame first).")
+
 let diag_format_arg =
   Arg.(value & opt (enum [ ("text", Text); ("json", Json) ]) Text
        & info [ "diag-format" ] ~docv:"FMT"
@@ -142,7 +155,8 @@ let limits_of ~fuel ~invocation_fuel ~max_nodes ~max_errors : Limits.t =
 
 let expand_cmd =
   let run files output stats hygienic semantic_check prelude trace fuel
-      invocation_fuel max_nodes max_errors keep_going diag_format =
+      invocation_fuel max_nodes max_errors keep_going line_directives
+      sourcemap diag_format =
     with_fragments files (fun fragments ->
         let limits = limits_of ~fuel ~invocation_fuel ~max_nodes ~max_errors in
         let engine =
@@ -169,8 +183,25 @@ let expand_cmd =
         let recovered = Ms2.Api.diagnostics engine in
         emit_diags diag_format recovered;
         let out =
-          Ms2_syntax.Pretty.program_to_string ~mode:Ms2_syntax.Pretty.strict
-            prog
+          if line_directives || sourcemap <> None then begin
+            (* the provenance-aware emitter: same strict rendering, but
+               every output line is tracked back to the construct (and
+               expansion chain) that produced it *)
+            let r = Ms2_syntax.Emit.program ~line_directives prog in
+            (match sourcemap with
+            | None -> ()
+            | Some path ->
+                let oc = open_out path in
+                Fun.protect
+                  ~finally:(fun () -> close_out oc)
+                  (fun () ->
+                    output_string oc
+                      (Ms2_syntax.Emit.sourcemap_to_string r.Ms2_syntax.Emit.map)));
+            r.Ms2_syntax.Emit.text
+          end
+          else
+            Ms2_syntax.Pretty.program_to_string
+              ~mode:Ms2_syntax.Pretty.strict prog
         in
         (match output with
         | None -> print_string out
@@ -203,7 +234,8 @@ let expand_cmd =
       const run $ files_arg $ output_arg $ stats_arg $ hygienic_arg
       $ semantic_check_arg $ prelude_arg $ trace_arg $ fuel_arg
       $ invocation_fuel_arg $ max_nodes_arg $ max_errors_arg
-      $ keep_going_arg $ diag_format_arg)
+      $ keep_going_arg $ line_directives_arg $ sourcemap_arg
+      $ diag_format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* check                                                               *)

@@ -25,9 +25,10 @@ type stats = {
   nodes_produced : int;  (** AST nodes charged to template fills so far *)
 }
 
-let create_engine ?limits ?compile_patterns ?hygienic ?recover
+let create_engine ?limits ?compile_patterns ?hygienic ?recover ?provenance
     ?(prelude = false) () =
-  let engine = Engine.create ?limits ?compile_patterns ?hygienic ?recover ()
+  let engine =
+    Engine.create ?limits ?compile_patterns ?hygienic ?recover ?provenance ()
   in
   if prelude then Prelude.load engine;
   engine

@@ -29,12 +29,15 @@ val create_engine :
   ?compile_patterns:bool ->
   ?hygienic:bool ->
   ?recover:bool ->
+  ?provenance:bool ->
   ?prelude:bool ->
   unit ->
   engine
 (** @param limits resource bounds (default {!Ms2_support.Limits.default})
     @param recover record expansion failures and degrade gracefully
     instead of aborting at the first one (default false)
+    @param provenance stamp expansion backtraces onto produced
+    locations (default true; disable only for overhead benchmarking)
     @param prelude load the standard macro library ({!Prelude}) *)
 
 val expand_exn : ?engine:engine -> ?source:string -> string -> string

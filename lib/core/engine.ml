@@ -53,6 +53,11 @@ type t = {
   limits : Limits.t;
       (** resource governance: fuel, output size, depth, error cap *)
   compile_patterns : bool;
+  provenance : bool;
+      (** stamp expansion provenance (macro + call site) onto every
+          produced location, forming diagnostic backtraces.  On by
+          default; the [false] setting exists so the bench harness can
+          measure the stamping overhead *)
   mutable recover : bool;
       (** graceful degradation: a failed invocation is recorded in
           [diags] and replaced by a placeholder of its syntactic type
@@ -67,7 +72,8 @@ type t = {
   stats : stats;
 }
 
-let error ?(loc = Loc.dummy) fmt = Diag.error ~loc Diag.Expansion fmt
+(* No dummy default: every expansion-error site must say where. *)
+let error ~loc fmt = Diag.error ~loc Diag.Expansion fmt
 
 (* ------------------------------------------------------------------ *)
 (* Invocation expansion                                                *)
@@ -112,8 +118,11 @@ let expand_invocation (t : t) (inv : invocation) : Value.t =
       t.stats.invocations_expanded <- t.stats.invocations_expanded + 1;
       (match t.trace with
       | Some ppf ->
-          Format.fprintf ppf "@[<v 2>[ms2] expanding %s at %s@,"
-            inv.inv_name.id_name (Loc.to_string loc);
+          (* the call site's own backtrace follows the header, one frame
+             per line, so traces of nested expansions are grep-able by
+             source line *)
+          Format.fprintf ppf "@[<v 2>[ms2] expanding %s at %s%a@,"
+            inv.inv_name.id_name (Loc.to_string loc) Loc.pp_backtrace loc;
           List.iter
             (fun (name, actual) ->
               Format.fprintf ppf "%s = %s@," name
@@ -126,21 +135,49 @@ let expand_invocation (t : t) (inv : invocation) : Value.t =
         (fun (name, actual) ->
           Value.bind call_env name (Value.of_actual actual))
         inv.inv_actuals;
+      (* The frame every location produced by this invocation is stamped
+         with.  Allocated once: the filler stores this exact value, so
+         the error handler below can recognize "already carries *this*
+         frame" by physical equality. *)
+      let frame =
+        Loc.Macro { Loc.macro = inv.inv_name.id_name; call_site = loc }
+      in
+      let run () =
+        with_invocation_budget t (fun () -> Interp.run_body call_env md.m_body)
+      in
       let v =
         try
-          with_invocation_budget t (fun () ->
-              Interp.run_body call_env md.m_body)
+          if not t.provenance then run ()
+          else begin
+            (* push the frame for the duration of the body: the filler
+               reads it to stamp everything this invocation produces *)
+            let saved = !(t.env.Value.provenance) in
+            t.env.Value.provenance := frame;
+            Fun.protect
+              ~finally:(fun () -> t.env.Value.provenance := saved)
+              run
+          end
         with
         | Diag.Error ({ Diag.phase = Diag.Expansion | Diag.Resource; _ } as d)
           ->
             (* point the user at their invocation (and name the macro —
                essential for resource diagnostics), keeping the macro-body
-               location for the macro writer *)
+               location for the macro writer.  The location also gains
+               this invocation as an (outermost) backtrace frame, unless
+               it is already stamped with it. *)
+            let loc' =
+              if Loc.is_dummy d.Diag.loc then loc
+              else if
+                (not t.provenance) || Loc.origin d.Diag.loc == frame
+              then d.Diag.loc
+              else
+                Loc.push_frame ~macro:inv.inv_name.id_name ~call_site:loc
+                  d.Diag.loc
+            in
             raise
               (Diag.Error
                  { d with
-                   Diag.loc =
-                     (if Loc.is_dummy d.Diag.loc then loc else d.Diag.loc);
+                   Diag.loc = loc';
                    Diag.message =
                      Printf.sprintf
                        "%s (while expanding macro %s invoked at %s)"
@@ -160,7 +197,7 @@ let expand_invocation (t : t) (inv : invocation) : Value.t =
       v
 
 let create ?(limits = Limits.default) ?(compile_patterns = true)
-    ?(hygienic = false) ?(recover = false) () : t =
+    ?(hygienic = false) ?(recover = false) ?(provenance = true) () : t =
   let gensym = Gensym.create () in
   let budget = Value.create_budget ~fuel:limits.Limits.fuel () in
   let env = Value.create_env ~gensym ~budget () in
@@ -178,6 +215,7 @@ let create ?(limits = Limits.default) ?(compile_patterns = true)
       gensym;
       limits;
       compile_patterns;
+      provenance;
       recover;
       diags = Diag.collector ~max_errors:limits.Limits.max_errors ();
       trace = None;

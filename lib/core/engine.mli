@@ -34,6 +34,9 @@ type t = {
   gensym : Gensym.t;
   limits : Limits.t;  (** resource governance *)
   compile_patterns : bool;
+  provenance : bool;
+      (** stamp expansion provenance onto produced locations (backtrace
+          chains); off only for overhead benchmarking *)
   mutable recover : bool;  (** graceful degradation on *)
   diags : Diag.collector;  (** diagnostics recorded by recovery mode *)
   mutable trace : Format.formatter option;
@@ -43,14 +46,17 @@ type t = {
 
 val create :
   ?limits:Limits.t -> ?compile_patterns:bool -> ?hygienic:bool ->
-  ?recover:bool -> unit -> t
+  ?recover:bool -> ?provenance:bool -> unit -> t
 (** @param limits resource bounds (default {!Limits.default})
     @param compile_patterns compile invocation parsers at definition
     time (default true; disable for the ablation benchmark)
     @param hygienic automatic renaming of template-introduced block
     locals (default false)
     @param recover record expansion failures and substitute placeholder
-    nodes instead of aborting at the first one (default false) *)
+    nodes instead of aborting at the first one (default false)
+    @param provenance stamp expansion provenance (macro + call site)
+    onto every produced location (default true; disable only for the
+    overhead benchmark) *)
 
 val expand_invocation : t -> invocation -> Value.t
 (** Run a macro body on pattern-bound actuals under the per-invocation

@@ -292,15 +292,42 @@ let node_sort = function
   | N_param _ -> Sort.Param
   | N_enumerator _ -> Sort.Enumerator
 
+(* Declarators, parameters and enumerators carry no span of their own;
+   the nearest identifier inside them is the best recoverable
+   location. *)
+let rec declarator_loc = function
+  | D_ident id -> id.id_loc
+  | D_abstract -> Loc.dummy
+  | D_pointer d | D_array (d, _) | D_func (d, _) -> declarator_loc d
+  | D_splice sp -> sp.sp_loc
+
 let node_loc = function
   | N_id i -> i.id_loc
   | N_exp e -> e.eloc
-  | N_num _ -> Loc.dummy
+  | N_num _ -> Loc.dummy  (* numbers are bare constants, no span *)
   | N_stmt s -> s.sloc
   | N_decl d -> d.dloc
-  | N_typespec _ | N_declarator _ | N_init_declarator _ | N_param _
-  | N_enumerator _ ->
-      Loc.dummy
+  | N_typespec specs -> (
+      match
+        List.find_map
+          (function
+            | S_splice sp -> Some sp.sp_loc
+            | S_named id -> Some id.id_loc
+            | _ -> None)
+          specs
+      with
+      | Some loc -> loc
+      | None -> Loc.dummy (* keyword-only specifier lists have no span *))
+  | N_declarator d -> declarator_loc d
+  | N_init_declarator (Init_decl (d, _)) -> declarator_loc d
+  | N_init_declarator (Init_splice sp) -> sp.sp_loc
+  | N_param (P_decl (_, d)) -> declarator_loc d
+  | N_param (P_name id) -> id.id_loc
+  | N_param P_ellipsis -> Loc.dummy  (* "..." is not a located token *)
+  | N_param (P_splice sp) -> sp.sp_loc
+  | N_enumerator (Enum_item (Ii_id id, _)) -> id.id_loc
+  | N_enumerator (Enum_item (Ii_splice sp, _)) -> sp.sp_loc
+  | N_enumerator (Enum_splice sp) -> sp.sp_loc
 
 (** Type of the value bound by a pattern specifier: repetitions and
     optionals give lists, tuples give tuples. *)

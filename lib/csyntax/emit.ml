@@ -1,0 +1,189 @@
+(** Provenance-aware C emission: [#line] directives and source maps.
+
+    {!Pretty} renders an AST with no regard for where its nodes came
+    from; this module renders a (pure-C) program while tracking, for
+    every physical output line, the location — and therefore the whole
+    expansion backtrace — of the construct that produced it.  Two
+    consumers:
+
+    - [#line] directives ([emit ~line_directives:true]) make a C
+      compiler attribute errors and debug info in the generated code to
+      the *user's* source: the outermost invocation site for expanded
+      code ({!Ms2_support.Loc.root}), the original span for code copied
+      through unchanged.
+    - A line-oriented source map ({!sourcemap_to_string}) serializes
+      the full mapping, expansion stack included, for external tools.
+
+    Granularity is one map entry per output line; within a function
+    body, consecutive block items are tracked item by item, so the
+    lines of a statement produced by [swap x, y;] map to that
+    invocation even when its neighbours are ordinary user code. *)
+
+open Ast
+module Loc = Ms2_support.Loc
+module Diag = Ms2_support.Diag
+
+type entry = {
+  out_line : int;  (** 1-based physical line in the emitted text *)
+  loc : Loc.t;
+      (** producing construct's location, carrying the expansion chain;
+          {!Ms2_support.Loc.dummy} for structural lines (separators) *)
+}
+
+type result = {
+  text : string;
+  map : entry list;  (** ascending [out_line]; one entry per line *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Emission state                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type st = {
+  buf : Buffer.t;
+  mutable out_line : int;
+  mutable map_rev : entry list;
+  line_directives : bool;
+  mutable presumed : (string * int) option;
+      (** where the C compiler believes it is — [Some (file, line)]
+          after a [#line] directive, advanced by every emitted line;
+          [None] before any directive *)
+}
+
+let split_lines s = String.split_on_char '\n' s
+
+(** Append one physical line (no embedded newlines) mapped to [loc]. *)
+let put_line st ~loc line =
+  Buffer.add_string st.buf line;
+  Buffer.add_char st.buf '\n';
+  st.map_rev <- { out_line = st.out_line; loc } :: st.map_rev;
+  st.out_line <- st.out_line + 1;
+  st.presumed <-
+    (match st.presumed with
+    | Some (f, l) -> Some (f, l + 1)
+    | None -> None)
+
+(** Point the C compiler at [loc]'s outermost user-written span, unless
+    it already presumes to be there.  Expanded code maps to the
+    invocation the user wrote ({!Loc.root}); unknown locations emit
+    nothing and leave the presumed position alone. *)
+let sync_directive st (loc : Loc.t) =
+  if st.line_directives then begin
+    let r = Loc.root loc in
+    if not (Loc.is_dummy r) then begin
+      let want = (r.Loc.source, r.Loc.start_pos.Loc.line) in
+      if st.presumed <> Some want then begin
+        Buffer.add_string st.buf
+          (Printf.sprintf "#line %d \"%s\"\n" (snd want)
+             (Diag.json_escape (fst want)));
+        (* the directive itself is an output line produced by the same
+           construct *)
+        st.map_rev <- { out_line = st.out_line; loc } :: st.map_rev;
+        st.out_line <- st.out_line + 1;
+        st.presumed <- Some want
+      end
+    end
+  end
+
+(** Emit a rendered chunk: a directive sync, then every line of [text]
+    (prefixed by [indent]) mapped to [loc]. *)
+let chunk st ~loc ?(indent = "") text =
+  sync_directive st loc;
+  List.iter
+    (fun line ->
+      put_line st ~loc (if line = "" then line else indent ^ line))
+    (split_lines text)
+
+let blank_sep st = put_line st ~loc:Loc.dummy ""
+
+(* ------------------------------------------------------------------ *)
+(* Program walk                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Strict mode throughout: this is an emitter for *expanded* programs,
+   so meta residue is a bug and raises {!Pretty.Meta_residue}, exactly
+   as [Pretty.program_to_string ~mode:strict] would. *)
+let mode = Pretty.strict
+
+let fun_header (specs : spec list) (d : declarator) : string =
+  if specs = [] then Fmt.str "%a" (Pretty.pp_declarator mode) d
+  else
+    Fmt.str "%a %a" (Pretty.pp_specs mode) specs (Pretty.pp_declarator mode) d
+
+let block_item_loc = function
+  | Bi_decl d -> d.dloc
+  | Bi_stmt s -> s.sloc
+
+let block_item_to_string = function
+  | Bi_decl d -> Pretty.decl_to_string ~mode d
+  | Bi_stmt s -> Pretty.stmt_to_string ~mode s
+
+let emit_decl st (decl : decl) =
+  match decl.d with
+  | Decl_fun (specs, d, kr, ({ s = St_compound items; _ } as body)) ->
+      (* item-by-item: each statement or local declaration of the body
+         is its own chunk, so lines produced by different invocations
+         carry different provenance *)
+      chunk st ~loc:decl.dloc (fun_header specs d);
+      List.iter
+        (fun kd -> chunk st ~loc:kd.dloc (Pretty.decl_to_string ~mode kd))
+        kr;
+      chunk st ~loc:body.sloc "{";
+      List.iter
+        (fun item ->
+          chunk st
+            ~loc:(block_item_loc item)
+            ~indent:"  "
+            (block_item_to_string item))
+        items;
+      chunk st ~loc:body.sloc "}"
+  | _ -> chunk st ~loc:decl.dloc (Pretty.decl_to_string ~mode decl)
+
+(** Render a program, producing the text and its line-by-line source
+    map.  With [line_directives], [#line] directives pointing at each
+    construct's outermost user-written location are interleaved. *)
+let program ?(line_directives = false) (prog : program) : result =
+  let st =
+    { buf = Buffer.create 4096;
+      out_line = 1;
+      map_rev = [];
+      line_directives;
+      presumed = None }
+  in
+  List.iteri
+    (fun i decl ->
+      if i > 0 then blank_sep st;
+      emit_decl st decl)
+    prog;
+  { text = Buffer.contents st.buf; map = List.rev st.map_rev }
+
+(* ------------------------------------------------------------------ *)
+(* Source-map serialization                                            *)
+(* ------------------------------------------------------------------ *)
+
+let loc_fields (loc : Loc.t) =
+  if Loc.is_dummy loc then
+    {|"source":null,"line":null,"col":null,"end_line":null,"end_col":null|}
+  else
+    Printf.sprintf
+      {|"source":"%s","line":%d,"col":%d,"end_line":%d,"end_col":%d|}
+      (Diag.json_escape loc.Loc.source)
+      loc.Loc.start_pos.Loc.line loc.Loc.start_pos.Loc.col
+      loc.Loc.end_pos.Loc.line loc.Loc.end_pos.Loc.col
+
+let entry_to_json { out_line; loc } =
+  let frame f =
+    Printf.sprintf {|{"macro":"%s",%s}|}
+      (Diag.json_escape f.Loc.macro)
+      (loc_fields f.Loc.call_site)
+  in
+  Printf.sprintf {|{"out_line":%d,%s,"stack":[%s]}|} out_line
+    (loc_fields loc)
+    (String.concat "," (List.map frame (Loc.backtrace loc)))
+
+(** One JSON object per line of the map (newline-separated, in
+    [out_line] order): the producing span plus its expansion stack,
+    innermost frame first — same field conventions as
+    {!Ms2_support.Diag.to_json}. *)
+let sourcemap_to_string (map : entry list) : string =
+  String.concat "" (List.map (fun e -> entry_to_json e ^ "\n") map)

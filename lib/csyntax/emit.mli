@@ -1,0 +1,37 @@
+(** Provenance-aware C emission: render an expanded (pure-C) program
+    while tracking which construct — and through its location's
+    expansion chain, which macro invocation — produced every physical
+    output line.  Optionally interleaves [#line] directives mapping the
+    generated code back to the user's invocation sites; the map can be
+    serialized as a line-oriented JSON source map. *)
+
+open Ast
+
+type entry = {
+  out_line : int;  (** 1-based physical line in the emitted text *)
+  loc : Ms2_support.Loc.t;
+      (** the producing construct's location, expansion chain included;
+          dummy for structural lines (separators between declarations) *)
+}
+
+type result = {
+  text : string;
+  map : entry list;  (** ascending [out_line]; one entry per line *)
+}
+
+val program : ?line_directives:bool -> program -> result
+(** Render a program (strict mode: meta residue raises
+    {!Pretty.Meta_residue}).  Function bodies are emitted block item by
+    block item, so lines produced by different invocations map to
+    different provenance.  With [line_directives] (default false),
+    [#line] directives pointing at each construct's outermost
+    user-written span ({!Ms2_support.Loc.root}) are interleaved
+    whenever the compiler's presumed position would otherwise be
+    wrong. *)
+
+val sourcemap_to_string : entry list -> string
+(** One JSON object per map entry, newline-separated, in [out_line]
+    order: [{"out_line":N,"source":...,"line":...,"col":...,
+    "end_line":...,"end_col":...,"stack":[{"macro":...,...},...]}] with
+    the expansion stack innermost-first (same conventions as
+    {!Ms2_support.Diag.to_json}). *)

@@ -339,14 +339,19 @@ let lex_token st =
         let start = current_pos st in
         error st start "unexpected character %C" c
 
-(** [tokenize ?source ?reject_reserved text] lexes [text] into an array of
-    located tokens terminated by a single [EOF] token.
+(** [tokenize ?origin ?source ?reject_reserved text] lexes [text] into an
+    array of located tokens terminated by a single [EOF] token.
 
+    @param origin expansion provenance stamped onto every token location
+    (default [Loc.User]).  Pass a [Loc.Macro] frame when the text being
+    lexed was produced by a macro expansion, so tokens — and through
+    them every AST node the parser builds, including the placeholder
+    tokens standing for splices — carry the invocation backtrace.
     @param reject_reserved reject identifiers that collide with generated
     (gensym) names; used when lexing user programs so that hygiene by
     generated names is sound. *)
-let tokenize ?(source = "<string>") ?(reject_reserved = false) text :
-    Token.located array =
+let tokenize ?(origin = Loc.User) ?(source = "<string>")
+    ?(reject_reserved = false) text : Token.located array =
   (* feed the diagnostic source registry so errors anywhere downstream
      can quote the offending line *)
   Diag.register_source source text;
@@ -354,15 +359,21 @@ let tokenize ?(source = "<string>") ?(reject_reserved = false) text :
     { src = text; source_name = source; pos = 0; line = 1; bol = 0;
       reject_reserved }
   in
+  let with_origin loc =
+    match origin with Loc.User -> loc | o -> Loc.set_origin loc o
+  in
   let acc = ref [] in
   let rec go () =
     skip_trivia st;
     if st.pos >= String.length st.src then
-      acc := { Token.tok = Token.EOF; loc = loc_from st (current_pos st) } :: !acc
+      acc :=
+        { Token.tok = Token.EOF;
+          loc = with_origin (loc_from st (current_pos st)) }
+        :: !acc
     else begin
       let start = current_pos st in
       let tok = lex_token st in
-      acc := { Token.tok; loc = loc_from st start } :: !acc;
+      acc := { Token.tok; loc = with_origin (loc_from st start) } :: !acc;
       go ()
     end
   in

@@ -2,12 +2,16 @@
     meta-tokens, which are recognized by character adjacency). *)
 
 val tokenize :
+  ?origin:Ms2_support.Loc.origin ->
   ?source:string ->
   ?reject_reserved:bool ->
   string ->
   Token.located array
 (** Lex a whole source into located tokens terminated by one [EOF].
 
+    @param origin expansion provenance stamped onto every token
+    location (default [User]); pass a [Macro] frame when lexing text
+    produced by an expansion so downstream nodes carry the backtrace
     @param source name used in locations (default ["<string>"])
     @param reject_reserved reject identifiers that collide with
     generated (gensym) names; enable when lexing user programs so that

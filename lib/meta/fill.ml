@@ -19,6 +19,8 @@
 open Ms2_syntax.Ast
 open Value
 
+module Loc = Ms2_support.Loc
+
 type ctx = {
   eval : env -> expr -> Value.t;
   env : env;
@@ -26,9 +28,34 @@ type ctx = {
       (** hygienic alpha-renaming of template-introduced block locals:
           innermost binding first.  Populated only when
           [env.hygienic]. *)
+  origin : Loc.origin;
+      (** the invocation frame this template is being filled for
+          (captured from [env.provenance] at entry); stamped onto every
+          produced node so diagnostics in expanded code carry a
+          backtrace *)
 }
 
 let error = Value.error
+
+(** Stamp the current invocation's provenance onto a template span.
+    Template text keeps its own (definition-site) span but gains the
+    [Macro] origin; a node with no span at all degrades to the call
+    site, which is the best location we have.  Locations that already
+    carry an origin (code produced by an *earlier* expansion, flowing
+    through this one) are left alone — their chain is already longer
+    than anything we could write. *)
+let stamp ctx (loc : Loc.t) : Loc.t =
+  match ctx.origin with
+  | Loc.User -> loc
+  | Loc.Macro f -> (
+      if Loc.is_dummy loc then f.Loc.call_site
+      else
+        match Loc.origin loc with
+        | Loc.User -> Loc.set_origin loc ctx.origin
+        | Loc.Macro _ -> loc)
+
+let stamp_ident ctx (id : ident) : ident =
+  { id with id_loc = stamp ctx id.id_loc }
 
 let eval_splice ctx (sp : splice) : Value.t = ctx.eval ctx.env sp.sp_expr
 
@@ -38,7 +65,10 @@ let eval_splice ctx (sp : splice) : Value.t = ctx.eval ctx.env sp.sp_expr
 
 let rename_ident ctx (id : ident) : ident =
   match List.assoc_opt id.id_name ctx.renames with
-  | Some fresh -> { id with id_name = fresh }
+  | Some fresh ->
+      (* the fresh name keeps the template ident's span but gains the
+         invocation origin, so hygiene renames stay traceable *)
+      { (stamp_ident ctx id) with id_name = fresh }
   | None -> id
 
 let rec declarator_name = function
@@ -66,10 +96,28 @@ let template_locals (items : block_item list) : string list =
 (* Value -> syntax coercions                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* AST values built by the meta primitives (make_id, gensym, make_num,
+   ...) carry no span of their own; give such nodes the splice's
+   (already provenance-stamped) location as they enter object code, so
+   every node in expanded output is locatable.  Values that do carry a
+   span — user-written actuals above all — keep it untouched: errors in
+   the user's own code point at the user's own code. *)
+let patch_id ~loc (id : ident) : ident =
+  if Loc.is_dummy id.id_loc then { id with id_loc = loc } else id
+
+let patch_expr ~loc (e : expr) : expr =
+  if Loc.is_dummy e.eloc then { e with eloc = loc } else e
+
+let patch_stmt ~loc (s : stmt) : stmt =
+  if Loc.is_dummy s.sloc then { s with sloc = loc } else s
+
+let patch_decl ~loc (d : decl) : decl =
+  if Loc.is_dummy d.dloc then { d with dloc = loc } else d
+
 let rec value_to_expr ~loc (v : Value.t) : expr =
   match v with
-  | Vnode (N_exp e) -> e
-  | Vnode (N_id id) -> mk_expr ~loc (E_ident id)
+  | Vnode (N_exp e) -> patch_expr ~loc e
+  | Vnode (N_id id) -> mk_expr ~loc (E_ident (patch_id ~loc id))
   | Vnode (N_num c) -> mk_expr ~loc (E_const c)
   | Vlist [ v ] -> value_to_expr ~loc v
   | v -> error ~loc "placeholder produced a %s where an expression was \
@@ -77,13 +125,13 @@ let rec value_to_expr ~loc (v : Value.t) : expr =
 
 let value_to_ident ~loc (v : Value.t) : ident =
   match v with
-  | Vnode (N_id id) -> id
+  | Vnode (N_id id) -> patch_id ~loc id
   | v -> error ~loc "placeholder produced a %s where an identifier was \
                      expected" (type_name v)
 
 let rec value_to_stmts ~loc (v : Value.t) : stmt list =
   match v with
-  | Vnode (N_stmt s) -> [ s ]
+  | Vnode (N_stmt s) -> [ patch_stmt ~loc s ]
   | Vlist items -> List.concat_map (value_to_stmts ~loc) items
   | v -> error ~loc "placeholder produced a %s where statements were \
                      expected" (type_name v)
@@ -99,7 +147,7 @@ let value_to_stmt ~loc (v : Value.t) : stmt =
 
 let rec value_to_decls ~loc (v : Value.t) : decl list =
   match v with
-  | Vnode (N_decl d) -> [ d ]
+  | Vnode (N_decl d) -> [ patch_decl ~loc d ]
   | Vlist items -> List.concat_map (value_to_decls ~loc) items
   | v -> error ~loc "placeholder produced a %s where declarations were \
                      expected" (type_name v)
@@ -120,7 +168,7 @@ let value_to_specs ~loc (v : Value.t) : spec list =
 let value_to_declarator ~loc (v : Value.t) : declarator =
   match v with
   | Vnode (N_declarator d) -> d
-  | Vnode (N_id id) -> D_ident id
+  | Vnode (N_id id) -> D_ident (patch_id ~loc id)
   | v -> error ~loc "placeholder produced a %s where a declarator was \
                      expected" (type_name v)
 
@@ -128,7 +176,7 @@ let rec value_to_init_declarators ~loc (v : Value.t) : init_declarator list =
   match v with
   | Vnode (N_init_declarator d) -> [ d ]
   | Vnode (N_declarator d) -> [ Init_decl (d, None) ]
-  | Vnode (N_id id) -> [ Init_decl (D_ident id, None) ]
+  | Vnode (N_id id) -> [ Init_decl (D_ident (patch_id ~loc id), None) ]
   | Vlist items -> List.concat_map (value_to_init_declarators ~loc) items
   | v -> error ~loc "placeholder produced a %s where init-declarators were \
                      expected" (type_name v)
@@ -136,7 +184,7 @@ let rec value_to_init_declarators ~loc (v : Value.t) : init_declarator list =
 let rec value_to_enumerators ~loc (v : Value.t) : enumerator list =
   match v with
   | Vnode (N_enumerator e) -> [ e ]
-  | Vnode (N_id id) -> [ Enum_item (Ii_id id, None) ]
+  | Vnode (N_id id) -> [ Enum_item (Ii_id (patch_id ~loc id), None) ]
   | Vlist items -> List.concat_map (value_to_enumerators ~loc) items
   | v -> error ~loc "placeholder produced a %s where enumeration constants \
                      were expected" (type_name v)
@@ -144,7 +192,7 @@ let rec value_to_enumerators ~loc (v : Value.t) : enumerator list =
 let rec value_to_params ~loc (v : Value.t) : param list =
   match v with
   | Vnode (N_param p) -> [ p ]
-  | Vnode (N_id id) -> [ P_name id ]
+  | Vnode (N_id id) -> [ P_name (patch_id ~loc id) ]
   | Vlist items -> List.concat_map (value_to_params ~loc) items
   | v -> error ~loc "placeholder produced a %s where parameters were \
                      expected" (type_name v)
@@ -165,20 +213,20 @@ let value_to_node ~loc (v : Value.t) : node =
 (* ------------------------------------------------------------------ *)
 
 let rec fill_expr ctx (expr : expr) : expr =
-  let loc = expr.eloc in
+  let loc = stamp ctx expr.eloc in
   Value.charge_node ctx.env ~loc;
-  let re e = { expr with e } in
+  let re e = { e; eloc = loc } in
   match expr.e with
   | E_splice sp -> value_to_expr ~loc (eval_splice ctx sp)
-  | E_ident id when ctx.renames <> [] ->
-      { expr with e = E_ident (rename_ident ctx id) }
-  | E_ident _ | E_const _ -> expr
+  | E_ident id when ctx.renames <> [] -> re (E_ident (rename_ident ctx id))
+  | E_ident _ | E_const _ -> re expr.e
   | E_call (f, args) ->
       let args =
         List.concat_map
           (fun (a : expr) ->
             match a.e with
-            | E_splice sp -> value_to_exprs ~loc:a.eloc (eval_splice ctx sp)
+            | E_splice sp ->
+                value_to_exprs ~loc:(stamp ctx a.eloc) (eval_splice ctx sp)
             | _ -> [ fill_expr ctx a ])
           args
       in
@@ -203,12 +251,13 @@ let rec fill_expr ctx (expr : expr) : expr =
       (* meta code embedded in a template (inside a generated macro
          definition); its placeholders belong to the generated macro and
          fire at *its* expansion time, so leave it untouched *)
-      expr
+      re expr.e
   | E_macro inv -> re (E_macro (fill_invocation ctx inv))
 
 and fill_id_or_splice ctx = function
-  | Ii_id id -> Ii_id id
-  | Ii_splice sp -> Ii_id (value_to_ident ~loc:sp.sp_loc (eval_splice ctx sp))
+  | Ii_id id -> Ii_id (stamp_ident ctx id)
+  | Ii_splice sp ->
+      Ii_id (value_to_ident ~loc:(stamp ctx sp.sp_loc) (eval_splice ctx sp))
 
 and fill_ctype ctx ct =
   { ct_specs = fill_specs ctx ct.ct_specs;
@@ -218,7 +267,7 @@ and fill_specs ctx (specs : spec list) : spec list =
   List.concat_map
     (function
       | S_splice sp ->
-          value_to_specs ~loc:sp.sp_loc (eval_splice ctx sp)
+          value_to_specs ~loc:(stamp ctx sp.sp_loc) (eval_splice ctx sp)
       | S_enum es -> [ S_enum (fill_enum_spec ctx es) ]
       | S_struct (tag, fields) ->
           [ S_struct
@@ -246,9 +295,10 @@ and fill_enum_spec ctx (es : enum_spec) : enum_spec =
   let tag =
     Option.map
       (function
-        | Ii_id id -> Ii_id id
+        | Ii_id id -> Ii_id (stamp_ident ctx id)
         | Ii_splice sp ->
-            Ii_id (value_to_ident ~loc:sp.sp_loc (eval_splice ctx sp)))
+            Ii_id
+              (value_to_ident ~loc:(stamp ctx sp.sp_loc) (eval_splice ctx sp)))
       es.enum_tag
   in
   let items =
@@ -259,7 +309,7 @@ and fill_enum_spec ctx (es : enum_spec) : enum_spec =
                 (fill_id_or_splice ctx id, Option.map (fill_expr ctx) value)
             ]
         | Enum_splice sp ->
-            value_to_enumerators ~loc:sp.sp_loc (eval_splice ctx sp)))
+            value_to_enumerators ~loc:(stamp ctx sp.sp_loc) (eval_splice ctx sp)))
       es.enum_items
   in
   { enum_tag = tag; enum_items = items }
@@ -267,21 +317,24 @@ and fill_enum_spec ctx (es : enum_spec) : enum_spec =
 and fill_declarator ctx (d : declarator) : declarator =
   match d with
   | D_ident id when ctx.renames <> [] -> D_ident (rename_ident ctx id)
-  | D_ident _ | D_abstract -> d
+  | D_ident id -> D_ident (stamp_ident ctx id)
+  | D_abstract -> d
   | D_pointer d -> D_pointer (fill_declarator ctx d)
   | D_array (d, size) ->
       D_array (fill_declarator ctx d, Option.map (fill_expr ctx) size)
   | D_func (d, params) -> D_func (fill_declarator ctx d, fill_params ctx params)
-  | D_splice sp -> value_to_declarator ~loc:sp.sp_loc (eval_splice ctx sp)
+  | D_splice sp ->
+      value_to_declarator ~loc:(stamp ctx sp.sp_loc) (eval_splice ctx sp)
 
 and fill_params ctx (params : param list) : param list =
   List.concat_map
     (function
       | P_decl (specs, d) ->
           [ P_decl (fill_specs ctx specs, fill_declarator ctx d) ]
-      | P_name id -> [ P_name id ]
+      | P_name id -> [ P_name (stamp_ident ctx id) ]
       | P_ellipsis -> [ P_ellipsis ]
-      | P_splice sp -> value_to_params ~loc:sp.sp_loc (eval_splice ctx sp))
+      | P_splice sp ->
+          value_to_params ~loc:(stamp ctx sp.sp_loc) (eval_splice ctx sp))
     params
 
 and fill_init ctx = function
@@ -296,13 +349,14 @@ and fill_init_declarators ctx (idecls : init_declarator list) :
           [ Init_decl (fill_declarator ctx d, Option.map (fill_init ctx) init)
           ]
       | Init_splice sp ->
-          value_to_init_declarators ~loc:sp.sp_loc (eval_splice ctx sp))
+          value_to_init_declarators ~loc:(stamp ctx sp.sp_loc)
+            (eval_splice ctx sp))
     idecls
 
 and fill_stmt ctx (stmt : stmt) : stmt =
-  let loc = stmt.sloc in
+  let loc = stamp ctx stmt.sloc in
   Value.charge_node ctx.env ~loc;
-  let rs s = { stmt with s } in
+  let rs s = { s; sloc = loc } in
   match stmt.s with
   | St_splice sp -> value_to_stmt ~loc (eval_splice ctx sp)
   | St_expr e -> rs (St_expr (fill_expr ctx e))
@@ -342,7 +396,7 @@ and fill_stmt ctx (stmt : stmt) : stmt =
   | St_case (e, s) -> rs (St_case (fill_expr ctx e, fill_stmt ctx s))
   | St_default s -> rs (St_default (fill_stmt ctx s))
   | St_return e -> rs (St_return (Option.map (fill_expr ctx) e))
-  | St_break | St_continue | St_goto _ | St_null -> stmt
+  | St_break | St_continue | St_goto _ | St_null -> rs stmt.s
   | St_label (id, s) -> rs (St_label (id, fill_stmt ctx s))
   | St_macro inv -> rs (St_macro (fill_invocation ctx inv))
 
@@ -352,12 +406,12 @@ and fill_block_items ctx (items : block_item list) : block_item list =
       | Bi_decl { d = Decl_splice sp; dloc } ->
           List.map
             (fun d -> Bi_decl d)
-            (value_to_decls ~loc:dloc (eval_splice ctx sp))
+            (value_to_decls ~loc:(stamp ctx dloc) (eval_splice ctx sp))
       | Bi_decl d -> List.map (fun d -> Bi_decl d) (fill_decl_multi ctx d)
       | Bi_stmt { s = St_splice sp; sloc } ->
           List.map
             (fun s -> Bi_stmt s)
-            (value_to_stmts ~loc:sloc (eval_splice ctx sp))
+            (value_to_stmts ~loc:(stamp ctx sloc) (eval_splice ctx sp))
       | Bi_stmt s -> [ Bi_stmt (fill_stmt ctx s) ])
     items
 
@@ -370,10 +424,11 @@ and fill_decl ctx (decl : decl) : decl =
         (List.length ds)
 
 and fill_decl_multi ctx (decl : decl) : decl list =
-  Value.charge_node ctx.env ~loc:decl.dloc;
-  let rd d = [ { decl with d } ] in
+  let loc = stamp ctx decl.dloc in
+  Value.charge_node ctx.env ~loc;
+  let rd d = [ { d; dloc = loc } ] in
   match decl.d with
-  | Decl_splice sp -> value_to_decls ~loc:decl.dloc (eval_splice ctx sp)
+  | Decl_splice sp -> value_to_decls ~loc (eval_splice ctx sp)
   | Decl_plain (specs, idecls) ->
       rd (Decl_plain (fill_specs ctx specs, fill_init_declarators ctx idecls))
   | Decl_fun (specs, d, kr, body) ->
@@ -393,13 +448,19 @@ and fill_decl_multi ctx (decl : decl) : decl list =
   | Decl_macro inv -> rd (Decl_macro (fill_invocation ctx inv))
 
 and fill_invocation ctx (inv : invocation) : invocation =
-  { inv with inv_actuals = List.map (fun (n, a) -> (n, fill_actual ctx a)) inv.inv_actuals }
+  (* stamping the invocation's own location is what chains *nested*
+     expansions: when the engine later expands this invocation, its call
+     site already records which expansion wrote it *)
+  { inv with
+    inv_loc = stamp ctx inv.inv_loc;
+    inv_actuals = List.map (fun (n, a) -> (n, fill_actual ctx a)) inv.inv_actuals
+  }
 
 and fill_actual ctx (a : actual) : actual =
   match a with
   | Act_node (N_exp { e = E_splice sp; eloc }) ->
       (* an identifier- or num-typed placeholder used as an actual *)
-      Act_node (value_to_node ~loc:eloc (eval_splice ctx sp))
+      Act_node (value_to_node ~loc:(stamp ctx eloc) (eval_splice ctx sp))
   | Act_node n -> Act_node (fill_node ctx n)
   | Act_list items -> Act_list (List.map (fill_actual ctx) items)
   | Act_tuple fields ->
@@ -407,28 +468,36 @@ and fill_actual ctx (a : actual) : actual =
 
 and fill_node ctx (n : node) : node =
   match n with
-  | N_id _ | N_num _ -> n
+  | N_id id -> N_id (stamp_ident ctx id)
+  | N_num _ -> n
   | N_exp e -> N_exp (fill_expr ctx e)
   | N_stmt s -> N_stmt (fill_stmt ctx s)
   | N_decl d -> N_decl (fill_decl ctx d)
   | N_typespec specs -> N_typespec (fill_specs ctx specs)
   | N_declarator d -> N_declarator (fill_declarator ctx d)
   | N_init_declarator d -> (
+      let loc = stamp ctx (node_loc n) in
       match fill_init_declarators ctx [ d ] with
       | [ d ] -> N_init_declarator d
-      | _ -> error "placeholder produced several init-declarators where one \
-                    was expected")
+      | _ ->
+          error ~loc
+            "placeholder produced several init-declarators where one was \
+             expected")
   | N_param p -> (
+      let loc = stamp ctx (node_loc n) in
       match fill_params ctx [ p ] with
       | [ p ] -> N_param p
-      | _ -> error "placeholder produced several parameters where one was \
-                    expected")
+      | _ ->
+          error ~loc
+            "placeholder produced several parameters where one was expected")
   | N_enumerator e -> (
+      let loc = stamp ctx (node_loc n) in
       match fill_enum_spec ctx { enum_tag = None; enum_items = Some [ e ] }
       with
       | { enum_items = Some [ e ]; _ } -> N_enumerator e
-      | _ -> error "placeholder produced several enumerators where one was \
-                    expected")
+      | _ ->
+          error ~loc
+            "placeholder produced several enumerators where one was expected")
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
@@ -438,7 +507,7 @@ and fill_node ctx (n : node) : node =
     interpreter's expression evaluator. *)
 let fill_template ~(eval : env -> expr -> Value.t) (env : env)
     (tpl : template) : Value.t =
-  let ctx = { eval; env; renames = [] } in
+  let ctx = { eval; env; renames = []; origin = !(env.provenance) } in
   match tpl with
   | T_exp e -> Vnode (N_exp (fill_expr ctx e))
   | T_stmt s -> Vnode (N_stmt (fill_stmt ctx s))

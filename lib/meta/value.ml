@@ -49,6 +49,11 @@ and env = {
   budget : budget;
       (** fuel and output-size accounting, shared (not copied) by every
           {!derived} environment so all meta code drains one pool *)
+  provenance : Loc.origin ref;
+      (** the expansion frame the engine is currently inside ([User]
+          outside any invocation); shared by every {!derived}
+          environment.  The template filler reads it to stamp the
+          origin of every node it produces *)
 }
 
 (** Mutable resource counters.  [fuel] and [nodes] count *down*;
@@ -63,7 +68,9 @@ and budget = {
   nodes_initial : int;
 }
 
-let error ?(loc = Loc.dummy) fmt = Diag.error ~loc Diag.Expansion fmt
+(* No dummy default: every expansion-error site must say where.  Sites
+   with genuinely no span pass [Loc.dummy] explicitly. *)
+let error ~loc fmt = Diag.error ~loc Diag.Expansion fmt
 
 let create_budget ?(fuel = max_int) ?(nodes = max_int) () : budget =
   { fuel; nodes; fuel_initial = fuel; nodes_initial = nodes }
@@ -107,6 +114,7 @@ let create_env ?gensym ?budget () : env =
           error ~loc:inv.Ast.inv_loc
             "macro invocations inside meta code need an expansion engine");
     budget = (match budget with Some b -> b | None -> create_budget ());
+    provenance = ref Loc.User;
   }
 
 let push_scope env = env.scopes <- Hashtbl.create 16 :: env.scopes

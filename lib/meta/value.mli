@@ -33,6 +33,10 @@ and env = {
       (** engine hook for macro invocations inside meta code *)
   budget : budget;
       (** fuel / output-size accounting, shared by derived environments *)
+  provenance : Loc.origin ref;
+      (** the expansion frame currently being filled ([User] outside any
+          invocation); shared by derived environments, maintained by the
+          engine, read by the template filler *)
 }
 
 (** Countdown resource counters ([max_int] = effectively unlimited). *)
@@ -44,8 +48,10 @@ and budget = {
 }
 
 val error :
-  ?loc:Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
-(** Raise an [Expansion]-phase diagnostic. *)
+  loc:Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise an [Expansion]-phase diagnostic.  The location is required so
+    no raise site silently drops provenance; pass [Loc.dummy] explicitly
+    at the (rare) sites with genuinely no span. *)
 
 val create_budget : ?fuel:int -> ?nodes:int -> unit -> budget
 val fuel_consumed : budget -> int

@@ -59,9 +59,10 @@ let create ?macros ?tenv ?compiled (toks : Token.located array) : t =
       (match compiled with Some c -> c | None -> Hashtbl.create 16);
   }
 
-let of_string ?macros ?tenv ?compiled ?(source = "<string>")
+let of_string ?origin ?macros ?tenv ?compiled ?(source = "<string>")
     ?(reject_reserved = false) text =
-  create ?macros ?tenv ?compiled (Lexer.tokenize ~source ~reject_reserved text)
+  create ?macros ?tenv ?compiled
+    (Lexer.tokenize ?origin ~source ~reject_reserved text)
 
 (* ------------------------------------------------------------------ *)
 (* Token access                                                        *)

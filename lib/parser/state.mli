@@ -41,6 +41,7 @@ val create :
   t
 
 val of_string :
+  ?origin:Ms2_support.Loc.origin ->
   ?macros:(string, macro_sig) Hashtbl.t ->
   ?tenv:Tenv.t ->
   ?compiled:(string, compiled_pattern) Hashtbl.t ->
@@ -48,6 +49,8 @@ val of_string :
   ?reject_reserved:bool ->
   string ->
   t
+(** [?origin] is forwarded to {!Ms2_syntax.Lexer.tokenize}: provenance
+    stamped onto every token (and thus AST) location. *)
 
 (** {1 Token access} *)
 

@@ -129,34 +129,41 @@ let source_line name n =
             String.sub text start (stop - start))
           (skip_lines 0 1)
 
-(** Render with source context when the registry knows the source:
+(** Render with source context when the registry knows the source, and
+    the expansion backtrace (if any) as trailing note lines:
 
     {v
     f.mc:3:2: expansion error[E0501]: boom
       3 | m bad;
         |   ^^^
+      in expansion of macro `m' at f.mc:9:0-1
     v} *)
 let render t =
   let header = to_string t in
-  if Loc.is_dummy t.loc then header
-  else
-    match source_line t.loc.Loc.source t.loc.Loc.start_pos.Loc.line with
-    | None -> header
-    | Some line ->
-        let lno = t.loc.Loc.start_pos.Loc.line in
-        let col = t.loc.Loc.start_pos.Loc.col in
-        let width =
-          if t.loc.Loc.end_pos.Loc.line = lno then
-            max 1 (t.loc.Loc.end_pos.Loc.col - col)
-          else max 1 (String.length line - col)
-        in
-        let col = min col (String.length line) in
-        let width = min width (max 1 (String.length line - col + 1)) in
-        let gutter = string_of_int lno in
-        let pad = String.make (String.length gutter) ' ' in
-        Fmt.str "%s\n  %s | %s\n  %s | %s%s" header gutter line pad
-          (String.make col ' ')
-          (String.make width '^')
+  let body =
+    if Loc.is_dummy t.loc then header
+    else
+      match source_line t.loc.Loc.source t.loc.Loc.start_pos.Loc.line with
+      | None -> header
+      | Some line ->
+          let lno = t.loc.Loc.start_pos.Loc.line in
+          let col = t.loc.Loc.start_pos.Loc.col in
+          let width =
+            if t.loc.Loc.end_pos.Loc.line = lno then
+              max 1 (t.loc.Loc.end_pos.Loc.col - col)
+            else max 1 (String.length line - col)
+          in
+          let col = min col (String.length line) in
+          let width = min width (max 1 (String.length line - col + 1)) in
+          let gutter = string_of_int lno in
+          let pad = String.make (String.length gutter) ' ' in
+          Fmt.str "%s\n  %s | %s\n  %s | %s%s" header gutter line pad
+            (String.make col ' ')
+            (String.make width '^')
+  in
+  (* Backtrace lines only when the location came out of an expansion, so
+     plain (user-code) diagnostics render exactly as before. *)
+  body ^ Fmt.str "@[<v>%a@]" Loc.pp_backtrace t.loc
 
 (* ------------------------------------------------------------------ *)
 (* JSON rendering                                                      *)
@@ -178,23 +185,53 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(** The span of [loc] as JSON object fields (no braces); null fields for
+    dummy locations.  Shared between {!to_json} and the expansion-stack
+    frames. *)
+let loc_json_fields loc =
+  if Loc.is_dummy loc then
+    {|"source":null,"line":null,"col":null,"end_line":null,"end_col":null|}
+  else
+    Printf.sprintf
+      {|"source":"%s","line":%d,"col":%d,"end_line":%d,"end_col":%d|}
+      (json_escape loc.Loc.source)
+      loc.Loc.start_pos.Loc.line loc.Loc.start_pos.Loc.col
+      loc.Loc.end_pos.Loc.line loc.Loc.end_pos.Loc.col
+
 (** One diagnostic as a single-line JSON object with stable field
     order: severity, code, phase, source, line, col, end_line, end_col,
-    message.  Location fields are null for dummy locations. *)
+    message[, expansion_stack].  Location fields are null for dummy
+    locations; [expansion_stack] (innermost frame first, capped at
+    {!Loc.max_backtrace_frames} with an [elided_frames] count) appears
+    only when the location has expansion provenance. *)
 let to_json t =
-  let loc_fields =
-    if Loc.is_dummy t.loc then
-      {|"source":null,"line":null,"col":null,"end_line":null,"end_col":null|}
-    else
-      Printf.sprintf
-        {|"source":"%s","line":%d,"col":%d,"end_line":%d,"end_col":%d|}
-        (json_escape t.loc.Loc.source)
-        t.loc.Loc.start_pos.Loc.line t.loc.Loc.start_pos.Loc.col
-        t.loc.Loc.end_pos.Loc.line t.loc.Loc.end_pos.Loc.col
+  let stack_fields =
+    match Loc.backtrace t.loc with
+    | [] -> ""
+    | frames ->
+        let n = List.length frames in
+        let shown =
+          List.filteri (fun i _ -> i < Loc.max_backtrace_frames) frames
+        in
+        let frame_json f =
+          Printf.sprintf {|{"macro":"%s",%s}|}
+            (json_escape f.Loc.macro)
+            (loc_json_fields f.Loc.call_site)
+        in
+        let elided =
+          if n > Loc.max_backtrace_frames then
+            Printf.sprintf {|,"elided_frames":%d|}
+              (n - Loc.max_backtrace_frames)
+          else ""
+        in
+        Printf.sprintf {|,"expansion_stack":[%s]%s|}
+          (String.concat "," (List.map frame_json shown))
+          elided
   in
-  Printf.sprintf {|{"severity":"%s","code":"%s","phase":"%s",%s,"message":"%s"}|}
+  Printf.sprintf
+    {|{"severity":"%s","code":"%s","phase":"%s",%s,"message":"%s"%s}|}
     (severity_name t.severity) (json_escape t.code) (phase_slug t.phase)
-    loc_fields (json_escape t.message)
+    (loc_json_fields t.loc) (json_escape t.message) stack_fields
 
 (* ------------------------------------------------------------------ *)
 (* Collector                                                           *)

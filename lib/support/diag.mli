@@ -80,12 +80,23 @@ val source_line : string -> int -> string option
 
 val render : t -> string
 (** Like {!to_string}, followed by the source line and a caret marker
-    when the source is registered and the location is real. *)
+    when the source is registered and the location is real, and by the
+    expansion backtrace ("in expansion of macro `m' at loc" note lines,
+    innermost first, capped at {!Loc.max_backtrace_frames}) when the
+    location has one. *)
+
+val json_escape : string -> string
+(** Escape a string for inclusion in a JSON string literal (used by the
+    source-map emitter as well). *)
 
 val to_json : t -> string
 (** One diagnostic as a single-line JSON object with stable field order:
     severity, code, phase, source, line, col, end_line, end_col,
-    message. *)
+    message[, expansion_stack].  The [expansion_stack] array (innermost
+    frame first, each [{"macro":..., "source":..., ...}], capped at
+    {!Loc.max_backtrace_frames} with an [elided_frames] count) appears
+    only when the location carries expansion provenance, so plain
+    diagnostics serialize exactly as before. *)
 
 (** {1 Collector} *)
 

@@ -1,8 +1,26 @@
-(** Source locations.
+(** Source locations with expansion provenance.
 
     A location is a half-open span [(start, stop)] within a named source
     (usually a file, or ["<string>"] for in-memory programs).  Positions
-    count lines from 1 and columns from 0, like the OCaml compiler. *)
+    count lines from 1 and columns from 0, like the OCaml compiler.
+
+    Beyond the bare span, every location carries an {e origin}: either it
+    denotes text the user wrote ([User]), or it was produced by a macro
+    expansion ([Macro f]) — in which case [f.call_site] is the location
+    of the invocation that produced it.  Because call sites are
+    themselves locations, nested expansions form a backtrace chain
+    reachable with {!backtrace}; the outermost user-written span is
+    {!root}.
+
+    Invariants:
+    - [known = false] iff the span is meaningless ({!dummy} and any
+      location derived from it); the positions of an unknown location
+      must not be interpreted.
+    - A location constructed by {!make} is [User]-originated; origins are
+      only attached by the expansion machinery ({!in_expansion},
+      {!push_frame}).
+    - The chain is finite: each [call_site] was constructed strictly
+      before the frame pointing at it. *)
 
 type pos = {
   line : int;  (** 1-based line number *)
@@ -14,20 +32,90 @@ type t = {
   source : string;  (** source name, e.g. a file name *)
   start_pos : pos;
   end_pos : pos;
+  known : bool;  (** [false] for the dummy location; span is meaningless *)
+  origin : origin;
 }
 
-let dummy_pos = { line = 0; col = 0; offset = 0 }
-let dummy = { source = "<none>"; start_pos = dummy_pos; end_pos = dummy_pos }
-let is_dummy t = t.start_pos.line = 0
+and origin =
+  | User  (** written by the user (or origin not yet attached) *)
+  | Macro of frame  (** produced by expanding [frame.macro] *)
 
-let make ~source ~start_pos ~end_pos = { source; start_pos; end_pos }
+and frame = { macro : string; call_site : t }
+
+let dummy_pos = { line = 0; col = 0; offset = 0 }
+
+let dummy =
+  { source = "<none>";
+    start_pos = dummy_pos;
+    end_pos = dummy_pos;
+    known = false;
+    origin = User }
+
+(* Dummy-ness is the explicit [known] flag, not a line-number sentinel:
+   a real location at line 0 (e.g. from a #line-preprocessed input) is
+   representable, and stamping an origin onto a dummy location does not
+   accidentally make it "real". *)
+let is_dummy t = not t.known
+
+let make ~source ~start_pos ~end_pos =
+  { source; start_pos; end_pos; known = true; origin = User }
 
 (** [merge a b] spans from the start of [a] to the end of [b].  If either
-    side is the dummy location the other is returned unchanged. *)
+    side is the dummy location the other is returned unchanged.  Spans
+    from *different* sources cannot be merged meaningfully (the result
+    would claim byte offsets of one file with the name of another), so
+    [a] is returned unchanged; the same applies when only one side came
+    out of a macro expansion.  The origin of the result is [a]'s. *)
 let merge a b =
   if is_dummy a then b
   else if is_dummy b then a
+  else if a.source <> b.source then a
   else { a with end_pos = b.end_pos }
+
+(* ------------------------------------------------------------------ *)
+(* Origins                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let origin t = t.origin
+let set_origin t origin = { t with origin }
+
+(** [in_expansion ~macro ~call_site t] marks [t] as produced by [macro]
+    invoked at [call_site].  When [t] itself is unknown, the best
+    available location is the call site, so that is returned. *)
+let in_expansion ~macro ~call_site t =
+  if is_dummy t then call_site
+  else { t with origin = Macro { macro; call_site } }
+
+(** [push_frame ~macro ~call_site t] attaches an *outermost* frame: the
+    innermost frames of [t] (closest to the error) are kept, and the new
+    frame is appended at the far end of the chain.  Used when an error
+    that already carries part of a backtrace propagates out of an
+    enclosing invocation. *)
+let rec push_frame ~macro ~call_site t =
+  match t.origin with
+  | User -> { t with origin = Macro { macro; call_site } }
+  | Macro f ->
+      { t with
+        origin =
+          Macro { f with call_site = push_frame ~macro ~call_site f.call_site }
+      }
+
+(** Expansion frames, innermost first. *)
+let backtrace t =
+  let rec go acc t =
+    match t.origin with
+    | User -> List.rev acc
+    | Macro f -> go (f :: acc) f.call_site
+  in
+  go [] t
+
+(** The outermost user-written location of the chain: [t] itself when it
+    is user code, otherwise the root of the last call site. *)
+let rec root t = match t.origin with User -> t | Macro f -> root f.call_site
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
 
 let pp ppf t =
   if is_dummy t then Fmt.string ppf "<unknown location>"
@@ -39,3 +127,32 @@ let pp ppf t =
       t.end_pos.line t.end_pos.col
 
 let to_string t = Fmt.str "%a" pp t
+
+(** Backtraces deeper than this render the innermost
+    [max_backtrace_frames] frames and summarize the rest — runaway
+    recursion would otherwise print hundreds of identical lines. *)
+let max_backtrace_frames = 8
+
+(** The backtrace of [t] as indented note lines, one per frame,
+    innermost first:
+
+    {v
+      in expansion of macro `swap' at a.c:12:3-7
+      in expansion of macro `swap_all' at a.c:40:0-8
+    v}
+
+    Prints nothing for user code.  Deep chains are capped at
+    {!max_backtrace_frames} with a trailing summary line. *)
+let pp_backtrace ppf t =
+  let frames = backtrace t in
+  let n = List.length frames in
+  let shown, elided =
+    if n <= max_backtrace_frames then (frames, 0)
+    else (List.filteri (fun i _ -> i < max_backtrace_frames) frames,
+          n - max_backtrace_frames)
+  in
+  List.iter
+    (fun f ->
+      Fmt.pf ppf "@,  in expansion of macro `%s' at %a" f.macro pp f.call_site)
+    shown;
+  if elided > 0 then Fmt.pf ppf "@,  ... (%d more expansion frames)" elided

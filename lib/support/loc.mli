@@ -1,4 +1,12 @@
-(** Source locations: half-open spans within a named source. *)
+(** Source locations: half-open spans within a named source, carrying
+    expansion provenance.
+
+    Every location records, besides its span, an {!origin}: user-written
+    text, or "produced by macro [m] invoked at [call_site]".  Call sites
+    are locations themselves, so nested expansions chain into a
+    backtrace ({!backtrace}); {!root} recovers the outermost
+    user-written span.  Dummy-ness is an explicit flag in the
+    representation, not a line-number sentinel. *)
 
 type pos = {
   line : int;  (** 1-based line number *)
@@ -6,7 +14,19 @@ type pos = {
   offset : int;  (** 0-based byte offset from start of source *)
 }
 
-type t = { source : string; start_pos : pos; end_pos : pos }
+type t = {
+  source : string;  (** source name, e.g. a file name *)
+  start_pos : pos;
+  end_pos : pos;
+  known : bool;  (** [false] for the dummy location; span is meaningless *)
+  origin : origin;
+}
+
+and origin =
+  | User  (** written by the user (or origin not yet attached) *)
+  | Macro of frame  (** produced by expanding [frame.macro] *)
+
+and frame = { macro : string; call_site : t }
 
 val dummy_pos : pos
 
@@ -14,11 +34,50 @@ val dummy : t
 (** The unknown location; {!is_dummy} recognizes it. *)
 
 val is_dummy : t -> bool
+(** True iff the span is meaningless ([known = false]).  Explicit in the
+    representation: attaching an origin never changes dummy-ness. *)
+
 val make : source:string -> start_pos:pos -> end_pos:pos -> t
+(** A known, [User]-originated span. *)
 
 val merge : t -> t -> t
 (** [merge a b] spans from the start of [a] to the end of [b]; dummy
-    sides are ignored. *)
+    sides are ignored.  Spans from different sources cannot be merged
+    meaningfully, so [a] is returned unchanged.  The result keeps [a]'s
+    origin. *)
+
+(** {1 Provenance} *)
+
+val origin : t -> origin
+val set_origin : t -> origin -> t
+
+val in_expansion : macro:string -> call_site:t -> t -> t
+(** Mark a location as produced by [macro] invoked at [call_site];
+    a dummy location degrades to the call site itself. *)
+
+val push_frame : macro:string -> call_site:t -> t -> t
+(** Append a frame at the {e outer} end of the chain (the innermost
+    frames, closest to the error, are preserved).  For errors that
+    already carry part of a backtrace and propagate out of an enclosing
+    invocation. *)
+
+val backtrace : t -> frame list
+(** Expansion frames, innermost first; [[]] for user code. *)
+
+val root : t -> t
+(** The outermost user-written location of the chain. *)
+
+(** {1 Printing} *)
 
 val pp : Format.formatter -> t -> unit
+(** The span only (origins do not change the classic rendering). *)
+
 val to_string : t -> string
+
+val max_backtrace_frames : int
+(** Rendering cap for {!pp_backtrace} (and the JSON expansion stack). *)
+
+val pp_backtrace : Format.formatter -> t -> unit
+(** The chain as indented ["in expansion of macro `m' at loc"] note
+    lines, innermost first, each preceded by a cut; empty for user code;
+    capped at {!max_backtrace_frames} frames with a summary line. *)

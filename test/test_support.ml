@@ -16,7 +16,112 @@ let loc_merge () =
   Alcotest.(check int) "dummy left" 3
     (Loc.merge Loc.dummy l2).Loc.start_pos.line;
   Alcotest.(check int) "dummy right" 1
-    (Loc.merge l1 Loc.dummy).Loc.start_pos.line
+    (Loc.merge l1 Loc.dummy).Loc.start_pos.line;
+  (* merging both dummies stays dummy *)
+  Alcotest.(check bool) "dummy both" true
+    (Loc.is_dummy (Loc.merge Loc.dummy Loc.dummy));
+  (* spans from different sources must not be glued together: the first
+     span wins unchanged instead of claiming g.c's offsets in f.c *)
+  let other =
+    Loc.make ~source:"g.c"
+      ~start_pos:{ Loc.line = 9; col = 0; offset = 90 }
+      ~end_pos:{ Loc.line = 9; col = 3; offset = 93 }
+  in
+  let cross = Loc.merge l1 other in
+  Alcotest.(check string) "cross-source keeps first source" "f.c"
+    cross.Loc.source;
+  Alcotest.(check int) "cross-source keeps first end" 2
+    cross.Loc.end_pos.line;
+  (* merge preserves the first side's origin *)
+  let stamped = Loc.in_expansion ~macro:"m" ~call_site:l2 l1 in
+  (match Loc.origin (Loc.merge stamped l2) with
+  | Loc.Macro f -> Alcotest.(check string) "origin kept" "m" f.Loc.macro
+  | Loc.User -> Alcotest.fail "merge dropped the origin")
+
+let loc_dummy_is_explicit () =
+  (* dummy-ness is the explicit [known] flag, not a line-number
+     sentinel: a real location at line 0 stays real... *)
+  let line0 =
+    Loc.make ~source:"f.c"
+      ~start_pos:{ Loc.line = 0; col = 0; offset = 0 }
+      ~end_pos:{ Loc.line = 0; col = 1; offset = 1 }
+  in
+  Alcotest.(check bool) "line 0 is not dummy" false (Loc.is_dummy line0);
+  (* ... and stamping an origin onto the dummy does not make it real *)
+  let stamped = Loc.set_origin Loc.dummy (Loc.origin Loc.dummy) in
+  Alcotest.(check bool) "dummy stays dummy" true (Loc.is_dummy stamped)
+
+let loc_provenance () =
+  let use = mk_loc 10 10 in
+  let tpl = mk_loc 2 2 in
+  (* in_expansion: template span + invocation origin *)
+  let e = Loc.in_expansion ~macro:"swap" ~call_site:use tpl in
+  Alcotest.(check int) "keeps the template span" 2 e.Loc.start_pos.line;
+  (match Loc.backtrace e with
+  | [ f ] ->
+      Alcotest.(check string) "frame macro" "swap" f.Loc.macro;
+      Alcotest.(check int) "frame call site" 10
+        f.Loc.call_site.Loc.start_pos.line
+  | fs -> Alcotest.failf "expected 1 frame, got %d" (List.length fs));
+  (* a dummy location degrades to the call site itself *)
+  let d = Loc.in_expansion ~macro:"swap" ~call_site:use Loc.dummy in
+  Alcotest.(check int) "dummy degrades to call site" 10
+    d.Loc.start_pos.line;
+  (* push_frame appends at the *outer* end of the chain *)
+  let outer_use = mk_loc 20 20 in
+  let chained = Loc.push_frame ~macro:"outer" ~call_site:outer_use e in
+  (match Loc.backtrace chained with
+  | [ f1; f2 ] ->
+      Alcotest.(check string) "innermost first" "swap" f1.Loc.macro;
+      Alcotest.(check string) "appended outermost" "outer" f2.Loc.macro
+  | fs -> Alcotest.failf "expected 2 frames, got %d" (List.length fs));
+  (* root follows the chain to the outermost user-written span *)
+  Alcotest.(check int) "root is outermost call site" 20
+    (Loc.root chained).Loc.start_pos.line;
+  Alcotest.(check bool) "root of user code is itself" true
+    (Loc.root use == use)
+
+let loc_backtrace_rendering () =
+  let use = mk_loc 10 10 in
+  let one = Loc.in_expansion ~macro:"m" ~call_site:use (mk_loc 2 2) in
+  let line = Fmt.str "@[<v>%a@]" Loc.pp_backtrace one in
+  Tutil.check_contains ~msg:"names the macro" line
+    "in expansion of macro `m'";
+  Tutil.check_contains ~msg:"names the call site" line "f.c:10:";
+  Alcotest.(check string) "user code renders nothing" ""
+    (Fmt.str "@[<v>%a@]" Loc.pp_backtrace use);
+  (* deep chains are capped with a summary line *)
+  let deep =
+    let rec grow n loc =
+      if n = 0 then loc
+      else grow (n - 1) (Loc.in_expansion ~macro:"rec" ~call_site:loc
+                           (mk_loc n n))
+    in
+    grow (Loc.max_backtrace_frames + 5) use
+  in
+  let rendered = Fmt.str "@[<v>%a@]" Loc.pp_backtrace deep in
+  Tutil.check_contains ~msg:"elided count" rendered
+    "... (5 more expansion frames)";
+  let count_frames s =
+    List.length
+      (List.filter
+         (fun l -> Tutil.contains ~sub:"in expansion of" l)
+         (String.split_on_char '\n' s))
+  in
+  Alcotest.(check int) "capped frame lines" Loc.max_backtrace_frames
+    (count_frames rendered)
+
+let diag_backtrace_json () =
+  let use = mk_loc 10 10 in
+  let e = Loc.in_expansion ~macro:"m\"q" ~call_site:use (mk_loc 2 2) in
+  let j = Diag.to_json (Diag.make ~loc:e Diag.Expansion "boom") in
+  Tutil.check_contains ~msg:"has stack" j "\"expansion_stack\":[";
+  Tutil.check_contains ~msg:"escaped macro name" j {|"macro":"m\"q"|};
+  Tutil.check_contains ~msg:"frame location" j "\"line\":10";
+  (* no provenance -> no expansion_stack field (golden JSON stability) *)
+  let plain = Diag.to_json (Diag.make ~loc:use Diag.Expansion "boom") in
+  Alcotest.(check bool) "no stack field" false
+    (Tutil.contains ~sub:"expansion_stack" plain)
 
 let loc_printing () =
   Tutil.check_contains ~msg:"single line"
@@ -74,6 +179,10 @@ let () =
   Alcotest.run "support"
     [ ( "support",
         [ Tutil.tc "location merging" loc_merge;
+          Tutil.tc "dummy locations are explicit" loc_dummy_is_explicit;
+          Tutil.tc "location provenance chains" loc_provenance;
+          Tutil.tc "backtrace rendering" loc_backtrace_rendering;
+          Tutil.tc "backtrace json" diag_backtrace_json;
           Tutil.tc "location printing" loc_printing;
           Tutil.tc "phase names" diag_phases;
           Tutil.tc "diagnostics raise and render" diag_raise_and_protect;
