@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test faults bench bench-fuel bench-provenance figures \
-        examples expand clean
+.PHONY: all build test faults txn-sweep bench bench-fuel bench-provenance \
+        bench-txn figures examples expand clean
 
 all: build
 
@@ -15,6 +15,10 @@ test:
 faults:
 	dune exec test/test_faults.exe
 
+# the failpoint sweep and transactional-isolation suite alone
+txn-sweep:
+	dune exec test/test_txn.exe
+
 # regenerate the paper's figures and all timing tables
 bench:
 	dune exec bench/main.exe
@@ -26,6 +30,10 @@ bench-fuel:
 # provenance-stamping overhead table (writes BENCH_PROVENANCE.json)
 bench-provenance:
 	dune exec bench/main.exe provenance
+
+# transactional-checkpoint overhead table (writes BENCH_TXN.json)
+bench-txn:
+	dune exec bench/main.exe txn
 
 figures:
 	dune exec bench/main.exe figures

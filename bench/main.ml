@@ -404,6 +404,81 @@ let run_provenance () =
     "\n  mean overhead: %+.2f%%  (written to BENCH_PROVENANCE.json)\n" mean
 
 (* ------------------------------------------------------------------ *)
+(* Transactional checkpoint overhead                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A transactional engine snapshots its session state (macro tables,
+   type environment, meta globals, object-level scopes) at every
+   fragment entry so a failed fragment can roll back.  This table
+   measures what the clean path pays for that insurance: the same
+   workloads expanded with [~transactional:true] (the default) and
+   [false] (the ablation).  The checkpoint is per *fragment*, not per
+   invocation, so the cost should be one table copy amortized over the
+   whole expansion — the target is <2% overhead. *)
+
+let txn_pairs () =
+  [ ("myenum (32 constants)", Workloads.myenum 32);
+    ("Painting x32", Workloads.painting 32);
+    ("define: 64 macros", Workloads.many_macros 64) ]
+
+let txn_tests () =
+  let run ~transactional src () =
+    let engine = Ms2.Engine.create ~transactional () in
+    match Ms2.Api.expand ~source:"bench" engine src with
+    | Ok out -> Sys.opaque_identity (String.length out)
+    | Error e -> failwith e
+  in
+  Test.make_grouped ~name:"txn"
+    (List.concat_map
+       (fun (name, src) ->
+         [ Test.make ~name:(name ^ ": checkpoints off")
+             (Staged.stage (run ~transactional:false src));
+           Test.make ~name:(name ^ ": checkpoints on")
+             (Staged.stage (run ~transactional:true src)) ])
+       (txn_pairs ()))
+
+let run_txn () =
+  let results = measure_tests (txn_tests ()) in
+  print_estimates
+    "Transactional checkpoint overhead (fragment snapshots on vs off)"
+    results;
+  let ests = estimates results in
+  let find suffix name = List.assoc_opt ("txn/" ^ name ^ ": " ^ suffix) ests in
+  rule "Derived: overhead of fragment checkpointing (<2% target)";
+  let rows =
+    List.filter_map
+      (fun (name, _) ->
+        match (find "checkpoints on" name, find "checkpoints off" name) with
+        | Some on, Some off when off > 0. ->
+            let pct = (on -. off) /. off *. 100. in
+            Printf.printf "  %-42s %+.2f%%\n" name pct;
+            Some (name, off, on, pct)
+        | _, _ -> None)
+      (txn_pairs ())
+  in
+  let oc = open_out "BENCH_TXN.json" in
+  Printf.fprintf oc "{\n  \"quota_s\": %g,\n  \"workloads\": [\n" quota;
+  List.iteri
+    (fun i (name, off, on, pct) ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"ns_per_run_off\": %.1f, \
+         \"ns_per_run_on\": %.1f, \"overhead_percent\": %.2f}%s\n"
+        name off on pct
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  let mean =
+    match rows with
+    | [] -> 0.
+    | _ ->
+        List.fold_left (fun a (_, _, _, p) -> a +. p) 0. rows
+        /. float_of_int (List.length rows)
+  in
+  Printf.fprintf oc "  ],\n  \"mean_overhead_percent\": %.2f\n}\n" mean;
+  close_out oc;
+  Printf.printf "\n  mean overhead: %+.2f%%  (written to BENCH_TXN.json)\n"
+    mean
+
+(* ------------------------------------------------------------------ *)
 (* Fig. 2 parse-time type analysis cost                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -449,16 +524,18 @@ let () =
   | "penalty" -> run_penalty ()
   | "fuel" -> run_fuel ()
   | "provenance" -> run_provenance ()
+  | "txn" -> run_txn ()
   | "all" ->
       run_figures ();
       run_time ();
       run_sweep ();
       run_penalty ();
       run_fuel ();
-      run_provenance ()
+      run_provenance ();
+      run_txn ()
   | other ->
       Printf.eprintf
         "unknown mode %S (expected figures | time | sweep | penalty | fuel \
-         | provenance)\n"
+         | provenance | txn)\n"
         other;
       exit 2

@@ -11,6 +11,8 @@
 open Cmdliner
 module Diag = Ms2_support.Diag
 module Limits = Ms2_support.Limits
+module Loc = Ms2_support.Loc
+module Failpoint = Ms2_support.Failpoint
 
 let exit_fatal = 1
 let exit_degraded = 3
@@ -24,7 +26,13 @@ let emit_diag fmt (d : Diag.t) =
 
 let emit_diags fmt ds = List.iter (emit_diag fmt) ds
 
+let file_start_loc source =
+  let p = { Loc.line = 1; col = 0; offset = 0 } in
+  Loc.make ~source ~start_pos:p ~end_pos:p
+
 let read_file path =
+  if (try Sys.is_directory path with Sys_error _ -> false) then
+    raise (Sys_error (path ^ ": is a directory"));
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -33,8 +41,10 @@ let read_file path =
 (* Each input file is a separate fragment pushed through the same
    engine — "meta-programming constructs and regular programs that
    invoke macros can either be located in separate files, or mixed
-   together" (paper §2).  Diagnostics carry per-file source names. *)
-let with_fragments files k =
+   together" (paper §2).  Diagnostics carry per-file source names.
+   An unreadable input (vanished file, directory, permissions) is a
+   diagnostic like any other, not an uncaught exception. *)
+let with_fragments ~diag_format files k =
   let fragments =
     match files with
     | [] ->
@@ -45,9 +55,51 @@ let with_fragments files k =
            done
          with End_of_file -> ());
         [ ("<stdin>", Buffer.contents b) ]
-    | files -> List.map (fun f -> (f, read_file f)) files
+    | files ->
+        List.map
+          (fun f ->
+            match read_file f with
+            | text -> (f, text)
+            | exception Sys_error msg ->
+                emit_diag diag_format
+                  (Diag.make ~loc:(file_start_loc f) Diag.Parsing
+                     (Printf.sprintf "cannot read input: %s" msg));
+                exit exit_fatal)
+          files
   in
   k fragments
+
+(* Atomic output: write to a temp file in the destination's directory,
+   then rename into place, so a failed run can never leave a truncated
+   file where the previous good output was.  An unwritable destination
+   (missing directory, permissions) is a fatal diagnostic, not a crash. *)
+let write_atomic ?(diag_format = Text) path content =
+  let fatal msg =
+    emit_diag diag_format
+      (Diag.make ~loc:(file_start_loc path) Diag.Parsing
+         (Printf.sprintf "cannot write output: %s" msg));
+    exit exit_fatal
+  in
+  match
+    Filename.temp_file ~temp_dir:(Filename.dirname path) ".ms2c" ".tmp"
+  with
+  | exception Sys_error msg -> fatal msg
+  | tmp -> (
+      match
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc content);
+        Sys.rename tmp path
+      with
+      | () -> ()
+      | exception e ->
+          (try Sys.remove tmp with Sys_error _ -> ());
+          (match e with Sys_error msg -> fatal msg | _ -> raise e))
+
+let arm_failpoints = function
+  | [] -> ()
+  | spec -> Failpoint.arm_all spec
 
 
 (* ------------------------------------------------------------------ *)
@@ -86,28 +138,71 @@ let trace_arg =
   Arg.(value & flag & info [ "trace" ]
        ~doc:"Log every macro expansion (name, actuals, result) to stderr.")
 
+(* Budgets are counts: negative values are a usage error, caught at the
+   command line rather than producing an instantly-exhausted budget. *)
+let nonneg_int : int Arg.conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok n
+    | Some n ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "%d is negative; budgets must be >= 0 (0 means unlimited)" n))
+    | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let fuel_arg =
-  Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N"
+  Arg.(value & opt (some nonneg_int) None & info [ "fuel" ] ~docv:"N"
        ~doc:"Global interpreter fuel budget: total meta-program steps \
              (statements executed, expressions evaluated) the whole run \
              may consume.  Defaults to a generous production bound; 0 \
              means unlimited.")
 
 let invocation_fuel_arg =
-  Arg.(value & opt (some int) None & info [ "invocation-fuel" ] ~docv:"N"
+  Arg.(value & opt (some nonneg_int) None
+       & info [ "invocation-fuel" ] ~docv:"N"
        ~doc:"Interpreter fuel budget for a single macro invocation, so \
              one runaway macro cannot starve the rest of the file.  0 \
              means unlimited.")
 
 let max_nodes_arg =
-  Arg.(value & opt (some int) None & info [ "max-nodes" ] ~docv:"N"
+  Arg.(value & opt (some nonneg_int) None & info [ "max-nodes" ] ~docv:"N"
        ~doc:"Maximum AST nodes a single macro invocation's expansion may \
              produce (the expansion-bomb guard).  0 means unlimited.")
 
 let max_errors_arg =
-  Arg.(value & opt (some int) None & info [ "max-errors" ] ~docv:"N"
+  Arg.(value & opt (some nonneg_int) None & info [ "max-errors" ] ~docv:"N"
        ~doc:"Stop after recording $(docv) diagnostics in --keep-going \
              mode (default 20).")
+
+let timeout_arg =
+  Arg.(value & opt (some nonneg_int) None & info [ "timeout-ms" ] ~docv:"MS"
+       ~doc:"Wall-clock deadline for expanding one input file, in \
+             milliseconds; a stalling macro is interrupted with a \
+             located diagnostic.  0 means unlimited.")
+
+let invocation_timeout_arg =
+  Arg.(value & opt (some nonneg_int) None
+       & info [ "invocation-timeout-ms" ] ~docv:"MS"
+       ~doc:"Wall-clock deadline for a single macro invocation, in \
+             milliseconds.  0 means unlimited.")
+
+let failpoints_conv : Failpoint.spec Arg.conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Failpoint.parse_spec s) in
+  let print ppf (spec : Failpoint.spec) =
+    Format.pp_print_string ppf
+      (String.concat "," (List.map fst spec))
+  in
+  Arg.conv (parse, print)
+
+let failpoints_arg =
+  Arg.(value & opt failpoints_conv [] & info [ "failpoints" ] ~docv:"SPEC"
+       ~doc:"Arm failure-injection points (testing): comma-separated \
+             $(i,site=trigger) clauses where trigger is $(b,off), \
+             $(b,error), $(b,timeout) or $(b,after=N).  Equivalent to \
+             the $(b,MS2_FAILPOINTS) environment variable.")
 
 let keep_going_arg =
   Arg.(value & flag & info [ "k"; "keep-going" ]
@@ -143,7 +238,8 @@ let budget_override default = function
   | Some 0 -> max_int
   | Some n -> n
 
-let limits_of ~fuel ~invocation_fuel ~max_nodes ~max_errors : Limits.t =
+let limits_of ~fuel ~invocation_fuel ~max_nodes ~max_errors ~timeout_ms
+    ~invocation_timeout_ms : Limits.t =
   let d = Limits.default in
   {
     d with
@@ -151,34 +247,58 @@ let limits_of ~fuel ~invocation_fuel ~max_nodes ~max_errors : Limits.t =
     invocation_fuel = budget_override d.Limits.invocation_fuel invocation_fuel;
     max_nodes = budget_override d.Limits.max_nodes max_nodes;
     max_errors = budget_override d.Limits.max_errors max_errors;
+    timeout_ms = budget_override d.Limits.timeout_ms timeout_ms;
+    invocation_timeout_ms =
+      budget_override d.Limits.invocation_timeout_ms invocation_timeout_ms;
   }
+
+(* Expand every fragment through one (transactional) engine.  Without
+   [--keep-going] the first fatal failure aborts the run (exit 1).  With
+   it, each file is an isolated transaction: a fatal failure is reported
+   immediately, the engine's rollback discards whatever the bad file had
+   half-registered, and the remaining files still expand (exit 3). *)
+let expand_fragments ~engine ~keep_going ~diag_format fragments :
+    Ms2_syntax.Ast.program * bool =
+  let failed = ref false in
+  let prog =
+    List.concat_map
+      (fun (source, text) ->
+        match
+          Diag.protect (fun () ->
+              Ms2.Engine.expand_source engine ~source text)
+        with
+        | Ok decls -> decls
+        | Error d when keep_going ->
+            emit_diag diag_format d;
+            failed := true;
+            []
+        | Error d ->
+            (* show what recovery salvaged before the fatal error *)
+            emit_diags diag_format (Ms2.Api.diagnostics engine);
+            emit_diag diag_format d;
+            exit exit_fatal)
+      fragments
+  in
+  (prog, !failed)
 
 let expand_cmd =
   let run files output stats hygienic semantic_check prelude trace fuel
-      invocation_fuel max_nodes max_errors keep_going line_directives
-      sourcemap diag_format =
-    with_fragments files (fun fragments ->
-        let limits = limits_of ~fuel ~invocation_fuel ~max_nodes ~max_errors in
+      invocation_fuel max_nodes max_errors timeout_ms invocation_timeout_ms
+      failpoints keep_going line_directives sourcemap diag_format =
+    arm_failpoints failpoints;
+    with_fragments ~diag_format files (fun fragments ->
+        let limits =
+          limits_of ~fuel ~invocation_fuel ~max_nodes ~max_errors
+            ~timeout_ms ~invocation_timeout_ms
+        in
         let engine =
           Ms2.Api.create_engine ~limits ~recover:keep_going ~hygienic
             ~prelude ()
         in
         if trace then
           engine.Ms2.Engine.trace <- Some Format.err_formatter;
-        let prog =
-          match
-            Diag.protect (fun () ->
-                List.concat_map
-                  (fun (source, text) ->
-                    Ms2.Engine.expand_source engine ~source text)
-                  fragments)
-          with
-          | Ok prog -> prog
-          | Error d ->
-              (* show what recovery salvaged before the fatal error *)
-              emit_diags diag_format (Ms2.Api.diagnostics engine);
-              emit_diag diag_format d;
-              exit exit_fatal
+        let prog, failed =
+          expand_fragments ~engine ~keep_going ~diag_format fragments
         in
         let recovered = Ms2.Api.diagnostics engine in
         emit_diags diag_format recovered;
@@ -191,12 +311,8 @@ let expand_cmd =
             (match sourcemap with
             | None -> ()
             | Some path ->
-                let oc = open_out path in
-                Fun.protect
-                  ~finally:(fun () -> close_out oc)
-                  (fun () ->
-                    output_string oc
-                      (Ms2_syntax.Emit.sourcemap_to_string r.Ms2_syntax.Emit.map)));
+                write_atomic ~diag_format path
+                  (Ms2_syntax.Emit.sourcemap_to_string r.Ms2_syntax.Emit.map));
             r.Ms2_syntax.Emit.text
           end
           else
@@ -205,11 +321,7 @@ let expand_cmd =
         in
         (match output with
         | None -> print_string out
-        | Some path ->
-            let oc = open_out path in
-            Fun.protect
-              ~finally:(fun () -> close_out oc)
-              (fun () -> output_string oc out));
+        | Some path -> write_atomic ~diag_format path out);
         if stats then begin
           let s = Ms2.Api.stats engine in
           Printf.eprintf
@@ -226,7 +338,7 @@ let expand_cmd =
               List.iter prerr_endline findings;
               exit exit_fatal
         end;
-        if recovered <> [] then exit exit_degraded)
+        if failed || recovered <> [] then exit exit_degraded)
   in
   Cmd.v
     (Cmd.info "expand" ~doc:"Expand syntax macros to pure C")
@@ -234,6 +346,7 @@ let expand_cmd =
       const run $ files_arg $ output_arg $ stats_arg $ hygienic_arg
       $ semantic_check_arg $ prelude_arg $ trace_arg $ fuel_arg
       $ invocation_fuel_arg $ max_nodes_arg $ max_errors_arg
+      $ timeout_arg $ invocation_timeout_arg $ failpoints_arg
       $ keep_going_arg $ line_directives_arg $ sourcemap_arg
       $ diag_format_arg)
 
@@ -242,25 +355,33 @@ let expand_cmd =
 (* ------------------------------------------------------------------ *)
 
 let check_cmd =
-  let run files diag_format =
-    with_fragments files (fun fragments ->
-        let engine = Ms2.Api.create_engine () in
-        match
-          Diag.protect (fun () ->
-              List.iter
-                (fun (source, text) ->
-                  ignore (Ms2.Engine.expand_source engine ~source text))
-                fragments)
-        with
-        | Ok () -> prerr_endline "ok"
-        | Error d ->
-            emit_diag diag_format d;
-            exit exit_fatal)
+  let run files fuel invocation_fuel max_nodes max_errors timeout_ms
+      invocation_timeout_ms failpoints keep_going diag_format =
+    arm_failpoints failpoints;
+    with_fragments ~diag_format files (fun fragments ->
+        let limits =
+          limits_of ~fuel ~invocation_fuel ~max_nodes ~max_errors
+            ~timeout_ms ~invocation_timeout_ms
+        in
+        let engine =
+          Ms2.Api.create_engine ~limits ~recover:keep_going ()
+        in
+        let _, failed =
+          expand_fragments ~engine ~keep_going ~diag_format fragments
+        in
+        let recovered = Ms2.Api.diagnostics engine in
+        emit_diags diag_format recovered;
+        if failed || recovered <> [] then exit exit_degraded
+        else prerr_endline "ok")
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Parse, type check and expand without printing the result")
-    Term.(const run $ files_arg $ diag_format_arg)
+    Term.(
+      const run $ files_arg $ fuel_arg $ invocation_fuel_arg
+      $ max_nodes_arg $ max_errors_arg $ timeout_arg
+      $ invocation_timeout_arg $ failpoints_arg $ keep_going_arg
+      $ diag_format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* figures                                                             *)

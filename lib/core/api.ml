@@ -26,19 +26,40 @@ type stats = {
 }
 
 let create_engine ?limits ?compile_patterns ?hygienic ?recover ?provenance
-    ?(prelude = false) () =
+    ?transactional ?(prelude = false) () =
   let engine =
-    Engine.create ?limits ?compile_patterns ?hygienic ?recover ?provenance ()
+    Engine.create ?limits ?compile_patterns ?hygienic ?recover ?provenance
+      ?transactional ()
   in
   if prelude then Prelude.load engine;
   engine
 
+(** A session checkpoint: capture with {!checkpoint}, restore with
+    {!rollback}.  {!Engine.expand_source} already checkpoints around
+    each fragment when the engine is transactional (the default); these
+    re-exports serve callers managing coarser units of work. *)
+type checkpoint = Engine.checkpoint
+
+let checkpoint = Engine.checkpoint
+let rollback = Engine.rollback
+
 (** Parse and expand [text], rendering the result as pure C.  Raises
     {!Ms2_support.Diag.Error} on any lexical, syntax, pattern, type or
-    expansion error. *)
+    expansion error.  A stack overflow in the renderer (an expansion can
+    be legal yet too deep to print recursively) is converted to a
+    located resource diagnostic rather than escaping. *)
 let expand_exn ?(engine = Engine.create ()) ?source (text : string) : string =
   let prog = Engine.expand_source engine ?source text in
-  Pretty.program_to_string ~mode:Pretty.strict prog
+  try Pretty.program_to_string ~mode:Pretty.strict prog
+  with Stack_overflow ->
+    let p = { Loc.line = 1; col = 0; offset = 0 } in
+    let source = Option.value source ~default:"<string>" in
+    Diag.error
+      ~loc:(Loc.make ~source ~start_pos:p ~end_pos:p)
+      ~code:Diag.code_stack Diag.Resource
+      "stack overflow while rendering the expansion of %s (the produced \
+       program is pathologically deep)"
+      source
 
 (** Like {!expand_exn} but catching diagnostics, structured. *)
 let expand_diag ?engine ?source (text : string) : (string, Diag.t) result =

@@ -30,6 +30,7 @@ val create_engine :
   ?hygienic:bool ->
   ?recover:bool ->
   ?provenance:bool ->
+  ?transactional:bool ->
   ?prelude:bool ->
   unit ->
   engine
@@ -38,7 +39,18 @@ val create_engine :
     instead of aborting at the first one (default false)
     @param provenance stamp expansion backtraces onto produced
     locations (default true; disable only for overhead benchmarking)
+    @param transactional checkpoint session state around each fragment
+    and roll it back on failure (default true; disable only for
+    overhead benchmarking)
     @param prelude load the standard macro library ({!Prelude}) *)
+
+type checkpoint = Engine.checkpoint
+(** A session checkpoint.  Fragment-level isolation is automatic on
+    transactional engines; {!checkpoint}/{!rollback} serve callers
+    managing coarser units (e.g. a whole multi-file batch). *)
+
+val checkpoint : engine -> checkpoint
+val rollback : engine -> checkpoint -> unit
 
 val expand_exn : ?engine:engine -> ?source:string -> string -> string
 (** Parse and expand, rendering pure C.

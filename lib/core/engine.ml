@@ -52,6 +52,14 @@ type t = {
   gensym : Gensym.t;
   limits : Limits.t;
       (** resource governance: fuel, output size, depth, error cap *)
+  watchdog : Watchdog.t;
+      (** wall-clock deadline (same object the budget polls): armed per
+          fragment from [limits.timeout_ms], narrowed per invocation *)
+  transactional : bool;
+      (** checkpoint session state on {!expand_source} entry and roll it
+          back when the fragment fails, so one bad fragment cannot
+          corrupt the session.  On by default; the [false] setting
+          exists so the bench harness can measure checkpoint overhead *)
   compile_patterns : bool;
   provenance : bool;
       (** stamp expansion provenance (macro + call site) onto every
@@ -94,9 +102,13 @@ let with_invocation_budget (t : t) (f : unit -> 'a) : 'a =
   let cap_nodes = min entry_nodes t.limits.Limits.max_nodes in
   b.Value.fuel <- cap_fuel;
   b.Value.nodes <- cap_nodes;
+  let saved_deadline =
+    Watchdog.narrow t.watchdog ~ms:t.limits.Limits.invocation_timeout_ms
+  in
   let restore () =
     b.Value.fuel <- entry_fuel - (cap_fuel - b.Value.fuel);
-    b.Value.nodes <- entry_nodes - (cap_nodes - b.Value.nodes)
+    b.Value.nodes <- entry_nodes - (cap_nodes - b.Value.nodes);
+    Watchdog.restore t.watchdog saved_deadline
   in
   match f () with
   | v ->
@@ -110,6 +122,7 @@ let with_invocation_budget (t : t) (f : unit -> 'a) : 'a =
     the produced value, checked against the declared return type. *)
 let expand_invocation (t : t) (inv : invocation) : Value.t =
   let loc = inv.inv_loc in
+  Failpoint.hit ~watchdog:t.watchdog ~loc "engine/invoke";
   match Hashtbl.find_opt t.defs inv.inv_name.id_name with
   | None ->
       error ~loc "macro %s is declared but has no recorded definition"
@@ -197,7 +210,8 @@ let expand_invocation (t : t) (inv : invocation) : Value.t =
       v
 
 let create ?(limits = Limits.default) ?(compile_patterns = true)
-    ?(hygienic = false) ?(recover = false) ?(provenance = true) () : t =
+    ?(hygienic = false) ?(recover = false) ?(provenance = true)
+    ?(transactional = true) () : t =
   let gensym = Gensym.create () in
   let budget = Value.create_budget ~fuel:limits.Limits.fuel () in
   let env = Value.create_env ~gensym ~budget () in
@@ -214,6 +228,8 @@ let create ?(limits = Limits.default) ?(compile_patterns = true)
       senv;
       gensym;
       limits;
+      watchdog = budget.Value.watchdog;
+      transactional;
       compile_patterns;
       provenance;
       recover;
@@ -232,6 +248,89 @@ let diagnostics (t : t) : Diag.t list = Diag.items t.diags
 
 let fuel_consumed (t : t) : int = Value.fuel_consumed t.env.Value.budget
 let nodes_produced (t : t) : int = Value.nodes_produced t.env.Value.budget
+
+(* ------------------------------------------------------------------ *)
+(* Transactional checkpoints                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* What a checkpoint captures is the *session* state a failed fragment
+   could corrupt: macro tables, the meta type environment, the global
+   meta environment, and the object-level symbol table.  What it
+   deliberately does NOT capture: the gensym counter (rolled-back names
+   must stay burned, or a retry could collide with names the aborted
+   attempt leaked into diagnostics), stats, fuel consumed, and recorded
+   diagnostics (the whole point of the rollback is to keep them).
+
+   Rollback restores the engine's tables IN PLACE (reset + re-add)
+   because parser states created before the checkpoint alias the same
+   table objects; swapping in fresh tables would silently detach them.
+   The checkpoint's own copies are never mutated, so one checkpoint
+   supports any number of rollbacks. *)
+type checkpoint = {
+  cp_macros : (string, State.macro_sig) Hashtbl.t;
+  cp_compiled : (string, State.compiled_pattern) Hashtbl.t;
+  cp_defs : (string, macro_def) Hashtbl.t;
+  cp_tenv : Tenv.t;
+  cp_globals : (string * Value.t) list;
+      (** global meta bindings, deref'd — {!Value.t} is structurally
+          immutable, so a shallow capture is a deep one *)
+  cp_senv : Senv.t;
+}
+
+let global_scope (t : t) : (string, Value.t ref) Hashtbl.t =
+  match List.rev t.env.Value.scopes with
+  | global :: _ -> global
+  | [] -> assert false
+
+let checkpoint (t : t) : checkpoint =
+  {
+    cp_macros = Hashtbl.copy t.macros;
+    cp_compiled = Hashtbl.copy t.compiled;
+    cp_defs = Hashtbl.copy t.defs;
+    cp_tenv = Tenv.copy t.tenv;
+    cp_globals =
+      Hashtbl.fold (fun name r acc -> (name, !r) :: acc) (global_scope t) [];
+    cp_senv = Senv.snapshot t.senv;
+  }
+
+let restore_table dst src =
+  Hashtbl.reset dst;
+  Hashtbl.iter (fun k v -> Hashtbl.replace dst k v) src
+
+let rollback (t : t) (cp : checkpoint) : unit =
+  restore_table t.macros cp.cp_macros;
+  restore_table t.compiled cp.cp_compiled;
+  restore_table t.defs cp.cp_defs;
+  Tenv.restore t.tenv cp.cp_tenv;
+  let global = global_scope t in
+  Hashtbl.reset global;
+  List.iter (fun (name, v) -> Hashtbl.replace global name (ref v))
+    cp.cp_globals;
+  (* also unwinds scopes a mid-fragment abort left open *)
+  t.env.Value.scopes <- [ global ];
+  t.env.Value.provenance := Loc.User;
+  Senv.restore t.senv cp.cp_senv
+
+(** A structural digest of the rollback-covered session state, for
+    asserting the rollback invariant in tests.  Values are summarized by
+    name and type (closures have no structural identity). *)
+let fingerprint (t : t) : string =
+  let names tbl =
+    Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+    |> List.sort compare |> String.concat ","
+  in
+  let globals =
+    Hashtbl.fold
+      (fun name r acc -> (name ^ ":" ^ Value.type_name !r) :: acc)
+      (global_scope t) []
+    |> List.sort compare |> String.concat ","
+  in
+  Printf.sprintf
+    "macros=[%s] compiled=[%s] defs=[%s] globals=[%s] scopes=%d \
+     senv-depth=%d"
+    (names t.macros) (names t.compiled) (names t.defs) globals
+    (List.length t.env.Value.scopes)
+    (Senv.depth t.senv)
 
 (* ------------------------------------------------------------------ *)
 (* Error recovery                                                      *)
@@ -270,6 +369,7 @@ let record (t : t) (d : Diag.t) : unit =
     a macro-generating macro (in which case its name placeholder must
     already be filled). *)
 let register_macro_def (t : t) (md : macro_def) : unit =
+  Failpoint.hit ~watchdog:t.watchdog ~loc:md.m_loc "engine/register";
   let name =
     match md.m_name with
     | Ii_id id -> id.id_name
@@ -573,13 +673,47 @@ and promote_globals _t _decl = ()
 let expand_program (t : t) (prog : program) : program =
   List.concat_map (process_top t) prog
 
+(** The location failures with no better span (end-of-input,
+    [Stack_overflow]) are reported at: the start of the fragment. *)
+let fragment_start ~source : Loc.t =
+  let p = { Loc.line = 1; col = 0; offset = 0 } in
+  Loc.make ~source ~start_pos:p ~end_pos:p
+
 (** Parse (with this engine's macro table and meta type environment,
-    so definitions from earlier calls remain in force) and expand. *)
+    so definitions from earlier calls remain in force) and expand.
+
+    The transactional boundary: session state is checkpointed on entry
+    and rolled back if the fragment fails — whether by a fatal
+    diagnostic, a stack overflow (converted to a located [E0606]
+    resource diagnostic), or any other escaping exception — so the
+    session stays usable for the next fragment.  The fragment watchdog
+    ([limits.timeout_ms]) is armed for the duration. *)
 let expand_source (t : t) ?(source = "<string>") (text : string) : program =
-  let st =
-    State.of_string ~macros:t.macros ~tenv:t.tenv ~compiled:t.compiled
-      ~source text
+  let loc0 = fragment_start ~source in
+  let cp = if t.transactional then Some (checkpoint t) else None in
+  Watchdog.arm t.watchdog ~ms:t.limits.Limits.timeout_ms;
+  let run () =
+    Failpoint.hit ~watchdog:t.watchdog ~loc:loc0 "engine/fragment";
+    let st =
+      State.of_string ~macros:t.macros ~tenv:t.tenv ~compiled:t.compiled
+        ~watchdog:t.watchdog ~source text
+    in
+    st.State.compile_patterns <- t.compile_patterns;
+    let prog = Parser.parse_program st in
+    expand_program t prog
   in
-  st.State.compile_patterns <- t.compile_patterns;
-  let prog = Parser.parse_program st in
-  expand_program t prog
+  match run () with
+  | prog ->
+      Watchdog.disarm t.watchdog;
+      prog
+  | exception Stack_overflow ->
+      Watchdog.disarm t.watchdog;
+      Option.iter (rollback t) cp;
+      Diag.error ~loc:loc0 ~code:Diag.code_stack Diag.Resource
+        "stack overflow while expanding %s (a pathologically deep program, \
+         or runaway recursion in a macro)"
+        source
+  | exception e ->
+      Watchdog.disarm t.watchdog;
+      Option.iter (rollback t) cp;
+      raise e

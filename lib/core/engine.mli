@@ -33,6 +33,11 @@ type t = {
   senv : Senv.t;  (** object-level symbol table (semantic macros) *)
   gensym : Gensym.t;
   limits : Limits.t;  (** resource governance *)
+  watchdog : Watchdog.t;
+      (** wall-clock deadline: armed per fragment, narrowed per
+          invocation *)
+  transactional : bool;
+      (** checkpoint/rollback session state around each fragment *)
   compile_patterns : bool;
   provenance : bool;
       (** stamp expansion provenance onto produced locations (backtrace
@@ -46,7 +51,7 @@ type t = {
 
 val create :
   ?limits:Limits.t -> ?compile_patterns:bool -> ?hygienic:bool ->
-  ?recover:bool -> ?provenance:bool -> unit -> t
+  ?recover:bool -> ?provenance:bool -> ?transactional:bool -> unit -> t
 (** @param limits resource bounds (default {!Limits.default})
     @param compile_patterns compile invocation parsers at definition
     time (default true; disable for the ablation benchmark)
@@ -56,7 +61,33 @@ val create :
     nodes instead of aborting at the first one (default false)
     @param provenance stamp expansion provenance (macro + call site)
     onto every produced location (default true; disable only for the
-    overhead benchmark) *)
+    overhead benchmark)
+    @param transactional checkpoint session state on each
+    {!expand_source} and roll it back when the fragment fails (default
+    true; disable only for the overhead benchmark) *)
+
+(** {1 Transactional checkpoints}
+
+    A checkpoint captures the session state a failed fragment could
+    corrupt: the macro signature/compiled-parser/definition tables, the
+    meta type environment, the global meta environment, and the
+    object-level symbol table.  Deliberately {e not} captured: the
+    gensym counter (names stay burned across a rollback), statistics,
+    fuel already consumed, and recorded diagnostics.  A checkpoint is
+    never mutated, so one supports any number of rollbacks. *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+
+val rollback : t -> checkpoint -> unit
+(** Restore the engine — in place, so parser states sharing its tables
+    stay attached — to the captured state.  Also unwinds meta-env and
+    object-level scopes a mid-fragment abort left open. *)
+
+val fingerprint : t -> string
+(** A structural digest of the rollback-covered session state, for
+    asserting the rollback invariant in tests. *)
 
 val expand_invocation : t -> invocation -> Value.t
 (** Run a macro body on pattern-bound actuals under the per-invocation

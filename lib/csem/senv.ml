@@ -33,6 +33,30 @@ let with_scope t f =
   push_scope t;
   Fun.protect ~finally:(fun () -> pop_scope t) f
 
+let copy_scope s =
+  { vars = Hashtbl.copy s.vars; typedefs = Hashtbl.copy s.typedefs }
+
+(** A deep snapshot for transactional rollback.  [anon_counter] is
+    captured but deliberately not restored: anonymous-tag names must stay
+    fresh across a rollback or a re-expansion could collide with layouts
+    recorded by the aborted attempt. *)
+let snapshot t : t =
+  {
+    scopes = List.map copy_scope t.scopes;
+    layouts = Hashtbl.copy t.layouts;
+    anon_counter = t.anon_counter;
+  }
+
+(** Reset [t] in place to [snap] (which is never mutated).  In place
+    because the engine hands the same [t] to every expansion. *)
+let restore t (snap : t) =
+  t.scopes <- List.map copy_scope snap.scopes;
+  Hashtbl.reset t.layouts;
+  Hashtbl.iter (fun tag fields -> Hashtbl.replace t.layouts tag fields)
+    snap.layouts
+
+let depth t = List.length t.scopes
+
 let fresh_tag t =
   t.anon_counter <- t.anon_counter + 1;
   Printf.sprintf "<anonymous-%d>" t.anon_counter

@@ -9,6 +9,17 @@ val push_scope : t -> unit
 val pop_scope : t -> unit
 val with_scope : t -> (unit -> 'a) -> 'a
 
+val snapshot : t -> t
+(** A deep copy for transactional rollback; shares no mutable state. *)
+
+val restore : t -> t -> unit
+(** [restore t snap] resets [t] in place to the state captured by
+    [snap].  The anonymous-tag counter is deliberately not rolled back
+    so tags stay fresh after an aborted expansion. *)
+
+val depth : t -> int
+(** Number of open scopes (1 = just the global scope). *)
+
 val fresh_tag : t -> string
 (** A name for an anonymous struct/union/enum tag. *)
 

@@ -264,6 +264,8 @@ let ctype_of ~loc env ~what v : Ms2_csem.Ctype.t =
 let call ~(apply : loc:Loc.t -> Value.t -> Value.t list -> Value.t)
     (env : env) (loc : Loc.t) (name : string) (args : Value.t list) : Value.t
     =
+  Ms2_support.Failpoint.hit ~watchdog:env.budget.watchdog ~loc
+    "builtins/call";
   let arity ns =
     if not (List.mem (List.length args) ns) then
       error ~loc "%s: wrong number of arguments (%d)" name (List.length args)

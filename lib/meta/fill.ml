@@ -20,6 +20,7 @@ open Ms2_syntax.Ast
 open Value
 
 module Loc = Ms2_support.Loc
+module Failpoint = Ms2_support.Failpoint
 
 type ctx = {
   eval : env -> expr -> Value.t;
@@ -507,6 +508,14 @@ and fill_node ctx (n : node) : node =
     interpreter's expression evaluator. *)
 let fill_template ~(eval : env -> expr -> Value.t) (env : env)
     (tpl : template) : Value.t =
+  let tpl_loc =
+    match tpl with
+    | T_exp e -> e.eloc
+    | T_stmt s -> s.sloc
+    | T_decl d -> d.dloc
+    | T_general _ -> Loc.dummy
+  in
+  Failpoint.hit ~watchdog:env.budget.watchdog ~loc:tpl_loc "fill/alloc";
   let ctx = { eval; env; renames = []; origin = !(env.provenance) } in
   match tpl with
   | T_exp e -> Vnode (N_exp (fill_expr ctx e))

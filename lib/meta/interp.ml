@@ -13,6 +13,7 @@ open Ms2_syntax.Ast
 open Value
 module Mtype = Ms2_mtype.Mtype
 module Of_cdecl = Ms2_typing.Of_cdecl
+module Failpoint = Ms2_support.Failpoint
 
 type outcome = Normal | Returned of Value.t | Broke | Continued
 
@@ -210,6 +211,7 @@ and assign env ~loc (lhs : expr) (v : Value.t) : unit =
          immutable)"
 
 and apply env ~loc (f : Value.t) (args : Value.t list) : Value.t =
+  Failpoint.hit ~watchdog:env.budget.watchdog ~loc "interp/call";
   match f with
   | Vclosure cl -> (
       if List.length args <> List.length cl.cl_params then
@@ -273,6 +275,7 @@ and exec_decl (env : env) (decl : decl) : unit =
 and exec_stmt (env : env) (stmt : stmt) : outcome =
   let loc = stmt.sloc in
   charge_fuel env ~loc;
+  Failpoint.hit ~watchdog:env.budget.watchdog ~loc "interp/step";
   match stmt.s with
   | St_expr e ->
       ignore (eval env e);

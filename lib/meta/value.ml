@@ -66,14 +66,20 @@ and budget = {
   mutable nodes : int;  (** remaining produced-AST node allowance *)
   fuel_initial : int;
   nodes_initial : int;
+  watchdog : Watchdog.t;
+      (** wall-clock deadline, polled from the fuel hook so a stalling
+          meta-program is bounded in time as well as in steps *)
 }
 
 (* No dummy default: every expansion-error site must say where.  Sites
    with genuinely no span pass [Loc.dummy] explicitly. *)
 let error ~loc fmt = Diag.error ~loc Diag.Expansion fmt
 
-let create_budget ?(fuel = max_int) ?(nodes = max_int) () : budget =
-  { fuel; nodes; fuel_initial = fuel; nodes_initial = nodes }
+let create_budget ?(fuel = max_int) ?(nodes = max_int) ?watchdog () : budget =
+  let watchdog =
+    match watchdog with Some w -> w | None -> Watchdog.create ()
+  in
+  { fuel; nodes; fuel_initial = fuel; nodes_initial = nodes; watchdog }
 
 let fuel_consumed b = b.fuel_initial - b.fuel
 let nodes_produced b = b.nodes_initial - b.nodes
@@ -89,7 +95,8 @@ let charge_fuel env ~loc =
   let b = env.budget in
   let f = b.fuel - 1 in
   b.fuel <- f;
-  if f < 0 then out_of_fuel ~loc
+  if f < 0 then out_of_fuel ~loc;
+  Watchdog.poll b.watchdog ~loc
 
 let out_of_nodes ~loc =
   Diag.error ~loc ~code:Diag.code_nodes Diag.Resource

@@ -45,6 +45,7 @@ and budget = {
   mutable nodes : int;  (** remaining produced-AST node allowance *)
   fuel_initial : int;
   nodes_initial : int;
+  watchdog : Watchdog.t;  (** wall-clock deadline, polled with the fuel *)
 }
 
 val error :
@@ -53,7 +54,8 @@ val error :
     no raise site silently drops provenance; pass [Loc.dummy] explicitly
     at the (rare) sites with genuinely no span. *)
 
-val create_budget : ?fuel:int -> ?nodes:int -> unit -> budget
+val create_budget :
+  ?fuel:int -> ?nodes:int -> ?watchdog:Watchdog.t -> unit -> budget
 val fuel_consumed : budget -> int
 val nodes_produced : budget -> int
 

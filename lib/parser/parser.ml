@@ -1203,6 +1203,7 @@ and parse_template st : template =
 
 and parse_invocation st (msig : macro_sig) : invocation =
   let l = loc st in
+  Failpoint.hit ~watchdog:st.watchdog ~loc:l "parser/invocation";
   let name = expect_ident st in
   let actuals =
     match Hashtbl.find_opt st.compiled_patterns name.id_name with
@@ -1297,7 +1298,9 @@ and compile_pattern (pat : pattern) : State.compiled_pattern =
             fun st -> Some (name, parse st))
       pat
   in
-  fun st -> List.filter_map (fun step -> step st) steps
+  fun st ->
+    Failpoint.hit ~watchdog:st.watchdog ~loc:(loc st) "parser/pattern";
+    List.filter_map (fun step -> step st) steps
 
 and parse_by_pspec st (ps : pspec) : actual =
   match ps with

@@ -38,13 +38,17 @@ type t = {
   compiled_patterns : (string, compiled_pattern) Hashtbl.t;
       (** specialized parse routines, keyed by macro name; shared with
           the macro-signature table's lifetime *)
+  watchdog : Watchdog.t;
+      (** wall-clock deadline, polled as tokens are consumed so a parse
+          driven by a pathological pattern is bounded in time *)
 }
 
 (** A compiled invocation parser: runs the pattern against the input and
     returns the actual-parameter bindings. *)
 and compiled_pattern = t -> (string * Ast.actual) list
 
-let create ?macros ?tenv ?compiled (toks : Token.located array) : t =
+let create ?macros ?tenv ?compiled ?watchdog (toks : Token.located array) : t
+    =
   {
     compile_patterns = true;
     toks;
@@ -57,11 +61,13 @@ let create ?macros ?tenv ?compiled (toks : Token.located array) : t =
     ph_cache = None;
     compiled_patterns =
       (match compiled with Some c -> c | None -> Hashtbl.create 16);
+    watchdog =
+      (match watchdog with Some w -> w | None -> Watchdog.create ());
   }
 
-let of_string ?origin ?macros ?tenv ?compiled ?(source = "<string>")
-    ?(reject_reserved = false) text =
-  create ?macros ?tenv ?compiled
+let of_string ?origin ?macros ?tenv ?compiled ?watchdog
+    ?(source = "<string>") ?(reject_reserved = false) text =
+  create ?macros ?tenv ?compiled ?watchdog
     (Lexer.tokenize ?origin ~source ~reject_reserved text)
 
 (* ------------------------------------------------------------------ *)
@@ -78,6 +84,9 @@ let peek_ahead st n : Token.t =
 let loc st : Loc.t = st.toks.(st.pos).Token.loc
 
 let advance st =
+  let l = st.toks.(st.pos).Token.loc in
+  Watchdog.poll st.watchdog ~loc:l;
+  Failpoint.hit ~watchdog:st.watchdog ~loc:l "parser/token";
   if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
 
 let error st fmt = Diag.error ~loc:(loc st) Diag.Parsing fmt

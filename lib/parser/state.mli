@@ -29,6 +29,8 @@ type t = {
   mutable ph_cache : (int * (Ast.expr * Mtype.t) * int) option;
       (** the paper's placeholder tokens: (start, parsed+typed, end) *)
   compiled_patterns : (string, compiled_pattern) Hashtbl.t;
+  watchdog : Watchdog.t;
+      (** wall-clock deadline, polled on every token consumed *)
 }
 
 and compiled_pattern = t -> (string * Ast.actual) list
@@ -37,6 +39,7 @@ val create :
   ?macros:(string, macro_sig) Hashtbl.t ->
   ?tenv:Tenv.t ->
   ?compiled:(string, compiled_pattern) Hashtbl.t ->
+  ?watchdog:Watchdog.t ->
   Token.located array ->
   t
 
@@ -45,6 +48,7 @@ val of_string :
   ?macros:(string, macro_sig) Hashtbl.t ->
   ?tenv:Tenv.t ->
   ?compiled:(string, compiled_pattern) Hashtbl.t ->
+  ?watchdog:Watchdog.t ->
   ?source:string ->
   ?reject_reserved:bool ->
   string ->

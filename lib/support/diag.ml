@@ -51,6 +51,9 @@ let code_fuel = "E0601"
 let code_nodes = "E0602"
 let code_depth = "E0603"
 let code_too_many_errors = "E0604"
+let code_timeout = "E0605"
+let code_stack = "E0606"
+let code_failpoint = "E0607"
 
 type severity = Error | Warning | Note
 

@@ -38,6 +38,17 @@ val code_depth : string
 val code_too_many_errors : string
 (** ["E0604"]: collector overflowed. *)
 
+val code_timeout : string
+(** ["E0605"]: the wall-clock watchdog deadline passed. *)
+
+val code_stack : string
+(** ["E0606"]: [Stack_overflow] contained during expansion or
+    rendering (pathologically deep AST). *)
+
+val code_failpoint : string
+(** ["E0607"]: an armed failpoint injected a failure
+    ({!Ms2_support.Failpoint}). *)
+
 type severity = Error | Warning | Note
 
 val severity_name : severity -> string

@@ -1,0 +1,138 @@
+(** Named failure-injection points.  See the interface for the model. *)
+
+type trigger =
+  | Error
+  | Timeout
+  | After of int ref
+
+(* One registry per process: failpoints are a test/debug facility, and a
+   global keeps the disarmed fast path to a single ref read. *)
+let table : (string, trigger) Hashtbl.t = Hashtbl.create 8
+let any_armed = ref false
+
+let sites =
+  [ "engine/fragment";  (* expand_source entry *)
+    "engine/invoke";  (* macro invocation expansion *)
+    "engine/register";  (* macro definition registration *)
+    "interp/step";  (* every interpreted statement *)
+    "interp/call";  (* meta-function / closure application *)
+    "builtins/call";  (* primitive dispatch *)
+    "fill/alloc";  (* template fill entry *)
+    "parser/token";  (* every token consumed *)
+    "parser/pattern";  (* compiled invocation-pattern execution *)
+    "parser/invocation" (* invocation parse entry *) ]
+
+let is_site name = List.mem name sites
+
+type spec = (string * trigger option) list
+
+let parse_trigger name = function
+  | "off" -> Ok None
+  | "error" -> Ok (Some Error)
+  | "timeout" -> Ok (Some Timeout)
+  | t -> (
+      match String.index_opt t '=' with
+      | Some i when String.sub t 0 i = "after" -> (
+          let n = String.sub t (i + 1) (String.length t - i - 1) in
+          match int_of_string_opt n with
+          | Some n when n >= 0 -> Ok (Some (After (ref n)))
+          | _ -> Result.Error (Printf.sprintf "%s: after=N needs N >= 0" name))
+      | _ ->
+          Result.Error
+            (Printf.sprintf
+               "%s: unknown trigger %S (expected off | error | timeout | \
+                after=N)"
+               name t))
+
+let parse_clause clause : (string * trigger option, string) result =
+  match String.index_opt clause '=' with
+  | None ->
+      Result.Error
+        (Printf.sprintf "%S: expected site=trigger" clause)
+  | Some i ->
+      let name = String.sub clause 0 i in
+      let rest = String.sub clause (i + 1) (String.length clause - i - 1) in
+      if not (is_site name) then
+        Result.Error
+          (Printf.sprintf "unknown failpoint %S (known: %s)" name
+             (String.concat ", " sites))
+      else Result.map (fun t -> (name, t)) (parse_trigger name rest)
+
+let parse_spec spec : (spec, string) result =
+  let clauses =
+    String.split_on_char ','
+      (String.map (function ';' -> ',' | c -> c) spec)
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  List.fold_left
+    (fun acc clause ->
+      Result.bind acc (fun parsed ->
+          Result.map (fun c -> c :: parsed) (parse_clause clause)))
+    (Ok []) clauses
+  |> Result.map List.rev
+
+let refresh_any_armed () = any_armed := Hashtbl.length table > 0
+
+let arm name trigger =
+  if not (is_site name) then
+    invalid_arg (Printf.sprintf "Failpoint.arm: unknown failpoint %S" name);
+  Hashtbl.replace table name trigger;
+  refresh_any_armed ()
+
+let disarm name =
+  Hashtbl.remove table name;
+  refresh_any_armed ()
+
+let reset () =
+  Hashtbl.reset table;
+  refresh_any_armed ()
+
+let arm_all spec =
+  List.iter
+    (function
+      | name, Some t -> arm name t
+      | name, None -> disarm name)
+    spec
+
+let arm_spec s = Result.map arm_all (parse_spec s)
+
+let fire_error ~loc name =
+  Diag.error ~loc ~code:Diag.code_failpoint Diag.Expansion
+    "injected failure at failpoint %s" name
+
+(* A [timeout] trigger stalls so the *watchdog* reports the failure —
+   the whole point is to exercise the deadline path.  The stall sleeps
+   in small slices, checking the watchdog each time; a hard 2s fallback
+   bounds the stall when no deadline is armed, so an injected timeout
+   can never hang the process. *)
+let fire_timeout ?watchdog ~loc name =
+  let give_up = Unix.gettimeofday () +. 2.0 in
+  let rec wait () =
+    Unix.sleepf 0.002;
+    (match watchdog with Some w -> Watchdog.check w ~loc | None -> ());
+    if Unix.gettimeofday () >= give_up then
+      Diag.error ~loc ~code:Diag.code_timeout Diag.Resource
+        "injected stall at failpoint %s hit the 2s fallback deadline" name
+    else wait ()
+  in
+  wait ()
+
+let hit ?watchdog ~loc name =
+  if !any_armed then
+    match Hashtbl.find_opt table name with
+    | None -> ()
+    | Some Error -> fire_error ~loc name
+    | Some Timeout -> fire_timeout ?watchdog ~loc name
+    | Some (After n) -> if !n <= 0 then fire_error ~loc name else decr n
+
+(* Arm from the environment at first load, so any ms2 process can be
+   fault-injected without code changes. *)
+let () =
+  match Sys.getenv_opt "MS2_FAILPOINTS" with
+  | None -> ()
+  | Some s -> (
+      match arm_spec s with
+      | Ok () -> ()
+      | Result.Error msg ->
+          Printf.eprintf "ms2: ignoring bad MS2_FAILPOINTS: %s\n%!" msg)

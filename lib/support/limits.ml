@@ -16,7 +16,14 @@
     - [max_depth]: recursive-expansion nesting (macros expanding into
       invocations of other macros);
     - [max_errors]: diagnostics recorded before error recovery gives up
-      and the run aborts.
+      and the run aborts;
+    - [timeout_ms]: wall-clock deadline for expanding one fragment
+      (one [expand_source] call).  Fuel only counts interpreter steps;
+      the deadline also covers parsing, pattern execution and builtins,
+      where a stall consumes no fuel;
+    - [invocation_timeout_ms]: wall-clock deadline for a single macro
+      invocation (narrows the fragment deadline; deadlines only ever
+      move earlier).
 
     [max_int] in any budget field means "unlimited": the accounting
     still runs (a decrement and a comparison), but the bound can never
@@ -28,6 +35,8 @@ type t = {
   max_nodes : int;  (** AST nodes produced per macro invocation *)
   max_depth : int;  (** recursive-expansion nesting bound *)
   max_errors : int;  (** diagnostics collected before aborting *)
+  timeout_ms : int;  (** wall-clock deadline per fragment *)
+  invocation_timeout_ms : int;  (** wall-clock deadline per invocation *)
 }
 
 (** No bound ever fires (the seed system's behaviour, except for the
@@ -39,11 +48,13 @@ let unlimited =
     max_nodes = max_int;
     max_depth = 200;
     max_errors = max_int;
+    timeout_ms = max_int;
+    invocation_timeout_ms = max_int;
   }
 
 (** Generous production defaults: far above anything a legitimate macro
     library needs, low enough that a nonterminating macro fails in well
-    under a second. *)
+    under a second (and a stalling one within a minute). *)
 let default =
   {
     fuel = 100_000_000;
@@ -51,6 +62,8 @@ let default =
     max_nodes = 2_000_000;
     max_depth = 200;
     max_errors = 20;
+    timeout_ms = 60_000;
+    invocation_timeout_ms = 30_000;
   }
 
 let pp_budget ppf n =
@@ -58,8 +71,10 @@ let pp_budget ppf n =
 
 let pp ppf t =
   Fmt.pf ppf
-    "fuel=%a invocation-fuel=%a max-nodes=%a max-depth=%d max-errors=%a"
+    "fuel=%a invocation-fuel=%a max-nodes=%a max-depth=%d max-errors=%a \
+     timeout-ms=%a invocation-timeout-ms=%a"
     pp_budget t.fuel pp_budget t.invocation_fuel pp_budget t.max_nodes
-    t.max_depth pp_budget t.max_errors
+    t.max_depth pp_budget t.max_errors pp_budget t.timeout_ms pp_budget
+    t.invocation_timeout_ms
 
 let to_string t = Fmt.str "%a" pp t

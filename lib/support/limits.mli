@@ -10,6 +10,12 @@ type t = {
   max_nodes : int;  (** AST nodes produced per macro invocation *)
   max_depth : int;  (** recursive-expansion nesting bound *)
   max_errors : int;  (** diagnostics collected before aborting *)
+  timeout_ms : int;
+      (** wall-clock deadline for one fragment ([expand_source] call),
+          enforced by the {!Watchdog} polls woven through the pipeline *)
+  invocation_timeout_ms : int;
+      (** wall-clock deadline for a single macro invocation (narrows the
+          fragment deadline) *)
 }
 
 val unlimited : t
@@ -18,7 +24,7 @@ val unlimited : t
 val default : t
 (** Generous production defaults (documented in MANUAL.md): fuel 1e8,
     per-invocation fuel 1e7, 2e6 nodes per invocation, depth 200,
-    20 errors. *)
+    20 errors, 60s per fragment, 30s per invocation. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -16,6 +16,11 @@ let create () = { scopes = [ Hashtbl.create 16 ] }
     the original. *)
 let copy t = { scopes = List.map Hashtbl.copy t.scopes }
 
+(** Reset [t] in place to the state captured by [snap].  In-place because
+    re-entrant parser states alias the same [t]; the snapshot itself is
+    never mutated, so it stays reusable. *)
+let restore t snap = t.scopes <- List.map Hashtbl.copy snap.scopes
+
 let push_scope t = t.scopes <- Hashtbl.create 16 :: t.scopes
 
 let pop_scope t =

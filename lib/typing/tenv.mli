@@ -11,6 +11,10 @@ val create : unit -> t
 val copy : t -> t
 (** A snapshot sharing no mutable state, for re-entrant parses. *)
 
+val restore : t -> t -> unit
+(** [restore t snap] resets [t] in place to the state captured by
+    [snap] (itself untouched, so one snapshot supports many restores). *)
+
 val push_scope : t -> unit
 val pop_scope : t -> unit
 val with_scope : t -> (unit -> 'a) -> 'a
