@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test faults txn-sweep bench bench-fuel bench-provenance \
-        bench-txn figures examples expand clean
+        bench-txn bench-perf figures examples expand clean
 
 all: build
 
@@ -34,6 +34,10 @@ bench-provenance:
 # transactional-checkpoint overhead table (writes BENCH_TXN.json)
 bench-txn:
 	dune exec bench/main.exe txn
+
+# hot-path / cache / parallel-speedup tables (writes BENCH_PERF.json)
+bench-perf:
+	dune exec bench/main.exe perf
 
 figures:
 	dune exec bench/main.exe figures

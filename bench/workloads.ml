@@ -8,10 +8,11 @@ let painting_defs =
    EndPaint(hDC, &ps);};\n\
    }\n"
 
-(** [painting n] is a program with [n] sibling Painting invocations. *)
-let painting n =
+(** [painting_uses n] is the uses-only half of {!painting}: a function
+    with [n] sibling Painting invocations, no definitions — the
+    repeated-fragment shape of a multi-file session. *)
+let painting_uses n =
   let b = Buffer.create 1024 in
-  Buffer.add_string b painting_defs;
   Buffer.add_string b "int draw(int hDC)\n{\n";
   for i = 1 to n do
     Buffer.add_string b
@@ -19,6 +20,9 @@ let painting n =
   done;
   Buffer.add_string b "  return 0;\n}\n";
   Buffer.contents b
+
+(** [painting n] is a program with [n] sibling Painting invocations. *)
+let painting n = painting_defs ^ painting_uses n
 
 (** [painting_nested d] is one Painting invocation nested [d] deep. *)
 let painting_nested d =
@@ -162,6 +166,46 @@ let fuel_heavy iters =
   for i = 1 to 8 do
     Buffer.add_string b (Printf.sprintf "int w%d = checksum(x + %d);\n" i i)
   done;
+  Buffer.contents b
+
+(** [wide_struct n] — a field-lookup-bound workload: a macro binds an
+    [n]-field tuple pattern (the regression case is [n = 64]) and its
+    body selects every field in a meta loop, so expansion time is
+    dominated by tuple-field resolution; the expansion also declares an
+    [n]-field C struct and reads every member, exercising
+    [Senv.field_type] on a wide layout.  Regression guard for the
+    interned-key indexes replacing the old association-list scans. *)
+let wide_struct n =
+  let b = Buffer.create 4096 in
+  (* macro: $$.( $$num::f0 , ... )::p ; body sums p->f0 ... p->f{n-1}
+     ten times over *)
+  Buffer.add_string b "syntax exp widesum {| ( $$.( ";
+  for i = 0 to n - 1 do
+    if i > 0 then Buffer.add_string b " , ";
+    Buffer.add_string b (Printf.sprintf "$$num::f%d" i)
+  done;
+  Buffer.add_string b " )::p ) |} {\n  int acc;\n  int i;\n  acc = 0;\n";
+  Buffer.add_string b "  i = 0;\n  while (i < 10) {\n";
+  for i = 0 to n - 1 do
+    Buffer.add_string b
+      (Printf.sprintf "    acc = acc + num_value(p->f%d);\n" i)
+  done;
+  Buffer.add_string b "    i = i + 1;\n  }\n  return make_num(acc);\n}\n";
+  (* the C side: an [n]-wide struct with every member read *)
+  Buffer.add_string b "struct wide {\n";
+  for i = 0 to n - 1 do
+    Buffer.add_string b (Printf.sprintf "  int f%d;\n" i)
+  done;
+  Buffer.add_string b "};\nint total(struct wide w)\n{\n  int t;\n  t = 0;\n";
+  for i = 0 to n - 1 do
+    Buffer.add_string b (Printf.sprintf "  t = t + w.f%d;\n" i)
+  done;
+  Buffer.add_string b "  return t + widesum(";
+  for i = 0 to n - 1 do
+    if i > 0 then Buffer.add_string b ", ";
+    Buffer.add_string b (string_of_int i)
+  done;
+  Buffer.add_string b ");\n}\n";
   Buffer.contents b
 
 (** Pure-C control for the penalty comparison: the [expansion] of a

@@ -101,6 +101,157 @@ let arm_failpoints = function
   | [] -> ()
   | spec -> Failpoint.arm_all spec
 
+(* ------------------------------------------------------------------ *)
+(* Worker pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* With [--jobs N] (N > 1) each input file is expanded by a forked
+   worker against a fresh engine: files are independent compilation
+   units, so macro definitions do not flow between them (the default
+   [--jobs 1] keeps the shared-session sequential pipeline, where they
+   do).  A worker ships its result — rendered output, pre-rendered
+   diagnostics, source-map entries, statistics — back over a pipe via
+   [Marshal]; the parent reassembles everything in input order, so
+   diagnostics and output bytes are deterministic regardless of
+   completion order.  Armed failpoints and watchdog deadlines are
+   inherited across [fork] and keep working inside workers. *)
+type worker_result = {
+  w_diags : string list;  (** pre-rendered, in emission order *)
+  w_fatal : bool;  (** the file failed wholly (no output from it) *)
+  w_recovered : bool;  (** keep-going salvaged at least one diagnostic *)
+  w_out : string;  (** rendered C; [""] when fatal *)
+  w_map : Ms2_syntax.Emit.entry list;  (** per-file source map (absolute lines) *)
+  w_findings : string list;  (** object-level semantic-check findings *)
+  w_stats : Ms2.Api.stats;
+}
+
+let zero_stats : Ms2.Api.stats =
+  {
+    Ms2.Api.invocations_expanded = 0;
+    meta_declarations_run = 0;
+    macros_defined = 0;
+    fuel_consumed = 0;
+    nodes_produced = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_evictions = 0;
+    cache_bypasses = 0;
+  }
+
+let sum_stats (a : Ms2.Api.stats) (b : Ms2.Api.stats) : Ms2.Api.stats =
+  {
+    Ms2.Api.invocations_expanded =
+      a.Ms2.Api.invocations_expanded + b.Ms2.Api.invocations_expanded;
+    meta_declarations_run =
+      a.Ms2.Api.meta_declarations_run + b.Ms2.Api.meta_declarations_run;
+    macros_defined = a.Ms2.Api.macros_defined + b.Ms2.Api.macros_defined;
+    fuel_consumed = a.Ms2.Api.fuel_consumed + b.Ms2.Api.fuel_consumed;
+    nodes_produced = a.Ms2.Api.nodes_produced + b.Ms2.Api.nodes_produced;
+    cache_hits = a.Ms2.Api.cache_hits + b.Ms2.Api.cache_hits;
+    cache_misses = a.Ms2.Api.cache_misses + b.Ms2.Api.cache_misses;
+    cache_evictions = a.Ms2.Api.cache_evictions + b.Ms2.Api.cache_evictions;
+    cache_bypasses = a.Ms2.Api.cache_bypasses + b.Ms2.Api.cache_bypasses;
+  }
+
+let print_stats (s : Ms2.Api.stats) =
+  Printf.eprintf
+    "macros defined: %d\nmeta declarations run: %d\ninvocations expanded: \
+     %d\nfuel consumed: %d\nAST nodes produced: %d\ncache hits: %d\ncache \
+     misses: %d\ncache evictions: %d\ncache bypasses: %d\n"
+    s.Ms2.Api.macros_defined s.Ms2.Api.meta_declarations_run
+    s.Ms2.Api.invocations_expanded s.Ms2.Api.fuel_consumed
+    s.Ms2.Api.nodes_produced s.Ms2.Api.cache_hits s.Ms2.Api.cache_misses
+    s.Ms2.Api.cache_evictions s.Ms2.Api.cache_bypasses
+
+(* Run [work i] for every fragment index, at most [jobs] forked workers
+   at a time, returning results in input order.  The parent stops
+   launching new workers once a fatal result arrives and [keep_going] is
+   off (the sequential pipeline would never have reached those files),
+   but always drains workers already running.  Results of indices past
+   the first fatal one are dropped by the caller. *)
+let run_pool ~jobs ~keep_going ~(work : int -> worker_result) (n : int) :
+    worker_result option array =
+  let results = Array.make n None in
+  let running = ref [] in
+  (* (read fd, pid, index) *)
+  let next = ref 0 in
+  let fatal_seen = ref false in
+  let spawn i =
+    flush stdout;
+    flush stderr;
+    let rd, wr = Unix.pipe () in
+    match Unix.fork () with
+    | 0 ->
+        Unix.close rd;
+        let result =
+          try work i
+          with e ->
+            {
+              w_diags =
+                [ Printf.sprintf "ms2c: worker %d: internal error: %s" i
+                    (Printexc.to_string e) ];
+              w_fatal = true;
+              w_recovered = false;
+              w_out = "";
+              w_map = [];
+              w_findings = [];
+              w_stats = zero_stats;
+            }
+        in
+        let oc = Unix.out_channel_of_descr wr in
+        Marshal.to_channel oc result [];
+        close_out oc;
+        exit 0
+    | pid ->
+        Unix.close wr;
+        running := (rd, pid, i) :: !running
+  in
+  let reap_one () =
+    let fds = List.map (fun (fd, _, _) -> fd) !running in
+    match Unix.select fds [] [] (-1.0) with
+    | [], _, _ -> ()
+    | ready_fd :: _, _, _ ->
+        let fd, pid, i =
+          List.find (fun (fd, _, _) -> fd == ready_fd) !running
+        in
+        let ic = Unix.in_channel_of_descr fd in
+        let r =
+          try Some (Marshal.from_channel ic : worker_result)
+          with _ -> None
+        in
+        close_in ic;
+        ignore (Unix.waitpid [] pid);
+        running := List.filter (fun (_, p, _) -> p <> pid) !running;
+        let r =
+          match r with
+          | Some r -> r
+          | None ->
+              (* the worker died before shipping a result (segfault,
+                 kill): surface that as a fatal per-file diagnostic *)
+              {
+                w_diags =
+                  [ Printf.sprintf
+                      "ms2c: worker for input %d exited without a result" i ];
+                w_fatal = true;
+                w_recovered = false;
+                w_out = "";
+                w_map = [];
+                w_findings = [];
+                w_stats = zero_stats;
+              }
+        in
+        if r.w_fatal && not keep_going then fatal_seen := true;
+        results.(i) <- Some r
+  in
+  while !running <> [] || (!next < n && not !fatal_seen) do
+    while List.length !running < jobs && !next < n && not !fatal_seen do
+      spawn !next;
+      incr next
+    done;
+    if !running <> [] then reap_one ()
+  done;
+  results
+
 
 (* ------------------------------------------------------------------ *)
 (* expand                                                              *)
@@ -152,6 +303,30 @@ let nonneg_int : int Arg.conv =
     | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
   in
   Arg.conv (parse, Format.pp_print_int)
+
+(* Worker counts must be positive: 0 workers can never make progress. *)
+let pos_int : int Arg.conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "%d is not positive" n))
+    | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_arg =
+  Arg.(value & opt pos_int 1 & info [ "j"; "jobs" ] ~docv:"N"
+       ~doc:"Expand input files with $(docv) forked workers.  Above 1 \
+             each file is an independent compilation unit (macro \
+             definitions do not flow between files); the default 1 \
+             keeps the shared-session sequential pipeline.  Output and \
+             diagnostics are emitted in input order either way.")
+
+let no_cache_arg =
+  Arg.(value & flag & info [ "no-cache" ]
+       ~doc:"Disable the content-addressed expansion cache (the \
+             ablation baseline: every fragment is re-expanded from \
+             scratch).")
 
 let fuel_arg =
   Arg.(value & opt (some nonneg_int) None & info [ "fuel" ] ~docv:"N"
@@ -281,81 +456,226 @@ let expand_fragments ~engine ~keep_going ~diag_format fragments :
   in
   (prog, !failed)
 
+let count_newlines s =
+  let n = ref 0 in
+  String.iter (fun c -> if c = '\n' then incr n) s;
+  !n
+
+(* The parallel driver: one forked worker per file (at most [jobs]
+   alive), each with a fresh engine — see {!worker_result}.  Everything
+   user-visible is reassembled in input order. *)
+let expand_parallel ~jobs ~limits ~keep_going ~hygienic ~prelude ~cache
+    ~line_directives ~sourcemap ~semantic_check ~stats ~output ~diag_format
+    fragments =
+  let frags = Array.of_list fragments in
+  let n = Array.length frags in
+  let want_map = line_directives || sourcemap <> None in
+  let render_diag d =
+    match diag_format with Text -> Diag.render d | Json -> Diag.to_json d
+  in
+  let work i =
+    let source, text = frags.(i) in
+    let engine =
+      Ms2.Api.create_engine ~limits ~recover:keep_going ~hygienic ~prelude
+        ~cache ()
+    in
+    match
+      Diag.protect (fun () -> Ms2.Engine.expand_source engine ~source text)
+    with
+    | Ok decls ->
+        let recovered = Ms2.Api.diagnostics engine in
+        let out, map =
+          if want_map then
+            let r = Ms2_syntax.Emit.program ~line_directives decls in
+            (r.Ms2_syntax.Emit.text, r.Ms2_syntax.Emit.map)
+          else
+            ( Ms2_syntax.Pretty.program_to_string
+                ~mode:Ms2_syntax.Pretty.strict decls,
+              [] )
+        in
+        {
+          w_diags = List.map render_diag recovered;
+          w_fatal = false;
+          w_recovered = recovered <> [];
+          w_out = out;
+          w_map = map;
+          w_findings =
+            (if semantic_check then Ms2.Api.check_program decls else []);
+          w_stats = Ms2.Api.stats engine;
+        }
+    | Error d ->
+        let recovered = Ms2.Api.diagnostics engine in
+        (* mirror the sequential pipeline's emission order: keep-going
+           reports the fatal diagnostic as it happens (recovered ones
+           follow at the end); a hard stop shows what recovery salvaged
+           first, then the fatal diagnostic *)
+        let diags =
+          if keep_going then render_diag d :: List.map render_diag recovered
+          else List.map render_diag recovered @ [ render_diag d ]
+        in
+        {
+          w_diags = diags;
+          w_fatal = true;
+          w_recovered = recovered <> [];
+          w_out = "";
+          w_map = [];
+          w_findings = [];
+          w_stats = Ms2.Api.stats engine;
+        }
+  in
+  let results = run_pool ~jobs ~keep_going ~work n in
+  let first_fatal = ref None in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Some r when r.w_fatal && !first_fatal = None -> first_fatal := Some i
+      | _ -> ())
+    results;
+  match !first_fatal with
+  | Some k when not keep_going ->
+      (* the sequential pipeline stops at the first fatal file: emit
+         diagnostics up to and including it, produce no output, exit 1 *)
+      for i = 0 to k do
+        match results.(i) with
+        | Some r -> List.iter prerr_endline r.w_diags
+        | None -> ()
+      done;
+      exit exit_fatal
+  | _ ->
+      let degraded = ref false in
+      let buf = Buffer.create 65536 in
+      let map = ref [] in
+      let off = ref 0 in
+      let stats_acc = ref zero_stats in
+      let findings = ref [] in
+      Array.iter
+        (function
+          | None -> ()
+          | Some r ->
+              List.iter prerr_endline r.w_diags;
+              if r.w_fatal || r.w_recovered then degraded := true;
+              (* keep per-file renderings line-aligned under
+                 concatenation so source-map offsets stay exact *)
+              let text =
+                if r.w_out <> "" && r.w_out.[String.length r.w_out - 1] <> '\n'
+                then r.w_out ^ "\n"
+                else r.w_out
+              in
+              (* the single-render pipeline separates top-level
+                 declarations with a blank line; reproduce it between
+                 files *)
+              if text <> "" && Buffer.length buf > 0 then begin
+                Buffer.add_char buf '\n';
+                incr off
+              end;
+              Buffer.add_string buf text;
+              List.iter
+                (fun e ->
+                  map :=
+                    { e with
+                      Ms2_syntax.Emit.out_line =
+                        e.Ms2_syntax.Emit.out_line + !off
+                    }
+                    :: !map)
+                r.w_map;
+              off := !off + count_newlines text;
+              stats_acc := sum_stats !stats_acc r.w_stats;
+              findings := !findings @ r.w_findings)
+        results;
+      (match sourcemap with
+      | None -> ()
+      | Some path ->
+          write_atomic ~diag_format path
+            (Ms2_syntax.Emit.sourcemap_to_string (List.rev !map)));
+      let out = Buffer.contents buf in
+      (match output with
+      | None -> print_string out
+      | Some path -> write_atomic ~diag_format path out);
+      if stats then print_stats !stats_acc;
+      if semantic_check && !findings <> [] then begin
+        List.iter prerr_endline !findings;
+        exit exit_fatal
+      end;
+      if !degraded then exit exit_degraded
+
 let expand_cmd =
-  let run files output stats hygienic semantic_check prelude trace fuel
-      invocation_fuel max_nodes max_errors timeout_ms invocation_timeout_ms
-      failpoints keep_going line_directives sourcemap diag_format =
+  let run files output stats hygienic semantic_check prelude trace jobs
+      no_cache fuel invocation_fuel max_nodes max_errors timeout_ms
+      invocation_timeout_ms failpoints keep_going line_directives sourcemap
+      diag_format =
     arm_failpoints failpoints;
     with_fragments ~diag_format files (fun fragments ->
         let limits =
           limits_of ~fuel ~invocation_fuel ~max_nodes ~max_errors
             ~timeout_ms ~invocation_timeout_ms
         in
-        let engine =
-          Ms2.Api.create_engine ~limits ~recover:keep_going ~hygienic
-            ~prelude ()
-        in
-        if trace then
-          engine.Ms2.Engine.trace <- Some Format.err_formatter;
-        let prog, failed =
-          expand_fragments ~engine ~keep_going ~diag_format fragments
-        in
-        let recovered = Ms2.Api.diagnostics engine in
-        emit_diags diag_format recovered;
-        let out =
-          if line_directives || sourcemap <> None then begin
-            (* the provenance-aware emitter: same strict rendering, but
-               every output line is tracked back to the construct (and
-               expansion chain) that produced it *)
-            let r = Ms2_syntax.Emit.program ~line_directives prog in
-            (match sourcemap with
-            | None -> ()
-            | Some path ->
-                write_atomic ~diag_format path
-                  (Ms2_syntax.Emit.sourcemap_to_string r.Ms2_syntax.Emit.map));
-            r.Ms2_syntax.Emit.text
-          end
-          else
-            Ms2_syntax.Pretty.program_to_string
-              ~mode:Ms2_syntax.Pretty.strict prog
-        in
-        (match output with
-        | None -> print_string out
-        | Some path -> write_atomic ~diag_format path out);
-        if stats then begin
-          let s = Ms2.Api.stats engine in
-          Printf.eprintf
-            "macros defined: %d\nmeta declarations run: %d\ninvocations \
-             expanded: %d\nfuel consumed: %d\nAST nodes produced: %d\n"
-            s.Ms2.Api.macros_defined s.Ms2.Api.meta_declarations_run
-            s.Ms2.Api.invocations_expanded s.Ms2.Api.fuel_consumed
-            s.Ms2.Api.nodes_produced
-        end;
-        if semantic_check then begin
-          match Ms2.Api.check_program prog with
-          | [] -> ()
-          | findings ->
-              List.iter prerr_endline findings;
-              exit exit_fatal
-        end;
-        if failed || recovered <> [] then exit exit_degraded)
+        (* the pool only pays off with several files; --trace keeps the
+           sequential path so the interleaving of trace output stays
+           deterministic *)
+        if jobs > 1 && List.length fragments > 1 && not trace then
+          expand_parallel ~jobs ~limits ~keep_going ~hygienic ~prelude
+            ~cache:(not no_cache) ~line_directives ~sourcemap
+            ~semantic_check ~stats ~output ~diag_format fragments
+        else begin
+          let engine =
+            Ms2.Api.create_engine ~limits ~recover:keep_going ~hygienic
+              ~prelude ~cache:(not no_cache) ()
+          in
+          if trace then
+            engine.Ms2.Engine.trace <- Some Format.err_formatter;
+          let prog, failed =
+            expand_fragments ~engine ~keep_going ~diag_format fragments
+          in
+          let recovered = Ms2.Api.diagnostics engine in
+          emit_diags diag_format recovered;
+          let out =
+            if line_directives || sourcemap <> None then begin
+              (* the provenance-aware emitter: same strict rendering, but
+                 every output line is tracked back to the construct (and
+                 expansion chain) that produced it *)
+              let r = Ms2_syntax.Emit.program ~line_directives prog in
+              (match sourcemap with
+              | None -> ()
+              | Some path ->
+                  write_atomic ~diag_format path
+                    (Ms2_syntax.Emit.sourcemap_to_string
+                       r.Ms2_syntax.Emit.map));
+              r.Ms2_syntax.Emit.text
+            end
+            else
+              Ms2_syntax.Pretty.program_to_string
+                ~mode:Ms2_syntax.Pretty.strict prog
+          in
+          (match output with
+          | None -> print_string out
+          | Some path -> write_atomic ~diag_format path out);
+          if stats then print_stats (Ms2.Api.stats engine);
+          if semantic_check then begin
+            match Ms2.Api.check_program prog with
+            | [] -> ()
+            | findings ->
+                List.iter prerr_endline findings;
+                exit exit_fatal
+          end;
+          if failed || recovered <> [] then exit exit_degraded
+        end)
   in
   Cmd.v
     (Cmd.info "expand" ~doc:"Expand syntax macros to pure C")
     Term.(
       const run $ files_arg $ output_arg $ stats_arg $ hygienic_arg
-      $ semantic_check_arg $ prelude_arg $ trace_arg $ fuel_arg
-      $ invocation_fuel_arg $ max_nodes_arg $ max_errors_arg
-      $ timeout_arg $ invocation_timeout_arg $ failpoints_arg
-      $ keep_going_arg $ line_directives_arg $ sourcemap_arg
-      $ diag_format_arg)
+      $ semantic_check_arg $ prelude_arg $ trace_arg $ jobs_arg
+      $ no_cache_arg $ fuel_arg $ invocation_fuel_arg $ max_nodes_arg
+      $ max_errors_arg $ timeout_arg $ invocation_timeout_arg
+      $ failpoints_arg $ keep_going_arg $ line_directives_arg
+      $ sourcemap_arg $ diag_format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* check                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let check_cmd =
-  let run files fuel invocation_fuel max_nodes max_errors timeout_ms
+  let run files no_cache fuel invocation_fuel max_nodes max_errors timeout_ms
       invocation_timeout_ms failpoints keep_going diag_format =
     arm_failpoints failpoints;
     with_fragments ~diag_format files (fun fragments ->
@@ -364,7 +684,8 @@ let check_cmd =
             ~timeout_ms ~invocation_timeout_ms
         in
         let engine =
-          Ms2.Api.create_engine ~limits ~recover:keep_going ()
+          Ms2.Api.create_engine ~limits ~recover:keep_going
+            ~cache:(not no_cache) ()
         in
         let _, failed =
           expand_fragments ~engine ~keep_going ~diag_format fragments
@@ -378,7 +699,7 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:"Parse, type check and expand without printing the result")
     Term.(
-      const run $ files_arg $ fuel_arg $ invocation_fuel_arg
+      const run $ files_arg $ no_cache_arg $ fuel_arg $ invocation_fuel_arg
       $ max_nodes_arg $ max_errors_arg $ timeout_arg
       $ invocation_timeout_arg $ failpoints_arg $ keep_going_arg
       $ diag_format_arg)

@@ -23,13 +23,17 @@ type stats = {
   macros_defined : int;
   fuel_consumed : int;  (** interpreter steps charged so far *)
   nodes_produced : int;  (** AST nodes charged to template fills so far *)
+  cache_hits : int;  (** fragments replayed from the expansion cache *)
+  cache_misses : int;  (** keyed cache lookups that found nothing *)
+  cache_evictions : int;  (** cache entries dropped for the byte budget *)
+  cache_bypasses : int;  (** fragments the cache stood aside for *)
 }
 
 let create_engine ?limits ?compile_patterns ?hygienic ?recover ?provenance
-    ?transactional ?(prelude = false) () =
+    ?transactional ?cache ?cache_bytes ?(prelude = false) () =
   let engine =
     Engine.create ?limits ?compile_patterns ?hygienic ?recover ?provenance
-      ?transactional ()
+      ?transactional ?cache ?cache_bytes ()
   in
   if prelude then Prelude.load engine;
   engine
@@ -88,6 +92,10 @@ let stats (engine : engine) : stats =
     macros_defined = engine.Engine.stats.Engine.macros_defined;
     fuel_consumed = Engine.fuel_consumed engine;
     nodes_produced = Engine.nodes_produced engine;
+    cache_hits = engine.Engine.stats.Engine.cache_hits;
+    cache_misses = engine.Engine.stats.Engine.cache_misses;
+    cache_evictions = engine.Engine.stats.Engine.cache_evictions;
+    cache_bypasses = engine.Engine.stats.Engine.cache_bypasses;
   }
 
 (** Diagnostics recorded by an engine's recovery mode, oldest first. *)

@@ -22,6 +22,12 @@ type stats = {
   macros_defined : int;
   fuel_consumed : int;  (** interpreter steps charged so far *)
   nodes_produced : int;  (** AST nodes charged to template fills so far *)
+  cache_hits : int;  (** fragments replayed from the expansion cache *)
+  cache_misses : int;  (** keyed cache lookups that found nothing *)
+  cache_evictions : int;  (** cache entries dropped for the byte budget *)
+  cache_bypasses : int;
+      (** fragments the cache stood aside for (unkeyable state, trace
+          mode, armed failpoints, or a drained budget) *)
 }
 
 val create_engine :
@@ -31,6 +37,8 @@ val create_engine :
   ?recover:bool ->
   ?provenance:bool ->
   ?transactional:bool ->
+  ?cache:bool ->
+  ?cache_bytes:int ->
   ?prelude:bool ->
   unit ->
   engine
@@ -42,6 +50,11 @@ val create_engine :
     @param transactional checkpoint session state around each fragment
     and roll it back on failure (default true; disable only for
     overhead benchmarking)
+    @param cache content-addressed expansion caching: an identical
+    fragment expanded against identical session state replays the
+    recorded output and state delta (default true; disable for the
+    [--no-cache] ablation)
+    @param cache_bytes cache byte budget, LRU-evicted beyond it
     @param prelude load the standard macro library ({!Prelude}) *)
 
 type checkpoint = Engine.checkpoint

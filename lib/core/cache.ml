@@ -1,0 +1,225 @@
+(** Content-addressed expansion caching: key construction and a
+    byte-budgeted LRU store.
+
+    {b The key.}  A fragment's expansion is a pure function of the
+    fragment text and the session state it runs against.  {!key} digests
+    everything the pipeline can read:
+
+    - the fragment text and its source name (locations embed the name,
+      so the same text under another name renders differently);
+    - the macro tables, summarized by the engine's definition-table
+      version counter — every mutation (registration or rollback) bumps
+      it, and versions are never reused for different contents, so equal
+      version implies equal tables within one engine;
+    - the meta type environment, the global meta environment (by value),
+      and the object-level symbol table — a [metadcl] fragment mutates
+      these without touching the macro tables;
+    - the resource limits and the engine's behavior flags (hygiene,
+      provenance, recovery, pattern compilation): each changes the
+      produced program or its locations.
+
+    Keys are {e over}-precise by construction: any state difference that
+    cannot actually influence the output merely costs a miss, never a
+    wrong hit.
+
+    {b What cannot be keyed.}  Meta globals can hold closures.  A
+    closure's behavior is its parameters, its body, and its captured
+    environment; when the captured environment is just the global scope
+    (the common case — the globals are already in the key, and the body
+    and parameters are pure data) the closure digests fine.  A closure
+    that captured {e local} scopes has no finite digest we can trust, so
+    {!key} raises {!Uncacheable} and the engine expands for real.
+
+    {b Generated names.}  The gensym counter is deliberately {e not}
+    part of the key.  Instead, the engine refuses to store any run that
+    minted generated names (or anonymous struct tags): those counters
+    are monotonic and never rolled back, so a pre-state that included
+    them could never recur anyway — the entry would be dead weight — and
+    a run that never consulted them cannot depend on them.  Hygiene is
+    therefore preserved bit-for-bit: every expansion that allocates
+    fresh names really runs, and cached replays are exactly the runs
+    whose output provably does not mention fresh names.
+
+    {b The store} is a plain string-keyed table with last-use ticks and
+    a byte budget; insertion evicts least-recently-used entries until
+    the new entry fits.  Callers pass a byte estimate with each entry
+    ([Obj.reachable_words] is the fallback, but walking a whole stored
+    run is itself a measurable clean-path cost, and it over-counts
+    structure shared with live engine state). *)
+
+open Ms2_support
+module Tenv = Ms2_typing.Tenv
+module Senv = Ms2_csem.Senv
+module Value = Ms2_meta.Value
+
+exception Uncacheable
+
+(* ------------------------------------------------------------------ *)
+(* Key construction                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Meta values digest structurally.  Closures: parameters and body are
+   pure data; the captured environment must be the global scope alone
+   (see the module comment), which the caller digests separately. *)
+let rec add_value b (v : Value.t) : unit =
+  match v with
+  | Value.Vint n ->
+      Buffer.add_char b 'i';
+      Buffer.add_string b (string_of_int n)
+  | Value.Vstring s ->
+      Buffer.add_char b 's';
+      Buffer.add_string b (string_of_int (String.length s));
+      Buffer.add_char b ':';
+      Buffer.add_string b s
+  | Value.Vnode n ->
+      Buffer.add_char b 'n';
+      Buffer.add_string b (Marshal.to_string n [])
+  | Value.Vlist items ->
+      Buffer.add_char b '[';
+      List.iter (add_value b) items;
+      Buffer.add_char b ']'
+  | Value.Vtuple fields ->
+      Buffer.add_char b '{';
+      List.iter
+        (fun (name, v) ->
+          Buffer.add_string b name;
+          Buffer.add_char b '=';
+          add_value b v)
+        fields;
+      Buffer.add_char b '}'
+  | Value.Vbuiltin name ->
+      Buffer.add_char b 'b';
+      Buffer.add_string b name
+  | Value.Vvoid -> Buffer.add_char b 'v'
+  | Value.Vclosure cl ->
+      (match cl.Value.cl_env.Value.scopes with
+      | [ _global ] -> ()
+      | _ -> raise Uncacheable);
+      Buffer.add_char b 'c';
+      Buffer.add_string b (Marshal.to_string cl.Value.cl_params []);
+      Buffer.add_string b (Marshal.to_string cl.Value.cl_body [])
+
+let digest_globals (env : Value.env) : string =
+  let global =
+    match List.rev env.Value.scopes with
+    | global :: _ -> global
+    | [] -> raise Uncacheable
+  in
+  let b = Buffer.create 256 in
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) global []
+  |> List.sort (fun (a, _) (c, _) -> String.compare a c)
+  |> List.iter (fun (name, v) ->
+         Buffer.add_string b name;
+         Buffer.add_char b '=';
+         add_value b v);
+  Digest.string (Buffer.contents b)
+
+(** The cache key for expanding [text] against the given session state.
+    @raise Uncacheable when the state has no trustworthy finite digest
+    (closures over local scopes, a non-global meta scope stack). *)
+let key ~defs_version ~(env : Value.env) ~tenv ~senv ~(limits : Limits.t)
+    ~flags ~source (text : string) : string =
+  (* mid-expansion states (open meta scopes) are not cacheable keys *)
+  (match env.Value.scopes with [ _ ] -> () | _ -> raise Uncacheable);
+  let b = Buffer.create 512 in
+  Buffer.add_string b (string_of_int defs_version);
+  Buffer.add_char b '|';
+  Buffer.add_string b (digest_globals env);
+  Buffer.add_char b '|';
+  Buffer.add_string b (Tenv.digest tenv);
+  Buffer.add_char b '|';
+  Buffer.add_string b (Senv.digest senv);
+  Buffer.add_char b '|';
+  Buffer.add_string b (Limits.to_string limits);
+  Buffer.add_char b '|';
+  Buffer.add_string b flags;
+  Buffer.add_char b '|';
+  Buffer.add_string b source;
+  Buffer.add_char b '|';
+  Buffer.add_string b text;
+  Digest.string (Buffer.contents b)
+
+(* ------------------------------------------------------------------ *)
+(* LRU store                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type 'v entry = { value : 'v; size : int; mutable last_use : int }
+
+type 'v t = {
+  table : (string, 'v entry) Hashtbl.t;
+  budget_bytes : int;
+  mutable used_bytes : int;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let default_budget_bytes = 64 * 1024 * 1024
+
+let create ?(budget_bytes = default_budget_bytes) () : 'v t =
+  {
+    table = Hashtbl.create 64;
+    budget_bytes;
+    used_bytes = 0;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let find (t : 'v t) (key : string) : 'v option =
+  t.tick <- t.tick + 1;
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      e.last_use <- t.tick;
+      t.hits <- t.hits + 1;
+      Some e.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+(* Evict the least-recently-used entry.  A linear scan: budgets hold at
+   most a few thousand entries, and eviction is the rare path. *)
+let evict_one (t : 'v t) : unit =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, best) when best.last_use <= e.last_use -> acc
+        | _ -> Some (key, e))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (key, e) ->
+      Hashtbl.remove t.table key;
+      t.used_bytes <- t.used_bytes - e.size;
+      t.evictions <- t.evictions + 1
+
+let word_bytes = Sys.word_size / 8
+
+let add ?size_bytes (t : 'v t) (key : string) (value : 'v) : unit =
+  if not (Hashtbl.mem t.table key) then begin
+    let size =
+      match size_bytes with
+      | Some n -> n
+      | None -> (Obj.reachable_words (Obj.repr value) + 16) * word_bytes
+    in
+    if size <= t.budget_bytes then begin
+      while
+        t.used_bytes + size > t.budget_bytes && Hashtbl.length t.table > 0
+      do
+        evict_one t
+      done;
+      t.tick <- t.tick + 1;
+      Hashtbl.replace t.table key { value; size; last_use = t.tick };
+      t.used_bytes <- t.used_bytes + size
+    end
+  end
+
+let length (t : 'v t) : int = Hashtbl.length t.table
+let used_bytes (t : 'v t) : int = t.used_bytes
+let hits (t : 'v t) : int = t.hits
+let misses (t : 'v t) : int = t.misses
+let evictions (t : 'v t) : int = t.evictions

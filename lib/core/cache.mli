@@ -1,0 +1,56 @@
+(** Content-addressed expansion caching: key construction over session
+    state, and a byte-budgeted LRU store.  See [cache.ml] for the
+    soundness story (what the key covers, why generated names force a
+    store refusal rather than a key salt). *)
+
+open Ms2_support
+module Tenv = Ms2_typing.Tenv
+module Senv = Ms2_csem.Senv
+module Value = Ms2_meta.Value
+
+exception Uncacheable
+(** The session state has no trustworthy finite digest (e.g. a meta
+    global holds a closure over local scopes); the caller must expand
+    for real. *)
+
+val key :
+  defs_version:int ->
+  env:Value.env ->
+  tenv:Tenv.t ->
+  senv:Senv.t ->
+  limits:Limits.t ->
+  flags:string ->
+  source:string ->
+  string ->
+  string
+(** Digest of everything a fragment expansion can read: the text, its
+    source name, the macro tables (via the engine's definition-table
+    version), the meta type environment, the global meta environment by
+    value, the object-level symbol table, the resource limits, and the
+    engine behavior flags.  @raise Uncacheable — see above. *)
+
+(** {1 LRU store} *)
+
+type 'v t
+
+val default_budget_bytes : int
+(** 64 MiB. *)
+
+val create : ?budget_bytes:int -> unit -> 'v t
+
+val find : 'v t -> string -> 'v option
+(** Lookup; refreshes recency and counts a hit or a miss. *)
+
+val add : ?size_bytes:int -> 'v t -> string -> 'v -> unit
+(** Insert, evicting least-recently-used entries until the new entry
+    fits the byte budget.  [size_bytes] is the caller's estimate of the
+    entry's weight; without it the entry is sized via
+    [Obj.reachable_words] (exact but walks the whole value, and
+    over-counts structure shared with live state).  An entry larger
+    than the whole budget is dropped; an existing key is left as is. *)
+
+val length : 'v t -> int
+val used_bytes : 'v t -> int
+val hits : 'v t -> int
+val misses : 'v t -> int
+val evictions : 'v t -> int

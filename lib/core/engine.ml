@@ -35,6 +35,12 @@ type stats = {
   mutable invocations_expanded : int;
   mutable meta_declarations_run : int;
   mutable macros_defined : int;
+  mutable cache_hits : int;  (** fragments replayed from the cache *)
+  mutable cache_misses : int;  (** keyed lookups that found nothing *)
+  mutable cache_evictions : int;  (** entries dropped for the byte budget *)
+  mutable cache_bypasses : int;
+      (** fragments the cache stood aside for (unkeyable state, trace
+          mode, armed failpoints, or a budget too drained to replay) *)
 }
 
 type t = {
@@ -78,6 +84,61 @@ type t = {
           debugging macros depends upon the quality of the debugger",
           paper §3 — this is the poor man's version) *)
   stats : stats;
+  mutable defs_version : int;
+      (** bumped on every macro-table mutation the engine performs
+          (definition registration, rollback).  Two equal versions imply
+          equal table contents at fragment boundaries, which is what
+          lets the expansion-cache key and the memoized {!fingerprint}
+          summarize the tables by a single integer *)
+  mutable fp_tables_memo : (int * string) option;
+      (** memoized macro-tables section of {!fingerprint}, keyed by
+          [defs_version] (the dirty flag) *)
+  cache : cached_run Cache.t option;  (** [None] = caching disabled *)
+}
+
+(** What a cache hit replays: the produced program, the post-run session
+    state (a checkpoint — restoring it {e is} the state delta, replayed
+    through the same rollback machinery the transaction layer uses), and
+    the run's resource/statistics deltas. *)
+and cached_run = {
+  ca_program : program;
+  ca_post : checkpoint;
+  ca_version : int;
+      (** [defs_version] after the recorded run.  Replay re-establishes
+          it together with the post-state tables: a version number is
+          permanently associated with the table content it was allocated
+          for, so restoring the pair keeps the version→content mapping
+          single-valued (and lets an idempotent fragment's key recur, so
+          repeat replays keep hitting) *)
+  ca_fuel : int;  (** interpreter steps the run consumed *)
+  ca_nodes : int;  (** AST nodes the run charged *)
+  ca_invocations : int;
+  ca_meta_runs : int;
+  ca_macros_defined : int;
+}
+
+(* What a checkpoint captures is the *session* state a failed fragment
+   could corrupt: macro tables, the meta type environment, the global
+   meta environment, and the object-level symbol table.  What it
+   deliberately does NOT capture: the gensym counter (rolled-back names
+   must stay burned, or a retry could collide with names the aborted
+   attempt leaked into diagnostics), stats, fuel consumed, and recorded
+   diagnostics (the whole point of the rollback is to keep them).
+
+   Rollback restores the engine's tables IN PLACE (reset + re-add)
+   because parser states created before the checkpoint alias the same
+   table objects; swapping in fresh tables would silently detach them.
+   The checkpoint's own copies are never mutated, so one checkpoint
+   supports any number of rollbacks. *)
+and checkpoint = {
+  cp_macros : (string, State.macro_sig) Hashtbl.t;
+  cp_compiled : (string, State.compiled_pattern) Hashtbl.t;
+  cp_defs : (string, macro_def) Hashtbl.t;
+  cp_tenv : Tenv.t;
+  cp_globals : (string * Value.t) list;
+      (** global meta bindings, deref'd — {!Value.t} is structurally
+          immutable, so a shallow capture is a deep one *)
+  cp_senv : Senv.t;
 }
 
 (* No dummy default: every expansion-error site must say where. *)
@@ -211,7 +272,7 @@ let expand_invocation (t : t) (inv : invocation) : Value.t =
 
 let create ?(limits = Limits.default) ?(compile_patterns = true)
     ?(hygienic = false) ?(recover = false) ?(provenance = true)
-    ?(transactional = true) () : t =
+    ?(transactional = true) ?(cache = true) ?cache_bytes () : t =
   let gensym = Gensym.create () in
   let budget = Value.create_budget ~fuel:limits.Limits.fuel () in
   let env = Value.create_env ~gensym ~budget () in
@@ -237,7 +298,13 @@ let create ?(limits = Limits.default) ?(compile_patterns = true)
       trace = None;
       stats =
         { invocations_expanded = 0; meta_declarations_run = 0;
-          macros_defined = 0 };
+          macros_defined = 0; cache_hits = 0; cache_misses = 0;
+          cache_evictions = 0; cache_bypasses = 0 };
+      defs_version = 0;
+      fp_tables_memo = None;
+      cache =
+        (if cache then Some (Cache.create ?budget_bytes:cache_bytes ())
+         else None);
     }
   in
   (t.env).Value.expand_invocation := (fun inv -> expand_invocation t inv);
@@ -252,30 +319,6 @@ let nodes_produced (t : t) : int = Value.nodes_produced t.env.Value.budget
 (* ------------------------------------------------------------------ *)
 (* Transactional checkpoints                                           *)
 (* ------------------------------------------------------------------ *)
-
-(* What a checkpoint captures is the *session* state a failed fragment
-   could corrupt: macro tables, the meta type environment, the global
-   meta environment, and the object-level symbol table.  What it
-   deliberately does NOT capture: the gensym counter (rolled-back names
-   must stay burned, or a retry could collide with names the aborted
-   attempt leaked into diagnostics), stats, fuel consumed, and recorded
-   diagnostics (the whole point of the rollback is to keep them).
-
-   Rollback restores the engine's tables IN PLACE (reset + re-add)
-   because parser states created before the checkpoint alias the same
-   table objects; swapping in fresh tables would silently detach them.
-   The checkpoint's own copies are never mutated, so one checkpoint
-   supports any number of rollbacks. *)
-type checkpoint = {
-  cp_macros : (string, State.macro_sig) Hashtbl.t;
-  cp_compiled : (string, State.compiled_pattern) Hashtbl.t;
-  cp_defs : (string, macro_def) Hashtbl.t;
-  cp_tenv : Tenv.t;
-  cp_globals : (string * Value.t) list;
-      (** global meta bindings, deref'd — {!Value.t} is structurally
-          immutable, so a shallow capture is a deep one *)
-  cp_senv : Senv.t;
-}
 
 let global_scope (t : t) : (string, Value.t ref) Hashtbl.t =
   match List.rev t.env.Value.scopes with
@@ -298,6 +341,7 @@ let restore_table dst src =
   Hashtbl.iter (fun k v -> Hashtbl.replace dst k v) src
 
 let rollback (t : t) (cp : checkpoint) : unit =
+  t.defs_version <- t.defs_version + 1;
   restore_table t.macros cp.cp_macros;
   restore_table t.compiled cp.cp_compiled;
   restore_table t.defs cp.cp_defs;
@@ -313,11 +357,32 @@ let rollback (t : t) (cp : checkpoint) : unit =
 
 (** A structural digest of the rollback-covered session state, for
     asserting the rollback invariant in tests.  Values are summarized by
-    name and type (closures have no structural identity). *)
+    name and type (closures have no structural identity).
+
+    The macro-tables section is memoized under [defs_version] as the
+    dirty flag: every engine-side table mutation (registration,
+    rollback) bumps the version, so the sorted-name lists are only
+    rebuilt when the tables actually changed.  The parser registers
+    signatures directly into the shared tables {e during} a fragment
+    parse; every such mid-fragment mutation is followed by either a
+    definition registration or a rollback before [expand_source]
+    returns, so the memo is valid whenever fingerprints are taken at
+    fragment boundaries (the only supported use). *)
 let fingerprint (t : t) : string =
-  let names tbl =
-    Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
-    |> List.sort compare |> String.concat ","
+  let tables =
+    match t.fp_tables_memo with
+    | Some (version, s) when version = t.defs_version -> s
+    | _ ->
+        let names tbl =
+          Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+          |> List.sort compare |> String.concat ","
+        in
+        let s =
+          Printf.sprintf "macros=[%s] compiled=[%s] defs=[%s]"
+            (names t.macros) (names t.compiled) (names t.defs)
+        in
+        t.fp_tables_memo <- Some (t.defs_version, s);
+        s
   in
   let globals =
     Hashtbl.fold
@@ -325,10 +390,7 @@ let fingerprint (t : t) : string =
       (global_scope t) []
     |> List.sort compare |> String.concat ","
   in
-  Printf.sprintf
-    "macros=[%s] compiled=[%s] defs=[%s] globals=[%s] scopes=%d \
-     senv-depth=%d"
-    (names t.macros) (names t.compiled) (names t.defs) globals
+  Printf.sprintf "%s globals=[%s] scopes=%d senv-depth=%d" tables globals
     (List.length t.env.Value.scopes)
     (Senv.depth t.senv)
 
@@ -378,6 +440,7 @@ let register_macro_def (t : t) (md : macro_def) : unit =
           "generated macro definition still has a placeholder for its name"
   in
   t.stats.macros_defined <- t.stats.macros_defined + 1;
+  t.defs_version <- t.defs_version + 1;
   Hashtbl.replace t.defs name md;
   Hashtbl.replace t.macros name
     { State.sig_ret = md.m_ret; sig_pattern = md.m_pattern };
@@ -688,7 +751,7 @@ let fragment_start ~source : Loc.t =
     resource diagnostic), or any other escaping exception — so the
     session stays usable for the next fragment.  The fragment watchdog
     ([limits.timeout_ms]) is armed for the duration. *)
-let expand_source (t : t) ?(source = "<string>") (text : string) : program =
+let expand_source_uncached (t : t) ~source (text : string) : program =
   let loc0 = fragment_start ~source in
   let cp = if t.transactional then Some (checkpoint t) else None in
   Watchdog.arm t.watchdog ~ms:t.limits.Limits.timeout_ms;
@@ -708,6 +771,9 @@ let expand_source (t : t) ?(source = "<string>") (text : string) : program =
       prog
   | exception Stack_overflow ->
       Watchdog.disarm t.watchdog;
+      (* even without a rollback, the aborted parse may have registered
+         signatures into the shared tables — the version must move *)
+      t.defs_version <- t.defs_version + 1;
       Option.iter (rollback t) cp;
       Diag.error ~loc:loc0 ~code:Diag.code_stack Diag.Resource
         "stack overflow while expanding %s (a pathologically deep program, \
@@ -715,5 +781,121 @@ let expand_source (t : t) ?(source = "<string>") (text : string) : program =
         source
   | exception e ->
       Watchdog.disarm t.watchdog;
+      t.defs_version <- t.defs_version + 1;
       Option.iter (rollback t) cp;
       raise e
+
+(* ------------------------------------------------------------------ *)
+(* Content-addressed expansion cache                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Behavior flags that change the produced program or its locations;
+   part of the cache key. *)
+let cache_flags (t : t) : string =
+  Printf.sprintf "hyg=%b prov=%b rec=%b cp=%b txn=%b"
+    t.env.Value.hygienic t.provenance t.recover t.compile_patterns
+    t.transactional
+
+(* The key for expanding [text] now, or [None] when the cache must stand
+   aside: trace mode (the trace is a side effect a replay would skip),
+   armed failpoints (replays would mask injected failures), or session
+   state with no trustworthy digest. *)
+let cache_key (t : t) ~source (text : string) : string option =
+  if t.trace <> None || Failpoint.armed () then None
+  else
+    match
+      Cache.key ~defs_version:t.defs_version ~env:t.env ~tenv:t.tenv
+        ~senv:t.senv ~limits:t.limits ~flags:(cache_flags t) ~source text
+    with
+    | key -> Some key
+    | exception Cache.Uncacheable -> None
+
+(* Replay a cached run: register the source with the diagnostic registry
+   (the lexer would have), restore the recorded post-run session state —
+   through the same in-place rollback the transaction layer uses, so
+   aliasing parser states stay attached — and apply the run's resource
+   and statistics deltas. *)
+let replay (t : t) (e : cached_run) ~source (text : string) : program =
+  Diag.register_source source text;
+  rollback t e.ca_post;
+  t.defs_version <- e.ca_version;
+  let b = t.env.Value.budget in
+  b.Value.fuel <- b.Value.fuel - e.ca_fuel;
+  b.Value.nodes <- b.Value.nodes - e.ca_nodes;
+  t.stats.invocations_expanded <-
+    t.stats.invocations_expanded + e.ca_invocations;
+  t.stats.meta_declarations_run <-
+    t.stats.meta_declarations_run + e.ca_meta_runs;
+  t.stats.macros_defined <- t.stats.macros_defined + e.ca_macros_defined;
+  e.ca_program
+
+(** Cached expansion.  A hit replays the recorded output and post-run
+    state; a miss runs for real and — when the run was clean (no new
+    diagnostics) and minted no generated names or anonymous tags —
+    stores the result.  The mint restriction is the hygiene story: the
+    gensym and anonymous-tag counters are monotonic and never rolled
+    back, so a run that consulted them ran from a state that can never
+    recur (the entry would be dead), and a run that did not cannot
+    depend on them — replaying it is bit-for-bit the rerun. *)
+let expand_source (t : t) ?(source = "<string>") (text : string) : program =
+  match t.cache with
+  | None -> expand_source_uncached t ~source text
+  | Some cache -> (
+      match cache_key t ~source text with
+      | None ->
+          t.stats.cache_bypasses <- t.stats.cache_bypasses + 1;
+          expand_source_uncached t ~source text
+      | Some key -> (
+          let b = t.env.Value.budget in
+          match Cache.find cache key with
+          | Some e when b.Value.fuel >= e.ca_fuel && b.Value.nodes >= e.ca_nodes
+            ->
+              t.stats.cache_hits <- t.stats.cache_hits + 1;
+              replay t e ~source text
+          | Some _ ->
+              (* a replay would overdraw the remaining global budget —
+                 the real run must happen (and fail) for real *)
+              t.stats.cache_bypasses <- t.stats.cache_bypasses + 1;
+              expand_source_uncached t ~source text
+          | None ->
+              t.stats.cache_misses <- t.stats.cache_misses + 1;
+              let gensym0 = Gensym.count t.gensym in
+              let anon0 = Senv.anon_count t.senv in
+              let diags0 = Diag.count t.diags in
+              let fuel0 = fuel_consumed t in
+              let nodes0 = nodes_produced t in
+              let inv0 = t.stats.invocations_expanded in
+              let meta0 = t.stats.meta_declarations_run in
+              let defs0 = t.stats.macros_defined in
+              let prog = expand_source_uncached t ~source text in
+              if
+                Gensym.count t.gensym = gensym0
+                && Senv.anon_count t.senv = anon0
+                && Diag.count t.diags = diags0
+              then begin
+                (* entry weight estimate: the parsed-and-expanded
+                   program scales with the fragment text and the nodes
+                   the templates produced; the checkpoint's table spines
+                   are a near-constant (their contents are shared with
+                   the live session).  Walking the real structure with
+                   [Obj.reachable_words] here would cost more than the
+                   rest of the store path combined. *)
+                let size_bytes =
+                  2048
+                  + (8 * String.length text)
+                  + (128 * (nodes_produced t - nodes0))
+                in
+                Cache.add cache key ~size_bytes
+                  {
+                    ca_program = prog;
+                    ca_post = checkpoint t;
+                    ca_version = t.defs_version;
+                    ca_fuel = fuel_consumed t - fuel0;
+                    ca_nodes = nodes_produced t - nodes0;
+                    ca_invocations = t.stats.invocations_expanded - inv0;
+                    ca_meta_runs = t.stats.meta_declarations_run - meta0;
+                    ca_macros_defined = t.stats.macros_defined - defs0;
+                  };
+                t.stats.cache_evictions <- Cache.evictions cache
+              end;
+              prog))

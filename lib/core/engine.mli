@@ -22,7 +22,26 @@ type stats = {
   mutable invocations_expanded : int;
   mutable meta_declarations_run : int;
   mutable macros_defined : int;
+  mutable cache_hits : int;  (** fragments replayed from the cache *)
+  mutable cache_misses : int;  (** keyed lookups that found nothing *)
+  mutable cache_evictions : int;  (** entries dropped for the byte budget *)
+  mutable cache_bypasses : int;
+      (** fragments the cache stood aside for (unkeyable state, trace
+          mode, armed failpoints, or a budget too drained to replay) *)
 }
+
+type checkpoint
+(** A session checkpoint: captures the state a failed fragment could
+    corrupt (macro tables, meta type environment, global meta
+    environment, object-level symbol table).  Deliberately {e not}
+    captured: the gensym counter (names stay burned across a rollback),
+    statistics, fuel already consumed, and recorded diagnostics.  A
+    checkpoint is never mutated, so one supports any number of
+    rollbacks. *)
+
+type cached_run
+(** A stored expansion: the produced program, the post-run session state
+    (replayed through the rollback machinery), and resource deltas. *)
 
 type t = {
   macros : (string, State.macro_sig) Hashtbl.t;
@@ -47,11 +66,19 @@ type t = {
   mutable trace : Format.formatter option;
       (** when set, every invocation expansion is logged *)
   stats : stats;
+  mutable defs_version : int;
+      (** bumped on every engine-side macro-table mutation; equal
+          versions imply equal tables at fragment boundaries *)
+  mutable fp_tables_memo : (int * string) option;
+      (** memoized macro-tables section of {!fingerprint}, keyed by
+          [defs_version] *)
+  cache : cached_run Cache.t option;  (** [None] = caching disabled *)
 }
 
 val create :
   ?limits:Limits.t -> ?compile_patterns:bool -> ?hygienic:bool ->
-  ?recover:bool -> ?provenance:bool -> ?transactional:bool -> unit -> t
+  ?recover:bool -> ?provenance:bool -> ?transactional:bool ->
+  ?cache:bool -> ?cache_bytes:int -> unit -> t
 (** @param limits resource bounds (default {!Limits.default})
     @param compile_patterns compile invocation parsers at definition
     time (default true; disable for the ablation benchmark)
@@ -64,19 +91,18 @@ val create :
     overhead benchmark)
     @param transactional checkpoint session state on each
     {!expand_source} and roll it back when the fragment fails (default
-    true; disable only for the overhead benchmark) *)
+    true; disable only for the overhead benchmark)
+    @param cache content-addressed expansion caching: identical
+    fragments expanded against identical session state replay their
+    recorded output and state delta instead of re-running (default
+    true; disable for the ablation benchmark).  Runs that mint
+    generated names or anonymous tags, produce diagnostics, or execute
+    under trace mode / armed failpoints are never stored or replayed
+    @param cache_bytes cache byte budget (default
+    {!Cache.default_budget_bytes}); least-recently-used entries are
+    evicted beyond it *)
 
-(** {1 Transactional checkpoints}
-
-    A checkpoint captures the session state a failed fragment could
-    corrupt: the macro signature/compiled-parser/definition tables, the
-    meta type environment, the global meta environment, and the
-    object-level symbol table.  Deliberately {e not} captured: the
-    gensym counter (names stay burned across a rollback), statistics,
-    fuel already consumed, and recorded diagnostics.  A checkpoint is
-    never mutated, so one supports any number of rollbacks. *)
-
-type checkpoint
+(** {1 Transactional checkpoints} *)
 
 val checkpoint : t -> checkpoint
 

@@ -23,6 +23,11 @@ val depth : t -> int
 val fresh_tag : t -> string
 (** A name for an anonymous struct/union/enum tag. *)
 
+val anon_count : t -> int
+(** Anonymous tags minted so far.  Monotonic — never rolled back — which
+    is what lets the expansion cache refuse to store runs that minted
+    tags (their pre-state can never recur). *)
+
 val add_var : t -> string -> Ctype.t -> unit
 val add_typedef : t -> string -> Ctype.t -> unit
 val add_layout : t -> string -> (string * Ctype.t) list -> unit
@@ -31,4 +36,11 @@ val find_typedef : t -> string -> Ctype.t option
 val find_layout : t -> string -> (string * Ctype.t) list option
 
 val field_type : t -> string -> string -> Ctype.t
-(** Field type within a tagged struct/union; [Unknown] when unknown. *)
+(** Field type within a tagged struct/union; [Unknown] when unknown.
+    Resolved through an interned-key index, so cost is independent of
+    the struct's width. *)
+
+val digest : t -> string
+(** Deterministic digest of the whole environment (scopes, bindings,
+    layouts, anonymous-tag counter), for content-addressed
+    expansion-cache keys. *)

@@ -13,6 +13,7 @@ open Ms2_support
 
 type state = {
   src : string;
+  len : int;  (** [String.length src], hoisted out of the scan loops *)
   source_name : string;
   mutable pos : int;  (** byte offset *)
   mutable line : int;
@@ -33,10 +34,10 @@ let error st start fmt =
         (Diag.Error (Diag.make ~loc:(loc_from st start) Diag.Lexing message)))
     fmt
 
-let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+let peek st = if st.pos < st.len then Some st.src.[st.pos] else None
 
 let peek2 st =
-  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+  if st.pos + 1 < st.len then Some st.src.[st.pos + 1] else None
 
 let advance st =
   (match peek st with
@@ -99,7 +100,9 @@ let lex_ident st =
     | Some _ | None -> ()
   in
   go ();
-  let name = Buffer.contents b in
+  (* Intern the spelling: a session lexes the same names thousands of
+     times, and canonical copies make every later equality/hash cheap. *)
+  let name = Intern.canon (Buffer.contents b) in
   if st.reject_reserved && Gensym.is_reserved name then
     error st start
       "identifier %S uses the reserved generated-name marker %S" name
@@ -159,6 +162,7 @@ let lex_number st =
     (match peek st with Some ('f' | 'F' | 'l' | 'L') -> add () | _ -> ());
     let text = Buffer.contents b in
     let digits =
+      (* only allocate the sub-string when a suffix is actually there *)
       let n = String.length text in
       match text.[n - 1] with
       | 'f' | 'F' | 'l' | 'L' -> String.sub text 0 (n - 1)
@@ -179,7 +183,9 @@ let lex_number st =
     done;
     let text = Buffer.contents b in
     let digits =
-      (* strip suffix letters for value computation *)
+      (* strip suffix letters for value computation, allocating only
+         when a suffix is actually present (the common literal has
+         none, and [text] itself is already the digits) *)
       let n = String.length text in
       let rec core i =
         if
@@ -190,7 +196,8 @@ let lex_number st =
         then core (i - 1)
         else i
       in
-      String.sub text 0 (core n)
+      let c = core n in
+      if c = n then text else String.sub text 0 c
     in
     match int_of_string_opt digits with
     | Some v -> Token.INT_LIT (v, text)
@@ -294,7 +301,7 @@ let lex_token st =
     | ',', _ -> one COMMA
     | ':', _ -> one COLON
     | '?', _ -> one QUESTION
-    | '.', Some '.' when st.pos + 2 < String.length st.src && st.src.[st.pos + 2] = '.' ->
+    | '.', Some '.' when st.pos + 2 < st.len && st.src.[st.pos + 2] = '.' ->
         three ELLIPSIS
     | '.', _ -> one DOT
     | '-', Some '>' -> two ARROW
@@ -322,13 +329,13 @@ let lex_token st =
     | '!', Some '=' -> two NE
     | '!', _ -> one BANG
     | '<', Some '<' ->
-        if st.pos + 2 < String.length st.src && st.src.[st.pos + 2] = '=' then
+        if st.pos + 2 < st.len && st.src.[st.pos + 2] = '=' then
           three SHL_ASSIGN
         else two SHL
     | '<', Some '=' -> two LE
     | '<', _ -> one LT
     | '>', Some '>' ->
-        if st.pos + 2 < String.length st.src && st.src.[st.pos + 2] = '=' then
+        if st.pos + 2 < st.len && st.src.[st.pos + 2] = '=' then
           three SHR_ASSIGN
         else two SHR
     | '>', Some '=' -> two GE
@@ -356,8 +363,8 @@ let tokenize ?(origin = Loc.User) ?(source = "<string>")
      can quote the offending line *)
   Diag.register_source source text;
   let st =
-    { src = text; source_name = source; pos = 0; line = 1; bol = 0;
-      reject_reserved }
+    { src = text; len = String.length text; source_name = source; pos = 0;
+      line = 1; bol = 0; reject_reserved }
   in
   let with_origin loc =
     match origin with Loc.User -> loc | o -> Loc.set_origin loc o
@@ -365,7 +372,7 @@ let tokenize ?(origin = Loc.User) ?(source = "<string>")
   let acc = ref [] in
   let rec go () =
     skip_trivia st;
-    if st.pos >= String.length st.src then
+    if st.pos >= st.len then
       acc :=
         { Token.tok = Token.EOF;
           loc = with_origin (loc_from st (current_pos st)) }

@@ -53,11 +53,23 @@ let keyword_table : (string * keyword) list =
     ("unsigned", Kunsigned); ("void", Kvoid); ("volatile", Kvolatile);
     ("while", Kwhile); ("syntax", Ksyntax); ("metadcl", Kmetadcl) ]
 
-let keyword_of_string s = List.assoc_opt s keyword_table
+(* The lexer consults this on every identifier, so it is a hashtable
+   rather than a 34-entry assoc scan. *)
+let keyword_lookup : (string, keyword) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (name, kw) -> Hashtbl.replace tbl name kw) keyword_table;
+  tbl
+
+let keyword_of_string s = Hashtbl.find_opt keyword_lookup s
+
+let keyword_names : (keyword, string) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (name, kw) -> Hashtbl.replace tbl kw name) keyword_table;
+  tbl
 
 let keyword_name kw =
-  match List.find_opt (fun (_, k) -> k = kw) keyword_table with
-  | Some (name, _) -> name
+  match Hashtbl.find_opt keyword_names kw with
+  | Some name -> name
   | None -> assert false
 
 (** Concrete spelling of a token, used by the pretty-printer for pattern
@@ -85,8 +97,15 @@ let to_string = function
   | EOF -> "<eof>"
 
 (** Token equality for pattern matching of invocation "buzz tokens".
-    Literal tokens compare by value; [IDENT]s by spelling. *)
-let equal (a : t) (b : t) = a = b
+    Literal tokens compare by value; [IDENT]s by spelling.  The physical
+    fast path covers both shared constant constructors and interned
+    identifier spellings (the lexer canonicalizes them, so two [IDENT]s
+    with one spelling usually share the payload too). *)
+let equal (a : t) (b : t) =
+  a == b
+  || (match (a, b) with
+     | IDENT x, IDENT y -> x == y || String.equal x y
+     | _ -> a = b)
 
 let pp ppf t = Fmt.string ppf (to_string t)
 

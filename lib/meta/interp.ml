@@ -74,7 +74,7 @@ let rec eval (env : env) (expr : expr) : Value.t =
       in
       match eval env e with
       | Vtuple fields -> (
-          match List.assoc_opt f.id_name fields with
+          match Value.tuple_field fields f.id_name with
           | Some v -> v
           | None -> error ~loc:f.id_loc "tuple has no field %s" f.id_name)
       | Vnode n -> Builtins.component ~loc n f.id_name

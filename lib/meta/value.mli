@@ -90,6 +90,11 @@ val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 val of_actual : Ast.actual -> t
 
+val tuple_field : (string * t) list -> string -> t option
+(** Resolve a field of a [Vtuple] payload (first declaration wins).
+    Wide tuples (≥ 16 fields) resolve through a memoized interned-key
+    index, so repeated selections are O(1) instead of O(width). *)
+
 val truthy : loc:Loc.t -> t -> bool
 val as_int : loc:Loc.t -> what:string -> t -> int
 val as_string : loc:Loc.t -> what:string -> t -> string

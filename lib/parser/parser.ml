@@ -73,6 +73,70 @@ let param_like = function
   | Mtype.Ast Sort.Param | Mtype.List (Mtype.Ast Sort.Param) -> true
   | _ -> false
 
+(* ------------------------------------------------------------------ *)
+(* Compiled-pattern memo                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A compiled invocation parser depends only on the shape of its
+   pattern — tokens, binder names, specifiers — never on source
+   locations.  Re-expanding the same definition (a header of macro
+   definitions fed through the engine once per file, say) therefore
+   reuses the previously compiled closure: compilations are memoized
+   under a location-insensitive serialization of the pattern shape.
+   The table is bounded; at the cap it is cleared rather than grown, so
+   pathological definition churn costs only recompilation. *)
+let pattern_key (pat : pattern) : string =
+  let b = Buffer.create 64 in
+  let add_tok tok =
+    Buffer.add_string b (Token.to_string tok);
+    Buffer.add_char b '\x00'
+  in
+  let rec add_pat pat =
+    List.iter
+      (function
+        | Pe_token tok ->
+            Buffer.add_char b 't';
+            add_tok tok
+        | Pe_binder bd ->
+            Buffer.add_char b 'b';
+            Buffer.add_string b bd.b_name.id_name;
+            Buffer.add_char b '\x00';
+            add_spec bd.b_spec)
+      pat;
+    Buffer.add_char b ')'
+  and add_sep = function
+    | None -> Buffer.add_char b '-'
+    | Some tok ->
+        Buffer.add_char b '/';
+        add_tok tok
+  and add_spec = function
+    | Ps_sort s ->
+        Buffer.add_char b 's';
+        Buffer.add_string b (Sort.keyword s)
+    | Ps_plus (sep, p) ->
+        Buffer.add_char b '+';
+        add_sep sep;
+        add_spec p
+    | Ps_star (sep, p) ->
+        Buffer.add_char b '*';
+        add_sep sep;
+        add_spec p
+    | Ps_opt (tok, p) ->
+        Buffer.add_char b '?';
+        add_sep tok;
+        add_spec p
+    | Ps_tuple pat ->
+        Buffer.add_char b '.';
+        add_pat pat
+  in
+  add_pat pat;
+  Buffer.contents b
+
+let compiled_pattern_memo : (string, State.compiled_pattern) Hashtbl.t =
+  Hashtbl.create 64
+
+let compiled_pattern_memo_cap = 512
+
 (* [peek_placeholder st] implements the paper's placeholder tokens: when
    the next token is [$] inside a template, parse the placeholder
    expression in the meta context, perform AST type analysis on it, and
@@ -1285,6 +1349,17 @@ and compile_continue sep p : State.t -> bool =
       fun st -> List.exists (fun c -> Firstset.matches c (peek st)) firsts
 
 and compile_pattern (pat : pattern) : State.compiled_pattern =
+  let key = pattern_key pat in
+  match Hashtbl.find_opt compiled_pattern_memo key with
+  | Some compiled -> compiled
+  | None ->
+      let compiled = compile_pattern_uncached pat in
+      if Hashtbl.length compiled_pattern_memo >= compiled_pattern_memo_cap
+      then Hashtbl.reset compiled_pattern_memo;
+      Hashtbl.add compiled_pattern_memo key compiled;
+      compiled
+
+and compile_pattern_uncached (pat : pattern) : State.compiled_pattern =
   let steps =
     List.map
       (function

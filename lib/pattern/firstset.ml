@@ -83,21 +83,55 @@ let first_stmt : tclass list =
 let first_declarator : tclass list =
   [ Any_ident; Exact Token.STAR; Exact Token.LPAREN; Exact Token.DOLLAR ]
 
+let first_id : tclass list = [ Any_ident; Exact Token.DOLLAR ]
+let first_num : tclass list = [ Any_int; Any_char; Exact Token.DOLLAR ]
+let first_param : tclass list = first_decl @ first_declarator
+
 (** FIRST set of a sort. *)
 let of_sort (sort : Sort.t) : tclass list =
   match sort with
-  | Sort.Id -> [ Any_ident; Exact Token.DOLLAR ]
-  | Sort.Num -> [ Any_int; Any_char; Exact Token.DOLLAR ]
+  | Sort.Id -> first_id
+  | Sort.Num -> first_num
   | Sort.Exp -> first_exp
   | Sort.Stmt -> first_stmt
   | Sort.Decl -> first_decl
   | Sort.Typespec -> first_typespec
   | Sort.Declarator | Sort.Init_declarator -> first_declarator
-  | Sort.Param -> first_decl @ first_declarator
-  | Sort.Enumerator -> [ Any_ident; Exact Token.DOLLAR ]
+  | Sort.Param -> first_param
+  | Sort.Enumerator -> first_id
+
+(* The invocation parser consults the FIRST set of a pattern specifier
+   once per token while deciding repetition continuation, and specifiers
+   live exactly as long as the macro definition that owns them — so an
+   identity-keyed memo turns the per-token list rebuild into a pointer
+   probe.  The table is a fixed ring: beyond [memo_slots] live
+   specifiers the oldest entry is overwritten, costing only a
+   recomputation, so the memo can never grow without bound or retain a
+   dead definition's specifiers forever. *)
+let memo_slots = 32
+
+let pspec_memo : (Ast.pspec * tclass list) option array =
+  Array.make memo_slots None
+
+let pspec_memo_next = ref 0
 
 (** FIRST set of a pattern specifier. *)
 let rec of_pspec (ps : Ast.pspec) : tclass list =
+  let rec probe i =
+    if i >= memo_slots then begin
+      let fs = compute_pspec ps in
+      pspec_memo.(!pspec_memo_next) <- Some (ps, fs);
+      pspec_memo_next := (!pspec_memo_next + 1) mod memo_slots;
+      fs
+    end
+    else
+      match pspec_memo.(i) with
+      | Some (p, fs) when p == ps -> fs
+      | _ -> probe (i + 1)
+  in
+  probe 0
+
+and compute_pspec (ps : Ast.pspec) : tclass list =
   match ps with
   | Ast.Ps_sort s -> of_sort s
   | Ast.Ps_plus (_, p) -> of_pspec p

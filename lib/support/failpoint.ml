@@ -118,6 +118,8 @@ let fire_timeout ?watchdog ~loc name =
   in
   wait ()
 
+let armed () = !any_armed
+
 let hit ?watchdog ~loc name =
   if !any_armed then
     match Hashtbl.find_opt table name with

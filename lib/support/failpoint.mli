@@ -45,6 +45,11 @@ val disarm : string -> unit
 val reset : unit -> unit
 (** Disarm everything (the test sweep calls this between cases). *)
 
+val armed : unit -> bool
+(** Is any failpoint currently armed?  Machinery that would mask
+    injected failures (e.g. the expansion cache) checks this and stands
+    aside. *)
+
 val hit : ?watchdog:Watchdog.t -> loc:Loc.t -> string -> unit
 (** Trip the named failpoint if armed; a cheap no-op otherwise.  The
     [timeout] trigger stalls against [watchdog] when given (and falls

@@ -1,0 +1,64 @@
+(** Global string interning.
+
+    The expansion pipeline compares and hashes the same identifier
+    spellings over and over: every token lookup, every typedef test,
+    every macro-table probe, every symbol-table bind re-hashes the name
+    from scratch, and every [lex_ident] allocates a fresh copy of a name
+    the session has usually seen thousands of times before.
+
+    An interned symbol ({!t}) fixes both costs:
+
+    - each distinct spelling is allocated exactly once per process
+      ({!canon} returns the canonical copy, so [==] implies spelling
+      equality for canonicalized strings);
+    - the symbol records its hash, so hashtables keyed by symbols
+      ({!Tbl}) never re-hash the characters, and equality is one pointer
+      comparison.
+
+    The table is global and append-only: symbols are never collected.
+    That is the right trade for a compiler-shaped process — the set of
+    distinct identifiers is bounded by the source actually seen — but it
+    means [intern] must not be fed attacker-controlled unbounded data
+    outside a compilation session. *)
+
+type t = {
+  str : string;  (** the canonical spelling (unique per contents) *)
+  hash : int;  (** [Hashtbl.hash str], computed once *)
+  uid : int;  (** dense allocation order, for cheap total ordering *)
+}
+
+let table : (string, t) Hashtbl.t = Hashtbl.create 1024
+let count = ref 0
+
+let intern (s : string) : t =
+  match Hashtbl.find_opt table s with
+  | Some sym -> sym
+  | None ->
+      let sym = { str = s; hash = Hashtbl.hash s; uid = !count } in
+      incr count;
+      Hashtbl.replace table s sym;
+      sym
+
+(** The canonical copy of [s]: spelling-equal strings map to one shared
+    allocation, so later [String.equal]s on canonical strings hit their
+    physical-equality fast path. *)
+let canon (s : string) : string = (intern s).str
+
+let str (sym : t) : string = sym.str
+
+(* Sound because {!intern} never creates two symbols with one spelling. *)
+let equal (a : t) (b : t) : bool = a == b
+let hash (sym : t) : int = sym.hash
+let compare (a : t) (b : t) : int = Int.compare a.uid b.uid
+
+(** Number of distinct spellings interned so far (process-wide). *)
+let interned () : int = !count
+
+(** Hashtables keyed by interned symbols: hashing reads the cached
+    field, equality is physical. *)
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

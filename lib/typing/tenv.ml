@@ -4,24 +4,31 @@
     meta-variables (both globals and parameters of macros and
     meta-functions) and the types returned by primitive operations on
     ASTs" (paper, §3).  A [Tenv.t] holds exactly that knowledge: a stack
-    of scopes mapping meta-variable names to {!Ms2_mtype.Mtype.t}. *)
+    of scopes mapping meta-variable names to {!Ms2_mtype.Mtype.t}.
+
+    Scopes are keyed by interned symbols ({!Ms2_support.Intern}): the
+    parser probes this environment for essentially every identifier it
+    sees, and the interned keys make each probe one cached-hash lookup
+    with pointer-equality bucket scans instead of re-hashing the
+    spelling. *)
 
 module Mtype = Ms2_mtype.Mtype
+module Intern = Ms2_support.Intern
 
-type t = { mutable scopes : (string, Mtype.t) Hashtbl.t list }
+type t = { mutable scopes : Mtype.t Intern.Tbl.t list }
 
-let create () = { scopes = [ Hashtbl.create 16 ] }
+let create () = { scopes = [ Intern.Tbl.create 16 ] }
 
 (** A snapshot usable for re-entrant parses: shares no mutable state with
     the original. *)
-let copy t = { scopes = List.map Hashtbl.copy t.scopes }
+let copy t = { scopes = List.map Intern.Tbl.copy t.scopes }
 
 (** Reset [t] in place to the state captured by [snap].  In-place because
     re-entrant parser states alias the same [t]; the snapshot itself is
     never mutated, so it stays reusable. *)
-let restore t snap = t.scopes <- List.map Hashtbl.copy snap.scopes
+let restore t snap = t.scopes <- List.map Intern.Tbl.copy snap.scopes
 
-let push_scope t = t.scopes <- Hashtbl.create 16 :: t.scopes
+let push_scope t = t.scopes <- Intern.Tbl.create 16 :: t.scopes
 
 let pop_scope t =
   match t.scopes with
@@ -34,22 +41,43 @@ let with_scope t f =
 
 let add t name ty =
   match t.scopes with
-  | scope :: _ -> Hashtbl.replace scope name ty
+  | scope :: _ -> Intern.Tbl.replace scope (Intern.intern name) ty
   | [] -> assert false
 
 let add_global t name ty =
   match List.rev t.scopes with
-  | global :: _ -> Hashtbl.replace global name ty
+  | global :: _ -> Intern.Tbl.replace global (Intern.intern name) ty
   | [] -> assert false
 
 let find t name =
+  let sym = Intern.intern name in
   let rec go = function
     | [] -> None
     | scope :: rest -> (
-        match Hashtbl.find_opt scope name with
+        match Intern.Tbl.find_opt scope sym with
         | Some ty -> Some ty
         | None -> go rest)
   in
   go t.scopes
 
 let mem t name = Option.is_some (find t name)
+
+(** A deterministic digest of the whole environment (scope structure,
+    names, types), for content-addressed cache keys.  [Mtype.t] is pure
+    data, so marshalling it is a faithful serialization. *)
+let digest (t : t) : string =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun scope ->
+      Buffer.add_string b "(scope";
+      Intern.Tbl.fold
+        (fun sym ty acc -> (Intern.str sym, ty) :: acc)
+        scope []
+      |> List.sort compare
+      |> List.iter (fun (name, ty) ->
+             Buffer.add_string b name;
+             Buffer.add_char b '=';
+             Buffer.add_string b (Marshal.to_string (ty : Mtype.t) []));
+      Buffer.add_char b ')')
+    t.scopes;
+  Digest.string (Buffer.contents b)

@@ -25,3 +25,7 @@ val add : t -> string -> Mtype.t -> unit
 val add_global : t -> string -> Mtype.t -> unit
 val find : t -> string -> Mtype.t option
 val mem : t -> string -> bool
+
+val digest : t -> string
+(** Deterministic digest of the whole environment (scopes, names,
+    types), for content-addressed expansion-cache keys. *)
