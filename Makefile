@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test faults txn-sweep bench bench-fuel bench-provenance \
-        bench-txn bench-perf figures examples expand clean
+        bench-txn bench-perf bench-obs figures examples expand clean
 
 all: build
 
@@ -38,6 +38,11 @@ bench-txn:
 # hot-path / cache / parallel-speedup tables (writes BENCH_PERF.json)
 bench-perf:
 	dune exec bench/main.exe perf
+
+# telemetry overhead table: disabled-sink and recording costs
+# (writes BENCH_OBS.json)
+bench-obs:
+	dune exec bench/main.exe obs
 
 figures:
 	dune exec bench/main.exe figures

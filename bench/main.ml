@@ -699,6 +699,151 @@ let run_perf () =
   Printf.printf "\n  (written to BENCH_PERF.json)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Observability overhead                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The telemetry layer's contract is zero overhead when disabled: every
+   span site is one flag test, every hot-path metric one unconditional
+   increment.  A single binary cannot race its own uninstrumented twin,
+   so the disabled-sink overhead is *derived*: measure the per-call cost
+   of a disabled [with_span] guard and of a counter increment in
+   isolation, count how many of each a workload run executes (record one
+   run for the span count; read the hot-path counters for the increment
+   count), and express the product as a fraction of the workload's
+   measured time.  The recording-enabled cost is measured directly
+   (per-run start/stop, so the event buffer never grows unbounded). *)
+
+module Obs = Ms2_support.Obs
+
+let obs_pairs () =
+  [ ("myenum (32 constants)", Workloads.myenum 32);
+    ("Painting x32", Workloads.painting 32);
+    ("Painting nested 16 deep", Workloads.painting_nested 16) ]
+
+let obs_tests () =
+  let run src () =
+    let engine = Ms2.Engine.create () in
+    match Ms2.Api.expand ~source:"bench" engine src with
+    | Ok out -> Sys.opaque_identity (String.length out)
+    | Error e -> failwith e
+  in
+  let run_rec src () =
+    Obs.start_recording ();
+    let r = run src () in
+    ignore (Obs.stop_recording ());
+    r
+  in
+  Test.make_grouped ~name:"obs"
+    (List.concat_map
+       (fun (name, src) ->
+         [ Test.make ~name:(name ^ ": sinks disabled")
+             (Staged.stage (run src));
+           Test.make ~name:(name ^ ": recording on")
+             (Staged.stage (run_rec src)) ])
+       (obs_pairs ()))
+
+let obs_guard_tests () =
+  let c = Obs.Metrics.counter "bench.obs.incr" in
+  Test.make_grouped ~name:"obs-guard"
+    [ Test.make ~name:"disabled with_span guard"
+        (Staged.stage (fun () ->
+             Obs.with_span ~cat:"bench" "noop" (fun () ->
+                 Sys.opaque_identity 0)));
+      Test.make ~name:"counter increment"
+        (Staged.stage (fun () -> Obs.Metrics.incr c)) ]
+
+(* The counters the pipeline increments unconditionally on hot paths. *)
+let obs_hot_counters =
+  [ "fill.templates"; "parser.pattern_memo.hits";
+    "parser.pattern_memo.misses"; "pattern.firstset.memo_hits";
+    "pattern.firstset.memo_misses"; "watchdog.clock_reads" ]
+
+(* (span sites crossed, counter increments) during one workload run *)
+let obs_site_counts src =
+  let sum () =
+    List.fold_left
+      (fun a n -> a + Obs.Metrics.value (Obs.Metrics.counter n))
+      0 obs_hot_counters
+  in
+  let c0 = sum () in
+  Obs.start_recording ();
+  let engine = Ms2.Engine.create () in
+  (match Ms2.Api.expand ~source:"bench" engine src with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  let events = Obs.stop_recording () in
+  (List.length events, sum () - c0)
+
+let run_obs () =
+  Obs.Profile.disable ();
+  let results = measure_tests (obs_tests ()) in
+  print_estimates "Observability overhead (sinks disabled vs recording on)"
+    results;
+  let guard = measure_tests (obs_guard_tests ()) in
+  print_estimates "Disabled-sink site costs" guard;
+  let ests = estimates results in
+  let guard_ests = estimates guard in
+  let site name = Option.value ~default:0. (List.assoc_opt name guard_ests) in
+  let guard_ns = site "obs-guard/disabled with_span guard" in
+  let incr_ns = site "obs-guard/counter increment" in
+  rule "Derived: disabled-sink overhead (<=2% target) and recording cost";
+  let rows =
+    List.filter_map
+      (fun (name, src) ->
+        let find suffix =
+          List.assoc_opt ("obs/" ^ name ^ ": " ^ suffix) ests
+        in
+        match (find "sinks disabled", find "recording on") with
+        | Some off, Some on when off > 0. ->
+            let spans, incrs = obs_site_counts src in
+            let disabled_pct =
+              ((guard_ns *. float_of_int spans)
+              +. (incr_ns *. float_of_int incrs))
+              /. off *. 100.
+            in
+            let rec_pct = (on -. off) /. off *. 100. in
+            Printf.printf
+              "  %-34s disabled %+.4f%%   recording %+.1f%%   (%d spans, \
+               %d increments)\n"
+              name disabled_pct rec_pct spans incrs;
+            Some (name, off, on, spans, incrs, disabled_pct, rec_pct)
+        | _, _ -> None)
+      (obs_pairs ())
+  in
+  let oc = open_out "BENCH_OBS.json" in
+  Printf.fprintf oc
+    "{\n  \"quota_s\": %g,\n  \"guard_ns_per_call\": %.2f,\n  \
+     \"counter_incr_ns_per_call\": %.2f,\n  \"workloads\": [\n"
+    quota guard_ns incr_ns;
+  List.iteri
+    (fun i (name, off, on, spans, incrs, disabled_pct, rec_pct) ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"ns_per_run\": %.1f, \
+         \"ns_per_run_recording\": %.1f, \"span_sites\": %d, \
+         \"counter_increments\": %d, \"disabled_overhead_percent\": %.4f, \
+         \"recording_overhead_percent\": %.2f}%s\n"
+        name off on spans incrs disabled_pct rec_pct
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  let mean f =
+    match rows with
+    | [] -> 0.
+    | _ ->
+        List.fold_left (fun a r -> a +. f r) 0. rows
+        /. float_of_int (List.length rows)
+  in
+  let mean_disabled = mean (fun (_, _, _, _, _, d, _) -> d) in
+  let mean_rec = mean (fun (_, _, _, _, _, _, r) -> r) in
+  Printf.fprintf oc
+    "  ],\n  \"mean_disabled_overhead_percent\": %.4f,\n  \
+     \"mean_recording_overhead_percent\": %.2f\n}\n"
+    mean_disabled mean_rec;
+  close_out oc;
+  Printf.printf
+    "\n  mean disabled-sink overhead: %+.4f%%  (written to BENCH_OBS.json)\n"
+    mean_disabled
+
+(* ------------------------------------------------------------------ *)
 (* Fig. 2 parse-time type analysis cost                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -746,6 +891,7 @@ let () =
   | "provenance" -> run_provenance ()
   | "txn" -> run_txn ()
   | "perf" -> run_perf ()
+  | "obs" -> run_obs ()
   | "all" ->
       run_figures ();
       run_time ();
@@ -754,10 +900,11 @@ let () =
       run_fuel ();
       run_provenance ();
       run_txn ();
-      run_perf ()
+      run_perf ();
+      run_obs ()
   | other ->
       Printf.eprintf
         "unknown mode %S (expected figures | time | sweep | penalty | fuel \
-         | provenance | txn | perf)\n"
+         | provenance | txn | perf | obs)\n"
         other;
       exit 2

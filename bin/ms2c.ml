@@ -13,6 +13,7 @@ module Diag = Ms2_support.Diag
 module Limits = Ms2_support.Limits
 module Loc = Ms2_support.Loc
 module Failpoint = Ms2_support.Failpoint
+module Obs = Ms2_support.Obs
 
 let exit_fatal = 1
 let exit_degraded = 3
@@ -123,6 +124,10 @@ type worker_result = {
   w_map : Ms2_syntax.Emit.entry list;  (** per-file source map (absolute lines) *)
   w_findings : string list;  (** object-level semantic-check findings *)
   w_stats : Ms2.Api.stats;
+  w_events : Obs.event list;
+      (** the worker's recorded trace events (empty unless --trace-out) *)
+  w_metrics : Obs.Metrics.snapshot option;
+      (** the worker's metrics registry, for parent-side absorption *)
 }
 
 let zero_stats : Ms2.Api.stats =
@@ -136,6 +141,10 @@ let zero_stats : Ms2.Api.stats =
     cache_misses = 0;
     cache_evictions = 0;
     cache_bypasses = 0;
+    cache_bypass_trace = 0;
+    cache_bypass_failpoints = 0;
+    cache_bypass_uncacheable = 0;
+    cache_bypass_budget = 0;
   }
 
 let sum_stats (a : Ms2.Api.stats) (b : Ms2.Api.stats) : Ms2.Api.stats =
@@ -151,17 +160,60 @@ let sum_stats (a : Ms2.Api.stats) (b : Ms2.Api.stats) : Ms2.Api.stats =
     cache_misses = a.Ms2.Api.cache_misses + b.Ms2.Api.cache_misses;
     cache_evictions = a.Ms2.Api.cache_evictions + b.Ms2.Api.cache_evictions;
     cache_bypasses = a.Ms2.Api.cache_bypasses + b.Ms2.Api.cache_bypasses;
+    cache_bypass_trace =
+      a.Ms2.Api.cache_bypass_trace + b.Ms2.Api.cache_bypass_trace;
+    cache_bypass_failpoints =
+      a.Ms2.Api.cache_bypass_failpoints + b.Ms2.Api.cache_bypass_failpoints;
+    cache_bypass_uncacheable =
+      a.Ms2.Api.cache_bypass_uncacheable + b.Ms2.Api.cache_bypass_uncacheable;
+    cache_bypass_budget =
+      a.Ms2.Api.cache_bypass_budget + b.Ms2.Api.cache_bypass_budget;
   }
 
-let print_stats (s : Ms2.Api.stats) =
-  Printf.eprintf
-    "macros defined: %d\nmeta declarations run: %d\ninvocations expanded: \
-     %d\nfuel consumed: %d\nAST nodes produced: %d\ncache hits: %d\ncache \
-     misses: %d\ncache evictions: %d\ncache bypasses: %d\n"
-    s.Ms2.Api.macros_defined s.Ms2.Api.meta_declarations_run
-    s.Ms2.Api.invocations_expanded s.Ms2.Api.fuel_consumed
-    s.Ms2.Api.nodes_produced s.Ms2.Api.cache_hits s.Ms2.Api.cache_misses
-    s.Ms2.Api.cache_evictions s.Ms2.Api.cache_bypasses
+type stats_format = Stats_text | Stats_json
+
+(* Publish a (possibly summed) stats snapshot into the metrics registry
+   under the same names {!Ms2.Engine.publish_metrics} uses, so the JSON
+   stats format and --metrics dumps share one schema. *)
+let stats_to_registry (s : Ms2.Api.stats) =
+  let set name v = Obs.Metrics.set (Obs.Metrics.counter name) v in
+  set "engine.invocations_expanded" s.Ms2.Api.invocations_expanded;
+  set "engine.meta_declarations_run" s.Ms2.Api.meta_declarations_run;
+  set "engine.macros_defined" s.Ms2.Api.macros_defined;
+  set "engine.fuel_consumed" s.Ms2.Api.fuel_consumed;
+  set "engine.nodes_produced" s.Ms2.Api.nodes_produced;
+  set "cache.hits" s.Ms2.Api.cache_hits;
+  set "cache.misses" s.Ms2.Api.cache_misses;
+  set "cache.evictions" s.Ms2.Api.cache_evictions;
+  set "cache.bypasses" s.Ms2.Api.cache_bypasses;
+  set "cache.bypass.trace" s.Ms2.Api.cache_bypass_trace;
+  set "cache.bypass.failpoints" s.Ms2.Api.cache_bypass_failpoints;
+  set "cache.bypass.uncacheable" s.Ms2.Api.cache_bypass_uncacheable;
+  set "cache.bypass.budget" s.Ms2.Api.cache_bypass_budget
+
+let print_stats ?(format = Stats_text) (s : Ms2.Api.stats) =
+  match format with
+  | Stats_json ->
+      (* same schema as --metrics: the registry already holds the
+         hot-path counters; fold the engine totals in and dump it *)
+      stats_to_registry s;
+      prerr_endline (Obs.Metrics.to_json ())
+  | Stats_text ->
+      Printf.eprintf
+        "macros defined: %d\nmeta declarations run: %d\ninvocations \
+         expanded: %d\nfuel consumed: %d\nAST nodes produced: %d\ncache \
+         hits: %d\ncache misses: %d\ncache evictions: %d\ncache bypasses: \
+         %d\n"
+        s.Ms2.Api.macros_defined s.Ms2.Api.meta_declarations_run
+        s.Ms2.Api.invocations_expanded s.Ms2.Api.fuel_consumed
+        s.Ms2.Api.nodes_produced s.Ms2.Api.cache_hits s.Ms2.Api.cache_misses
+        s.Ms2.Api.cache_evictions s.Ms2.Api.cache_bypasses;
+      if s.Ms2.Api.cache_bypasses > 0 then
+        Printf.eprintf
+          "  bypassed for: trace mode %d, armed failpoints %d, uncacheable \
+           state %d, drained budget %d\n"
+          s.Ms2.Api.cache_bypass_trace s.Ms2.Api.cache_bypass_failpoints
+          s.Ms2.Api.cache_bypass_uncacheable s.Ms2.Api.cache_bypass_budget
 
 (* Run [work i] for every fragment index, at most [jobs] forked workers
    at a time, returning results in input order.  The parent stops
@@ -196,6 +248,8 @@ let run_pool ~jobs ~keep_going ~(work : int -> worker_result) (n : int) :
               w_map = [];
               w_findings = [];
               w_stats = zero_stats;
+              w_events = [];
+              w_metrics = None;
             }
         in
         let oc = Unix.out_channel_of_descr wr in
@@ -238,6 +292,8 @@ let run_pool ~jobs ~keep_going ~(work : int -> worker_result) (n : int) :
                 w_map = [];
                 w_findings = [];
                 w_stats = zero_stats;
+                w_events = [];
+                w_metrics = None;
               }
         in
         if r.w_fatal && not keep_going then fatal_seen := true;
@@ -287,7 +343,31 @@ let prelude_arg =
 
 let trace_arg =
   Arg.(value & flag & info [ "trace" ]
-       ~doc:"Log every macro expansion (name, actuals, result) to stderr.")
+       ~doc:"Log every macro expansion (name, actuals, result) to stderr.  \
+             Implies a cache bypass for every fragment (the trace log is \
+             a side effect a cache replay would skip); the bypasses are \
+             counted in --stats and noted in the trace itself.")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+       ~doc:"Record pipeline spans (per-invocation expansion, lexing, \
+             parsing, cache traffic, checkpoints) and write them to \
+             $(docv) as Chrome trace-event JSON, loadable in Perfetto or \
+             chrome://tracing.  Under --jobs each worker becomes its own \
+             process track, merged in input order.")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+       ~doc:"Dump the metrics registry (counters, gauges, histograms; \
+             schema ms2-metrics-1) to $(docv) as JSON after expansion.")
+
+let stats_format_arg =
+  Arg.(value
+       & opt (enum [ ("text", Stats_text); ("json", Stats_json) ]) Stats_text
+       & info [ "stats-format" ] ~docv:"FMT"
+       ~doc:"Rendering for --stats: $(b,text) (human-readable lines) or \
+             $(b,json) (the metrics-registry schema, identical to \
+             --metrics output).")
 
 (* Budgets are counts: negative values are a usage error, caught at the
    command line rather than producing an instantly-exhausted budget. *)
@@ -465,19 +545,33 @@ let count_newlines s =
    alive), each with a fresh engine — see {!worker_result}.  Everything
    user-visible is reassembled in input order. *)
 let expand_parallel ~jobs ~limits ~keep_going ~hygienic ~prelude ~cache
-    ~line_directives ~sourcemap ~semantic_check ~stats ~output ~diag_format
-    fragments =
+    ~line_directives ~sourcemap ~semantic_check ~stats ~stats_format
+    ~trace_out ~metrics ~output ~diag_format fragments =
   let frags = Array.of_list fragments in
   let n = Array.length frags in
   let want_map = line_directives || sourcemap <> None in
+  let want_telemetry =
+    trace_out <> None || metrics <> None || stats_format = Stats_json
+  in
   let render_diag d =
     match diag_format with Text -> Diag.render d | Json -> Diag.to_json d
   in
   let work i =
     let source, text = frags.(i) in
+    (* each worker records into its own process-global sinks and ships
+       events + a metrics snapshot home over the result pipe *)
+    if trace_out <> None then Obs.start_recording ();
     let engine =
       Ms2.Api.create_engine ~limits ~recover:keep_going ~hygienic ~prelude
         ~cache ()
+    in
+    let telemetry () =
+      if not want_telemetry then ([], None)
+      else begin
+        Ms2.Api.publish_metrics engine;
+        ( (if trace_out <> None then Obs.events () else []),
+          Some (Obs.Metrics.snapshot ()) )
+      end
     in
     match
       Diag.protect (fun () -> Ms2.Engine.expand_source engine ~source text)
@@ -493,6 +587,7 @@ let expand_parallel ~jobs ~limits ~keep_going ~hygienic ~prelude ~cache
                 ~mode:Ms2_syntax.Pretty.strict decls,
               [] )
         in
+        let events, snapshot = telemetry () in
         {
           w_diags = List.map render_diag recovered;
           w_fatal = false;
@@ -502,6 +597,8 @@ let expand_parallel ~jobs ~limits ~keep_going ~hygienic ~prelude ~cache
           w_findings =
             (if semantic_check then Ms2.Api.check_program decls else []);
           w_stats = Ms2.Api.stats engine;
+          w_events = events;
+          w_metrics = snapshot;
         }
     | Error d ->
         let recovered = Ms2.Api.diagnostics engine in
@@ -513,6 +610,7 @@ let expand_parallel ~jobs ~limits ~keep_going ~hygienic ~prelude ~cache
           if keep_going then render_diag d :: List.map render_diag recovered
           else List.map render_diag recovered @ [ render_diag d ]
         in
+        let events, snapshot = telemetry () in
         {
           w_diags = diags;
           w_fatal = true;
@@ -521,6 +619,8 @@ let expand_parallel ~jobs ~limits ~keep_going ~hygienic ~prelude ~cache
           w_map = [];
           w_findings = [];
           w_stats = Ms2.Api.stats engine;
+          w_events = events;
+          w_metrics = snapshot;
         }
   in
   let results = run_pool ~jobs ~keep_going ~work n in
@@ -591,7 +691,32 @@ let expand_parallel ~jobs ~limits ~keep_going ~hygienic ~prelude ~cache
       (match output with
       | None -> print_string out
       | Some path -> write_atomic ~diag_format path out);
-      if stats then print_stats !stats_acc;
+      (* merge worker telemetry in input order: track [i] (= trace pid
+         [i]) is input file [i], whatever order the workers finished in *)
+      (match trace_out with
+      | None -> ()
+      | Some path ->
+          let tracks =
+            Array.to_list
+              (Array.mapi
+                 (fun i r ->
+                   ( fst frags.(i),
+                     match r with Some r -> r.w_events | None -> [] ))
+                 results)
+          in
+          write_atomic ~diag_format path (Obs.chrome_trace tracks));
+      if want_telemetry then begin
+        Array.iter
+          (function
+            | Some { w_metrics = Some snap; _ } -> Obs.Metrics.absorb snap
+            | _ -> ())
+          results;
+        stats_to_registry !stats_acc
+      end;
+      (match metrics with
+      | None -> ()
+      | Some path -> write_atomic ~diag_format path (Obs.Metrics.to_json ()));
+      if stats then print_stats ~format:stats_format !stats_acc;
       if semantic_check && !findings <> [] then begin
         List.iter prerr_endline !findings;
         exit exit_fatal
@@ -599,10 +724,10 @@ let expand_parallel ~jobs ~limits ~keep_going ~hygienic ~prelude ~cache
       if !degraded then exit exit_degraded
 
 let expand_cmd =
-  let run files output stats hygienic semantic_check prelude trace jobs
-      no_cache fuel invocation_fuel max_nodes max_errors timeout_ms
-      invocation_timeout_ms failpoints keep_going line_directives sourcemap
-      diag_format =
+  let run files output stats stats_format hygienic semantic_check prelude
+      trace trace_out metrics jobs no_cache fuel invocation_fuel max_nodes
+      max_errors timeout_ms invocation_timeout_ms failpoints keep_going
+      line_directives sourcemap diag_format =
     arm_failpoints failpoints;
     with_fragments ~diag_format files (fun fragments ->
         let limits =
@@ -615,8 +740,10 @@ let expand_cmd =
         if jobs > 1 && List.length fragments > 1 && not trace then
           expand_parallel ~jobs ~limits ~keep_going ~hygienic ~prelude
             ~cache:(not no_cache) ~line_directives ~sourcemap
-            ~semantic_check ~stats ~output ~diag_format fragments
+            ~semantic_check ~stats ~stats_format ~trace_out ~metrics
+            ~output ~diag_format fragments
         else begin
+          if trace_out <> None then Obs.start_recording ();
           let engine =
             Ms2.Api.create_engine ~limits ~recover:keep_going ~hygienic
               ~prelude ~cache:(not no_cache) ()
@@ -649,7 +776,20 @@ let expand_cmd =
           (match output with
           | None -> print_string out
           | Some path -> write_atomic ~diag_format path out);
-          if stats then print_stats (Ms2.Api.stats engine);
+          if trace_out <> None || metrics <> None
+             || stats_format = Stats_json
+          then Ms2.Api.publish_metrics engine;
+          (match trace_out with
+          | None -> ()
+          | Some path ->
+              write_atomic ~diag_format path
+                (Obs.chrome_trace [ ("ms2c", Obs.events ()) ]));
+          (match metrics with
+          | None -> ()
+          | Some path ->
+              write_atomic ~diag_format path (Obs.Metrics.to_json ()));
+          if stats then
+            print_stats ~format:stats_format (Ms2.Api.stats engine);
           if semantic_check then begin
             match Ms2.Api.check_program prog with
             | [] -> ()
@@ -663,8 +803,9 @@ let expand_cmd =
   Cmd.v
     (Cmd.info "expand" ~doc:"Expand syntax macros to pure C")
     Term.(
-      const run $ files_arg $ output_arg $ stats_arg $ hygienic_arg
-      $ semantic_check_arg $ prelude_arg $ trace_arg $ jobs_arg
+      const run $ files_arg $ output_arg $ stats_arg $ stats_format_arg
+      $ hygienic_arg $ semantic_check_arg $ prelude_arg $ trace_arg
+      $ trace_out_arg $ metrics_arg $ jobs_arg
       $ no_cache_arg $ fuel_arg $ invocation_fuel_arg $ max_nodes_arg
       $ max_errors_arg $ timeout_arg $ invocation_timeout_arg
       $ failpoints_arg $ keep_going_arg $ line_directives_arg
@@ -705,6 +846,63 @@ let check_cmd =
       $ diag_format_arg)
 
 (* ------------------------------------------------------------------ *)
+(* profile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type profile_format = Profile_text | Profile_json
+
+let profile_format_arg =
+  Arg.(value
+       & opt (enum [ ("text", Profile_text); ("json", Profile_json) ])
+           Profile_text
+       & info [ "format" ] ~docv:"FMT"
+       ~doc:"Report rendering: $(b,text) (aligned table, hottest macro \
+             first) or $(b,json) (schema ms2-profile-1, same order).")
+
+let profile_cmd =
+  let run files output format hygienic prelude no_cache fuel invocation_fuel
+      max_nodes max_errors timeout_ms invocation_timeout_ms failpoints
+      keep_going diag_format =
+    arm_failpoints failpoints;
+    with_fragments ~diag_format files (fun fragments ->
+        let limits =
+          limits_of ~fuel ~invocation_fuel ~max_nodes ~max_errors
+            ~timeout_ms ~invocation_timeout_ms
+        in
+        Obs.Profile.enable ();
+        let engine =
+          Ms2.Api.create_engine ~limits ~recover:keep_going ~hygienic
+            ~prelude ~cache:(not no_cache) ()
+        in
+        let _, failed =
+          expand_fragments ~engine ~keep_going ~diag_format fragments
+        in
+        let recovered = Ms2.Api.diagnostics engine in
+        emit_diags diag_format recovered;
+        let rows = Obs.Profile.report () in
+        let out =
+          match format with
+          | Profile_text -> Obs.Profile.report_to_text rows
+          | Profile_json -> Obs.Profile.report_to_json rows
+        in
+        (match output with
+        | None -> print_string out
+        | Some path -> write_atomic ~diag_format path out);
+        if failed || recovered <> [] then exit exit_degraded)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Expand and report per-macro costs: invocation counts, \
+             self/total wall time, fuel, produced nodes, cache hit rate \
+             and maximum expansion depth, hottest (by self time) first.")
+    Term.(
+      const run $ files_arg $ output_arg $ profile_format_arg
+      $ hygienic_arg $ prelude_arg $ no_cache_arg $ fuel_arg
+      $ invocation_fuel_arg $ max_nodes_arg $ max_errors_arg $ timeout_arg
+      $ invocation_timeout_arg $ failpoints_arg $ keep_going_arg
+      $ diag_format_arg)
+
+(* ------------------------------------------------------------------ *)
 (* figures                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -734,6 +932,6 @@ let main =
   Cmd.group
     (Cmd.info "ms2c" ~version:"1.0.0"
        ~doc:"Programmable syntax macros for C (Weise & Crew, PLDI 1993)")
-    [ expand_cmd; check_cmd; figures_cmd ]
+    [ expand_cmd; check_cmd; profile_cmd; figures_cmd ]
 
 let () = exit (Cmd.eval main)

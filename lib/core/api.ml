@@ -26,7 +26,15 @@ type stats = {
   cache_hits : int;  (** fragments replayed from the expansion cache *)
   cache_misses : int;  (** keyed cache lookups that found nothing *)
   cache_evictions : int;  (** cache entries dropped for the byte budget *)
-  cache_bypasses : int;  (** fragments the cache stood aside for *)
+  cache_bypasses : int;
+      (** fragments the cache stood aside for (sum of the labeled
+          bypass counters below) *)
+  cache_bypass_trace : int;  (** … because trace mode was on *)
+  cache_bypass_failpoints : int;  (** … because failpoints were armed *)
+  cache_bypass_uncacheable : int;
+      (** … because the session state had no trustworthy digest *)
+  cache_bypass_budget : int;
+      (** … because a replay would overdraw the remaining budget *)
 }
 
 let create_engine ?limits ?compile_patterns ?hygienic ?recover ?provenance
@@ -96,7 +104,17 @@ let stats (engine : engine) : stats =
     cache_misses = engine.Engine.stats.Engine.cache_misses;
     cache_evictions = engine.Engine.stats.Engine.cache_evictions;
     cache_bypasses = engine.Engine.stats.Engine.cache_bypasses;
+    cache_bypass_trace = engine.Engine.stats.Engine.cache_bypass_trace;
+    cache_bypass_failpoints =
+      engine.Engine.stats.Engine.cache_bypass_failpoints;
+    cache_bypass_uncacheable =
+      engine.Engine.stats.Engine.cache_bypass_uncacheable;
+    cache_bypass_budget = engine.Engine.stats.Engine.cache_bypass_budget;
   }
+
+(** Publish an engine's statistics into the {!Ms2_support.Obs.Metrics}
+    registry (see {!Engine.publish_metrics}). *)
+let publish_metrics = Engine.publish_metrics
 
 (** Diagnostics recorded by an engine's recovery mode, oldest first. *)
 let diagnostics (engine : engine) : Diag.t list = Engine.diagnostics engine

@@ -26,8 +26,14 @@ type stats = {
   cache_misses : int;  (** keyed cache lookups that found nothing *)
   cache_evictions : int;  (** cache entries dropped for the byte budget *)
   cache_bypasses : int;
-      (** fragments the cache stood aside for (unkeyable state, trace
-          mode, armed failpoints, or a drained budget) *)
+      (** fragments the cache stood aside for (sum of the labeled
+          bypass counters below) *)
+  cache_bypass_trace : int;  (** … because trace mode was on *)
+  cache_bypass_failpoints : int;  (** … because failpoints were armed *)
+  cache_bypass_uncacheable : int;
+      (** … because the session state had no trustworthy digest *)
+  cache_bypass_budget : int;
+      (** … because a replay would overdraw the remaining budget *)
 }
 
 val create_engine :
@@ -88,6 +94,11 @@ val expand_to_ast :
 val stats : engine -> stats
 (** Snapshot of the engine's expansion-cost counters, including fuel
     and produced-AST accounting. *)
+
+val publish_metrics : engine -> unit
+(** Publish the engine's statistics into the
+    {!Ms2_support.Obs.Metrics} registry under [engine.*] and [cache.*]
+    (idempotent absolute sets; call before dumping the registry). *)
 
 val diagnostics : engine -> Diag.t list
 (** Diagnostics recorded by the engine's recovery mode, oldest first

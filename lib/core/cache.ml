@@ -195,7 +195,9 @@ let evict_one (t : 'v t) : unit =
   | Some (key, e) ->
       Hashtbl.remove t.table key;
       t.used_bytes <- t.used_bytes - e.size;
-      t.evictions <- t.evictions + 1
+      t.evictions <- t.evictions + 1;
+      Obs.instant ~cat:"cache" "evict"
+        ~args:(fun () -> [ ("bytes", Obs.Int e.size) ])
 
 let word_bytes = Sys.word_size / 8
 

@@ -39,8 +39,20 @@ type stats = {
   mutable cache_misses : int;  (** keyed lookups that found nothing *)
   mutable cache_evictions : int;  (** entries dropped for the byte budget *)
   mutable cache_bypasses : int;
-      (** fragments the cache stood aside for (unkeyable state, trace
-          mode, armed failpoints, or a budget too drained to replay) *)
+      (** fragments the cache stood aside for (the sum of the labeled
+          bypass counters below) *)
+  mutable cache_bypass_trace : int;
+      (** bypasses because trace mode was on (the trace log is a side
+          effect a replay would skip) *)
+  mutable cache_bypass_failpoints : int;
+      (** bypasses because failpoints were armed (replays would mask
+          injected failures) *)
+  mutable cache_bypass_uncacheable : int;
+      (** bypasses because the session state had no trustworthy digest
+          (e.g. a meta closure over local scopes) *)
+  mutable cache_bypass_budget : int;
+      (** bypasses because a replay would overdraw the remaining global
+          budget (the real run must happen, and fail, for real) *)
 }
 
 type t = {
@@ -115,6 +127,10 @@ and cached_run = {
   ca_invocations : int;
   ca_meta_runs : int;
   ca_macros_defined : int;
+  ca_profile : (string * int) list;
+      (** per-macro invocation counts of the recorded run, captured only
+          when the profiler was enabled at store time; a replay credits
+          them to the profiler as cache-satisfied invocations *)
 }
 
 (* What a checkpoint captures is the *session* state a failed fragment
@@ -219,7 +235,7 @@ let expand_invocation (t : t) (inv : invocation) : Value.t =
       let run () =
         with_invocation_budget t (fun () -> Interp.run_body call_env md.m_body)
       in
-      let v =
+      let compute () =
         try
           if not t.provenance then run ()
           else begin
@@ -257,6 +273,49 @@ let expand_invocation (t : t) (inv : invocation) : Value.t =
                        "%s (while expanding macro %s invoked at %s)"
                        d.Diag.message inv.inv_name.id_name (Loc.to_string loc)
                  })
+      in
+      (* Telemetry wrapper: a trace span per invocation (labeled with
+         the call site and the producing macro read off the Loc.origin
+         chain — see DESIGN.md on span parentage), and a profiler
+         activation charged with the invocation's fuel/node deltas.
+         Both are closed on the failure path too, so a diverging macro
+         still shows up in the timeline and the profile. *)
+      let v =
+        let profiling = Obs.Profile.enabled () in
+        if not (profiling || Obs.recording ()) then compute ()
+        else begin
+          let b = t.env.Value.budget in
+          let fuel0 = Value.fuel_consumed b
+          and nodes0 = Value.nodes_produced b in
+          let pframe =
+            if profiling then
+              Some
+                (Obs.Profile.enter
+                   ~depth:(List.length (Loc.backtrace loc) + 1)
+                   inv.inv_name.id_name)
+            else None
+          in
+          let close_profile () =
+            match pframe with
+            | Some f ->
+                Obs.Profile.exit f
+                  ~fuel:(Value.fuel_consumed b - fuel0)
+                  ~nodes:(Value.nodes_produced b - nodes0)
+            | None -> ()
+          in
+          Obs.with_span ~cat:"expand"
+            ~args:(fun () ->
+              [ ("call_site", Obs.Str (Loc.to_string loc));
+                ("parent_macro",
+                 Obs.Str
+                   (match Loc.backtrace loc with
+                   | { Loc.macro; _ } :: _ -> macro
+                   | [] -> ""));
+                ("expansion_depth",
+                 Obs.Int (List.length (Loc.backtrace loc))) ])
+            inv.inv_name.id_name
+            (fun () -> Fun.protect ~finally:close_profile compute)
+        end
       in
       if not (Value.conforms v md.m_ret) then
         error ~loc
@@ -299,7 +358,9 @@ let create ?(limits = Limits.default) ?(compile_patterns = true)
       stats =
         { invocations_expanded = 0; meta_declarations_run = 0;
           macros_defined = 0; cache_hits = 0; cache_misses = 0;
-          cache_evictions = 0; cache_bypasses = 0 };
+          cache_evictions = 0; cache_bypasses = 0; cache_bypass_trace = 0;
+          cache_bypass_failpoints = 0; cache_bypass_uncacheable = 0;
+          cache_bypass_budget = 0 };
       defs_version = 0;
       fp_tables_memo = None;
       cache =
@@ -753,17 +814,33 @@ let fragment_start ~source : Loc.t =
     ([limits.timeout_ms]) is armed for the duration. *)
 let expand_source_uncached (t : t) ~source (text : string) : program =
   let loc0 = fragment_start ~source in
-  let cp = if t.transactional then Some (checkpoint t) else None in
+  let cp =
+    if t.transactional then
+      Some (Obs.with_span ~cat:"txn" "checkpoint" (fun () -> checkpoint t))
+    else None
+  in
+  let rollback_traced cp =
+    Obs.with_span ~cat:"txn" "rollback" (fun () -> rollback t cp)
+  in
   Watchdog.arm t.watchdog ~ms:t.limits.Limits.timeout_ms;
   let run () =
     Failpoint.hit ~watchdog:t.watchdog ~loc:loc0 "engine/fragment";
     let st =
-      State.of_string ~macros:t.macros ~tenv:t.tenv ~compiled:t.compiled
-        ~watchdog:t.watchdog ~source text
+      (* State.of_string tokenizes eagerly: this span is the lexer's *)
+      Obs.with_span ~cat:"lex"
+        ~args:(fun () -> [ ("bytes", Obs.Int (String.length text)) ])
+        "lex"
+        (fun () ->
+          State.of_string ~macros:t.macros ~tenv:t.tenv ~compiled:t.compiled
+            ~watchdog:t.watchdog ~source text)
     in
     st.State.compile_patterns <- t.compile_patterns;
-    let prog = Parser.parse_program st in
-    expand_program t prog
+    let prog =
+      Obs.with_span ~cat:"parse" "parse" (fun () ->
+          Parser.parse_program st)
+    in
+    Obs.with_span ~cat:"expand" "expand-walk" (fun () ->
+        expand_program t prog)
   in
   match run () with
   | prog ->
@@ -774,7 +851,7 @@ let expand_source_uncached (t : t) ~source (text : string) : program =
       (* even without a rollback, the aborted parse may have registered
          signatures into the shared tables — the version must move *)
       t.defs_version <- t.defs_version + 1;
-      Option.iter (rollback t) cp;
+      Option.iter rollback_traced cp;
       Diag.error ~loc:loc0 ~code:Diag.code_stack Diag.Resource
         "stack overflow while expanding %s (a pathologically deep program, \
          or runaway recursion in a macro)"
@@ -782,7 +859,7 @@ let expand_source_uncached (t : t) ~source (text : string) : program =
   | exception e ->
       Watchdog.disarm t.watchdog;
       t.defs_version <- t.defs_version + 1;
-      Option.iter (rollback t) cp;
+      Option.iter rollback_traced cp;
       raise e
 
 (* ------------------------------------------------------------------ *)
@@ -796,19 +873,52 @@ let cache_flags (t : t) : string =
     t.env.Value.hygienic t.provenance t.recover t.compile_patterns
     t.transactional
 
-(* The key for expanding [text] now, or [None] when the cache must stand
+(* Why the cache stood aside for a fragment.  Each reason has its own
+   labeled counter so the split is visible in [stats] output; the
+   aggregate [cache_bypasses] stays their sum. *)
+type bypass = Bypass_trace | Bypass_failpoints | Bypass_uncacheable | Bypass_budget
+
+let bypass_reason = function
+  | Bypass_trace -> "trace"
+  | Bypass_failpoints -> "failpoints"
+  | Bypass_uncacheable -> "uncacheable"
+  | Bypass_budget -> "budget"
+
+let note_bypass (t : t) ~source (why : bypass) : unit =
+  t.stats.cache_bypasses <- t.stats.cache_bypasses + 1;
+  (match why with
+  | Bypass_trace ->
+      t.stats.cache_bypass_trace <- t.stats.cache_bypass_trace + 1
+  | Bypass_failpoints ->
+      t.stats.cache_bypass_failpoints <- t.stats.cache_bypass_failpoints + 1
+  | Bypass_uncacheable ->
+      t.stats.cache_bypass_uncacheable <- t.stats.cache_bypass_uncacheable + 1
+  | Bypass_budget ->
+      t.stats.cache_bypass_budget <- t.stats.cache_bypass_budget + 1);
+  Obs.instant ~cat:"cache" "bypass"
+    ~args:(fun () ->
+      [ ("source", Obs.Str source); ("reason", Obs.Str (bypass_reason why)) ]);
+  (* trace mode silently disabling the cache surprised people (the stats
+     suddenly show zero hits); say so in the trace log itself *)
+  match (why, t.trace) with
+  | Bypass_trace, Some fmt ->
+      Format.fprintf fmt "cache: bypassed for %s (trace mode is on)@." source
+  | _ -> ()
+
+(* The key for expanding [text] now, or the reason the cache must stand
    aside: trace mode (the trace is a side effect a replay would skip),
    armed failpoints (replays would mask injected failures), or session
    state with no trustworthy digest. *)
-let cache_key (t : t) ~source (text : string) : string option =
-  if t.trace <> None || Failpoint.armed () then None
+let cache_key (t : t) ~source (text : string) : (string, bypass) result =
+  if t.trace <> None then Error Bypass_trace
+  else if Failpoint.armed () then Error Bypass_failpoints
   else
     match
       Cache.key ~defs_version:t.defs_version ~env:t.env ~tenv:t.tenv
         ~senv:t.senv ~limits:t.limits ~flags:(cache_flags t) ~source text
     with
-    | key -> Some key
-    | exception Cache.Uncacheable -> None
+    | key -> Ok key
+    | exception Cache.Uncacheable -> Error Bypass_uncacheable
 
 (* Replay a cached run: register the source with the diagnostic registry
    (the lexer would have), restore the recorded post-run session state —
@@ -816,18 +926,28 @@ let cache_key (t : t) ~source (text : string) : string option =
    aliasing parser states stay attached — and apply the run's resource
    and statistics deltas. *)
 let replay (t : t) (e : cached_run) ~source (text : string) : program =
-  Diag.register_source source text;
-  rollback t e.ca_post;
-  t.defs_version <- e.ca_version;
-  let b = t.env.Value.budget in
-  b.Value.fuel <- b.Value.fuel - e.ca_fuel;
-  b.Value.nodes <- b.Value.nodes - e.ca_nodes;
-  t.stats.invocations_expanded <-
-    t.stats.invocations_expanded + e.ca_invocations;
-  t.stats.meta_declarations_run <-
-    t.stats.meta_declarations_run + e.ca_meta_runs;
-  t.stats.macros_defined <- t.stats.macros_defined + e.ca_macros_defined;
-  e.ca_program
+  Obs.with_span ~cat:"cache"
+    ~args:(fun () ->
+      [ ("source", Obs.Str source);
+        ("invocations", Obs.Int e.ca_invocations) ])
+    "replay"
+    (fun () ->
+      Diag.register_source source text;
+      rollback t e.ca_post;
+      t.defs_version <- e.ca_version;
+      let b = t.env.Value.budget in
+      b.Value.fuel <- b.Value.fuel - e.ca_fuel;
+      b.Value.nodes <- b.Value.nodes - e.ca_nodes;
+      t.stats.invocations_expanded <-
+        t.stats.invocations_expanded + e.ca_invocations;
+      t.stats.meta_declarations_run <-
+        t.stats.meta_declarations_run + e.ca_meta_runs;
+      t.stats.macros_defined <- t.stats.macros_defined + e.ca_macros_defined;
+      if Obs.Profile.enabled () then
+        List.iter
+          (fun (macro, n) -> Obs.Profile.credit_cached macro n)
+          e.ca_profile;
+      e.ca_program)
 
 (** Cached expansion.  A hit replays the recorded output and post-run
     state; a miss runs for real and — when the run was clean (no new
@@ -838,16 +958,26 @@ let replay (t : t) (e : cached_run) ~source (text : string) : program =
     recur (the entry would be dead), and a run that did not cannot
     depend on them — replaying it is bit-for-bit the rerun. *)
 let expand_source (t : t) ?(source = "<string>") (text : string) : program =
+  Obs.with_span ~cat:"fragment"
+    ~args:(fun () ->
+      [ ("source", Obs.Str source);
+        ("bytes", Obs.Int (String.length text)) ])
+    "fragment"
+  @@ fun () ->
   match t.cache with
   | None -> expand_source_uncached t ~source text
   | Some cache -> (
       match cache_key t ~source text with
-      | None ->
-          t.stats.cache_bypasses <- t.stats.cache_bypasses + 1;
+      | Error why ->
+          note_bypass t ~source why;
           expand_source_uncached t ~source text
-      | Some key -> (
+      | Ok key -> (
           let b = t.env.Value.budget in
-          match Cache.find cache key with
+          let hit =
+            Obs.with_span ~cat:"cache" "lookup" (fun () ->
+                Cache.find cache key)
+          in
+          match hit with
           | Some e when b.Value.fuel >= e.ca_fuel && b.Value.nodes >= e.ca_nodes
             ->
               t.stats.cache_hits <- t.stats.cache_hits + 1;
@@ -855,7 +985,7 @@ let expand_source (t : t) ?(source = "<string>") (text : string) : program =
           | Some _ ->
               (* a replay would overdraw the remaining global budget —
                  the real run must happen (and fail) for real *)
-              t.stats.cache_bypasses <- t.stats.cache_bypasses + 1;
+              note_bypass t ~source Bypass_budget;
               expand_source_uncached t ~source text
           | None ->
               t.stats.cache_misses <- t.stats.cache_misses + 1;
@@ -867,12 +997,16 @@ let expand_source (t : t) ?(source = "<string>") (text : string) : program =
               let inv0 = t.stats.invocations_expanded in
               let meta0 = t.stats.meta_declarations_run in
               let defs0 = t.stats.macros_defined in
+              let profile0 =
+                if Obs.Profile.enabled () then Obs.Profile.counts () else []
+              in
               let prog = expand_source_uncached t ~source text in
               if
                 Gensym.count t.gensym = gensym0
                 && Senv.anon_count t.senv = anon0
                 && Diag.count t.diags = diags0
-              then begin
+              then
+                Obs.with_span ~cat:"cache" "store" (fun () ->
                 (* entry weight estimate: the parsed-and-expanded
                    program scales with the fragment text and the nodes
                    the templates produced; the checkpoint's table spines
@@ -885,6 +1019,21 @@ let expand_source (t : t) ?(source = "<string>") (text : string) : program =
                   + (8 * String.length text)
                   + (128 * (nodes_produced t - nodes0))
                 in
+                (* per-macro invocation deltas for this fragment, so a
+                   replay can credit the profiler with what it skipped *)
+                let ca_profile =
+                  if not (Obs.Profile.enabled ()) then []
+                  else
+                    List.filter_map
+                      (fun (macro, n) ->
+                        let n0 =
+                          match List.assoc_opt macro profile0 with
+                          | Some n0 -> n0
+                          | None -> 0
+                        in
+                        if n > n0 then Some (macro, n - n0) else None)
+                      (Obs.Profile.counts ())
+                in
                 Cache.add cache key ~size_bytes
                   {
                     ca_program = prog;
@@ -895,7 +1044,38 @@ let expand_source (t : t) ?(source = "<string>") (text : string) : program =
                     ca_invocations = t.stats.invocations_expanded - inv0;
                     ca_meta_runs = t.stats.meta_declarations_run - meta0;
                     ca_macros_defined = t.stats.macros_defined - defs0;
+                    ca_profile;
                   };
-                t.stats.cache_evictions <- Cache.evictions cache
-              end;
+                t.stats.cache_evictions <- Cache.evictions cache);
               prog))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics publication                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Publish the engine's point-in-time statistics into the {!Obs.Metrics}
+    registry (under [engine.*] and [cache.*]), so [--metrics] dumps and
+    worker snapshots carry them alongside the hot-path counters the
+    pipeline stages maintain themselves.  Uses absolute [set], so calling
+    it repeatedly is idempotent per engine. *)
+let publish_metrics (t : t) : unit =
+  let set name v = Obs.Metrics.set (Obs.Metrics.counter name) v in
+  set "engine.invocations_expanded" t.stats.invocations_expanded;
+  set "engine.meta_declarations_run" t.stats.meta_declarations_run;
+  set "engine.macros_defined" t.stats.macros_defined;
+  set "engine.fuel_consumed" (fuel_consumed t);
+  set "engine.nodes_produced" (nodes_produced t);
+  set "cache.hits" t.stats.cache_hits;
+  set "cache.misses" t.stats.cache_misses;
+  set "cache.evictions" t.stats.cache_evictions;
+  set "cache.bypasses" t.stats.cache_bypasses;
+  set "cache.bypass.trace" t.stats.cache_bypass_trace;
+  set "cache.bypass.failpoints" t.stats.cache_bypass_failpoints;
+  set "cache.bypass.uncacheable" t.stats.cache_bypass_uncacheable;
+  set "cache.bypass.budget" t.stats.cache_bypass_budget;
+  match t.cache with
+  | None -> ()
+  | Some cache ->
+      Obs.Metrics.gauge "cache.entries" (float_of_int (Cache.length cache));
+      Obs.Metrics.gauge "cache.used_bytes"
+        (float_of_int (Cache.used_bytes cache))

@@ -26,8 +26,20 @@ type stats = {
   mutable cache_misses : int;  (** keyed lookups that found nothing *)
   mutable cache_evictions : int;  (** entries dropped for the byte budget *)
   mutable cache_bypasses : int;
-      (** fragments the cache stood aside for (unkeyable state, trace
-          mode, armed failpoints, or a budget too drained to replay) *)
+      (** fragments the cache stood aside for (the sum of the labeled
+          bypass counters below) *)
+  mutable cache_bypass_trace : int;
+      (** bypasses because trace mode was on (the trace log is a side
+          effect a replay would skip) *)
+  mutable cache_bypass_failpoints : int;
+      (** bypasses because failpoints were armed (replays would mask
+          injected failures) *)
+  mutable cache_bypass_uncacheable : int;
+      (** bypasses because the session state had no trustworthy digest
+          (e.g. a meta closure over local scopes) *)
+  mutable cache_bypass_budget : int;
+      (** bypasses because a replay would overdraw the remaining global
+          budget (the real run must happen, and fail, for real) *)
 }
 
 type checkpoint
@@ -139,3 +151,9 @@ val fuel_consumed : t -> int
 
 val nodes_produced : t -> int
 (** AST nodes charged to template fills over this engine's lifetime. *)
+
+val publish_metrics : t -> unit
+(** Publish the engine's point-in-time statistics (and cache occupancy
+    gauges) into the {!Obs.Metrics} registry under [engine.*] and
+    [cache.*].  Idempotent per engine (absolute sets, not increments);
+    call before {!Obs.Metrics.to_json} or a worker snapshot. *)

@@ -506,6 +506,8 @@ and fill_node ctx (n : node) : node =
 
 (** Evaluate a backquote template to a value.  [eval] is the
     interpreter's expression evaluator. *)
+let c_templates = Ms2_support.Obs.Metrics.counter "fill.templates"
+
 let fill_template ~(eval : env -> expr -> Value.t) (env : env)
     (tpl : template) : Value.t =
   let tpl_loc =
@@ -516,9 +518,11 @@ let fill_template ~(eval : env -> expr -> Value.t) (env : env)
     | T_general _ -> Loc.dummy
   in
   Failpoint.hit ~watchdog:env.budget.watchdog ~loc:tpl_loc "fill/alloc";
-  let ctx = { eval; env; renames = []; origin = !(env.provenance) } in
-  match tpl with
-  | T_exp e -> Vnode (N_exp (fill_expr ctx e))
-  | T_stmt s -> Vnode (N_stmt (fill_stmt ctx s))
-  | T_decl d -> Vnode (N_decl (fill_decl ctx d))
-  | T_general (_ps, a) -> Value.of_actual (fill_actual ctx a)
+  Ms2_support.Obs.Metrics.incr c_templates;
+  Ms2_support.Obs.with_span ~cat:"fill" "fill-template" (fun () ->
+      let ctx = { eval; env; renames = []; origin = !(env.provenance) } in
+      match tpl with
+      | T_exp e -> Vnode (N_exp (fill_expr ctx e))
+      | T_stmt s -> Vnode (N_stmt (fill_stmt ctx s))
+      | T_decl d -> Vnode (N_decl (fill_decl ctx d))
+      | T_general (_ps, a) -> Value.of_actual (fill_actual ctx a))

@@ -398,8 +398,9 @@ and exec_switch env ~loc (scrutinee : Value.t) (body : stmt) : outcome =
     the value of its [return] statement ([Vvoid] if it falls off the
     end). *)
 and run_body (env : env) (body : stmt) : Value.t =
-  match exec_stmt env body with
-  | Returned v -> v
-  | Normal -> Vvoid
-  | Broke | Continued ->
-      error ~loc:body.sloc "break/continue outside a loop in meta code"
+  Ms2_support.Obs.with_span ~cat:"meta" "eval-body" (fun () ->
+      match exec_stmt env body with
+      | Returned v -> v
+      | Normal -> Vvoid
+      | Broke | Continued ->
+          error ~loc:body.sloc "break/continue outside a loop in meta code")

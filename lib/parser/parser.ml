@@ -136,6 +136,8 @@ let compiled_pattern_memo : (string, State.compiled_pattern) Hashtbl.t =
   Hashtbl.create 64
 
 let compiled_pattern_memo_cap = 512
+let c_pat_memo_hits = Obs.Metrics.counter "parser.pattern_memo.hits"
+let c_pat_memo_misses = Obs.Metrics.counter "parser.pattern_memo.misses"
 
 (* [peek_placeholder st] implements the paper's placeholder tokens: when
    the next token is [$] inside a template, parse the placeholder
@@ -1269,10 +1271,20 @@ and parse_invocation st (msig : macro_sig) : invocation =
   let l = loc st in
   Failpoint.hit ~watchdog:st.watchdog ~loc:l "parser/invocation";
   let name = expect_ident st in
+  let compiled = Hashtbl.find_opt st.compiled_patterns name.id_name in
   let actuals =
-    match Hashtbl.find_opt st.compiled_patterns name.id_name with
-    | Some compiled -> compiled st
-    | None -> parse_pattern_actuals st msig.sig_pattern
+    (* the pattern-directed parse is a pipeline stage of its own in the
+       trace: one span per invocation, labeled with the macro and
+       whether its compiled parser was used *)
+    Obs.with_span ~cat:"pattern"
+      ~args:(fun () ->
+        [ ("macro", Obs.Str name.id_name);
+          ("compiled", Obs.Bool (compiled <> None)) ])
+      "pattern-match"
+      (fun () ->
+        match compiled with
+        | Some compiled -> compiled st
+        | None -> parse_pattern_actuals st msig.sig_pattern)
   in
   { inv_name = name; inv_actuals = actuals; inv_ret = msig.sig_ret;
     inv_loc = l }
@@ -1351,8 +1363,11 @@ and compile_continue sep p : State.t -> bool =
 and compile_pattern (pat : pattern) : State.compiled_pattern =
   let key = pattern_key pat in
   match Hashtbl.find_opt compiled_pattern_memo key with
-  | Some compiled -> compiled
+  | Some compiled ->
+      Obs.Metrics.incr c_pat_memo_hits;
+      compiled
   | None ->
+      Obs.Metrics.incr c_pat_memo_misses;
       let compiled = compile_pattern_uncached pat in
       if Hashtbl.length compiled_pattern_memo >= compiled_pattern_memo_cap
       then Hashtbl.reset compiled_pattern_memo;

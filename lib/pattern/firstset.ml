@@ -115,10 +115,18 @@ let pspec_memo : (Ast.pspec * tclass list) option array =
 
 let pspec_memo_next = ref 0
 
+(* FIRST-set lookups feed the repetition-continuation decision once per
+   token; the memo hit/miss split is the signal that tells whether the
+   32-slot ring is still sized right for the live macro population. *)
+let c_first_hits = Ms2_support.Obs.Metrics.counter "pattern.firstset.memo_hits"
+let c_first_misses =
+  Ms2_support.Obs.Metrics.counter "pattern.firstset.memo_misses"
+
 (** FIRST set of a pattern specifier. *)
 let rec of_pspec (ps : Ast.pspec) : tclass list =
   let rec probe i =
     if i >= memo_slots then begin
+      Ms2_support.Obs.Metrics.incr c_first_misses;
       let fs = compute_pspec ps in
       pspec_memo.(!pspec_memo_next) <- Some (ps, fs);
       pspec_memo_next := (!pspec_memo_next + 1) mod memo_slots;
@@ -126,7 +134,9 @@ let rec of_pspec (ps : Ast.pspec) : tclass list =
     end
     else
       match pspec_memo.(i) with
-      | Some (p, fs) when p == ps -> fs
+      | Some (p, fs) when p == ps ->
+          Ms2_support.Obs.Metrics.incr c_first_hits;
+          fs
       | _ -> probe (i + 1)
   in
   probe 0

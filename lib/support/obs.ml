@@ -1,0 +1,460 @@
+(** Expansion telemetry: see the interface for the design contract.
+
+    Implementation notes.  The recorder keeps events in a reversed
+    list (append = cons); {!stop_recording}/{!events} reverse once.
+    Spans are recorded at {e close} time (when the duration is known),
+    so the chronological order used for rendering is close order —
+    Chrome trace viewers sort by [ts] themselves and nest complete
+    events by time containment, so emission order is cosmetic.  The
+    clock is [Unix.gettimeofday]: the same clock the watchdog polls,
+    wall-valid across [fork], precise to the microsecond — a
+    dedicated monotonic source would need a C stub this repo does not
+    carry. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+type payload = (string * value) list
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : char;
+  ev_ts_us : float;
+  ev_dur_us : float;
+  ev_args : payload;
+}
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+(* ------------------------------------------------------------------ *)
+(* Recorder                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let recording_on = ref false
+let recorded : event list ref = ref []  (* newest first *)
+
+let recording () = !recording_on
+let start_recording () = recording_on := true
+
+let stop_recording () =
+  recording_on := false;
+  let evs = List.rev !recorded in
+  recorded := [];
+  evs
+
+let events () = List.rev !recorded
+
+let no_args () = []
+
+let with_span ~cat ?(args = no_args) name f =
+  if not !recording_on then f ()
+  else begin
+    let t0 = now_us () in
+    let finish () =
+      (* a span survives the flag flipping mid-run (stop_recording in a
+         nested scope): record iff still on *)
+      if !recording_on then
+        recorded :=
+          { ev_name = name; ev_cat = cat; ev_ph = 'X'; ev_ts_us = t0;
+            ev_dur_us = now_us () -. t0; ev_args = args () }
+          :: !recorded
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let instant ~cat ?(args = no_args) name =
+  if !recording_on then
+    recorded :=
+      { ev_name = name; ev_cat = cat; ev_ph = 'i'; ev_ts_us = now_us ();
+        ev_dur_us = 0.; ev_args = args () }
+      :: !recorded
+
+(* ------------------------------------------------------------------ *)
+(* JSON helpers (no JSON library in the image: hand-rolled, stable     *)
+(* field order, proper string escaping)                                *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape (s : string) : string =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* JSON has no NaN/Infinity literals; clamp the pathological cases. *)
+let json_float (x : float) : string =
+  if Float.is_nan x then "0"
+  else if x = Float.infinity then "1e308"
+  else if x = Float.neg_infinity then "-1e308"
+  else Printf.sprintf "%g" x
+
+let value_to_json = function
+  | Int n -> string_of_int n
+  | Float x -> json_float x
+  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | Bool b -> if b then "true" else "false"
+
+let payload_to_json (p : payload) : string =
+  "{"
+  ^ String.concat ", "
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "\"%s\": %s" (json_escape k) (value_to_json v))
+         p)
+  ^ "}"
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event rendering                                        *)
+(* ------------------------------------------------------------------ *)
+
+let chrome_trace (procs : (string * event list) list) : string =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\": [\n";
+  let first = ref true in
+  let emit line =
+    if not !first then Buffer.add_string b ",\n";
+    first := false;
+    Buffer.add_string b line
+  in
+  List.iteri
+    (fun pid (pname, evs) ->
+      emit
+        (Printf.sprintf
+           "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, \
+            \"tid\": 0, \"args\": {\"name\": \"%s\"}}"
+           pid (json_escape pname));
+      List.iter
+        (fun e ->
+          let dur =
+            if e.ev_ph = 'X' then
+              Printf.sprintf ", \"dur\": %.1f" e.ev_dur_us
+            else ", \"s\": \"t\""
+          in
+          emit
+            (Printf.sprintf
+               "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%c\", \
+                \"ts\": %.1f%s, \"pid\": %d, \"tid\": 0, \"args\": %s}"
+               (json_escape e.ev_name) (json_escape e.ev_cat) e.ev_ph
+               e.ev_ts_us dur pid
+               (payload_to_json e.ev_args)))
+        evs)
+    procs;
+  Buffer.add_string b "\n], \"displayTimeUnit\": \"ms\"}\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Metrics = struct
+  type counter = { c_name : string; mutable c_v : int }
+
+  (* An implicit +Inf bucket follows the last bound. *)
+  let bucket_bounds = [| 1.; 10.; 100.; 1e3; 1e4; 1e5; 1e6; 1e7 |]
+
+  type histogram = {
+    h_name : string;
+    mutable h_count : int;
+    mutable h_sum : float;
+    h_buckets : int array;  (* length = bounds + 1 (the +Inf bucket) *)
+  }
+
+  let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+  let gauges : (string, float) Hashtbl.t = Hashtbl.create 16
+  let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+  let counter name =
+    match Hashtbl.find_opt counters name with
+    | Some c -> c
+    | None ->
+        let c = { c_name = name; c_v = 0 } in
+        Hashtbl.replace counters name c;
+        c
+
+  let incr ?(by = 1) c = c.c_v <- c.c_v + by
+  let set c v = c.c_v <- v
+  let value c = c.c_v
+  let gauge name v = Hashtbl.replace gauges name v
+
+  let histogram name =
+    match Hashtbl.find_opt histograms name with
+    | Some h -> h
+    | None ->
+        let h =
+          { h_name = name; h_count = 0; h_sum = 0.;
+            h_buckets = Array.make (Array.length bucket_bounds + 1) 0 }
+        in
+        Hashtbl.replace histograms name h;
+        h
+
+  let observe h x =
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. x;
+    let n = Array.length bucket_bounds in
+    let rec slot i = if i >= n || x <= bucket_bounds.(i) then i else slot (i + 1) in
+    let i = slot 0 in
+    h.h_buckets.(i) <- h.h_buckets.(i) + 1
+
+  type snapshot = {
+    sn_counters : (string * int) list;
+    sn_gauges : (string * float) list;
+    sn_hists : (string * int * float * int array) list;
+        (* name, count, sum, per-bucket counts *)
+  }
+
+  let snapshot () : snapshot =
+    {
+      sn_counters =
+        Hashtbl.fold (fun k c acc -> (k, c.c_v) :: acc) counters [];
+      sn_gauges = Hashtbl.fold (fun k v acc -> (k, v) :: acc) gauges [];
+      sn_hists =
+        Hashtbl.fold
+          (fun k h acc ->
+            (k, h.h_count, h.h_sum, Array.copy h.h_buckets) :: acc)
+          histograms [];
+    }
+
+  let absorb (s : snapshot) : unit =
+    List.iter (fun (k, v) -> incr ~by:v (counter k)) s.sn_counters;
+    List.iter
+      (fun (k, v) ->
+        match Hashtbl.find_opt gauges k with
+        | Some v0 when v0 >= v -> ()
+        | _ -> Hashtbl.replace gauges k v)
+      s.sn_gauges;
+    List.iter
+      (fun (k, count, sum, buckets) ->
+        let h = histogram k in
+        h.h_count <- h.h_count + count;
+        h.h_sum <- h.h_sum +. sum;
+        Array.iteri
+          (fun i n -> h.h_buckets.(i) <- h.h_buckets.(i) + n)
+          buckets)
+      s.sn_hists
+
+  let sorted_keys tbl =
+    Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+
+  let to_json () : string =
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "{\n  \"schema\": \"ms2-metrics-1\",\n";
+    let obj name keys render =
+      Buffer.add_string b (Printf.sprintf "  \"%s\": {" name);
+      List.iteri
+        (fun i k ->
+          Buffer.add_string b (if i = 0 then "\n" else ",\n");
+          Buffer.add_string b
+            (Printf.sprintf "    \"%s\": %s" (json_escape k) (render k)))
+        keys;
+      if keys <> [] then Buffer.add_string b "\n  ";
+      Buffer.add_string b "}"
+    in
+    obj "counters" (sorted_keys counters) (fun k ->
+        string_of_int (Hashtbl.find counters k).c_v);
+    Buffer.add_string b ",\n";
+    obj "gauges" (sorted_keys gauges) (fun k ->
+        json_float (Hashtbl.find gauges k));
+    Buffer.add_string b ",\n";
+    obj "histograms" (sorted_keys histograms) (fun k ->
+        let h = Hashtbl.find histograms k in
+        let cumulative = ref 0 in
+        let buckets =
+          List.mapi
+            (fun i n ->
+              cumulative := !cumulative + n;
+              let le =
+                if i < Array.length bucket_bounds then
+                  json_float bucket_bounds.(i)
+                else "\"+Inf\""
+              in
+              Printf.sprintf "{\"le\": %s, \"count\": %d}" le !cumulative)
+            (Array.to_list h.h_buckets)
+        in
+        Printf.sprintf "{\"count\": %d, \"sum\": %s, \"buckets\": [%s]}"
+          h.h_count (json_float h.h_sum)
+          (String.concat ", " buckets));
+    Buffer.add_string b "\n}\n";
+    Buffer.contents b
+
+  let reset () =
+    Hashtbl.iter (fun _ c -> c.c_v <- 0) counters;
+    Hashtbl.reset gauges;
+    Hashtbl.iter
+      (fun _ h ->
+        h.h_count <- 0;
+        h.h_sum <- 0.;
+        Array.fill h.h_buckets 0 (Array.length h.h_buckets) 0)
+      histograms
+end
+
+(* ------------------------------------------------------------------ *)
+(* Per-macro profiler                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Profile = struct
+  let on = ref false
+
+  let enabled () = !on
+  let enable () = on := true
+  let disable () = on := false
+
+  type agg = {
+    mutable a_count : int;
+    mutable a_cached : int;
+    mutable a_self_us : float;
+    mutable a_total_us : float;
+    mutable a_fuel : int;
+    mutable a_nodes : int;
+    mutable a_max_depth : int;
+  }
+
+  let aggs : (string, agg) Hashtbl.t = Hashtbl.create 32
+
+  let agg_of name =
+    match Hashtbl.find_opt aggs name with
+    | Some a -> a
+    | None ->
+        let a =
+          { a_count = 0; a_cached = 0; a_self_us = 0.; a_total_us = 0.;
+            a_fuel = 0; a_nodes = 0; a_max_depth = 0 }
+        in
+        Hashtbl.replace aggs name a;
+        a
+
+  type frame = {
+    f_name : string;
+    f_t0 : float;
+    f_depth : int;
+    mutable f_child_us : float;
+  }
+
+  let stack : frame list ref = ref []
+
+  let enter ?(depth = 0) name : frame =
+    (* the frame stack only sees invocations that are *live* at once
+       (meta-code calling macros); re-expansion of produced code nests
+       logically but runs after the producer's frame closed, so callers
+       pass the [Loc.origin]-derived depth and we keep the larger *)
+    let f =
+      { f_name = name; f_t0 = now_us ();
+        f_depth = Stdlib.max depth (List.length !stack + 1);
+        f_child_us = 0. }
+    in
+    stack := f :: !stack;
+    f
+
+  let exit (f : frame) ~fuel ~nodes : unit =
+    let dur = now_us () -. f.f_t0 in
+    (* unwind to this frame: an exception may have skipped the exits of
+       deeper frames whose owners had no chance to run their finalizers
+       in order — charge them nothing rather than corrupt the stack *)
+    let rec unwind = function
+      | top :: rest when top != f -> unwind rest
+      | top :: rest ->
+          stack := rest;
+          ignore top
+      | [] -> stack := []
+    in
+    unwind !stack;
+    (match !stack with
+    | parent :: _ -> parent.f_child_us <- parent.f_child_us +. dur
+    | [] -> ());
+    let a = agg_of f.f_name in
+    a.a_count <- a.a_count + 1;
+    a.a_total_us <- a.a_total_us +. dur;
+    a.a_self_us <- a.a_self_us +. Float.max 0. (dur -. f.f_child_us);
+    a.a_fuel <- a.a_fuel + fuel;
+    a.a_nodes <- a.a_nodes + nodes;
+    if f.f_depth > a.a_max_depth then a.a_max_depth <- f.f_depth
+
+  let credit_cached name n = (agg_of name).a_cached <- (agg_of name).a_cached + n
+
+  let counts () =
+    Hashtbl.fold (fun k a acc -> (k, a.a_count) :: acc) aggs []
+
+  let reset () =
+    Hashtbl.reset aggs;
+    stack := []
+
+  type row = {
+    pr_macro : string;
+    pr_count : int;
+    pr_cached : int;
+    pr_self_us : float;
+    pr_total_us : float;
+    pr_fuel : int;
+    pr_nodes : int;
+    pr_max_depth : int;
+  }
+
+  let report () : row list =
+    Hashtbl.fold
+      (fun name a acc ->
+        { pr_macro = name; pr_count = a.a_count; pr_cached = a.a_cached;
+          pr_self_us = a.a_self_us; pr_total_us = a.a_total_us;
+          pr_fuel = a.a_fuel; pr_nodes = a.a_nodes;
+          pr_max_depth = a.a_max_depth }
+        :: acc)
+      aggs []
+    |> List.sort (fun a b ->
+           match compare b.pr_self_us a.pr_self_us with
+           | 0 -> compare a.pr_macro b.pr_macro
+           | c -> c)
+
+  let hit_rate r =
+    let total = r.pr_count + r.pr_cached in
+    if total = 0 then 0. else float_of_int r.pr_cached /. float_of_int total
+
+  let report_to_text (rows : row list) : string =
+    let b = Buffer.create 1024 in
+    Buffer.add_string b
+      (Printf.sprintf "%-24s %8s %8s %10s %10s %12s %10s %6s %6s\n" "macro"
+         "calls" "cached" "self(ms)" "total(ms)" "fuel" "nodes" "hit%"
+         "depth");
+    Buffer.add_string b (String.make 100 '-');
+    Buffer.add_char b '\n';
+    List.iter
+      (fun r ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "%-24s %8d %8d %10.3f %10.3f %12d %10d %5.1f%% %6d\n"
+             r.pr_macro r.pr_count r.pr_cached (r.pr_self_us /. 1e3)
+             (r.pr_total_us /. 1e3) r.pr_fuel r.pr_nodes
+             (hit_rate r *. 100.) r.pr_max_depth))
+      rows;
+    Buffer.contents b
+
+  let report_to_json (rows : row list) : string =
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "{\n  \"schema\": \"ms2-profile-1\",\n  \"macros\": [";
+    List.iteri
+      (fun i r ->
+        Buffer.add_string b (if i = 0 then "\n" else ",\n");
+        Buffer.add_string b
+          (Printf.sprintf
+             "    {\"macro\": \"%s\", \"invocations\": %d, \
+              \"cached_invocations\": %d, \"self_ms\": %.3f, \
+              \"total_ms\": %.3f, \"fuel\": %d, \"nodes\": %d, \
+              \"cache_hit_rate\": %.3f, \"max_depth\": %d}"
+             (json_escape r.pr_macro) r.pr_count r.pr_cached
+             (r.pr_self_us /. 1e3) (r.pr_total_us /. 1e3) r.pr_fuel
+             r.pr_nodes (hit_rate r) r.pr_max_depth))
+      rows;
+    if rows <> [] then Buffer.add_string b "\n  ";
+    Buffer.add_string b "]\n}\n";
+    Buffer.contents b
+end

@@ -50,11 +50,18 @@ let restore t (s : saved) =
   t.budget_ms <- s.s_budget_ms
 
 let expired ~loc t =
+  Obs.instant ~cat:"watchdog" "deadline-expired"
+    ~args:(fun () -> [ ("budget_ms", Obs.Int t.budget_ms) ]);
   Diag.error ~loc ~code:Diag.code_timeout Diag.Resource
     "wall-clock deadline exceeded (%dms); is a macro body stalling?"
     t.budget_ms
 
-let check t ~loc = if now () > t.deadline then expired ~loc t
+(* every counter-gated poll that actually reads the clock lands here *)
+let c_clock_reads = Obs.Metrics.counter "watchdog.clock_reads"
+
+let check t ~loc =
+  Obs.Metrics.incr c_clock_reads;
+  if now () > t.deadline then expired ~loc t
 
 let poll t ~loc =
   let c = t.countdown - 1 in
