@@ -1,7 +1,8 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test faults txn-sweep bench bench-fuel bench-provenance \
-        bench-txn bench-perf bench-obs figures examples expand clean
+.PHONY: all build test faults txn-sweep serve-sweep bench bench-fuel \
+        bench-provenance bench-txn bench-perf bench-obs bench-serve \
+        figures examples expand clean
 
 all: build
 
@@ -18,6 +19,13 @@ faults:
 # the failpoint sweep and transactional-isolation suite alone
 txn-sweep:
 	dune exec test/test_txn.exe
+
+# chaos-test the daemon: drive a live ms2c serve through every serve/*
+# failpoint (error and timeout) and the protocol edge cases, asserting
+# it stays up and sessions stay isolated (fingerprint-checked)
+serve-sweep:
+	dune build bin/ms2c.exe
+	dune exec test/test_serve.exe
 
 # regenerate the paper's figures and all timing tables
 bench:
@@ -43,6 +51,12 @@ bench-perf:
 # (writes BENCH_OBS.json)
 bench-obs:
 	dune exec bench/main.exe obs
+
+# daemon latency/throughput vs one ms2c process per request
+# (writes BENCH_SERVE.json)
+bench-serve:
+	dune build bin/ms2c.exe
+	dune exec bench/main.exe serve
 
 figures:
 	dune exec bench/main.exe figures

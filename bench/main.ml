@@ -66,6 +66,16 @@ let quota =
   | Some s -> float_of_string s
   | None -> 0.5
 
+(* BENCH_*.json trackers are published atomically: render into a
+   same-directory temp file, then rename it into place (the same
+   contract as {!Ms2_support.Atomic_io}), so an interrupted bench run
+   never leaves a truncated tracker where the previous good one was. *)
+let open_tracker path = open_out (path ^ ".tmp")
+
+let close_tracker path oc =
+  close_out oc;
+  Sys.rename (path ^ ".tmp") path
+
 let measure_tests tests =
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
@@ -306,7 +316,7 @@ let run_fuel () =
       (fuel_pairs ())
   in
   (* machine-readable record alongside the other BENCH_*.json trackers *)
-  let oc = open_out "BENCH_FUEL.json" in
+  let oc = open_tracker "BENCH_FUEL.json" in
   Printf.fprintf oc "{\n  \"quota_s\": %g,\n  \"workloads\": [\n" quota;
   List.iteri
     (fun i (name, off, on, pct) ->
@@ -324,7 +334,7 @@ let run_fuel () =
         /. float_of_int (List.length rows)
   in
   Printf.fprintf oc "  ],\n  \"mean_overhead_percent\": %.2f\n}\n" mean;
-  close_out oc;
+  close_tracker "BENCH_FUEL.json" oc;
   Printf.printf "\n  mean overhead: %+.2f%%  (written to BENCH_FUEL.json)\n"
     mean
 
@@ -381,7 +391,7 @@ let run_provenance () =
         | _, _ -> None)
       (provenance_pairs ())
   in
-  let oc = open_out "BENCH_PROVENANCE.json" in
+  let oc = open_tracker "BENCH_PROVENANCE.json" in
   Printf.fprintf oc "{\n  \"quota_s\": %g,\n  \"workloads\": [\n" quota;
   List.iteri
     (fun i (name, off, on, pct) ->
@@ -399,7 +409,7 @@ let run_provenance () =
         /. float_of_int (List.length rows)
   in
   Printf.fprintf oc "  ],\n  \"mean_overhead_percent\": %.2f\n}\n" mean;
-  close_out oc;
+  close_tracker "BENCH_PROVENANCE.json" oc;
   Printf.printf
     "\n  mean overhead: %+.2f%%  (written to BENCH_PROVENANCE.json)\n" mean
 
@@ -456,7 +466,7 @@ let run_txn () =
         | _, _ -> None)
       (txn_pairs ())
   in
-  let oc = open_out "BENCH_TXN.json" in
+  let oc = open_tracker "BENCH_TXN.json" in
   Printf.fprintf oc "{\n  \"quota_s\": %g,\n  \"workloads\": [\n" quota;
   List.iteri
     (fun i (name, off, on, pct) ->
@@ -474,7 +484,7 @@ let run_txn () =
         /. float_of_int (List.length rows)
   in
   Printf.fprintf oc "  ],\n  \"mean_overhead_percent\": %.2f\n}\n" mean;
-  close_out oc;
+  close_tracker "BENCH_TXN.json" oc;
   Printf.printf "\n  mean overhead: %+.2f%%  (written to BENCH_TXN.json)\n"
     mean
 
@@ -670,7 +680,7 @@ let run_perf () =
         (t1 /. t))
     curve;
   (* machine-readable record *)
-  let oc = open_out "BENCH_PERF.json" in
+  let oc = open_tracker "BENCH_PERF.json" in
   Printf.fprintf oc "{\n  \"quota_s\": %g,\n  \"cpus\": %d,\n" quota cpus;
   Printf.fprintf oc "  \"hot_paths_ns_per_run\": {\n";
   let n_hot = List.length hot_ests in
@@ -695,7 +705,7 @@ let run_perf () =
         (if i = n_curve - 1 then "" else ","))
     curve;
   Printf.fprintf oc "  ]\n}\n";
-  close_out oc;
+  close_tracker "BENCH_PERF.json" oc;
   Printf.printf "\n  (written to BENCH_PERF.json)\n"
 
 (* ------------------------------------------------------------------ *)
@@ -810,7 +820,7 @@ let run_obs () =
         | _, _ -> None)
       (obs_pairs ())
   in
-  let oc = open_out "BENCH_OBS.json" in
+  let oc = open_tracker "BENCH_OBS.json" in
   Printf.fprintf oc
     "{\n  \"quota_s\": %g,\n  \"guard_ns_per_call\": %.2f,\n  \
      \"counter_incr_ns_per_call\": %.2f,\n  \"workloads\": [\n"
@@ -838,10 +848,206 @@ let run_obs () =
     "  ],\n  \"mean_disabled_overhead_percent\": %.4f,\n  \
      \"mean_recording_overhead_percent\": %.2f\n}\n"
     mean_disabled mean_rec;
-  close_out oc;
+  close_tracker "BENCH_OBS.json" oc;
   Printf.printf
     "\n  mean disabled-sink overhead: %+.4f%%  (written to BENCH_OBS.json)\n"
     mean_disabled
+
+(* ------------------------------------------------------------------ *)
+(* serve: daemon warm/cold latency vs one ms2c process per request     *)
+(* ------------------------------------------------------------------ *)
+
+(* Compares two ways of expanding the same corpus:
+
+   - cold:   one `ms2c expand` process per request, each paying process
+     startup plus re-expansion of the macro definitions;
+   - daemon: `ms2c serve` over stdio with the definitions loaded once
+     via --prelude-file, three lockstep passes over a uses-only corpus.
+
+   The corpus split matters: definition fragments mint fresh engine
+   state on every run and are deliberately never cached, so a corpus
+   that contained them would measure nothing but misses.  Pass 1 of the
+   daemon phase registers the corpus's symbols into the session (cold
+   cache), pass 2 re-expands under the now-stable state and stores, and
+   pass 3 is the true warm path (cache hits) — which is why the warm
+   numbers and the CI hit assertion both come from the final pass. *)
+
+module Json = Ms2_support.Json
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let k = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
+    sorted.(min (n - 1) (max 0 k))
+
+(* (p50, p99, mean), all in the unit of the samples *)
+let latency_stats lats =
+  let a = Array.of_list lats in
+  Array.sort compare a;
+  let n = Array.length a in
+  let mean =
+    if n = 0 then 0. else Array.fold_left ( +. ) 0. a /. float_of_int n
+  in
+  (percentile a 50., percentile a 99., mean)
+
+let run_serve () =
+  rule "serve: daemon latency vs one ms2c process per request";
+  let ms2c = ms2c_path () in
+  let dir = Filename.temp_file "ms2serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let write path text =
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc
+  in
+  let defs = Filename.concat dir "defs.mc" in
+  write defs Workloads.painting_defs;
+  let sizes = [ 4; 6; 8; 10; 12; 16 ] in
+  let uses =
+    List.map
+      (fun n -> (Printf.sprintf "u%d.mc" n, Workloads.painting_uses n))
+      sizes
+  in
+  (* --- cold: a fresh ms2c process per request, definitions inline --- *)
+  let cold_paths =
+    List.map
+      (fun (name, text) ->
+        let p = Filename.concat dir ("cold_" ^ name) in
+        write p (Workloads.painting_defs ^ text);
+        p)
+      uses
+  in
+  let cold_repeats = 3 in
+  let cold_lats = ref [] in
+  let cold_t0 = Unix.gettimeofday () in
+  for _ = 1 to cold_repeats do
+    List.iter
+      (fun p ->
+        let t0 = Unix.gettimeofday () in
+        let code =
+          Sys.command
+            (Printf.sprintf "%s expand %s > /dev/null 2>&1" ms2c
+               (Filename.quote p))
+        in
+        if code <> 0 then failwith "serve bench: cold corpus failed to expand";
+        cold_lats := ((Unix.gettimeofday () -. t0) *. 1000.) :: !cold_lats)
+      cold_paths
+  done;
+  let cold_wall = Unix.gettimeofday () -. cold_t0 in
+  (* --- daemon: one ms2c serve over stdio, lockstep passes ----------- *)
+  let from_d, to_d =
+    Unix.open_process
+      (Printf.sprintf "%s serve --prelude-file %s" ms2c (Filename.quote defs))
+  in
+  let next_id = ref 0 in
+  let rpc fields =
+    incr next_id;
+    output_string to_d
+      (Json.to_string (Json.Obj (("id", Json.Int !next_id) :: fields)));
+    output_char to_d '\n';
+    flush to_d;
+    match Json.parse (input_line from_d) with
+    | Ok v -> v
+    | Error e -> failwith ("serve bench: unparseable response: " ^ e)
+  in
+  let run_pass () =
+    let lats = ref [] and hits = ref 0 and misses = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun (name, text) ->
+        let t1 = Unix.gettimeofday () in
+        let resp =
+          rpc
+            [ ("method", Json.Str "expand");
+              ("session", Json.Str "bench");
+              ("source", Json.Str name);
+              ("text", Json.Str text) ]
+        in
+        lats := ((Unix.gettimeofday () -. t1) *. 1000.) :: !lats;
+        (match Json.member resp "ok" with
+        | Some (Json.Bool true) -> ()
+        | _ ->
+            failwith
+              ("serve bench: request failed: " ^ Json.to_string resp));
+        match Json.member resp "request" with
+        | Some rq ->
+            let counter f =
+              Option.value ~default:0 (Option.bind (Json.member rq f) Json.int)
+            in
+            hits := !hits + counter "cache_hits";
+            misses := !misses + counter "cache_misses"
+        | None -> ())
+      uses;
+    (!lats, Unix.gettimeofday () -. t0, !hits, !misses)
+  in
+  let passes = List.init 3 (fun _ -> run_pass ()) in
+  ignore (rpc [ ("method", Json.Str "shutdown") ]);
+  ignore (Unix.close_process (from_d, to_d));
+  List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) cold_paths;
+  (try Sys.remove defs with Sys_error _ -> ());
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  (* --- report ------------------------------------------------------- *)
+  let req_s n wall = if wall > 0. then float_of_int n /. wall else 0. in
+  let c50, c99, cmean = latency_stats !cold_lats in
+  let n_cold = List.length !cold_lats in
+  Printf.printf
+    "  cold (process per request)  %3d req   p50 %7.2f ms   p99 %7.2f ms   \
+     %6.1f req/s\n"
+    n_cold c50 c99 (req_s n_cold cold_wall);
+  List.iteri
+    (fun i (lats, wall, hits, misses) ->
+      let p50, p99, _ = latency_stats lats in
+      Printf.printf
+        "  daemon pass %d               %3d req   p50 %7.2f ms   p99 %7.2f \
+         ms   %6.1f req/s   (%d hits, %d misses)\n"
+        (i + 1) (List.length lats) p50 p99
+        (req_s (List.length lats) wall)
+        hits misses)
+    passes;
+  let w_lats, w_wall, w_hits, w_misses =
+    List.nth passes (List.length passes - 1)
+  in
+  let w50, w99, wmean = latency_stats w_lats in
+  let speedup = if w50 > 0. then c50 /. w50 else 0. in
+  Printf.printf "  warm-vs-cold p50 speedup: %.1fx\n" speedup;
+  if w_hits = 0 then
+    Printf.printf
+      "  WARNING: no cache hits on the final daemon pass (expected hits)\n";
+  let oc = open_tracker "BENCH_SERVE.json" in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"ms2-bench-serve-1\",\n  \"quota_s\": %g,\n  \
+     \"corpus_files\": %d,\n  \"cold_repeats\": %d,\n"
+    quota (List.length uses) cold_repeats;
+  Printf.fprintf oc
+    "  \"cold\": {\"requests\": %d, \"p50_ms\": %.2f, \"p99_ms\": %.2f, \
+     \"mean_ms\": %.2f, \"requests_per_s\": %.1f},\n"
+    n_cold c50 c99 cmean (req_s n_cold cold_wall);
+  Printf.fprintf oc "  \"daemon_passes\": [\n";
+  let n_passes = List.length passes in
+  List.iteri
+    (fun i (lats, wall, hits, misses) ->
+      let p50, p99, mean = latency_stats lats in
+      Printf.fprintf oc
+        "    {\"pass\": %d, \"requests\": %d, \"p50_ms\": %.2f, \"p99_ms\": \
+         %.2f, \"mean_ms\": %.2f, \"requests_per_s\": %.1f, \"cache_hits\": \
+         %d, \"cache_misses\": %d}%s\n"
+        (i + 1) (List.length lats) p50 p99 mean
+        (req_s (List.length lats) wall)
+        hits misses
+        (if i = n_passes - 1 then "" else ","))
+    passes;
+  Printf.fprintf oc
+    "  ],\n  \"warm\": {\"requests\": %d, \"p50_ms\": %.2f, \"p99_ms\": \
+     %.2f, \"mean_ms\": %.2f, \"requests_per_s\": %.1f, \"cache_hits\": %d, \
+     \"cache_misses\": %d},\n"
+    (List.length w_lats) w50 w99 wmean
+    (req_s (List.length w_lats) w_wall)
+    w_hits w_misses;
+  Printf.fprintf oc "  \"warm_vs_cold_speedup_p50\": %.2f\n}\n" speedup;
+  close_tracker "BENCH_SERVE.json" oc;
+  Printf.printf "\n  (written to BENCH_SERVE.json)\n"
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 2 parse-time type analysis cost                                *)
@@ -892,6 +1098,7 @@ let () =
   | "txn" -> run_txn ()
   | "perf" -> run_perf ()
   | "obs" -> run_obs ()
+  | "serve" -> run_serve ()
   | "all" ->
       run_figures ();
       run_time ();
@@ -901,10 +1108,11 @@ let () =
       run_provenance ();
       run_txn ();
       run_perf ();
-      run_obs ()
+      run_obs ();
+      run_serve ()
   | other ->
       Printf.eprintf
         "unknown mode %S (expected figures | time | sweep | penalty | fuel \
-         | provenance | txn | perf | obs)\n"
+         | provenance | txn | perf | obs | serve)\n"
         other;
       exit 2

@@ -1,0 +1,369 @@
+(** ms2bench-client — replay load generator for [ms2c serve].
+
+    Feeds a corpus of fragment files at the daemon (over its Unix socket
+    or a spawned stdio daemon), [--repeat] passes over the corpus,
+    round-robining [--sessions] session ids.  Retryable errors
+    ([overloaded], [draining]) are retried with capped exponential
+    backoff plus jitter, honoring the daemon's [retry_after_ms] hint; a
+    dead socket connection is re-dialed the same way, which is what
+    rides out a supervised worker restart.  Per-pass latency
+    (p50/p99/mean), throughput, retry and cache-hit counts are printed
+    and optionally written (atomically) as JSON, schema
+    [ms2-bench-client-1]. *)
+
+open Cmdliner
+module Json = Ms2_support.Json
+module Proto = Ms2_support.Serve_proto
+module Backoff = Ms2_support.Backoff
+module Atomic_io = Ms2_support.Atomic_io
+
+let fatal fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("ms2bench-client: " ^ msg);
+      exit 1)
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Transport                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type transport =
+  | Socket of string  (** dial (and re-dial) this Unix socket *)
+  | Spawn of string  (** one spawned stdio daemon for the whole run *)
+
+type link = { ic : in_channel; oc : out_channel }
+
+let dial_socket path : link =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  | exception Unix.Unix_error (e, _, _) ->
+      Unix.close fd;
+      raise (Sys_error (Unix.error_message e))
+
+let connect_with_backoff (t : transport) : link =
+  match t with
+  | Spawn cmd ->
+      let ic, oc = Unix.open_process cmd in
+      { ic; oc }
+  | Socket path ->
+      let b = Backoff.create ~base_ms:50 ~cap_ms:2000 () in
+      let rec dial tries =
+        match dial_socket path with
+        | l -> l
+        | exception Sys_error msg ->
+            if tries >= 40 then fatal "%s: cannot connect: %s" path msg;
+            Unix.sleepf (float (Backoff.next_ms b) /. 1000.);
+            dial (tries + 1)
+      in
+      dial 0
+
+(* ------------------------------------------------------------------ *)
+(* One request with retry                                              *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  o_ok : bool;
+  o_retries : int;
+  o_cache_hits : int;
+  o_cache_misses : int;
+  o_error_kind : string;  (** "" when ok *)
+}
+
+let response_int resp path_a path_b =
+  match Json.member resp path_a with
+  | Some o -> (
+      match Json.member o path_b with
+      | Some v -> Option.value (Json.int v) ~default:0
+      | None -> 0)
+  | None -> 0
+
+(* Send one request line, reading one response line; on a retryable
+   error or a dead connection, back off and retry (re-dialing socket
+   transports).  Returns the outcome and the possibly-reconnected
+   link. *)
+let request ~(transport : transport) ~(link : link ref) ~max_retries
+    (line : string) : outcome =
+  let b = Backoff.create ~base_ms:50 ~cap_ms:3000 () in
+  let retries = ref 0 in
+  let rec go () =
+    let reconnect_and_retry () =
+      if !retries >= max_retries then
+        { o_ok = false; o_retries = !retries; o_cache_hits = 0;
+          o_cache_misses = 0; o_error_kind = "connection_lost" }
+      else begin
+        incr retries;
+        (match transport with
+        | Socket _ ->
+            (try close_in_noerr !link.ic with _ -> ());
+            Unix.sleepf (float (Backoff.next_ms b) /. 1000.);
+            link := connect_with_backoff transport
+        | Spawn _ -> fatal "stdio daemon closed the stream");
+        go ()
+      end
+    in
+    match
+      output_string !link.oc (line ^ "\n");
+      flush !link.oc;
+      input_line !link.ic
+    with
+    | exception (End_of_file | Sys_error _) -> reconnect_and_retry ()
+    | resp_line -> (
+        match Json.parse resp_line with
+        | Result.Error msg ->
+            { o_ok = false; o_retries = !retries; o_cache_hits = 0;
+              o_cache_misses = 0;
+              o_error_kind = "unparseable_response: " ^ msg }
+        | Ok resp -> (
+            match Json.member resp "ok" with
+            | Some (Json.Bool true) ->
+                { o_ok = true;
+                  o_retries = !retries;
+                  o_cache_hits = response_int resp "request" "cache_hits";
+                  o_cache_misses = response_int resp "request" "cache_misses";
+                  o_error_kind = "" }
+            | _ ->
+                let kind, hint =
+                  match Json.member resp "error" with
+                  | Some err ->
+                      ( (match Json.member err "kind" with
+                        | Some k -> Option.value (Json.str k) ~default:""
+                        | None -> ""),
+                        match Json.member err "retry_after_ms" with
+                        | Some v -> Json.int v
+                        | None -> None )
+                  | None -> ("", None)
+                in
+                if (kind = "overloaded" || kind = "draining")
+                   && !retries < max_retries
+                then begin
+                  incr retries;
+                  let wait = max (Backoff.next_ms b)
+                      (Option.value hint ~default:0) in
+                  Unix.sleepf (float wait /. 1000.);
+                  go ()
+                end
+                else
+                  { o_ok = false; o_retries = !retries; o_cache_hits = 0;
+                    o_cache_misses = 0; o_error_kind = kind }))
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* The run                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let percentile (sorted : float array) (p : float) : float =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let idx = int_of_float (ceil (p /. 100. *. float n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+
+type pass_report = {
+  p_index : int;
+  p_requests : int;
+  p_ok : int;
+  p_failures : int;
+  p_retries : int;
+  p_cache_hits : int;
+  p_cache_misses : int;
+  p_p50_ms : float;
+  p_p99_ms : float;
+  p_mean_ms : float;
+  p_requests_per_s : float;
+}
+
+let pass_json (p : pass_report) : Json.t =
+  Json.Obj
+    [ ("pass", Json.Int p.p_index);
+      ("requests", Json.Int p.p_requests);
+      ("ok", Json.Int p.p_ok);
+      ("failures", Json.Int p.p_failures);
+      ("retries", Json.Int p.p_retries);
+      ("cache_hits", Json.Int p.p_cache_hits);
+      ("cache_misses", Json.Int p.p_cache_misses);
+      ("p50_ms", Json.Float p.p_p50_ms);
+      ("p99_ms", Json.Float p.p_p99_ms);
+      ("mean_ms", Json.Float p.p_mean_ms);
+      ("requests_per_s", Json.Float p.p_requests_per_s) ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run_client files connect spawn repeat sessions deadline_ms out shutdown
+    max_retries =
+  if files = [] then fatal "no corpus files given";
+  let transport =
+    match (connect, spawn) with
+    | Some path, None -> Socket path
+    | None, Some cmd -> Spawn cmd
+    | None, None -> Spawn "ms2c serve"
+    | Some _, Some _ -> fatal "--connect and --spawn are exclusive"
+  in
+  let corpus =
+    List.map
+      (fun f ->
+        match read_file f with
+        | text -> (f, text)
+        | exception Sys_error msg -> fatal "cannot read %s" msg)
+      files
+  in
+  let link = ref (connect_with_backoff transport) in
+  let next_id = ref 0 in
+  let passes = ref [] in
+  for pass = 1 to repeat do
+    let latencies = ref [] in
+    let ok = ref 0 and failures = ref 0 and retries = ref 0 in
+    let hits = ref 0 and misses = ref 0 in
+    let t_pass = Unix.gettimeofday () in
+    List.iteri
+      (fun i (source, text) ->
+        incr next_id;
+        let req =
+          Json.Obj
+            ([ ("schema", Json.Str Proto.schema);
+               ("id", Json.Int !next_id);
+               ("method", Json.Str "expand");
+               ("session",
+                Json.Str (Printf.sprintf "bench-%d" (i mod sessions)));
+               ("source", Json.Str source);
+               ("text", Json.Str text) ]
+            @
+            match deadline_ms with
+            | Some d -> [ ("deadline_ms", Json.Int d) ]
+            | None -> [])
+        in
+        let t0 = Unix.gettimeofday () in
+        let o = request ~transport ~link ~max_retries (Json.to_string req) in
+        latencies := ((Unix.gettimeofday () -. t0) *. 1000.) :: !latencies;
+        retries := !retries + o.o_retries;
+        hits := !hits + o.o_cache_hits;
+        misses := !misses + o.o_cache_misses;
+        if o.o_ok then incr ok
+        else begin
+          incr failures;
+          Printf.eprintf "ms2bench-client: %s failed: %s\n%!" source
+            o.o_error_kind
+        end)
+      corpus;
+    let wall = Unix.gettimeofday () -. t_pass in
+    let lats = Array.of_list !latencies in
+    Array.sort compare lats;
+    let n = Array.length lats in
+    let mean =
+      if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 lats /. float n
+    in
+    passes :=
+      { p_index = pass;
+        p_requests = n;
+        p_ok = !ok;
+        p_failures = !failures;
+        p_retries = !retries;
+        p_cache_hits = !hits;
+        p_cache_misses = !misses;
+        p_p50_ms = percentile lats 50.;
+        p_p99_ms = percentile lats 99.;
+        p_mean_ms = mean;
+        p_requests_per_s = (if wall > 0. then float n /. wall else 0.) }
+      :: !passes
+  done;
+  let passes = List.rev !passes in
+  List.iter
+    (fun p ->
+      Printf.printf
+        "pass %d: %d requests (%d ok, %d failed, %d retries)  p50 %.2f ms  \
+         p99 %.2f ms  %.1f req/s  cache %d hit / %d miss\n"
+        p.p_index p.p_requests p.p_ok p.p_failures p.p_retries p.p_p50_ms
+        p.p_p99_ms p.p_requests_per_s p.p_cache_hits p.p_cache_misses)
+    passes;
+  if shutdown then begin
+    incr next_id;
+    ignore
+      (request ~transport ~link ~max_retries:0
+         (Json.to_string
+            (Json.Obj
+               [ ("schema", Json.Str Proto.schema);
+                 ("id", Json.Int !next_id);
+                 ("method", Json.Str "shutdown") ])))
+  end;
+  (match transport with
+  | Spawn _ ->
+      (try close_out_noerr !link.oc with _ -> ());
+      (try close_in_noerr !link.ic with _ -> ())
+  | Socket _ -> ( try close_in_noerr !link.ic with _ -> ()));
+  (match out with
+  | None -> ()
+  | Some path ->
+      let report =
+        Json.Obj
+          [ ("schema", Json.Str "ms2-bench-client-1");
+            ("corpus_files", Json.Int (List.length corpus));
+            ("repeat", Json.Int repeat);
+            ("sessions", Json.Int sessions);
+            ("passes", Json.List (List.map pass_json passes)) ]
+      in
+      Atomic_io.write_exn path (Json.to_string report ^ "\n"));
+  if List.exists (fun p -> p.p_failures > 0) passes then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Command line                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let files_arg =
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE"
+       ~doc:"Corpus fragment files, replayed in order each pass.")
+
+let connect_arg =
+  Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"SOCKET"
+       ~doc:"Dial a running daemon's Unix socket (re-dialing with \
+             backoff if the connection drops, e.g. across a supervised \
+             restart).")
+
+let spawn_arg =
+  Arg.(value & opt (some string) None & info [ "spawn" ] ~docv:"CMD"
+       ~doc:"Spawn $(docv) (default: $(b,ms2c serve)) and speak the \
+             protocol over its stdin/stdout.")
+
+let repeat_arg =
+  Arg.(value & opt int 2 & info [ "repeat" ] ~docv:"N"
+       ~doc:"Passes over the corpus; pass 2+ measures the daemon's warm \
+             (cache-hit) path.")
+
+let sessions_arg =
+  Arg.(value & opt int 1 & info [ "sessions" ] ~docv:"K"
+       ~doc:"Round-robin requests across $(docv) session ids.")
+
+let deadline_arg =
+  Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
+       ~doc:"Attach this deadline to every request.")
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+       ~doc:"Write the per-pass report as JSON (schema \
+             ms2-bench-client-1), atomically.")
+
+let shutdown_arg =
+  Arg.(value & flag & info [ "shutdown" ]
+       ~doc:"Send a $(b,shutdown) request after the last pass.")
+
+let max_retries_arg =
+  Arg.(value & opt int 8 & info [ "max-retries" ] ~docv:"N"
+       ~doc:"Retry budget per request for retryable errors and \
+             reconnects.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "ms2bench-client" ~version:"1.0.0"
+       ~doc:"Replay a fragment corpus against an ms2c serve daemon with \
+             backoff, retry and latency accounting")
+    Term.(
+      const run_client $ files_arg $ connect_arg $ spawn_arg $ repeat_arg
+      $ sessions_arg $ deadline_arg $ out_arg $ shutdown_arg
+      $ max_retries_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -9,35 +9,10 @@
     error and output was still produced). *)
 
 open Cmdliner
+open Cli_common
 module Diag = Ms2_support.Diag
-module Limits = Ms2_support.Limits
-module Loc = Ms2_support.Loc
 module Failpoint = Ms2_support.Failpoint
 module Obs = Ms2_support.Obs
-
-let exit_fatal = 1
-let exit_degraded = 3
-
-type diag_format = Text | Json
-
-let emit_diag fmt (d : Diag.t) =
-  match fmt with
-  | Text -> prerr_endline (Diag.render d)
-  | Json -> prerr_endline (Diag.to_json d)
-
-let emit_diags fmt ds = List.iter (emit_diag fmt) ds
-
-let file_start_loc source =
-  let p = { Loc.line = 1; col = 0; offset = 0 } in
-  Loc.make ~source ~start_pos:p ~end_pos:p
-
-let read_file path =
-  if (try Sys.is_directory path with Sys_error _ -> false) then
-    raise (Sys_error (path ^ ": is a directory"));
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
 
 (* Each input file is a separate fragment pushed through the same
    engine — "meta-programming constructs and regular programs that
@@ -69,38 +44,6 @@ let with_fragments ~diag_format files k =
           files
   in
   k fragments
-
-(* Atomic output: write to a temp file in the destination's directory,
-   then rename into place, so a failed run can never leave a truncated
-   file where the previous good output was.  An unwritable destination
-   (missing directory, permissions) is a fatal diagnostic, not a crash. *)
-let write_atomic ?(diag_format = Text) path content =
-  let fatal msg =
-    emit_diag diag_format
-      (Diag.make ~loc:(file_start_loc path) Diag.Parsing
-         (Printf.sprintf "cannot write output: %s" msg));
-    exit exit_fatal
-  in
-  match
-    Filename.temp_file ~temp_dir:(Filename.dirname path) ".ms2c" ".tmp"
-  with
-  | exception Sys_error msg -> fatal msg
-  | tmp -> (
-      match
-        let oc = open_out_bin tmp in
-        Fun.protect
-          ~finally:(fun () -> close_out oc)
-          (fun () -> output_string oc content);
-        Sys.rename tmp path
-      with
-      | () -> ()
-      | exception e ->
-          (try Sys.remove tmp with Sys_error _ -> ());
-          (match e with Sys_error msg -> fatal msg | _ -> raise e))
-
-let arm_failpoints = function
-  | [] -> ()
-  | spec -> Failpoint.arm_all spec
 
 (* ------------------------------------------------------------------ *)
 (* Worker pool                                                         *)
@@ -215,13 +158,37 @@ let print_stats ?(format = Stats_text) (s : Ms2.Api.stats) =
           s.Ms2.Api.cache_bypass_trace s.Ms2.Api.cache_bypass_failpoints
           s.Ms2.Api.cache_bypass_uncacheable s.Ms2.Api.cache_bypass_budget
 
+(* How a worker that shipped no result died, for the per-file
+   diagnostic.  A signal death is the interesting case: SIGKILL is how
+   the kernel's OOM killer (or an impatient operator) takes a worker
+   out, and SIGSEGV is a native-code crash — both must surface as a
+   located, per-file diagnostic, not a silent hole in the output. *)
+let describe_worker_death (status : Unix.process_status) : string =
+  match status with
+  | Unix.WSIGNALED n when n = Sys.sigkill ->
+      "was killed by SIGKILL (possibly the kernel's out-of-memory killer)"
+  | Unix.WSIGNALED n when n = Sys.sigsegv -> "crashed with SIGSEGV"
+  | Unix.WSIGNALED n when n = Sys.sigbus -> "crashed with SIGBUS"
+  | Unix.WSIGNALED n when n = Sys.sigill -> "crashed with SIGILL"
+  | Unix.WSIGNALED n when n = Sys.sigabrt -> "aborted (SIGABRT)"
+  | Unix.WSIGNALED n when n = Sys.sigterm -> "was terminated (SIGTERM)"
+  | Unix.WSIGNALED n -> Printf.sprintf "was killed by signal %d" n
+  | Unix.WEXITED c ->
+      Printf.sprintf "exited with code %d before shipping a result" c
+  | Unix.WSTOPPED n ->
+      Printf.sprintf "was stopped by signal %d and never resumed" n
+
 (* Run [work i] for every fragment index, at most [jobs] forked workers
    at a time, returning results in input order.  The parent stops
    launching new workers once a fatal result arrives and [keep_going] is
    off (the sequential pipeline would never have reached those files),
    but always drains workers already running.  Results of indices past
-   the first fatal one are dropped by the caller. *)
-let run_pool ~jobs ~keep_going ~(work : int -> worker_result) (n : int) :
+   the first fatal one are dropped by the caller.  [source_of]/[render]
+   shape the diagnostic for a worker that died without a result (e.g.
+   OOM-killed): it is located at the file the worker was expanding, and
+   under [keep_going] the remaining files still run. *)
+let run_pool ~jobs ~keep_going ~(source_of : int -> string)
+    ~(render : Diag.t -> string) ~(work : int -> worker_result) (n : int) :
     worker_result option array =
   let results = Array.make n None in
   let running = ref [] in
@@ -274,18 +241,28 @@ let run_pool ~jobs ~keep_going ~(work : int -> worker_result) (n : int) :
           with _ -> None
         in
         close_in ic;
-        ignore (Unix.waitpid [] pid);
+        let _, status = Unix.waitpid [] pid in
         running := List.filter (fun (_, p, _) -> p <> pid) !running;
         let r =
           match r with
           | Some r -> r
           | None ->
-              (* the worker died before shipping a result (segfault,
-                 kill): surface that as a fatal per-file diagnostic *)
+              (* the worker died before shipping a result: say how, and
+                 pin the diagnostic to the file it was expanding *)
+              let source = source_of i in
+              let d =
+                Diag.make
+                  ~loc:(file_start_loc source)
+                  Diag.Expansion
+                  (Printf.sprintf
+                     "worker expanding %s %s; its output is lost%s" source
+                     (describe_worker_death status)
+                     (if keep_going then "" else " (rerun with --keep-going \
+                                                  to expand the remaining \
+                                                  files anyway)"))
+              in
               {
-                w_diags =
-                  [ Printf.sprintf
-                      "ms2c: worker for input %d exited without a result" i ];
+                w_diags = [ render d ];
                 w_fatal = true;
                 w_recovered = false;
                 w_out = "";
@@ -369,31 +346,6 @@ let stats_format_arg =
              $(b,json) (the metrics-registry schema, identical to \
              --metrics output).")
 
-(* Budgets are counts: negative values are a usage error, caught at the
-   command line rather than producing an instantly-exhausted budget. *)
-let nonneg_int : int Arg.conv =
-  let parse s =
-    match int_of_string_opt s with
-    | Some n when n >= 0 -> Ok n
-    | Some n ->
-        Error
-          (`Msg
-            (Printf.sprintf
-               "%d is negative; budgets must be >= 0 (0 means unlimited)" n))
-    | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
-  in
-  Arg.conv (parse, Format.pp_print_int)
-
-(* Worker counts must be positive: 0 workers can never make progress. *)
-let pos_int : int Arg.conv =
-  let parse s =
-    match int_of_string_opt s with
-    | Some n when n >= 1 -> Ok n
-    | Some n -> Error (`Msg (Printf.sprintf "%d is not positive" n))
-    | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
-  in
-  Arg.conv (parse, Format.pp_print_int)
-
 let jobs_arg =
   Arg.(value & opt pos_int 1 & info [ "j"; "jobs" ] ~docv:"N"
        ~doc:"Expand input files with $(docv) forked workers.  Above 1 \
@@ -407,57 +359,6 @@ let no_cache_arg =
        ~doc:"Disable the content-addressed expansion cache (the \
              ablation baseline: every fragment is re-expanded from \
              scratch).")
-
-let fuel_arg =
-  Arg.(value & opt (some nonneg_int) None & info [ "fuel" ] ~docv:"N"
-       ~doc:"Global interpreter fuel budget: total meta-program steps \
-             (statements executed, expressions evaluated) the whole run \
-             may consume.  Defaults to a generous production bound; 0 \
-             means unlimited.")
-
-let invocation_fuel_arg =
-  Arg.(value & opt (some nonneg_int) None
-       & info [ "invocation-fuel" ] ~docv:"N"
-       ~doc:"Interpreter fuel budget for a single macro invocation, so \
-             one runaway macro cannot starve the rest of the file.  0 \
-             means unlimited.")
-
-let max_nodes_arg =
-  Arg.(value & opt (some nonneg_int) None & info [ "max-nodes" ] ~docv:"N"
-       ~doc:"Maximum AST nodes a single macro invocation's expansion may \
-             produce (the expansion-bomb guard).  0 means unlimited.")
-
-let max_errors_arg =
-  Arg.(value & opt (some nonneg_int) None & info [ "max-errors" ] ~docv:"N"
-       ~doc:"Stop after recording $(docv) diagnostics in --keep-going \
-             mode (default 20).")
-
-let timeout_arg =
-  Arg.(value & opt (some nonneg_int) None & info [ "timeout-ms" ] ~docv:"MS"
-       ~doc:"Wall-clock deadline for expanding one input file, in \
-             milliseconds; a stalling macro is interrupted with a \
-             located diagnostic.  0 means unlimited.")
-
-let invocation_timeout_arg =
-  Arg.(value & opt (some nonneg_int) None
-       & info [ "invocation-timeout-ms" ] ~docv:"MS"
-       ~doc:"Wall-clock deadline for a single macro invocation, in \
-             milliseconds.  0 means unlimited.")
-
-let failpoints_conv : Failpoint.spec Arg.conv =
-  let parse s = Result.map_error (fun m -> `Msg m) (Failpoint.parse_spec s) in
-  let print ppf (spec : Failpoint.spec) =
-    Format.pp_print_string ppf
-      (String.concat "," (List.map fst spec))
-  in
-  Arg.conv (parse, print)
-
-let failpoints_arg =
-  Arg.(value & opt failpoints_conv [] & info [ "failpoints" ] ~docv:"SPEC"
-       ~doc:"Arm failure-injection points (testing): comma-separated \
-             $(i,site=trigger) clauses where trigger is $(b,off), \
-             $(b,error), $(b,timeout) or $(b,after=N).  Equivalent to \
-             the $(b,MS2_FAILPOINTS) environment variable.")
 
 let keep_going_arg =
   Arg.(value & flag & info [ "k"; "keep-going" ]
@@ -479,33 +380,6 @@ let sourcemap_arg =
        ~doc:"Write a line-oriented JSON source map to $(docv): one \
              object per output line, giving the producing span and its \
              macro expansion stack (innermost frame first).")
-
-let diag_format_arg =
-  Arg.(value & opt (enum [ ("text", Text); ("json", Json) ]) Text
-       & info [ "diag-format" ] ~docv:"FMT"
-       ~doc:"Diagnostic rendering: $(b,text) (human-readable, with \
-             source-line carets) or $(b,json) (one JSON object per \
-             line, stable field order).")
-
-(* 0 on the command line means "unlimited" *)
-let budget_override default = function
-  | None -> default
-  | Some 0 -> max_int
-  | Some n -> n
-
-let limits_of ~fuel ~invocation_fuel ~max_nodes ~max_errors ~timeout_ms
-    ~invocation_timeout_ms : Limits.t =
-  let d = Limits.default in
-  {
-    d with
-    Limits.fuel = budget_override d.Limits.fuel fuel;
-    invocation_fuel = budget_override d.Limits.invocation_fuel invocation_fuel;
-    max_nodes = budget_override d.Limits.max_nodes max_nodes;
-    max_errors = budget_override d.Limits.max_errors max_errors;
-    timeout_ms = budget_override d.Limits.timeout_ms timeout_ms;
-    invocation_timeout_ms =
-      budget_override d.Limits.invocation_timeout_ms invocation_timeout_ms;
-  }
 
 (* Expand every fragment through one (transactional) engine.  Without
    [--keep-going] the first fatal failure aborts the run (exit 1).  With
@@ -558,6 +432,13 @@ let expand_parallel ~jobs ~limits ~keep_going ~hygienic ~prelude ~cache
   in
   let work i =
     let source, text = frags.(i) in
+    (* deterministic stand-in for an OOM kill: a worker whose file
+       matches this env var SIGKILLs itself before doing any work, so
+       the parent's died-without-a-result path is testable *)
+    (match Sys.getenv_opt "MS2_TEST_WORKER_KILL" with
+    | Some victim when victim = source ->
+        Unix.kill (Unix.getpid ()) Sys.sigkill
+    | _ -> ());
     (* each worker records into its own process-global sinks and ships
        events + a metrics snapshot home over the result pipe *)
     if trace_out <> None then Obs.start_recording ();
@@ -623,7 +504,11 @@ let expand_parallel ~jobs ~limits ~keep_going ~hygienic ~prelude ~cache
           w_metrics = snapshot;
         }
   in
-  let results = run_pool ~jobs ~keep_going ~work n in
+  let results =
+    run_pool ~jobs ~keep_going
+      ~source_of:(fun i -> fst frags.(i))
+      ~render:render_diag ~work n
+  in
   let first_fatal = ref None in
   Array.iteri
     (fun i r ->
@@ -932,6 +817,6 @@ let main =
   Cmd.group
     (Cmd.info "ms2c" ~version:"1.0.0"
        ~doc:"Programmable syntax macros for C (Weise & Crew, PLDI 1993)")
-    [ expand_cmd; check_cmd; profile_cmd; figures_cmd ]
+    [ expand_cmd; check_cmd; profile_cmd; figures_cmd; Serve_cmd.cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,793 @@
+(** [ms2c serve] — a persistent, crash-safe expansion daemon.
+
+    One process, one engine, many sessions: requests arrive as
+    line-oriented JSON (protocol {!Ms2_support.Serve_proto}, schema
+    [ms2-serve-1]) over stdin/stdout or a Unix-domain socket, and each
+    client session expands against its own checkpoint boundary on the
+    shared engine ({!Ms2.Api.Session}).  A failed request rolls back to
+    the session's snapshot and answers with a structured diagnostic; it
+    can never poison another session (asserted with
+    {!Ms2.Engine.fingerprint} on every failure).  Because the engine is
+    shared, the expansion cache is too: a fragment expanded for one
+    session replays for every other.
+
+    Robustness posture:
+    - per-request [deadline_ms] is propagated onto the engine watchdog
+      (it can narrow the fragment timeout, never extend it); a deadline
+      already spent on arrival is refused with [deadline_expired];
+    - the in-flight queue is bounded; beyond it requests are shed with
+      a retryable [overloaded] carrying a [retry_after_ms] hint derived
+      from observed service time;
+    - SIGTERM/SIGINT drain: queued requests finish, new ones are
+      refused with retryable [draining], then the socket and pidfile
+      are removed and the process exits 0;
+    - [--supervise] keeps a supervisor in front of the worker: a crash
+      is logged, the worker restarted with capped-backoff pacing, and
+      the macro prelude ([--prelude]/[--prelude-file]) replayed so the
+      restarted daemon serves the same definitions;
+    - the socket is claimed atomically (bind to a temp name, rename
+      into place) and a stale socket left by a crash is detected (by a
+      probe connect) and reclaimed;
+    - protocol failures — oversized lines, malformed JSON, unknown
+      methods, expired deadlines, mid-request disconnects — are each a
+      structured error response (or a dropped write), never a daemon
+      exit. *)
+
+open Cmdliner
+open Cli_common
+module Diag = Ms2_support.Diag
+module Failpoint = Ms2_support.Failpoint
+module Json = Ms2_support.Json
+module Proto = Ms2_support.Serve_proto
+module Atomic_io = Ms2_support.Atomic_io
+module Backoff = Ms2_support.Backoff
+module Session = Ms2.Api.Session
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type conn = {
+  c_id : int;
+  c_in : Unix.file_descr;
+  c_out : Unix.file_descr;
+  c_buf : Buffer.t;  (** bytes read but not yet framed into a line *)
+  mutable c_discarding : bool;
+      (** skipping to the newline that ends an oversized request *)
+  mutable c_eof : bool;  (** peer closed its write side *)
+  mutable c_closed : bool;  (** connection is dead (write error / bye) *)
+  c_stdio : bool;
+}
+
+let write_all fd (s : string) =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+(* A response the peer is gone for is dropped, not fatal: surviving a
+   mid-request disconnect is part of the contract. *)
+let send (c : conn) (line : string) : unit =
+  if not c.c_closed then
+    try write_all c.c_out (line ^ "\n")
+    with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF | EIO), _, _) ->
+      c.c_closed <- true
+
+(* ------------------------------------------------------------------ *)
+(* Server state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type sess = { ss : Session.t; mutable last_used : float }
+
+type job = {
+  j_conn : conn;
+  j_req : Proto.request;
+  j_arrival : float;  (** when the request line was framed *)
+}
+
+type state = {
+  engine : Ms2.Api.engine;
+  base_cp : Ms2.Engine.checkpoint;
+      (** post-prelude engine state every new session starts from *)
+  sessions : (string, sess) Hashtbl.t;
+  pending : job Queue.t;
+  max_pending : int;
+  max_sessions : int;
+  session_idle_ms : int;
+  max_request_bytes : int;
+  mutable conns : conn list;
+  listen_fd : Unix.file_descr option;
+  socket_path : string option;
+  pidfile : string option;  (** Some p iff this process wrote it *)
+  mutable draining : bool;
+  mutable avg_ms : float;  (** EWMA of request service time *)
+  started : float;
+  mutable served : int;
+}
+
+(* Signal flags: handlers only flip refs; the select loop acts on them. *)
+let want_drain = ref false
+
+let now_ms_since t0 = int_of_float ((Unix.gettimeofday () -. t0) *. 1000.)
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let evict_lru (st : state) : unit =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun id s ->
+      match !victim with
+      | Some (_, t) when s.last_used >= t -> ()
+      | _ -> victim := Some (id, s.last_used))
+    st.sessions;
+  match !victim with
+  | Some (id, _) -> Hashtbl.remove st.sessions id
+  | None -> ()
+
+let evict_idle (st : state) (now : float) : unit =
+  let cutoff = now -. (float st.session_idle_ms /. 1000.) in
+  let dead =
+    Hashtbl.fold
+      (fun id s acc -> if s.last_used < cutoff then id :: acc else acc)
+      st.sessions []
+  in
+  List.iter (Hashtbl.remove st.sessions) dead
+
+let get_session (st : state) (now : float) (id : string) : Session.t =
+  match Hashtbl.find_opt st.sessions id with
+  | Some s ->
+      s.last_used <- now;
+      s.ss
+  | None ->
+      if Hashtbl.length st.sessions >= st.max_sessions then evict_lru st;
+      (* new sessions root at the post-prelude base state, not at
+         whatever state the last-served session left the engine in *)
+      Ms2.Engine.rollback st.engine st.base_cp;
+      let ss = Session.create st.engine ~id in
+      Hashtbl.add st.sessions id { ss; last_used = now };
+      ss
+
+(* ------------------------------------------------------------------ *)
+(* Request processing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let retry_after_ms (st : state) : int =
+  let hint = st.avg_ms *. float (Queue.length st.pending + 1) in
+  max 10 (min 5000 (int_of_float hint))
+
+let session_json (ss : Session.t) : Json.t =
+  let s = Session.stats ss in
+  let lookups = s.Session.s_cache_hits + s.Session.s_cache_misses in
+  let hit_rate =
+    if lookups = 0 then 0.0
+    else 100.0 *. float s.Session.s_cache_hits /. float lookups
+  in
+  Json.Obj
+    [ ("id", Json.Str (Session.id ss));
+      ("requests", Json.Int s.Session.s_requests);
+      ("failures", Json.Int s.Session.s_failures);
+      ("cache_hits", Json.Int s.Session.s_cache_hits);
+      ("cache_misses", Json.Int s.Session.s_cache_misses);
+      ("hit_rate_percent", Json.Float hit_rate) ]
+
+(* The serve/* failpoints model the lifecycle of a normal
+   expansion-carrying request.  Admin methods (ping/stats/failpoints/
+   reset/shutdown/bye) are exempt so a chaos run can always disarm and
+   probe liveness. *)
+let admit (st : state) (c : conn) (req : Proto.request) (arrival : float) :
+    unit =
+  let loc = file_start_loc req.Proto.rq_source in
+  match
+    Diag.protect (fun () ->
+        Failpoint.hit ~loc "serve/accept";
+        Failpoint.hit ~loc "serve/decode")
+  with
+  | Result.Error d ->
+      send c
+        (Proto.error_response ~id:req.Proto.rq_id ~kind:Proto.Rejected
+           ~diagnostics:[ Diag.to_json d ]
+           ~message:"request rejected at admission" ())
+  | Ok () ->
+      Queue.add { j_conn = c; j_req = req; j_arrival = arrival } st.pending
+
+let run_job (st : state) (j : job) : unit =
+  let req = j.j_req in
+  let c = j.j_conn in
+  let id = req.Proto.rq_id in
+  let loc = file_start_loc req.Proto.rq_source in
+  let t0 = Unix.gettimeofday () in
+  (* deadline accounting is from arrival: queue wait counts against the
+     client's budget, as it should — the client is waiting either way *)
+  let remaining_ms =
+    match req.Proto.rq_deadline_ms with
+    | None -> None
+    | Some d -> Some (d - int_of_float ((t0 -. j.j_arrival) *. 1000.))
+  in
+  match remaining_ms with
+  | Some r when r <= 0 ->
+      send c
+        (Proto.error_response ~id ~kind:Proto.Deadline_expired
+           ~message:
+             (Printf.sprintf
+                "deadline of %d ms was already spent before expansion \
+                 started"
+                (Option.value req.Proto.rq_deadline_ms ~default:0))
+           ())
+  | _ -> (
+      let ss = get_session st t0 req.Proto.rq_session in
+      let result =
+        match
+          Diag.protect (fun () ->
+              Failpoint.hit ~loc "serve/expand";
+              Session.expand ss ?deadline_ms:remaining_ms
+                ~source:req.Proto.rq_source req.Proto.rq_text)
+        with
+        | Ok r -> r
+        | Result.Error d ->
+            (* the expand failpoint fired before the session ran *)
+            Result.Error (d, Session.{ d_cache_hits = 0; d_cache_misses = 0;
+                                       d_invocations = 0; d_fuel = 0 })
+      in
+      let elapsed = (Unix.gettimeofday () -. t0) *. 1000. in
+      st.avg_ms <- (0.8 *. st.avg_ms) +. (0.2 *. elapsed);
+      st.served <- st.served + 1;
+      match result with
+      | Ok (rendered, d) -> (
+          let fields =
+            (if req.Proto.rq_method = "expand" then
+               [ ("output", Json.Str rendered) ]
+             else [])
+            @ [ ("elapsed_ms", Json.Float elapsed);
+                ("request",
+                 Json.Obj
+                   [ ("cache_hits", Json.Int d.Session.d_cache_hits);
+                     ("cache_misses", Json.Int d.Session.d_cache_misses);
+                     ("invocations", Json.Int d.Session.d_invocations);
+                     ("fuel", Json.Int d.Session.d_fuel) ]);
+                ("session", session_json ss) ]
+          in
+          match
+            Diag.protect (fun () ->
+                Failpoint.hit ~loc "serve/respond";
+                Proto.ok_response ~id fields)
+          with
+          | Ok line -> send c line
+          | Result.Error d ->
+              send c
+                (Proto.error_response ~id ~kind:Proto.Respond_error
+                   ~diagnostics:[ Diag.to_json d ]
+                   ~message:"response write-out failed" ()))
+      | Result.Error (d, _) ->
+          send c
+            (Proto.error_response ~id ~kind:Proto.Expand_error
+               ~diagnostics:[ Diag.to_json d ]
+               ~message:"expansion failed; session rolled back" ()))
+
+let handle_admin (st : state) (c : conn) (req : Proto.request) : unit =
+  let id = req.Proto.rq_id in
+  let now = Unix.gettimeofday () in
+  match req.Proto.rq_method with
+  | "ping" ->
+      send c (Proto.ok_response ~id [ ("pid", Json.Int (Unix.getpid ())) ])
+  | "bye" ->
+      send c (Proto.ok_response ~id []);
+      c.c_closed <- true
+  | "shutdown" ->
+      send c (Proto.ok_response ~id [ ("draining", Json.Bool true) ]);
+      st.draining <- true
+  | "failpoints" -> (
+      match Failpoint.arm_spec req.Proto.rq_spec with
+      | Ok () ->
+          send c
+            (Proto.ok_response ~id
+               [ ("armed", Json.Str req.Proto.rq_spec) ])
+      | Result.Error msg ->
+          send c
+            (Proto.error_response ~id ~kind:Proto.Malformed
+               ~message:(Printf.sprintf "bad failpoint spec: %s" msg)
+               ()))
+  | "reset" ->
+      let ss = get_session st now req.Proto.rq_session in
+      Session.reset ss;
+      send c (Proto.ok_response ~id [ ("session", session_json ss) ])
+  | "stats" ->
+      let ss = get_session st now req.Proto.rq_session in
+      let es = Ms2.Api.stats st.engine in
+      send c
+        (Proto.ok_response ~id
+           [ ("pid", Json.Int (Unix.getpid ()));
+             ("uptime_ms", Json.Int (now_ms_since st.started));
+             ("draining", Json.Bool st.draining);
+             ("served", Json.Int st.served);
+             ("pending", Json.Int (Queue.length st.pending));
+             ("max_pending", Json.Int st.max_pending);
+             ("sessions", Json.Int (Hashtbl.length st.sessions));
+             ("fingerprint", Json.Str (Session.fingerprint ss));
+             ("isolated", Json.Bool (Session.isolated ss));
+             ("session", session_json ss);
+             ("engine",
+              Json.Obj
+                [ ("cache_hits", Json.Int es.Ms2.Api.cache_hits);
+                  ("cache_misses", Json.Int es.Ms2.Api.cache_misses);
+                  ("cache_evictions", Json.Int es.Ms2.Api.cache_evictions);
+                  ("invocations_expanded",
+                   Json.Int es.Ms2.Api.invocations_expanded);
+                  ("fuel_consumed", Json.Int es.Ms2.Api.fuel_consumed) ]) ])
+  | m ->
+      send c
+        (Proto.error_response ~id ~kind:Proto.Unknown_method
+           ~message:(Printf.sprintf "unknown method %S" m)
+           ())
+
+let intake (st : state) (c : conn) (line : string) : unit =
+  let arrival = Unix.gettimeofday () in
+  match Json.parse line with
+  | Result.Error msg ->
+      send c
+        (Proto.error_response ~id:Json.Null ~kind:Proto.Malformed
+           ~message:(Printf.sprintf "request is not valid JSON: %s" msg)
+           ())
+  | Ok j -> (
+      match Proto.decode_request j with
+      | Result.Error msg ->
+          send c
+            (Proto.error_response ~id:(Proto.request_id j)
+               ~kind:Proto.Malformed ~message:msg ())
+      | Ok req -> (
+          match req.Proto.rq_method with
+          | "expand" | "check" ->
+              if st.draining then
+                send c
+                  (Proto.error_response ~id:req.Proto.rq_id
+                     ~kind:Proto.Draining
+                     ~retry_after_ms:(retry_after_ms st)
+                     ~message:"daemon is draining; retry elsewhere or later"
+                     ())
+              else if Queue.length st.pending >= st.max_pending then
+                send c
+                  (Proto.error_response ~id:req.Proto.rq_id
+                     ~kind:Proto.Overloaded
+                     ~retry_after_ms:(retry_after_ms st)
+                     ~message:
+                       (Printf.sprintf
+                          "pending queue is full (%d in flight)"
+                          st.max_pending)
+                     ())
+              else admit st c req arrival
+          | _ -> handle_admin st c req))
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Split complete lines out of the connection buffer.  A line longer
+   than the cap is answered with [oversized] exactly once and skipped
+   without ever being held whole: while discarding, incoming bytes are
+   dropped until the newline that ends the monster request. *)
+let feed (st : state) (c : conn) (chunk : string) : unit =
+  let chunk =
+    if not c.c_discarding then chunk
+    else
+      match String.index_opt chunk '\n' with
+      | None -> ""
+      | Some i ->
+          c.c_discarding <- false;
+          String.sub chunk (i + 1) (String.length chunk - i - 1)
+  in
+  Buffer.add_string c.c_buf chunk;
+  let continue = ref true in
+  while !continue do
+    let s = Buffer.contents c.c_buf in
+    match String.index_opt s '\n' with
+    | None ->
+        if String.length s > st.max_request_bytes then begin
+          Buffer.clear c.c_buf;
+          c.c_discarding <- true;
+          send c
+            (Proto.error_response ~id:Json.Null ~kind:Proto.Oversized
+               ~message:
+                 (Printf.sprintf "request line exceeds %d bytes"
+                    st.max_request_bytes)
+               ())
+        end;
+        continue := false
+    | Some i ->
+        let line = String.sub s 0 i in
+        Buffer.clear c.c_buf;
+        Buffer.add_substring c.c_buf s (i + 1) (String.length s - i - 1);
+        if String.length line > st.max_request_bytes then
+          send c
+            (Proto.error_response ~id:Json.Null ~kind:Proto.Oversized
+               ~message:
+                 (Printf.sprintf "request line exceeds %d bytes"
+                    st.max_request_bytes)
+               ())
+        else if String.trim line <> "" then intake st c line
+  done
+
+let handle_readable (st : state) (c : conn) : unit =
+  let buf = Bytes.create 65536 in
+  match Unix.read c.c_in buf 0 (Bytes.length buf) with
+  | 0 -> c.c_eof <- true
+  | n -> feed st c (Bytes.sub_string buf 0 n)
+  | exception Unix.Unix_error (EINTR, _, _) -> ()
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE | EBADF), _, _) ->
+      c.c_eof <- true;
+      c.c_closed <- true
+
+(* ------------------------------------------------------------------ *)
+(* Socket / pidfile lifecycle                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fatal fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("ms2c serve: " ^ msg);
+      exit exit_fatal)
+    fmt
+
+(* Claim the socket path atomically: bind to a temporary name next to
+   it, then rename into place.  A path someone is still listening on is
+   an error; a stale one (daemon crashed without cleanup) is detected by
+   a probe connect and reclaimed. *)
+let claim_socket (path : string) : Unix.file_descr =
+  (if Sys.file_exists path then
+     let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+     match Unix.connect probe (Unix.ADDR_UNIX path) with
+     | () ->
+         Unix.close probe;
+         fatal "%s: another daemon is already listening" path
+     | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) ->
+         Unix.close probe;
+         (try Unix.unlink path with Unix.Unix_error _ -> ())
+     | exception e ->
+         Unix.close probe;
+         raise e);
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  (try Unix.unlink tmp with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX tmp);
+     Unix.listen fd 64
+   with Unix.Unix_error (e, _, _) ->
+     fatal "%s: cannot listen: %s" path (Unix.error_message e));
+  (try Unix.rename tmp path
+   with Sys_error msg | Unix.Unix_error (_, _, msg) ->
+     fatal "%s: cannot claim socket: %s" path msg);
+  fd
+
+let cleanup (st : state) : unit =
+  (match st.listen_fd with Some fd -> (try Unix.close fd with _ -> ()) | None -> ());
+  (match st.socket_path with
+  | Some p -> ( try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+  | None -> ());
+  match st.pidfile with
+  | Some p -> ( try Sys.remove p with Sys_error _ -> ())
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Event loop                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let conn_counter = ref 0
+
+let accept_conn (st : state) (listen_fd : Unix.file_descr) : unit =
+  match Unix.accept listen_fd with
+  | fd, _ ->
+      incr conn_counter;
+      st.conns <-
+        { c_id = !conn_counter;
+          c_in = fd;
+          c_out = fd;
+          c_buf = Buffer.create 256;
+          c_discarding = false;
+          c_eof = false;
+          c_closed = false;
+          c_stdio = false }
+        :: st.conns
+  | exception Unix.Unix_error ((EINTR | EAGAIN | EWOULDBLOCK), _, _) -> ()
+
+let close_conn (c : conn) : unit =
+  if not c.c_stdio then begin
+    (try Unix.close c.c_in with Unix.Unix_error _ -> ());
+    if c.c_out != c.c_in then
+      try Unix.close c.c_out with Unix.Unix_error _ -> ()
+  end
+
+let serve_loop (st : state) : unit =
+  let stdio_done = ref false in
+  let running = ref true in
+  while !running do
+    if !want_drain then st.draining <- true;
+    (* finished draining: queue empty and every answer written *)
+    if st.draining && Queue.is_empty st.pending then running := false
+    else begin
+      evict_idle st (Unix.gettimeofday ());
+      let read_fds =
+        (match st.listen_fd with
+        | Some fd when not st.draining -> [ fd ]
+        | _ -> [])
+        @ List.filter_map
+            (fun c ->
+              if c.c_closed || c.c_eof then None else Some c.c_in)
+            st.conns
+      in
+      if read_fds = [] && Queue.is_empty st.pending && !stdio_done then
+        running := false
+      else begin
+        (match Unix.select read_fds [] [] 1.0 with
+        | exception Unix.Unix_error (EINTR, _, _) -> ()
+        | ready, _, _ ->
+            (match st.listen_fd with
+            | Some fd when List.memq fd ready -> accept_conn st fd
+            | _ -> ());
+            List.iter
+              (fun c ->
+                if (not c.c_closed) && List.memq c.c_in ready then
+                  handle_readable st c)
+              st.conns);
+        (* serve everything admitted this round, in arrival order *)
+        while not (Queue.is_empty st.pending) do
+          run_job st (Queue.pop st.pending)
+        done;
+        (* reap connections whose peer is gone.  [feed] already ran
+           every complete line, so at EOF the buffer can only hold a
+           truncated final request, which can never complete — drop it *)
+        let dead, alive =
+          List.partition (fun c -> c.c_closed || c.c_eof) st.conns
+        in
+        List.iter close_conn dead;
+        st.conns <- alive;
+        (* stdio mode drains naturally on stdin EOF *)
+        if List.for_all (fun c -> not c.c_stdio) alive
+           && st.listen_fd = None
+        then stdio_done := true
+      end
+    end
+  done;
+  cleanup st
+
+(* ------------------------------------------------------------------ *)
+(* Startup                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let load_prelude_file (engine : Ms2.Api.engine) (path : string) : unit =
+  match read_file path with
+  | exception Sys_error msg -> fatal "cannot read prelude: %s" msg
+  | text -> (
+      match
+        Diag.protect (fun () ->
+            ignore (Ms2.Engine.expand_source engine ~source:path text))
+      with
+      | Ok () -> ()
+      | Result.Error d -> fatal "prelude failed: %s" (Diag.to_string d))
+
+let run_server ~limits ~hygienic ~prelude ~prelude_file ~cache ~socket
+    ~pidfile ~write_pidfile ~max_pending ~max_sessions ~session_idle_ms
+    ~max_request_bytes () : unit =
+  (* a disconnected client must never kill the daemon with SIGPIPE *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Sys.set_signal Sys.sigterm
+    (Sys.Signal_handle (fun _ -> want_drain := true));
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> want_drain := true));
+  let engine =
+    Ms2.Api.create_engine ~limits ~hygienic ~prelude ~cache ()
+  in
+  Option.iter (load_prelude_file engine) prelude_file;
+  let base_cp = Ms2.Engine.checkpoint engine in
+  let listen_fd = Option.map claim_socket socket in
+  (match (pidfile, write_pidfile) with
+  | Some p, true ->
+      Atomic_io.write_exn p (string_of_int (Unix.getpid ()) ^ "\n")
+  | _ -> ());
+  let st =
+    {
+      engine;
+      base_cp;
+      sessions = Hashtbl.create 16;
+      pending = Queue.create ();
+      max_pending;
+      max_sessions;
+      session_idle_ms;
+      max_request_bytes;
+      conns =
+        (match listen_fd with
+        | Some _ -> []
+        | None ->
+            [ { c_id = 0;
+                c_in = Unix.stdin;
+                c_out = Unix.stdout;
+                c_buf = Buffer.create 256;
+                c_discarding = false;
+                c_eof = false;
+                c_closed = false;
+                c_stdio = true } ]);
+      listen_fd;
+      socket_path = socket;
+      pidfile = (if write_pidfile then pidfile else None);
+      draining = false;
+      avg_ms = 50.0;
+      started = Unix.gettimeofday ();
+      served = 0;
+    }
+  in
+  serve_loop st
+
+let signal_name s =
+  if s = Sys.sigkill then "SIGKILL (possibly the out-of-memory killer)"
+  else if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigabrt then "SIGABRT"
+  else if s = Sys.sigbus then "SIGBUS"
+  else if s = Sys.sigill then "SIGILL"
+  else if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigint then "SIGINT"
+  else Printf.sprintf "signal %d" s
+
+(* The supervisor: fork the worker, wait, restart on crash with
+   capped-backoff pacing.  The worker re-claims the socket and replays
+   the prelude on the way up, so a restarted daemon presents the same
+   macro definitions.  A clean worker exit (drain) ends supervision;
+   SIGTERM/SIGINT are forwarded to the worker so drains propagate. *)
+let supervise ~pidfile (spawn_worker : unit -> unit) : unit =
+  let child = ref None in
+  let stopping = ref false in
+  let forward signal =
+    Sys.Signal_handle
+      (fun _ ->
+        stopping := true;
+        match !child with
+        | Some pid -> ( try Unix.kill pid signal with Unix.Unix_error _ -> ())
+        | None -> ())
+  in
+  Sys.set_signal Sys.sigterm (forward Sys.sigterm);
+  Sys.set_signal Sys.sigint (forward Sys.sigint);
+  (match pidfile with
+  | Some p -> Atomic_io.write_exn p (string_of_int (Unix.getpid ()) ^ "\n")
+  | None -> ());
+  let backoff = Backoff.create ~base_ms:200 ~cap_ms:5000 () in
+  let cleanup_pidfile () =
+    match pidfile with
+    | Some p -> ( try Sys.remove p with Sys_error _ -> ())
+    | None -> ()
+  in
+  let rec wait pid =
+    match Unix.waitpid [] pid with
+    | _, status -> status
+    | exception Unix.Unix_error (EINTR, _, _) -> wait pid
+  in
+  let rec loop () =
+    flush stdout;
+    flush stderr;
+    (match Unix.fork () with
+    | 0 ->
+        (* the worker must not inherit the forwarding handlers *)
+        Sys.set_signal Sys.sigterm Sys.Signal_default;
+        Sys.set_signal Sys.sigint Sys.Signal_default;
+        spawn_worker ();
+        exit 0
+    | pid -> (
+        child := Some pid;
+        let status = wait pid in
+        child := None;
+        match status with
+        | Unix.WEXITED 0 ->
+            cleanup_pidfile ();
+            exit 0
+        | status ->
+            if !stopping then begin
+              cleanup_pidfile ();
+              exit 0
+            end;
+            let ms = Backoff.next_ms backoff in
+            Printf.eprintf
+              "ms2c serve: worker %d %s; restarting in %d ms (attempt %d)\n%!"
+              pid
+              (match status with
+              | Unix.WEXITED c -> Printf.sprintf "exited with code %d" c
+              | Unix.WSIGNALED s ->
+                  Printf.sprintf "was killed by %s" (signal_name s)
+              | Unix.WSTOPPED s ->
+                  Printf.sprintf "stopped by %s" (signal_name s))
+              ms (Backoff.attempts backoff);
+            Unix.sleepf (float ms /. 1000.);
+            loop ()))
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Command line                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+       ~doc:"Listen on a Unix-domain socket at $(docv) instead of serving \
+             stdin/stdout.  The path is claimed atomically; a stale \
+             socket left by a crash is detected and reclaimed.")
+
+let pidfile_arg =
+  Arg.(value & opt (some string) None & info [ "pidfile" ] ~docv:"PATH"
+       ~doc:"Write the daemon's PID to $(docv) (atomically); removed on \
+             clean exit.  Under --supervise this is the supervisor's \
+             PID — the worker's is in every $(b,ping)/$(b,stats) \
+             response.")
+
+let supervise_arg =
+  Arg.(value & flag & info [ "supervise" ]
+       ~doc:"Supervisor mode: keep a parent in front of the serving \
+             worker, restarting it (with capped exponential backoff) if \
+             it crashes and replaying the macro prelude so the restarted \
+             daemon serves the same definitions.  Requires --socket \
+             (clients reconnect across restarts; stdio cannot).")
+
+let max_pending_arg =
+  Arg.(value & opt pos_int 64 & info [ "max-pending" ] ~docv:"N"
+       ~doc:"Bound on queued-but-unserved requests; beyond it new \
+             expand/check requests are shed with a retryable \
+             $(b,overloaded) error carrying a $(b,retry_after_ms) hint.")
+
+let max_sessions_arg =
+  Arg.(value & opt pos_int 64 & info [ "max-sessions" ] ~docv:"N"
+       ~doc:"Bound on live sessions; creating one beyond it evicts the \
+             least-recently-used session (its macro state is dropped).")
+
+let session_idle_ms_arg =
+  Arg.(value & opt pos_int 300_000 & info [ "session-idle-ms" ] ~docv:"MS"
+       ~doc:"Evict a session untouched for $(docv) milliseconds.")
+
+let max_request_bytes_arg =
+  Arg.(value & opt pos_int Proto.default_max_request_bytes
+       & info [ "max-request-bytes" ] ~docv:"N"
+       ~doc:"Cap on one request line; longer lines are answered with an \
+             $(b,oversized) error and discarded without being buffered.")
+
+let prelude_file_arg =
+  Arg.(value & opt (some string) None & info [ "prelude-file" ] ~docv:"FILE"
+       ~doc:"Expand $(docv) once at startup (and again after every \
+             supervised restart): its macro definitions become the base \
+             state every session starts from.")
+
+let hygienic_arg =
+  Arg.(value & flag & info [ "hygienic" ]
+       ~doc:"Rename template-introduced block locals automatically.")
+
+let prelude_arg =
+  Arg.(value & flag & info [ "prelude" ]
+       ~doc:"Load the standard macro library before serving.")
+
+let no_cache_arg =
+  Arg.(value & flag & info [ "no-cache" ]
+       ~doc:"Disable the shared content-addressed expansion cache.")
+
+let cmd : unit Cmd.t =
+  let run limits hygienic prelude prelude_file no_cache socket pidfile
+      supervise_flag max_pending max_sessions session_idle_ms
+      max_request_bytes failpoints =
+    arm_failpoints failpoints;
+    let worker ~write_pidfile () =
+      run_server ~limits ~hygienic ~prelude ~prelude_file
+        ~cache:(not no_cache) ~socket ~pidfile ~write_pidfile ~max_pending
+        ~max_sessions ~session_idle_ms ~max_request_bytes ()
+    in
+    if supervise_flag then begin
+      if socket = None then
+        fatal "--supervise requires --socket (stdio clients cannot \
+               reconnect across a worker restart)";
+      supervise ~pidfile (worker ~write_pidfile:false)
+    end
+    else worker ~write_pidfile:true ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run a persistent expansion daemon (line-JSON protocol \
+             ms2-serve-1 over stdio or a Unix socket) with isolated \
+             sessions, deadline propagation, overload shedding and \
+             crash-safe supervision")
+    Term.(
+      const run $ limits_term $ hygienic_arg $ prelude_arg
+      $ prelude_file_arg $ no_cache_arg $ socket_arg $ pidfile_arg
+      $ supervise_arg $ max_pending_arg $ max_sessions_arg
+      $ session_idle_ms_arg $ max_request_bytes_arg $ failpoints_arg)

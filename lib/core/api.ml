@@ -136,3 +136,175 @@ let expand_checked ?(engine = Engine.create ()) ?source (text : string) :
          let prog = Engine.expand_source engine ?source text in
          let rendered = Pretty.program_to_string ~mode:Pretty.strict prog in
          (rendered, check_program prog)))
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Isolated expansion sessions multiplexed onto one engine.
+
+    A session is a named checkpoint boundary: every {!Session.expand}
+    first rolls the shared engine back to the session's checkpoint, runs
+    the fragment, and — on success — advances the checkpoint to the new
+    state.  On failure the engine's own transaction has already rolled
+    the fragment back; the session verifies that with
+    {!Engine.fingerprint} and force-restores its checkpoint if the
+    invariant ever broke (recording the breach in {!Session.isolated}).
+
+    Sharing one engine, rather than one engine per session, is what
+    makes sessions cheap: the string interner, compiled-pattern memos
+    and the content-addressed expansion cache are all engine-level, so
+    every session benefits from every other session's warm cache —
+    while the rollback boundary keeps the *semantic* state (macro
+    tables, meta globals, symbol table) strictly per-session.  The
+    engine-side cost is {!Engine.rollback} restoring [defs_version] to
+    the checkpoint's value, keeping cache keys stable across session
+    switches. *)
+module Session = struct
+  (* the whole-engine counters; [stats] is rebound below per session *)
+  let engine_stats = stats
+
+  type t = {
+    sn_engine : engine;
+    sn_id : string;
+    mutable sn_cp : Engine.checkpoint;  (** committed state *)
+    mutable sn_fp : string;  (** fingerprint of [sn_cp]'s state *)
+    sn_base_cp : Engine.checkpoint;  (** creation-time state, for reset *)
+    sn_base_fp : string;
+    mutable sn_requests : int;
+    mutable sn_failures : int;
+    mutable sn_cache_hits : int;
+    mutable sn_cache_misses : int;
+    mutable sn_invocations : int;
+    mutable sn_fuel : int;
+    mutable sn_isolated : bool;
+        (** false iff a failed fragment was ever observed to leak state
+            past its rollback (should never happen; asserted per
+            request) *)
+  }
+
+  (** What one request changed, for per-response accounting. *)
+  type delta = {
+    d_cache_hits : int;
+    d_cache_misses : int;
+    d_invocations : int;
+    d_fuel : int;
+  }
+
+  type session_stats = {
+    s_requests : int;
+    s_failures : int;
+    s_cache_hits : int;
+    s_cache_misses : int;
+    s_invocations : int;
+    s_fuel : int;
+  }
+
+  let create (engine : engine) ~id : t =
+    let cp = Engine.checkpoint engine in
+    let fp = Engine.fingerprint engine in
+    {
+      sn_engine = engine;
+      sn_id = id;
+      sn_cp = cp;
+      sn_fp = fp;
+      sn_base_cp = cp;
+      sn_base_fp = fp;
+      sn_requests = 0;
+      sn_failures = 0;
+      sn_cache_hits = 0;
+      sn_cache_misses = 0;
+      sn_invocations = 0;
+      sn_fuel = 0;
+      sn_isolated = true;
+    }
+
+  let id s = s.sn_id
+  let isolated s = s.sn_isolated
+  let fingerprint s = s.sn_fp
+
+  let reset (s : t) : unit =
+    Engine.rollback s.sn_engine s.sn_base_cp;
+    s.sn_cp <- s.sn_base_cp;
+    s.sn_fp <- s.sn_base_fp
+
+  let stats (s : t) : session_stats =
+    {
+      s_requests = s.sn_requests;
+      s_failures = s.sn_failures;
+      s_cache_hits = s.sn_cache_hits;
+      s_cache_misses = s.sn_cache_misses;
+      s_invocations = s.sn_invocations;
+      s_fuel = s.sn_fuel;
+    }
+
+  (* Accumulate the engine-counter movement of this request into the
+     session totals and return it.  Counters only ever grow, so a plain
+     difference is the request's share even though the engine is shared:
+     sessions on one engine run strictly one at a time. *)
+  let absorb_delta (s : t) st0 : delta =
+    let st1 = engine_stats s.sn_engine in
+    let d =
+      {
+        d_cache_hits = st1.cache_hits - st0.cache_hits;
+        d_cache_misses = st1.cache_misses - st0.cache_misses;
+        d_invocations = st1.invocations_expanded - st0.invocations_expanded;
+        d_fuel = st1.fuel_consumed - st0.fuel_consumed;
+      }
+    in
+    s.sn_cache_hits <- s.sn_cache_hits + d.d_cache_hits;
+    s.sn_cache_misses <- s.sn_cache_misses + d.d_cache_misses;
+    s.sn_invocations <- s.sn_invocations + d.d_invocations;
+    s.sn_fuel <- s.sn_fuel + d.d_fuel;
+    d
+
+  let expand (s : t) ?deadline_ms ?(source = "<request>") (text : string) :
+      (string * delta, Diag.t * delta) result =
+    let e = s.sn_engine in
+    (* enter: put the shared engine on this session's committed state.
+       Unconditional — cheaper to restore than to track which session
+       held the engine last, and idempotent when it is already ours. *)
+    Engine.rollback e s.sn_cp;
+    let st0 = engine_stats e in
+    s.sn_requests <- s.sn_requests + 1;
+    match
+      Diag.protect (fun () -> Engine.expand_source e ~source ?deadline_ms text)
+    with
+    | Result.Error diag ->
+        let d = absorb_delta s st0 in
+        s.sn_failures <- s.sn_failures + 1;
+        (* the engine's own transaction already rolled the fragment
+           back; verify before letting the next request in.  A breach
+           here is an engine bug — contain it by force-restoring the
+           session checkpoint, and record it. *)
+        if Engine.fingerprint e <> s.sn_fp then begin
+          s.sn_isolated <- false;
+          Engine.rollback e s.sn_cp
+        end;
+        Result.Error (diag, d)
+    | Ok prog -> (
+        match Pretty.program_to_string ~mode:Pretty.strict prog with
+        | rendered ->
+            let d = absorb_delta s st0 in
+            (* commit: the session's next request starts from here *)
+            s.sn_cp <- Engine.checkpoint e;
+            s.sn_fp <- Engine.fingerprint e;
+            Ok (rendered, d)
+        | exception Stack_overflow ->
+            let d = absorb_delta s st0 in
+            s.sn_failures <- s.sn_failures + 1;
+            (* the expansion committed but cannot be rendered: undo the
+               commit.  Deliberate unwind, not an isolation breach. *)
+            Engine.rollback e s.sn_cp;
+            let p = { Loc.line = 1; col = 0; offset = 0 } in
+            let diag =
+              Diag.make
+                ~loc:(Loc.make ~source ~start_pos:p ~end_pos:p)
+                ~code:Diag.code_stack Diag.Resource
+                (Printf.sprintf
+                   "stack overflow while rendering the expansion of %s (the \
+                    produced program is pathologically deep)"
+                   source)
+            in
+            Result.Error (diag, d))
+end

@@ -113,3 +113,65 @@ val expand_checked :
   (string * string list, string) result
 (** Expand, then statically check the result: the rendered C plus any
     findings of the object-level type checker. *)
+
+(** Isolated expansion sessions multiplexed onto one shared engine.
+
+    Each session is a checkpoint boundary: {!Session.expand} rolls the
+    engine back to the session's committed state, runs the fragment, and
+    commits the new checkpoint on success.  A failed fragment rolls back
+    (verified against {!Engine.fingerprint} on every failure) and can
+    never poison another session.  Because the engine is shared, the
+    string interner, compiled-pattern memos and the expansion cache are
+    shared too — a fragment cached by one session replays for all of
+    them — while macro tables, meta globals and the symbol table stay
+    strictly per-session. *)
+module Session : sig
+  type t
+
+  (** What one request changed (engine-counter movement). *)
+  type delta = {
+    d_cache_hits : int;
+    d_cache_misses : int;
+    d_invocations : int;
+    d_fuel : int;
+  }
+
+  (** Per-session running totals. *)
+  type session_stats = {
+    s_requests : int;
+    s_failures : int;
+    s_cache_hits : int;
+    s_cache_misses : int;
+    s_invocations : int;
+    s_fuel : int;
+  }
+
+  val create : engine -> id:string -> t
+  (** A new session rooted at the engine's {e current} state — create
+      sessions after loading any shared prelude so they all inherit it. *)
+
+  val id : t -> string
+
+  val expand :
+    t -> ?deadline_ms:int -> ?source:string -> string ->
+    (string * delta, Diag.t * delta) result
+  (** Expand one fragment in this session and render it as pure C.
+      [deadline_ms] narrows the fragment watchdog (see
+      {!Engine.expand_source}).  On [Error] the session state is
+      unchanged (the fragment rolled back); on [Ok] the session's
+      checkpoint has advanced.  Not reentrant: sessions sharing an
+      engine must run one fragment at a time. *)
+
+  val reset : t -> unit
+  (** Roll the session back to its creation-time state. *)
+
+  val fingerprint : t -> string
+  (** {!Engine.fingerprint} of the session's committed state. *)
+
+  val isolated : t -> bool
+  (** [false] iff a failed fragment was ever observed to leak state past
+      its rollback — an engine-bug tripwire, asserted on every failure;
+      the leak is contained (forced rollback) but recorded here. *)
+
+  val stats : t -> session_stats
+end

@@ -155,6 +155,13 @@ and checkpoint = {
       (** global meta bindings, deref'd — {!Value.t} is structurally
           immutable, so a shallow capture is a deep one *)
   cp_senv : Senv.t;
+  cp_version : int;
+      (** [defs_version] at capture.  Rollback restores it rather than
+          bumping: content at a given version is unique (every mutation
+          bumps), so returning to the captured tables *is* returning to
+          that version — the same argument that lets cache replay restore
+          [ca_version].  Keeps cache keys stable across the
+          rollback-per-request pattern of the serve daemon's sessions. *)
 }
 
 (* No dummy default: every expansion-error site must say where. *)
@@ -395,6 +402,7 @@ let checkpoint (t : t) : checkpoint =
     cp_globals =
       Hashtbl.fold (fun name r acc -> (name, !r) :: acc) (global_scope t) [];
     cp_senv = Senv.snapshot t.senv;
+    cp_version = t.defs_version;
   }
 
 let restore_table dst src =
@@ -402,7 +410,9 @@ let restore_table dst src =
   Hashtbl.iter (fun k v -> Hashtbl.replace dst k v) src
 
 let rollback (t : t) (cp : checkpoint) : unit =
-  t.defs_version <- t.defs_version + 1;
+  (* restore, not bump: see [cp_version].  Callers that mutated tables
+     without a checkpoint still bump explicitly before failing. *)
+  t.defs_version <- cp.cp_version;
   restore_table t.macros cp.cp_macros;
   restore_table t.compiled cp.cp_compiled;
   restore_table t.defs cp.cp_defs;
@@ -811,8 +821,11 @@ let fragment_start ~source : Loc.t =
     diagnostic, a stack overflow (converted to a located [E0606]
     resource diagnostic), or any other escaping exception — so the
     session stays usable for the next fragment.  The fragment watchdog
-    ([limits.timeout_ms]) is armed for the duration. *)
-let expand_source_uncached (t : t) ~source (text : string) : program =
+    ([limits.timeout_ms]) is armed for the duration; [deadline_ms] (a
+    caller's remaining budget, e.g. a serve request's propagated
+    deadline) can only narrow it, never extend it. *)
+let expand_source_uncached (t : t) ?deadline_ms ~source (text : string) :
+    program =
   let loc0 = fragment_start ~source in
   let cp =
     if t.transactional then
@@ -822,7 +835,12 @@ let expand_source_uncached (t : t) ~source (text : string) : program =
   let rollback_traced cp =
     Obs.with_span ~cat:"txn" "rollback" (fun () -> rollback t cp)
   in
-  Watchdog.arm t.watchdog ~ms:t.limits.Limits.timeout_ms;
+  let fragment_ms =
+    match deadline_ms with
+    | Some d -> min t.limits.Limits.timeout_ms d
+    | None -> t.limits.Limits.timeout_ms
+  in
+  Watchdog.arm t.watchdog ~ms:fragment_ms;
   let run () =
     Failpoint.hit ~watchdog:t.watchdog ~loc:loc0 "engine/fragment";
     let st =
@@ -957,7 +975,8 @@ let replay (t : t) (e : cached_run) ~source (text : string) : program =
     back, so a run that consulted them ran from a state that can never
     recur (the entry would be dead), and a run that did not cannot
     depend on them — replaying it is bit-for-bit the rerun. *)
-let expand_source (t : t) ?(source = "<string>") (text : string) : program =
+let expand_source (t : t) ?(source = "<string>") ?deadline_ms (text : string)
+    : program =
   Obs.with_span ~cat:"fragment"
     ~args:(fun () ->
       [ ("source", Obs.Str source);
@@ -965,12 +984,12 @@ let expand_source (t : t) ?(source = "<string>") (text : string) : program =
     "fragment"
   @@ fun () ->
   match t.cache with
-  | None -> expand_source_uncached t ~source text
+  | None -> expand_source_uncached t ?deadline_ms ~source text
   | Some cache -> (
       match cache_key t ~source text with
       | Error why ->
           note_bypass t ~source why;
-          expand_source_uncached t ~source text
+          expand_source_uncached t ?deadline_ms ~source text
       | Ok key -> (
           let b = t.env.Value.budget in
           let hit =
@@ -986,7 +1005,7 @@ let expand_source (t : t) ?(source = "<string>") (text : string) : program =
               (* a replay would overdraw the remaining global budget —
                  the real run must happen (and fail) for real *)
               note_bypass t ~source Bypass_budget;
-              expand_source_uncached t ~source text
+              expand_source_uncached t ?deadline_ms ~source text
           | None ->
               t.stats.cache_misses <- t.stats.cache_misses + 1;
               let gensym0 = Gensym.count t.gensym in
@@ -1000,7 +1019,7 @@ let expand_source (t : t) ?(source = "<string>") (text : string) : program =
               let profile0 =
                 if Obs.Profile.enabled () then Obs.Profile.counts () else []
               in
-              let prog = expand_source_uncached t ~source text in
+              let prog = expand_source_uncached t ?deadline_ms ~source text in
               if
                 Gensym.count t.gensym = gensym0
                 && Senv.anon_count t.senv = anon0

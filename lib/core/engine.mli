@@ -121,7 +121,11 @@ val checkpoint : t -> checkpoint
 val rollback : t -> checkpoint -> unit
 (** Restore the engine — in place, so parser states sharing its tables
     stay attached — to the captured state.  Also unwinds meta-env and
-    object-level scopes a mid-fragment abort left open. *)
+    object-level scopes a mid-fragment abort left open, and restores
+    [defs_version] to its value at capture (table content at a given
+    version is unique, so returning to the tables is returning to the
+    version) — expansion-cache keys stay stable across the
+    rollback-per-request pattern of serve sessions. *)
 
 val fingerprint : t -> string
 (** A structural digest of the rollback-covered session state, for
@@ -139,9 +143,13 @@ val expand_program : t -> program -> program
     invocations become placeholder nodes and their diagnostics are
     available from {!diagnostics}. *)
 
-val expand_source : t -> ?source:string -> string -> program
+val expand_source : t -> ?source:string -> ?deadline_ms:int -> string -> program
 (** Parse with this engine's macro table and meta type environment
-    (definitions from earlier calls remain in force), then expand. *)
+    (definitions from earlier calls remain in force), then expand.
+    [deadline_ms] — a caller's remaining wall-clock budget, e.g. a serve
+    request's propagated deadline — narrows the fragment watchdog for
+    this call; it can never extend past [limits.timeout_ms].  It is not
+    part of the cache key: a cache hit replays instantly regardless. *)
 
 val diagnostics : t -> Diag.t list
 (** Diagnostics recorded by recovery mode so far, oldest first. *)

@@ -1,0 +1,27 @@
+(** Atomic whole-file writes (temp + rename).  See the interface. *)
+
+let write (path : string) (content : string) : (unit, string) result =
+  match
+    Filename.temp_file ~temp_dir:(Filename.dirname path) ".ms2" ".tmp"
+  with
+  | exception Sys_error msg -> Error msg
+  | tmp -> (
+      match
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc content);
+        Sys.rename tmp path
+      with
+      | () -> Ok ()
+      | exception Sys_error msg ->
+          (try Sys.remove tmp with Sys_error _ -> ());
+          Error msg
+      | exception e ->
+          (try Sys.remove tmp with Sys_error _ -> ());
+          raise e)
+
+let write_exn path content =
+  match write path content with
+  | Ok () -> ()
+  | Error msg -> raise (Sys_error msg)

@@ -1,0 +1,17 @@
+(** Atomic whole-file writes: write to a temp file in the destination's
+    directory, then [rename] into place.
+
+    A reader (or a process killed mid-write) can then never observe a
+    truncated file where good content was — the invariant every
+    machine-readable artifact of this system relies on: [-o] output,
+    [--sourcemap], [--metrics], [--trace-out], the [BENCH_*.json]
+    records, pidfiles.  The rename is atomic only within one filesystem,
+    which the same-directory temp file guarantees. *)
+
+val write : string -> string -> (unit, string) result
+(** [write path content] replaces [path] atomically.  [Error msg] on any
+    I/O failure (unwritable directory, disk full …); the temp file is
+    removed on failure. *)
+
+val write_exn : string -> string -> unit
+(** Like {!write}, raising [Sys_error] on failure. *)

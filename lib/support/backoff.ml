@@ -1,0 +1,29 @@
+(** Capped exponential backoff with full jitter.  See the interface. *)
+
+type t = {
+  base_ms : int;
+  cap_ms : int;
+  rng : Random.State.t;
+  mutable attempt : int;
+}
+
+let create ?(base_ms = 50) ?(cap_ms = 5000) ?seed () =
+  let seed = match seed with Some s -> s | None -> Unix.getpid () * 7919 in
+  {
+    base_ms = max 1 base_ms;
+    cap_ms = max 1 cap_ms;
+    rng = Random.State.make [| seed |];
+    attempt = 0;
+  }
+
+let next_ms (b : t) : int =
+  (* ceiling = min (cap, base * 2^attempt), overflow-safe *)
+  let ceiling =
+    if b.attempt >= 30 then b.cap_ms
+    else min b.cap_ms (b.base_ms * (1 lsl b.attempt))
+  in
+  b.attempt <- b.attempt + 1;
+  1 + Random.State.int b.rng (max 1 ceiling)
+
+let attempts (b : t) = b.attempt
+let reset (b : t) = b.attempt <- 0

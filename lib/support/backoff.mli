@@ -1,0 +1,29 @@
+(** Capped exponential backoff with full jitter, for clients retrying a
+    retryable failure ([overloaded], a daemon mid-restart, a connection
+    refused).
+
+    The classic full-jitter scheme: attempt [k] sleeps a uniformly
+    random duration in [1, min (cap, base * 2^k)].  Jitter decorrelates
+    a fleet of clients that were all shed at the same instant — without
+    it they retry in lockstep and stampede the server again.  Randomness
+    comes from a self-contained [Random.State] so a seeded backoff is
+    reproducible in tests and never perturbs the global generator. *)
+
+type t
+
+val create : ?base_ms:int -> ?cap_ms:int -> ?seed:int -> unit -> t
+(** @param base_ms first-attempt ceiling (default 50)
+    @param cap_ms ceiling growth stops at (default 5000)
+    @param seed jitter PRNG seed (default: derived from the process id,
+    so concurrent clients naturally decorrelate) *)
+
+val next_ms : t -> int
+(** The next delay in milliseconds (>= 1), advancing the attempt
+    counter. *)
+
+val attempts : t -> int
+(** Attempts consumed so far (the number of {!next_ms} calls since the
+    last {!reset}). *)
+
+val reset : t -> unit
+(** Back to attempt 0 (call after a success). *)

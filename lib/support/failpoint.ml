@@ -20,7 +20,17 @@ let sites =
     "fill/alloc";  (* template fill entry *)
     "parser/token";  (* every token consumed *)
     "parser/pattern";  (* compiled invocation-pattern execution *)
-    "parser/invocation" (* invocation parse entry *) ]
+    "parser/invocation";  (* invocation parse entry *)
+    (* serve-daemon request lifecycle (ms2c serve); never reached by the
+       in-process engine pipeline, so the engine-level sweep in
+       test_txn.ml skips them — test_serve.ml (make serve-sweep) is
+       their chaos harness *)
+    "serve/accept";  (* request admission into the pending queue *)
+    "serve/decode";  (* request validation after JSON decode *)
+    "serve/expand";  (* request processing, before the engine runs *)
+    "serve/respond" (* response serialization/write *) ]
+
+let serve_site name = String.length name >= 6 && String.sub name 0 6 = "serve/"
 
 let is_site name = List.mem name sites
 

@@ -27,6 +27,12 @@ val sites : string list
 (** The canonical registry of failpoint names woven into the pipeline.
     Arming any other name is a spec error. *)
 
+val serve_site : string -> bool
+(** Is this a [serve/*] site?  Those fire in the request lifecycle of
+    [ms2c serve], not in the in-process engine pipeline — the engine
+    failpoint sweep filters them out and the serve chaos sweep
+    ([make serve-sweep]) owns them. *)
+
 type spec = (string * trigger option) list
 (** Parsed spec clauses: [None] means [off]. *)
 

@@ -1,0 +1,46 @@
+(** Minimal JSON: a value type, a strict parser, and a compact one-line
+    printer.
+
+    This backs the line-oriented serve protocol ({!Serve_proto}): every
+    request and response is one JSON object per line, so the printer
+    never emits a newline.  The [Raw] constructor splices pre-rendered
+    JSON verbatim (e.g. {!Diag.to_json} output) without a parse
+    round-trip; the parser never produces it. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+  | Raw of string
+      (** spliced verbatim by {!to_string}; the caller guarantees it is
+          valid JSON.  Never produced by {!parse}. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete JSON document (trailing whitespace
+    allowed, trailing garbage is an error).  Numbers without a fraction
+    or exponent that fit in an OCaml [int] parse as [Int], everything
+    else as [Float].  [\uXXXX] escapes decode to UTF-8 (surrogate pairs
+    included). *)
+
+val to_string : t -> string
+(** Compact rendering on a single line (no newlines, minimal spaces). *)
+
+val escape : string -> string
+(** Escape a string for inclusion between JSON double quotes. *)
+
+(** {1 Accessors} — shape-checked projections, [None] on mismatch. *)
+
+val member : t -> string -> t option
+(** Field of an [Obj] (first match). *)
+
+val str : t -> string option
+val int : t -> int option
+(** [Int n], or a [Float] that is integral. *)
+
+val number : t -> float option
+val bool : t -> bool option
+val list : t -> t list option

@@ -1,0 +1,132 @@
+(** The [ms2-serve-1] wire protocol.  See the interface for the model. *)
+
+let schema = "ms2-serve-1"
+let default_max_request_bytes = 4 * 1024 * 1024
+
+type request = {
+  rq_id : Json.t;
+  rq_method : string;
+  rq_session : string;
+  rq_source : string;
+  rq_text : string;
+  rq_deadline_ms : int option;
+  rq_spec : string;
+}
+
+let request_id (j : Json.t) : Json.t =
+  match Json.member j "id" with Some v -> v | None -> Json.Null
+
+let decode_request (j : Json.t) : (request, string) result =
+  match j with
+  | Json.Obj _ -> (
+      let field_str name ~default =
+        match Json.member j name with
+        | None -> Ok default
+        | Some v -> (
+            match Json.str v with
+            | Some s -> Ok s
+            | None -> Error (Printf.sprintf "field %S must be a string" name))
+      in
+      match Json.member j "schema" with
+      | Some v when Json.str v <> Some schema ->
+          Error
+            (Printf.sprintf "unsupported schema (this daemon speaks %S)"
+               schema)
+      | _ -> (
+          match Json.member j "method" with
+          | None -> Error "missing \"method\""
+          | Some m -> (
+              match Json.str m with
+              | None -> Error "field \"method\" must be a string"
+              | Some rq_method -> (
+                  let deadline =
+                    match Json.member j "deadline_ms" with
+                    | None -> Ok None
+                    | Some v -> (
+                        match Json.int v with
+                        | Some d -> Ok (Some d)
+                        | None ->
+                            Error "field \"deadline_ms\" must be an integer")
+                  in
+                  match
+                    ( field_str "session" ~default:"default",
+                      field_str "source" ~default:"<request>",
+                      field_str "text" ~default:"",
+                      field_str "spec" ~default:"",
+                      deadline )
+                  with
+                  | Ok rq_session, Ok rq_source, Ok rq_text, Ok rq_spec,
+                    Ok rq_deadline_ms ->
+                      Ok
+                        {
+                          rq_id = request_id j;
+                          rq_method;
+                          rq_session;
+                          rq_source;
+                          rq_text;
+                          rq_deadline_ms;
+                          rq_spec;
+                        }
+                  | Error e, _, _, _, _
+                  | _, Error e, _, _, _
+                  | _, _, Error e, _, _
+                  | _, _, _, Error e, _
+                  | _, _, _, _, Error e ->
+                      Error e))))
+  | _ -> Error "request must be a JSON object"
+
+type error_kind =
+  | Oversized
+  | Malformed
+  | Unknown_method
+  | Overloaded
+  | Draining
+  | Deadline_expired
+  | Rejected
+  | Expand_error
+  | Respond_error
+  | Internal
+
+let kind_name = function
+  | Oversized -> "oversized"
+  | Malformed -> "malformed"
+  | Unknown_method -> "unknown_method"
+  | Overloaded -> "overloaded"
+  | Draining -> "draining"
+  | Deadline_expired -> "deadline_expired"
+  | Rejected -> "rejected"
+  | Expand_error -> "expand_error"
+  | Respond_error -> "respond_error"
+  | Internal -> "internal"
+
+let retryable = function
+  | Overloaded | Draining -> true
+  | Oversized | Malformed | Unknown_method | Deadline_expired | Rejected
+  | Expand_error | Respond_error | Internal ->
+      false
+
+let ok_response ~(id : Json.t) (fields : (string * Json.t) list) : string =
+  Json.to_string
+    (Json.Obj
+       (("schema", Json.Str schema) :: ("id", id)
+       :: ("ok", Json.Bool true) :: fields))
+
+let error_response ~(id : Json.t) ~(kind : error_kind) ?retry_after_ms
+    ?(diagnostics : string list option) ~(message : string) () : string =
+  let err =
+    [ ("kind", Json.Str (kind_name kind)); ("message", Json.Str message) ]
+    @ (match retry_after_ms with
+      | Some ms -> [ ("retry_after_ms", Json.Int ms) ]
+      | None -> [])
+    @
+    match diagnostics with
+    | Some ds when ds <> [] ->
+        [ ("diagnostics", Json.List (List.map (fun d -> Json.Raw d) ds)) ]
+    | _ -> []
+  in
+  Json.to_string
+    (Json.Obj
+       [ ("schema", Json.Str schema);
+         ("id", id);
+         ("ok", Json.Bool false);
+         ("error", Json.Obj err) ])

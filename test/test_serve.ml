@@ -1,0 +1,510 @@
+(** End-to-end tests for the [ms2c serve] daemon, driven over its real
+    stdin/stdout (and, for the supervisor case, its Unix socket).
+
+    Every exchange is lockstep — send one request, read one response —
+    because admin methods are answered at intake while expand/check are
+    queued, so a pipelined client may observe reordering (responses are
+    correlated by [id], not position).  The overload case is the one
+    deliberate exception: it pipelines a burst precisely to fill the
+    queue.
+
+    The chaos sweep here is the daemon-side counterpart of
+    test_txn.ml's engine sweep: it arms each [serve/*] failpoint
+    through the wire protocol and proves the daemon answers a
+    structured error, stays up, and leaves the victim session's state
+    bit-identical (fingerprint) — the no-cross-session-leak property. *)
+
+module Json = Ms2_support.Json
+module Failpoint = Ms2_support.Failpoint
+
+let ms2c =
+  if Sys.file_exists "../bin/ms2c.exe" then "../bin/ms2c.exe"
+  else "_build/default/bin/ms2c.exe"
+
+let defs_text =
+  "syntax exp TWICE {| ( $$exp::e ) |} { return `($e + $e); }\n"
+
+let use_text = "int f(void) { return TWICE((2)); }\n"
+let plain_text = "int g(void) { return 1 + 1; }\n"
+let bad_text = "int broken( { ;\n"
+
+let write_fixture name text =
+  let path = Filename.temp_file ("ms2c_serve_" ^ name) ".mc" in
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc;
+  path
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = (i + n <= m) && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Daemon plumbing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type daemon = {
+  pid : int;
+  din : in_channel;  (** the daemon's stdout *)
+  dout : out_channel;  (** the daemon's stdin *)
+}
+
+let start_daemon ?(args = []) () =
+  (* cloexec, or the child would inherit the write end of its own stdin
+     and never see EOF when we close ours *)
+  let stdin_r, stdin_w = Unix.pipe ~cloexec:true () in
+  let stdout_r, stdout_w = Unix.pipe ~cloexec:true () in
+  let argv = Array.of_list (ms2c :: "serve" :: args) in
+  let pid = Unix.create_process ms2c argv stdin_r stdout_w Unix.stderr in
+  Unix.close stdin_r;
+  Unix.close stdout_w;
+  {
+    pid;
+    din = Unix.in_channel_of_descr stdout_r;
+    dout = Unix.out_channel_of_descr stdin_w;
+  }
+
+let rec reap pid =
+  try snd (Unix.waitpid [] pid)
+  with Unix.Unix_error (Unix.EINTR, _, _) -> reap pid
+
+(* Close the daemon's stdin (EOF = natural drain) and wait for exit. *)
+let stop d =
+  (try close_out d.dout with Sys_error _ -> ());
+  let st = reap d.pid in
+  (try close_in d.din with Sys_error _ -> ());
+  st
+
+(* A wedged daemon would hang [input_line] forever; the alarm turns
+   that into a loud SIGALRM kill instead of a silent CI stall. *)
+let with_daemon ?args f =
+  ignore (Unix.alarm 120);
+  let d = start_daemon ?args () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try close_out d.dout with Sys_error _ -> ());
+      (try close_in d.din with Sys_error _ -> ());
+      (try Unix.kill d.pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (reap d.pid) with Unix.Unix_error _ -> ());
+      ignore (Unix.alarm 0))
+    (fun () -> f d)
+
+(* ------------------------------------------------------------------ *)
+(* Wire helpers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let send_line oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let next_id = ref 0
+
+let rpc_ch (ic, oc) fields =
+  incr next_id;
+  send_line oc (Json.to_string (Json.Obj (("id", Json.Int !next_id) :: fields)));
+  match Json.parse (input_line ic) with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unparseable response: %s" e
+
+let rpc d fields = rpc_ch (d.din, d.dout) fields
+
+let is_ok v =
+  match Json.member v "ok" with Some (Json.Bool b) -> b | _ -> false
+
+let err_kind v =
+  match Option.bind (Json.member v "error") (fun e -> Json.member e "kind") with
+  | Some k -> Option.value ~default:"<non-string>" (Json.str k)
+  | None -> "<no error.kind>"
+
+let output_of v =
+  Option.value ~default:""
+    (Option.bind (Json.member v "output") Json.str)
+
+let int_at v path =
+  let rec go v = function
+    | [] -> Json.int v
+    | f :: rest -> Option.bind (Json.member v f) (fun v -> go v rest)
+  in
+  Option.value ~default:(-1) (go v path)
+
+let expand d ~session text =
+  rpc d
+    [ ("method", Json.Str "expand");
+      ("session", Json.Str session);
+      ("text", Json.Str text) ]
+
+let stats d ~session =
+  rpc d [ ("method", Json.Str "stats"); ("session", Json.Str session) ]
+
+let fingerprint_of v =
+  Option.value ~default:"<none>"
+    (Option.bind (Json.member v "fingerprint") Json.str)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol edge cases                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ping_works () =
+  with_daemon (fun d ->
+      let r = rpc d [ ("method", Json.Str "ping") ] in
+      Alcotest.(check bool) "ok" true (is_ok r);
+      Alcotest.(check bool) "carries a pid" true (int_at r [ "pid" ] > 0))
+
+let unknown_method () =
+  with_daemon (fun d ->
+      let r = rpc d [ ("method", Json.Str "transmogrify") ] in
+      Alcotest.(check bool) "not ok" false (is_ok r);
+      Alcotest.(check string) "kind" "unknown_method" (err_kind r);
+      (* the daemon is still alive *)
+      Alcotest.(check bool) "still serving" true
+        (is_ok (rpc d [ ("method", Json.Str "ping") ])))
+
+let malformed_line () =
+  with_daemon (fun d ->
+      send_line d.dout "this is not json {";
+      let r =
+        match Json.parse (input_line d.din) with
+        | Ok v -> v
+        | Error e -> Alcotest.failf "unparseable response: %s" e
+      in
+      Alcotest.(check bool) "not ok" false (is_ok r);
+      Alcotest.(check string) "kind" "malformed" (err_kind r);
+      Alcotest.(check bool) "still serving" true
+        (is_ok (rpc d [ ("method", Json.Str "ping") ])))
+
+let oversized_line () =
+  with_daemon ~args:[ "--max-request-bytes"; "256" ] (fun d ->
+      send_line d.dout (String.make 1024 'x');
+      let r =
+        match Json.parse (input_line d.din) with
+        | Ok v -> v
+        | Error e -> Alcotest.failf "unparseable response: %s" e
+      in
+      Alcotest.(check bool) "not ok" false (is_ok r);
+      Alcotest.(check string) "kind" "oversized" (err_kind r);
+      (* the rest of the oversized line was discarded, not re-framed:
+         the next (normal-sized) request is served cleanly *)
+      let r2 = expand d ~session:"a" plain_text in
+      Alcotest.(check bool) "next request ok" true (is_ok r2))
+
+let expired_deadline () =
+  with_daemon (fun d ->
+      let r =
+        rpc d
+          [ ("method", Json.Str "expand");
+            ("session", Json.Str "a");
+            ("text", Json.Str plain_text);
+            ("deadline_ms", Json.Int 0) ]
+      in
+      Alcotest.(check bool) "not ok" false (is_ok r);
+      Alcotest.(check string) "kind" "deadline_expired" (err_kind r);
+      Alcotest.(check bool) "still serving" true
+        (is_ok (expand d ~session:"a" plain_text)))
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let definitions_persist () =
+  with_daemon (fun d ->
+      Alcotest.(check bool) "define ok" true
+        (is_ok (expand d ~session:"a" defs_text));
+      let r = expand d ~session:"a" use_text in
+      Alcotest.(check bool) "use ok" true (is_ok r);
+      Alcotest.(check bool) "macro expanded" false
+        (contains ~sub:"TWICE" (output_of r)))
+
+let sessions_isolated () =
+  with_daemon (fun d ->
+      Alcotest.(check bool) "define in a" true
+        (is_ok (expand d ~session:"a" defs_text));
+      let rb = expand d ~session:"b" use_text in
+      Alcotest.(check bool) "b ok" true (is_ok rb);
+      (* session b never saw a's definition: the invocation survives
+         as a plain call *)
+      Alcotest.(check bool) "b sees TWICE unexpanded" true
+        (contains ~sub:"TWICE" (output_of rb));
+      let ra = expand d ~session:"a" use_text in
+      Alcotest.(check bool) "a still expands it" false
+        (contains ~sub:"TWICE" (output_of ra)))
+
+let failed_request_rolls_back () =
+  with_daemon (fun d ->
+      Alcotest.(check bool) "define ok" true
+        (is_ok (expand d ~session:"r" defs_text));
+      let bad = expand d ~session:"r" bad_text in
+      Alcotest.(check bool) "bad request fails" false (is_ok bad);
+      Alcotest.(check string) "kind" "expand_error" (err_kind bad);
+      (match Option.bind (Json.member bad "error") (fun e ->
+           Option.bind (Json.member e "diagnostics") Json.list)
+       with
+      | Some (_ :: _) -> ()
+      | _ -> Alcotest.fail "expected located diagnostics");
+      (* the failure rolled back without taking the session's earlier
+         definitions with it *)
+      let r = expand d ~session:"r" use_text in
+      Alcotest.(check bool) "macro survived the failure" false
+        (contains ~sub:"TWICE" (output_of r));
+      let s = stats d ~session:"r" in
+      Alcotest.(check bool) "isolation tripwire clear" true
+        (match Json.member s "isolated" with
+        | Some (Json.Bool b) -> b
+        | _ -> false))
+
+let cache_hits_when_warm () =
+  let prelude = write_fixture "defs" defs_text in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove prelude with Sys_error _ -> ())
+    (fun () ->
+      with_daemon ~args:[ "--prelude-file"; prelude ] (fun d ->
+          (* pass 1 registers the fragment's symbols (cold), pass 2
+             re-expands under the now-stable state and stores, pass 3
+             is the warm path *)
+          let r1 = expand d ~session:"c" use_text in
+          let r2 = expand d ~session:"c" use_text in
+          let r3 = expand d ~session:"c" use_text in
+          Alcotest.(check bool) "all ok" true
+            (is_ok r1 && is_ok r2 && is_ok r3);
+          Alcotest.(check bool) "warm pass hits the cache" true
+            (int_at r3 [ "request"; "cache_hits" ] > 0);
+          Alcotest.(check string) "hit output identical"
+            (output_of r2) (output_of r3)))
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let eof_drains () =
+  with_daemon (fun d ->
+      Alcotest.(check bool) "serving" true
+        (is_ok (rpc d [ ("method", Json.Str "ping") ]));
+      (* mid-request disconnect: half a request, then EOF *)
+      output_string d.dout "{\"method\": \"exp";
+      flush d.dout;
+      match stop d with
+      | Unix.WEXITED 0 -> ()
+      | st ->
+          Alcotest.failf "daemon did not drain cleanly: %s"
+            (match st with
+            | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+            | Unix.WSIGNALED _ -> "killed"
+            | Unix.WSTOPPED _ -> "stopped"))
+
+let sigterm_drains () =
+  with_daemon (fun d ->
+      Alcotest.(check bool) "serving" true
+        (is_ok (rpc d [ ("method", Json.Str "ping") ]));
+      Unix.kill d.pid Sys.sigterm;
+      match reap d.pid with
+      | Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "SIGTERM did not drain to exit 0")
+
+let overload_sheds () =
+  with_daemon ~args:[ "--max-pending"; "1" ] (fun d ->
+      (* one flush so the whole burst lands in a single read: the
+         daemon queues the first request and sheds the rest before any
+         queued work runs *)
+      let burst = 4 in
+      for _ = 1 to burst do
+        incr next_id;
+        output_string d.dout
+          (Json.to_string
+             (Json.Obj
+                [ ("id", Json.Int !next_id);
+                  ("method", Json.Str "expand");
+                  ("session", Json.Str "o");
+                  ("text", Json.Str plain_text) ]));
+        output_char d.dout '\n'
+      done;
+      flush d.dout;
+      let responses =
+        List.init burst (fun _ ->
+            match Json.parse (input_line d.din) with
+            | Ok v -> v
+            | Error e -> Alcotest.failf "unparseable response: %s" e)
+      in
+      let oks = List.filter is_ok responses in
+      let shed =
+        List.filter (fun r -> err_kind r = "overloaded") responses
+      in
+      Alcotest.(check int) "exactly one admitted" 1 (List.length oks);
+      Alcotest.(check int) "rest shed" (burst - 1) (List.length shed);
+      List.iter
+        (fun r ->
+          Alcotest.(check bool) "shed responses carry retry_after_ms" true
+            (int_at r [ "error"; "retry_after_ms" ] >= 0))
+        shed;
+      (* shedding is back-pressure, not failure: the next lockstep
+         request sails through *)
+      Alcotest.(check bool) "recovers" true
+        (is_ok (expand d ~session:"o" plain_text)))
+
+(* ------------------------------------------------------------------ *)
+(* Chaos sweep over the serve/* failpoints                             *)
+(* ------------------------------------------------------------------ *)
+
+let expected_kind site =
+  (* accept/decode fire during admission; expand on the session path;
+     respond on the write-out path *)
+  if site = "serve/expand" then "expand_error"
+  else if site = "serve/respond" then "respond_error"
+  else "rejected"
+
+let chaos_sweep () =
+  with_daemon (fun d ->
+      let sites = List.filter Failpoint.serve_site Failpoint.sites in
+      Alcotest.(check bool) "serve sites registered" true
+        (List.length sites >= 4);
+      (* stabilize the victim session first (two passes, so the sweep's
+         probes no longer mutate session state), then snapshot the
+         state fingerprint the whole sweep must preserve *)
+      ignore (expand d ~session:"chaos" plain_text);
+      ignore (expand d ~session:"chaos" plain_text);
+      let fp0 = fingerprint_of (stats d ~session:"chaos") in
+      List.iter
+        (fun site ->
+          List.iter
+            (fun mode ->
+              let arm =
+                rpc d
+                  [ ("method", Json.Str "failpoints");
+                    ("spec", Json.Str (site ^ "=" ^ mode)) ]
+              in
+              Alcotest.(check bool) (site ^ " armed") true (is_ok arm);
+              let victim = expand d ~session:"chaos" plain_text in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s=%s fails" site mode)
+                false (is_ok victim);
+              Alcotest.(check string)
+                (Printf.sprintf "%s=%s kind" site mode)
+                (expected_kind site) (err_kind victim);
+              let disarm =
+                rpc d
+                  [ ("method", Json.Str "failpoints");
+                    ("spec", Json.Str (site ^ "=off")) ]
+              in
+              Alcotest.(check bool) (site ^ " disarmed") true (is_ok disarm);
+              Alcotest.(check bool)
+                (Printf.sprintf "%s=%s recovered" site mode)
+                true
+                (is_ok (expand d ~session:"chaos" plain_text)))
+            [ "error"; "timeout" ])
+        sites;
+      let s = stats d ~session:"chaos" in
+      Alcotest.(check string) "state fingerprint unchanged" fp0
+        (fingerprint_of s);
+      Alcotest.(check bool) "isolation tripwire clear" true
+        (match Json.member s "isolated" with
+        | Some (Json.Bool b) -> b
+        | _ -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let connect_sock path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+(* Retry until the daemon (or its restarted worker) accepts and
+   answers a ping; returns the channels and the worker pid. *)
+let rec dial ?(tries = 100) path =
+  if tries = 0 then Alcotest.fail "daemon socket never came up";
+  match connect_sock path with
+  | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) ->
+      ignore (Unix.select [] [] [] 0.1);
+      dial ~tries:(tries - 1) path
+  | (ic, oc) -> (
+      match rpc_ch (ic, oc) [ ("method", Json.Str "ping") ] with
+      | exception (End_of_file | Sys_error _) ->
+          (try close_out oc with Sys_error _ -> ());
+          ignore (Unix.select [] [] [] 0.1);
+          dial ~tries:(tries - 1) path
+      | r when is_ok r -> ((ic, oc), int_at r [ "pid" ])
+      | _ -> Alcotest.fail "ping refused")
+
+let supervisor_restarts () =
+  ignore (Unix.alarm 120);
+  let sock = Filename.temp_file "ms2serve" ".sock" in
+  Sys.remove sock;
+  let pidfile = Filename.temp_file "ms2serve" ".pid" in
+  Sys.remove pidfile;
+  let prelude = write_fixture "sup_defs" defs_text in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let argv =
+    [| ms2c; "serve"; "--supervise"; "--socket"; sock; "--pidfile"; pidfile;
+       "--prelude-file"; prelude |]
+  in
+  let sup = Unix.create_process ms2c argv devnull devnull Unix.stderr in
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill sup Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (reap sup) with Unix.Unix_error _ -> ());
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ sock; pidfile; prelude ];
+      ignore (Unix.alarm 0))
+    (fun () ->
+      let (ic, oc), worker1 = dial sock in
+      Alcotest.(check bool) "worker has its own pid" true
+        (worker1 > 0 && worker1 <> sup);
+      (* simulate the kernel OOM-killing the worker *)
+      Unix.kill worker1 Sys.sigkill;
+      (try close_out oc with Sys_error _ -> ());
+      (try close_in ic with Sys_error _ -> ());
+      let (ic2, oc2), worker2 = dial sock in
+      Alcotest.(check bool) "restarted under a new pid" true
+        (worker2 > 0 && worker2 <> worker1);
+      (* the restarted worker replayed the prelude: the macro is
+         defined in a brand-new session without re-sending it *)
+      let r =
+        rpc_ch (ic2, oc2)
+          [ ("method", Json.Str "expand");
+            ("session", Json.Str "fresh");
+            ("text", Json.Str use_text) ]
+      in
+      Alcotest.(check bool) "expand ok after restart" true (is_ok r);
+      Alcotest.(check bool) "prelude replayed" false
+        (contains ~sub:"TWICE" (output_of r));
+      (try close_out oc2 with Sys_error _ -> ());
+      (try close_in ic2 with Sys_error _ -> ());
+      (* SIGTERM to the supervisor drains the whole tree to exit 0 and
+         removes the socket and pidfile *)
+      Unix.kill sup Sys.sigterm;
+      (match reap sup with
+      | Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "supervisor did not drain to exit 0");
+      Alcotest.(check bool) "socket removed" false (Sys.file_exists sock);
+      Alcotest.(check bool) "pidfile removed" false (Sys.file_exists pidfile))
+
+(* ------------------------------------------------------------------ *)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "serve"
+    [ ( "protocol",
+        [ tc "ping answers with a pid" ping_works;
+          tc "unknown method is a structured error" unknown_method;
+          tc "malformed JSON is a structured error" malformed_line;
+          tc "oversized line is shed and re-framed" oversized_line;
+          tc "expired deadline is refused" expired_deadline ] );
+      ( "sessions",
+        [ tc "definitions persist across requests" definitions_persist;
+          tc "sessions do not leak definitions" sessions_isolated;
+          tc "failed request rolls back, session survives"
+            failed_request_rolls_back;
+          tc "repeated fragments hit the shared cache" cache_hits_when_warm ]
+      );
+      ( "lifecycle",
+        [ tc "EOF mid-request drains to exit 0" eof_drains;
+          tc "SIGTERM drains to exit 0" sigterm_drains;
+          tc "full queue sheds with retry_after_ms" overload_sheds ] );
+      ("chaos", [ tc "failpoint sweep over serve/* sites" chaos_sweep ]);
+      ( "supervisor",
+        [ tc "worker SIGKILL is restarted with prelude replay"
+            supervisor_restarts ] ) ]
