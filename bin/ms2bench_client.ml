@@ -195,9 +195,20 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run_client files connect spawn repeat sessions deadline_ms out shutdown
-    max_retries =
+(* What one lane (connection) accumulates over a pass. *)
+type lane_acc = {
+  mutable l_latencies : float list;
+  mutable l_ok : int;
+  mutable l_failures : int;
+  mutable l_retries : int;
+  mutable l_hits : int;
+  mutable l_misses : int;
+}
+
+let run_client files connect spawn repeat sessions concurrency deadline_ms
+    out shutdown max_retries =
   if files = [] then fatal "no corpus files given";
+  let concurrency = max 1 concurrency in
   let transport =
     match (connect, spawn) with
     | Some path, None -> Socket path
@@ -205,6 +216,14 @@ let run_client files connect spawn repeat sessions deadline_ms out shutdown
     | None, None -> Spawn "ms2c serve"
     | Some _, Some _ -> fatal "--connect and --spawn are exclusive"
   in
+  (match transport with
+  | Spawn _ when concurrency > 1 ->
+      fatal "--concurrency needs --connect (a stdio daemon has one stream)"
+  | _ -> ());
+  (* parallel lanes only pay off when they land on different sessions
+     (the daemon serializes requests within a session), so spread at
+     least one session per lane *)
+  let sessions = max sessions concurrency in
   let corpus =
     List.map
       (fun f ->
@@ -213,24 +232,38 @@ let run_client files connect spawn repeat sessions deadline_ms out shutdown
         | exception Sys_error msg -> fatal "cannot read %s" msg)
       files
   in
-  let link = ref (connect_with_backoff transport) in
-  let next_id = ref 0 in
+  let corpus_arr = Array.of_list corpus in
+  (* one connection per lane, reused across passes *)
+  let links =
+    Array.init concurrency (fun _ -> ref (connect_with_backoff transport))
+  in
+  let link = links.(0) in
+  let next_id = Atomic.make 0 in
   let passes = ref [] in
   for pass = 1 to repeat do
-    let latencies = ref [] in
-    let ok = ref 0 and failures = ref 0 and retries = ref 0 in
-    let hits = ref 0 and misses = ref 0 in
+    let accs =
+      Array.init concurrency (fun _ ->
+          { l_latencies = []; l_ok = 0; l_failures = 0; l_retries = 0;
+            l_hits = 0; l_misses = 0 })
+    in
     let t_pass = Unix.gettimeofday () in
-    List.iteri
-      (fun i (source, text) ->
-        incr next_id;
+    (* lane [l] replays the corpus items with index ≡ l (mod lanes),
+       each over its own connection; one item's session id does not
+       depend on the lane count, so scaling lanes never changes what
+       the daemon is asked to expand *)
+    let run_lane l () =
+      let acc = accs.(l) in
+      let lnk = links.(l) in
+      let i = ref l in
+      while !i < Array.length corpus_arr do
+        let source, text = corpus_arr.(!i) in
         let req =
           Json.Obj
             ([ ("schema", Json.Str Proto.schema);
-               ("id", Json.Int !next_id);
+               ("id", Json.Int (1 + Atomic.fetch_and_add next_id 1));
                ("method", Json.Str "expand");
                ("session",
-                Json.Str (Printf.sprintf "bench-%d" (i mod sessions)));
+                Json.Str (Printf.sprintf "bench-%d" (!i mod sessions)));
                ("source", Json.Str source);
                ("text", Json.Str text) ]
             @
@@ -239,20 +272,38 @@ let run_client files connect spawn repeat sessions deadline_ms out shutdown
             | None -> [])
         in
         let t0 = Unix.gettimeofday () in
-        let o = request ~transport ~link ~max_retries (Json.to_string req) in
-        latencies := ((Unix.gettimeofday () -. t0) *. 1000.) :: !latencies;
-        retries := !retries + o.o_retries;
-        hits := !hits + o.o_cache_hits;
-        misses := !misses + o.o_cache_misses;
-        if o.o_ok then incr ok
+        let o =
+          request ~transport ~link:lnk ~max_retries (Json.to_string req)
+        in
+        acc.l_latencies <-
+          ((Unix.gettimeofday () -. t0) *. 1000.) :: acc.l_latencies;
+        acc.l_retries <- acc.l_retries + o.o_retries;
+        acc.l_hits <- acc.l_hits + o.o_cache_hits;
+        acc.l_misses <- acc.l_misses + o.o_cache_misses;
+        if o.o_ok then acc.l_ok <- acc.l_ok + 1
         else begin
-          incr failures;
+          acc.l_failures <- acc.l_failures + 1;
           Printf.eprintf "ms2bench-client: %s failed: %s\n%!" source
             o.o_error_kind
-        end)
-      corpus;
+        end;
+        i := !i + concurrency
+      done
+    in
+    if concurrency = 1 then run_lane 0 ()
+    else begin
+      let spawned =
+        Array.init (concurrency - 1) (fun k ->
+            Domain.spawn (run_lane (k + 1)))
+      in
+      run_lane 0 ();
+      Array.iter Domain.join spawned
+    end;
     let wall = Unix.gettimeofday () -. t_pass in
-    let lats = Array.of_list !latencies in
+    let latencies =
+      Array.fold_left (fun acc a -> List.rev_append a.l_latencies acc) [] accs
+    in
+    let sum f = Array.fold_left (fun acc a -> acc + f a) 0 accs in
+    let lats = Array.of_list latencies in
     Array.sort compare lats;
     let n = Array.length lats in
     let mean =
@@ -261,11 +312,11 @@ let run_client files connect spawn repeat sessions deadline_ms out shutdown
     passes :=
       { p_index = pass;
         p_requests = n;
-        p_ok = !ok;
-        p_failures = !failures;
-        p_retries = !retries;
-        p_cache_hits = !hits;
-        p_cache_misses = !misses;
+        p_ok = sum (fun a -> a.l_ok);
+        p_failures = sum (fun a -> a.l_failures);
+        p_retries = sum (fun a -> a.l_retries);
+        p_cache_hits = sum (fun a -> a.l_hits);
+        p_cache_misses = sum (fun a -> a.l_misses);
         p_p50_ms = percentile lats 50.;
         p_p99_ms = percentile lats 99.;
         p_mean_ms = mean;
@@ -281,21 +332,23 @@ let run_client files connect spawn repeat sessions deadline_ms out shutdown
         p.p_index p.p_requests p.p_ok p.p_failures p.p_retries p.p_p50_ms
         p.p_p99_ms p.p_requests_per_s p.p_cache_hits p.p_cache_misses)
     passes;
-  if shutdown then begin
-    incr next_id;
+  if shutdown then
     ignore
       (request ~transport ~link ~max_retries:0
          (Json.to_string
             (Json.Obj
                [ ("schema", Json.Str Proto.schema);
-                 ("id", Json.Int !next_id);
+                 ("id", Json.Int (1 + Atomic.fetch_and_add next_id 1));
                  ("method", Json.Str "shutdown") ])))
-  end;
-  (match transport with
-  | Spawn _ ->
-      (try close_out_noerr !link.oc with _ -> ());
-      (try close_in_noerr !link.ic with _ -> ())
-  | Socket _ -> ( try close_in_noerr !link.ic with _ -> ()));
+  ;
+  Array.iter
+    (fun lnk ->
+      match transport with
+      | Spawn _ ->
+          (try close_out_noerr !lnk.oc with _ -> ());
+          (try close_in_noerr !lnk.ic with _ -> ())
+      | Socket _ -> ( try close_in_noerr !lnk.ic with _ -> ()))
+    links;
   (match out with
   | None -> ()
   | Some path ->
@@ -305,6 +358,7 @@ let run_client files connect spawn repeat sessions deadline_ms out shutdown
             ("corpus_files", Json.Int (List.length corpus));
             ("repeat", Json.Int repeat);
             ("sessions", Json.Int sessions);
+            ("concurrency", Json.Int concurrency);
             ("passes", Json.List (List.map pass_json passes)) ]
       in
       Atomic_io.write_exn path (Json.to_string report ^ "\n"));
@@ -336,7 +390,17 @@ let repeat_arg =
 
 let sessions_arg =
   Arg.(value & opt int 1 & info [ "sessions" ] ~docv:"K"
-       ~doc:"Round-robin requests across $(docv) session ids.")
+       ~doc:"Round-robin requests across $(docv) session ids (raised to \
+             --concurrency when lower, so parallel lanes do not \
+             serialize on one session).")
+
+let concurrency_arg =
+  Arg.(value & opt int 1 & info [ "concurrency" ] ~docv:"N"
+       ~doc:"Drive the daemon over $(docv) parallel connections, each \
+             replaying an interleaved slice of the corpus; latencies \
+             are merged before the percentile report.  Requires \
+             --connect.  Pair with the daemon's --workers to measure \
+             its parallel warm path.")
 
 let deadline_arg =
   Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
@@ -363,7 +427,7 @@ let cmd =
              backoff, retry and latency accounting")
     Term.(
       const run_client $ files_arg $ connect_arg $ spawn_arg $ repeat_arg
-      $ sessions_arg $ deadline_arg $ out_arg $ shutdown_arg
-      $ max_retries_arg)
+      $ sessions_arg $ concurrency_arg $ deadline_arg $ out_arg
+      $ shutdown_arg $ max_retries_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -13,6 +13,19 @@ open Cli_common
 module Diag = Ms2_support.Diag
 module Failpoint = Ms2_support.Failpoint
 module Obs = Ms2_support.Obs
+module Pool = Ms2_support.Pool
+
+(* How [--jobs N] (N > 1) parallelizes: shared-memory OCaml domains
+   over one work-stealing pool (the default — shares the expansion
+   cache and interner, no process setup), or forked worker processes
+   (the PR-4 pool, kept as a fallback: full address-space isolation,
+   e.g. against native-code crashes).  Both produce output and
+   diagnostics byte-identical to [--jobs 1], in input order. *)
+type jobs_mode = Mode_domains | Mode_fork
+
+let jobs_mode_name = function
+  | Mode_domains -> "domains"
+  | Mode_fork -> "fork"
 
 (* Each input file is a separate fragment pushed through the same
    engine — "meta-programming constructs and regular programs that
@@ -134,14 +147,32 @@ let stats_to_registry (s : Ms2.Api.stats) =
   set "cache.bypass.uncacheable" s.Ms2.Api.cache_bypass_uncacheable;
   set "cache.bypass.budget" s.Ms2.Api.cache_bypass_budget
 
-let print_stats ?(format = Stats_text) (s : Ms2.Api.stats) =
+(* The resolved job count and pool mode, recorded in the registry so
+   [--stats-format=json] and [--metrics] dumps carry them ([--jobs 0] /
+   [--jobs auto] resolves to the machine's recommended domain count, so
+   the resolved value is run-specific information).  The mode is a
+   one-hot pair of counters, Prometheus-style. *)
+let record_jobs_meta ~jobs ~jobs_mode =
+  let set name v = Obs.Metrics.set (Obs.Metrics.counter name) v in
+  set "driver.jobs" jobs;
+  set "driver.jobs_mode.domains" (if jobs_mode = Mode_domains then 1 else 0);
+  set "driver.jobs_mode.fork" (if jobs_mode = Mode_fork then 1 else 0)
+
+let print_stats ?(format = Stats_text) ?jobs (s : Ms2.Api.stats) =
   match format with
   | Stats_json ->
       (* same schema as --metrics: the registry already holds the
          hot-path counters; fold the engine totals in and dump it *)
       stats_to_registry s;
+      (match jobs with
+      | Some (n, mode) -> record_jobs_meta ~jobs:n ~jobs_mode:mode
+      | None -> ());
       prerr_endline (Obs.Metrics.to_json ())
   | Stats_text ->
+      (match jobs with
+      | Some (n, mode) ->
+          Printf.eprintf "jobs: %d (%s)\n" n (jobs_mode_name mode)
+      | None -> ());
       Printf.eprintf
         "macros defined: %d\nmeta declarations run: %d\ninvocations \
          expanded: %d\nfuel consumed: %d\nAST nodes produced: %d\ncache \
@@ -285,6 +316,42 @@ let run_pool ~jobs ~keep_going ~(source_of : int -> string)
   done;
   results
 
+(* The shared-memory counterpart of [run_pool]: [work i] runs on a
+   work-stealing pool of OCaml domains (Pool.map), in this very address
+   space — engines share the interner, the compiled-pattern memos and
+   (when enabled) one expansion-cache store.  Cancellation mirrors the
+   fork pool's: without [keep_going] a fatal result cancels only the
+   items {e after} it in input order, so the first fatal index the
+   caller sees is the one [--jobs 1] would have stopped at.  A worker
+   exception is turned into a fatal per-file result here (the domain
+   equivalent of a worker death — there is no process to die). *)
+let run_domains ~jobs ~keep_going ~(source_of : int -> string)
+    ~(render : Diag.t -> string) ~(work : int -> worker_result) (n : int) :
+    worker_result option array =
+  let work i =
+    try work i
+    with e ->
+      let d =
+        Diag.make
+          ~loc:(file_start_loc (source_of i))
+          Diag.Expansion
+          (Printf.sprintf "internal error expanding %s: %s" (source_of i)
+             (Printexc.to_string e))
+      in
+      {
+        w_diags = [ render d ];
+        w_fatal = true;
+        w_recovered = false;
+        w_out = "";
+        w_map = [];
+        w_findings = [];
+        w_stats = zero_stats;
+        w_events = [];
+        w_metrics = None;
+      }
+  in
+  Pool.map ~jobs ~stop:(fun r -> r.w_fatal && not keep_going) n work
+
 
 (* ------------------------------------------------------------------ *)
 (* expand                                                              *)
@@ -346,13 +413,51 @@ let stats_format_arg =
              $(b,json) (the metrics-registry schema, identical to \
              --metrics output).")
 
+(* [--jobs] accepts a positive count, or 0 / "auto" meaning "resolve to
+   the machine's recommended domain count at startup". *)
+let jobs_conv : int Arg.conv =
+  let parse s =
+    match s with
+    | "auto" -> Ok 0
+    | _ -> (
+        match int_of_string_opt s with
+        | Some n when n >= 0 -> Ok n
+        | _ ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "invalid value '%s', expected a non-negative integer or \
+                    'auto'"
+                   s)))
+  in
+  let print ppf n =
+    if n = 0 then Format.pp_print_string ppf "auto"
+    else Format.pp_print_int ppf n
+  in
+  Arg.conv (parse, print)
+
 let jobs_arg =
-  Arg.(value & opt pos_int 1 & info [ "j"; "jobs" ] ~docv:"N"
-       ~doc:"Expand input files with $(docv) forked workers.  Above 1 \
-             each file is an independent compilation unit (macro \
-             definitions do not flow between files); the default 1 \
-             keeps the shared-session sequential pipeline.  Output and \
-             diagnostics are emitted in input order either way.")
+  Arg.(value & opt jobs_conv 1 & info [ "j"; "jobs" ] ~docv:"N"
+       ~doc:"Expand input files with $(docv) parallel workers (see \
+             $(b,--jobs-mode)).  Above 1 each file is an independent \
+             compilation unit (macro definitions do not flow between \
+             files); the default 1 keeps the shared-session sequential \
+             pipeline.  $(b,0) or $(b,auto) resolves to the machine's \
+             recommended domain count.  Output and diagnostics are \
+             emitted in input order either way.")
+
+let jobs_mode_arg =
+  Arg.(value
+       & opt (enum [ ("domains", Mode_domains); ("fork", Mode_fork) ])
+           Mode_domains
+       & info [ "jobs-mode" ] ~docv:"MODE"
+       ~doc:"How --jobs parallelizes: $(b,domains) (shared-memory OCaml \
+             domains — the workers share the expansion cache and the \
+             string interner; the default) or $(b,fork) (one forked \
+             process per file: slower, but each file is isolated in its \
+             own address space, which survives native-code crashes and \
+             OOM kills of individual workers).  Output is byte-identical \
+             either way.")
 
 let no_cache_arg =
   Arg.(value & flag & info [ "no-cache" ]
@@ -415,17 +520,27 @@ let count_newlines s =
   String.iter (fun c -> if c = '\n' then incr n) s;
   !n
 
-(* The parallel driver: one forked worker per file (at most [jobs]
-   alive), each with a fresh engine — see {!worker_result}.  Everything
-   user-visible is reassembled in input order. *)
-let expand_parallel ~jobs ~limits ~keep_going ~hygienic ~prelude ~cache
-    ~line_directives ~sourcemap ~semantic_check ~stats ~stats_format
+(* The parallel driver: one worker per file — a forked process
+   ([--jobs-mode=fork]) or a task on a work-stealing domain pool
+   ([--jobs-mode=domains], the default) — each with a fresh engine; see
+   {!worker_result}.  Everything user-visible is reassembled in input
+   order, so both modes are byte-identical to each other and to
+   [--jobs 1] on self-contained files. *)
+let expand_parallel ~jobs ~jobs_mode ~limits ~keep_going ~hygienic ~prelude
+    ~cache ~line_directives ~sourcemap ~semantic_check ~stats ~stats_format
     ~trace_out ~metrics ~output ~diag_format fragments =
   let frags = Array.of_list fragments in
   let n = Array.length frags in
   let want_map = line_directives || sourcemap <> None in
   let want_telemetry =
     trace_out <> None || metrics <> None || stats_format = Stats_json
+  in
+  (* domains share one cache store: a fragment expanded on one domain
+     replays on every other, and hit/miss/eviction counters merge *)
+  let store =
+    if jobs_mode = Mode_domains && cache then
+      Some (Ms2.Api.create_shared_cache ())
+    else None
   in
   let render_diag d =
     match diag_format with Text -> Diag.render d | Json -> Diag.to_json d
@@ -434,25 +549,38 @@ let expand_parallel ~jobs ~limits ~keep_going ~hygienic ~prelude ~cache
     let source, text = frags.(i) in
     (* deterministic stand-in for an OOM kill: a worker whose file
        matches this env var SIGKILLs itself before doing any work, so
-       the parent's died-without-a-result path is testable *)
-    (match Sys.getenv_opt "MS2_TEST_WORKER_KILL" with
-    | Some victim when victim = source ->
-        Unix.kill (Unix.getpid ()) Sys.sigkill
-    | _ -> ());
-    (* each worker records into its own process-global sinks and ships
-       events + a metrics snapshot home over the result pipe *)
+       the parent's died-without-a-result path is testable.  Fork-only:
+       in a domain the SIGKILL would take out the whole process. *)
+    (match jobs_mode with
+    | Mode_fork -> (
+        match Sys.getenv_opt "MS2_TEST_WORKER_KILL" with
+        | Some victim when victim = source ->
+            Unix.kill (Unix.getpid ()) Sys.sigkill
+        | _ -> ())
+    | Mode_domains -> ());
+    (* fork: each worker records into its own process-global sinks and
+       ships events + a metrics snapshot home over the result pipe.
+       domains: the recorder is domain-local, so starting it here scopes
+       the event batch to this file on this domain. *)
     if trace_out <> None then Obs.start_recording ();
     let engine =
       Ms2.Api.create_engine ~limits ~recover:keep_going ~hygienic ~prelude
-        ~cache ()
+        ~cache ?cache_store:store ()
     in
     let telemetry () =
       if not want_telemetry then ([], None)
-      else begin
-        Ms2.Api.publish_metrics engine;
-        ( (if trace_out <> None then Obs.events () else []),
-          Some (Obs.Metrics.snapshot ()) )
-      end
+      else
+        match jobs_mode with
+        | Mode_fork ->
+            Ms2.Api.publish_metrics engine;
+            ( (if trace_out <> None then Obs.events () else []),
+              Some (Obs.Metrics.snapshot ()) )
+        | Mode_domains ->
+            (* the metrics registry is shared in-process — shipping a
+               snapshot home for absorption would double-count; engine
+               totals reach the registry once, after the pool joins *)
+            ( (if trace_out <> None then Obs.stop_recording () else []),
+              None )
     in
     match
       Diag.protect (fun () -> Ms2.Engine.expand_source engine ~source text)
@@ -505,9 +633,12 @@ let expand_parallel ~jobs ~limits ~keep_going ~hygienic ~prelude ~cache
         }
   in
   let results =
-    run_pool ~jobs ~keep_going
-      ~source_of:(fun i -> fst frags.(i))
-      ~render:render_diag ~work n
+    let source_of i = fst frags.(i) in
+    match jobs_mode with
+    | Mode_fork ->
+        run_pool ~jobs ~keep_going ~source_of ~render:render_diag ~work n
+    | Mode_domains ->
+        run_domains ~jobs ~keep_going ~source_of ~render:render_diag ~work n
   in
   let first_fatal = ref None in
   Array.iteri
@@ -542,16 +673,27 @@ let expand_parallel ~jobs ~limits ~keep_going ~hygienic ~prelude ~cache
               (* keep per-file renderings line-aligned under
                  concatenation so source-map offsets stay exact *)
               let text =
-                if r.w_out <> "" && r.w_out.[String.length r.w_out - 1] <> '\n'
+                (* an empty program renders as a lone newline
+                   ([pp_program]'s closing [@.]); under concatenation it
+                   contributes no declarations, hence no lines *)
+                if r.w_out = "\n" then ""
+                else if
+                  r.w_out <> "" && r.w_out.[String.length r.w_out - 1] <> '\n'
                 then r.w_out ^ "\n"
                 else r.w_out
               in
               (* the single-render pipeline separates top-level
-                 declarations with a blank line; reproduce it between
-                 files *)
+                 declarations with a blank line carrying a dummy-loc map
+                 entry; reproduce both between files *)
               if text <> "" && Buffer.length buf > 0 then begin
                 Buffer.add_char buf '\n';
-                incr off
+                incr off;
+                map :=
+                  {
+                    Ms2_syntax.Emit.out_line = !off;
+                    loc = Ms2_support.Loc.dummy;
+                  }
+                  :: !map
               end;
               Buffer.add_string buf text;
               List.iter
@@ -572,7 +714,9 @@ let expand_parallel ~jobs ~limits ~keep_going ~hygienic ~prelude ~cache
       | Some path ->
           write_atomic ~diag_format path
             (Ms2_syntax.Emit.sourcemap_to_string (List.rev !map)));
-      let out = Buffer.contents buf in
+      (* zero surviving declarations render as "\n" in one shot
+         ([pp_program]'s closing [@.] over an empty list) — match it *)
+      let out = if Buffer.length buf = 0 then "\n" else Buffer.contents buf in
       (match output with
       | None -> print_string out
       | Some path -> write_atomic ~diag_format path out);
@@ -590,18 +734,41 @@ let expand_parallel ~jobs ~limits ~keep_going ~hygienic ~prelude ~cache
                  results)
           in
           write_atomic ~diag_format path (Obs.chrome_trace tracks));
+      (* with a shared store the merged view lives in the store, not in
+         the per-engine counters: every engine reads the store's global
+         eviction count, so summing per-engine stats would multiply it
+         by the number of files.  Hits and misses sum correctly, but
+         take all three from the store for one coherent merged view. *)
+      (match store with
+      | None -> ()
+      | Some s ->
+          let hits, misses, evictions, entries, used_bytes =
+            Ms2.Api.shared_cache_stats s
+          in
+          stats_acc :=
+            { !stats_acc with
+              Ms2.Api.cache_hits = hits;
+              cache_misses = misses;
+              cache_evictions = evictions
+            };
+          if want_telemetry then begin
+            Obs.Metrics.gauge "cache.entries" (float_of_int entries);
+            Obs.Metrics.gauge "cache.used_bytes" (float_of_int used_bytes)
+          end);
       if want_telemetry then begin
         Array.iter
           (function
             | Some { w_metrics = Some snap; _ } -> Obs.Metrics.absorb snap
             | _ -> ())
           results;
-        stats_to_registry !stats_acc
+        stats_to_registry !stats_acc;
+        record_jobs_meta ~jobs ~jobs_mode
       end;
       (match metrics with
       | None -> ()
       | Some path -> write_atomic ~diag_format path (Obs.Metrics.to_json ()));
-      if stats then print_stats ~format:stats_format !stats_acc;
+      if stats then
+        print_stats ~format:stats_format ~jobs:(jobs, jobs_mode) !stats_acc;
       if semantic_check && !findings <> [] then begin
         List.iter prerr_endline !findings;
         exit exit_fatal
@@ -610,10 +777,12 @@ let expand_parallel ~jobs ~limits ~keep_going ~hygienic ~prelude ~cache
 
 let expand_cmd =
   let run files output stats stats_format hygienic semantic_check prelude
-      trace trace_out metrics jobs no_cache fuel invocation_fuel max_nodes
-      max_errors timeout_ms invocation_timeout_ms failpoints keep_going
-      line_directives sourcemap diag_format =
+      trace trace_out metrics jobs jobs_mode no_cache fuel invocation_fuel
+      max_nodes max_errors timeout_ms invocation_timeout_ms failpoints
+      keep_going line_directives sourcemap diag_format =
     arm_failpoints failpoints;
+    (* [--jobs 0] / [--jobs auto]: one worker per recommended domain *)
+    let jobs = if jobs = 0 then Pool.recommended () else jobs in
     with_fragments ~diag_format files (fun fragments ->
         let limits =
           limits_of ~fuel ~invocation_fuel ~max_nodes ~max_errors
@@ -623,8 +792,8 @@ let expand_cmd =
            sequential path so the interleaving of trace output stays
            deterministic *)
         if jobs > 1 && List.length fragments > 1 && not trace then
-          expand_parallel ~jobs ~limits ~keep_going ~hygienic ~prelude
-            ~cache:(not no_cache) ~line_directives ~sourcemap
+          expand_parallel ~jobs ~jobs_mode ~limits ~keep_going ~hygienic
+            ~prelude ~cache:(not no_cache) ~line_directives ~sourcemap
             ~semantic_check ~stats ~stats_format ~trace_out ~metrics
             ~output ~diag_format fragments
         else begin
@@ -663,7 +832,10 @@ let expand_cmd =
           | Some path -> write_atomic ~diag_format path out);
           if trace_out <> None || metrics <> None
              || stats_format = Stats_json
-          then Ms2.Api.publish_metrics engine;
+          then begin
+            Ms2.Api.publish_metrics engine;
+            record_jobs_meta ~jobs ~jobs_mode
+          end;
           (match trace_out with
           | None -> ()
           | Some path ->
@@ -674,7 +846,8 @@ let expand_cmd =
           | Some path ->
               write_atomic ~diag_format path (Obs.Metrics.to_json ()));
           if stats then
-            print_stats ~format:stats_format (Ms2.Api.stats engine);
+            print_stats ~format:stats_format ~jobs:(jobs, jobs_mode)
+              (Ms2.Api.stats engine);
           if semantic_check then begin
             match Ms2.Api.check_program prog with
             | [] -> ()
@@ -690,7 +863,7 @@ let expand_cmd =
     Term.(
       const run $ files_arg $ output_arg $ stats_arg $ stats_format_arg
       $ hygienic_arg $ semantic_check_arg $ prelude_arg $ trace_arg
-      $ trace_out_arg $ metrics_arg $ jobs_arg
+      $ trace_out_arg $ metrics_arg $ jobs_arg $ jobs_mode_arg
       $ no_cache_arg $ fuel_arg $ invocation_fuel_arg $ max_nodes_arg
       $ max_errors_arg $ timeout_arg $ invocation_timeout_arg
       $ failpoints_arg $ keep_going_arg $ line_directives_arg

@@ -31,7 +31,21 @@
     - protocol failures — oversized lines, malformed JSON, unknown
       methods, expired deadlines, mid-request disconnects — are each a
       structured error response (or a dropped write), never a daemon
-      exit. *)
+      exit.
+
+    Parallelism ([--workers N], default 1): the daemon keeps N shards,
+    each a prelude-loaded engine plus its sessions, and pins every
+    session to the shard [hash(session_id) mod N] — a session's
+    checkpoints alias its engine's tables, so a session must live and
+    die on one engine.  With N > 1 each shard is owned by a dedicated
+    domain: requests for different shards expand in parallel, requests
+    for one session stay serialized in arrival order, and the
+    checkpoint-rollback isolation story is per-shard exactly as it is
+    per-daemon at N = 1.  The expansion cache is one shared store
+    across all shards, so a fragment expanded on one domain replays on
+    every other.  N = 1 keeps the single-threaded event loop with no
+    domain, no locking on the hot path, and byte-for-byte the old
+    behavior. *)
 
 open Cmdliner
 open Cli_common
@@ -67,13 +81,23 @@ let write_all fd (s : string) =
     off := !off + Unix.write fd b !off (n - !off)
   done
 
+(* With [--workers N] several domains answer concurrently, possibly on
+   the same connection (one client, many sessions): the response write
+   must be atomic per line.  One global mutex is enough — responses are
+   small and writes are rare next to expansion work. *)
+let send_mutex = Mutex.create ()
+
 (* A response the peer is gone for is dropped, not fatal: surviving a
    mid-request disconnect is part of the contract. *)
 let send (c : conn) (line : string) : unit =
-  if not c.c_closed then
-    try write_all c.c_out (line ^ "\n")
-    with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF | EIO), _, _) ->
-      c.c_closed <- true
+  Mutex.lock send_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock send_mutex)
+    (fun () ->
+      if not c.c_closed then
+        try write_all c.c_out (line ^ "\n")
+        with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF | EIO), _, _) ->
+          c.c_closed <- true)
 
 (* ------------------------------------------------------------------ *)
 (* Server state                                                        *)
@@ -87,12 +111,29 @@ type job = {
   j_arrival : float;  (** when the request line was framed *)
 }
 
+(* One shard: an engine, the post-prelude state new sessions root at,
+   and the sessions pinned here.  At [--workers 1] there is a single
+   shard served inline by the event loop; above 1 each shard is owned
+   by one domain, and only that domain touches the engine or the
+   sessions table — the queue (mutex + condition) is the only shared
+   edge. *)
+type shard = {
+  sh_engine : Ms2.Api.engine;
+  sh_base_cp : Ms2.Engine.checkpoint;
+  sh_sessions : (string, sess) Hashtbl.t;
+  sh_mutex : Mutex.t;
+  sh_cond : Condition.t;
+  sh_queue : (unit -> unit) option Queue.t;
+      (** tasks for the owning domain; [None] is the stop sentinel *)
+}
+
 type state = {
-  engine : Ms2.Api.engine;
-  base_cp : Ms2.Engine.checkpoint;
-      (** post-prelude engine state every new session starts from *)
-  sessions : (string, sess) Hashtbl.t;
+  shards : shard array;  (** length = resolved --workers *)
+  store : Ms2.Api.shared_cache option;
+      (** the cross-shard expansion-cache store ([--workers] > 1) *)
   pending : job Queue.t;
+  in_flight : int Atomic.t;
+      (** admitted (queued or dispatched) but unanswered requests *)
   max_pending : int;
   max_sessions : int;
   session_idle_ms : int;
@@ -102,10 +143,53 @@ type state = {
   socket_path : string option;
   pidfile : string option;  (** Some p iff this process wrote it *)
   mutable draining : bool;
+  st_mutex : Mutex.t;  (** guards [avg_ms] and [served] *)
   mutable avg_ms : float;  (** EWMA of request service time *)
   started : float;
   mutable served : int;
 }
+
+let shard_of (st : state) (session_id : string) : shard =
+  let n = Array.length st.shards in
+  if n = 1 then st.shards.(0)
+  else st.shards.(Hashtbl.hash session_id mod n)
+
+(* Run [f] on [sh]: inline at --workers 1 (the event loop is the only
+   thread), on the shard's domain above.  [f] owns its whole response
+   path — it must [send] its own answer.  The in-flight count covers the
+   span from here to [f]'s completion, so drain waits for dispatched
+   work and overload shedding sees queued-at-shard requests too. *)
+let dispatch (st : state) (sh : shard) (f : unit -> unit) : unit =
+  ignore (Atomic.fetch_and_add st.in_flight 1);
+  if Array.length st.shards = 1 then
+    Fun.protect
+      ~finally:(fun () -> ignore (Atomic.fetch_and_add st.in_flight (-1)))
+      f
+  else begin
+    Mutex.lock sh.sh_mutex;
+    Queue.add (Some f) sh.sh_queue;
+    Condition.signal sh.sh_cond;
+    Mutex.unlock sh.sh_mutex
+  end
+
+let worker_loop (st : state) (sh : shard) () : unit =
+  let rec loop () =
+    Mutex.lock sh.sh_mutex;
+    while Queue.is_empty sh.sh_queue do
+      Condition.wait sh.sh_cond sh.sh_mutex
+    done;
+    let task = Queue.pop sh.sh_queue in
+    Mutex.unlock sh.sh_mutex;
+    match task with
+    | None -> ()
+    | Some f ->
+        (* [f] contains its own failures ([Diag.protect] inside); this
+           is a backstop so a worker domain can never die silently *)
+        (try f () with _ -> ());
+        ignore (Atomic.fetch_and_add st.in_flight (-1));
+        loop ()
+  in
+  loop ()
 
 (* Signal flags: handlers only flip refs; the select loop acts on them. *)
 let want_drain = ref false
@@ -116,39 +200,46 @@ let now_ms_since t0 = int_of_float ((Unix.gettimeofday () -. t0) *. 1000.)
 (* Sessions                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let evict_lru (st : state) : unit =
+let evict_lru (sh : shard) : unit =
   let victim = ref None in
   Hashtbl.iter
     (fun id s ->
       match !victim with
       | Some (_, t) when s.last_used >= t -> ()
       | _ -> victim := Some (id, s.last_used))
-    st.sessions;
+    sh.sh_sessions;
   match !victim with
-  | Some (id, _) -> Hashtbl.remove st.sessions id
+  | Some (id, _) -> Hashtbl.remove sh.sh_sessions id
   | None -> ()
 
-let evict_idle (st : state) (now : float) : unit =
+let evict_idle (st : state) (sh : shard) (now : float) : unit =
   let cutoff = now -. (float st.session_idle_ms /. 1000.) in
   let dead =
     Hashtbl.fold
       (fun id s acc -> if s.last_used < cutoff then id :: acc else acc)
-      st.sessions []
+      sh.sh_sessions []
   in
-  List.iter (Hashtbl.remove st.sessions) dead
+  List.iter (Hashtbl.remove sh.sh_sessions) dead
 
-let get_session (st : state) (now : float) (id : string) : Session.t =
-  match Hashtbl.find_opt st.sessions id with
+let get_session (st : state) (sh : shard) (now : float) (id : string) :
+    Session.t =
+  (* runs on the shard's owning domain; the per-shard session budget is
+     the total split evenly across shards *)
+  evict_idle st sh now;
+  match Hashtbl.find_opt sh.sh_sessions id with
   | Some s ->
       s.last_used <- now;
       s.ss
   | None ->
-      if Hashtbl.length st.sessions >= st.max_sessions then evict_lru st;
+      let budget =
+        max 1 (st.max_sessions / max 1 (Array.length st.shards))
+      in
+      if Hashtbl.length sh.sh_sessions >= budget then evict_lru sh;
       (* new sessions root at the post-prelude base state, not at
          whatever state the last-served session left the engine in *)
-      Ms2.Engine.rollback st.engine st.base_cp;
-      let ss = Session.create st.engine ~id in
-      Hashtbl.add st.sessions id { ss; last_used = now };
+      Ms2.Engine.rollback sh.sh_engine sh.sh_base_cp;
+      let ss = Session.create sh.sh_engine ~id in
+      Hashtbl.add sh.sh_sessions id { ss; last_used = now };
       ss
 
 (* ------------------------------------------------------------------ *)
@@ -156,7 +247,7 @@ let get_session (st : state) (now : float) (id : string) : Session.t =
 (* ------------------------------------------------------------------ *)
 
 let retry_after_ms (st : state) : int =
-  let hint = st.avg_ms *. float (Queue.length st.pending + 1) in
+  let hint = st.avg_ms *. float (Atomic.get st.in_flight + 1) in
   max 10 (min 5000 (int_of_float hint))
 
 let session_json (ss : Session.t) : Json.t =
@@ -192,9 +283,10 @@ let admit (st : state) (c : conn) (req : Proto.request) (arrival : float) :
            ~diagnostics:[ Diag.to_json d ]
            ~message:"request rejected at admission" ())
   | Ok () ->
+      ignore (Atomic.fetch_and_add st.in_flight 1);
       Queue.add { j_conn = c; j_req = req; j_arrival = arrival } st.pending
 
-let run_job (st : state) (j : job) : unit =
+let run_job (st : state) (sh : shard) (j : job) : unit =
   let req = j.j_req in
   let c = j.j_conn in
   let id = req.Proto.rq_id in
@@ -218,7 +310,7 @@ let run_job (st : state) (j : job) : unit =
                 (Option.value req.Proto.rq_deadline_ms ~default:0))
            ())
   | _ -> (
-      let ss = get_session st t0 req.Proto.rq_session in
+      let ss = get_session st sh t0 req.Proto.rq_session in
       let result =
         match
           Diag.protect (fun () ->
@@ -233,8 +325,10 @@ let run_job (st : state) (j : job) : unit =
                                        d_invocations = 0; d_fuel = 0 })
       in
       let elapsed = (Unix.gettimeofday () -. t0) *. 1000. in
+      Mutex.lock st.st_mutex;
       st.avg_ms <- (0.8 *. st.avg_ms) +. (0.2 *. elapsed);
       st.served <- st.served + 1;
+      Mutex.unlock st.st_mutex;
       match result with
       | Ok (rendered, d) -> (
           let fields =
@@ -291,32 +385,58 @@ let handle_admin (st : state) (c : conn) (req : Proto.request) : unit =
                ~message:(Printf.sprintf "bad failpoint spec: %s" msg)
                ()))
   | "reset" ->
-      let ss = get_session st now req.Proto.rq_session in
-      Session.reset ss;
-      send c (Proto.ok_response ~id [ ("session", session_json ss) ])
+      (* session state belongs to the owning shard: route there so the
+         reset serializes with the session's in-flight expansions *)
+      let sh = shard_of st req.Proto.rq_session in
+      dispatch st sh (fun () ->
+          let ss = get_session st sh now req.Proto.rq_session in
+          Session.reset ss;
+          send c (Proto.ok_response ~id [ ("session", session_json ss) ]))
   | "stats" ->
-      let ss = get_session st now req.Proto.rq_session in
-      let es = Ms2.Api.stats st.engine in
-      send c
-        (Proto.ok_response ~id
-           [ ("pid", Json.Int (Unix.getpid ()));
-             ("uptime_ms", Json.Int (now_ms_since st.started));
-             ("draining", Json.Bool st.draining);
-             ("served", Json.Int st.served);
-             ("pending", Json.Int (Queue.length st.pending));
-             ("max_pending", Json.Int st.max_pending);
-             ("sessions", Json.Int (Hashtbl.length st.sessions));
-             ("fingerprint", Json.Str (Session.fingerprint ss));
-             ("isolated", Json.Bool (Session.isolated ss));
-             ("session", session_json ss);
-             ("engine",
-              Json.Obj
-                [ ("cache_hits", Json.Int es.Ms2.Api.cache_hits);
-                  ("cache_misses", Json.Int es.Ms2.Api.cache_misses);
-                  ("cache_evictions", Json.Int es.Ms2.Api.cache_evictions);
-                  ("invocations_expanded",
-                   Json.Int es.Ms2.Api.invocations_expanded);
-                  ("fuel_consumed", Json.Int es.Ms2.Api.fuel_consumed) ]) ])
+      let sh = shard_of st req.Proto.rq_session in
+      let served, draining = (st.served, st.draining) in
+      let in_flight = Atomic.get st.in_flight in
+      dispatch st sh (fun () ->
+          let ss = get_session st sh now req.Proto.rq_session in
+          let es = Ms2.Api.stats sh.sh_engine in
+          (* with a shared store, cache traffic is daemon-global; the
+             shard engine's own counters cover the single-shard case *)
+          let hits, misses, evictions =
+            match st.store with
+            | Some s ->
+                let h, m, e, _, _ = Ms2.Api.shared_cache_stats s in
+                (h, m, e)
+            | None ->
+                ( es.Ms2.Api.cache_hits,
+                  es.Ms2.Api.cache_misses,
+                  es.Ms2.Api.cache_evictions )
+          in
+          let sessions =
+            Array.fold_left
+              (fun acc sh -> acc + Hashtbl.length sh.sh_sessions)
+              0 st.shards
+          in
+          send c
+            (Proto.ok_response ~id
+               [ ("pid", Json.Int (Unix.getpid ()));
+                 ("uptime_ms", Json.Int (now_ms_since st.started));
+                 ("draining", Json.Bool draining);
+                 ("served", Json.Int served);
+                 ("pending", Json.Int in_flight);
+                 ("max_pending", Json.Int st.max_pending);
+                 ("workers", Json.Int (Array.length st.shards));
+                 ("sessions", Json.Int sessions);
+                 ("fingerprint", Json.Str (Session.fingerprint ss));
+                 ("isolated", Json.Bool (Session.isolated ss));
+                 ("session", session_json ss);
+                 ("engine",
+                  Json.Obj
+                    [ ("cache_hits", Json.Int hits);
+                      ("cache_misses", Json.Int misses);
+                      ("cache_evictions", Json.Int evictions);
+                      ("invocations_expanded",
+                       Json.Int es.Ms2.Api.invocations_expanded);
+                      ("fuel_consumed", Json.Int es.Ms2.Api.fuel_consumed) ]) ]))
   | m ->
       send c
         (Proto.error_response ~id ~kind:Proto.Unknown_method
@@ -503,10 +623,12 @@ let serve_loop (st : state) : unit =
   let running = ref true in
   while !running do
     if !want_drain then st.draining <- true;
-    (* finished draining: queue empty and every answer written *)
-    if st.draining && Queue.is_empty st.pending then running := false
+    (* finished draining: nothing queued or dispatched, every answer
+       written *)
+    if st.draining && Atomic.get st.in_flight = 0 then running := false
     else begin
-      evict_idle st (Unix.gettimeofday ());
+      if Array.length st.shards = 1 then
+        evict_idle st st.shards.(0) (Unix.gettimeofday ());
       let read_fds =
         (match st.listen_fd with
         | Some fd when not st.draining -> [ fd ]
@@ -530,9 +652,16 @@ let serve_loop (st : state) : unit =
                 if (not c.c_closed) && List.memq c.c_in ready then
                   handle_readable st c)
               st.conns);
-        (* serve everything admitted this round, in arrival order *)
+        (* serve everything admitted this round, in arrival order —
+           inline at --workers 1, else dispatched to the session's
+           shard (per-session order is preserved: one session maps to
+           one shard, whose queue is FIFO) *)
         while not (Queue.is_empty st.pending) do
-          run_job st (Queue.pop st.pending)
+          let j = Queue.pop st.pending in
+          let sh = shard_of st j.j_req.Proto.rq_session in
+          (* the admit-time in-flight slot transfers to the dispatch *)
+          ignore (Atomic.fetch_and_add st.in_flight (-1));
+          dispatch st sh (fun () -> run_job st sh j)
         done;
         (* reap connections whose peer is gone.  [feed] already ran
            every complete line, so at EOF the buffer can only hold a
@@ -551,6 +680,27 @@ let serve_loop (st : state) : unit =
   done;
   cleanup st
 
+(* Spawn the owning domains for a multi-shard daemon, run the loop,
+   stop them (sentinel + join) once it drains. *)
+let serve_with_workers (st : state) : unit =
+  if Array.length st.shards = 1 then serve_loop st
+  else begin
+    let domains =
+      Array.map (fun sh -> Domain.spawn (worker_loop st sh)) st.shards
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter
+          (fun sh ->
+            Mutex.lock sh.sh_mutex;
+            Queue.add None sh.sh_queue;
+            Condition.signal sh.sh_cond;
+            Mutex.unlock sh.sh_mutex)
+          st.shards;
+        Array.iter Domain.join domains)
+      (fun () -> serve_loop st)
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Startup                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -566,19 +716,38 @@ let load_prelude_file (engine : Ms2.Api.engine) (path : string) : unit =
       | Ok () -> ()
       | Result.Error d -> fatal "prelude failed: %s" (Diag.to_string d))
 
-let run_server ~limits ~hygienic ~prelude ~prelude_file ~cache ~socket
-    ~pidfile ~write_pidfile ~max_pending ~max_sessions ~session_idle_ms
-    ~max_request_bytes () : unit =
+let run_server ~limits ~hygienic ~prelude ~prelude_file ~cache ~workers
+    ~socket ~pidfile ~write_pidfile ~max_pending ~max_sessions
+    ~session_idle_ms ~max_request_bytes () : unit =
   (* a disconnected client must never kill the daemon with SIGPIPE *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   Sys.set_signal Sys.sigterm
     (Sys.Signal_handle (fun _ -> want_drain := true));
   Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> want_drain := true));
-  let engine =
-    Ms2.Api.create_engine ~limits ~hygienic ~prelude ~cache ()
+  let workers = if workers = 0 then Ms2_support.Pool.recommended () else workers in
+  (* one shared store across the shard engines, so warm fragments replay
+     whichever domain they land on; a single shard keeps its private
+     per-engine cache exactly as before *)
+  let store =
+    if cache && workers > 1 then Some (Ms2.Api.create_shared_cache ())
+    else None
   in
-  Option.iter (load_prelude_file engine) prelude_file;
-  let base_cp = Ms2.Engine.checkpoint engine in
+  let make_shard _ =
+    let engine =
+      Ms2.Api.create_engine ~limits ~hygienic ~prelude ~cache
+        ?cache_store:store ()
+    in
+    Option.iter (load_prelude_file engine) prelude_file;
+    {
+      sh_engine = engine;
+      sh_base_cp = Ms2.Engine.checkpoint engine;
+      sh_sessions = Hashtbl.create 16;
+      sh_mutex = Mutex.create ();
+      sh_cond = Condition.create ();
+      sh_queue = Queue.create ();
+    }
+  in
+  let shards = Array.init workers make_shard in
   let listen_fd = Option.map claim_socket socket in
   (match (pidfile, write_pidfile) with
   | Some p, true ->
@@ -586,10 +755,10 @@ let run_server ~limits ~hygienic ~prelude ~prelude_file ~cache ~socket
   | _ -> ());
   let st =
     {
-      engine;
-      base_cp;
-      sessions = Hashtbl.create 16;
+      shards;
+      store;
       pending = Queue.create ();
+      in_flight = Atomic.make 0;
       max_pending;
       max_sessions;
       session_idle_ms;
@@ -610,12 +779,13 @@ let run_server ~limits ~hygienic ~prelude ~prelude_file ~cache ~socket
       socket_path = socket;
       pidfile = (if write_pidfile then pidfile else None);
       draining = false;
+      st_mutex = Mutex.create ();
       avg_ms = 50.0;
       started = Unix.gettimeofday ();
       served = 0;
     }
   in
-  serve_loop st
+  serve_with_workers st
 
 let signal_name s =
   if s = Sys.sigkill then "SIGKILL (possibly the out-of-memory killer)"
@@ -762,15 +932,26 @@ let no_cache_arg =
   Arg.(value & flag & info [ "no-cache" ]
        ~doc:"Disable the shared content-addressed expansion cache.")
 
+let workers_arg =
+  Arg.(value & opt nonneg_int 1 & info [ "workers" ] ~docv:"N"
+       ~doc:"Serve with $(docv) expansion workers (OCaml domains), each \
+             owning a prelude-loaded engine; sessions are pinned to a \
+             worker by session-id hash, so one session's requests stay \
+             serialized (and isolated) while different sessions expand \
+             in parallel.  The expansion cache is shared across \
+             workers.  $(b,0) resolves to the machine's recommended \
+             domain count; the default 1 keeps the single-threaded \
+             event loop.")
+
 let cmd : unit Cmd.t =
-  let run limits hygienic prelude prelude_file no_cache socket pidfile
-      supervise_flag max_pending max_sessions session_idle_ms
+  let run limits hygienic prelude prelude_file no_cache workers socket
+      pidfile supervise_flag max_pending max_sessions session_idle_ms
       max_request_bytes failpoints =
     arm_failpoints failpoints;
     let worker ~write_pidfile () =
       run_server ~limits ~hygienic ~prelude ~prelude_file
-        ~cache:(not no_cache) ~socket ~pidfile ~write_pidfile ~max_pending
-        ~max_sessions ~session_idle_ms ~max_request_bytes ()
+        ~cache:(not no_cache) ~workers ~socket ~pidfile ~write_pidfile
+        ~max_pending ~max_sessions ~session_idle_ms ~max_request_bytes ()
     in
     if supervise_flag then begin
       if socket = None then
@@ -788,6 +969,6 @@ let cmd : unit Cmd.t =
              crash-safe supervision")
     Term.(
       const run $ limits_term $ hygienic_arg $ prelude_arg
-      $ prelude_file_arg $ no_cache_arg $ socket_arg $ pidfile_arg
-      $ supervise_arg $ max_pending_arg $ max_sessions_arg
+      $ prelude_file_arg $ no_cache_arg $ workers_arg $ socket_arg
+      $ pidfile_arg $ supervise_arg $ max_pending_arg $ max_sessions_arg
       $ session_idle_ms_arg $ max_request_bytes_arg $ failpoints_arg)

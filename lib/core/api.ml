@@ -37,11 +37,31 @@ type stats = {
       (** … because a replay would overdraw the remaining budget *)
 }
 
+(** A standalone expansion-cache store to share between engines (see
+    {!Engine.create_store}): the [--jobs-mode=domains] driver and the
+    serve worker pool hand one store to every engine they create, so a
+    fragment expanded on one domain replays on every other.  Counter
+    reads ({!shared_cache_stats}) are merged over the store's shards —
+    the whole-process view, not any single worker's. *)
+type shared_cache = Engine.cached_run Cache.t
+
+let create_shared_cache ?cache_bytes () : shared_cache =
+  Engine.create_store ?budget_bytes:cache_bytes ()
+
+(** Merged point-in-time counters of a shared store:
+    [(hits, misses, evictions, entries, used_bytes)]. *)
+let shared_cache_stats (store : shared_cache) : int * int * int * int * int =
+  ( Cache.hits store,
+    Cache.misses store,
+    Cache.evictions store,
+    Cache.length store,
+    Cache.used_bytes store )
+
 let create_engine ?limits ?compile_patterns ?hygienic ?recover ?provenance
-    ?transactional ?cache ?cache_bytes ?(prelude = false) () =
+    ?transactional ?cache ?cache_bytes ?cache_store ?(prelude = false) () =
   let engine =
     Engine.create ?limits ?compile_patterns ?hygienic ?recover ?provenance
-      ?transactional ?cache ?cache_bytes ()
+      ?transactional ?cache ?cache_bytes ?cache_store ()
   in
   if prelude then Prelude.load engine;
   engine

@@ -36,6 +36,18 @@ type stats = {
       (** … because a replay would overdraw the remaining budget *)
 }
 
+type shared_cache = Engine.cached_run Cache.t
+(** A domain-safe expansion-cache store shared between engines: the
+    [--jobs-mode=domains] driver and the serve worker pool give one
+    store to every engine they create ([?cache_store]), so a fragment
+    expanded on one domain replays on every other.  Sharded with
+    per-shard mutexes; counters report the merged view. *)
+
+val create_shared_cache : ?cache_bytes:int -> unit -> shared_cache
+
+val shared_cache_stats : shared_cache -> int * int * int * int * int
+(** Merged [(hits, misses, evictions, entries, used_bytes)]. *)
+
 val create_engine :
   ?limits:Limits.t ->
   ?compile_patterns:bool ->
@@ -45,6 +57,7 @@ val create_engine :
   ?transactional:bool ->
   ?cache:bool ->
   ?cache_bytes:int ->
+  ?cache_store:shared_cache ->
   ?prelude:bool ->
   unit ->
   engine
@@ -61,6 +74,8 @@ val create_engine :
     recorded output and state delta (default true; disable for the
     [--no-cache] ablation)
     @param cache_bytes cache byte budget, LRU-evicted beyond it
+    @param cache_store attach an existing {!shared_cache} instead of a
+    private store (ignored when [~cache:false])
     @param prelude load the standard macro library ({!Prelude}) *)
 
 type checkpoint = Engine.checkpoint

@@ -40,12 +40,25 @@
     fresh names really runs, and cached replays are exactly the runs
     whose output provably does not mention fresh names.
 
-    {b The store} is a plain string-keyed table with last-use ticks and
-    a byte budget; insertion evicts least-recently-used entries until
-    the new entry fits.  Callers pass a byte estimate with each entry
+    {b The store} is a string-keyed table with last-use ticks and a
+    byte budget; insertion evicts least-recently-used entries until the
+    new entry fits.  Callers pass a byte estimate with each entry
     ([Obj.reachable_words] is the fallback, but walking a whole stored
     run is itself a measurable clean-path cost, and it over-counts
-    structure shared with live engine state). *)
+    structure shared with live engine state).
+
+    {b Domain safety.}  Under [--jobs-mode=domains] every worker reads
+    and writes one shared store, so the table is {e sharded}: 16
+    independent LRU shards, each with its own mutex, table, recency
+    tick, slice of the byte budget, and hit/miss/evict counters.  The
+    shard index is the first byte of the key — keys are MD5 digests, so
+    the byte is uniform and two domains working on unrelated fragments
+    almost never contend on a lock.  The public counters
+    ({!hits}/{!misses}/{!evictions}/{!length}/{!used_bytes}) sum over
+    shards: callers see one {e merged} view of the store, never
+    per-worker or per-shard slices.  LRU recency is likewise per shard,
+    which is exactly as approximate as segmented LRU always is — an
+    entry competes for budget only against keys that hash beside it. *)
 
 open Ms2_support
 module Tenv = Ms2_typing.Tenv
@@ -145,9 +158,10 @@ let key ~defs_version ~(env : Value.env) ~tenv ~senv ~(limits : Limits.t)
 
 type 'v entry = { value : 'v; size : int; mutable last_use : int }
 
-type 'v t = {
+type 'v shard = {
+  lock : Mutex.t;
   table : (string, 'v entry) Hashtbl.t;
-  budget_bytes : int;
+  budget_bytes : int;  (** this shard's slice of the whole budget *)
   mutable used_bytes : int;
   mutable tick : int;
   mutable hits : int;
@@ -155,73 +169,124 @@ type 'v t = {
   mutable evictions : int;
 }
 
+let max_shards = 16 (* a power of two; index = first key byte masked *)
+
+(* Splitting the budget must not split it into uselessness: a shard
+   whose slice cannot hold a typical entry silently caches nothing.  So
+   the shard count scales with the budget — halving until every slice
+   clears [min_slice_bytes] — and a tiny (test-sized) budget collapses
+   to one shard, which is exactly the pre-sharding store. *)
+let min_slice_bytes = 1024 * 1024
+
+type 'v t = { shards : 'v shard array }
+
 let default_budget_bytes = 64 * 1024 * 1024
 
 let create ?(budget_bytes = default_budget_bytes) () : 'v t =
+  let nshards =
+    let n = ref max_shards in
+    while !n > 1 && budget_bytes / !n < min_slice_bytes do
+      n := !n / 2
+    done;
+    !n
+  in
+  (* ceiling division: the shards must jointly cover the whole budget *)
+  let slice = (budget_bytes + nshards - 1) / nshards in
   {
-    table = Hashtbl.create 64;
-    budget_bytes;
-    used_bytes = 0;
-    tick = 0;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
+    shards =
+      Array.init nshards (fun _ ->
+          {
+            lock = Mutex.create ();
+            table = Hashtbl.create 16;
+            budget_bytes = slice;
+            used_bytes = 0;
+            tick = 0;
+            hits = 0;
+            misses = 0;
+            evictions = 0;
+          });
   }
 
-let find (t : 'v t) (key : string) : 'v option =
-  t.tick <- t.tick + 1;
-  match Hashtbl.find_opt t.table key with
-  | Some e ->
-      e.last_use <- t.tick;
-      t.hits <- t.hits + 1;
-      Some e.value
-  | None ->
-      t.misses <- t.misses + 1;
-      None
+let shard_of (t : 'v t) (key : string) : 'v shard =
+  (* keys are MD5 digests (uniform bytes); an empty key still routes *)
+  let b = if String.length key = 0 then 0 else Char.code key.[0] in
+  t.shards.(b land (Array.length t.shards - 1))
 
-(* Evict the least-recently-used entry.  A linear scan: budgets hold at
-   most a few thousand entries, and eviction is the rare path. *)
-let evict_one (t : 'v t) : unit =
+let locked (s : 'v shard) f =
+  Mutex.lock s.lock;
+  match f () with
+  | v ->
+      Mutex.unlock s.lock;
+      v
+  | exception e ->
+      Mutex.unlock s.lock;
+      raise e
+
+let find (t : 'v t) (key : string) : 'v option =
+  let s = shard_of t key in
+  locked s (fun () ->
+      s.tick <- s.tick + 1;
+      match Hashtbl.find_opt s.table key with
+      | Some e ->
+          e.last_use <- s.tick;
+          s.hits <- s.hits + 1;
+          Some e.value
+      | None ->
+          s.misses <- s.misses + 1;
+          None)
+
+(* Evict the least-recently-used entry of one shard (lock held).  A
+   linear scan: budgets hold at most a few thousand entries, and
+   eviction is the rare path. *)
+let evict_one (s : 'v shard) : unit =
   let victim =
     Hashtbl.fold
       (fun key e acc ->
         match acc with
         | Some (_, best) when best.last_use <= e.last_use -> acc
         | _ -> Some (key, e))
-      t.table None
+      s.table None
   in
   match victim with
   | None -> ()
   | Some (key, e) ->
-      Hashtbl.remove t.table key;
-      t.used_bytes <- t.used_bytes - e.size;
-      t.evictions <- t.evictions + 1;
+      Hashtbl.remove s.table key;
+      s.used_bytes <- s.used_bytes - e.size;
+      s.evictions <- s.evictions + 1;
       Obs.instant ~cat:"cache" "evict"
         ~args:(fun () -> [ ("bytes", Obs.Int e.size) ])
 
 let word_bytes = Sys.word_size / 8
 
 let add ?size_bytes (t : 'v t) (key : string) (value : 'v) : unit =
-  if not (Hashtbl.mem t.table key) then begin
-    let size =
-      match size_bytes with
-      | Some n -> n
-      | None -> (Obj.reachable_words (Obj.repr value) + 16) * word_bytes
-    in
-    if size <= t.budget_bytes then begin
-      while
-        t.used_bytes + size > t.budget_bytes && Hashtbl.length t.table > 0
-      do
-        evict_one t
-      done;
-      t.tick <- t.tick + 1;
-      Hashtbl.replace t.table key { value; size; last_use = t.tick };
-      t.used_bytes <- t.used_bytes + size
-    end
-  end
+  let s = shard_of t key in
+  (* size the entry outside the lock: [Obj.reachable_words] can walk a
+     large stored run *)
+  let size =
+    match size_bytes with
+    | Some n -> n
+    | None -> (Obj.reachable_words (Obj.repr value) + 16) * word_bytes
+  in
+  locked s (fun () ->
+      if (not (Hashtbl.mem s.table key)) && size <= s.budget_bytes then begin
+        while
+          s.used_bytes + size > s.budget_bytes && Hashtbl.length s.table > 0
+        do
+          evict_one s
+        done;
+        s.tick <- s.tick + 1;
+        Hashtbl.replace s.table key { value; size; last_use = s.tick };
+        s.used_bytes <- s.used_bytes + size
+      end)
 
-let length (t : 'v t) : int = Hashtbl.length t.table
-let used_bytes (t : 'v t) : int = t.used_bytes
-let hits (t : 'v t) : int = t.hits
-let misses (t : 'v t) : int = t.misses
-let evictions (t : 'v t) : int = t.evictions
+(* The merged view: sum over shards.  Each shard is read under its lock
+   so a concurrent expansion can shift counts between two reads, but
+   every count is a real event — nothing is lost or double-counted. *)
+let sum_shards (t : 'v t) (f : 'v shard -> int) : int =
+  Array.fold_left (fun acc s -> acc + locked s (fun () -> f s)) 0 t.shards
+
+let length (t : 'v t) : int = sum_shards t (fun s -> Hashtbl.length s.table)
+let used_bytes (t : 'v t) : int = sum_shards t (fun s -> s.used_bytes)
+let hits (t : 'v t) : int = sum_shards t (fun s -> s.hits)
+let misses (t : 'v t) : int = sum_shards t (fun s -> s.misses)
+let evictions (t : 'v t) : int = sum_shards t (fun s -> s.evictions)

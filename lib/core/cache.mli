@@ -29,7 +29,15 @@ val key :
     value, the object-level symbol table, the resource limits, and the
     engine behavior flags.  @raise Uncacheable — see above. *)
 
-(** {1 LRU store} *)
+(** {1 LRU store}
+
+    Sharded by the first key byte with one mutex per shard, so a store
+    shared across [--jobs-mode=domains] workers serializes only
+    same-shard operations.  The shard count scales with the byte budget
+    (16 at the default budget, fewer when slicing further would leave a
+    shard too small to hold a typical entry; a test-sized budget gets a
+    single shard).  Counters and occupancy report the {e merged}
+    (summed-over-shards) view. *)
 
 type 'v t
 

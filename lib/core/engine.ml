@@ -97,11 +97,17 @@ type t = {
           paper §3 — this is the poor man's version) *)
   stats : stats;
   mutable defs_version : int;
-      (** bumped on every macro-table mutation the engine performs
-          (definition registration, rollback).  Two equal versions imply
+      (** moved on every macro-table mutation the engine performs
+          (definition registration, rollback).  Equal versions imply
           equal table contents at fragment boundaries, which is what
           lets the expansion-cache key and the memoized {!fingerprint}
-          summarize the tables by a single integer *)
+          summarize the tables by a single integer.  Versions are
+          allocated from a process-global atomic counter (see
+          {!fresh_version}) so the implication holds across {e all}
+          engines, not just within one — the precondition for sharing a
+          cache store between the per-file engines of
+          [--jobs-mode=domains].  Version [0] is reserved for the
+          pristine empty tables every fresh engine starts with *)
   mutable fp_tables_memo : (int * string) option;
       (** memoized macro-tables section of {!fingerprint}, keyed by
           [defs_version] (the dirty flag) *)
@@ -336,9 +342,22 @@ let expand_invocation (t : t) (inv : invocation) : Value.t =
       | None -> ());
       v
 
+(* Definition-table versions come from one process-global counter:
+   version 0 is the pristine empty tables (identical in every fresh
+   engine, so pristine-state expansions may be shared across engines),
+   and every mutation anywhere allocates a number no other engine has
+   ever associated with different contents.  Rollback and cache replay
+   *restore* stored versions — sound because the content a version was
+   allocated for is globally unique. *)
+let version_counter = Atomic.make 0
+let fresh_version () = 1 + Atomic.fetch_and_add version_counter 1
+
+let create_store ?budget_bytes () : cached_run Cache.t =
+  Cache.create ?budget_bytes ()
+
 let create ?(limits = Limits.default) ?(compile_patterns = true)
     ?(hygienic = false) ?(recover = false) ?(provenance = true)
-    ?(transactional = true) ?(cache = true) ?cache_bytes () : t =
+    ?(transactional = true) ?(cache = true) ?cache_bytes ?cache_store () : t =
   let gensym = Gensym.create () in
   let budget = Value.create_budget ~fuel:limits.Limits.fuel () in
   let env = Value.create_env ~gensym ~budget () in
@@ -371,8 +390,11 @@ let create ?(limits = Limits.default) ?(compile_patterns = true)
       defs_version = 0;
       fp_tables_memo = None;
       cache =
-        (if cache then Some (Cache.create ?budget_bytes:cache_bytes ())
-         else None);
+        (if not cache then None
+         else
+           match cache_store with
+           | Some store -> Some store  (* shared across engines *)
+           | None -> Some (Cache.create ?budget_bytes:cache_bytes ()));
     }
   in
   (t.env).Value.expand_invocation := (fun inv -> expand_invocation t inv);
@@ -511,7 +533,7 @@ let register_macro_def (t : t) (md : macro_def) : unit =
           "generated macro definition still has a placeholder for its name"
   in
   t.stats.macros_defined <- t.stats.macros_defined + 1;
-  t.defs_version <- t.defs_version + 1;
+  t.defs_version <- fresh_version ();
   Hashtbl.replace t.defs name md;
   Hashtbl.replace t.macros name
     { State.sig_ret = md.m_ret; sig_pattern = md.m_pattern };
@@ -868,7 +890,7 @@ let expand_source_uncached (t : t) ?deadline_ms ~source (text : string) :
       Watchdog.disarm t.watchdog;
       (* even without a rollback, the aborted parse may have registered
          signatures into the shared tables — the version must move *)
-      t.defs_version <- t.defs_version + 1;
+      t.defs_version <- fresh_version ();
       Option.iter rollback_traced cp;
       Diag.error ~loc:loc0 ~code:Diag.code_stack Diag.Resource
         "stack overflow while expanding %s (a pathologically deep program, \
@@ -876,7 +898,7 @@ let expand_source_uncached (t : t) ?deadline_ms ~source (text : string) :
         source
   | exception e ->
       Watchdog.disarm t.watchdog;
-      t.defs_version <- t.defs_version + 1;
+      t.defs_version <- fresh_version ();
       Option.iter rollback_traced cp;
       raise e
 

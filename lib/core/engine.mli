@@ -79,18 +79,30 @@ type t = {
       (** when set, every invocation expansion is logged *)
   stats : stats;
   mutable defs_version : int;
-      (** bumped on every engine-side macro-table mutation; equal
-          versions imply equal tables at fragment boundaries *)
+      (** moved on every engine-side macro-table mutation; equal
+          versions imply equal tables at fragment boundaries.  Versions
+          are allocated from a process-global atomic counter, so the
+          implication holds across all engines in the process (version
+          0 = pristine empty tables) — which is what makes a cache
+          store shared between engines sound *)
   mutable fp_tables_memo : (int * string) option;
       (** memoized macro-tables section of {!fingerprint}, keyed by
           [defs_version] *)
   cache : cached_run Cache.t option;  (** [None] = caching disabled *)
 }
 
+val create_store : ?budget_bytes:int -> unit -> cached_run Cache.t
+(** A standalone expansion-cache store, for sharing between engines
+    (the [--jobs-mode=domains] driver and the serve worker pool give
+    one store to every per-file/per-worker engine via [?cache_store]).
+    The store is domain-safe: sharded by key digest with one mutex per
+    shard, merged counters (see {!Cache}). *)
+
 val create :
   ?limits:Limits.t -> ?compile_patterns:bool -> ?hygienic:bool ->
   ?recover:bool -> ?provenance:bool -> ?transactional:bool ->
-  ?cache:bool -> ?cache_bytes:int -> unit -> t
+  ?cache:bool -> ?cache_bytes:int -> ?cache_store:cached_run Cache.t ->
+  unit -> t
 (** @param limits resource bounds (default {!Limits.default})
     @param compile_patterns compile invocation parsers at definition
     time (default true; disable for the ablation benchmark)
@@ -112,7 +124,10 @@ val create :
     under trace mode / armed failpoints are never stored or replayed
     @param cache_bytes cache byte budget (default
     {!Cache.default_budget_bytes}); least-recently-used entries are
-    evicted beyond it *)
+    evicted beyond it
+    @param cache_store an existing store to attach instead of creating
+    a private one — how engines expanding in parallel domains share
+    hits (ignored when [~cache:false]) *)
 
 (** {1 Transactional checkpoints} *)
 

@@ -135,6 +135,11 @@ let pattern_key (pat : pattern) : string =
 let compiled_pattern_memo : (string, State.compiled_pattern) Hashtbl.t =
   Hashtbl.create 64
 
+(* The memo is probed once per *pattern compilation* — macro definition
+   time, not token time — so a plain mutex covers concurrent domains.
+   Compiled closures are pure (State.t in, bindings out) and therefore
+   safe to share across domains once published. *)
+let compiled_pattern_memo_lock = Mutex.create ()
 let compiled_pattern_memo_cap = 512
 let c_pat_memo_hits = Obs.Metrics.counter "parser.pattern_memo.hits"
 let c_pat_memo_misses = Obs.Metrics.counter "parser.pattern_memo.misses"
@@ -1362,16 +1367,23 @@ and compile_continue sep p : State.t -> bool =
 
 and compile_pattern (pat : pattern) : State.compiled_pattern =
   let key = pattern_key pat in
-  match Hashtbl.find_opt compiled_pattern_memo key with
+  Mutex.lock compiled_pattern_memo_lock;
+  let cached = Hashtbl.find_opt compiled_pattern_memo key in
+  Mutex.unlock compiled_pattern_memo_lock;
+  match cached with
   | Some compiled ->
       Obs.Metrics.incr c_pat_memo_hits;
       compiled
   | None ->
       Obs.Metrics.incr c_pat_memo_misses;
       let compiled = compile_pattern_uncached pat in
-      if Hashtbl.length compiled_pattern_memo >= compiled_pattern_memo_cap
-      then Hashtbl.reset compiled_pattern_memo;
-      Hashtbl.add compiled_pattern_memo key compiled;
+      Mutex.lock compiled_pattern_memo_lock;
+      (if Hashtbl.length compiled_pattern_memo >= compiled_pattern_memo_cap
+       then Hashtbl.reset compiled_pattern_memo;
+       match Hashtbl.find_opt compiled_pattern_memo key with
+       | Some _ -> ()  (* another domain won the race; either closure works *)
+       | None -> Hashtbl.add compiled_pattern_memo key compiled);
+      Mutex.unlock compiled_pattern_memo_lock;
       compiled
 
 and compile_pattern_uncached (pat : pattern) : State.compiled_pattern =

@@ -110,10 +110,19 @@ let of_sort (sort : Sort.t) : tclass list =
    dead definition's specifiers forever. *)
 let memo_slots = 32
 
-let pspec_memo : (Ast.pspec * tclass list) option array =
-  Array.make memo_slots None
+(* The ring is probed once per token — the hottest shared-state site in
+   the parser — so under [--jobs-mode=domains] it is domain-local
+   ([Domain.DLS]) rather than locked or atomic: each domain warms its
+   own 32 slots (a few recomputations per domain) and then probes with
+   zero synchronization and no cross-core cache-line traffic. *)
+type pspec_memo = {
+  slots : (Ast.pspec * tclass list) option array;
+  mutable next : int;
+}
 
-let pspec_memo_next = ref 0
+let pspec_memo_key : pspec_memo Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { slots = Array.make memo_slots None; next = 0 })
 
 (* FIRST-set lookups feed the repetition-continuation decision once per
    token; the memo hit/miss split is the signal that tells whether the
@@ -124,16 +133,17 @@ let c_first_misses =
 
 (** FIRST set of a pattern specifier. *)
 let rec of_pspec (ps : Ast.pspec) : tclass list =
+  let memo = Domain.DLS.get pspec_memo_key in
   let rec probe i =
     if i >= memo_slots then begin
       Ms2_support.Obs.Metrics.incr c_first_misses;
       let fs = compute_pspec ps in
-      pspec_memo.(!pspec_memo_next) <- Some (ps, fs);
-      pspec_memo_next := (!pspec_memo_next + 1) mod memo_slots;
+      memo.slots.(memo.next) <- Some (ps, fs);
+      memo.next <- (memo.next + 1) mod memo_slots;
       fs
     end
     else
-      match pspec_memo.(i) with
+      match memo.slots.(i) with
       | Some (p, fs) when p == ps ->
           Ms2_support.Obs.Metrics.incr c_first_hits;
           fs

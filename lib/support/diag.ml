@@ -103,13 +103,26 @@ let to_string t = Fmt.str "%a" pp t
 (* Source texts, registered by the lexer (and anyone else who parses),
    so diagnostics can quote the offending line.  Keyed by source name;
    re-registering replaces, which is what repeated in-memory parses of
-   "<string>" want. *)
+   "<string>" want.  The registry is process-global and written by
+   every [--jobs-mode=domains] worker (once per lexed fragment), so
+   both sides take a mutex — registration and caret-render lookups are
+   per-fragment and per-diagnostic, never per-token. *)
 let sources : (string, string) Hashtbl.t = Hashtbl.create 16
+let sources_lock = Mutex.create ()
 
-let register_source name text = Hashtbl.replace sources name text
+let register_source name text =
+  Mutex.lock sources_lock;
+  Hashtbl.replace sources name text;
+  Mutex.unlock sources_lock
+
+let find_source name =
+  Mutex.lock sources_lock;
+  let r = Hashtbl.find_opt sources name in
+  Mutex.unlock sources_lock;
+  r
 
 let source_line name n =
-  match Hashtbl.find_opt sources name with
+  match find_source name with
   | None -> None
   | Some text ->
       let len = String.length text in

@@ -3,12 +3,21 @@
 type trigger =
   | Error
   | Timeout
-  | After of int ref
+  | After of int Atomic.t
 
 (* One registry per process: failpoints are a test/debug facility, and a
-   global keeps the disarmed fast path to a single ref read. *)
+   global keeps the disarmed fast path to a single atomic read.
+
+   Domain safety: [hit] runs on every domain at token granularity, so
+   the read path must not touch the mutable table.  Arming (rare; CLI
+   setup or a serve admin request) mutates [table] under [lock] and
+   publishes an immutable association-list snapshot through [view];
+   [hit] reads the snapshot — empty means disarmed, one atomic load.
+   [After] counters are atomics so concurrent hits from several domains
+   never lose a decrement. *)
 let table : (string, trigger) Hashtbl.t = Hashtbl.create 8
-let any_armed = ref false
+let lock = Mutex.create ()
+let view : (string * trigger) list Atomic.t = Atomic.make []
 
 let sites =
   [ "engine/fragment";  (* expand_source entry *)
@@ -45,7 +54,7 @@ let parse_trigger name = function
       | Some i when String.sub t 0 i = "after" -> (
           let n = String.sub t (i + 1) (String.length t - i - 1) in
           match int_of_string_opt n with
-          | Some n when n >= 0 -> Ok (Some (After (ref n)))
+          | Some n when n >= 0 -> Ok (Some (After (Atomic.make n)))
           | _ -> Result.Error (Printf.sprintf "%s: after=N needs N >= 0" name))
       | _ ->
           Result.Error
@@ -82,21 +91,24 @@ let parse_spec spec : (spec, string) result =
     (Ok []) clauses
   |> Result.map List.rev
 
-let refresh_any_armed () = any_armed := Hashtbl.length table > 0
+(* assumes [lock] held *)
+let refresh_view () =
+  Atomic.set view (Hashtbl.fold (fun k t acc -> (k, t) :: acc) table [])
+
+let under_lock f =
+  Mutex.lock lock;
+  let r = f () in
+  refresh_view ();
+  Mutex.unlock lock;
+  r
 
 let arm name trigger =
   if not (is_site name) then
     invalid_arg (Printf.sprintf "Failpoint.arm: unknown failpoint %S" name);
-  Hashtbl.replace table name trigger;
-  refresh_any_armed ()
+  under_lock (fun () -> Hashtbl.replace table name trigger)
 
-let disarm name =
-  Hashtbl.remove table name;
-  refresh_any_armed ()
-
-let reset () =
-  Hashtbl.reset table;
-  refresh_any_armed ()
+let disarm name = under_lock (fun () -> Hashtbl.remove table name)
+let reset () = under_lock (fun () -> Hashtbl.reset table)
 
 let arm_all spec =
   List.iter
@@ -128,15 +140,18 @@ let fire_timeout ?watchdog ~loc name =
   in
   wait ()
 
-let armed () = !any_armed
+let armed () = Atomic.get view <> []
 
 let hit ?watchdog ~loc name =
-  if !any_armed then
-    match Hashtbl.find_opt table name with
-    | None -> ()
-    | Some Error -> fire_error ~loc name
-    | Some Timeout -> fire_timeout ?watchdog ~loc name
-    | Some (After n) -> if !n <= 0 then fire_error ~loc name else decr n
+  match Atomic.get view with
+  | [] -> ()
+  | armed -> (
+      match List.assoc_opt name armed with
+      | None -> ()
+      | Some Error -> fire_error ~loc name
+      | Some Timeout -> fire_timeout ?watchdog ~loc name
+      | Some (After n) ->
+          if Atomic.fetch_and_add n (-1) <= 0 then fire_error ~loc name)
 
 (* Arm from the environment at first load, so any ms2 process can be
    fault-injected without code changes. *)

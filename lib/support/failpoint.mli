@@ -21,7 +21,9 @@
 type trigger =
   | Error
   | Timeout
-  | After of int ref  (** hits remaining before firing like [Error] *)
+  | After of int Atomic.t
+      (** hits remaining before firing like [Error]; atomic so
+          concurrent hits from several domains never lose a count *)
 
 val sites : string list
 (** The canonical registry of failpoint names woven into the pipeline.

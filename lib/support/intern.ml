@@ -15,6 +15,21 @@
       ({!Tbl}) never re-hash the characters, and equality is one pointer
       comparison.
 
+    {b Domain safety.}  The lexer probes this table once per identifier
+    token, from every domain at once under [--jobs-mode=domains], so the
+    read path must never take a lock.  The table is therefore an
+    {e immutable} open-hashing snapshot published through an [Atomic.t]:
+    a reader grabs the current snapshot with one atomic load and scans a
+    bucket of an array that, once published, is never written again.
+    Inserts take a mutex, re-check against the latest snapshot (two
+    domains racing on a new spelling must agree on one symbol — the
+    physical-equality contract depends on it), then publish a copied
+    bucket array with the new symbol consed in.  Copying is
+    O(bucket count) per insert, which sounds expensive and is not: the
+    set of distinct identifiers a compiler-shaped process sees is small
+    and front-loaded, so inserts vanish after warmup while reads run
+    forever.
+
     The table is global and append-only: symbols are never collected.
     That is the right trade for a compiler-shaped process — the set of
     distinct identifiers is bounded by the source actually seen — but it
@@ -27,17 +42,71 @@ type t = {
   uid : int;  (** dense allocation order, for cheap total ordering *)
 }
 
-let table : (string, t) Hashtbl.t = Hashtbl.create 1024
-let count = ref 0
+(* One published generation of the table.  [buckets] is frozen at
+   publication: lock-free readers scan it with no fence beyond the
+   initial [Atomic.get]. *)
+type table = {
+  buckets : t list array;
+  mask : int;  (** [Array.length buckets - 1]; length is a power of two *)
+  size : int;  (** symbols interned; doubles as the next [uid] *)
+}
+
+let empty_table bits =
+  let len = 1 lsl bits in
+  { buckets = Array.make len []; mask = len - 1; size = 0 }
+
+let state : table Atomic.t = Atomic.make (empty_table 10)
+let write_lock = Mutex.create ()
+
+let find_in (tbl : table) (s : string) (h : int) : t option =
+  let rec scan = function
+    | [] -> None
+    | sym :: rest ->
+        if sym.hash = h && String.equal sym.str s then Some sym
+        else scan rest
+  in
+  scan tbl.buckets.(h land tbl.mask)
+
+(* Under [write_lock]: publish a new generation containing [sym]. *)
+let publish_with (tbl : table) (sym : t) : unit =
+  let need_grow = tbl.size + 1 > (tbl.mask + 1) * 3 / 4 in
+  let next =
+    if need_grow then begin
+      let len = (tbl.mask + 1) * 2 in
+      let buckets = Array.make len [] and mask = len - 1 in
+      Array.iter
+        (List.iter (fun s -> buckets.(s.hash land mask) <- s :: buckets.(s.hash land mask)))
+        tbl.buckets;
+      { buckets; mask; size = tbl.size }
+    end
+    else
+      { tbl with buckets = Array.copy tbl.buckets }
+  in
+  let slot = sym.hash land next.mask in
+  next.buckets.(slot) <- sym :: next.buckets.(slot);
+  Atomic.set state { next with size = next.size + 1 }
 
 let intern (s : string) : t =
-  match Hashtbl.find_opt table s with
+  let h = Hashtbl.hash s in
+  match find_in (Atomic.get state) s h with
   | Some sym -> sym
-  | None ->
-      let sym = { str = s; hash = Hashtbl.hash s; uid = !count } in
-      incr count;
-      Hashtbl.replace table s sym;
-      sym
+  | None -> (
+      Mutex.lock write_lock;
+      (* Re-check against the latest generation: another domain may
+         have interned [s] between our read and the lock. *)
+      let tbl = Atomic.get state in
+      match find_in tbl s h with
+      | Some sym ->
+          Mutex.unlock write_lock;
+          sym
+      | None ->
+          let sym = { str = s; hash = h; uid = tbl.size } in
+          publish_with tbl sym;
+          Mutex.unlock write_lock;
+          sym
+      | exception e ->
+          Mutex.unlock write_lock;
+          raise e)
 
 (** The canonical copy of [s]: spelling-equal strings map to one shared
     allocation, so later [String.equal]s on canonical strings hit their
@@ -52,7 +121,7 @@ let hash (sym : t) : int = sym.hash
 let compare (a : t) (b : t) : int = Int.compare a.uid b.uid
 
 (** Number of distinct spellings interned so far (process-wide). *)
-let interned () : int = !count
+let interned () : int = (Atomic.get state).size
 
 (** Hashtables keyed by interned symbols: hashing reads the cached
     field, equality is physical. *)

@@ -9,7 +9,26 @@
     clock is [Unix.gettimeofday]: the same clock the watchdog polls,
     wall-valid across [fork], precise to the microsecond — a
     dedicated monotonic source would need a C stub this repo does not
-    carry. *)
+    carry.
+
+    {b Domain safety} (see DESIGN.md, "Domain-safety invariants").
+    Three different strategies, one per sink, each picked for its
+    hot-path cost:
+
+    - the {e recorder} is domain-local ([Domain.DLS]): each domain owns
+      its flag and event buffer, so recording in a [--jobs-mode=domains]
+      worker needs no synchronization at all and per-file event batches
+      never interleave.  The disabled guard is one DLS load and one
+      field test.
+    - {e counters} are [Atomic.t] ints: increments from every domain
+      race benignly via [fetch_and_add]; the registry tables behind
+      find-or-create, gauges, histograms, snapshots and rendering share
+      one mutex (registry mutation is setup/exit-path work, never
+      per-token).
+    - the {e profiler}'s frame stack is domain-local (frames of
+      different domains are unrelated activations); the aggregate table
+      takes the same mutex as the registry on [exit], which runs once
+      per macro invocation, not per token. *)
 
 type value = Int of int | Float of float | Str of string | Bool of bool
 type payload = (string * value) list
@@ -26,37 +45,46 @@ type event = {
 let now_us () = Unix.gettimeofday () *. 1e6
 
 (* ------------------------------------------------------------------ *)
-(* Recorder                                                            *)
+(* Recorder (domain-local)                                             *)
 (* ------------------------------------------------------------------ *)
 
-let recording_on = ref false
-let recorded : event list ref = ref []  (* newest first *)
+type rec_state = {
+  mutable r_on : bool;
+  mutable r_events : event list;  (* newest first *)
+}
 
-let recording () = !recording_on
-let start_recording () = recording_on := true
+let rec_key : rec_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { r_on = false; r_events = [] })
+
+let rstate () = Domain.DLS.get rec_key
+
+let recording () = (rstate ()).r_on
+let start_recording () = (rstate ()).r_on <- true
 
 let stop_recording () =
-  recording_on := false;
-  let evs = List.rev !recorded in
-  recorded := [];
+  let rs = rstate () in
+  rs.r_on <- false;
+  let evs = List.rev rs.r_events in
+  rs.r_events <- [];
   evs
 
-let events () = List.rev !recorded
+let events () = List.rev (rstate ()).r_events
 
 let no_args () = []
 
 let with_span ~cat ?(args = no_args) name f =
-  if not !recording_on then f ()
+  let rs = rstate () in
+  if not rs.r_on then f ()
   else begin
     let t0 = now_us () in
     let finish () =
       (* a span survives the flag flipping mid-run (stop_recording in a
          nested scope): record iff still on *)
-      if !recording_on then
-        recorded :=
+      if rs.r_on then
+        rs.r_events <-
           { ev_name = name; ev_cat = cat; ev_ph = 'X'; ev_ts_us = t0;
             ev_dur_us = now_us () -. t0; ev_args = args () }
-          :: !recorded
+          :: rs.r_events
     in
     match f () with
     | v ->
@@ -68,11 +96,12 @@ let with_span ~cat ?(args = no_args) name f =
   end
 
 let instant ~cat ?(args = no_args) name =
-  if !recording_on then
-    recorded :=
+  let rs = rstate () in
+  if rs.r_on then
+    rs.r_events <-
       { ev_name = name; ev_cat = cat; ev_ph = 'i'; ev_ts_us = now_us ();
         ev_dur_us = 0.; ev_args = args () }
-      :: !recorded
+      :: rs.r_events
 
 (* ------------------------------------------------------------------ *)
 (* JSON helpers (no JSON library in the image: hand-rolled, stable     *)
@@ -160,8 +189,23 @@ let chrome_trace (procs : (string * event list) list) : string =
 (* Metrics registry                                                    *)
 (* ------------------------------------------------------------------ *)
 
+(* One mutex covers every registry structure (counter/histogram tables,
+   gauges, profiler aggregates).  Counter *increments* bypass it via
+   atomics; everything else is setup- or exit-path work. *)
+let registry_mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_mutex;
+  match f () with
+  | v ->
+      Mutex.unlock registry_mutex;
+      v
+  | exception e ->
+      Mutex.unlock registry_mutex;
+      raise e
+
 module Metrics = struct
-  type counter = { c_name : string; mutable c_v : int }
+  type counter = { c_name : string; c_v : int Atomic.t }
 
   (* An implicit +Inf bucket follows the last bound. *)
   let bucket_bounds = [| 1.; 10.; 100.; 1e3; 1e4; 1e5; 1e6; 1e7 |]
@@ -177,20 +221,23 @@ module Metrics = struct
   let gauges : (string, float) Hashtbl.t = Hashtbl.create 16
   let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
-  let counter name =
+  (* assumes [registry_mutex] held *)
+  let counter_locked name =
     match Hashtbl.find_opt counters name with
     | Some c -> c
     | None ->
-        let c = { c_name = name; c_v = 0 } in
+        let c = { c_name = name; c_v = Atomic.make 0 } in
         Hashtbl.replace counters name c;
         c
 
-  let incr ?(by = 1) c = c.c_v <- c.c_v + by
-  let set c v = c.c_v <- v
-  let value c = c.c_v
-  let gauge name v = Hashtbl.replace gauges name v
+  let counter name = locked (fun () -> counter_locked name)
+  let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.c_v by)
+  let set c v = Atomic.set c.c_v v
+  let value c = Atomic.get c.c_v
+  let gauge name v = locked (fun () -> Hashtbl.replace gauges name v)
 
-  let histogram name =
+  (* assumes [registry_mutex] held *)
+  let histogram_locked name =
     match Hashtbl.find_opt histograms name with
     | Some h -> h
     | None ->
@@ -201,13 +248,18 @@ module Metrics = struct
         Hashtbl.replace histograms name h;
         h
 
+  let histogram name = locked (fun () -> histogram_locked name)
+
   let observe h x =
-    h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum +. x;
-    let n = Array.length bucket_bounds in
-    let rec slot i = if i >= n || x <= bucket_bounds.(i) then i else slot (i + 1) in
-    let i = slot 0 in
-    h.h_buckets.(i) <- h.h_buckets.(i) + 1
+    locked (fun () ->
+        h.h_count <- h.h_count + 1;
+        h.h_sum <- h.h_sum +. x;
+        let n = Array.length bucket_bounds in
+        let rec slot i =
+          if i >= n || x <= bucket_bounds.(i) then i else slot (i + 1)
+        in
+        let i = slot 0 in
+        h.h_buckets.(i) <- h.h_buckets.(i) + 1)
 
   type snapshot = {
     sn_counters : (string * int) list;
@@ -217,88 +269,98 @@ module Metrics = struct
   }
 
   let snapshot () : snapshot =
-    {
-      sn_counters =
-        Hashtbl.fold (fun k c acc -> (k, c.c_v) :: acc) counters [];
-      sn_gauges = Hashtbl.fold (fun k v acc -> (k, v) :: acc) gauges [];
-      sn_hists =
-        Hashtbl.fold
-          (fun k h acc ->
-            (k, h.h_count, h.h_sum, Array.copy h.h_buckets) :: acc)
-          histograms [];
-    }
+    locked (fun () ->
+        {
+          sn_counters =
+            Hashtbl.fold
+              (fun k c acc -> (k, Atomic.get c.c_v) :: acc)
+              counters [];
+          sn_gauges = Hashtbl.fold (fun k v acc -> (k, v) :: acc) gauges [];
+          sn_hists =
+            Hashtbl.fold
+              (fun k h acc ->
+                (k, h.h_count, h.h_sum, Array.copy h.h_buckets) :: acc)
+              histograms [];
+        })
 
   let absorb (s : snapshot) : unit =
-    List.iter (fun (k, v) -> incr ~by:v (counter k)) s.sn_counters;
-    List.iter
-      (fun (k, v) ->
-        match Hashtbl.find_opt gauges k with
-        | Some v0 when v0 >= v -> ()
-        | _ -> Hashtbl.replace gauges k v)
-      s.sn_gauges;
-    List.iter
-      (fun (k, count, sum, buckets) ->
-        let h = histogram k in
-        h.h_count <- h.h_count + count;
-        h.h_sum <- h.h_sum +. sum;
-        Array.iteri
-          (fun i n -> h.h_buckets.(i) <- h.h_buckets.(i) + n)
-          buckets)
-      s.sn_hists
+    locked (fun () ->
+        List.iter
+          (fun (k, v) ->
+            let c = counter_locked k in
+            ignore (Atomic.fetch_and_add c.c_v v))
+          s.sn_counters;
+        List.iter
+          (fun (k, v) ->
+            match Hashtbl.find_opt gauges k with
+            | Some v0 when v0 >= v -> ()
+            | _ -> Hashtbl.replace gauges k v)
+          s.sn_gauges;
+        List.iter
+          (fun (k, count, sum, buckets) ->
+            let h = histogram_locked k in
+            h.h_count <- h.h_count + count;
+            h.h_sum <- h.h_sum +. sum;
+            Array.iteri
+              (fun i n -> h.h_buckets.(i) <- h.h_buckets.(i) + n)
+              buckets)
+          s.sn_hists)
 
   let sorted_keys tbl =
     Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
 
   let to_json () : string =
-    let b = Buffer.create 1024 in
-    Buffer.add_string b "{\n  \"schema\": \"ms2-metrics-1\",\n";
-    let obj name keys render =
-      Buffer.add_string b (Printf.sprintf "  \"%s\": {" name);
-      List.iteri
-        (fun i k ->
-          Buffer.add_string b (if i = 0 then "\n" else ",\n");
-          Buffer.add_string b
-            (Printf.sprintf "    \"%s\": %s" (json_escape k) (render k)))
-        keys;
-      if keys <> [] then Buffer.add_string b "\n  ";
-      Buffer.add_string b "}"
-    in
-    obj "counters" (sorted_keys counters) (fun k ->
-        string_of_int (Hashtbl.find counters k).c_v);
-    Buffer.add_string b ",\n";
-    obj "gauges" (sorted_keys gauges) (fun k ->
-        json_float (Hashtbl.find gauges k));
-    Buffer.add_string b ",\n";
-    obj "histograms" (sorted_keys histograms) (fun k ->
-        let h = Hashtbl.find histograms k in
-        let cumulative = ref 0 in
-        let buckets =
-          List.mapi
-            (fun i n ->
-              cumulative := !cumulative + n;
-              let le =
-                if i < Array.length bucket_bounds then
-                  json_float bucket_bounds.(i)
-                else "\"+Inf\""
-              in
-              Printf.sprintf "{\"le\": %s, \"count\": %d}" le !cumulative)
-            (Array.to_list h.h_buckets)
+    locked (fun () ->
+        let b = Buffer.create 1024 in
+        Buffer.add_string b "{\n  \"schema\": \"ms2-metrics-1\",\n";
+        let obj name keys render =
+          Buffer.add_string b (Printf.sprintf "  \"%s\": {" name);
+          List.iteri
+            (fun i k ->
+              Buffer.add_string b (if i = 0 then "\n" else ",\n");
+              Buffer.add_string b
+                (Printf.sprintf "    \"%s\": %s" (json_escape k) (render k)))
+            keys;
+          if keys <> [] then Buffer.add_string b "\n  ";
+          Buffer.add_string b "}"
         in
-        Printf.sprintf "{\"count\": %d, \"sum\": %s, \"buckets\": [%s]}"
-          h.h_count (json_float h.h_sum)
-          (String.concat ", " buckets));
-    Buffer.add_string b "\n}\n";
-    Buffer.contents b
+        obj "counters" (sorted_keys counters) (fun k ->
+            string_of_int (Atomic.get (Hashtbl.find counters k).c_v));
+        Buffer.add_string b ",\n";
+        obj "gauges" (sorted_keys gauges) (fun k ->
+            json_float (Hashtbl.find gauges k));
+        Buffer.add_string b ",\n";
+        obj "histograms" (sorted_keys histograms) (fun k ->
+            let h = Hashtbl.find histograms k in
+            let cumulative = ref 0 in
+            let buckets =
+              List.mapi
+                (fun i n ->
+                  cumulative := !cumulative + n;
+                  let le =
+                    if i < Array.length bucket_bounds then
+                      json_float bucket_bounds.(i)
+                    else "\"+Inf\""
+                  in
+                  Printf.sprintf "{\"le\": %s, \"count\": %d}" le !cumulative)
+                (Array.to_list h.h_buckets)
+            in
+            Printf.sprintf "{\"count\": %d, \"sum\": %s, \"buckets\": [%s]}"
+              h.h_count (json_float h.h_sum)
+              (String.concat ", " buckets));
+        Buffer.add_string b "\n}\n";
+        Buffer.contents b)
 
   let reset () =
-    Hashtbl.iter (fun _ c -> c.c_v <- 0) counters;
-    Hashtbl.reset gauges;
-    Hashtbl.iter
-      (fun _ h ->
-        h.h_count <- 0;
-        h.h_sum <- 0.;
-        Array.fill h.h_buckets 0 (Array.length h.h_buckets) 0)
-      histograms
+    locked (fun () ->
+        Hashtbl.iter (fun _ c -> Atomic.set c.c_v 0) counters;
+        Hashtbl.reset gauges;
+        Hashtbl.iter
+          (fun _ h ->
+            h.h_count <- 0;
+            h.h_sum <- 0.;
+            Array.fill h.h_buckets 0 (Array.length h.h_buckets) 0)
+          histograms)
 end
 
 (* ------------------------------------------------------------------ *)
@@ -306,11 +368,11 @@ end
 (* ------------------------------------------------------------------ *)
 
 module Profile = struct
-  let on = ref false
+  let on = Atomic.make false
 
-  let enabled () = !on
-  let enable () = on := true
-  let disable () = on := false
+  let enabled () = Atomic.get on
+  let enable () = Atomic.set on true
+  let disable () = Atomic.set on false
 
   type agg = {
     mutable a_count : int;
@@ -324,6 +386,7 @@ module Profile = struct
 
   let aggs : (string, agg) Hashtbl.t = Hashtbl.create 32
 
+  (* assumes [registry_mutex] held *)
   let agg_of name =
     match Hashtbl.find_opt aggs name with
     | Some a -> a
@@ -342,13 +405,18 @@ module Profile = struct
     mutable f_child_us : float;
   }
 
-  let stack : frame list ref = ref []
+  (* Activation stacks are per-domain: an invocation opened on one
+     domain closes on the same domain, and frames of different domains
+     are unrelated activations. *)
+  let stack_key : frame list ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref [])
 
   let enter ?(depth = 0) name : frame =
     (* the frame stack only sees invocations that are *live* at once
        (meta-code calling macros); re-expansion of produced code nests
        logically but runs after the producer's frame closed, so callers
        pass the [Loc.origin]-derived depth and we keep the larger *)
+    let stack = Domain.DLS.get stack_key in
     let f =
       { f_name = name; f_t0 = now_us ();
         f_depth = Stdlib.max depth (List.length !stack + 1);
@@ -358,6 +426,7 @@ module Profile = struct
     f
 
   let exit (f : frame) ~fuel ~nodes : unit =
+    let stack = Domain.DLS.get stack_key in
     let dur = now_us () -. f.f_t0 in
     (* unwind to this frame: an exception may have skipped the exits of
        deeper frames whose owners had no chance to run their finalizers
@@ -373,22 +442,27 @@ module Profile = struct
     (match !stack with
     | parent :: _ -> parent.f_child_us <- parent.f_child_us +. dur
     | [] -> ());
-    let a = agg_of f.f_name in
-    a.a_count <- a.a_count + 1;
-    a.a_total_us <- a.a_total_us +. dur;
-    a.a_self_us <- a.a_self_us +. Float.max 0. (dur -. f.f_child_us);
-    a.a_fuel <- a.a_fuel + fuel;
-    a.a_nodes <- a.a_nodes + nodes;
-    if f.f_depth > a.a_max_depth then a.a_max_depth <- f.f_depth
+    locked (fun () ->
+        let a = agg_of f.f_name in
+        a.a_count <- a.a_count + 1;
+        a.a_total_us <- a.a_total_us +. dur;
+        a.a_self_us <- a.a_self_us +. Float.max 0. (dur -. f.f_child_us);
+        a.a_fuel <- a.a_fuel + fuel;
+        a.a_nodes <- a.a_nodes + nodes;
+        if f.f_depth > a.a_max_depth then a.a_max_depth <- f.f_depth)
 
-  let credit_cached name n = (agg_of name).a_cached <- (agg_of name).a_cached + n
+  let credit_cached name n =
+    locked (fun () ->
+        let a = agg_of name in
+        a.a_cached <- a.a_cached + n)
 
   let counts () =
-    Hashtbl.fold (fun k a acc -> (k, a.a_count) :: acc) aggs []
+    locked (fun () ->
+        Hashtbl.fold (fun k a acc -> (k, a.a_count) :: acc) aggs [])
 
   let reset () =
-    Hashtbl.reset aggs;
-    stack := []
+    locked (fun () -> Hashtbl.reset aggs);
+    Domain.DLS.get stack_key := []
 
   type row = {
     pr_macro : string;
@@ -402,14 +476,15 @@ module Profile = struct
   }
 
   let report () : row list =
-    Hashtbl.fold
-      (fun name a acc ->
-        { pr_macro = name; pr_count = a.a_count; pr_cached = a.a_cached;
-          pr_self_us = a.a_self_us; pr_total_us = a.a_total_us;
-          pr_fuel = a.a_fuel; pr_nodes = a.a_nodes;
-          pr_max_depth = a.a_max_depth }
-        :: acc)
-      aggs []
+    locked (fun () ->
+        Hashtbl.fold
+          (fun name a acc ->
+            { pr_macro = name; pr_count = a.a_count; pr_cached = a.a_cached;
+              pr_self_us = a.a_self_us; pr_total_us = a.a_total_us;
+              pr_fuel = a.a_fuel; pr_nodes = a.a_nodes;
+              pr_max_depth = a.a_max_depth }
+            :: acc)
+          aggs [])
     |> List.sort (fun a b ->
            match compare b.pr_self_us a.pr_self_us with
            | 0 -> compare a.pr_macro b.pr_macro

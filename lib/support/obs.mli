@@ -26,7 +26,15 @@
 
     Forked workers inherit the process-global state; each worker
     records into its own copy and ships events/snapshots back over its
-    result pipe. *)
+    result pipe.
+
+    {b Domain safety.}  The span recorder is {e domain-local}
+    ([Domain.DLS]): each domain records into its own buffer under its
+    own flag, so [--jobs-mode=domains] workers batch per-file events
+    with no synchronization and no interleaving.  Metrics counters are
+    atomics (increments from any domain), and the registry tables,
+    gauges, histograms and profiler aggregates share one mutex — see
+    DESIGN.md, "Domain-safety invariants". *)
 
 (** {1 Structured payloads} *)
 

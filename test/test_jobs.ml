@@ -152,12 +152,45 @@ let diagnostics_in_input_order () =
           | _ -> Alcotest.fail "expected diagnostic missing from stderr")
         [ (1, 3); (3, 4) ])
 
-let jobs_zero_usage_error () =
+let jobs_zero_resolves_auto () =
+  with_files [ good_file 1; good_file 2 ] (fun files ->
+      let args = String.concat " " files in
+      let c1, seq, _ = run_cli (Printf.sprintf "expand --jobs 1 %s" args) in
+      let c0, auto0, _ = run_cli (Printf.sprintf "expand --jobs 0 %s" args) in
+      let ca, autoa, _ =
+        run_cli (Printf.sprintf "expand --jobs auto %s" args)
+      in
+      Alcotest.(check int) "--jobs 1 exits 0" 0 c1;
+      Alcotest.(check int) "--jobs 0 resolves and exits 0" 0 c0;
+      Alcotest.(check int) "--jobs auto resolves and exits 0" 0 ca;
+      Alcotest.(check string) "--jobs 0 output matches --jobs 1" seq auto0;
+      Alcotest.(check string) "--jobs auto output matches --jobs 1" seq autoa)
+
+let jobs_negative_usage_error () =
   with_files [ good_file 1 ] (fun files ->
       let code, _, _ =
-        run_cli (Printf.sprintf "expand --jobs 0 %s" (List.hd files))
+        run_cli (Printf.sprintf "expand --jobs -1 %s" (List.hd files))
       in
-      Alcotest.(check int) "--jobs 0 is a usage error" 124 code)
+      Alcotest.(check int) "--jobs -1 is a usage error" 124 code;
+      let code', _, _ =
+        run_cli
+          (Printf.sprintf "expand --jobs-mode=threads %s" (List.hd files))
+      in
+      Alcotest.(check int) "unknown --jobs-mode is a usage error" 124 code')
+
+let fork_mode_matches_domains () =
+  with_files [ good_file 1; good_file 2; good_file 3 ] (fun files ->
+      let args = String.concat " " files in
+      let cd, dom, ed =
+        run_cli (Printf.sprintf "expand --jobs 3 --jobs-mode=domains %s" args)
+      in
+      let cf, frk, ef =
+        run_cli (Printf.sprintf "expand --jobs 3 --jobs-mode=fork %s" args)
+      in
+      Alcotest.(check int) "domains exit 0" 0 cd;
+      Alcotest.(check int) "fork exit 0" 0 cf;
+      Alcotest.(check string) "fork output = domains output" dom frk;
+      Alcotest.(check string) "fork stderr = domains stderr" ed ef)
 
 (* ------------------------------------------------------------------ *)
 (* Ablation                                                            *)
@@ -206,8 +239,12 @@ let () =
             keep_going_exit_3_salvages;
           Alcotest.test_case "diagnostics in input order" `Quick
             diagnostics_in_input_order;
-          Alcotest.test_case "--jobs 0 usage error" `Quick
-            jobs_zero_usage_error;
+          Alcotest.test_case "--jobs 0/auto resolves" `Quick
+            jobs_zero_resolves_auto;
+          Alcotest.test_case "--jobs -1 usage error" `Quick
+            jobs_negative_usage_error;
+          Alcotest.test_case "--jobs-mode=fork parity" `Quick
+            fork_mode_matches_domains;
         ] );
       ( "ablation",
         [

@@ -146,7 +146,7 @@ let after_trigger_counts () =
   prime engine;
   (* after=1 lets the [driver] invocation through and fires on the
      second invocation ([primed]) *)
-  Failpoint.arm "engine/invoke" (Failpoint.After (ref 1));
+  Failpoint.arm "engine/invoke" (Failpoint.After (Atomic.make 1));
   let result =
     Fun.protect ~finally:Failpoint.reset (fun () ->
         Ms2.Api.expand_diag ~engine ~source:"driver.mc" driver_src)
@@ -178,7 +178,7 @@ let spec_grammar () =
   | [ ("interp/step", None) ] -> ()
   | _ -> Alcotest.fail "off parses to a disarm clause");
   (match ok "parser/token=after=0" with
-  | [ ("parser/token", Some (Failpoint.After { contents = 0 })) ] -> ()
+  | [ ("parser/token", Some (Failpoint.After n)) ] when Atomic.get n = 0 -> ()
   | _ -> Alcotest.fail "after=0 parses");
   (* semicolons work as separators (shell-friendly) *)
   Alcotest.(check int) "semicolon separator" 2
