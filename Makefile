@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test faults txn-sweep serve-sweep bench bench-fuel \
-        bench-provenance bench-txn bench-perf bench-obs bench-serve \
-        figures examples expand clean
+.PHONY: all build test faults txn-sweep serve-sweep recovery-sweep \
+        bench bench-fuel bench-provenance bench-txn bench-perf bench-obs \
+        bench-serve figures examples expand clean
 
 all: build
 
@@ -26,6 +26,13 @@ txn-sweep:
 serve-sweep:
 	dune build bin/ms2c.exe
 	dune exec test/test_serve.exe
+
+# crash-safe persistence end to end: snapshot corruption goldens, the
+# kill -9 + --resume byte-identity test, the persistence failpoint
+# sweep, and warm daemon restarts
+recovery-sweep:
+	dune build bin/ms2c.exe
+	dune exec test/test_recovery.exe
 
 # regenerate the paper's figures and all timing tables
 bench:

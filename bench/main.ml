@@ -960,12 +960,14 @@ let run_serve () =
   done;
   let cold_wall = Unix.gettimeofday () -. cold_t0 in
   (* --- daemon: one ms2c serve over stdio, lockstep passes ----------- *)
-  let from_d, to_d =
+  let snap = Filename.concat dir "snap.bin" in
+  let start_daemon extra =
     Unix.open_process
-      (Printf.sprintf "%s serve --prelude-file %s" ms2c (Filename.quote defs))
+      (Printf.sprintf "%s serve --prelude-file %s%s" ms2c
+         (Filename.quote defs) extra)
   in
   let next_id = ref 0 in
-  let rpc fields =
+  let rpc (from_d, to_d) fields =
     incr next_id;
     output_string to_d
       (Json.to_string (Json.Obj (("id", Json.Int !next_id) :: fields)));
@@ -975,14 +977,14 @@ let run_serve () =
     | Ok v -> v
     | Error e -> failwith ("serve bench: unparseable response: " ^ e)
   in
-  let run_pass () =
+  let run_pass ch =
     let lats = ref [] and hits = ref 0 and misses = ref 0 in
     let t0 = Unix.gettimeofday () in
     List.iter
       (fun (name, text) ->
         let t1 = Unix.gettimeofday () in
         let resp =
-          rpc
+          rpc ch
             [ ("method", Json.Str "expand");
               ("session", Json.Str "bench");
               ("source", Json.Str name);
@@ -1005,10 +1007,28 @@ let run_serve () =
       uses;
     (!lats, Unix.gettimeofday () -. t0, !hits, !misses)
   in
-  let passes = List.init 3 (fun _ -> run_pass ()) in
-  ignore (rpc [ ("method", Json.Str "shutdown") ]);
-  ignore (Unix.close_process (from_d, to_d));
+  let d0 = start_daemon (" --cache-file " ^ Filename.quote snap) in
+  let passes = List.init 3 (fun _ -> run_pass d0) in
+  ignore (rpc d0 [ ("method", Json.Str "shutdown") ]);
+  ignore (Unix.close_process d0);
+  (* --- restart: same daemon, back up from the drain-time snapshot vs
+     from nothing.  One pass each: the warm restart's prelude replay and
+     store contents turn the pass into cache hits; the cold restart
+     re-expands everything, exactly what a crash without persistence
+     costs. --- *)
+  let restart_pass extra =
+    let d = start_daemon extra in
+    let result = run_pass d in
+    ignore (rpc d [ ("method", Json.Str "shutdown") ]);
+    ignore (Unix.close_process d);
+    result
+  in
+  let rw_lats, _, rw_hits, _ =
+    restart_pass (" --cache-file " ^ Filename.quote snap)
+  in
+  let rc_lats, _, rc_hits, _ = restart_pass "" in
   List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) cold_paths;
+  (try Sys.remove snap with Sys_error _ -> ());
   (try Sys.remove defs with Sys_error _ -> ());
   (try Unix.rmdir dir with Unix.Unix_error _ -> ());
   (* --- report ------------------------------------------------------- *)
@@ -1035,6 +1055,18 @@ let run_serve () =
   let w50, w99, wmean = latency_stats w_lats in
   let speedup = if w50 > 0. then c50 /. w50 else 0. in
   Printf.printf "  warm-vs-cold p50 speedup: %.1fx\n" speedup;
+  let rw50, _, _ = latency_stats rw_lats in
+  let rc50, _, _ = latency_stats rc_lats in
+  Printf.printf
+    "  restart warm (snapshot)     %3d req   p50 %7.2f ms   (%d hits)\n"
+    (List.length rw_lats) rw50 rw_hits;
+  Printf.printf
+    "  restart cold (no snapshot)  %3d req   p50 %7.2f ms   (%d hits)\n"
+    (List.length rc_lats) rc50 rc_hits;
+  if rw_hits = 0 then
+    Printf.printf
+      "  WARNING: no cache hits on the warm restart (snapshot expected \
+       to replay)\n";
   if w_hits = 0 then
     Printf.printf
       "  WARNING: no cache hits on the final daemon pass (expected hits)\n";
@@ -1068,6 +1100,10 @@ let run_serve () =
     (List.length w_lats) w50 w99 wmean
     (req_s (List.length w_lats) w_wall)
     w_hits w_misses;
+  Printf.fprintf oc
+    "  \"restart_warm_p50\": %.2f,\n  \"restart_cold_p50\": %.2f,\n  \
+     \"restart_warm_hits\": %d,\n  \"restart_cold_hits\": %d,\n"
+    rw50 rc50 rw_hits rc_hits;
   Printf.fprintf oc "  \"warm_vs_cold_speedup_p50\": %.2f\n}\n" speedup;
   close_tracker "BENCH_SERVE.json" oc;
   Printf.printf "\n  (written to BENCH_SERVE.json)\n"

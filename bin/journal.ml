@@ -1,0 +1,226 @@
+(** The batch journal: one fsynced line-JSON record per completed input
+    file, so [ms2c --resume] can replay a killed batch's finished work
+    and re-expand only what was in flight.
+
+    Each line is a JSON object with a fixed field set:
+
+    {v
+    {"file":..., "input":..., "flags":..., "status":..., "output":...,
+     "payload":..., "crc":...}
+    v}
+
+    [input] and [flags] are hex digests of the input text and of the
+    output-affecting driver flags — together they decide whether a
+    journaled result is still valid for a file on resume.  [output] is
+    the digest of the produced output bytes (for audits), [status] is
+    ["ok"] or ["fatal"], and [payload] carries the driver's whole
+    per-file worker result (marshalled, base64) so a replayed file
+    reassembles byte-identical output {e and} diagnostics without
+    re-expanding.  [crc] is the MD5 of the record serialized without
+    the crc field, in the writer's canonical field order — a reader
+    re-derives it the same way, so any torn or bit-flipped line is
+    detected and skipped with a warning, never trusted.
+
+    Appends are a single [write] on an [O_APPEND] descriptor followed
+    by [fsync]: crash-durable the moment the call returns, and safe
+    from forked workers sharing the inherited descriptor (each record
+    is one small write).  Domain workers serialize through a mutex. *)
+
+module Json = Ms2_support.Json
+module Obs = Ms2_support.Obs
+module Failpoint = Ms2_support.Failpoint
+module Diag = Ms2_support.Diag
+module Loc = Ms2_support.Loc
+
+type record = {
+  jr_file : string;  (** input path as given on the command line *)
+  jr_input : string;  (** hex digest of the input text *)
+  jr_flags : string;  (** hex digest of the output-affecting flags *)
+  jr_status : string;  (** ["ok"] or ["fatal"] *)
+  jr_output : string;  (** hex digest of the produced output bytes *)
+  jr_payload : string;  (** base64-marshalled worker result *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Base64 (standard alphabet, padded) — tiny and dependency-free       *)
+(* ------------------------------------------------------------------ *)
+
+let b64_alphabet =
+  "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let b64_encode (s : string) : string =
+  let n = String.length s in
+  let out = Buffer.create ((n + 2) / 3 * 4) in
+  let byte i = Char.code s.[i] in
+  let emit v = Buffer.add_char out b64_alphabet.[v land 63] in
+  let i = ref 0 in
+  while !i + 2 < n do
+    let w = (byte !i lsl 16) lor (byte (!i + 1) lsl 8) lor byte (!i + 2) in
+    emit (w lsr 18);
+    emit (w lsr 12);
+    emit (w lsr 6);
+    emit w;
+    i := !i + 3
+  done;
+  (match n - !i with
+  | 1 ->
+      let w = byte !i lsl 16 in
+      emit (w lsr 18);
+      emit (w lsr 12);
+      Buffer.add_string out "=="
+  | 2 ->
+      let w = (byte !i lsl 16) lor (byte (!i + 1) lsl 8) in
+      emit (w lsr 18);
+      emit (w lsr 12);
+      emit (w lsr 6);
+      Buffer.add_char out '='
+  | _ -> ());
+  Buffer.contents out
+
+let b64_value =
+  let t = Array.make 256 (-1) in
+  String.iteri (fun i c -> t.(Char.code c) <- i) b64_alphabet;
+  fun c -> t.(Char.code c)
+
+let b64_decode (s : string) : string option =
+  let n = String.length s in
+  if n mod 4 <> 0 then None
+  else
+    let out = Buffer.create (n / 4 * 3) in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < n do
+      let pad j = s.[!i + j] = '=' in
+      let v j = b64_value s.[!i + j] in
+      if v 0 < 0 || v 1 < 0 then ok := false
+      else begin
+        let npad =
+          if pad 2 && pad 3 then 2 else if pad 3 then 1 else 0
+        in
+        let v2 = if npad = 2 then 0 else v 2 in
+        let v3 = if npad >= 1 then 0 else v 3 in
+        if v2 < 0 || v3 < 0 || (npad > 0 && !i + 4 < n) then ok := false
+        else begin
+          let w = (v 0 lsl 18) lor (v 1 lsl 12) lor (v2 lsl 6) lor v3 in
+          Buffer.add_char out (Char.chr ((w lsr 16) land 0xff));
+          if npad < 2 then Buffer.add_char out (Char.chr ((w lsr 8) land 0xff));
+          if npad < 1 then Buffer.add_char out (Char.chr (w land 0xff));
+          i := !i + 4
+        end
+      end
+    done;
+    if !ok then Some (Buffer.contents out) else None
+
+(* ------------------------------------------------------------------ *)
+(* Record encoding                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* canonical field order — the crc is over exactly this rendering *)
+let fields_of (r : record) : (string * Json.t) list =
+  [ ("file", Json.Str r.jr_file);
+    ("input", Json.Str r.jr_input);
+    ("flags", Json.Str r.jr_flags);
+    ("status", Json.Str r.jr_status);
+    ("output", Json.Str r.jr_output);
+    ("payload", Json.Str r.jr_payload) ]
+
+let crc_of (r : record) : string =
+  Digest.to_hex (Digest.string (Json.to_string (Json.Obj (fields_of r))))
+
+let encode (r : record) : string =
+  Json.to_string (Json.Obj (fields_of r @ [ ("crc", Json.Str (crc_of r)) ]))
+
+let decode (line : string) : record option =
+  match Json.parse line with
+  | Error _ -> None
+  | Ok j -> (
+      let field name = Option.bind (Json.member j name) Json.str in
+      match
+        ( field "file", field "input", field "flags", field "status",
+          field "output", field "payload", field "crc" )
+      with
+      | ( Some jr_file, Some jr_input, Some jr_flags, Some jr_status,
+          Some jr_output, Some jr_payload, Some crc ) ->
+          let r =
+            { jr_file; jr_input; jr_flags; jr_status; jr_output; jr_payload }
+          in
+          if String.equal (crc_of r) crc then Some r else None
+      | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Appending                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type writer = { fd : Unix.file_descr; lock : Mutex.t }
+
+(* [truncate] starts a fresh journal (a new batch); the default appends
+   (a resumed one).  No O_CLOEXEC: forked workers append through the
+   inherited descriptor. *)
+let open_writer ?(truncate = false) (path : string) : (writer, string) result =
+  let flags = [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] in
+  let flags = if truncate then Unix.O_TRUNC :: flags else flags in
+  match Unix.openfile path flags 0o644 with
+  | fd -> Ok { fd; lock = Mutex.create () }
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+
+let close_writer (w : writer) : unit =
+  try Unix.close w.fd with Unix.Unix_error _ -> ()
+
+(* One write + fsync per record.  The mutex serializes domain workers;
+   forked workers inherit the descriptor and rely on O_APPEND plus the
+   single small write for atomicity (their copy of the mutex is
+   private, which is fine — the kernel orders the appends). *)
+let append (w : writer) (r : record) : (unit, string) result =
+  match Failpoint.hit ~loc:Loc.dummy "journal/append" with
+  | exception Diag.Error d -> Error d.Diag.message
+  | () -> (
+      let line = encode r ^ "\n" in
+      Mutex.lock w.lock;
+      let result =
+        match
+          let n = Unix.write_substring w.fd line 0 (String.length line) in
+          if n <> String.length line then failwith "short write";
+          Unix.fsync w.fd
+        with
+        | () -> Ok ()
+        | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+        | exception Failure msg -> Error msg
+      in
+      Mutex.unlock w.lock;
+      (match result with
+      | Ok () -> Obs.Metrics.incr (Obs.Metrics.counter "journal.appends")
+      | Error _ ->
+          Obs.Metrics.incr (Obs.Metrics.counter "journal.warnings"));
+      result)
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Read every intact record, oldest first; [warnings] counts lines
+    that failed to parse or checksum (a torn final line is the normal
+    residue of a kill mid-append — it costs that one file, nothing
+    else).  A missing journal is an empty one. *)
+let load (path : string) : record list * int =
+  if not (Sys.file_exists path) then ([], 0)
+  else
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error _ -> ([], 1)
+    | raw ->
+        let warnings = ref 0 in
+        let records =
+          String.split_on_char '\n' raw
+          |> List.filter_map (fun line ->
+                 if String.trim line = "" then None
+                 else
+                   match decode line with
+                   | Some r -> Some r
+                   | None ->
+                       incr warnings;
+                       None)
+        in
+        if !warnings > 0 then
+          Obs.Metrics.incr ~by:!warnings
+            (Obs.Metrics.counter "journal.warnings");
+        (records, !warnings)

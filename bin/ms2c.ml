@@ -14,6 +14,7 @@ module Diag = Ms2_support.Diag
 module Failpoint = Ms2_support.Failpoint
 module Obs = Ms2_support.Obs
 module Pool = Ms2_support.Pool
+module Atomic_io = Ms2_support.Atomic_io
 
 (* How [--jobs N] (N > 1) parallelizes: shared-memory OCaml domains
    over one work-stealing pool (the default — shares the expansion
@@ -486,6 +487,97 @@ let sourcemap_arg =
              object per output line, giving the producing span and its \
              macro expansion stack (innermost frame first).")
 
+let journal_arg =
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE"
+       ~doc:"Crash-safe batch journal: append one fsynced line-JSON \
+             record (input digest, flags digest, output digest, status, \
+             result payload) to $(docv) as each input file completes, \
+             so a batch killed mid-run can be finished with \
+             $(b,--resume) at the cost of only the file in flight.  \
+             Forces the independent-compilation-units batch driver \
+             (each file is its own unit, as under --jobs), and is \
+             mutually exclusive with --trace.")
+
+let resume_arg =
+  Arg.(value & flag & info [ "resume" ]
+       ~doc:"Resume an interrupted batch from its $(b,--journal): files \
+             whose name, input digest and flags digest match an intact \
+             journaled record are reassembled from it without \
+             re-expansion, the rest expand normally.  Output bytes, \
+             diagnostics and exit status are identical to an \
+             uninterrupted run.  Torn or corrupt journal lines are \
+             skipped with a warning (they cost a re-expansion, never \
+             correctness).")
+
+let cache_file_arg =
+  Arg.(value & opt (some string) None & info [ "cache-file" ] ~docv:"FILE"
+       ~doc:"Durable expansion-cache snapshot: load $(docv) at startup \
+             (so the batch starts warm) and save the cache back to it \
+             after the run (atomic + fsynced, so a crash mid-save never \
+             clobbers the previous snapshot).  A truncated, bit-flipped \
+             or version-skewed snapshot degrades to a cold cache with a \
+             warning counted in --stats/--metrics — never a crash, \
+             never a wrong replay.  Ignored under --no-cache.")
+
+(* The digests that decide whether a journaled result is still valid on
+   resume: the input bytes, and every flag that can change the produced
+   output, the rendered diagnostics, or the recorded source map. *)
+let input_digest (text : string) : string = Digest.to_hex (Digest.string text)
+
+let flags_digest ~limits ~hygienic ~prelude ~keep_going ~line_directives
+    ~semantic_check ~diag_format ~want_map : string =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "%s|hyg=%b|pre=%b|kg=%b|ld=%b|sc=%b|df=%s|map=%b"
+          (Ms2_support.Limits.to_string limits)
+          hygienic prelude keep_going line_directives semantic_check
+          (match diag_format with Text -> "text" | Json -> "json")
+          want_map))
+
+(* Console reporting for the persistence layer, shared by both drivers. *)
+let warn_snapshot_load (l : Ms2.Engine.snapshot_load) =
+  match l.Ms2.Engine.ld_error with
+  | Some msg ->
+      Printf.eprintf
+        "ms2c: warning: cache snapshot ignored (cold start): %s\n%!" msg
+  | None -> ()
+
+let report_snapshot ~stats (load : Ms2.Engine.snapshot_load option)
+    (save : Ms2.Engine.snapshot_save option) =
+  if stats then begin
+    (match load with
+    | Some l ->
+        Printf.eprintf
+          "cache snapshot: loaded %d entries (%d dropped, %d warnings)\n"
+          l.Ms2.Engine.ld_entries l.Ms2.Engine.ld_dropped
+          l.Ms2.Engine.ld_warnings
+    | None -> ());
+    match save with
+    | Some s ->
+        Printf.eprintf
+          "cache snapshot: saved %d entries (%d skipped, %d bytes)\n"
+          s.Ms2.Engine.sv_entries s.Ms2.Engine.sv_skipped
+          s.Ms2.Engine.sv_bytes
+    | None -> ()
+  end
+
+(* Load a snapshot into a shared store, sweeping temp-file orphans a
+   crashed writer may have left beside it first. *)
+let load_cache_file (store : Ms2.Api.shared_cache) (path : string) :
+    Ms2.Engine.snapshot_load =
+  ignore (Atomic_io.sweep_stale (Filename.dirname path));
+  let l = Ms2.Api.load_shared_cache store path in
+  warn_snapshot_load l;
+  l
+
+let save_cache_file (store : Ms2.Api.shared_cache) (path : string) :
+    Ms2.Engine.snapshot_save option =
+  match Ms2.Api.save_shared_cache store path with
+  | Ok sv -> Some sv
+  | Error msg ->
+      Printf.eprintf "ms2c: warning: cache snapshot not saved: %s\n%!" msg;
+      None
+
 (* Expand every fragment through one (transactional) engine.  Without
    [--keep-going] the first fatal failure aborts the run (exit 1).  With
    it, each file is an isolated transaction: a fatal failure is reported
@@ -528,7 +620,8 @@ let count_newlines s =
    [--jobs 1] on self-contained files. *)
 let expand_parallel ~jobs ~jobs_mode ~limits ~keep_going ~hygienic ~prelude
     ~cache ~line_directives ~sourcemap ~semantic_check ~stats ~stats_format
-    ~trace_out ~metrics ~output ~diag_format fragments =
+    ~trace_out ~metrics ~output ~diag_format ~journal ~resume ~cache_file
+    fragments =
   let frags = Array.of_list fragments in
   let n = Array.length frags in
   let want_map = line_directives || sourcemap <> None in
@@ -536,11 +629,85 @@ let expand_parallel ~jobs ~jobs_mode ~limits ~keep_going ~hygienic ~prelude
     trace_out <> None || metrics <> None || stats_format = Stats_json
   in
   (* domains share one cache store: a fragment expanded on one domain
-     replays on every other, and hit/miss/eviction counters merge *)
+     replays on every other, and hit/miss/eviction counters merge.  A
+     --cache-file forces a store in every mode: it is what gets loaded
+     and saved (under fork the children inherit the loaded entries via
+     copy-on-write; their new entries stay private, so the save keeps
+     what was loaded — bounded staleness, never corruption). *)
   let store =
-    if jobs_mode = Mode_domains && cache then
+    if cache && (jobs_mode = Mode_domains || cache_file <> None) then
       Some (Ms2.Api.create_shared_cache ())
     else None
+  in
+  let snap_load =
+    match (cache_file, store) with
+    | Some path, Some s -> Some (load_cache_file s path)
+    | _ -> None
+  in
+  let flagsd =
+    flags_digest ~limits ~hygienic ~prelude ~keep_going ~line_directives
+      ~semantic_check ~diag_format ~want_map
+  in
+  (* resume: index the journal by (file, input digest, flags digest) —
+     the last intact record for a key wins, and its payload reassembles
+     the file's result without re-expanding.  The journal's crc already
+     vouches for the payload bytes; the output digest is re-checked
+     anyway (belt and suspenders before trusting [Marshal]). *)
+  let prefill : worker_result option array =
+    match (journal, resume) with
+    | Some path, true ->
+        let records, _warnings = Journal.load path in
+        let tbl = Hashtbl.create 64 in
+        List.iter
+          (fun r ->
+            Hashtbl.replace tbl
+              (r.Journal.jr_file, r.Journal.jr_input, r.Journal.jr_flags)
+              r)
+          records;
+        Array.map
+          (fun (source, text) ->
+            match
+              Hashtbl.find_opt tbl (source, input_digest text, flagsd)
+            with
+            | None -> None
+            | Some r -> (
+                match Journal.b64_decode r.Journal.jr_payload with
+                | None -> None
+                | Some payload -> (
+                    match (Marshal.from_string payload 0 : worker_result) with
+                    | exception _ -> None
+                    | wr ->
+                        if
+                          String.equal (input_digest wr.w_out)
+                            r.Journal.jr_output
+                        then Some wr
+                        else None)))
+          frags
+    | _ -> Array.make n None
+  in
+  let replayed =
+    Array.fold_left
+      (fun acc r -> if r = None then acc else acc + 1)
+      0 prefill
+  in
+  if resume then begin
+    Obs.Metrics.incr ~by:replayed (Obs.Metrics.counter "journal.replayed");
+    Printf.eprintf
+      "ms2c: resume: %d of %d files replayed from the journal\n%!" replayed n
+  end;
+  (* open (or start) the journal before any worker forks, so forked
+     children append through the inherited descriptor; a fresh batch
+     truncates, a resumed one appends after what it just replayed *)
+  let jwriter =
+    match journal with
+    | None -> None
+    | Some path -> (
+        ignore (Atomic_io.sweep_stale (Filename.dirname path));
+        match Journal.open_writer ~truncate:(not resume) path with
+        | Ok w -> Some w
+        | Error msg ->
+            Printf.eprintf "ms2c: cannot open journal: %s\n%!" msg;
+            exit exit_fatal)
   in
   let render_diag d =
     match diag_format with Text -> Diag.render d | Json -> Diag.to_json d
@@ -632,6 +799,41 @@ let expand_parallel ~jobs ~jobs_mode ~limits ~keep_going ~hygienic ~prelude
           w_metrics = snapshot;
         }
   in
+  (* journal wrapper: a replayed file returns its journaled result
+     untouched (and is not re-journaled); a freshly expanded one is
+     appended — payload stripped of telemetry, which is per-run — the
+     moment it completes, from whichever worker produced it *)
+  let work i =
+    match prefill.(i) with
+    | Some r -> r
+    | None -> (
+        let r = work i in
+        match jwriter with
+        | None -> r
+        | Some w ->
+            let source, text = frags.(i) in
+            let rec_ =
+              {
+                Journal.jr_file = source;
+                jr_input = input_digest text;
+                jr_flags = flagsd;
+                jr_status = (if r.w_fatal then "fatal" else "ok");
+                jr_output = input_digest r.w_out;
+                jr_payload =
+                  Journal.b64_encode
+                    (Marshal.to_string
+                       { r with w_events = []; w_metrics = None }
+                       []);
+              }
+            in
+            (match Journal.append w rec_ with
+            | Ok () -> ()
+            | Error msg ->
+                Printf.eprintf
+                  "ms2c: warning: journal append failed for %s: %s\n%!" source
+                  msg);
+            r)
+  in
   let results =
     let source_of i = fst frags.(i) in
     match jobs_mode with
@@ -639,6 +841,15 @@ let expand_parallel ~jobs ~jobs_mode ~limits ~keep_going ~hygienic ~prelude
         run_pool ~jobs ~keep_going ~source_of ~render:render_diag ~work n
     | Mode_domains ->
         run_domains ~jobs ~keep_going ~source_of ~render:render_diag ~work n
+  in
+  (match jwriter with None -> () | Some w -> Journal.close_writer w);
+  (* snapshot now, before any exit path: the store already holds every
+     entry the run produced, and a fatal batch's warm entries are worth
+     keeping too *)
+  let snap_save =
+    match (cache_file, store) with
+    | Some path, Some s -> save_cache_file s path
+    | _ -> None
   in
   let first_fatal = ref None in
   Array.iteri
@@ -769,6 +980,7 @@ let expand_parallel ~jobs ~jobs_mode ~limits ~keep_going ~hygienic ~prelude
       | Some path -> write_atomic ~diag_format path (Obs.Metrics.to_json ()));
       if stats then
         print_stats ~format:stats_format ~jobs:(jobs, jobs_mode) !stats_acc;
+      report_snapshot ~stats snap_load snap_save;
       if semantic_check && !findings <> [] then begin
         List.iter prerr_endline !findings;
         exit exit_fatal
@@ -779,8 +991,20 @@ let expand_cmd =
   let run files output stats stats_format hygienic semantic_check prelude
       trace trace_out metrics jobs jobs_mode no_cache fuel invocation_fuel
       max_nodes max_errors timeout_ms invocation_timeout_ms failpoints
-      keep_going line_directives sourcemap diag_format =
+      keep_going line_directives sourcemap journal resume cache_file
+      diag_format =
     arm_failpoints failpoints;
+    if resume && journal = None then begin
+      prerr_endline "ms2c: --resume requires --journal FILE";
+      exit exit_fatal
+    end;
+    if journal <> None && trace then begin
+      prerr_endline
+        "ms2c: --journal and --trace are mutually exclusive (the journal \
+         runs the independent-compilation-units batch driver; --trace \
+         needs the shared-session sequential pipeline)";
+      exit exit_fatal
+    end;
     (* [--jobs 0] / [--jobs auto]: one worker per recommended domain *)
     let jobs = if jobs = 0 then Pool.recommended () else jobs in
     with_fragments ~diag_format files (fun fragments ->
@@ -790,17 +1014,30 @@ let expand_cmd =
         in
         (* the pool only pays off with several files; --trace keeps the
            sequential path so the interleaving of trace output stays
-           deterministic *)
-        if jobs > 1 && List.length fragments > 1 && not trace then
+           deterministic.  A journal forces the batch driver at any job
+           count: its per-file records only make sense when each file is
+           an independent compilation unit. *)
+        if journal <> None
+           || (jobs > 1 && List.length fragments > 1 && not trace)
+        then
           expand_parallel ~jobs ~jobs_mode ~limits ~keep_going ~hygienic
             ~prelude ~cache:(not no_cache) ~line_directives ~sourcemap
             ~semantic_check ~stats ~stats_format ~trace_out ~metrics
-            ~output ~diag_format fragments
+            ~output ~diag_format ~journal ~resume ~cache_file fragments
         else begin
           if trace_out <> None then Obs.start_recording ();
+          (* the sequential pipeline supports --cache-file through the
+             same shared-store snapshot path the batch driver uses *)
+          let store, snap_load =
+            match cache_file with
+            | Some path when not no_cache ->
+                let s = Ms2.Api.create_shared_cache () in
+                (Some s, Some (load_cache_file s path))
+            | _ -> (None, None)
+          in
           let engine =
             Ms2.Api.create_engine ~limits ~recover:keep_going ~hygienic
-              ~prelude ~cache:(not no_cache) ()
+              ~prelude ~cache:(not no_cache) ?cache_store:store ()
           in
           if trace then
             engine.Ms2.Engine.trace <- Some Format.err_formatter;
@@ -848,6 +1085,12 @@ let expand_cmd =
           if stats then
             print_stats ~format:stats_format ~jobs:(jobs, jobs_mode)
               (Ms2.Api.stats engine);
+          let snap_save =
+            match (store, cache_file) with
+            | Some s, Some path -> save_cache_file s path
+            | _ -> None
+          in
+          report_snapshot ~stats snap_load snap_save;
           if semantic_check then begin
             match Ms2.Api.check_program prog with
             | [] -> ()
@@ -867,7 +1110,8 @@ let expand_cmd =
       $ no_cache_arg $ fuel_arg $ invocation_fuel_arg $ max_nodes_arg
       $ max_errors_arg $ timeout_arg $ invocation_timeout_arg
       $ failpoints_arg $ keep_going_arg $ line_directives_arg
-      $ sourcemap_arg $ diag_format_arg)
+      $ sourcemap_arg $ journal_arg $ resume_arg $ cache_file_arg
+      $ diag_format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* check                                                               *)

@@ -147,6 +147,15 @@ type state = {
   mutable avg_ms : float;  (** EWMA of request service time *)
   started : float;
   mutable served : int;
+  cache_file : string option;
+      (** durable cache-snapshot path ([--cache-file]); implies [store] *)
+  snapshot_idle_ms : int;
+  mutable snap_served : int;
+      (** [served] at the last snapshot — [served > snap_served] means
+          the store is dirty *)
+  mutable snap_saves : int;  (** successful snapshot writes *)
+  mutable last_active : float;
+      (** when the event loop last dispatched a request *)
 }
 
 let shard_of (st : state) (session_id : string) : shard =
@@ -195,6 +204,29 @@ let worker_loop (st : state) (sh : shard) () : unit =
 let want_drain = ref false
 
 let now_ms_since t0 = int_of_float ((Unix.gettimeofday () -. t0) *. 1000.)
+
+(* ------------------------------------------------------------------ *)
+(* Durable cache snapshots                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Persist the shared store to [--cache-file].  Runs on the event-loop
+   thread; the store's per-shard locks make the fold a consistent
+   point-in-time cut even while worker domains keep expanding.  A save
+   failure is a warning, never a crash — the daemon serves on, merely
+   colder after the next restart. *)
+let save_snapshot (st : state) : (int * int, string) result option =
+  match (st.cache_file, st.store) with
+  | Some path, Some store -> (
+      match Ms2.Api.save_shared_cache store path with
+      | Ok sv ->
+          st.snap_served <- st.served;
+          st.snap_saves <- st.snap_saves + 1;
+          Some (Ok (sv.Ms2.Engine.sv_entries, sv.Ms2.Engine.sv_bytes))
+      | Error msg ->
+          Printf.eprintf
+            "ms2c serve: warning: cache snapshot not saved: %s\n%!" msg;
+          Some (Error msg))
+  | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Sessions                                                            *)
@@ -373,6 +405,26 @@ let handle_admin (st : state) (c : conn) (req : Proto.request) : unit =
   | "shutdown" ->
       send c (Proto.ok_response ~id [ ("draining", Json.Bool true) ]);
       st.draining <- true
+  | "snapshot" -> (
+      (* on-demand durable snapshot of the shared expansion cache *)
+      match save_snapshot st with
+      | Some (Ok (entries, bytes)) ->
+          send c
+            (Proto.ok_response ~id
+               [ ("path", Json.Str (Option.get st.cache_file));
+                 ("entries", Json.Int entries);
+                 ("bytes", Json.Int bytes) ])
+      | Some (Error msg) ->
+          send c
+            (Proto.error_response ~id ~kind:Proto.Internal
+               ~message:(Printf.sprintf "snapshot not saved: %s" msg)
+               ())
+      | None ->
+          send c
+            (Proto.error_response ~id ~kind:Proto.Malformed
+               ~message:
+                 "no snapshot path: start the daemon with --cache-file"
+               ()))
   | "failpoints" -> (
       match Failpoint.arm_spec req.Proto.rq_spec with
       | Ok () ->
@@ -428,6 +480,11 @@ let handle_admin (st : state) (c : conn) (req : Proto.request) : unit =
                  ("sessions", Json.Int sessions);
                  ("fingerprint", Json.Str (Session.fingerprint ss));
                  ("isolated", Json.Bool (Session.isolated ss));
+                 ("cache_file",
+                  match st.cache_file with
+                  | Some p -> Json.Str p
+                  | None -> Json.Null);
+                 ("snapshots_saved", Json.Int st.snap_saves);
                  ("session", session_json ss);
                  ("engine",
                   Json.Obj
@@ -580,6 +637,32 @@ let claim_socket (path : string) : Unix.file_descr =
      fatal "%s: cannot claim socket: %s" path msg);
   fd
 
+(* A pidfile left by a previous daemon: if the recorded process is
+   gone (or the file is garbage) the file is stale — reclaim it and
+   start; if it is alive, refuse to start a second daemon on top.
+   This guards the stdio mode too, which has no socket probe. *)
+let reclaim_pidfile (path : string) : unit =
+  if Sys.file_exists path then
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error _ -> ()
+    | text -> (
+        let remove_stale why =
+          Printf.eprintf "ms2c serve: reclaiming stale pidfile %s (%s)\n%!"
+            path why;
+          try Sys.remove path with Sys_error _ -> ()
+        in
+        match int_of_string_opt (String.trim text) with
+        | None -> remove_stale "malformed"
+        | Some pid -> (
+            match Unix.kill pid 0 with
+            | () -> fatal "%s: daemon already running (pid %d)" path pid
+            | exception Unix.Unix_error (ESRCH, _, _) ->
+                remove_stale (Printf.sprintf "pid %d is dead" pid)
+            | exception Unix.Unix_error (EPERM, _, _) ->
+                fatal "%s: daemon already running (pid %d, other user)"
+                  path pid
+            | exception Unix.Unix_error _ -> ()))
+
 let cleanup (st : state) : unit =
   (match st.listen_fd with Some fd -> (try Unix.close fd with _ -> ()) | None -> ());
   (match st.socket_path with
@@ -627,8 +710,15 @@ let serve_loop (st : state) : unit =
        written *)
     if st.draining && Atomic.get st.in_flight = 0 then running := false
     else begin
-      if Array.length st.shards = 1 then
-        evict_idle st st.shards.(0) (Unix.gettimeofday ());
+      let now = Unix.gettimeofday () in
+      if Array.length st.shards = 1 then evict_idle st st.shards.(0) now;
+      (* idle snapshot: the store is dirty and no request has been
+         dispatched for a while — persist the warmth now, so even a
+         later kill -9 restarts warm *)
+      if st.cache_file <> None && st.served > st.snap_served
+         && Atomic.get st.in_flight = 0
+         && now -. st.last_active >= float st.snapshot_idle_ms /. 1000.
+      then ignore (save_snapshot st);
       let read_fds =
         (match st.listen_fd with
         | Some fd when not st.draining -> [ fd ]
@@ -659,6 +749,7 @@ let serve_loop (st : state) : unit =
         while not (Queue.is_empty st.pending) do
           let j = Queue.pop st.pending in
           let sh = shard_of st j.j_req.Proto.rq_session in
+          st.last_active <- Unix.gettimeofday ();
           (* the admit-time in-flight slot transfers to the dispatch *)
           ignore (Atomic.fetch_and_add st.in_flight (-1));
           dispatch st sh (fun () -> run_job st sh j)
@@ -678,6 +769,9 @@ let serve_loop (st : state) : unit =
       end
     end
   done;
+  (* drain complete: every in-flight answer is out, so the store is at
+     rest — persist it (only if dirty) before releasing the socket *)
+  if st.served > st.snap_served then ignore (save_snapshot st);
   cleanup st
 
 (* Spawn the owning domains for a multi-shard daemon, run the loop,
@@ -718,20 +812,43 @@ let load_prelude_file (engine : Ms2.Api.engine) (path : string) : unit =
 
 let run_server ~limits ~hygienic ~prelude ~prelude_file ~cache ~workers
     ~socket ~pidfile ~write_pidfile ~max_pending ~max_sessions
-    ~session_idle_ms ~max_request_bytes () : unit =
+    ~session_idle_ms ~max_request_bytes ~cache_file ~snapshot_idle_ms () :
+    unit =
   (* a disconnected client must never kill the daemon with SIGPIPE *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   Sys.set_signal Sys.sigterm
     (Sys.Signal_handle (fun _ -> want_drain := true));
   Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> want_drain := true));
   let workers = if workers = 0 then Ms2_support.Pool.recommended () else workers in
+  let cache_file = if cache then cache_file else None in
   (* one shared store across the shard engines, so warm fragments replay
      whichever domain they land on; a single shard keeps its private
-     per-engine cache exactly as before *)
+     per-engine cache exactly as before — unless a snapshot file is in
+     play, which needs the shared store as its save/load surface *)
   let store =
-    if cache && workers > 1 then Some (Ms2.Api.create_shared_cache ())
+    if cache && (workers > 1 || cache_file <> None) then
+      Some (Ms2.Api.create_shared_cache ())
     else None
   in
+  (* restore the snapshot BEFORE any shard engine exists: the prelude
+     expansions run through the store on the way up, so a warm file
+     turns them (and everything downstream) into replays *)
+  (match (cache_file, store) with
+  | Some path, Some s ->
+      ignore (Atomic_io.sweep_stale (Filename.dirname path));
+      let l = Ms2.Api.load_shared_cache s path in
+      (match l.Ms2.Engine.ld_error with
+      | Some msg ->
+          Printf.eprintf
+            "ms2c serve: warning: cache snapshot ignored (cold start): \
+             %s\n%!" msg
+      | None ->
+          if l.Ms2.Engine.ld_entries > 0 then
+            Printf.eprintf
+              "ms2c serve: cache snapshot: loaded %d entries (%d \
+               dropped)\n%!" l.Ms2.Engine.ld_entries
+              l.Ms2.Engine.ld_dropped)
+  | _ -> ());
   let make_shard _ =
     let engine =
       Ms2.Api.create_engine ~limits ~hygienic ~prelude ~cache
@@ -751,6 +868,7 @@ let run_server ~limits ~hygienic ~prelude ~prelude_file ~cache ~workers
   let listen_fd = Option.map claim_socket socket in
   (match (pidfile, write_pidfile) with
   | Some p, true ->
+      reclaim_pidfile p;
       Atomic_io.write_exn p (string_of_int (Unix.getpid ()) ^ "\n")
   | _ -> ());
   let st =
@@ -783,6 +901,11 @@ let run_server ~limits ~hygienic ~prelude ~prelude_file ~cache ~workers
       avg_ms = 50.0;
       started = Unix.gettimeofday ();
       served = 0;
+      cache_file;
+      snapshot_idle_ms;
+      snap_served = 0;
+      snap_saves = 0;
+      last_active = Unix.gettimeofday ();
     }
   in
   serve_with_workers st
@@ -816,7 +939,9 @@ let supervise ~pidfile (spawn_worker : unit -> unit) : unit =
   Sys.set_signal Sys.sigterm (forward Sys.sigterm);
   Sys.set_signal Sys.sigint (forward Sys.sigint);
   (match pidfile with
-  | Some p -> Atomic_io.write_exn p (string_of_int (Unix.getpid ()) ^ "\n")
+  | Some p ->
+      reclaim_pidfile p;
+      Atomic_io.write_exn p (string_of_int (Unix.getpid ()) ^ "\n")
   | None -> ());
   let backoff = Backoff.create ~base_ms:200 ~cap_ms:5000 () in
   let cleanup_pidfile () =
@@ -943,15 +1068,30 @@ let workers_arg =
              domain count; the default 1 keeps the single-threaded \
              event loop.")
 
+let cache_file_arg =
+  Arg.(value & opt (some string) None & info [ "cache-file" ] ~docv:"FILE"
+       ~doc:"Persist the shared expansion cache to $(docv): loaded on \
+             startup (so a restarted daemon — supervised or not — comes \
+             back warm), saved on drain, after $(b,--snapshot-idle-ms) \
+             of inactivity, and on the $(b,snapshot) admin method.  A \
+             corrupt or truncated file is ignored with a warning (cold \
+             start), never trusted.")
+
+let snapshot_idle_ms_arg =
+  Arg.(value & opt pos_int 30_000 & info [ "snapshot-idle-ms" ] ~docv:"MS"
+       ~doc:"With --cache-file: snapshot the cache once it is dirty and \
+             no request has arrived for $(docv) milliseconds.")
+
 let cmd : unit Cmd.t =
   let run limits hygienic prelude prelude_file no_cache workers socket
       pidfile supervise_flag max_pending max_sessions session_idle_ms
-      max_request_bytes failpoints =
+      max_request_bytes cache_file snapshot_idle_ms failpoints =
     arm_failpoints failpoints;
     let worker ~write_pidfile () =
       run_server ~limits ~hygienic ~prelude ~prelude_file
         ~cache:(not no_cache) ~workers ~socket ~pidfile ~write_pidfile
-        ~max_pending ~max_sessions ~session_idle_ms ~max_request_bytes ()
+        ~max_pending ~max_sessions ~session_idle_ms ~max_request_bytes
+        ~cache_file ~snapshot_idle_ms ()
     in
     if supervise_flag then begin
       if socket = None then
@@ -971,4 +1111,5 @@ let cmd : unit Cmd.t =
       const run $ limits_term $ hygienic_arg $ prelude_arg
       $ prelude_file_arg $ no_cache_arg $ workers_arg $ socket_arg
       $ pidfile_arg $ supervise_arg $ max_pending_arg $ max_sessions_arg
-      $ session_idle_ms_arg $ max_request_bytes_arg $ failpoints_arg)
+      $ session_idle_ms_arg $ max_request_bytes_arg $ cache_file_arg
+      $ snapshot_idle_ms_arg $ failpoints_arg)

@@ -57,6 +57,14 @@ let shared_cache_stats (store : shared_cache) : int * int * int * int * int =
     Cache.length store,
     Cache.used_bytes store )
 
+(** Durable snapshots of a shared store ({!Engine.save_store} /
+    {!Engine.load_store}): the crash-recovery warm path for
+    [--cache-file].  Loading never raises — a corrupt snapshot degrades
+    to a cold cache with [ld_warnings] set. *)
+let save_shared_cache = Engine.save_store
+
+let load_shared_cache = Engine.load_store
+
 let create_engine ?limits ?compile_patterns ?hygienic ?recover ?provenance
     ?transactional ?cache ?cache_bytes ?cache_store ?(prelude = false) () =
   let engine =

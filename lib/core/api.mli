@@ -48,6 +48,16 @@ val create_shared_cache : ?cache_bytes:int -> unit -> shared_cache
 val shared_cache_stats : shared_cache -> int * int * int * int * int
 (** Merged [(hits, misses, evictions, entries, used_bytes)]. *)
 
+val save_shared_cache :
+  shared_cache -> string -> (Engine.snapshot_save, string) result
+(** Persist the store to a durable snapshot file (atomic + fsynced);
+    see {!Engine.save_store}. *)
+
+val load_shared_cache : shared_cache -> string -> Engine.snapshot_load
+(** Restore a snapshot; never raises — missing file is a silent cold
+    start, a corrupt file degrades cold with [ld_warnings] set.  See
+    {!Engine.load_store}. *)
+
 val create_engine :
   ?limits:Limits.t ->
   ?compile_patterns:bool ->

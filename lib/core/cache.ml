@@ -279,6 +279,17 @@ let add ?size_bytes (t : 'v t) (key : string) (value : 'v) : unit =
         s.used_bytes <- s.used_bytes + size
       end)
 
+(* Snapshot support: walk every live entry.  Each shard's portion runs
+   under that shard's lock, so a fold taken while other domains expand
+   sees a consistent per-shard view (entries may move between shards'
+   reads, but every observed entry is a real, complete entry). *)
+let fold (t : 'v t) (f : string -> 'v -> int -> 'a -> 'a) (init : 'a) : 'a =
+  Array.fold_left
+    (fun acc s ->
+      locked s (fun () ->
+          Hashtbl.fold (fun key e acc -> f key e.value e.size acc) s.table acc))
+    init t.shards
+
 (* The merged view: sum over shards.  Each shard is read under its lock
    so a concurrent expansion can shift counts between two reads, but
    every count is a real event — nothing is lost or double-counted. *)

@@ -57,6 +57,14 @@ val add : ?size_bytes:int -> 'v t -> string -> 'v -> unit
     over-counts structure shared with live state).  An entry larger
     than the whole budget is dropped; an existing key is left as is. *)
 
+val fold : 'v t -> (string -> 'v -> int -> 'a -> 'a) -> 'a -> 'a
+(** [fold t f init] folds [f key value size_bytes acc] over every live
+    entry (all shards; order unspecified).  Each shard is visited under
+    its own lock, so folding a store shared with running workers is
+    safe — but [f] must not call back into the cache.  This is the
+    snapshot path ({!Engine.save_store} wants key, value and the size
+    estimate the entry was admitted with). *)
+
 val length : 'v t -> int
 val used_bytes : 'v t -> int
 val hits : 'v t -> int

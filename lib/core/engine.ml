@@ -128,6 +128,14 @@ and cached_run = {
           for, so restoring the pair keeps the version→content mapping
           single-valued (and lets an idempotent fragment's key recur, so
           repeat replays keep hitting) *)
+  ca_pre_version : int;
+      (** [defs_version] {e before} the recorded run — the version the
+          cache key was computed against.  Invisible inside the key (keys
+          are digests), so it is recorded here explicitly: snapshot
+          loading must check {e every} version number an entry mentions
+          against the live counter before trusting it (see
+          {!load_store}), and the pre-version is the one a lookup key
+          will quote *)
   ca_fuel : int;  (** interpreter steps the run consumed *)
   ca_nodes : int;  (** AST nodes the run charged *)
   ca_invocations : int;
@@ -1013,6 +1021,9 @@ let expand_source (t : t) ?(source = "<string>") ?deadline_ms (text : string)
           note_bypass t ~source why;
           expand_source_uncached t ?deadline_ms ~source text
       | Ok key -> (
+          (* the version the key just digested; stored with a miss so
+             snapshot loads can audit it (see [ca_pre_version]) *)
+          let pre_version = t.defs_version in
           let b = t.env.Value.budget in
           let hit =
             Obs.with_span ~cat:"cache" "lookup" (fun () ->
@@ -1080,6 +1091,7 @@ let expand_source (t : t) ?(source = "<string>") ?deadline_ms (text : string)
                     ca_program = prog;
                     ca_post = checkpoint t;
                     ca_version = t.defs_version;
+                    ca_pre_version = pre_version;
                     ca_fuel = fuel_consumed t - fuel0;
                     ca_nodes = nodes_produced t - nodes0;
                     ca_invocations = t.stats.invocations_expanded - inv0;
@@ -1089,6 +1101,309 @@ let expand_source (t : t) ?(source = "<string>") ?deadline_ms (text : string)
                   };
                 t.stats.cache_evictions <- Cache.evictions cache);
               prog))
+
+(* ------------------------------------------------------------------ *)
+(* Durable cache snapshots                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A snapshot persists a shared cache store across processes so a
+   restarted batch or daemon starts warm.  The container is
+   deliberately paranoid:
+
+     magic (8) | format version (u32) | generation (16) |
+     version-counter high water (i64) | entry count (u32) |
+     count * [ payload length (u32) | MD5(payload) (16) | payload ]
+
+   Every record carries its own checksum, and ANY integrity failure —
+   bad magic, version skew, truncation, a flipped bit, trailing bytes,
+   an undecodable record — degrades the WHOLE load to a cold cache with
+   a warning counter.  Partial salvage is not worth the risk surface:
+   a snapshot is an optimization, and the only unforgivable outcome is
+   a wrong replay.  [Marshal.from_string] only ever runs on bytes whose
+   digest matched, i.e. bytes this code wrote.
+
+   What does NOT survive the round trip, and how loading repairs it:
+
+   - Compiled invocation patterns are closures.  Saving strips each
+     entry's [cp_compiled] table down to its name list; loading
+     recompiles every pattern from the entry's own [cp_defs] (pattern
+     compilation is deterministic).  An entry whose patterns cannot be
+     rebuilt is dropped, never half-restored.
+   - Meta globals can hold closures ([Vclosure] captures the engine
+     through [env.expand_invocation]); such entries fail to marshal and
+     are skipped at save time, counted in [sv_skipped].
+   - Interned symbols lose pointer identity under [Marshal]; the Tenv
+     and Senv tables inside each checkpoint are rebuilt by re-interning
+     every key ({!Tenv.rehydrate} / {!Senv.rehydrate}).
+   - Gensym state needs no persistence by construction: the engine
+     never stores a run that minted generated names or anonymous tags,
+     and diagnosed runs are never stored either.
+
+   {b Version safety.}  [defs_version] numbers are allocated by a
+   process-local counter, so a number from another process may collide
+   with one this process already bound to different table contents —
+   the one way a snapshot could cause a WRONG replay rather than a slow
+   one.  Two rules keep the version→content mapping single-valued:
+
+   - a snapshot written by this very process instance (matching
+     [generation]) is trusted outright — every version in it was
+     allocated or previously adopted by this process's counter;
+   - otherwise an entry is accepted only if every version it mentions
+     ([ca_pre_version], [ca_version], [cp_version]) is either 0 (the
+     reserved pristine-tables version, whose content is fixed) or
+     strictly greater than the counter's current value; the counter is
+     then CAS-advanced past the snapshot's maximum so those numbers can
+     never be re-allocated.  The filter re-runs if the CAS loses a
+     race.  Rejected entries are dropped (a miss, not a fault). *)
+
+let snapshot_magic = "MS2SNAP\001"
+let snapshot_format_version = 1
+
+(* Unique per process instance; 128 self-seeded bits, so a collision
+   (which would let the generation short-circuit above trust a foreign
+   counter's numbers) is not a practical concern. *)
+let generation : string =
+  let st = Random.State.make_self_init () in
+  let b = Buffer.create 64 in
+  for _ = 1 to 8 do
+    Buffer.add_string b (string_of_int (Random.State.bits st));
+    Buffer.add_char b '.'
+  done;
+  Digest.string (Buffer.contents b)
+
+type persisted_entry = {
+  pe_key : string;
+  pe_size : int;  (** the size estimate the entry was admitted with *)
+  pe_compiled : string list;  (** macro names to recompile at load *)
+  pe_run : cached_run;  (** with [cp_compiled] emptied *)
+}
+
+type snapshot_save = { sv_entries : int; sv_skipped : int; sv_bytes : int }
+
+type snapshot_load = {
+  ld_entries : int;  (** entries restored into the store *)
+  ld_dropped : int;  (** version-unsafe or unrebuildable entries *)
+  ld_warnings : int;  (** 1 when integrity failed and the load degraded *)
+  ld_error : string option;  (** the reason, when [ld_warnings > 0] *)
+}
+
+let cold_load = { ld_entries = 0; ld_dropped = 0; ld_warnings = 0; ld_error = None }
+
+let strip_compiled (run : cached_run) : cached_run * string list =
+  let names =
+    Hashtbl.fold (fun name _ acc -> name :: acc) run.ca_post.cp_compiled []
+  in
+  ( { run with ca_post = { run.ca_post with cp_compiled = Hashtbl.create 1 } },
+    names )
+
+let save_store (cache : cached_run Cache.t) (path : string) :
+    (snapshot_save, string) result =
+  Obs.with_span ~cat:"snapshot" "save" @@ fun () ->
+  match Failpoint.hit ~loc:Loc.dummy "snapshot/save" with
+  | exception Diag.Error d -> Result.Error d.Diag.message
+  | () -> (
+      let entries = ref 0 and skipped = ref 0 in
+      let records = Buffer.create 65536 in
+      Cache.fold cache
+        (fun key run size () ->
+          let run, names = strip_compiled run in
+          match
+            Marshal.to_string
+              ({ pe_key = key; pe_size = size; pe_compiled = names;
+                 pe_run = run }
+                : persisted_entry)
+              []
+          with
+          | exception _ ->
+              (* a closure reached the entry (meta globals can hold
+                 them); skip it — it will be a miss next run *)
+              incr skipped
+          | payload ->
+              incr entries;
+              Buffer.add_int32_le records (Int32.of_int (String.length payload));
+              Buffer.add_string records (Digest.string payload);
+              Buffer.add_string records payload)
+        ();
+      let b = Buffer.create (Buffer.length records + 64) in
+      Buffer.add_string b snapshot_magic;
+      Buffer.add_int32_le b (Int32.of_int snapshot_format_version);
+      Buffer.add_string b generation;
+      Buffer.add_int64_le b (Int64.of_int (Atomic.get version_counter));
+      Buffer.add_int32_le b (Int32.of_int !entries);
+      Buffer.add_buffer b records;
+      let out = Buffer.contents b in
+      match Atomic_io.write path out with
+      | Ok () ->
+          Obs.Metrics.incr ~by:!entries
+            (Obs.Metrics.counter "snapshot.save.entries");
+          if !skipped > 0 then
+            Obs.Metrics.incr ~by:!skipped
+              (Obs.Metrics.counter "snapshot.save.skipped");
+          Ok
+            {
+              sv_entries = !entries;
+              sv_skipped = !skipped;
+              sv_bytes = String.length out;
+            }
+      | Error msg -> Result.Error msg)
+
+exception Corrupt of string
+
+let parse_snapshot (raw : string) : string * persisted_entry list =
+  let len = String.length raw in
+  let pos = ref 0 in
+  let need n what =
+    if !pos + n > len then
+      raise (Corrupt (Printf.sprintf "truncated in %s" what))
+  in
+  let get_str n what =
+    need n what;
+    let s = String.sub raw !pos n in
+    pos := !pos + n;
+    s
+  in
+  let get_u32 what =
+    need 4 what;
+    let v = Int32.to_int (String.get_int32_le raw !pos) in
+    pos := !pos + 4;
+    if v < 0 then raise (Corrupt (what ^ ": out of range"));
+    v
+  in
+  let get_i64 what =
+    need 8 what;
+    let v = Int64.to_int (String.get_int64_le raw !pos) in
+    pos := !pos + 8;
+    v
+  in
+  if get_str 8 "magic" <> snapshot_magic then raise (Corrupt "bad magic");
+  let fv = get_u32 "format version" in
+  if fv <> snapshot_format_version then
+    raise
+      (Corrupt
+         (Printf.sprintf "format version %d (this build reads %d)" fv
+            snapshot_format_version));
+  let file_gen = get_str 16 "generation" in
+  let _high_water = get_i64 "version counter" in
+  let count = get_u32 "entry count" in
+  let entries = ref [] in
+  for i = 1 to count do
+    let plen = get_u32 "record length" in
+    let digest = get_str 16 "record digest" in
+    let payload = get_str plen "record payload" in
+    if Digest.string payload <> digest then
+      raise (Corrupt (Printf.sprintf "record %d checksum mismatch" i));
+    match (Marshal.from_string payload 0 : persisted_entry) with
+    | exception _ -> raise (Corrupt (Printf.sprintf "record %d undecodable" i))
+    | pe -> entries := pe :: !entries
+  done;
+  if !pos <> len then raise (Corrupt "trailing bytes");
+  (file_gen, List.rev !entries)
+
+(* Rebuild what [Marshal] could not carry; [None] drops the entry. *)
+let rehydrate_entry (pe : persisted_entry) : persisted_entry option =
+  let cp = pe.pe_run.ca_post in
+  let compiled = Hashtbl.create (max 4 (List.length pe.pe_compiled)) in
+  match
+    List.iter
+      (fun name ->
+        match Hashtbl.find_opt cp.cp_defs name with
+        | None -> raise Exit
+        | Some md ->
+            Hashtbl.replace compiled name (Parser.compile_pattern md.m_pattern))
+      pe.pe_compiled
+  with
+  | exception _ -> None
+  | () ->
+      Some
+        {
+          pe with
+          pe_run =
+            {
+              pe.pe_run with
+              ca_post =
+                {
+                  cp with
+                  cp_compiled = compiled;
+                  cp_tenv = Tenv.rehydrate cp.cp_tenv;
+                  cp_senv = Senv.rehydrate cp.cp_senv;
+                };
+            };
+        }
+
+let entry_versions (run : cached_run) : int list =
+  [ run.ca_pre_version; run.ca_version; run.ca_post.cp_version ]
+
+(* Accept only entries whose versions cannot collide with numbers this
+   process has already bound, and reserve the accepted range by
+   advancing the counter past it (see the module comment above). *)
+let rec adopt_versions (candidates : persisted_entry list) :
+    persisted_entry list =
+  let cur0 = Atomic.get version_counter in
+  let safe =
+    List.filter
+      (fun pe ->
+        List.for_all (fun v -> v = 0 || v > cur0) (entry_versions pe.pe_run))
+      candidates
+  in
+  let vmax =
+    List.fold_left
+      (fun m pe -> List.fold_left max m (entry_versions pe.pe_run))
+      cur0 safe
+  in
+  if vmax = cur0 then safe
+  else if Atomic.compare_and_set version_counter cur0 vmax then safe
+  else adopt_versions candidates
+
+let load_store (cache : cached_run Cache.t) (path : string) : snapshot_load =
+  Obs.with_span ~cat:"snapshot" "load" @@ fun () ->
+  let degraded msg =
+    Obs.Metrics.incr (Obs.Metrics.counter "snapshot.load.warnings");
+    { ld_entries = 0; ld_dropped = 0; ld_warnings = 1; ld_error = Some msg }
+  in
+  if not (Sys.file_exists path) then cold_load
+  else
+    match
+      Failpoint.hit ~loc:Loc.dummy "snapshot/load";
+      In_channel.with_open_bin path In_channel.input_all
+    with
+    | exception Diag.Error d -> degraded d.Diag.message
+    | exception Sys_error msg -> degraded msg
+    | raw -> (
+        match parse_snapshot raw with
+        | exception Corrupt msg -> degraded (Printf.sprintf "%s: %s" path msg)
+        | exception _ -> degraded (path ^ ": unreadable snapshot")
+        | file_gen, raw_entries ->
+            let rehydrated, broken =
+              List.fold_left
+                (fun (ok, bad) pe ->
+                  match rehydrate_entry pe with
+                  | Some pe -> (pe :: ok, bad)
+                  | None -> (ok, bad + 1))
+                ([], 0) raw_entries
+            in
+            let rehydrated = List.rev rehydrated in
+            let accepted =
+              if file_gen = generation then rehydrated
+              else adopt_versions rehydrated
+            in
+            List.iter
+              (fun pe ->
+                Cache.add cache ~size_bytes:pe.pe_size pe.pe_key pe.pe_run)
+              accepted;
+            let dropped =
+              broken + List.length rehydrated - List.length accepted
+            in
+            Obs.Metrics.incr ~by:(List.length accepted)
+              (Obs.Metrics.counter "snapshot.load.entries");
+            if dropped > 0 then
+              Obs.Metrics.incr ~by:dropped
+                (Obs.Metrics.counter "snapshot.load.dropped");
+            {
+              ld_entries = List.length accepted;
+              ld_dropped = dropped;
+              ld_warnings = 0;
+              ld_error = None;
+            })
 
 (* ------------------------------------------------------------------ *)
 (* Metrics publication                                                 *)

@@ -180,3 +180,42 @@ val publish_metrics : t -> unit
     gauges) into the {!Obs.Metrics} registry under [engine.*] and
     [cache.*].  Idempotent per engine (absolute sets, not increments);
     call before {!Obs.Metrics.to_json} or a worker snapshot. *)
+
+(** {1 Durable cache snapshots}
+
+    Persist a shared expansion-cache store across processes so a
+    restarted batch or daemon starts warm.  The on-disk container is
+    versioned, length-prefixed and per-record checksummed; {e any}
+    integrity failure (truncation, bit-flip, format skew) degrades the
+    whole load to a cold cache — a warning counter
+    ([snapshot.load.warnings] in {!Obs.Metrics}), never a crash and
+    never a wrong replay.  Entries are re-verified against the
+    [defs_version] discipline before use: version numbers from another
+    process are adopted only when they cannot collide with numbers this
+    process has already bound (see engine.ml for the full argument). *)
+
+type snapshot_save = {
+  sv_entries : int;  (** entries written *)
+  sv_skipped : int;  (** unmarshalable entries (meta-closure globals) *)
+  sv_bytes : int;  (** snapshot file size *)
+}
+
+type snapshot_load = {
+  ld_entries : int;  (** entries restored into the store *)
+  ld_dropped : int;  (** version-unsafe or unrebuildable entries *)
+  ld_warnings : int;  (** 1 when integrity failed and the load degraded *)
+  ld_error : string option;  (** the reason, when [ld_warnings > 0] *)
+}
+
+val save_store :
+  cached_run Cache.t -> string -> (snapshot_save, string) result
+(** Serialize every live entry to [path] via {!Atomic_io.write} (so a
+    crash mid-save never clobbers the previous snapshot).  Safe to call
+    while other domains use the store.  Subject to the [snapshot/save]
+    and [io/rename] failpoints. *)
+
+val load_store : cached_run Cache.t -> string -> snapshot_load
+(** Restore a snapshot into [cache].  A missing file is a silent cold
+    start; a corrupt file is a cold start with [ld_warnings = 1] and
+    the reason in [ld_error].  Never raises.  Subject to the
+    [snapshot/load] failpoint. *)

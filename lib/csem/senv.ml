@@ -135,6 +135,36 @@ let field_type t tag field : Ctype.t =
       | Some ty -> ty
       | None -> Ctype.Unknown)
 
+(** Rebuild an environment that went through [Marshal] (a cache
+    snapshot): unmarshalled symbols keep their spelling but lose pointer
+    identity with the live interner, and [Intern.Tbl] compares keys by
+    pointer.  Re-intern every key — scope vars/typedefs, the layout
+    table, and each layout's field index.  [Ctype.t] values and the
+    ordered field lists are pure data and survive marshalling as-is. *)
+let rehydrate (t : t) : t =
+  let rebuild tbl =
+    let fresh = Intern.Tbl.create (max 4 (Intern.Tbl.length tbl)) in
+    Intern.Tbl.iter
+      (fun sym v -> Intern.Tbl.replace fresh (Intern.intern (Intern.str sym)) v)
+      tbl;
+    fresh
+  in
+  let layouts = Intern.Tbl.create (max 16 (Intern.Tbl.length t.layouts)) in
+  Intern.Tbl.iter
+    (fun tag layout ->
+      Intern.Tbl.replace layouts
+        (Intern.intern (Intern.str tag))
+        { fields = layout.fields; index = rebuild layout.index })
+    t.layouts;
+  {
+    scopes =
+      List.map
+        (fun s -> { vars = rebuild s.vars; typedefs = rebuild s.typedefs })
+        t.scopes;
+    layouts;
+    anon_counter = t.anon_counter;
+  }
+
 (** A deterministic digest of the whole environment (scope structure,
     bindings, layouts), for content-addressed cache keys.  The
     anonymous-tag counter is included: it feeds [fresh_tag], so two

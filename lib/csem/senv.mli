@@ -40,6 +40,12 @@ val field_type : t -> string -> string -> Ctype.t
     Resolved through an interned-key index, so cost is independent of
     the struct's width. *)
 
+val rehydrate : t -> t
+(** Rebuild an environment that went through [Marshal] (a cache
+    snapshot): re-interns every key (scopes, layouts, field indexes)
+    into fresh tables, restoring the pointer identity [Intern.Tbl]
+    lookups rely on.  The input is not mutated. *)
+
 val digest : t -> string
 (** Deterministic digest of the whole environment (scopes, bindings,
     layouts, anonymous-tag counter), for content-addressed

@@ -1,4 +1,25 @@
-(** Atomic whole-file writes (temp + rename).  See the interface. *)
+(** Atomic whole-file writes (temp + fsync + rename).  See the
+    interface. *)
+
+(* Push the temp file's bytes to stable storage before the rename
+   publishes it.  Without this, a crash shortly after [rename] can leave
+   the *new* name pointing at not-yet-written data on journaling
+   filesystems that reorder data behind metadata — exactly the torn
+   state the temp+rename dance exists to rule out. *)
+let fsync_path_out (oc : out_channel) : unit =
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+(* Best effort: persist the directory entry created by the rename.  Not
+   all platforms allow fsync on a directory fd (and none of our
+   invariants break if the *name* is lost in a crash — only if the name
+   exists with bad bytes), so failures are swallowed. *)
+let fsync_dir (dir : string) : unit =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
 
 let write (path : string) (content : string) : (unit, string) result =
   match
@@ -10,18 +31,72 @@ let write (path : string) (content : string) : (unit, string) result =
         let oc = open_out_bin tmp in
         Fun.protect
           ~finally:(fun () -> close_out oc)
-          (fun () -> output_string oc content);
-        Sys.rename tmp path
+          (fun () ->
+            output_string oc content;
+            fsync_path_out oc)
       with
-      | () -> Ok ()
       | exception Sys_error msg ->
           (try Sys.remove tmp with Sys_error _ -> ());
           Error msg
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Sys.remove tmp with Sys_error _ -> ());
+          Error (Unix.error_message e)
       | exception e ->
           (try Sys.remove tmp with Sys_error _ -> ());
-          raise e)
+          raise e
+      | () -> (
+          (* The [io/rename] failpoint models a crash in the window
+             between writing the temp file and publishing it: the temp
+             file is deliberately left behind (that is what a real crash
+             leaves) so tests can exercise {!sweep_stale}. *)
+          match Failpoint.hit ~loc:Loc.dummy "io/rename" with
+          | exception Diag.Error d -> Error d.Diag.message
+          | () -> (
+              match Sys.rename tmp path with
+              | () ->
+                  fsync_dir (Filename.dirname path);
+                  Ok ()
+              | exception Sys_error msg ->
+                  (try Sys.remove tmp with Sys_error _ -> ());
+                  Error msg)))
 
 let write_exn path content =
   match write path content with
   | Ok () -> ()
   | Error msg -> raise (Sys_error msg)
+
+(* Crashed writers (and the [io/rename] failpoint) leave ".ms2*.tmp"
+   orphans beside their destination.  They are never picked up again —
+   every write mints a fresh temp name — so long-lived processes sweep
+   them at startup.  Only files old enough to predate any plausibly
+   in-flight write are removed: a concurrent writer's fresh temp file
+   must survive the sweep. *)
+let default_stale_age = 3600.0
+
+let is_temp_name (name : string) : bool =
+  String.length name >= 8
+  && String.sub name 0 4 = ".ms2"
+  && Filename.check_suffix name ".tmp"
+
+let sweep_stale ?(max_age_s = default_stale_age) (dir : string) : int =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | names ->
+      let now = Unix.gettimeofday () in
+      Array.fold_left
+        (fun removed name ->
+          if not (is_temp_name name) then removed
+          else
+            let path = Filename.concat dir name in
+            match Unix.stat path with
+            | exception Unix.Unix_error _ -> removed
+            | st ->
+                if
+                  st.Unix.st_kind = Unix.S_REG
+                  && now -. st.Unix.st_mtime > max_age_s
+                then (
+                  match Sys.remove path with
+                  | () -> removed + 1
+                  | exception Sys_error _ -> removed)
+                else removed)
+        0 names

@@ -4,6 +4,7 @@ type trigger =
   | Error
   | Timeout
   | After of int Atomic.t
+  | Hang of int Atomic.t
 
 (* One registry per process: failpoints are a test/debug facility, and a
    global keeps the disarmed fast path to a single atomic read.
@@ -37,9 +38,24 @@ let sites =
     "serve/accept";  (* request admission into the pending queue *)
     "serve/decode";  (* request validation after JSON decode *)
     "serve/expand";  (* request processing, before the engine runs *)
-    "serve/respond" (* response serialization/write *) ]
+    "serve/respond";  (* response serialization/write *)
+    (* crash-safe persistence layer; like serve/*, never reached by the
+       in-process engine pipeline — test_recovery.ml (make
+       recovery-sweep) is the chaos harness *)
+    "io/rename";  (* between temp-file write and rename (Atomic_io) *)
+    "snapshot/save";  (* cache snapshot serialization *)
+    "snapshot/load";  (* cache snapshot deserialization *)
+    "journal/append" (* batch journal record append *) ]
 
 let serve_site name = String.length name >= 6 && String.sub name 0 6 = "serve/"
+
+let has_prefix p name =
+  String.length name >= String.length p
+  && String.sub name 0 (String.length p) = p
+
+let persist_site name =
+  has_prefix "io/" name || has_prefix "snapshot/" name
+  || has_prefix "journal/" name
 
 let is_site name = List.mem name sites
 
@@ -49,6 +65,7 @@ let parse_trigger name = function
   | "off" -> Ok None
   | "error" -> Ok (Some Error)
   | "timeout" -> Ok (Some Timeout)
+  | "hang" -> Ok (Some (Hang (Atomic.make 0)))
   | t -> (
       match String.index_opt t '=' with
       | Some i when String.sub t 0 i = "after" -> (
@@ -56,11 +73,16 @@ let parse_trigger name = function
           match int_of_string_opt n with
           | Some n when n >= 0 -> Ok (Some (After (Atomic.make n)))
           | _ -> Result.Error (Printf.sprintf "%s: after=N needs N >= 0" name))
+      | Some i when String.sub t 0 i = "hang" -> (
+          let n = String.sub t (i + 1) (String.length t - i - 1) in
+          match int_of_string_opt n with
+          | Some n when n >= 0 -> Ok (Some (Hang (Atomic.make n)))
+          | _ -> Result.Error (Printf.sprintf "%s: hang=N needs N >= 0" name))
       | _ ->
           Result.Error
             (Printf.sprintf
                "%s: unknown trigger %S (expected off | error | timeout | \
-                after=N)"
+                after=N | hang=N)"
                name t))
 
 let parse_clause clause : (string * trigger option, string) result =
@@ -140,6 +162,23 @@ let fire_timeout ?watchdog ~loc name =
   in
   wait ()
 
+(* A [hang] trigger stalls without limit: it exists so crash tests can
+   [kill -9] a process frozen at a known point.  The stall ignores the
+   watchdog on purpose — the process is supposed to look dead.  A long
+   fallback (far beyond any test timeout) turns a harness that forgot to
+   kill into an abnormal exit instead of a wedged CI job. *)
+let fire_hang name =
+  let give_up = Unix.gettimeofday () +. 300.0 in
+  let rec wait () =
+    Unix.sleepf 0.05;
+    if Unix.gettimeofday () >= give_up then (
+      Printf.eprintf
+        "ms2: failpoint %s hang hit the 300s fallback; aborting\n%!" name;
+      exit 70)
+    else wait ()
+  in
+  wait ()
+
 let armed () = Atomic.get view <> []
 
 let hit ?watchdog ~loc name =
@@ -151,7 +190,9 @@ let hit ?watchdog ~loc name =
       | Some Error -> fire_error ~loc name
       | Some Timeout -> fire_timeout ?watchdog ~loc name
       | Some (After n) ->
-          if Atomic.fetch_and_add n (-1) <= 0 then fire_error ~loc name)
+          if Atomic.fetch_and_add n (-1) <= 0 then fire_error ~loc name
+      | Some (Hang n) ->
+          if Atomic.fetch_and_add n (-1) <= 0 then fire_hang name)
 
 (* Arm from the environment at first load, so any ms2 process can be
    fault-injected without code changes. *)

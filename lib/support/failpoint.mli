@@ -11,6 +11,9 @@
     - [timeout]: stall (in bounded slices) until the engine's wall-clock
       watchdog fires, exercising the deadline path end to end;
     - [after=N]: let [N] hits pass, then behave like [error];
+    - [hang] / [hang=N]: let [N] hits pass (0 for bare [hang]), then
+      stall without limit so a crash test can [kill -9] the process at a
+      known point (a 300s fallback aborts a process nobody killed);
     - [off]: disarm.
 
     The spec grammar is a comma- (or semicolon-) separated list of
@@ -24,6 +27,9 @@ type trigger =
   | After of int Atomic.t
       (** hits remaining before firing like [Error]; atomic so
           concurrent hits from several domains never lose a count *)
+  | Hang of int Atomic.t
+      (** hits remaining before stalling without limit (for [kill -9]
+          crash tests); same atomic-count discipline as [After] *)
 
 val sites : string list
 (** The canonical registry of failpoint names woven into the pipeline.
@@ -34,6 +40,13 @@ val serve_site : string -> bool
     [ms2c serve], not in the in-process engine pipeline — the engine
     failpoint sweep filters them out and the serve chaos sweep
     ([make serve-sweep]) owns them. *)
+
+val persist_site : string -> bool
+(** Is this an [io/*], [snapshot/*] or [journal/*] site?  Those fire in
+    the crash-safe persistence layer (durable writes, cache snapshots,
+    the batch journal), not in the engine pipeline — the engine sweep
+    filters them out and the recovery chaos sweep
+    ([make recovery-sweep]) owns them. *)
 
 type spec = (string * trigger option) list
 (** Parsed spec clauses: [None] means [off]. *)

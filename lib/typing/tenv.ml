@@ -62,6 +62,22 @@ let find t name =
 
 let mem t name = Option.is_some (find t name)
 
+(** Rebuild an environment that went through [Marshal] (a cache
+    snapshot): unmarshalled symbols keep their spelling but lose pointer
+    identity with the live interner, and [Intern.Tbl] compares keys by
+    pointer — every lookup against a stale key would miss.  Re-intern
+    every key into fresh tables.  [Mtype.t] values are pure data and
+    survive marshalling as-is. *)
+let rehydrate (t : t) : t =
+  let rebuild scope =
+    let fresh = Intern.Tbl.create (max 16 (Intern.Tbl.length scope)) in
+    Intern.Tbl.iter
+      (fun sym ty -> Intern.Tbl.replace fresh (Intern.intern (Intern.str sym)) ty)
+      scope;
+    fresh
+  in
+  { scopes = List.map rebuild t.scopes }
+
 (** A deterministic digest of the whole environment (scope structure,
     names, types), for content-addressed cache keys.  [Mtype.t] is pure
     data, so marshalling it is a faithful serialization. *)

@@ -26,6 +26,12 @@ val add_global : t -> string -> Mtype.t -> unit
 val find : t -> string -> Mtype.t option
 val mem : t -> string -> bool
 
+val rehydrate : t -> t
+(** Rebuild an environment that went through [Marshal] (a cache
+    snapshot): re-interns every key into fresh tables, restoring the
+    pointer identity [Intern.Tbl] lookups rely on.  The input is not
+    mutated. *)
+
 val digest : t -> string
 (** Deterministic digest of the whole environment (scopes, names,
     types), for content-addressed expansion-cache keys. *)

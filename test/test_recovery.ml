@@ -1,0 +1,656 @@
+(** Crash-safe persistence: durable cache snapshots, the batch journal
+    with [--resume], and warm daemon restarts.
+
+    Three layers are exercised:
+
+    - in-process: [Atomic_io] durability (the [io/rename] failpoint
+      leaves the temp file and the old contents intact), stale temp
+      sweeping, and the snapshot save/load/corruption contract through
+      {!Ms2.Api.save_shared_cache}/{!load_shared_cache};
+    - subprocess: [ms2c expand --journal/--resume/--cache-file] —
+      including the flagship kill -9 mid-batch + [--resume] test, which
+      must reassemble byte-identical output;
+    - daemon: a corrupted [--cache-file] never prevents [ms2c serve]
+      from coming up healthy, and a stale pidfile is reclaimed while a
+      live one refuses a second daemon.
+
+    The corruption cases are golden: truncation, a bit flip, and a
+    format-version skew must each degrade to a cold cache with the
+    warning counter bumped — never a crash, never a stale replay. *)
+
+module Json = Ms2_support.Json
+module Failpoint = Ms2_support.Failpoint
+module Atomic_io = Ms2_support.Atomic_io
+module Obs = Ms2_support.Obs
+
+let ms2c =
+  if Sys.file_exists "../bin/ms2c.exe" then "../bin/ms2c.exe"
+  else "_build/default/bin/ms2c.exe"
+
+let defs =
+  "syntax stmt Painting {| $$stmt::body |} {\n\
+   return `{BeginPaint(hDC, &ps);\n\
+   $body;\n\
+   EndPaint(hDC, &ps);};\n\
+   }\n"
+
+let uses = "int draw(int hDC)\n{\n  Painting { line(1, 2); }\n  return 0;\n}\n"
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path text =
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc
+
+let in_temp_dir (f : string -> unit) : unit =
+  let dir = Filename.temp_file "ms2rec" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let check_contains ~msg ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = (i + n <= m) && (String.sub s i n = sub || go (i + 1)) in
+  Alcotest.(check bool) msg true (n = 0 || go 0)
+
+(* ------------------------------------------------------------------ *)
+(* Atomic_io durability                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A crash between temp-file write and rename (the [io/rename]
+   failpoint) must leave the destination's old contents intact and the
+   orphaned temp file on disk for the sweeper. *)
+let rename_failpoint_preserves_old () =
+  in_temp_dir (fun dir ->
+      let target = Filename.concat dir "out.txt" in
+      Atomic_io.write_exn target "old contents\n";
+      (match Failpoint.arm_spec "io/rename=error" with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "cannot arm: %s" e);
+      Fun.protect ~finally:Failpoint.reset (fun () ->
+          match Atomic_io.write target "new contents\n" with
+          | Ok () -> Alcotest.fail "write succeeded with io/rename armed"
+          | Error _ ->
+              Alcotest.(check string)
+                "old contents survive the simulated crash" "old contents\n"
+                (read_file target);
+              let orphans =
+                Array.to_list (Sys.readdir dir)
+                |> List.filter (fun n ->
+                       Filename.check_suffix n ".tmp"
+                       && String.length n > 4 && String.sub n 0 4 = ".ms2")
+              in
+              Alcotest.(check int)
+                "the interrupted temp file is left behind" 1
+                (List.length orphans)))
+
+let sweep_stale_removes_old_orphans () =
+  in_temp_dir (fun dir ->
+      let old_orphan = Filename.concat dir ".ms2dead.tmp" in
+      let new_orphan = Filename.concat dir ".ms2live.tmp" in
+      let bystander = Filename.concat dir "data.txt" in
+      write_file old_orphan "x";
+      write_file new_orphan "y";
+      write_file bystander "z";
+      (* age the stale orphan past the cutoff *)
+      let past = Unix.gettimeofday () -. 7200. in
+      Unix.utimes old_orphan past past;
+      let removed = Atomic_io.sweep_stale dir in
+      Alcotest.(check int) "exactly the aged orphan is swept" 1 removed;
+      Alcotest.(check bool) "aged orphan gone" false (Sys.file_exists old_orphan);
+      Alcotest.(check bool) "fresh orphan kept" true (Sys.file_exists new_orphan);
+      Alcotest.(check bool) "bystander kept" true (Sys.file_exists bystander))
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot save/load (in-process)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let expand_ok engine src =
+  match Ms2.Api.expand ~source:"rec.mc" engine src with
+  | Ok out -> out
+  | Error e -> Alcotest.failf "unexpected failure: %s" e
+
+(* Fill a shared store, snapshot it, restore into a fresh store, and
+   prove the restored cache replays: same bytes, real hits. *)
+let snapshot_roundtrip () =
+  in_temp_dir (fun dir ->
+      let path = Filename.concat dir "snap.bin" in
+      let s1 = Ms2.Api.create_shared_cache () in
+      let e1 = Ms2.Api.create_engine ~cache_store:s1 () in
+      ignore (expand_ok e1 defs);
+      let out1 = expand_ok e1 uses in
+      let sv =
+        match Ms2.Api.save_shared_cache s1 path with
+        | Ok sv -> sv
+        | Error e -> Alcotest.failf "save failed: %s" e
+      in
+      Alcotest.(check bool)
+        "snapshot holds entries" true
+        (sv.Ms2.Engine.sv_entries > 0);
+      let s2 = Ms2.Api.create_shared_cache () in
+      let l = Ms2.Api.load_shared_cache s2 path in
+      Alcotest.(check (option string)) "clean load" None l.Ms2.Engine.ld_error;
+      Alcotest.(check int)
+        "every entry restored" sv.Ms2.Engine.sv_entries
+        l.Ms2.Engine.ld_entries;
+      let e2 = Ms2.Api.create_engine ~cache_store:s2 () in
+      ignore (expand_ok e2 defs);
+      let out2 = expand_ok e2 uses in
+      Alcotest.(check string) "replayed bytes are identical" out1 out2;
+      let st = Ms2.Api.stats e2 in
+      Alcotest.(check bool)
+        (Printf.sprintf "restored cache replays (%d hits)"
+           st.Ms2.Api.cache_hits)
+        true
+        (st.Ms2.Api.cache_hits > 0))
+
+(* The corruption golden: every damaged variant must load as a cold
+   cache (zero entries, [ld_error] set, warning counter bumped) and the
+   output expanded against it must equal the --no-cache rendering. *)
+let corrupt_load ~label (damage : string -> string) () =
+  in_temp_dir (fun dir ->
+      let path = Filename.concat dir "snap.bin" in
+      let s1 = Ms2.Api.create_shared_cache () in
+      let e1 = Ms2.Api.create_engine ~cache_store:s1 () in
+      ignore (expand_ok e1 defs);
+      let out_ref = expand_ok e1 uses in
+      (match Ms2.Api.save_shared_cache s1 path with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "save failed: %s" e);
+      write_file path (damage (read_file path));
+      let warn = Obs.Metrics.counter "snapshot.load.warnings" in
+      let before = Obs.Metrics.value warn in
+      let s2 = Ms2.Api.create_shared_cache () in
+      let l = Ms2.Api.load_shared_cache s2 path in
+      Alcotest.(check bool)
+        (label ^ ": load reports an error") true
+        (l.Ms2.Engine.ld_error <> None);
+      Alcotest.(check int) (label ^ ": cold cache") 0 l.Ms2.Engine.ld_entries;
+      Alcotest.(check int)
+        (label ^ ": one load warning") 1 l.Ms2.Engine.ld_warnings;
+      Alcotest.(check int)
+        (label ^ ": warning counter bumped") (before + 1)
+        (Obs.Metrics.value warn);
+      (* the degraded run must still produce exactly the no-cache bytes *)
+      let e2 = Ms2.Api.create_engine ~cache_store:s2 () in
+      ignore (expand_ok e2 defs);
+      let out_cold = expand_ok e2 uses in
+      let e3 = Ms2.Api.create_engine ~cache:false () in
+      ignore (expand_ok e3 defs);
+      let out_nocache = expand_ok e3 uses in
+      Alcotest.(check string)
+        (label ^ ": degraded output matches the reference") out_ref out_cold;
+      Alcotest.(check string)
+        (label ^ ": degraded output matches --no-cache") out_nocache out_cold)
+
+let truncate_half s = String.sub s 0 (String.length s / 2)
+
+let flip_middle_bit s =
+  let b = Bytes.of_string s in
+  let i = Bytes.length b / 2 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+  Bytes.to_string b
+
+(* a snapshot written by a future format: same magic, bumped version *)
+let skew_version s =
+  let b = Bytes.of_string s in
+  Bytes.set b 8 (Char.chr 0xEE);
+  Bytes.to_string b
+
+(* With [snapshot/save] armed the save must fail softly (an [Error],
+   no file, no crash); with [snapshot/load] armed a load degrades cold
+   exactly like corruption. *)
+let snapshot_failpoints_soft () =
+  in_temp_dir (fun dir ->
+      let path = Filename.concat dir "snap.bin" in
+      let s1 = Ms2.Api.create_shared_cache () in
+      let e1 = Ms2.Api.create_engine ~cache_store:s1 () in
+      ignore (expand_ok e1 defs);
+      ignore (expand_ok e1 uses);
+      (match Failpoint.arm_spec "snapshot/save=error" with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "cannot arm: %s" e);
+      Fun.protect ~finally:Failpoint.reset (fun () ->
+          match Ms2.Api.save_shared_cache s1 path with
+          | Ok _ -> Alcotest.fail "save succeeded with snapshot/save armed"
+          | Error _ ->
+              Alcotest.(check bool)
+                "no snapshot file appears" false (Sys.file_exists path));
+      (match Ms2.Api.save_shared_cache s1 path with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "clean save failed: %s" e);
+      (match Failpoint.arm_spec "snapshot/load=error" with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "cannot arm: %s" e);
+      Fun.protect ~finally:Failpoint.reset (fun () ->
+          let s2 = Ms2.Api.create_shared_cache () in
+          let l = Ms2.Api.load_shared_cache s2 path in
+          Alcotest.(check bool)
+            "armed load degrades cold" true
+            (l.Ms2.Engine.ld_error <> None && l.Ms2.Engine.ld_entries = 0)))
+
+(* ------------------------------------------------------------------ *)
+(* Subprocess plumbing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let quote = Filename.quote
+
+(* Run ms2c via the shell: returns the exit code.  [env] prefixes
+   variable assignments (e.g. failpoint arming) onto the command. *)
+let run_ms2c ?(env = "") args ~out ~err : int =
+  Sys.command
+    (Printf.sprintf "%s%s %s > %s 2> %s"
+       (if env = "" then "" else env ^ " ")
+       ms2c args (quote out) (quote err))
+
+let corpus_files dir n =
+  List.init n (fun i ->
+      let p = Filename.concat dir (Printf.sprintf "f%d.mc" i) in
+      write_file p
+        (defs
+        ^ Printf.sprintf
+            "int draw%d(int hDC)\n\
+             {\n\
+            \  Painting { line(%d, 2); }\n\
+            \  return %d;\n\
+             }\n"
+            i i i);
+      p)
+
+let quoted_list paths = String.concat " " (List.map quote paths)
+
+(* ------------------------------------------------------------------ *)
+(* The journal: kill -9 mid-batch, then --resume                       *)
+(* ------------------------------------------------------------------ *)
+
+let count_journal_records path =
+  if not (Sys.file_exists path) then 0
+  else
+    read_file path |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.length
+
+(* The flagship recovery scenario.  A 3-file batch is started with the
+   third fragment wedged behind [engine/fragment=hang=2]; once the
+   journal shows two fsynced records the process is killed with
+   SIGKILL — the one signal nothing can clean up after.  The resumed
+   run must replay those two from the journal, expand only the third,
+   and emit byte-for-byte what an uninterrupted batch produces. *)
+let kill9_resume_byte_identity () =
+  in_temp_dir (fun dir ->
+      let files = corpus_files dir 3 in
+      let out_clean = Filename.concat dir "clean.c" in
+      let out_resumed = Filename.concat dir "resumed.c" in
+      let journal = Filename.concat dir "batch.journal" in
+      let journal_clean = Filename.concat dir "clean.journal" in
+      let err = Filename.concat dir "err.txt" in
+      let code =
+        run_ms2c
+          (Printf.sprintf "expand %s --jobs 1 --journal %s -o %s"
+             (quoted_list files) (quote journal_clean) (quote out_clean))
+          ~out:(Filename.concat dir "ignore1") ~err
+      in
+      Alcotest.(check int) "uninterrupted batch succeeds" 0 code;
+      (* start the doomed batch with the third fragment wedged *)
+      let argv =
+        [| ms2c; "expand" |]
+        |> Array.to_list
+        |> fun l ->
+        l @ files
+        @ [ "--jobs"; "1"; "--journal"; journal; "-o"; out_resumed ]
+        |> Array.of_list
+      in
+      let env =
+        Array.append (Unix.environment ())
+          [| "MS2_FAILPOINTS=engine/fragment=hang=2" |]
+      in
+      let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+      let pid =
+        Unix.create_process_env ms2c argv env Unix.stdin devnull devnull
+      in
+      Unix.close devnull;
+      (* wait (bounded) for the two completed records to reach the disk *)
+      let deadline = Unix.gettimeofday () +. 30. in
+      while
+        count_journal_records journal < 2
+        && Unix.gettimeofday () < deadline
+      do
+        Unix.sleepf 0.05
+      done;
+      Alcotest.(check int)
+        "two files journaled before the crash" 2
+        (count_journal_records journal);
+      Unix.kill pid Sys.sigkill;
+      ignore (Unix.waitpid [] pid);
+      Alcotest.(check bool)
+        "the batch died before writing its output" false
+        (Sys.file_exists out_resumed);
+      (* resume: replay the two, expand the third, byte-identical *)
+      let err2 = Filename.concat dir "err2.txt" in
+      let code =
+        run_ms2c
+          (Printf.sprintf "expand %s --jobs 1 --journal %s --resume -o %s"
+             (quoted_list files) (quote journal) (quote out_resumed))
+          ~out:(Filename.concat dir "ignore2") ~err:err2
+      in
+      Alcotest.(check int) "resume succeeds" 0 code;
+      check_contains ~msg:"resume reports the replays"
+        ~sub:"2 of 3 files replayed" (read_file err2);
+      Alcotest.(check string)
+        "resumed output is byte-identical to the uninterrupted batch"
+        (read_file out_clean) (read_file out_resumed))
+
+(* --resume against a journal whose lines were torn or flipped must
+   re-expand those files rather than trust them. *)
+let resume_ignores_corrupt_records () =
+  in_temp_dir (fun dir ->
+      let files = corpus_files dir 3 in
+      let out1 = Filename.concat dir "a.c" in
+      let out2 = Filename.concat dir "b.c" in
+      let journal = Filename.concat dir "batch.journal" in
+      let code =
+        run_ms2c
+          (Printf.sprintf "expand %s --jobs 1 --journal %s -o %s"
+             (quoted_list files) (quote journal) (quote out1))
+          ~out:(Filename.concat dir "i1") ~err:(Filename.concat dir "e1")
+      in
+      Alcotest.(check int) "journaled batch succeeds" 0 code;
+      (* tear the final line mid-payload and flip a byte in the first *)
+      let lines =
+        read_file journal |> String.split_on_char '\n'
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      let damaged =
+        List.mapi
+          (fun i l ->
+            if i = 0 then flip_middle_bit l
+            else if i = List.length lines - 1 then
+              String.sub l 0 (String.length l / 2)
+            else l)
+          lines
+      in
+      write_file journal (String.concat "\n" damaged ^ "\n");
+      let err2 = Filename.concat dir "e2" in
+      let code =
+        run_ms2c
+          (Printf.sprintf "expand %s --jobs 1 --journal %s --resume -o %s"
+             (quoted_list files) (quote journal) (quote out2))
+          ~out:(Filename.concat dir "i2") ~err:err2
+      in
+      Alcotest.(check int) "resume over a damaged journal succeeds" 0 code;
+      check_contains ~msg:"only the intact record replays"
+        ~sub:"1 of 3 files replayed" (read_file err2);
+      Alcotest.(check string)
+        "output is byte-identical regardless" (read_file out1)
+        (read_file out2))
+
+let resume_requires_journal () =
+  in_temp_dir (fun dir ->
+      let files = corpus_files dir 1 in
+      let code =
+        run_ms2c
+          (Printf.sprintf "expand %s --resume" (quoted_list files))
+          ~out:(Filename.concat dir "i") ~err:(Filename.concat dir "e")
+      in
+      Alcotest.(check int) "--resume without --journal is fatal" 1 code;
+      check_contains ~msg:"the error names the missing flag"
+        ~sub:"--resume requires --journal"
+        (read_file (Filename.concat dir "e")))
+
+(* ------------------------------------------------------------------ *)
+(* The recovery failpoint sweep                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Every persistence failpoint, armed one at a time under the full
+   [--journal] + [--cache-file] pipeline: the batch must still exit 0
+   and produce byte-identical output — persistence failures degrade,
+   they never corrupt or kill the run. *)
+let persistence_failpoint_sweep () =
+  in_temp_dir (fun dir ->
+      let files = corpus_files dir 2 in
+      (* output goes to stdout: the [io/rename] leg deliberately breaks
+         every Atomic_io write, which would make a [-o] target itself
+         fail — the property under test is that the *persistence* layer
+         degrades without touching the expansion result *)
+      let out_ref = Filename.concat dir "ref.c" in
+      let code =
+        run_ms2c
+          (Printf.sprintf "expand %s --jobs 1" (quoted_list files))
+          ~out:out_ref ~err:(Filename.concat dir "e0")
+      in
+      Alcotest.(check int) "reference run succeeds" 0 code;
+      let sites =
+        List.filter Failpoint.persist_site Failpoint.sites
+      in
+      Alcotest.(check bool)
+        "the sweep covers the persistence sites" true
+        (List.length sites >= 4);
+      List.iteri
+        (fun i site ->
+          let out = Filename.concat dir (Printf.sprintf "s%d.c" i) in
+          let journal = Filename.concat dir (Printf.sprintf "s%d.j" i) in
+          let snap = Filename.concat dir (Printf.sprintf "s%d.snap" i) in
+          let code =
+            run_ms2c
+              ~env:
+                (Printf.sprintf "MS2_FAILPOINTS=%s"
+                   (quote (site ^ "=error")))
+              (Printf.sprintf
+                 "expand %s --jobs 1 --journal %s --cache-file %s"
+                 (quoted_list files) (quote journal) (quote snap))
+              ~out
+              ~err:(Filename.concat dir (Printf.sprintf "e%d" (i + 1)))
+          in
+          Alcotest.(check int) (site ^ ": batch still exits 0") 0 code;
+          Alcotest.(check string)
+            (site ^ ": output is byte-identical") (read_file out_ref)
+            (read_file out))
+        sites)
+
+(* ------------------------------------------------------------------ *)
+(* Daemon: corrupted --cache-file and pidfile reclaim                  *)
+(* ------------------------------------------------------------------ *)
+
+type daemon = { pid : int; din : in_channel; dout : out_channel }
+
+let start_daemon ?(args = []) () =
+  let stdin_r, stdin_w = Unix.pipe ~cloexec:true () in
+  let stdout_r, stdout_w = Unix.pipe ~cloexec:true () in
+  let argv = Array.of_list (ms2c :: "serve" :: args) in
+  let pid = Unix.create_process ms2c argv stdin_r stdout_w Unix.stderr in
+  Unix.close stdin_r;
+  Unix.close stdout_w;
+  {
+    pid;
+    din = Unix.in_channel_of_descr stdout_r;
+    dout = Unix.out_channel_of_descr stdin_w;
+  }
+
+let rec reap pid =
+  try snd (Unix.waitpid [] pid)
+  with Unix.Unix_error (Unix.EINTR, _, _) -> reap pid
+
+let with_daemon ?args f =
+  ignore (Unix.alarm 120);
+  let d = start_daemon ?args () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try close_out d.dout with Sys_error _ -> ());
+      (try close_in d.din with Sys_error _ -> ());
+      (try Unix.kill d.pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (reap d.pid) with Unix.Unix_error _ -> ());
+      ignore (Unix.alarm 0))
+    (fun () -> f d)
+
+let next_id = ref 0
+
+let rpc d fields =
+  incr next_id;
+  output_string d.dout
+    (Json.to_string (Json.Obj (("id", Json.Int !next_id) :: fields)));
+  output_char d.dout '\n';
+  flush d.dout;
+  match Json.parse (input_line d.din) with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unparseable response: %s" e
+
+let is_ok v =
+  match Json.member v "ok" with Some (Json.Bool b) -> b | _ -> false
+
+(* A daemon pointed at a damaged snapshot must come up healthy and
+   serve — the warmth is lost, nothing else. *)
+let daemon_survives_corrupt_cache_file () =
+  in_temp_dir (fun dir ->
+      let snap = Filename.concat dir "snap.bin" in
+      write_file snap "MS2SNAP\001garbage that is definitely not a snapshot";
+      with_daemon ~args:[ "--cache-file"; snap ] (fun d ->
+          let r = rpc d [ ("method", Json.Str "ping") ] in
+          Alcotest.(check bool) "daemon answers ping" true (is_ok r);
+          let r =
+            rpc d
+              [ ("method", Json.Str "expand");
+                ("session", Json.Str "s1");
+                ("text", Json.Str "int f(void) { return 1; }") ]
+          in
+          Alcotest.(check bool) "daemon expands" true (is_ok r);
+          (* and an on-demand snapshot repairs the file in place *)
+          let r = rpc d [ ("method", Json.Str "snapshot") ] in
+          Alcotest.(check bool) "snapshot admin method works" true (is_ok r)))
+
+let snapshot_method_needs_cache_file () =
+  with_daemon (fun d ->
+      let r = rpc d [ ("method", Json.Str "snapshot") ] in
+      Alcotest.(check bool) "refused without --cache-file" false (is_ok r))
+
+(* Warm restart through the daemon: drain saves the snapshot, a second
+   daemon loads it and replays the same session fragment as a hit. *)
+let daemon_restart_is_warm () =
+  in_temp_dir (fun dir ->
+      let snap = Filename.concat dir "snap.bin" in
+      let frag = "int f(void) { return 40 + 2; }" in
+      let expand_once () =
+        ignore (Unix.alarm 120);
+        let d = start_daemon ~args:[ "--cache-file"; snap ] () in
+        Fun.protect
+          ~finally:(fun () ->
+            (try close_out d.dout with Sys_error _ -> ());
+            (try close_in d.din with Sys_error _ -> ());
+            (try Unix.kill d.pid Sys.sigkill with Unix.Unix_error _ -> ());
+            (try ignore (reap d.pid) with Unix.Unix_error _ -> ());
+            ignore (Unix.alarm 0))
+          (fun () ->
+            let r =
+              rpc d
+                [ ("method", Json.Str "expand");
+                  ("session", Json.Str "s1");
+                  ("text", Json.Str frag) ]
+            in
+            Alcotest.(check bool) "expand ok" true (is_ok r);
+            let hits =
+              match
+                Option.bind (Json.member r "request") (fun rq ->
+                    Option.bind (Json.member rq "cache_hits") Json.int)
+              with
+              | Some n -> n
+              | None -> -1
+            in
+            (* EOF is the drain: the daemon snapshots the store on its
+               way out, so wait for the clean exit before returning *)
+            (try close_out d.dout with Sys_error _ -> ());
+            ignore (reap d.pid);
+            ( Option.value ~default:""
+                (Option.bind (Json.member r "output") Json.str),
+              hits ))
+      in
+      let out1, hits1 = expand_once () in
+      Alcotest.(check int) "first run is a miss" 0 hits1;
+      Alcotest.(check bool) "drain wrote the snapshot" true
+        (Sys.file_exists snap);
+      let out2, hits2 = expand_once () in
+      Alcotest.(check string) "restart replays the same bytes" out1 out2;
+      Alcotest.(check int) "restart is warm (cache hit)" 1 hits2)
+
+let stale_pidfile_is_reclaimed () =
+  in_temp_dir (fun dir ->
+      let pidfile = Filename.concat dir "d.pid" in
+      (* a pid that no process on a Linux box can have (> pid_max),
+         plus the malformed variant *)
+      List.iter
+        (fun contents ->
+          write_file pidfile contents;
+          with_daemon ~args:[ "--pidfile"; pidfile ] (fun d ->
+              let r = rpc d [ ("method", Json.Str "ping") ] in
+              Alcotest.(check bool)
+                ("daemon starts over a stale pidfile: " ^ contents) true
+                (is_ok r);
+              Alcotest.(check string)
+                "the pidfile now holds the live daemon"
+                (string_of_int d.pid)
+                (String.trim (read_file pidfile))))
+        [ "99999999"; "not-a-pid" ])
+
+let live_pidfile_refuses_second_daemon () =
+  in_temp_dir (fun dir ->
+      let pidfile = Filename.concat dir "d.pid" in
+      (* our own test process is certainly alive *)
+      write_file pidfile (string_of_int (Unix.getpid ()) ^ "\n");
+      ignore (Unix.alarm 60);
+      let d = start_daemon ~args:[ "--pidfile"; pidfile ] () in
+      let st = reap d.pid in
+      (try close_out d.dout with Sys_error _ -> ());
+      (try close_in d.din with Sys_error _ -> ());
+      ignore (Unix.alarm 0);
+      (match st with
+      | Unix.WEXITED 1 -> ()
+      | Unix.WEXITED c -> Alcotest.failf "expected exit 1, got %d" c
+      | _ -> Alcotest.fail "daemon did not exit");
+      Alcotest.(check string)
+        "the live pidfile is untouched"
+        (string_of_int (Unix.getpid ()))
+        (String.trim (read_file pidfile)))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "recovery"
+    [ ( "atomic-io",
+        [ Alcotest.test_case "io/rename preserves old contents" `Quick
+            rename_failpoint_preserves_old;
+          Alcotest.test_case "sweep_stale removes aged orphans" `Quick
+            sweep_stale_removes_old_orphans ] );
+      ( "snapshot",
+        [ Alcotest.test_case "roundtrip replays" `Quick snapshot_roundtrip;
+          Alcotest.test_case "truncation degrades cold" `Quick
+            (corrupt_load ~label:"truncated" truncate_half);
+          Alcotest.test_case "bit flip degrades cold" `Quick
+            (corrupt_load ~label:"bit-flipped" flip_middle_bit);
+          Alcotest.test_case "version skew degrades cold" `Quick
+            (corrupt_load ~label:"version-skewed" skew_version);
+          Alcotest.test_case "save/load failpoints are soft" `Quick
+            snapshot_failpoints_soft ] );
+      ( "journal",
+        [ Alcotest.test_case "kill -9 + --resume is byte-identical" `Quick
+            kill9_resume_byte_identity;
+          Alcotest.test_case "corrupt records are re-expanded" `Quick
+            resume_ignores_corrupt_records;
+          Alcotest.test_case "--resume requires --journal" `Quick
+            resume_requires_journal;
+          Alcotest.test_case "persistence failpoint sweep" `Quick
+            persistence_failpoint_sweep ] );
+      ( "daemon",
+        [ Alcotest.test_case "corrupt --cache-file stays healthy" `Quick
+            daemon_survives_corrupt_cache_file;
+          Alcotest.test_case "snapshot method needs --cache-file" `Quick
+            snapshot_method_needs_cache_file;
+          Alcotest.test_case "restart is warm" `Quick daemon_restart_is_warm;
+          Alcotest.test_case "stale pidfile is reclaimed" `Quick
+            stale_pidfile_is_reclaimed;
+          Alcotest.test_case "live pidfile refuses a second daemon" `Quick
+            live_pidfile_refuses_second_daemon ] ) ]

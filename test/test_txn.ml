@@ -135,10 +135,14 @@ let sweep_cases =
           (Printf.sprintf "%s=timeout recovers" site)
           (sweep_one ~trigger:Failpoint.Timeout ~code:Diag.code_timeout site)
       ])
-    (* serve/* sites live on the daemon's request path, not inside the
-       engine: this in-process sweep never reaches them.  test_serve.ml
-       sweeps them through a live daemon instead. *)
-    (List.filter (fun s -> not (Failpoint.serve_site s)) Failpoint.sites)
+    (* serve sites live on the daemon's request path and the
+       persistence sites (io/, snapshot/, journal/ prefixes) on the
+       crash-recovery path — not inside the engine: this in-process
+       sweep never reaches them.  test_serve.ml and test_recovery.ml
+       sweep them through the real subsystems instead. *)
+    (List.filter
+       (fun s -> not (Failpoint.serve_site s || Failpoint.persist_site s))
+       Failpoint.sites)
 
 let after_trigger_counts () =
   Failpoint.reset ();
