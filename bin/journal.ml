@@ -6,7 +6,7 @@
 
     {v
     {"file":..., "input":..., "flags":..., "status":..., "output":...,
-     "payload":..., "crc":...}
+     "build":..., "payload":..., "crc":...}
     v}
 
     [input] and [flags] are hex digests of the input text and of the
@@ -16,15 +16,27 @@
     ["ok"] or ["fatal"], and [payload] carries the driver's whole
     per-file worker result (marshalled, base64) so a replayed file
     reassembles byte-identical output {e and} diagnostics without
-    re-expanding.  [crc] is the MD5 of the record serialized without
-    the crc field, in the writer's canonical field order — a reader
-    re-derives it the same way, so any torn or bit-flipped line is
-    detected and skipped with a warning, never trusted.
+    re-expanding.  [build] is the writer's executable fingerprint
+    ({!Ms2_support.Build_id.hex}): [Marshal] is untyped, so the replay
+    path refuses to decode a payload written by any other build of the
+    binary — resuming a batch across an upgrade re-expands instead of
+    risking an unsafe decode.  [crc] is the MD5 of the record
+    serialized without the crc field, in the writer's canonical field
+    order — a reader re-derives it the same way, so any torn or
+    bit-flipped line is detected and skipped with a warning, never
+    trusted.
 
     Appends are a single [write] on an [O_APPEND] descriptor followed
-    by [fsync]: crash-durable the moment the call returns, and safe
-    from forked workers sharing the inherited descriptor (each record
-    is one small write).  Domain workers serialize through a mutex. *)
+    by [fsync], under a best-effort whole-file [fcntl] lock: a record
+    carries the entire marshalled worker result, which can exceed the
+    size POSIX guarantees non-interleaved for concurrent [O_APPEND]
+    writers, so forked workers exclude each other through the kernel
+    lock rather than hoping the append is atomic.  Domain workers
+    (which share one process, invisible to fcntl) serialize through a
+    mutex.  On a filesystem without lock support the append degrades
+    to the bare write: an interleaving is then still {e detected} by
+    the crc — both records lost to re-expansion on [--resume], never
+    trusted. *)
 
 module Json = Ms2_support.Json
 module Obs = Ms2_support.Obs
@@ -38,6 +50,7 @@ type record = {
   jr_flags : string;  (** hex digest of the output-affecting flags *)
   jr_status : string;  (** ["ok"] or ["fatal"] *)
   jr_output : string;  (** hex digest of the produced output bytes *)
+  jr_build : string;  (** hex build fingerprint of the writing binary *)
   jr_payload : string;  (** base64-marshalled worker result *)
 }
 
@@ -122,6 +135,7 @@ let fields_of (r : record) : (string * Json.t) list =
     ("flags", Json.Str r.jr_flags);
     ("status", Json.Str r.jr_status);
     ("output", Json.Str r.jr_output);
+    ("build", Json.Str r.jr_build);
     ("payload", Json.Str r.jr_payload) ]
 
 let crc_of (r : record) : string =
@@ -137,12 +151,13 @@ let decode (line : string) : record option =
       let field name = Option.bind (Json.member j name) Json.str in
       match
         ( field "file", field "input", field "flags", field "status",
-          field "output", field "payload", field "crc" )
+          field "output", field "build", field "payload", field "crc" )
       with
       | ( Some jr_file, Some jr_input, Some jr_flags, Some jr_status,
-          Some jr_output, Some jr_payload, Some crc ) ->
+          Some jr_output, Some jr_build, Some jr_payload, Some crc ) ->
           let r =
-            { jr_file; jr_input; jr_flags; jr_status; jr_output; jr_payload }
+            { jr_file; jr_input; jr_flags; jr_status; jr_output; jr_build;
+              jr_payload }
           in
           if String.equal (crc_of r) crc then Some r else None
       | _ -> None)
@@ -167,16 +182,40 @@ let open_writer ?(truncate = false) (path : string) : (writer, string) result =
 let close_writer (w : writer) : unit =
   try Unix.close w.fd with Unix.Unix_error _ -> ()
 
-(* One write + fsync per record.  The mutex serializes domain workers;
-   forked workers inherit the descriptor and rely on O_APPEND plus the
-   single small write for atomicity (their copy of the mutex is
-   private, which is fine — the kernel orders the appends). *)
+(* Take/release a whole-file fcntl lock (fork children own distinct
+   process locks even on the inherited descriptor, so this excludes
+   them through the kernel; the seek pins the locked region to the
+   whole file and is harmless under O_APPEND, which ignores the
+   offset).  Best-effort: a filesystem that cannot lock (ENOLCK, NFS
+   quirks) degrades to the unlocked append, whose rare interleavings
+   the crc catches. *)
+let lock_file (fd : Unix.file_descr) : bool =
+  match
+    ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+    Unix.lockf fd Unix.F_LOCK 0
+  with
+  | () -> true
+  | exception Unix.Unix_error _ -> false
+
+let unlock_file (fd : Unix.file_descr) : unit =
+  try
+    ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+    Unix.lockf fd Unix.F_ULOCK 0
+  with Unix.Unix_error _ -> ()
+
+(* One write + fsync per record, under the cross-process file lock —
+   a record carries a whole marshalled worker result, far beyond any
+   append size the kernel promises to keep un-interleaved.  The mutex
+   serializes domain workers, which fcntl cannot tell apart (forked
+   workers' private mutex copies are fine: the file lock orders
+   them). *)
 let append (w : writer) (r : record) : (unit, string) result =
   match Failpoint.hit ~loc:Loc.dummy "journal/append" with
   | exception Diag.Error d -> Error d.Diag.message
   | () -> (
       let line = encode r ^ "\n" in
       Mutex.lock w.lock;
+      let locked = lock_file w.fd in
       let result =
         match
           let n = Unix.write_substring w.fd line 0 (String.length line) in
@@ -187,6 +226,7 @@ let append (w : writer) (r : record) : (unit, string) result =
         | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
         | exception Failure msg -> Error msg
       in
+      if locked then unlock_file w.fd;
       Mutex.unlock w.lock;
       (match result with
       | Ok () -> Obs.Metrics.incr (Obs.Metrics.counter "journal.appends")

@@ -15,6 +15,7 @@ module Failpoint = Ms2_support.Failpoint
 module Obs = Ms2_support.Obs
 module Pool = Ms2_support.Pool
 module Atomic_io = Ms2_support.Atomic_io
+module Build_id = Ms2_support.Build_id
 
 (* How [--jobs N] (N > 1) parallelizes: shared-memory OCaml domains
    over one work-stealing pool (the default — shares the expansion
@@ -651,8 +652,10 @@ let expand_parallel ~jobs ~jobs_mode ~limits ~keep_going ~hygienic ~prelude
   (* resume: index the journal by (file, input digest, flags digest) —
      the last intact record for a key wins, and its payload reassembles
      the file's result without re-expanding.  The journal's crc already
-     vouches for the payload bytes; the output digest is re-checked
-     anyway (belt and suspenders before trusting [Marshal]). *)
+     vouches for the payload bytes, but [Marshal] is only safe on bytes
+     THIS build wrote, so a record stamped by any other build of the
+     binary is skipped (re-expanded) before decoding; the output digest
+     is re-checked anyway (belt and suspenders). *)
   let prefill : worker_result option array =
     match (journal, resume) with
     | Some path, true ->
@@ -670,6 +673,9 @@ let expand_parallel ~jobs ~jobs_mode ~limits ~keep_going ~hygienic ~prelude
               Hashtbl.find_opt tbl (source, input_digest text, flagsd)
             with
             | None -> None
+            | Some r when not (String.equal r.Journal.jr_build (Build_id.hex ()))
+              ->
+                None
             | Some r -> (
                 match Journal.b64_decode r.Journal.jr_payload with
                 | None -> None
@@ -819,6 +825,7 @@ let expand_parallel ~jobs ~jobs_mode ~limits ~keep_going ~hygienic ~prelude
                 jr_flags = flagsd;
                 jr_status = (if r.w_fatal then "fatal" else "ok");
                 jr_output = input_digest r.w_out;
+                jr_build = Build_id.hex ();
                 jr_payload =
                   Journal.b64_encode
                     (Marshal.to_string

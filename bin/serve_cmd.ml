@@ -637,31 +637,74 @@ let claim_socket (path : string) : Unix.file_descr =
      fatal "%s: cannot claim socket: %s" path msg);
   fd
 
-(* A pidfile left by a previous daemon: if the recorded process is
-   gone (or the file is garbage) the file is stale — reclaim it and
-   start; if it is alive, refuse to start a second daemon on top.
-   This guards the stdio mode too, which has no socket probe. *)
-let reclaim_pidfile (path : string) : unit =
-  if Sys.file_exists path then
-    match In_channel.with_open_text path In_channel.input_all with
-    | exception Sys_error _ -> ()
-    | text -> (
-        let remove_stale why =
-          Printf.eprintf "ms2c serve: reclaiming stale pidfile %s (%s)\n%!"
-            path why;
-          try Sys.remove path with Sys_error _ -> ()
-        in
-        match int_of_string_opt (String.trim text) with
-        | None -> remove_stale "malformed"
-        | Some pid -> (
-            match Unix.kill pid 0 with
-            | () -> fatal "%s: daemon already running (pid %d)" path pid
-            | exception Unix.Unix_error (ESRCH, _, _) ->
-                remove_stale (Printf.sprintf "pid %d is dead" pid)
-            | exception Unix.Unix_error (EPERM, _, _) ->
-                fatal "%s: daemon already running (pid %d, other user)"
-                  path pid
-            | exception Unix.Unix_error _ -> ()))
+(* The pidfile doubles as its own lock: the daemon takes an fcntl
+   write lock on it at startup and holds it for its whole lifetime, so
+   two daemons racing over the same stale file serialize through the
+   kernel — exactly one F_TLOCK wins and the loser refuses to start.
+   (A read-pid-then-unlink reclaim would be check-then-act: both
+   racers could observe the same dead pid, both reclaim, and both
+   start — in stdio mode there is no socket claim to break the tie.)
+   A file whose lock is free but whose recorded pid is alive still
+   refuses: liveness recorded by writers that hold no lock (an older
+   build, an operator) is honoured; a dead or garbage pid is stale and
+   is reclaimed by truncating in place under the lock.  This guards
+   the stdio mode too, which has no socket probe.  The descriptor is
+   parked in [pidfile_lock_fd], never closed, so the lock lives
+   exactly as long as the process (the kernel drops it on any exit,
+   SIGKILL included); fcntl locks do not survive fork, so a
+   --supervise worker cannot shadow its supervisor's claim. *)
+let pidfile_lock_fd : Unix.file_descr option ref = ref None
+
+let claim_pidfile (path : string) : unit =
+  let fd =
+    match Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 with
+    | fd -> fd
+    | exception Unix.Unix_error (e, _, _) ->
+        fatal "%s: cannot open pidfile: %s" path (Unix.error_message e)
+  in
+  (* read through the locked descriptor: opening the path again in
+     this process would drop the fcntl lock when that channel closes *)
+  let recorded_pid () =
+    let buf = Bytes.create 64 in
+    match
+      ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+      Unix.read fd buf 0 (Bytes.length buf)
+    with
+    | n -> int_of_string_opt (String.trim (Bytes.sub_string buf 0 n))
+    | exception Unix.Unix_error _ -> None
+  in
+  (match Unix.lockf fd Unix.F_TLOCK 0 with
+  | () -> ()
+  | exception Unix.Unix_error ((EAGAIN | EACCES), _, _) -> (
+      match recorded_pid () with
+      | Some pid -> fatal "%s: daemon already running (pid %d)" path pid
+      | None -> fatal "%s: daemon already running" path)
+  | exception Unix.Unix_error (e, _, _) ->
+      fatal "%s: cannot lock pidfile: %s" path (Unix.error_message e));
+  (match recorded_pid () with
+  | Some pid when pid <> Unix.getpid () -> (
+      match Unix.kill pid 0 with
+      | () -> fatal "%s: daemon already running (pid %d)" path pid
+      | exception Unix.Unix_error (ESRCH, _, _) ->
+          Printf.eprintf
+            "ms2c serve: reclaiming stale pidfile %s (pid %d is dead)\n%!"
+            path pid
+      | exception Unix.Unix_error (EPERM, _, _) ->
+          fatal "%s: daemon already running (pid %d, other user)" path pid
+      | exception Unix.Unix_error _ -> ())
+  | Some _ | None -> ());
+  (try
+     Unix.ftruncate fd 0;
+     ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+     let line = string_of_int (Unix.getpid ()) ^ "\n" in
+     if Unix.write_substring fd line 0 (String.length line)
+        <> String.length line
+     then failwith "short write"
+   with
+  | Unix.Unix_error (e, _, _) ->
+      fatal "%s: cannot write pidfile: %s" path (Unix.error_message e)
+  | Failure msg -> fatal "%s: cannot write pidfile: %s" path msg);
+  pidfile_lock_fd := Some fd
 
 let cleanup (st : state) : unit =
   (match st.listen_fd with Some fd -> (try Unix.close fd with _ -> ()) | None -> ());
@@ -867,9 +910,7 @@ let run_server ~limits ~hygienic ~prelude ~prelude_file ~cache ~workers
   let shards = Array.init workers make_shard in
   let listen_fd = Option.map claim_socket socket in
   (match (pidfile, write_pidfile) with
-  | Some p, true ->
-      reclaim_pidfile p;
-      Atomic_io.write_exn p (string_of_int (Unix.getpid ()) ^ "\n")
+  | Some p, true -> claim_pidfile p
   | _ -> ());
   let st =
     {
@@ -938,11 +979,7 @@ let supervise ~pidfile (spawn_worker : unit -> unit) : unit =
   in
   Sys.set_signal Sys.sigterm (forward Sys.sigterm);
   Sys.set_signal Sys.sigint (forward Sys.sigint);
-  (match pidfile with
-  | Some p ->
-      reclaim_pidfile p;
-      Atomic_io.write_exn p (string_of_int (Unix.getpid ()) ^ "\n")
-  | None -> ());
+  (match pidfile with Some p -> claim_pidfile p | None -> ());
   let backoff = Backoff.create ~base_ms:200 ~cap_ms:5000 () in
   let cleanup_pidfile () =
     match pidfile with

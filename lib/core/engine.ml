@@ -1110,8 +1110,9 @@ let expand_source (t : t) ?(source = "<string>") ?deadline_ms (text : string)
    restarted batch or daemon starts warm.  The container is
    deliberately paranoid:
 
-     magic (8) | format version (u32) | generation (16) |
-     version-counter high water (i64) | entry count (u32) |
+     magic (8) | format version (u32) | build id (16) |
+     generation (16) | version-counter high water (i64) |
+     entry count (u32) |
      count * [ payload length (u32) | MD5(payload) (16) | payload ]
 
    Every record carries its own checksum, and ANY integrity failure —
@@ -1120,7 +1121,12 @@ let expand_source (t : t) ?(source = "<string>") ?deadline_ms (text : string)
    a warning counter.  Partial salvage is not worth the risk surface:
    a snapshot is an optimization, and the only unforgivable outcome is
    a wrong replay.  [Marshal.from_string] only ever runs on bytes whose
-   digest matched, i.e. bytes this code wrote.
+   digest matched, i.e. bytes this code wrote — and the header's build
+   id ({!Build_id.digest}, the fingerprint of the executable image)
+   further pins "this code" to THIS build of the binary: a snapshot
+   left on disk across an upgrade whose value layout changed is a cold
+   start, not an untyped decode of stale bytes, without anyone having
+   to remember to bump [snapshot_format_version].
 
    What does NOT survive the round trip, and how loading repairs it:
 
@@ -1146,30 +1152,48 @@ let expand_source (t : t) ?(source = "<string>") ?deadline_ms (text : string)
    one.  Two rules keep the version→content mapping single-valued:
 
    - a snapshot written by this very process instance (matching
-     [generation]) is trusted outright — every version in it was
-     allocated or previously adopted by this process's counter;
+     [generation]) is trusted — every version in it was allocated or
+     previously adopted by this process's counter — and the counter is
+     still CAS-advanced past the header's recorded high water (a no-op
+     for a genuine self-reload, whose counter is already there);
    - otherwise an entry is accepted only if every version it mentions
      ([ca_pre_version], [ca_version], [cp_version]) is either 0 (the
      reserved pristine-tables version, whose content is fixed) or
      strictly greater than the counter's current value; the counter is
      then CAS-advanced past the snapshot's maximum so those numbers can
      never be re-allocated.  The filter re-runs if the CAS loses a
-     race.  Rejected entries are dropped (a miss, not a fault). *)
+     race.  Rejected entries are dropped (a miss, not a fault).
+
+   "Process instance" must mean exactly that under [Unix.fork]: the
+   [ms2c serve --supervise] workers are fork children, so any
+   generation fixed at module init would be SHARED between a crashed
+   worker and its restarted sibling — whose counter restarts at the
+   supervisor's fork-time value, re-allocating numbers the dead
+   sibling already bound to different table contents.  {!generation}
+   therefore mixes the current pid into a startup-random base on every
+   use: fork children never match each other, and take the adoption
+   path above.  The high-water advance on the matching path is defense
+   in depth for the residual aliasing risk (a recycled pid landing on
+   a fork sibling of the same base). *)
 
 let snapshot_magic = "MS2SNAP\001"
-let snapshot_format_version = 1
+let snapshot_format_version = 2
 
-(* Unique per process instance; 128 self-seeded bits, so a collision
-   (which would let the generation short-circuit above trust a foreign
-   counter's numbers) is not a practical concern. *)
-let generation : string =
+(* 128 self-seeded bits fixed at startup, so two unrelated processes
+   cannot collide; the pid mixed in per call distinguishes fork
+   children sharing the base (see the module comment above). *)
+let generation_base : string =
   let st = Random.State.make_self_init () in
   let b = Buffer.create 64 in
   for _ = 1 to 8 do
     Buffer.add_string b (string_of_int (Random.State.bits st));
     Buffer.add_char b '.'
   done;
-  Digest.string (Buffer.contents b)
+  Buffer.contents b
+
+let generation () : string =
+  Digest.string
+    (Printf.sprintf "%s#%d" generation_base (Build_id.pid ()))
 
 type persisted_entry = {
   pe_key : string;
@@ -1227,7 +1251,8 @@ let save_store (cache : cached_run Cache.t) (path : string) :
       let b = Buffer.create (Buffer.length records + 64) in
       Buffer.add_string b snapshot_magic;
       Buffer.add_int32_le b (Int32.of_int snapshot_format_version);
-      Buffer.add_string b generation;
+      Buffer.add_string b (Build_id.digest ());
+      Buffer.add_string b (generation ());
       Buffer.add_int64_le b (Int64.of_int (Atomic.get version_counter));
       Buffer.add_int32_le b (Int32.of_int !entries);
       Buffer.add_buffer b records;
@@ -1249,7 +1274,7 @@ let save_store (cache : cached_run Cache.t) (path : string) :
 
 exception Corrupt of string
 
-let parse_snapshot (raw : string) : string * persisted_entry list =
+let parse_snapshot (raw : string) : string * int * persisted_entry list =
   let len = String.length raw in
   let pos = ref 0 in
   let need n what =
@@ -1282,8 +1307,10 @@ let parse_snapshot (raw : string) : string * persisted_entry list =
       (Corrupt
          (Printf.sprintf "format version %d (this build reads %d)" fv
             snapshot_format_version));
+  if get_str 16 "build id" <> Build_id.digest () then
+    raise (Corrupt "written by a different build of this binary");
   let file_gen = get_str 16 "generation" in
-  let _high_water = get_i64 "version counter" in
+  let high_water = get_i64 "version counter" in
   let count = get_u32 "entry count" in
   let entries = ref [] in
   for i = 1 to count do
@@ -1297,7 +1324,7 @@ let parse_snapshot (raw : string) : string * persisted_entry list =
     | pe -> entries := pe :: !entries
   done;
   if !pos <> len then raise (Corrupt "trailing bytes");
-  (file_gen, List.rev !entries)
+  (file_gen, high_water, List.rev !entries)
 
 (* Rebuild what [Marshal] could not carry; [None] drops the entry. *)
 let rehydrate_entry (pe : persisted_entry) : persisted_entry option =
@@ -1372,7 +1399,7 @@ let load_store (cache : cached_run Cache.t) (path : string) : snapshot_load =
         match parse_snapshot raw with
         | exception Corrupt msg -> degraded (Printf.sprintf "%s: %s" path msg)
         | exception _ -> degraded (path ^ ": unreadable snapshot")
-        | file_gen, raw_entries ->
+        | file_gen, high_water, raw_entries ->
             let rehydrated, broken =
               List.fold_left
                 (fun (ok, bad) pe ->
@@ -1383,7 +1410,23 @@ let load_store (cache : cached_run Cache.t) (path : string) : snapshot_load =
             in
             let rehydrated = List.rev rehydrated in
             let accepted =
-              if file_gen = generation then rehydrated
+              if file_gen = generation () then begin
+                (* even on the trusted path, never leave the counter
+                   below the writer's high water: numbers the writer
+                   allocated must stay un-mintable here (see the
+                   version-safety module comment) *)
+                let rec reserve () =
+                  let cur = Atomic.get version_counter in
+                  if
+                    high_water > cur
+                    && not
+                         (Atomic.compare_and_set version_counter cur
+                            high_water)
+                  then reserve ()
+                in
+                reserve ();
+                rehydrated
+              end
               else adopt_versions rehydrated
             in
             List.iter

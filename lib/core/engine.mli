@@ -185,14 +185,18 @@ val publish_metrics : t -> unit
 
     Persist a shared expansion-cache store across processes so a
     restarted batch or daemon starts warm.  The on-disk container is
-    versioned, length-prefixed and per-record checksummed; {e any}
-    integrity failure (truncation, bit-flip, format skew) degrades the
-    whole load to a cold cache — a warning counter
-    ([snapshot.load.warnings] in {!Obs.Metrics}), never a crash and
-    never a wrong replay.  Entries are re-verified against the
-    [defs_version] discipline before use: version numbers from another
-    process are adopted only when they cannot collide with numbers this
-    process has already bound (see engine.ml for the full argument). *)
+    versioned, length-prefixed and per-record checksummed, and stamped
+    with the writing binary's {!Build_id} fingerprint; {e any}
+    integrity failure (truncation, bit-flip, format skew, a snapshot
+    written by a different build — [Marshal] only ever decodes bytes
+    this build wrote) degrades the whole load to a cold cache — a
+    warning counter ([snapshot.load.warnings] in {!Obs.Metrics}),
+    never a crash and never a wrong replay.  Entries are re-verified
+    against the [defs_version] discipline before use: version numbers
+    from another process — including a fork sibling, which the
+    pid-mixed process generation never mistakes for the writer — are
+    adopted only when they cannot collide with numbers this process
+    has already bound (see engine.ml for the full argument). *)
 
 type snapshot_save = {
   sv_entries : int;  (** entries written *)

@@ -1,0 +1,22 @@
+(* Memoized by hand rather than [lazy]: a benign double computation
+   under racing domains yields the same string, whereas concurrently
+   forcing a lazy raises. *)
+let computed : string option ref = ref None
+
+let digest () : string =
+  match !computed with
+  | Some d -> d
+  | None ->
+      let d =
+        match Digest.file Sys.executable_name with
+        | d -> d
+        | exception _ ->
+            Digest.string
+              (String.concat ":"
+                 [ "ms2"; Sys.executable_name; Sys.ocaml_version ])
+      in
+      computed := Some d;
+      d
+
+let hex () : string = Digest.to_hex (digest ())
+let pid () : int = Unix.getpid ()

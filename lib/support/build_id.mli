@@ -1,0 +1,27 @@
+(** Identity of the running binary and of the running process.
+
+    OCaml's [Marshal] is untyped: decoding bytes written by a build
+    whose value layout differs can segfault or silently yield garbage.
+    Every on-disk artifact that embeds marshalled payloads (cache
+    snapshots, batch journals) therefore stamps the writer's build
+    fingerprint, and a reader from any other build degrades cleanly —
+    a cold start or a skipped record — instead of decoding.  The
+    fingerprint makes the safety automatic: it needs no hand-bumped
+    format constant to stay honest across rebuilds. *)
+
+val digest : unit -> string
+(** 16-byte fingerprint of the running executable: the MD5 of the
+    binary image itself, so ANY rebuild — not just one that remembered
+    to bump a format version — reads as a different build.  Falls back
+    to a digest of the executable path and compiler version when the
+    image cannot be read (e.g. unlinked while running).  Computed once
+    and cached. *)
+
+val hex : unit -> string
+(** {!digest} rendered as 32 lowercase hex characters, for embedding
+    in textual formats. *)
+
+val pid : unit -> int
+(** The current process id, re-read on every call — after [Unix.fork]
+    a child sees its own pid, which callers use to derive per-process
+    identities that fork cannot duplicate. *)

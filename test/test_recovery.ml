@@ -14,9 +14,14 @@
       from coming up healthy, and a stale pidfile is reclaimed while a
       live one refuses a second daemon.
 
-    The corruption cases are golden: truncation, a bit flip, and a
-    format-version skew must each degrade to a cold cache with the
-    warning counter bumped — never a crash, never a stale replay. *)
+    The corruption cases are golden: truncation, a bit flip, a
+    format-version skew, and a foreign build fingerprint must each
+    degrade to a cold cache with the warning counter bumped — never a
+    crash, never a stale replay.  Fork siblings get their own group:
+    a snapshot written by one fork child must never be trusted by
+    another on the strength of their shared in-memory generation
+    base — versions are adopted, and a constructed version collision
+    must miss, not replay the dead sibling's output. *)
 
 module Json = Ms2_support.Json
 module Failpoint = Ms2_support.Failpoint
@@ -204,6 +209,13 @@ let skew_version s =
   Bytes.set b 8 (Char.chr 0xEE);
   Bytes.to_string b
 
+(* a snapshot stamped by a different build of the binary: magic and
+   format version intact, build fingerprint (bytes 12-27) flipped *)
+let skew_build s =
+  let b = Bytes.of_string s in
+  Bytes.set b 12 (Char.chr (Char.code (Bytes.get b 12) lxor 0x01));
+  Bytes.to_string b
+
 (* With [snapshot/save] armed the save must fail softly (an [Error],
    no file, no crash); with [snapshot/load] armed a load degrades cold
    exactly like corruption. *)
@@ -235,6 +247,112 @@ let snapshot_failpoints_soft () =
           Alcotest.(check bool)
             "armed load degrades cold" true
             (l.Ms2.Engine.ld_error <> None && l.Ms2.Engine.ld_entries = 0)))
+
+(* ------------------------------------------------------------------ *)
+(* Fork siblings: the --supervise worker pattern                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec reap pid =
+  try snd (Unix.waitpid [] pid)
+  with Unix.Unix_error (Unix.EINTR, _, _) -> reap pid
+
+(* Run [f] in a fork child; its int result becomes the exit code. *)
+let in_fork_child ~(name : string) (f : unit -> int) : unit =
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      let code = try f () with _ -> 100 in
+      Unix._exit code
+  | pid -> (
+      match reap pid with
+      | Unix.WEXITED 0 -> ()
+      | Unix.WEXITED c -> Alcotest.failf "%s: child exited %d" name c
+      | _ -> Alcotest.failf "%s: child died on a signal" name)
+
+(* Two successive fork children of one parent — exactly the supervised
+   worker lifecycle.  Worker A populates a cache and snapshots it;
+   worker B, a fresh fork whose version counter restarts at the
+   parent's fork-time value, loads A's snapshot.  B shares A's
+   in-memory generation base, so a generation fixed at module init
+   would let B trust A's version numbers outright; instead the load
+   must take the adoption path — and still come back warm with A's
+   exact bytes. *)
+let fork_sibling_load_is_warm () =
+  in_temp_dir (fun dir ->
+      let snap = Filename.concat dir "snap.bin" in
+      let out_a = Filename.concat dir "a.c" in
+      let out_b = Filename.concat dir "b.c" in
+      in_fork_child ~name:"worker A" (fun () ->
+          let s = Ms2.Api.create_shared_cache () in
+          let e = Ms2.Api.create_engine ~cache_store:s () in
+          ignore (expand_ok e defs);
+          write_file out_a (expand_ok e uses);
+          match Ms2.Api.save_shared_cache s snap with
+          | Ok _ -> 0
+          | Error _ -> 1);
+      in_fork_child ~name:"worker B" (fun () ->
+          let s = Ms2.Api.create_shared_cache () in
+          let l = Ms2.Api.load_shared_cache s snap in
+          if l.Ms2.Engine.ld_error <> None then 2
+          else if l.Ms2.Engine.ld_entries = 0 then 3
+          else begin
+            let e = Ms2.Api.create_engine ~cache_store:s () in
+            ignore (expand_ok e defs);
+            write_file out_b (expand_ok e uses);
+            if (Ms2.Api.stats e).Ms2.Api.cache_hits > 0 then 0 else 4
+          end);
+      Alcotest.(check string)
+        "the restarted sibling replays A's exact bytes" (read_file out_a)
+        (read_file out_b))
+
+(* The wrong-replay construction the version discipline exists to
+   prevent.  A and B fork from the same counter value, so both mint
+   the SAME defs_version number — A for the original macro, B for a
+   variant with a different body.  B then loads A's snapshot *after*
+   minting: A's entry for [uses] is keyed on the colliding number, and
+   trusting it (as a shared module-init generation would) replays A's
+   output under B's different macro tables.  The load must drop the
+   colliding entries instead, and B's expansion must show B's body. *)
+let fork_sibling_collision_is_dropped () =
+  in_temp_dir (fun dir ->
+      let snap = Filename.concat dir "snap.bin" in
+      let out_b = Filename.concat dir "b.c" in
+      let defs_variant =
+        "syntax stmt Painting {| $$stmt::body |} {\n\
+         return `{AltBegin(hDC);\n\
+         $body;\n\
+         AltEnd(hDC);};\n\
+         }\n"
+      in
+      in_fork_child ~name:"worker A" (fun () ->
+          let s = Ms2.Api.create_shared_cache () in
+          let e = Ms2.Api.create_engine ~cache_store:s () in
+          ignore (expand_ok e defs);
+          ignore (expand_ok e uses);
+          match Ms2.Api.save_shared_cache s snap with
+          | Ok _ -> 0
+          | Error _ -> 1);
+      in_fork_child ~name:"worker B" (fun () ->
+          let s = Ms2.Api.create_shared_cache () in
+          let e = Ms2.Api.create_engine ~cache_store:s () in
+          (* mint the colliding version FIRST, with different tables *)
+          ignore (expand_ok e defs_variant);
+          let l = Ms2.Api.load_shared_cache s snap in
+          if l.Ms2.Engine.ld_error <> None then 2
+          else begin
+            write_file out_b (expand_ok e uses);
+            0
+          end);
+      let got = read_file out_b in
+      check_contains ~msg:"B expands with its own macro body"
+        ~sub:"AltBegin" got;
+      Alcotest.(check bool)
+        "A's cached output is not replayed over B's tables" false
+        (let sub = "BeginPaint" in
+         let n = String.length sub and m = String.length got in
+         let rec go i = i + n <= m && (String.sub got i n = sub || go (i + 1)) in
+         go 0))
 
 (* ------------------------------------------------------------------ *)
 (* Subprocess plumbing                                                 *)
@@ -391,6 +509,67 @@ let resume_ignores_corrupt_records () =
         "output is byte-identical regardless" (read_file out1)
         (read_file out2))
 
+(* --resume must refuse to [Marshal] payloads stamped by a different
+   build of the binary, even when the crc is perfectly valid: restamp
+   every record with a foreign build fingerprint and a recomputed crc
+   (same canonical field order as the writer) — nothing replays, and
+   the re-expanded output is byte-identical. *)
+let resume_refuses_foreign_build_records () =
+  in_temp_dir (fun dir ->
+      let files = corpus_files dir 2 in
+      let out1 = Filename.concat dir "a.c" in
+      let out2 = Filename.concat dir "b.c" in
+      let journal = Filename.concat dir "batch.journal" in
+      let code =
+        run_ms2c
+          (Printf.sprintf "expand %s --jobs 1 --journal %s -o %s"
+             (quoted_list files) (quote journal) (quote out1))
+          ~out:(Filename.concat dir "i1") ~err:(Filename.concat dir "e1")
+      in
+      Alcotest.(check int) "journaled batch succeeds" 0 code;
+      let restamp line =
+        match Json.parse line with
+        | Error _ -> Alcotest.failf "unparseable journal line: %s" line
+        | Ok j ->
+            let get name =
+              match Option.bind (Json.member j name) Json.str with
+              | Some s -> s
+              | None -> Alcotest.failf "journal line lacks %S" name
+            in
+            let fields =
+              [ ("file", Json.Str (get "file"));
+                ("input", Json.Str (get "input"));
+                ("flags", Json.Str (get "flags"));
+                ("status", Json.Str (get "status"));
+                ("output", Json.Str (get "output"));
+                ("build", Json.Str (String.make 32 '0'));
+                ("payload", Json.Str (get "payload")) ]
+            in
+            let crc =
+              Digest.to_hex (Digest.string (Json.to_string (Json.Obj fields)))
+            in
+            Json.to_string (Json.Obj (fields @ [ ("crc", Json.Str crc) ]))
+      in
+      let lines =
+        read_file journal |> String.split_on_char '\n'
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      write_file journal
+        (String.concat "\n" (List.map restamp lines) ^ "\n");
+      let err2 = Filename.concat dir "e2" in
+      let code =
+        run_ms2c
+          (Printf.sprintf "expand %s --jobs 1 --journal %s --resume -o %s"
+             (quoted_list files) (quote journal) (quote out2))
+          ~out:(Filename.concat dir "i2") ~err:err2
+      in
+      Alcotest.(check int) "resume over a foreign journal succeeds" 0 code;
+      check_contains ~msg:"no foreign-build record replays"
+        ~sub:"0 of 2 files replayed" (read_file err2);
+      Alcotest.(check string)
+        "output is byte-identical regardless" (read_file out1)
+        (read_file out2))
+
 let resume_requires_journal () =
   in_temp_dir (fun dir ->
       let files = corpus_files dir 1 in
@@ -472,10 +651,6 @@ let start_daemon ?(args = []) () =
     din = Unix.in_channel_of_descr stdout_r;
     dout = Unix.out_channel_of_descr stdin_w;
   }
-
-let rec reap pid =
-  try snd (Unix.waitpid [] pid)
-  with Unix.Unix_error (Unix.EINTR, _, _) -> reap pid
 
 let with_daemon ?args f =
   ignore (Unix.alarm 120);
@@ -633,13 +808,22 @@ let () =
             (corrupt_load ~label:"bit-flipped" flip_middle_bit);
           Alcotest.test_case "version skew degrades cold" `Quick
             (corrupt_load ~label:"version-skewed" skew_version);
+          Alcotest.test_case "foreign build degrades cold" `Quick
+            (corrupt_load ~label:"foreign-build" skew_build);
           Alcotest.test_case "save/load failpoints are soft" `Quick
             snapshot_failpoints_soft ] );
+      ( "fork-siblings",
+        [ Alcotest.test_case "sibling load adopts and stays warm" `Quick
+            fork_sibling_load_is_warm;
+          Alcotest.test_case "colliding versions are dropped, not replayed"
+            `Quick fork_sibling_collision_is_dropped ] );
       ( "journal",
         [ Alcotest.test_case "kill -9 + --resume is byte-identical" `Quick
             kill9_resume_byte_identity;
           Alcotest.test_case "corrupt records are re-expanded" `Quick
             resume_ignores_corrupt_records;
+          Alcotest.test_case "foreign-build records are re-expanded" `Quick
+            resume_refuses_foreign_build_records;
           Alcotest.test_case "--resume requires --journal" `Quick
             resume_requires_journal;
           Alcotest.test_case "persistence failpoint sweep" `Quick
