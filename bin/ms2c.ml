@@ -103,6 +103,13 @@ let zero_stats : Ms2.Api.stats =
     cache_bypass_failpoints = 0;
     cache_bypass_uncacheable = 0;
     cache_bypass_budget = 0;
+    fragments_speculated = 0;
+    fragments_committed = 0;
+    fragments_revalidated = 0;
+    pattern_memo_hits = 0;
+    pattern_memo_misses = 0;
+    firstset_memo_hits = 0;
+    firstset_memo_misses = 0;
   }
 
 let sum_stats (a : Ms2.Api.stats) (b : Ms2.Api.stats) : Ms2.Api.stats =
@@ -126,6 +133,24 @@ let sum_stats (a : Ms2.Api.stats) (b : Ms2.Api.stats) : Ms2.Api.stats =
       a.Ms2.Api.cache_bypass_uncacheable + b.Ms2.Api.cache_bypass_uncacheable;
     cache_bypass_budget =
       a.Ms2.Api.cache_bypass_budget + b.Ms2.Api.cache_bypass_budget;
+    fragments_speculated =
+      a.Ms2.Api.fragments_speculated + b.Ms2.Api.fragments_speculated;
+    fragments_committed =
+      a.Ms2.Api.fragments_committed + b.Ms2.Api.fragments_committed;
+    fragments_revalidated =
+      a.Ms2.Api.fragments_revalidated + b.Ms2.Api.fragments_revalidated;
+    (* the memo counters are process-global snapshots, not per-engine
+       deltas: summing them would double-count, so merge by max (in the
+       fork driver each child reports its own process's totals — max is
+       the best single-process view available) *)
+    pattern_memo_hits =
+      max a.Ms2.Api.pattern_memo_hits b.Ms2.Api.pattern_memo_hits;
+    pattern_memo_misses =
+      max a.Ms2.Api.pattern_memo_misses b.Ms2.Api.pattern_memo_misses;
+    firstset_memo_hits =
+      max a.Ms2.Api.firstset_memo_hits b.Ms2.Api.firstset_memo_hits;
+    firstset_memo_misses =
+      max a.Ms2.Api.firstset_memo_misses b.Ms2.Api.firstset_memo_misses;
   }
 
 type stats_format = Stats_text | Stats_json
@@ -147,7 +172,14 @@ let stats_to_registry (s : Ms2.Api.stats) =
   set "cache.bypass.trace" s.Ms2.Api.cache_bypass_trace;
   set "cache.bypass.failpoints" s.Ms2.Api.cache_bypass_failpoints;
   set "cache.bypass.uncacheable" s.Ms2.Api.cache_bypass_uncacheable;
-  set "cache.bypass.budget" s.Ms2.Api.cache_bypass_budget
+  set "cache.bypass.budget" s.Ms2.Api.cache_bypass_budget;
+  set "fragments.speculated" s.Ms2.Api.fragments_speculated;
+  set "fragments.committed" s.Ms2.Api.fragments_committed;
+  set "fragments.revalidated" s.Ms2.Api.fragments_revalidated;
+  set "parser.pattern_memo.hits" s.Ms2.Api.pattern_memo_hits;
+  set "parser.pattern_memo.misses" s.Ms2.Api.pattern_memo_misses;
+  set "pattern.firstset.memo_hits" s.Ms2.Api.firstset_memo_hits;
+  set "pattern.firstset.memo_misses" s.Ms2.Api.firstset_memo_misses
 
 (* The resolved job count and pool mode, recorded in the registry so
    [--stats-format=json] and [--metrics] dumps carry them ([--jobs 0] /
@@ -189,7 +221,17 @@ let print_stats ?(format = Stats_text) ?jobs (s : Ms2.Api.stats) =
           "  bypassed for: trace mode %d, armed failpoints %d, uncacheable \
            state %d, drained budget %d\n"
           s.Ms2.Api.cache_bypass_trace s.Ms2.Api.cache_bypass_failpoints
-          s.Ms2.Api.cache_bypass_uncacheable s.Ms2.Api.cache_bypass_budget
+          s.Ms2.Api.cache_bypass_uncacheable s.Ms2.Api.cache_bypass_budget;
+      if s.Ms2.Api.fragments_speculated > 0 then
+        Printf.eprintf
+          "fragments speculated: %d (committed %d, revalidated %d)\n"
+          s.Ms2.Api.fragments_speculated s.Ms2.Api.fragments_committed
+          s.Ms2.Api.fragments_revalidated;
+      Printf.eprintf
+        "pattern memo: %d hits, %d misses; FIRST-set memo: %d hits, %d \
+         misses\n"
+        s.Ms2.Api.pattern_memo_hits s.Ms2.Api.pattern_memo_misses
+        s.Ms2.Api.firstset_memo_hits s.Ms2.Api.firstset_memo_misses
 
 (* How a worker that shipped no result died, for the per-file
    diagnostic.  A signal death is the interesting case: SIGKILL is how
@@ -448,6 +490,19 @@ let jobs_arg =
              recommended domain count.  Output and diagnostics are \
              emitted in input order either way.")
 
+let fragment_jobs_arg =
+  Arg.(value & opt jobs_conv 1 & info [ "fragment-jobs" ] ~docv:"N"
+       ~doc:"Expand top-level fragments $(i,within) each file on \
+             $(docv) parallel domains: definition-bearing fragments are \
+             sequential barriers, runs of pure-invocation fragments \
+             between them expand speculatively and commit in order, so \
+             output and diagnostics stay byte-identical to sequential \
+             expansion.  The default 1 disables it.  $(b,0) or \
+             $(b,auto) resolves to the recommended domain count divided \
+             by the resolved $(b,--jobs) value (the two compose by \
+             splitting the domain budget).  Files with few fragments, \
+             and $(b,--trace) runs, fall back to sequential expansion.")
+
 let jobs_mode_arg =
   Arg.(value
        & opt (enum [ ("domains", Mode_domains); ("fork", Mode_fork) ])
@@ -584,15 +639,15 @@ let save_cache_file (store : Ms2.Api.shared_cache) (path : string) :
    it, each file is an isolated transaction: a fatal failure is reported
    immediately, the engine's rollback discards whatever the bad file had
    half-registered, and the remaining files still expand (exit 3). *)
-let expand_fragments ~engine ~keep_going ~diag_format fragments :
-    Ms2_syntax.Ast.program * bool =
+let expand_fragments ?(fragment_jobs = 1) ~engine ~keep_going ~diag_format
+    fragments : Ms2_syntax.Ast.program * bool =
   let failed = ref false in
   let prog =
     List.concat_map
       (fun (source, text) ->
         match
           Diag.protect (fun () ->
-              Ms2.Engine.expand_source engine ~source text)
+              Ms2.Engine.expand_source engine ~source ~fragment_jobs text)
         with
         | Ok decls -> decls
         | Error d when keep_going ->
@@ -619,10 +674,10 @@ let count_newlines s =
    {!worker_result}.  Everything user-visible is reassembled in input
    order, so both modes are byte-identical to each other and to
    [--jobs 1] on self-contained files. *)
-let expand_parallel ~jobs ~jobs_mode ~limits ~keep_going ~hygienic ~prelude
-    ~cache ~line_directives ~sourcemap ~semantic_check ~stats ~stats_format
-    ~trace_out ~metrics ~output ~diag_format ~journal ~resume ~cache_file
-    fragments =
+let expand_parallel ~jobs ~fragment_jobs ~jobs_mode ~limits ~keep_going
+    ~hygienic ~prelude ~cache ~line_directives ~sourcemap ~semantic_check
+    ~stats ~stats_format ~trace_out ~metrics ~output ~diag_format ~journal
+    ~resume ~cache_file fragments =
   let frags = Array.of_list fragments in
   let n = Array.length frags in
   let want_map = line_directives || sourcemap <> None in
@@ -756,7 +811,8 @@ let expand_parallel ~jobs ~jobs_mode ~limits ~keep_going ~hygienic ~prelude
               None )
     in
     match
-      Diag.protect (fun () -> Ms2.Engine.expand_source engine ~source text)
+      Diag.protect (fun () ->
+          Ms2.Engine.expand_source engine ~source ~fragment_jobs text)
     with
     | Ok decls ->
         let recovered = Ms2.Api.diagnostics engine in
@@ -996,10 +1052,10 @@ let expand_parallel ~jobs ~jobs_mode ~limits ~keep_going ~hygienic ~prelude
 
 let expand_cmd =
   let run files output stats stats_format hygienic semantic_check prelude
-      trace trace_out metrics jobs jobs_mode no_cache fuel invocation_fuel
-      max_nodes max_errors timeout_ms invocation_timeout_ms failpoints
-      keep_going line_directives sourcemap journal resume cache_file
-      diag_format =
+      trace trace_out metrics jobs fragment_jobs jobs_mode no_cache fuel
+      invocation_fuel max_nodes max_errors timeout_ms invocation_timeout_ms
+      failpoints keep_going line_directives sourcemap journal resume
+      cache_file diag_format =
     arm_failpoints failpoints;
     if resume && journal = None then begin
       prerr_endline "ms2c: --resume requires --journal FILE";
@@ -1014,6 +1070,12 @@ let expand_cmd =
     end;
     (* [--jobs 0] / [--jobs auto]: one worker per recommended domain *)
     let jobs = if jobs = 0 then Pool.recommended () else jobs in
+    (* [--fragment-jobs auto] splits the domain budget with --jobs: N
+       files in flight, each expanding on recommended/N domains *)
+    let fragment_jobs =
+      if fragment_jobs = 0 then max 1 (Pool.recommended () / max 1 jobs)
+      else fragment_jobs
+    in
     with_fragments ~diag_format files (fun fragments ->
         let limits =
           limits_of ~fuel ~invocation_fuel ~max_nodes ~max_errors
@@ -1027,10 +1089,11 @@ let expand_cmd =
         if journal <> None
            || (jobs > 1 && List.length fragments > 1 && not trace)
         then
-          expand_parallel ~jobs ~jobs_mode ~limits ~keep_going ~hygienic
-            ~prelude ~cache:(not no_cache) ~line_directives ~sourcemap
-            ~semantic_check ~stats ~stats_format ~trace_out ~metrics
-            ~output ~diag_format ~journal ~resume ~cache_file fragments
+          expand_parallel ~jobs ~fragment_jobs ~jobs_mode ~limits ~keep_going
+            ~hygienic ~prelude ~cache:(not no_cache) ~line_directives
+            ~sourcemap ~semantic_check ~stats ~stats_format ~trace_out
+            ~metrics ~output ~diag_format ~journal ~resume ~cache_file
+            fragments
         else begin
           if trace_out <> None then Obs.start_recording ();
           (* the sequential pipeline supports --cache-file through the
@@ -1049,7 +1112,8 @@ let expand_cmd =
           if trace then
             engine.Ms2.Engine.trace <- Some Format.err_formatter;
           let prog, failed =
-            expand_fragments ~engine ~keep_going ~diag_format fragments
+            expand_fragments ~fragment_jobs ~engine ~keep_going ~diag_format
+              fragments
           in
           let recovered = Ms2.Api.diagnostics engine in
           emit_diags diag_format recovered;
@@ -1113,12 +1177,12 @@ let expand_cmd =
     Term.(
       const run $ files_arg $ output_arg $ stats_arg $ stats_format_arg
       $ hygienic_arg $ semantic_check_arg $ prelude_arg $ trace_arg
-      $ trace_out_arg $ metrics_arg $ jobs_arg $ jobs_mode_arg
-      $ no_cache_arg $ fuel_arg $ invocation_fuel_arg $ max_nodes_arg
-      $ max_errors_arg $ timeout_arg $ invocation_timeout_arg
-      $ failpoints_arg $ keep_going_arg $ line_directives_arg
-      $ sourcemap_arg $ journal_arg $ resume_arg $ cache_file_arg
-      $ diag_format_arg)
+      $ trace_out_arg $ metrics_arg $ jobs_arg $ fragment_jobs_arg
+      $ jobs_mode_arg $ no_cache_arg $ fuel_arg $ invocation_fuel_arg
+      $ max_nodes_arg $ max_errors_arg $ timeout_arg
+      $ invocation_timeout_arg $ failpoints_arg $ keep_going_arg
+      $ line_directives_arg $ sourcemap_arg $ journal_arg $ resume_arg
+      $ cache_file_arg $ diag_format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* check                                                               *)

@@ -138,6 +138,11 @@ type state = {
   max_sessions : int;
   session_idle_ms : int;
   max_request_bytes : int;
+  fragment_jobs : int;
+      (** resolved [--fragment-jobs]: intra-request fragment parallelism
+          for large translation units (1 = off); requests below the
+          engine's fragment-count threshold expand sequentially either
+          way *)
   mutable conns : conn list;
   listen_fd : Unix.file_descr option;
   socket_path : string option;
@@ -348,6 +353,7 @@ let run_job (st : state) (sh : shard) (j : job) : unit =
           Diag.protect (fun () ->
               Failpoint.hit ~loc "serve/expand";
               Session.expand ss ?deadline_ms:remaining_ms
+                ~fragment_jobs:st.fragment_jobs
                 ~source:req.Proto.rq_source req.Proto.rq_text)
         with
         | Ok r -> r
@@ -854,15 +860,21 @@ let load_prelude_file (engine : Ms2.Api.engine) (path : string) : unit =
       | Result.Error d -> fatal "prelude failed: %s" (Diag.to_string d))
 
 let run_server ~limits ~hygienic ~prelude ~prelude_file ~cache ~workers
-    ~socket ~pidfile ~write_pidfile ~max_pending ~max_sessions
-    ~session_idle_ms ~max_request_bytes ~cache_file ~snapshot_idle_ms () :
-    unit =
+    ~fragment_jobs ~socket ~pidfile ~write_pidfile ~max_pending
+    ~max_sessions ~session_idle_ms ~max_request_bytes ~cache_file
+    ~snapshot_idle_ms () : unit =
   (* a disconnected client must never kill the daemon with SIGPIPE *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   Sys.set_signal Sys.sigterm
     (Sys.Signal_handle (fun _ -> want_drain := true));
   Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> want_drain := true));
   let workers = if workers = 0 then Ms2_support.Pool.recommended () else workers in
+  (* [--fragment-jobs auto] splits the domain budget with --workers *)
+  let fragment_jobs =
+    if fragment_jobs = 0 then
+      max 1 (Ms2_support.Pool.recommended () / max 1 workers)
+    else fragment_jobs
+  in
   let cache_file = if cache then cache_file else None in
   (* one shared store across the shard engines, so warm fragments replay
      whichever domain they land on; a single shard keeps its private
@@ -922,6 +934,7 @@ let run_server ~limits ~hygienic ~prelude ~prelude_file ~cache ~workers
       max_sessions;
       session_idle_ms;
       max_request_bytes;
+      fragment_jobs;
       conns =
         (match listen_fd with
         | Some _ -> []
@@ -1105,6 +1118,16 @@ let workers_arg =
              domain count; the default 1 keeps the single-threaded \
              event loop.")
 
+let fragment_jobs_arg =
+  Arg.(value & opt nonneg_int 1 & info [ "fragment-jobs" ] ~docv:"N"
+       ~doc:"Expand large requests with $(docv) parallel domains \
+             $(i,within) the request (intra-file fragment parallelism; \
+             output stays byte-identical to sequential expansion).  \
+             Requests with few top-level fragments expand sequentially \
+             regardless.  $(b,0) resolves to the recommended domain \
+             count divided by the resolved $(b,--workers); the default \
+             1 disables it.")
+
 let cache_file_arg =
   Arg.(value & opt (some string) None & info [ "cache-file" ] ~docv:"FILE"
        ~doc:"Persist the shared expansion cache to $(docv): loaded on \
@@ -1120,15 +1143,16 @@ let snapshot_idle_ms_arg =
              no request has arrived for $(docv) milliseconds.")
 
 let cmd : unit Cmd.t =
-  let run limits hygienic prelude prelude_file no_cache workers socket
-      pidfile supervise_flag max_pending max_sessions session_idle_ms
-      max_request_bytes cache_file snapshot_idle_ms failpoints =
+  let run limits hygienic prelude prelude_file no_cache workers
+      fragment_jobs socket pidfile supervise_flag max_pending max_sessions
+      session_idle_ms max_request_bytes cache_file snapshot_idle_ms
+      failpoints =
     arm_failpoints failpoints;
     let worker ~write_pidfile () =
       run_server ~limits ~hygienic ~prelude ~prelude_file
-        ~cache:(not no_cache) ~workers ~socket ~pidfile ~write_pidfile
-        ~max_pending ~max_sessions ~session_idle_ms ~max_request_bytes
-        ~cache_file ~snapshot_idle_ms ()
+        ~cache:(not no_cache) ~workers ~fragment_jobs ~socket ~pidfile
+        ~write_pidfile ~max_pending ~max_sessions ~session_idle_ms
+        ~max_request_bytes ~cache_file ~snapshot_idle_ms ()
     in
     if supervise_flag then begin
       if socket = None then
@@ -1146,7 +1170,7 @@ let cmd : unit Cmd.t =
              crash-safe supervision")
     Term.(
       const run $ limits_term $ hygienic_arg $ prelude_arg
-      $ prelude_file_arg $ no_cache_arg $ workers_arg $ socket_arg
-      $ pidfile_arg $ supervise_arg $ max_pending_arg $ max_sessions_arg
-      $ session_idle_ms_arg $ max_request_bytes_arg $ cache_file_arg
-      $ snapshot_idle_ms_arg $ failpoints_arg)
+      $ prelude_file_arg $ no_cache_arg $ workers_arg $ fragment_jobs_arg
+      $ socket_arg $ pidfile_arg $ supervise_arg $ max_pending_arg
+      $ max_sessions_arg $ session_idle_ms_arg $ max_request_bytes_arg
+      $ cache_file_arg $ snapshot_idle_ms_arg $ failpoints_arg)

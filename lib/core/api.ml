@@ -35,6 +35,21 @@ type stats = {
       (** … because the session state had no trustworthy digest *)
   cache_bypass_budget : int;
       (** … because a replay would overdraw the remaining budget *)
+  fragments_speculated : int;
+      (** fragments expanded speculatively on worker domains (always
+          [fragments_committed + fragments_revalidated]) *)
+  fragments_committed : int;
+      (** speculative fragment results that passed commit validation *)
+  fragments_revalidated : int;
+      (** speculative fragment results discarded and re-expanded
+          sequentially *)
+  pattern_memo_hits : int;
+      (** compiled-invocation-pattern memo hits ({e process-global}: the
+          memo is shared by every engine in the process) *)
+  pattern_memo_misses : int;  (** … and misses (process-global) *)
+  firstset_memo_hits : int;
+      (** FIRST-set ring memo hits (process-global) *)
+  firstset_memo_misses : int;  (** … and misses (process-global) *)
 }
 
 (** A standalone expansion-cache store to share between engines (see
@@ -44,6 +59,15 @@ type stats = {
     reads ({!shared_cache_stats}) are merged over the store's shards —
     the whole-process view, not any single worker's. *)
 type shared_cache = Engine.cached_run Cache.t
+
+(* The parser-side memos are process-global (shared by every engine);
+   their counters live in the metrics registry and are surfaced in
+   {!stats} so CLI/serve stats output shows them without a registry
+   walk. *)
+let c_pattern_memo_hits = Obs.Metrics.counter "parser.pattern_memo.hits"
+let c_pattern_memo_misses = Obs.Metrics.counter "parser.pattern_memo.misses"
+let c_firstset_memo_hits = Obs.Metrics.counter "pattern.firstset.memo_hits"
+let c_firstset_memo_misses = Obs.Metrics.counter "pattern.firstset.memo_misses"
 
 let create_shared_cache ?cache_bytes () : shared_cache =
   Engine.create_store ?budget_bytes:cache_bytes ()
@@ -130,7 +154,7 @@ let stats (engine : engine) : stats =
     nodes_produced = Engine.nodes_produced engine;
     cache_hits = engine.Engine.stats.Engine.cache_hits;
     cache_misses = engine.Engine.stats.Engine.cache_misses;
-    cache_evictions = engine.Engine.stats.Engine.cache_evictions;
+    cache_evictions = Engine.cache_evictions engine;
     cache_bypasses = engine.Engine.stats.Engine.cache_bypasses;
     cache_bypass_trace = engine.Engine.stats.Engine.cache_bypass_trace;
     cache_bypass_failpoints =
@@ -138,6 +162,13 @@ let stats (engine : engine) : stats =
     cache_bypass_uncacheable =
       engine.Engine.stats.Engine.cache_bypass_uncacheable;
     cache_bypass_budget = engine.Engine.stats.Engine.cache_bypass_budget;
+    fragments_speculated = engine.Engine.stats.Engine.frag_speculated;
+    fragments_committed = engine.Engine.stats.Engine.frag_committed;
+    fragments_revalidated = engine.Engine.stats.Engine.frag_revalidated;
+    pattern_memo_hits = Obs.Metrics.value c_pattern_memo_hits;
+    pattern_memo_misses = Obs.Metrics.value c_pattern_memo_misses;
+    firstset_memo_hits = Obs.Metrics.value c_firstset_memo_hits;
+    firstset_memo_misses = Obs.Metrics.value c_firstset_memo_misses;
   }
 
 (** Publish an engine's statistics into the {!Ms2_support.Obs.Metrics}
@@ -286,8 +317,8 @@ module Session = struct
     s.sn_fuel <- s.sn_fuel + d.d_fuel;
     d
 
-  let expand (s : t) ?deadline_ms ?(source = "<request>") (text : string) :
-      (string * delta, Diag.t * delta) result =
+  let expand (s : t) ?deadline_ms ?fragment_jobs ?(source = "<request>")
+      (text : string) : (string * delta, Diag.t * delta) result =
     let e = s.sn_engine in
     (* enter: put the shared engine on this session's committed state.
        Unconditional — cheaper to restore than to track which session
@@ -296,7 +327,8 @@ module Session = struct
     let st0 = engine_stats e in
     s.sn_requests <- s.sn_requests + 1;
     match
-      Diag.protect (fun () -> Engine.expand_source e ~source ?deadline_ms text)
+      Diag.protect (fun () ->
+          Engine.expand_source e ~source ?deadline_ms ?fragment_jobs text)
     with
     | Result.Error diag ->
         let d = absorb_delta s st0 in

@@ -34,6 +34,23 @@ type stats = {
       (** … because the session state had no trustworthy digest *)
   cache_bypass_budget : int;
       (** … because a replay would overdraw the remaining budget *)
+  fragments_speculated : int;
+      (** fragments expanded speculatively on worker domains by the
+          intra-file fragment parallelism (always
+          [fragments_committed + fragments_revalidated]) *)
+  fragments_committed : int;
+      (** speculative fragment results that passed commit validation *)
+  fragments_revalidated : int;
+      (** speculative fragment results discarded and re-expanded
+          sequentially *)
+  pattern_memo_hits : int;
+      (** compiled-invocation-pattern memo hits ({e process-global}: the
+          memo is shared by every engine in the process, so this is not
+          attributable to one engine) *)
+  pattern_memo_misses : int;  (** … and misses (process-global) *)
+  firstset_memo_hits : int;
+      (** FIRST-set ring memo hits (process-global) *)
+  firstset_memo_misses : int;  (** … and misses (process-global) *)
 }
 
 type shared_cache = Engine.cached_run Cache.t
@@ -178,10 +195,11 @@ module Session : sig
   val id : t -> string
 
   val expand :
-    t -> ?deadline_ms:int -> ?source:string -> string ->
+    t -> ?deadline_ms:int -> ?fragment_jobs:int -> ?source:string -> string ->
     (string * delta, Diag.t * delta) result
   (** Expand one fragment in this session and render it as pure C.
-      [deadline_ms] narrows the fragment watchdog (see
+      [deadline_ms] narrows the fragment watchdog; [fragment_jobs] > 1
+      enables intra-file fragment parallelism for this request (see
       {!Engine.expand_source}).  On [Error] the session state is
       unchanged (the fragment rolled back); on [Ok] the session's
       checkpoint has advanced.  Not reentrant: sessions sharing an

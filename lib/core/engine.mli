@@ -40,6 +40,17 @@ type stats = {
   mutable cache_bypass_budget : int;
       (** bypasses because a replay would overdraw the remaining global
           budget (the real run must happen, and fail, for real) *)
+  mutable frag_speculated : int;
+      (** fragments that ran speculatively on a worker domain and
+          produced a verdict; always [frag_committed +
+          frag_revalidated] *)
+  mutable frag_committed : int;
+      (** speculative results that passed commit-time validation and
+          were spliced into the output *)
+  mutable frag_revalidated : int;
+      (** speculative results discarded at commit time (stale reads,
+          shared-state writes, worker failure) and re-expanded
+          sequentially *)
 }
 
 type checkpoint
@@ -158,13 +169,34 @@ val expand_program : t -> program -> program
     invocations become placeholder nodes and their diagnostics are
     available from {!diagnostics}. *)
 
-val expand_source : t -> ?source:string -> ?deadline_ms:int -> string -> program
+val expand_source :
+  t ->
+  ?source:string ->
+  ?deadline_ms:int ->
+  ?fragment_jobs:int ->
+  ?fragment_min:int ->
+  string ->
+  program
 (** Parse with this engine's macro table and meta type environment
     (definitions from earlier calls remain in force), then expand.
     [deadline_ms] — a caller's remaining wall-clock budget, e.g. a serve
     request's propagated deadline — narrows the fragment watchdog for
     this call; it can never extend past [limits.timeout_ms].  It is not
-    part of the cache key: a cache hit replays instantly regardless. *)
+    part of the cache key: a cache hit replays instantly regardless.
+
+    [fragment_jobs] (default 1 = off) > 1 enables intra-file fragment
+    parallelism on a cache miss: the file is split into top-level
+    fragments, definition-bearing fragments expand sequentially as
+    barriers, and runs of pure-invocation fragments between barriers
+    expand speculatively on [fragment_jobs] domains against
+    snapshot-isolated engine copies, committing in fragment order.  A
+    speculation whose reads turn out stale at commit time is discarded
+    and re-expanded sequentially, so the output — bytes, diagnostics,
+    diagnostic order, first-fatal behavior, resource accounting — is
+    identical to a sequential run.  Files with fewer than
+    [fragment_min] fragments (default 8), trace mode (announced in the
+    trace log), profile/recording observability modes, and
+    non-transactional engines all degrade to the sequential path. *)
 
 val diagnostics : t -> Diag.t list
 (** Diagnostics recorded by recovery mode so far, oldest first. *)
@@ -174,6 +206,12 @@ val fuel_consumed : t -> int
 
 val nodes_produced : t -> int
 (** AST nodes charged to template fills over this engine's lifetime. *)
+
+val cache_evictions : t -> int
+(** Entries the engine's cache store has dropped for the byte budget —
+    a merged sweep over the store's shards, refreshed on demand rather
+    than per miss (the sweep costs more than the rest of the store
+    path), so read this instead of [stats.cache_evictions]. *)
 
 val publish_metrics : t -> unit
 (** Publish the engine's point-in-time statistics (and cache occupancy

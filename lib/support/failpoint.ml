@@ -21,7 +21,8 @@ let lock = Mutex.create ()
 let view : (string * trigger) list Atomic.t = Atomic.make []
 
 let sites =
-  [ "engine/fragment";  (* expand_source entry *)
+  [ "engine/fragment";  (* expand_source entry; in fragment-parallel
+                           mode, also each speculative fragment *)
     "engine/invoke";  (* macro invocation expansion *)
     "engine/register";  (* macro definition registration *)
     "interp/step";  (* every interpreted statement *)

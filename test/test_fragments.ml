@@ -1,0 +1,347 @@
+(** Correctness properties of intra-file fragment parallelism
+    ([--fragment-jobs N], speculative expansion of top-level fragment
+    runs on the work-stealing domain pool):
+
+    - byte-identity: output, diagnostics, exit codes, source maps and
+      [--line-directives] output match the sequential walk exactly, on
+      synthetic corpora, the golden [--prelude] corpus and the fault
+      corpus;
+    - speculation accounting: the crafted fixtures below have fully
+      deterministic speculated/committed/revalidated counters, asserted
+      exactly — an anonymous struct mints a tag (worker abort), a
+      macro-generating macro bumps the definition version mid-run
+      (abort + version-poisons every later fragment of the run);
+    - chaos: an [engine/fragment] failpoint firing inside speculative
+      workers forces rollback of every fragment, and the sequential
+      re-expansion still produces byte-identical output;
+    - degrade: [--trace] announces once and falls back to the
+      sequential walk. *)
+
+let ms2c =
+  if Sys.file_exists "../bin/ms2c.exe" then "../bin/ms2c.exe"
+  else "_build/default/bin/ms2c.exe"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(** Run [ms2c args], returning (exit code, stdout, stderr). *)
+let run_cli args =
+  let out = Filename.temp_file "ms2c_fr" ".out" in
+  let err = Filename.temp_file "ms2c_fr" ".err" in
+  let code =
+    Sys.command (Printf.sprintf "%s %s > %s 2> %s" ms2c args out err)
+  in
+  let stdout = read_file out and stderr = read_file err in
+  Sys.remove out;
+  Sys.remove err;
+  (code, stdout, stderr)
+
+let write_fixture name text =
+  let path = Filename.temp_file ("ms2c_fr_" ^ name) ".mc" in
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc;
+  path
+
+let with_files files k =
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun f -> try Sys.remove f with _ -> ()) files)
+    (fun () -> k files)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* Extract an integer metric from [--stats-format=json] output
+   (rendered as ["name": value] lines by the metrics registry). *)
+let metric name s =
+  let key = Printf.sprintf "\"%s\": " name in
+  let kl = String.length key and m = String.length s in
+  let rec find i = if i + kl > m then None
+    else if String.sub s i kl = key then Some (i + kl)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> Alcotest.failf "metric %s not reported" name
+  | Some i ->
+      let j = ref i in
+      while !j < m && (match s.[!j] with '0' .. '9' -> true | _ -> false) do
+        incr j
+      done;
+      int_of_string (String.sub s i (!j - i))
+
+let frag_counters stderr =
+  ( metric "fragments.speculated" stderr,
+    metric "fragments.committed" stderr,
+    metric "fragments.revalidated" stderr )
+
+(* Compare a sequential run against a fragment-parallel run of the same
+   invocation, asserting exit code, stdout and stderr are
+   byte-identical; returns the sequential triple. *)
+let check_identity ?(jobs = 4) ~what (flags : string) (files : string list) =
+  let args = String.concat " " files in
+  let c1, out1, err1 =
+    run_cli (Printf.sprintf "expand --fragment-jobs 1 %s %s" flags args)
+  in
+  let cn, outn, errn =
+    run_cli (Printf.sprintf "expand --fragment-jobs %d %s %s" jobs flags args)
+  in
+  Alcotest.(check int) (what ^ ": same exit code") c1 cn;
+  Alcotest.(check string) (what ^ ": byte-identical output") out1 outn;
+  Alcotest.(check string) (what ^ ": byte-identical diagnostics") err1 errn;
+  (c1, out1, err1)
+
+(* One definition barrier, twelve pure uses, three anonymous-struct
+   declarations.  The struct declarations mint a tag on the worker, so
+   they abort and re-expand sequentially: exactly 15 fragments
+   speculate, 12 commit, 3 revalidate — deterministic, because commit
+   validation walks fragments in input order. *)
+let synthetic_source =
+  "syntax exp DBL {| ( $$exp::e ) |} { return `( (2 * $(e)) ); }\n"
+  ^ String.concat ""
+      (List.concat_map
+         (fun band ->
+           List.map
+             (fun i ->
+               Printf.sprintf "int u%d(int x) { return DBL(x + %d); }\n" i i)
+             band
+           @ [ Printf.sprintf "struct { int a; int b; } s%d;\n" (List.hd band) ])
+         [ [ 0; 1; 2; 3 ]; [ 4; 5; 6; 7 ]; [ 8; 9; 10; 11 ] ])
+
+let synthetic_identity () =
+  let f = write_fixture "synth" synthetic_source in
+  with_files [ f ] (fun files ->
+      let c, out, _ = check_identity ~what:"synthetic corpus" "" files in
+      Alcotest.(check int) "clean exit" 0 c;
+      Alcotest.(check bool) "expansion really happened" true
+        (contains ~sub:"2 * (x + 11)" out);
+      let c4, _, err4 =
+        run_cli
+          (Printf.sprintf "expand --fragment-jobs 4 --stats \
+                           --stats-format=json %s"
+             (List.hd files))
+      in
+      Alcotest.(check int) "stats run exit" 0 c4;
+      let s, k, r = frag_counters err4 in
+      Alcotest.(check int) "15 fragments speculated" 15 s;
+      Alcotest.(check int) "12 committed" 12 k;
+      Alcotest.(check int) "3 anon-struct fragments revalidated" 3 r)
+
+(* A macro-generating macro invoked mid-run: the invocation looks pure
+   to the pre-scanner, but expanding it registers a macro, so the
+   worker observes a definition-version bump and aborts; committing its
+   sequential re-expansion moves the version, so every later fragment
+   of the run fails commit validation and revalidates too.
+
+   The pre-scanner merges [def_tracer gen_one;] into the preceding
+   function's fragment (an identifier after [}] may continue a
+   [struct {...} name;] declaration), so the run has 8 fragments, not
+   9: u0..u2 commit, [u3 + gen_one] aborts, u4..u7 version-fail. *)
+let generator_source =
+  "syntax exp DBL {| ( $$exp::e ) |} { return `( (2 * $(e)) ); }\n\
+   syntax decl def_tracer [] {| $$id::name ; |}\n\
+   {\n\
+   return list(`[syntax stmt $name {| ( $$exp::e ) ; |}\n\
+   {\n\
+   return `{ $e; };\n\
+   }]);\n\
+   }\n\
+   int u0(int x) { return DBL(x + 0); }\n\
+   int u1(int x) { return DBL(x + 1); }\n\
+   int u2(int x) { return DBL(x + 2); }\n\
+   int u3(int x) { return DBL(x + 3); }\n\
+   def_tracer gen_one;\n\
+   int u4(int x) { return DBL(x + 4); }\n\
+   int u5(int x) { return DBL(x + 5); }\n\
+   int u6(int x) { return DBL(x + 6); }\n\
+   int u7(int x) { return DBL(x + 7); }\n"
+
+let generated_macro_abort () =
+  let f = write_fixture "gen" generator_source in
+  with_files [ f ] (fun files ->
+      let c, _, _ =
+        check_identity ~what:"mid-run macro definition" "" files
+      in
+      Alcotest.(check int) "clean exit" 0 c;
+      let c4, _, err4 =
+        run_cli
+          (Printf.sprintf "expand --fragment-jobs 4 --stats \
+                           --stats-format=json %s"
+             (List.hd files))
+      in
+      Alcotest.(check int) "stats run exit" 0 c4;
+      let s, k, r = frag_counters err4 in
+      Alcotest.(check int) "8 fragments speculated" 8 s;
+      Alcotest.(check int) "3 committed ahead of the definition" 3 k;
+      Alcotest.(check int) "defining + poisoned fragments revalidated" 5 r)
+
+(* ------------------------------------------------------------------ *)
+(* Corpus-wide byte-identity                                           *)
+(* ------------------------------------------------------------------ *)
+
+let repo_corpus_identity () =
+  (* every prelude-marked file of the golden corpus, in one run *)
+  let dir = "corpus" in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".mc")
+    |> List.sort compare
+    |> List.filter_map (fun f ->
+           let path = Filename.concat dir f in
+           let text = read_file path in
+           let first =
+             match String.index_opt text '\n' with
+             | Some i -> String.sub text 0 i
+             | None -> text
+           in
+           if contains ~sub:"ms2: prelude" first
+              && not (contains ~sub:"hygienic" first)
+           then Some path
+           else None)
+  in
+  if List.length files < 2 then ()
+  else
+    ignore
+      (check_identity ~what:"golden corpus" "--prelude --keep-going" files)
+
+let fault_corpus_identity () =
+  (* the whole fault corpus at the default watchdog deadline: fragment
+     mode must report the same diagnostics in the same order (tight
+     [--timeout-ms] values are avoided on purpose — wall-clock deadlines
+     are racy under load and would flake independently of fragments) *)
+  let dir = Filename.concat "corpus" "faults" in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".mc")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+  in
+  if files = [] then ()
+  else ignore (check_identity ~what:"fault corpus" "--keep-going" files)
+
+let sourcemap_and_line_directives () =
+  let f = write_fixture "map" synthetic_source in
+  with_files [ f ] (fun files ->
+      let file = List.hd files in
+      let map1 = Filename.temp_file "ms2c_fr_map1" ".json" in
+      let map4 = Filename.temp_file "ms2c_fr_map4" ".json" in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter (fun p -> try Sys.remove p with _ -> ()) [ map1; map4 ])
+        (fun () ->
+          let c1, out1, _ =
+            run_cli
+              (Printf.sprintf
+                 "expand --fragment-jobs 1 --line-directives --sourcemap %s %s"
+                 map1 file)
+          in
+          let c4, out4, _ =
+            run_cli
+              (Printf.sprintf
+                 "expand --fragment-jobs 4 --line-directives --sourcemap %s %s"
+                 map4 file)
+          in
+          Alcotest.(check int) "sequential exit" 0 c1;
+          Alcotest.(check int) "fragment exit" 0 c4;
+          Alcotest.(check bool) "line directives present" true
+            (contains ~sub:"#line" out1);
+          Alcotest.(check string) "directive output identical" out1 out4;
+          Alcotest.(check string) "source maps byte-identical"
+            (read_file map1) (read_file map4)))
+
+(* ------------------------------------------------------------------ *)
+(* Chaos and degrade                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_failpoint_rollback () =
+  (* after=1 lets the deterministic file-entry hit pass, then every
+     speculative worker hit fires: all executed fragments fail, all
+     roll back and re-expand sequentially, and the output must still be
+     byte-identical to a clean sequential run.  How many fragments the
+     pool managed to start before cancellation is scheduling-dependent,
+     so only the invariants are asserted exactly. *)
+  let f = write_fixture "chaos" synthetic_source in
+  with_files [ f ] (fun files ->
+      let file = List.hd files in
+      let c1, out1, _ = run_cli (Printf.sprintf "expand %s" file) in
+      let c4, out4, err4 =
+        run_cli
+          (Printf.sprintf
+             "expand --fragment-jobs 4 --failpoints engine/fragment=after=1 \
+              --stats --stats-format=json %s"
+             file)
+      in
+      Alcotest.(check int) "clean sequential exit" 0 c1;
+      Alcotest.(check int) "chaos run still exits 0" 0 c4;
+      Alcotest.(check string) "output identical despite injected failures"
+        out1 out4;
+      let s, k, r = frag_counters err4 in
+      Alcotest.(check int) "nothing commits under chaos" 0 k;
+      Alcotest.(check int) "every speculation rolled back" s r;
+      Alcotest.(check bool) "speculation was attempted" true (s >= 1))
+
+let trace_degrades_sequential () =
+  let f = write_fixture "trace" synthetic_source in
+  with_files [ f ] (fun files ->
+      let file = List.hd files in
+      let c1, out1, _ =
+        run_cli (Printf.sprintf "expand --fragment-jobs 1 --trace %s" file)
+      in
+      let c4, out4, err4 =
+        run_cli (Printf.sprintf "expand --fragment-jobs 4 --trace %s" file)
+      in
+      Alcotest.(check int) "sequential exit" 0 c1;
+      Alcotest.(check int) "trace exit" 0 c4;
+      Alcotest.(check string) "trace output identical" out1 out4;
+      Alcotest.(check bool) "degrade announced once" true
+        (contains ~sub:"fragments: expanding" err4
+        && contains ~sub:"trace mode is on" err4))
+
+let auto_fragment_jobs () =
+  let f = write_fixture "auto" synthetic_source in
+  with_files [ f ] (fun files ->
+      let file = List.hd files in
+      let c1, out1, _ = run_cli (Printf.sprintf "expand %s" file) in
+      let ca, outa, _ =
+        run_cli (Printf.sprintf "expand --fragment-jobs auto %s" file)
+      in
+      Alcotest.(check int) "auto exit" 0 ca;
+      Alcotest.(check int) "sequential exit" 0 c1;
+      Alcotest.(check string) "auto output identical" out1 outa)
+
+let () =
+  Alcotest.run "fragments"
+    [
+      ( "byte-identity",
+        [
+          Alcotest.test_case "synthetic corpus + exact counters" `Quick
+            synthetic_identity;
+          Alcotest.test_case "golden corpus (--prelude)" `Quick
+            repo_corpus_identity;
+          Alcotest.test_case "fault corpus diagnostics" `Quick
+            fault_corpus_identity;
+          Alcotest.test_case "source maps and --line-directives" `Quick
+            sourcemap_and_line_directives;
+        ] );
+      ( "speculation",
+        [
+          Alcotest.test_case "mid-run macro definition aborts" `Quick
+            generated_macro_abort;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "failpoint in workers rolls back" `Quick
+            chaos_failpoint_rollback;
+        ] );
+      ( "degrade",
+        [
+          Alcotest.test_case "--trace falls back sequential" `Quick
+            trace_degrades_sequential;
+          Alcotest.test_case "--fragment-jobs auto" `Quick auto_fragment_jobs;
+        ] );
+    ]
