@@ -948,14 +948,38 @@ let obs_site_counts src =
   let events = Obs.stop_recording () in
   (List.length events, sum () - c0)
 
+(* The disabled/recording pairs are measured [obs_rounds] times and
+   merged by per-test {e minimum}: timing noise on a shared machine
+   (GC slices, CPU contention) is strictly additive, so best-of-N
+   tracks the true cost where a single estimate can swing the derived
+   overhead by tens of percent either way — far outside any gate. *)
+let obs_rounds = 3
+
+let min_estimates (rounds : (string * float) list list) :
+    (string * float) list =
+  List.fold_left
+    (fun acc ests ->
+      List.map
+        (fun (name, v) ->
+          match List.assoc_opt name acc with
+          | Some v0 -> (name, Float.min v0 v)
+          | None -> (name, v))
+        ests)
+    (List.hd rounds) rounds
+
 let run_obs () =
   Obs.Profile.disable ();
-  let results = measure_tests (obs_tests ()) in
-  print_estimates "Observability overhead (sinks disabled vs recording on)"
-    results;
+  let rounds =
+    List.init obs_rounds (fun _ -> estimates (measure_tests (obs_tests ())))
+  in
+  let ests = min_estimates rounds in
+  rule
+    "Observability overhead (sinks disabled vs recording on, best of 3)";
+  List.iter
+    (fun (name, est) -> Fmt.pr "  %-48s %a/run\n" name pp_time est)
+    ests;
   let guard = measure_tests (obs_guard_tests ()) in
   print_estimates "Disabled-sink site costs" guard;
-  let ests = estimates results in
   let guard_ests = estimates guard in
   let site name = Option.value ~default:0. (List.assoc_opt name guard_ests) in
   let guard_ns = site "obs-guard/disabled with_span guard" in

@@ -66,6 +66,9 @@ let connect_with_backoff (t : transport) : link =
 type outcome = {
   o_ok : bool;
   o_retries : int;
+  o_retry_shed : int;  (** retries triggered by [overloaded] *)
+  o_retry_draining : int;  (** retries triggered by [draining] *)
+  o_retry_reconnect : int;  (** retries triggered by a dead connection *)
   o_cache_hits : int;
   o_cache_misses : int;
   o_error_kind : string;  (** "" when ok *)
@@ -87,13 +90,26 @@ let request ~(transport : transport) ~(link : link ref) ~max_retries
     (line : string) : outcome =
   let b = Backoff.create ~base_ms:50 ~cap_ms:3000 () in
   let retries = ref 0 in
+  (* retries broken out by what triggered them, so the report can
+     distinguish "the daemon shed us" from "the connection died" *)
+  let r_shed = ref 0 and r_draining = ref 0 and r_reconnect = ref 0 in
+  let finish ~ok ~hits ~misses ~kind =
+    { o_ok = ok;
+      o_retries = !retries;
+      o_retry_shed = !r_shed;
+      o_retry_draining = !r_draining;
+      o_retry_reconnect = !r_reconnect;
+      o_cache_hits = hits;
+      o_cache_misses = misses;
+      o_error_kind = kind }
+  in
   let rec go () =
     let reconnect_and_retry () =
       if !retries >= max_retries then
-        { o_ok = false; o_retries = !retries; o_cache_hits = 0;
-          o_cache_misses = 0; o_error_kind = "connection_lost" }
+        finish ~ok:false ~hits:0 ~misses:0 ~kind:"connection_lost"
       else begin
         incr retries;
+        incr r_reconnect;
         (match transport with
         | Socket _ ->
             (try close_in_noerr !link.ic with _ -> ());
@@ -112,17 +128,15 @@ let request ~(transport : transport) ~(link : link ref) ~max_retries
     | resp_line -> (
         match Json.parse resp_line with
         | Result.Error msg ->
-            { o_ok = false; o_retries = !retries; o_cache_hits = 0;
-              o_cache_misses = 0;
-              o_error_kind = "unparseable_response: " ^ msg }
+            finish ~ok:false ~hits:0 ~misses:0
+              ~kind:("unparseable_response: " ^ msg)
         | Ok resp -> (
             match Json.member resp "ok" with
             | Some (Json.Bool true) ->
-                { o_ok = true;
-                  o_retries = !retries;
-                  o_cache_hits = response_int resp "request" "cache_hits";
-                  o_cache_misses = response_int resp "request" "cache_misses";
-                  o_error_kind = "" }
+                finish ~ok:true
+                  ~hits:(response_int resp "request" "cache_hits")
+                  ~misses:(response_int resp "request" "cache_misses")
+                  ~kind:""
             | _ ->
                 let kind, hint =
                   match Json.member resp "error" with
@@ -139,14 +153,14 @@ let request ~(transport : transport) ~(link : link ref) ~max_retries
                    && !retries < max_retries
                 then begin
                   incr retries;
+                  (if kind = "overloaded" then incr r_shed
+                   else incr r_draining);
                   let wait = max (Backoff.next_ms b)
                       (Option.value hint ~default:0) in
                   Unix.sleepf (float wait /. 1000.);
                   go ()
                 end
-                else
-                  { o_ok = false; o_retries = !retries; o_cache_hits = 0;
-                    o_cache_misses = 0; o_error_kind = kind }))
+                else finish ~ok:false ~hits:0 ~misses:0 ~kind))
   in
   go ()
 
@@ -161,12 +175,51 @@ let percentile (sorted : float array) (p : float) : float =
     let idx = int_of_float (ceil (p /. 100. *. float n)) - 1 in
     sorted.(max 0 (min (n - 1) idx))
 
+(* Terminal failures bucketed by error kind.  [eb_shed] is the
+   [overloaded] kind (the daemon's queue was full even after the retry
+   budget); [eb_deadline] is [deadline_expired] (the request timed out
+   before the daemon would take it). *)
+type error_breakdown = {
+  mutable eb_shed : int;
+  mutable eb_draining : int;
+  mutable eb_deadline : int;
+  mutable eb_connection : int;  (** connection_lost after retries *)
+  mutable eb_expand : int;  (** expand_error: the fragment itself failed *)
+  mutable eb_other : int;
+}
+
+let error_breakdown () =
+  { eb_shed = 0; eb_draining = 0; eb_deadline = 0; eb_connection = 0;
+    eb_expand = 0; eb_other = 0 }
+
+let count_error (eb : error_breakdown) (kind : string) : unit =
+  match kind with
+  | "overloaded" -> eb.eb_shed <- eb.eb_shed + 1
+  | "draining" -> eb.eb_draining <- eb.eb_draining + 1
+  | "deadline_expired" -> eb.eb_deadline <- eb.eb_deadline + 1
+  | "connection_lost" -> eb.eb_connection <- eb.eb_connection + 1
+  | "expand_error" -> eb.eb_expand <- eb.eb_expand + 1
+  | _ -> eb.eb_other <- eb.eb_other + 1
+
+let error_breakdown_json (eb : error_breakdown) : Json.t =
+  Json.Obj
+    [ ("shed", Json.Int eb.eb_shed);
+      ("draining", Json.Int eb.eb_draining);
+      ("deadline_expired", Json.Int eb.eb_deadline);
+      ("connection_lost", Json.Int eb.eb_connection);
+      ("expand_error", Json.Int eb.eb_expand);
+      ("other", Json.Int eb.eb_other) ]
+
 type pass_report = {
   p_index : int;
   p_requests : int;
   p_ok : int;
   p_failures : int;
   p_retries : int;
+  p_retry_shed : int;
+  p_retry_draining : int;
+  p_retry_reconnect : int;
+  p_errors : error_breakdown;
   p_cache_hits : int;
   p_cache_misses : int;
   p_p50_ms : float;
@@ -182,6 +235,12 @@ let pass_json (p : pass_report) : Json.t =
       ("ok", Json.Int p.p_ok);
       ("failures", Json.Int p.p_failures);
       ("retries", Json.Int p.p_retries);
+      ("retries_by_cause",
+       Json.Obj
+         [ ("shed", Json.Int p.p_retry_shed);
+           ("draining", Json.Int p.p_retry_draining);
+           ("reconnect", Json.Int p.p_retry_reconnect) ]);
+      ("errors", error_breakdown_json p.p_errors);
       ("cache_hits", Json.Int p.p_cache_hits);
       ("cache_misses", Json.Int p.p_cache_misses);
       ("p50_ms", Json.Float p.p_p50_ms);
@@ -201,6 +260,10 @@ type lane_acc = {
   mutable l_ok : int;
   mutable l_failures : int;
   mutable l_retries : int;
+  mutable l_retry_shed : int;
+  mutable l_retry_draining : int;
+  mutable l_retry_reconnect : int;
+  l_errors : error_breakdown;
   mutable l_hits : int;
   mutable l_misses : int;
 }
@@ -244,7 +307,8 @@ let run_client files connect spawn repeat sessions concurrency deadline_ms
     let accs =
       Array.init concurrency (fun _ ->
           { l_latencies = []; l_ok = 0; l_failures = 0; l_retries = 0;
-            l_hits = 0; l_misses = 0 })
+            l_retry_shed = 0; l_retry_draining = 0; l_retry_reconnect = 0;
+            l_errors = error_breakdown (); l_hits = 0; l_misses = 0 })
     in
     let t_pass = Unix.gettimeofday () in
     (* lane [l] replays the corpus items with index ≡ l (mod lanes),
@@ -278,11 +342,16 @@ let run_client files connect spawn repeat sessions concurrency deadline_ms
         acc.l_latencies <-
           ((Unix.gettimeofday () -. t0) *. 1000.) :: acc.l_latencies;
         acc.l_retries <- acc.l_retries + o.o_retries;
+        acc.l_retry_shed <- acc.l_retry_shed + o.o_retry_shed;
+        acc.l_retry_draining <- acc.l_retry_draining + o.o_retry_draining;
+        acc.l_retry_reconnect <-
+          acc.l_retry_reconnect + o.o_retry_reconnect;
         acc.l_hits <- acc.l_hits + o.o_cache_hits;
         acc.l_misses <- acc.l_misses + o.o_cache_misses;
         if o.o_ok then acc.l_ok <- acc.l_ok + 1
         else begin
           acc.l_failures <- acc.l_failures + 1;
+          count_error acc.l_errors o.o_error_kind;
           Printf.eprintf "ms2bench-client: %s failed: %s\n%!" source
             o.o_error_kind
         end;
@@ -309,12 +378,27 @@ let run_client files connect spawn repeat sessions concurrency deadline_ms
     let mean =
       if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 lats /. float n
     in
+    let errors = error_breakdown () in
+    Array.iter
+      (fun a ->
+        let e = a.l_errors in
+        errors.eb_shed <- errors.eb_shed + e.eb_shed;
+        errors.eb_draining <- errors.eb_draining + e.eb_draining;
+        errors.eb_deadline <- errors.eb_deadline + e.eb_deadline;
+        errors.eb_connection <- errors.eb_connection + e.eb_connection;
+        errors.eb_expand <- errors.eb_expand + e.eb_expand;
+        errors.eb_other <- errors.eb_other + e.eb_other)
+      accs;
     passes :=
       { p_index = pass;
         p_requests = n;
         p_ok = sum (fun a -> a.l_ok);
         p_failures = sum (fun a -> a.l_failures);
         p_retries = sum (fun a -> a.l_retries);
+        p_retry_shed = sum (fun a -> a.l_retry_shed);
+        p_retry_draining = sum (fun a -> a.l_retry_draining);
+        p_retry_reconnect = sum (fun a -> a.l_retry_reconnect);
+        p_errors = errors;
         p_cache_hits = sum (fun a -> a.l_hits);
         p_cache_misses = sum (fun a -> a.l_misses);
         p_p50_ms = percentile lats 50.;
@@ -330,7 +414,19 @@ let run_client files connect spawn repeat sessions concurrency deadline_ms
         "pass %d: %d requests (%d ok, %d failed, %d retries)  p50 %.2f ms  \
          p99 %.2f ms  %.1f req/s  cache %d hit / %d miss\n"
         p.p_index p.p_requests p.p_ok p.p_failures p.p_retries p.p_p50_ms
-        p.p_p99_ms p.p_requests_per_s p.p_cache_hits p.p_cache_misses)
+        p.p_p99_ms p.p_requests_per_s p.p_cache_hits p.p_cache_misses;
+      if p.p_retries > 0 then
+        Printf.printf
+          "  retries: %d shed, %d draining, %d reconnect\n"
+          p.p_retry_shed p.p_retry_draining p.p_retry_reconnect;
+      if p.p_failures > 0 then begin
+        let e = p.p_errors in
+        Printf.printf
+          "  errors: %d shed, %d draining, %d deadline, %d connection, \
+           %d expand, %d other\n"
+          e.eb_shed e.eb_draining e.eb_deadline e.eb_connection
+          e.eb_expand e.eb_other
+      end)
     passes;
   if shutdown then
     ignore

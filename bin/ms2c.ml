@@ -106,6 +106,11 @@ let zero_stats : Ms2.Api.stats =
     fragments_speculated = 0;
     fragments_committed = 0;
     fragments_revalidated = 0;
+    fragments_abort_defs_bump = 0;
+    fragments_abort_gensym_mint = 0;
+    fragments_abort_meta_decl = 0;
+    fragments_abort_stale_read = 0;
+    fragments_abort_foreign_closure = 0;
     pattern_memo_hits = 0;
     pattern_memo_misses = 0;
     firstset_memo_hits = 0;
@@ -139,6 +144,21 @@ let sum_stats (a : Ms2.Api.stats) (b : Ms2.Api.stats) : Ms2.Api.stats =
       a.Ms2.Api.fragments_committed + b.Ms2.Api.fragments_committed;
     fragments_revalidated =
       a.Ms2.Api.fragments_revalidated + b.Ms2.Api.fragments_revalidated;
+    fragments_abort_defs_bump =
+      a.Ms2.Api.fragments_abort_defs_bump
+      + b.Ms2.Api.fragments_abort_defs_bump;
+    fragments_abort_gensym_mint =
+      a.Ms2.Api.fragments_abort_gensym_mint
+      + b.Ms2.Api.fragments_abort_gensym_mint;
+    fragments_abort_meta_decl =
+      a.Ms2.Api.fragments_abort_meta_decl
+      + b.Ms2.Api.fragments_abort_meta_decl;
+    fragments_abort_stale_read =
+      a.Ms2.Api.fragments_abort_stale_read
+      + b.Ms2.Api.fragments_abort_stale_read;
+    fragments_abort_foreign_closure =
+      a.Ms2.Api.fragments_abort_foreign_closure
+      + b.Ms2.Api.fragments_abort_foreign_closure;
     (* the memo counters are process-global snapshots, not per-engine
        deltas: summing them would double-count, so merge by max (in the
        fork driver each child reports its own process's totals — max is
@@ -176,6 +196,12 @@ let stats_to_registry (s : Ms2.Api.stats) =
   set "fragments.speculated" s.Ms2.Api.fragments_speculated;
   set "fragments.committed" s.Ms2.Api.fragments_committed;
   set "fragments.revalidated" s.Ms2.Api.fragments_revalidated;
+  set "fragments.abort.defs_bump" s.Ms2.Api.fragments_abort_defs_bump;
+  set "fragments.abort.gensym_mint" s.Ms2.Api.fragments_abort_gensym_mint;
+  set "fragments.abort.meta_decl" s.Ms2.Api.fragments_abort_meta_decl;
+  set "fragments.abort.stale_read" s.Ms2.Api.fragments_abort_stale_read;
+  set "fragments.abort.foreign_closure"
+    s.Ms2.Api.fragments_abort_foreign_closure;
   set "parser.pattern_memo.hits" s.Ms2.Api.pattern_memo_hits;
   set "parser.pattern_memo.misses" s.Ms2.Api.pattern_memo_misses;
   set "pattern.firstset.memo_hits" s.Ms2.Api.firstset_memo_hits;
@@ -222,11 +248,28 @@ let print_stats ?(format = Stats_text) ?jobs (s : Ms2.Api.stats) =
            state %d, drained budget %d\n"
           s.Ms2.Api.cache_bypass_trace s.Ms2.Api.cache_bypass_failpoints
           s.Ms2.Api.cache_bypass_uncacheable s.Ms2.Api.cache_bypass_budget;
-      if s.Ms2.Api.fragments_speculated > 0 then
+      if s.Ms2.Api.fragments_speculated > 0 then begin
         Printf.eprintf
           "fragments speculated: %d (committed %d, revalidated %d)\n"
           s.Ms2.Api.fragments_speculated s.Ms2.Api.fragments_committed
           s.Ms2.Api.fragments_revalidated;
+        let aborts =
+          s.Ms2.Api.fragments_abort_defs_bump
+          + s.Ms2.Api.fragments_abort_gensym_mint
+          + s.Ms2.Api.fragments_abort_meta_decl
+          + s.Ms2.Api.fragments_abort_stale_read
+          + s.Ms2.Api.fragments_abort_foreign_closure
+        in
+        if aborts > 0 then
+          Printf.eprintf
+            "  aborted for: defs bump %d, gensym mint %d, meta decl %d, \
+             stale read %d, foreign closure %d\n"
+            s.Ms2.Api.fragments_abort_defs_bump
+            s.Ms2.Api.fragments_abort_gensym_mint
+            s.Ms2.Api.fragments_abort_meta_decl
+            s.Ms2.Api.fragments_abort_stale_read
+            s.Ms2.Api.fragments_abort_foreign_closure
+      end;
       Printf.eprintf
         "pattern memo: %d hits, %d misses; FIRST-set memo: %d hits, %d \
          misses\n"
@@ -1305,6 +1348,7 @@ let main =
   Cmd.group
     (Cmd.info "ms2c" ~version:"1.0.0"
        ~doc:"Programmable syntax macros for C (Weise & Crew, PLDI 1993)")
-    [ expand_cmd; check_cmd; profile_cmd; figures_cmd; Serve_cmd.cmd ]
+    [ expand_cmd; check_cmd; profile_cmd; figures_cmd; Serve_cmd.cmd;
+      Top_cmd.cmd ]
 
 let () = exit (Cmd.eval main)

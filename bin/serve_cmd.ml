@@ -45,7 +45,25 @@
     across all shards, so a fragment expanded on one domain replays on
     every other.  N = 1 keeps the single-threaded event loop with no
     domain, no locking on the hot path, and byte-for-byte the old
-    behavior. *)
+    behavior.
+
+    Live observability (MANUAL "Live observability"):
+    - every request gets a [trace_id] minted at intake, echoed in its
+      response, stamped on its [ms2-log-1] stderr log lines, and set
+      as the {!Obs} trace context for the whole expansion — spans
+      recorded anywhere under the request (worker domains included)
+      carry it;
+    - each serving domain keeps an always-on bounded flight ring of
+      recent events; anomalies (slow request per [--slow-ms], watchdog
+      fire, fingerprint breach, shed, SIGQUIT, worker crash) dump
+      every ring to [--flight-dir] as one [ms2-flight-1] file and are
+      remembered for the [health] admin method;
+    - [health] and [metrics] admin methods serve the live state: RED
+      per-method counters/latency histograms plus engine/cache/
+      speculation counters, as [ms2-metrics-1] JSON; [--prometheus
+      FILE] additionally exports the registry in Prometheus text
+      format about once a second (atomic writes);
+    - [ms2c top] polls [health]/[metrics] into a terminal dashboard. *)
 
 open Cmdliner
 open Cli_common
@@ -55,6 +73,8 @@ module Json = Ms2_support.Json
 module Proto = Ms2_support.Serve_proto
 module Atomic_io = Ms2_support.Atomic_io
 module Backoff = Ms2_support.Backoff
+module Obs = Ms2_support.Obs
+module Log = Ms2_support.Log
 module Session = Ms2.Api.Session
 
 (* ------------------------------------------------------------------ *)
@@ -109,7 +129,24 @@ type job = {
   j_conn : conn;
   j_req : Proto.request;
   j_arrival : float;  (** when the request line was framed *)
+  j_trace : string;
+      (** the request's trace id, minted at intake; echoed in the
+          response, stamped on log lines, and set as the domain's
+          {!Obs} trace context for the whole expansion *)
 }
+
+(* A recent anomaly, kept in a bounded deque for the [health] admin
+   method (and [ms2c top]).  [an_dump] is the flight-recorder file the
+   anomaly produced, when --flight-dir was given. *)
+type anomaly = {
+  an_ts_us : float;
+  an_kind : string;
+  an_trace : string;
+  an_detail : string;
+  an_dump : string option;
+}
+
+let max_recent_anomalies = 32
 
 (* One shard: an engine, the post-prelude state new sessions root at,
    and the sessions pinned here.  At [--workers 1] there is a single
@@ -161,6 +198,18 @@ type state = {
   mutable snap_saves : int;  (** successful snapshot writes *)
   mutable last_active : float;
       (** when the event loop last dispatched a request *)
+  slow_ms : int;
+      (** requests slower than this are anomalies (tail-based sampling:
+          only they trigger a flight dump) *)
+  flight_dir : string option;
+      (** where flight-recorder dumps land; [None] = record but never
+          dump *)
+  prometheus : string option;
+      (** Prometheus text-exposition export path ([--prometheus]) *)
+  mutable last_prom : float;  (** last Prometheus export *)
+  an_mutex : Mutex.t;  (** guards [anomalies] (written from shards) *)
+  anomalies : anomaly Queue.t;  (** most recent last; bounded *)
+  flight_seq : int Atomic.t;  (** dump-file sequence numbers *)
 }
 
 let shard_of (st : state) (session_id : string) : shard =
@@ -187,6 +236,9 @@ let dispatch (st : state) (sh : shard) (f : unit -> unit) : unit =
   end
 
 let worker_loop (st : state) (sh : shard) () : unit =
+  (* each shard domain keeps its own flight ring, so a dump shows what
+     every worker was doing when the anomaly hit *)
+  Obs.Flight.enable ();
   let rec loop () =
     Mutex.lock sh.sh_mutex;
     while Queue.is_empty sh.sh_queue do
@@ -207,8 +259,177 @@ let worker_loop (st : state) (sh : shard) () : unit =
 
 (* Signal flags: handlers only flip refs; the select loop acts on them. *)
 let want_drain = ref false
+let want_flight = ref false  (* SIGQUIT: dump the flight rings, serve on *)
 
 let now_ms_since t0 = int_of_float ((Unix.gettimeofday () -. t0) *. 1000.)
+
+(* ------------------------------------------------------------------ *)
+(* RED metrics                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-method request/error counters and latency histograms
+   ([serve.requests.M], [serve.errors.M], [serve.latency_ms.M]).  The
+   registry's find-or-create takes the registry mutex, so the handles
+   are memoized here and the hot path pays one table probe + atomic
+   increment. *)
+let red_mutex = Mutex.create ()
+
+let red_tbl :
+    (string, Obs.Metrics.counter * Obs.Metrics.counter * Obs.Metrics.histogram)
+    Hashtbl.t =
+  Hashtbl.create 8
+
+let red (meth : string) =
+  Mutex.lock red_mutex;
+  let r =
+    match Hashtbl.find_opt red_tbl meth with
+    | Some r -> r
+    | None ->
+        let r =
+          ( Obs.Metrics.counter ("serve.requests." ^ meth),
+            Obs.Metrics.counter ("serve.errors." ^ meth),
+            Obs.Metrics.histogram ("serve.latency_ms." ^ meth) )
+        in
+        Hashtbl.replace red_tbl meth r;
+        r
+  in
+  Mutex.unlock red_mutex;
+  r
+
+let red_observe ~(meth : string) ~(ok : bool) ~(elapsed_ms : float) : unit =
+  let requests, errors, latency = red meth in
+  Obs.Metrics.incr requests;
+  if not ok then Obs.Metrics.incr errors;
+  Obs.Metrics.observe latency elapsed_ms
+
+let c_shed = Obs.Metrics.counter "serve.shed"
+let c_flight_dumps = Obs.Metrics.counter "serve.flight_dumps"
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder dumps and anomalies                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Write every domain's flight ring to one [ms2-flight-1] file.  Called
+   from whichever domain noticed the anomaly; cross-domain ring reads
+   race benignly with writers (see {!Obs.Flight.all_events}).  The
+   write is atomic, so a scraper or test never sees a torn dump. *)
+let flight_dump (st : state) ~(kind : string) ~(trace : string) :
+    string option =
+  match st.flight_dir with
+  | None -> None
+  | Some dir ->
+      let seq = Atomic.fetch_and_add st.flight_seq 1 in
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "flight-%d-%03d-%s.json" (Unix.getpid ()) seq kind)
+      in
+      let b = Buffer.create 4096 in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"schema\": \"ms2-flight-1\", \"ts_us\": %.0f, \"kind\": \
+            \"%s\", \"trace_id\": \"%s\", \"pid\": %d, \"domains\": ["
+           (Obs.now_us ()) (Json.escape kind) (Json.escape trace)
+           (Unix.getpid ()));
+      List.iteri
+        (fun i (label, events) ->
+          if i > 0 then Buffer.add_string b ", ";
+          Buffer.add_string b
+            (Printf.sprintf "{\"label\": \"%s\", \"events\": ["
+               (Json.escape label));
+          List.iteri
+            (fun j ev ->
+              if j > 0 then Buffer.add_string b ", ";
+              Buffer.add_string b (Obs.event_to_json ev))
+            events;
+          Buffer.add_string b "]}")
+        (Obs.Flight.all_events ());
+      Buffer.add_string b "]}\n";
+      (match Atomic_io.write path (Buffer.contents b) with
+      | Ok () ->
+          Obs.Metrics.incr c_flight_dumps;
+          Some path
+      | Error msg ->
+          Log.warn ~trace ~event:"flight.dump_failed" (fun () ->
+              [ ("path", Obs.Str path); ("error", Obs.Str msg) ]);
+          None)
+
+(* Record an anomaly: dump the flight rings (when --flight-dir), log
+   it, and remember it for [health].  Every path that detects an
+   anomaly — slow request, watchdog fire, fingerprint breach, shed,
+   SIGQUIT, worker crash — funnels through here. *)
+let note_anomaly (st : state) ~(kind : string) ~(trace : string)
+    ~(detail : string) : unit =
+  let dump = flight_dump st ~kind ~trace in
+  Log.warn ~trace
+    ~event:("anomaly." ^ kind)
+    (fun () ->
+      ("detail", Obs.Str detail)
+      ::
+      (match dump with
+      | Some p -> [ ("flight_dump", Obs.Str p) ]
+      | None -> []));
+  Mutex.lock st.an_mutex;
+  Queue.add
+    { an_ts_us = Obs.now_us (); an_kind = kind; an_trace = trace;
+      an_detail = detail; an_dump = dump }
+    st.anomalies;
+  while Queue.length st.anomalies > max_recent_anomalies do
+    ignore (Queue.pop st.anomalies)
+  done;
+  Mutex.unlock st.an_mutex
+
+(* ------------------------------------------------------------------ *)
+(* Live metrics publication and Prometheus export                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Fold every shard engine's statistics plus daemon-level gauges into
+   the metrics registry.  Engine stats fields are plain mutable ints
+   owned by the shard domains; reading them from here is a benign data
+   race (single-word reads of monotone counters), the same trade the
+   [stats] admin method has always made via its dispatch-free reads. *)
+let publish_all_metrics (st : state) : unit =
+  Array.iter (fun sh -> Ms2.Api.publish_metrics sh.sh_engine) st.shards;
+  (* with a shared store the per-engine cache counters undercount (each
+     shard sees only its own traffic): the merged store view wins *)
+  (match st.store with
+  | None -> ()
+  | Some s ->
+      let h, m, e, entries, bytes = Ms2.Api.shared_cache_stats s in
+      let set name v = Obs.Metrics.set (Obs.Metrics.counter name) v in
+      set "cache.hits" h;
+      set "cache.misses" m;
+      set "cache.evictions" e;
+      Obs.Metrics.gauge "cache.entries" (float_of_int entries);
+      Obs.Metrics.gauge "cache.used_bytes" (float_of_int bytes));
+  Mutex.lock st.st_mutex;
+  let served = st.served and avg = st.avg_ms in
+  Mutex.unlock st.st_mutex;
+  let sessions =
+    Array.fold_left
+      (fun acc sh -> acc + Hashtbl.length sh.sh_sessions)
+      0 st.shards
+  in
+  let set name v = Obs.Metrics.set (Obs.Metrics.counter name) v in
+  set "serve.served" served;
+  set "serve.in_flight" (Atomic.get st.in_flight);
+  set "serve.workers" (Array.length st.shards);
+  set "serve.sessions" sessions;
+  set "serve.draining" (if st.draining then 1 else 0);
+  Obs.Metrics.gauge "serve.avg_ms" avg;
+  Obs.Metrics.gauge "serve.uptime_ms" (float (now_ms_since st.started))
+
+(* Atomic export for scrapers; a failure is a warning, not a crash. *)
+let export_prometheus (st : state) : unit =
+  match st.prometheus with
+  | None -> ()
+  | Some path -> (
+      publish_all_metrics st;
+      st.last_prom <- Unix.gettimeofday ();
+      match Atomic_io.write path (Obs.Metrics.to_prometheus ()) with
+      | Ok () -> ()
+      | Error msg ->
+          Log.warn ~event:"prometheus.export_failed" (fun () ->
+              [ ("path", Obs.Str path); ("error", Obs.Str msg) ]))
 
 (* ------------------------------------------------------------------ *)
 (* Durable cache snapshots                                             *)
@@ -306,8 +527,8 @@ let session_json (ss : Session.t) : Json.t =
    expansion-carrying request.  Admin methods (ping/stats/failpoints/
    reset/shutdown/bye) are exempt so a chaos run can always disarm and
    probe liveness. *)
-let admit (st : state) (c : conn) (req : Proto.request) (arrival : float) :
-    unit =
+let admit (st : state) (c : conn) (req : Proto.request) (arrival : float)
+    (trace : string) : unit =
   let loc = file_start_loc req.Proto.rq_source in
   match
     Diag.protect (fun () ->
@@ -316,19 +537,36 @@ let admit (st : state) (c : conn) (req : Proto.request) (arrival : float) :
   with
   | Result.Error d ->
       send c
-        (Proto.error_response ~id:req.Proto.rq_id ~kind:Proto.Rejected
+        (Proto.error_response ~trace_id:trace ~id:req.Proto.rq_id
+           ~kind:Proto.Rejected
            ~diagnostics:[ Diag.to_json d ]
            ~message:"request rejected at admission" ())
   | Ok () ->
       ignore (Atomic.fetch_and_add st.in_flight 1);
-      Queue.add { j_conn = c; j_req = req; j_arrival = arrival } st.pending
+      Queue.add
+        { j_conn = c; j_req = req; j_arrival = arrival; j_trace = trace }
+        st.pending
 
 let run_job (st : state) (sh : shard) (j : job) : unit =
   let req = j.j_req in
   let c = j.j_conn in
   let id = req.Proto.rq_id in
+  let trace = j.j_trace in
   let loc = file_start_loc req.Proto.rq_source in
   let t0 = Unix.gettimeofday () in
+  (* the domain's trace context covers the whole request: every span
+     and instant the engine records below — cache lookups, fragment
+     speculation (propagated into pool domains), transactions — is
+     stamped with this request's id *)
+  Obs.set_trace (Some trace);
+  Fun.protect ~finally:(fun () -> Obs.set_trace None) @@ fun () ->
+  Obs.with_span ~cat:"serve"
+    ~args:(fun () ->
+      [ ("method", Obs.Str req.Proto.rq_method);
+        ("session", Obs.Str req.Proto.rq_session);
+        ("source", Obs.Str req.Proto.rq_source) ])
+    "request"
+  @@ fun () ->
   (* deadline accounting is from arrival: queue wait counts against the
      client's budget, as it should — the client is waiting either way *)
   let remaining_ms =
@@ -338,8 +576,15 @@ let run_job (st : state) (sh : shard) (j : job) : unit =
   in
   match remaining_ms with
   | Some r when r <= 0 ->
+      red_observe ~meth:req.Proto.rq_method ~ok:false ~elapsed_ms:0.;
+      Log.info ~trace ~event:"request" (fun () ->
+          [ ("method", Obs.Str req.Proto.rq_method);
+            ("session", Obs.Str req.Proto.rq_session);
+            ("ok", Obs.Bool false);
+            ("error", Obs.Str "deadline_expired") ]);
       send c
-        (Proto.error_response ~id ~kind:Proto.Deadline_expired
+        (Proto.error_response ~trace_id:trace ~id
+           ~kind:Proto.Deadline_expired
            ~message:
              (Printf.sprintf
                 "deadline of %d ms was already spent before expansion \
@@ -367,6 +612,35 @@ let run_job (st : state) (sh : shard) (j : job) : unit =
       st.avg_ms <- (0.8 *. st.avg_ms) +. (0.2 *. elapsed);
       st.served <- st.served + 1;
       Mutex.unlock st.st_mutex;
+      let ok = Result.is_ok result in
+      red_observe ~meth:req.Proto.rq_method ~ok ~elapsed_ms:elapsed;
+      Log.info ~trace ~event:"request" (fun () ->
+          [ ("method", Obs.Str req.Proto.rq_method);
+            ("session", Obs.Str req.Proto.rq_session);
+            ("source", Obs.Str req.Proto.rq_source);
+            ("elapsed_ms", Obs.Float elapsed);
+            ("ok", Obs.Bool ok) ]);
+      (* anomaly detection — after the request span closed, so the
+         flight dump's newest event is the slow request itself *)
+      if elapsed > float st.slow_ms then
+        note_anomaly st ~kind:"slow_request" ~trace
+          ~detail:
+            (Printf.sprintf "%s of %s took %.0f ms (budget %d ms)"
+               req.Proto.rq_method req.Proto.rq_source elapsed st.slow_ms);
+      (match result with
+      | Result.Error (d, _) when d.Diag.code = Diag.code_timeout ->
+          note_anomaly st ~kind:"watchdog" ~trace
+            ~detail:
+              (Printf.sprintf "watchdog fired expanding %s"
+                 req.Proto.rq_source)
+      | Result.Error _ when not (Session.isolated ss) ->
+          (* the rollback's fingerprint verification failed: session
+             state may have leaked across the checkpoint boundary *)
+          note_anomaly st ~kind:"fingerprint_breach" ~trace
+            ~detail:
+              (Printf.sprintf "session %s lost isolation after a failure"
+                 req.Proto.rq_session)
+      | _ -> ());
       match result with
       | Ok (rendered, d) -> (
           let fields =
@@ -385,49 +659,116 @@ let run_job (st : state) (sh : shard) (j : job) : unit =
           match
             Diag.protect (fun () ->
                 Failpoint.hit ~loc "serve/respond";
-                Proto.ok_response ~id fields)
+                Proto.ok_response ~trace_id:trace ~id fields)
           with
           | Ok line -> send c line
           | Result.Error d ->
               send c
-                (Proto.error_response ~id ~kind:Proto.Respond_error
+                (Proto.error_response ~trace_id:trace ~id
+                   ~kind:Proto.Respond_error
                    ~diagnostics:[ Diag.to_json d ]
                    ~message:"response write-out failed" ()))
       | Result.Error (d, _) ->
           send c
-            (Proto.error_response ~id ~kind:Proto.Expand_error
+            (Proto.error_response ~trace_id:trace ~id
+               ~kind:Proto.Expand_error
                ~diagnostics:[ Diag.to_json d ]
                ~message:"expansion failed; session rolled back" ()))
 
-let handle_admin (st : state) (c : conn) (req : Proto.request) : unit =
+let anomaly_json (a : anomaly) : Json.t =
+  Json.Obj
+    (( "ts_us", Json.Float a.an_ts_us )
+    :: ("kind", Json.Str a.an_kind)
+    :: ("trace_id", Json.Str a.an_trace)
+    :: ("detail", Json.Str a.an_detail)
+    ::
+    (match a.an_dump with
+    | Some p -> [ ("flight_dump", Json.Str p) ]
+    | None -> []))
+
+let handle_admin (st : state) (c : conn) (req : Proto.request)
+    (trace : string) : unit =
   let id = req.Proto.rq_id in
   let now = Unix.gettimeofday () in
   match req.Proto.rq_method with
   | "ping" ->
-      send c (Proto.ok_response ~id [ ("pid", Json.Int (Unix.getpid ())) ])
+      send c
+        (Proto.ok_response ~trace_id:trace ~id
+           [ ("pid", Json.Int (Unix.getpid ())) ])
   | "bye" ->
-      send c (Proto.ok_response ~id []);
+      send c (Proto.ok_response ~trace_id:trace ~id []);
       c.c_closed <- true
   | "shutdown" ->
-      send c (Proto.ok_response ~id [ ("draining", Json.Bool true) ]);
+      send c
+        (Proto.ok_response ~trace_id:trace ~id
+           [ ("draining", Json.Bool true) ]);
       st.draining <- true
+  | "health" ->
+      (* liveness view: must answer from the event loop without
+         touching any shard queue, so it works mid-drain and under
+         load.  [served]/[avg_ms] are read under their mutex; the rest
+         are atomics or event-loop-owned. *)
+      Mutex.lock st.st_mutex;
+      let served = st.served and avg = st.avg_ms in
+      Mutex.unlock st.st_mutex;
+      let sessions =
+        Array.fold_left
+          (fun acc sh -> acc + Hashtbl.length sh.sh_sessions)
+          0 st.shards
+      in
+      Mutex.lock st.an_mutex;
+      let recent =
+        Queue.fold (fun acc a -> anomaly_json a :: acc) [] st.anomalies
+      in
+      Mutex.unlock st.an_mutex;
+      send c
+        (Proto.ok_response ~trace_id:trace ~id
+           [ ("pid", Json.Int (Unix.getpid ()));
+             ("uptime_ms", Json.Int (now_ms_since st.started));
+             ("draining", Json.Bool st.draining);
+             ("workers", Json.Int (Array.length st.shards));
+             ("in_flight", Json.Int (Atomic.get st.in_flight));
+             ("served", Json.Int served);
+             ("sessions", Json.Int sessions);
+             ("avg_ms", Json.Float avg);
+             ("slow_ms", Json.Int st.slow_ms);
+             ("flight_dir",
+              match st.flight_dir with
+              | Some d -> Json.Str d
+              | None -> Json.Null);
+             (* newest first, as [ms2c top] shows them *)
+             ("anomalies", Json.List recent) ])
+  | "metrics" ->
+      (* the full registry — RED counters/histograms the serve path
+         maintains, plus every shard engine's [engine.*]/[cache.*]/
+         [fragments.*] published on demand.  Re-serialized through the
+         parser so the ms2-metrics-1 object embeds on one line. *)
+      publish_all_metrics st;
+      (match Json.parse (Obs.Metrics.to_json ()) with
+      | Ok m ->
+          send c (Proto.ok_response ~trace_id:trace ~id [ ("metrics", m) ])
+      | Result.Error msg ->
+          send c
+            (Proto.error_response ~trace_id:trace ~id ~kind:Proto.Internal
+               ~message:(Printf.sprintf "metrics rendering failed: %s" msg)
+               ()))
   | "snapshot" -> (
       (* on-demand durable snapshot of the shared expansion cache *)
       match save_snapshot st with
       | Some (Ok (entries, bytes)) ->
           send c
-            (Proto.ok_response ~id
+            (Proto.ok_response ~trace_id:trace ~id
                [ ("path", Json.Str (Option.get st.cache_file));
                  ("entries", Json.Int entries);
                  ("bytes", Json.Int bytes) ])
       | Some (Error msg) ->
           send c
-            (Proto.error_response ~id ~kind:Proto.Internal
+            (Proto.error_response ~trace_id:trace ~id ~kind:Proto.Internal
                ~message:(Printf.sprintf "snapshot not saved: %s" msg)
                ())
       | None ->
           send c
-            (Proto.error_response ~id ~kind:Proto.Malformed
+            (Proto.error_response ~trace_id:trace ~id ~kind:Proto.Malformed
                ~message:
                  "no snapshot path: start the daemon with --cache-file"
                ()))
@@ -435,11 +776,11 @@ let handle_admin (st : state) (c : conn) (req : Proto.request) : unit =
       match Failpoint.arm_spec req.Proto.rq_spec with
       | Ok () ->
           send c
-            (Proto.ok_response ~id
+            (Proto.ok_response ~trace_id:trace ~id
                [ ("armed", Json.Str req.Proto.rq_spec) ])
       | Result.Error msg ->
           send c
-            (Proto.error_response ~id ~kind:Proto.Malformed
+            (Proto.error_response ~trace_id:trace ~id ~kind:Proto.Malformed
                ~message:(Printf.sprintf "bad failpoint spec: %s" msg)
                ()))
   | "reset" ->
@@ -449,7 +790,9 @@ let handle_admin (st : state) (c : conn) (req : Proto.request) : unit =
       dispatch st sh (fun () ->
           let ss = get_session st sh now req.Proto.rq_session in
           Session.reset ss;
-          send c (Proto.ok_response ~id [ ("session", session_json ss) ]))
+          send c
+            (Proto.ok_response ~trace_id:trace ~id
+               [ ("session", session_json ss) ]))
   | "stats" ->
       let sh = shard_of st req.Proto.rq_session in
       let served, draining = (st.served, st.draining) in
@@ -475,7 +818,7 @@ let handle_admin (st : state) (c : conn) (req : Proto.request) : unit =
               0 st.shards
           in
           send c
-            (Proto.ok_response ~id
+            (Proto.ok_response ~trace_id:trace ~id
                [ ("pid", Json.Int (Unix.getpid ()));
                  ("uptime_ms", Json.Int (now_ms_since st.started));
                  ("draining", Json.Bool draining);
@@ -502,46 +845,67 @@ let handle_admin (st : state) (c : conn) (req : Proto.request) : unit =
                       ("fuel_consumed", Json.Int es.Ms2.Api.fuel_consumed) ]) ]))
   | m ->
       send c
-        (Proto.error_response ~id ~kind:Proto.Unknown_method
+        (Proto.error_response ~trace_id:trace ~id
+           ~kind:Proto.Unknown_method
            ~message:(Printf.sprintf "unknown method %S" m)
            ())
 
 let intake (st : state) (c : conn) (line : string) : unit =
   let arrival = Unix.gettimeofday () in
+  (* the trace id is minted here, at accept: even a request that never
+     makes it past JSON parsing gets an id its error response and log
+     line share *)
+  let trace = Log.new_trace_id () in
   match Json.parse line with
   | Result.Error msg ->
+      Log.warn ~trace ~event:"request.malformed" (fun () ->
+          [ ("error", Obs.Str msg) ]);
       send c
-        (Proto.error_response ~id:Json.Null ~kind:Proto.Malformed
+        (Proto.error_response ~trace_id:trace ~id:Json.Null
+           ~kind:Proto.Malformed
            ~message:(Printf.sprintf "request is not valid JSON: %s" msg)
            ())
   | Ok j -> (
       match Proto.decode_request j with
       | Result.Error msg ->
+          Log.warn ~trace ~event:"request.malformed" (fun () ->
+              [ ("error", Obs.Str msg) ]);
           send c
-            (Proto.error_response ~id:(Proto.request_id j)
+            (Proto.error_response ~trace_id:trace ~id:(Proto.request_id j)
                ~kind:Proto.Malformed ~message:msg ())
       | Ok req -> (
           match req.Proto.rq_method with
           | "expand" | "check" ->
-              if st.draining then
+              if st.draining then begin
+                Log.info ~trace ~event:"request.draining" (fun () ->
+                    [ ("session", Obs.Str req.Proto.rq_session) ]);
                 send c
-                  (Proto.error_response ~id:req.Proto.rq_id
-                     ~kind:Proto.Draining
+                  (Proto.error_response ~trace_id:trace
+                     ~id:req.Proto.rq_id ~kind:Proto.Draining
                      ~retry_after_ms:(retry_after_ms st)
                      ~message:"daemon is draining; retry elsewhere or later"
                      ())
-              else if Queue.length st.pending >= st.max_pending then
+              end
+              else if Queue.length st.pending >= st.max_pending then begin
+                Obs.Metrics.incr c_shed;
+                note_anomaly st ~kind:"shed" ~trace
+                  ~detail:
+                    (Printf.sprintf
+                       "pending queue full (%d); %s of session %s shed"
+                       st.max_pending req.Proto.rq_method
+                       req.Proto.rq_session);
                 send c
-                  (Proto.error_response ~id:req.Proto.rq_id
-                     ~kind:Proto.Overloaded
+                  (Proto.error_response ~trace_id:trace
+                     ~id:req.Proto.rq_id ~kind:Proto.Overloaded
                      ~retry_after_ms:(retry_after_ms st)
                      ~message:
                        (Printf.sprintf
                           "pending queue is full (%d in flight)"
                           st.max_pending)
                      ())
-              else admit st c req arrival
-          | _ -> handle_admin st c req))
+              end
+              else admit st c req arrival trace
+          | _ -> handle_admin st c req trace))
 
 (* ------------------------------------------------------------------ *)
 (* Framing                                                             *)
@@ -570,8 +934,12 @@ let feed (st : state) (c : conn) (chunk : string) : unit =
         if String.length s > st.max_request_bytes then begin
           Buffer.clear c.c_buf;
           c.c_discarding <- true;
+          let trace = Log.new_trace_id () in
+          Log.warn ~trace ~event:"request.oversized" (fun () ->
+              [ ("limit_bytes", Obs.Int st.max_request_bytes) ]);
           send c
-            (Proto.error_response ~id:Json.Null ~kind:Proto.Oversized
+            (Proto.error_response ~trace_id:trace ~id:Json.Null
+               ~kind:Proto.Oversized
                ~message:
                  (Printf.sprintf "request line exceeds %d bytes"
                     st.max_request_bytes)
@@ -582,13 +950,18 @@ let feed (st : state) (c : conn) (chunk : string) : unit =
         let line = String.sub s 0 i in
         Buffer.clear c.c_buf;
         Buffer.add_substring c.c_buf s (i + 1) (String.length s - i - 1);
-        if String.length line > st.max_request_bytes then
+        if String.length line > st.max_request_bytes then begin
+          let trace = Log.new_trace_id () in
+          Log.warn ~trace ~event:"request.oversized" (fun () ->
+              [ ("limit_bytes", Obs.Int st.max_request_bytes) ]);
           send c
-            (Proto.error_response ~id:Json.Null ~kind:Proto.Oversized
+            (Proto.error_response ~trace_id:trace ~id:Json.Null
+               ~kind:Proto.Oversized
                ~message:
                  (Printf.sprintf "request line exceeds %d bytes"
                     st.max_request_bytes)
                ())
+        end
         else if String.trim line <> "" then intake st c line
   done
 
@@ -755,11 +1128,20 @@ let serve_loop (st : state) : unit =
   let running = ref true in
   while !running do
     if !want_drain then st.draining <- true;
+    if !want_flight then begin
+      (* SIGQUIT: dump every domain's flight ring and keep serving —
+         the operator's "what are you doing right now?" probe *)
+      want_flight := false;
+      note_anomaly st ~kind:"sigquit" ~trace:(Log.new_trace_id ())
+        ~detail:"operator requested a flight dump (SIGQUIT)"
+    end;
     (* finished draining: nothing queued or dispatched, every answer
        written *)
     if st.draining && Atomic.get st.in_flight = 0 then running := false
     else begin
       let now = Unix.gettimeofday () in
+      if st.prometheus <> None && now -. st.last_prom >= 1.0 then
+        export_prometheus st;
       if Array.length st.shards = 1 then evict_idle st st.shards.(0) now;
       (* idle snapshot: the store is dirty and no request has been
          dispatched for a while — persist the warmth now, so even a
@@ -819,8 +1201,11 @@ let serve_loop (st : state) : unit =
     end
   done;
   (* drain complete: every in-flight answer is out, so the store is at
-     rest — persist it (only if dirty) before releasing the socket *)
+     rest — persist it (only if dirty) before releasing the socket.
+     The Prometheus file is written one last time so scrapers (and
+     tests) see the final counters deterministically. *)
   if st.served > st.snap_served then ignore (save_snapshot st);
+  export_prometheus st;
   cleanup st
 
 (* Spawn the owning domains for a multi-shard daemon, run the loop,
@@ -862,12 +1247,20 @@ let load_prelude_file (engine : Ms2.Api.engine) (path : string) : unit =
 let run_server ~limits ~hygienic ~prelude ~prelude_file ~cache ~workers
     ~fragment_jobs ~socket ~pidfile ~write_pidfile ~max_pending
     ~max_sessions ~session_idle_ms ~max_request_bytes ~cache_file
-    ~snapshot_idle_ms () : unit =
+    ~snapshot_idle_ms ~slow_ms ~flight_dir ~prometheus () : unit =
   (* a disconnected client must never kill the daemon with SIGPIPE *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   Sys.set_signal Sys.sigterm
     (Sys.Signal_handle (fun _ -> want_drain := true));
   Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> want_drain := true));
+  Sys.set_signal Sys.sigquit
+    (Sys.Signal_handle (fun _ -> want_flight := true));
+  (* the flight ring is always on — its cost is bounded (one ring slot
+     store per span) and it is the only record of "what was happening"
+     when an anomaly fires.  This ring serves the event-loop domain
+     (and the single-shard case, which expands inline here); each
+     worker domain enables its own in [worker_loop]. *)
+  Obs.Flight.enable ();
   let workers = if workers = 0 then Ms2_support.Pool.recommended () else workers in
   (* [--fragment-jobs auto] splits the domain budget with --workers *)
   let fragment_jobs =
@@ -960,8 +1353,20 @@ let run_server ~limits ~hygienic ~prelude ~prelude_file ~cache ~workers
       snap_served = 0;
       snap_saves = 0;
       last_active = Unix.gettimeofday ();
+      slow_ms;
+      flight_dir;
+      prometheus;
+      last_prom = 0.;
+      an_mutex = Mutex.create ();
+      anomalies = Queue.create ();
+      flight_seq = Atomic.make 0;
     }
   in
+  Log.info ~event:"serve.start" (fun () ->
+      [ ("pid", Obs.Int (Unix.getpid ()));
+        ("workers", Obs.Int (Array.length st.shards));
+        ("fragment_jobs", Obs.Int st.fragment_jobs);
+        ("slow_ms", Obs.Int slow_ms) ]);
   serve_with_workers st
 
 let signal_name s =
@@ -979,7 +1384,33 @@ let signal_name s =
    the prelude on the way up, so a restarted daemon presents the same
    macro definitions.  A clean worker exit (drain) ends supervision;
    SIGTERM/SIGINT are forwarded to the worker so drains propagate. *)
-let supervise ~pidfile (spawn_worker : unit -> unit) : unit =
+(* A crashed worker's flight rings died with it — but the crash itself
+   is an anomaly worth a durable artifact, so the supervisor writes a
+   marker dump (empty [domains]) carrying the exit status.  The next
+   incident review finds the crash in the same place as every other
+   anomaly. *)
+let crash_marker ~(flight_dir : string option) ~(pid : int)
+    ~(detail : string) : unit =
+  let trace = Log.new_trace_id () in
+  Log.error ~trace ~event:"anomaly.worker_crash" (fun () ->
+      [ ("worker_pid", Obs.Int pid); ("detail", Obs.Str detail) ]);
+  match flight_dir with
+  | None -> ()
+  | Some dir ->
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "flight-%d-worker-crash.json" pid)
+      in
+      let body =
+        Printf.sprintf
+          "{\"schema\": \"ms2-flight-1\", \"ts_us\": %.0f, \"kind\": \
+           \"worker_crash\", \"trace_id\": \"%s\", \"pid\": %d, \
+           \"detail\": \"%s\", \"domains\": []}\n"
+          (Obs.now_us ()) (Json.escape trace) pid (Json.escape detail)
+      in
+      ignore (Atomic_io.write path body)
+
+let supervise ~pidfile ~flight_dir (spawn_worker : unit -> unit) : unit =
   let child = ref None in
   let stopping = ref false in
   let forward signal =
@@ -1028,16 +1459,18 @@ let supervise ~pidfile (spawn_worker : unit -> unit) : unit =
               exit 0
             end;
             let ms = Backoff.next_ms backoff in
-            Printf.eprintf
-              "ms2c serve: worker %d %s; restarting in %d ms (attempt %d)\n%!"
-              pid
-              (match status with
+            let how =
+              match status with
               | Unix.WEXITED c -> Printf.sprintf "exited with code %d" c
               | Unix.WSIGNALED s ->
                   Printf.sprintf "was killed by %s" (signal_name s)
               | Unix.WSTOPPED s ->
-                  Printf.sprintf "stopped by %s" (signal_name s))
-              ms (Backoff.attempts backoff);
+                  Printf.sprintf "stopped by %s" (signal_name s)
+            in
+            crash_marker ~flight_dir ~pid ~detail:how;
+            Printf.eprintf
+              "ms2c serve: worker %d %s; restarting in %d ms (attempt %d)\n%!"
+              pid how ms (Backoff.attempts backoff);
             Unix.sleepf (float ms /. 1000.);
             loop ()))
   in
@@ -1142,23 +1575,58 @@ let snapshot_idle_ms_arg =
        ~doc:"With --cache-file: snapshot the cache once it is dirty and \
              no request has arrived for $(docv) milliseconds.")
 
+let slow_ms_arg =
+  Arg.(value & opt pos_int 1000 & info [ "slow-ms" ] ~docv:"MS"
+       ~doc:"A request slower than $(docv) milliseconds is an anomaly: \
+             it is logged, surfaced in the $(b,health) admin method, and \
+             (with $(b,--flight-dir)) triggers a flight-recorder dump — \
+             tail-based sampling, full span detail kept only for \
+             outliers.")
+
+let flight_dir_arg =
+  Arg.(value & opt (some string) None & info [ "flight-dir" ] ~docv:"DIR"
+       ~doc:"Write flight-recorder dumps (schema $(b,ms2-flight-1)) to \
+             $(docv) on anomalies: slow requests, watchdog fires, \
+             fingerprint breaches, overload shedding, worker crashes \
+             and SIGQUIT.  Without it the per-domain rings still record \
+             (bounded memory), but nothing is written.")
+
+let prometheus_arg =
+  Arg.(value & opt (some string) None & info [ "prometheus" ] ~docv:"FILE"
+       ~doc:"Export the metrics registry to $(docv) in Prometheus text \
+             exposition format, atomically, about once a second and on \
+             drain — point a node-exporter textfile collector (or a \
+             test) at it.")
+
+let log_level_arg =
+  Arg.(value & opt string "info" & info [ "log-level" ] ~docv:"LEVEL"
+       ~doc:"Structured-log threshold on stderr (schema $(b,ms2-log-1), \
+             one JSON object per line): $(b,debug), $(b,info), \
+             $(b,warn) or $(b,error).")
+
 let cmd : unit Cmd.t =
   let run limits hygienic prelude prelude_file no_cache workers
       fragment_jobs socket pidfile supervise_flag max_pending max_sessions
       session_idle_ms max_request_bytes cache_file snapshot_idle_ms
-      failpoints =
+      slow_ms flight_dir prometheus log_level failpoints =
     arm_failpoints failpoints;
+    (match Ms2_support.Log.level_of_string log_level with
+    | Some l -> Ms2_support.Log.set_level l
+    | None ->
+        fatal "bad --log-level %S (expected debug|info|warn|error)"
+          log_level);
     let worker ~write_pidfile () =
       run_server ~limits ~hygienic ~prelude ~prelude_file
         ~cache:(not no_cache) ~workers ~fragment_jobs ~socket ~pidfile
         ~write_pidfile ~max_pending ~max_sessions ~session_idle_ms
-        ~max_request_bytes ~cache_file ~snapshot_idle_ms ()
+        ~max_request_bytes ~cache_file ~snapshot_idle_ms ~slow_ms
+        ~flight_dir ~prometheus ()
     in
     if supervise_flag then begin
       if socket = None then
         fatal "--supervise requires --socket (stdio clients cannot \
                reconnect across a worker restart)";
-      supervise ~pidfile (worker ~write_pidfile:false)
+      supervise ~pidfile ~flight_dir (worker ~write_pidfile:false)
     end
     else worker ~write_pidfile:true ()
   in
@@ -1173,4 +1641,5 @@ let cmd : unit Cmd.t =
       $ prelude_file_arg $ no_cache_arg $ workers_arg $ fragment_jobs_arg
       $ socket_arg $ pidfile_arg $ supervise_arg $ max_pending_arg
       $ max_sessions_arg $ session_idle_ms_arg $ max_request_bytes_arg
-      $ cache_file_arg $ snapshot_idle_ms_arg $ failpoints_arg)
+      $ cache_file_arg $ snapshot_idle_ms_arg $ slow_ms_arg
+      $ flight_dir_arg $ prometheus_arg $ log_level_arg $ failpoints_arg)

@@ -43,6 +43,16 @@ type stats = {
   fragments_revalidated : int;
       (** speculative fragment results discarded and re-expanded
           sequentially *)
+  fragments_abort_defs_bump : int;
+      (** aborts: the fragment defined or redefined a macro *)
+  fragments_abort_gensym_mint : int;
+      (** aborts: the fragment minted generated names or anonymous
+          tags *)
+  fragments_abort_meta_decl : int;  (** aborts: the fragment ran a metadcl *)
+  fragments_abort_stale_read : int;
+      (** aborts: reads not provably fresh at validation or commit *)
+  fragments_abort_foreign_closure : int;
+      (** aborts: a global was bound to a meta closure *)
   pattern_memo_hits : int;
       (** compiled-invocation-pattern memo hits ({e process-global}: the
           memo is shared by every engine in the process) *)
@@ -165,6 +175,16 @@ let stats (engine : engine) : stats =
     fragments_speculated = engine.Engine.stats.Engine.frag_speculated;
     fragments_committed = engine.Engine.stats.Engine.frag_committed;
     fragments_revalidated = engine.Engine.stats.Engine.frag_revalidated;
+    fragments_abort_defs_bump =
+      engine.Engine.stats.Engine.frag_abort_defs_bump;
+    fragments_abort_gensym_mint =
+      engine.Engine.stats.Engine.frag_abort_gensym_mint;
+    fragments_abort_meta_decl =
+      engine.Engine.stats.Engine.frag_abort_meta_decl;
+    fragments_abort_stale_read =
+      engine.Engine.stats.Engine.frag_abort_stale_read;
+    fragments_abort_foreign_closure =
+      engine.Engine.stats.Engine.frag_abort_foreign_closure;
     pattern_memo_hits = Obs.Metrics.value c_pattern_memo_hits;
     pattern_memo_misses = Obs.Metrics.value c_pattern_memo_misses;
     firstset_memo_hits = Obs.Metrics.value c_firstset_memo_hits;

@@ -43,6 +43,19 @@ type stats = {
   fragments_revalidated : int;
       (** speculative fragment results discarded and re-expanded
           sequentially *)
+  fragments_abort_defs_bump : int;
+      (** aborts: the fragment defined or redefined a macro *)
+  fragments_abort_gensym_mint : int;
+      (** aborts: the fragment minted generated names or anonymous
+          tags *)
+  fragments_abort_meta_decl : int;  (** aborts: the fragment ran a metadcl *)
+  fragments_abort_stale_read : int;
+      (** aborts: reads not provably fresh at validation or commit time
+          (open scopes, undiffable symbol-table delta, or dirtied by an
+          earlier commit) *)
+  fragments_abort_foreign_closure : int;
+      (** aborts: a global was bound to a meta closure, which cannot
+          cross engines *)
   pattern_memo_hits : int;
       (** compiled-invocation-pattern memo hits ({e process-global}: the
           memo is shared by every engine in the process, so this is not

@@ -65,6 +65,22 @@ type stats = {
       (** speculative results discarded at commit time (stale reads,
           shared-state writes, worker failure) and re-expanded
           sequentially *)
+  mutable frag_abort_defs_bump : int;
+      (** aborts because the fragment defined or redefined a macro
+          (the worker's [defs_version] moved) *)
+  mutable frag_abort_gensym_mint : int;
+      (** aborts because the fragment minted generated names or
+          anonymous tags (name identity differs across replays) *)
+  mutable frag_abort_meta_decl : int;
+      (** aborts because the fragment ran a [metadcl] (meta-program
+          side effects must execute on the main engine, in order) *)
+  mutable frag_abort_stale_read : int;
+      (** aborts because the fragment's reads could not be proven
+          fresh: open scopes, an undiffable symbol-table delta, or a
+          commit-time validation failure against earlier commits *)
+  mutable frag_abort_foreign_closure : int;
+      (** aborts because the fragment bound a global to a meta closure
+          (closures cannot be transplanted between engines) *)
 }
 
 type t = {
@@ -338,14 +354,10 @@ let expand_invocation (t : t) (inv : invocation) : Value.t =
           in
           Obs.with_span ~cat:"expand"
             ~args:(fun () ->
+              let parent, depth = Loc.backtrace_summary loc in
               [ ("call_site", Obs.Str (Loc.to_string loc));
-                ("parent_macro",
-                 Obs.Str
-                   (match Loc.backtrace loc with
-                   | { Loc.macro; _ } :: _ -> macro
-                   | [] -> ""));
-                ("expansion_depth",
-                 Obs.Int (List.length (Loc.backtrace loc))) ])
+                ("parent_macro", Obs.Str parent);
+                ("expansion_depth", Obs.Int depth) ])
             inv.inv_name.id_name
             (fun () -> Fun.protect ~finally:close_profile compute)
         end
@@ -407,7 +419,9 @@ let create ?(limits = Limits.default) ?(compile_patterns = true)
           cache_evictions = 0; cache_bypasses = 0; cache_bypass_trace = 0;
           cache_bypass_failpoints = 0; cache_bypass_uncacheable = 0;
           cache_bypass_budget = 0; frag_speculated = 0; frag_committed = 0;
-          frag_revalidated = 0 };
+          frag_revalidated = 0; frag_abort_defs_bump = 0;
+          frag_abort_gensym_mint = 0; frag_abort_meta_decl = 0;
+          frag_abort_stale_read = 0; frag_abort_foreign_closure = 0 };
       defs_version = 0;
       fp_tables_memo = None;
       cache =
@@ -957,6 +971,18 @@ let expand_source_uncached (t : t) ?deadline_ms ~source (text : string) :
 let c_frag_speculated = Obs.Metrics.counter "fragments.speculated"
 let c_frag_committed = Obs.Metrics.counter "fragments.committed"
 let c_frag_revalidated = Obs.Metrics.counter "fragments.revalidated"
+let c_frag_abort_defs_bump = Obs.Metrics.counter "fragments.abort.defs_bump"
+
+let c_frag_abort_gensym_mint =
+  Obs.Metrics.counter "fragments.abort.gensym_mint"
+
+let c_frag_abort_meta_decl = Obs.Metrics.counter "fragments.abort.meta_decl"
+
+let c_frag_abort_stale_read =
+  Obs.Metrics.counter "fragments.abort.stale_read"
+
+let c_frag_abort_foreign_closure =
+  Obs.Metrics.counter "fragments.abort.foreign_closure"
 
 let rec contains_closure (v : Value.t) : bool =
   match v with
@@ -1065,9 +1091,51 @@ type frag_commit = {
   fr_invocations : int;
 }
 
+(** Why a speculation could not commit — the labeled
+    [fragments.abort.*] breakdown.  A [Frag_done] that later fails
+    {!frag_commit_ok} (earlier commits dirtied what it read) counts as
+    [Abort_stale_read]; a worker that raised ([Frag_fail]) carries no
+    cause — the re-expansion will surface the real error. *)
+type abort_cause =
+  | Abort_defs_bump
+  | Abort_gensym_mint
+  | Abort_meta_decl
+  | Abort_stale_read
+  | Abort_foreign_closure
+
+let abort_cause_name = function
+  | Abort_defs_bump -> "defs_bump"
+  | Abort_gensym_mint -> "gensym_mint"
+  | Abort_meta_decl -> "meta_decl"
+  | Abort_stale_read -> "stale_read"
+  | Abort_foreign_closure -> "foreign_closure"
+
+let count_abort (t : t) (cause : abort_cause) : unit =
+  (match cause with
+  | Abort_defs_bump ->
+      t.stats.frag_abort_defs_bump <- t.stats.frag_abort_defs_bump + 1;
+      Obs.Metrics.incr c_frag_abort_defs_bump
+  | Abort_gensym_mint ->
+      t.stats.frag_abort_gensym_mint <- t.stats.frag_abort_gensym_mint + 1;
+      Obs.Metrics.incr c_frag_abort_gensym_mint
+  | Abort_meta_decl ->
+      t.stats.frag_abort_meta_decl <- t.stats.frag_abort_meta_decl + 1;
+      Obs.Metrics.incr c_frag_abort_meta_decl
+  | Abort_stale_read ->
+      t.stats.frag_abort_stale_read <- t.stats.frag_abort_stale_read + 1;
+      Obs.Metrics.incr c_frag_abort_stale_read
+  | Abort_foreign_closure ->
+      t.stats.frag_abort_foreign_closure <-
+        t.stats.frag_abort_foreign_closure + 1;
+      Obs.Metrics.incr c_frag_abort_foreign_closure);
+  Obs.instant ~cat:"fragment"
+    ~args:(fun () -> [ ("cause", Obs.Str (abort_cause_name cause)) ])
+    "speculation-abort"
+
 type frag_result =
   | Frag_done of frag_commit
-  | Frag_abort  (** validation failed on the worker; revalidate *)
+  | Frag_abort of abort_cause
+      (** validation failed on the worker; revalidate *)
   | Frag_fail
       (** the worker raised: revalidate, and stop later speculation so
           first-fatal semantics match the sequential index *)
@@ -1179,21 +1247,23 @@ let frag_speculate (ctx : frag_ctx) (decls : decl list) ~(index : int) :
         in
         finish ();
         let sub3 (a, b, c) (a0, b0, c0) = (a - a0, b - b0, c - c0) in
-        if
-          w.defs_version <> ctx.fx_v0
-          || Gensym.count w.gensym <> gensym0
+        if w.defs_version <> ctx.fx_v0 then Frag_abort Abort_defs_bump
+        else if
+          Gensym.count w.gensym <> gensym0
           || Senv.anon_count w.senv <> anon0
-          || w.stats.meta_declarations_run <> meta0
-          || List.length w.env.Value.scopes <> 1
-          || Senv.depth w.senv <> 1
-        then Frag_abort
+        then Frag_abort Abort_gensym_mint
+        else if w.stats.meta_declarations_run <> meta0 then
+          Frag_abort Abort_meta_decl
+        else if
+          List.length w.env.Value.scopes <> 1 || Senv.depth w.senv <> 1
+        then Frag_abort Abort_stale_read
         else
           match Senv.diff_top w.senv ~base:ctx.fx_cp.cp_senv with
-          | None -> Frag_abort
+          | None -> Frag_abort Abort_stale_read
           | Some senv_delta ->
               let genv_delta = frag_genv_delta fw in
               if List.exists (fun (_, v) -> contains_closure v) genv_delta
-              then Frag_abort
+              then Frag_abort Abort_foreign_closure
               else
                 Frag_done
                   {
@@ -1333,8 +1403,18 @@ let frag_commit_walk (t : t) ~(jobs : int) ~(fragment_ms : int)
               frag_apply_commit t dirty r;
               chunks := r.fr_prog :: !chunks
             end
-            else revalidate k decls
-        | Some (Frag_abort | Frag_fail) ->
+            else begin
+              (* the worker's result was self-consistent; what it read
+                 went stale under earlier commits/re-expansions *)
+              count_abort t Abort_stale_read;
+              revalidate k decls
+            end
+        | Some (Frag_abort cause) ->
+            t.stats.frag_speculated <- t.stats.frag_speculated + 1;
+            Obs.Metrics.incr c_frag_speculated;
+            count_abort t cause;
+            revalidate k decls
+        | Some Frag_fail ->
             t.stats.frag_speculated <- t.stats.frag_speculated + 1;
             Obs.Metrics.incr c_frag_speculated;
             revalidate k decls

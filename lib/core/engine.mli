@@ -51,6 +51,19 @@ type stats = {
       (** speculative results discarded at commit time (stale reads,
           shared-state writes, worker failure) and re-expanded
           sequentially *)
+  mutable frag_abort_defs_bump : int;
+      (** aborts: the fragment defined or redefined a macro *)
+  mutable frag_abort_gensym_mint : int;
+      (** aborts: the fragment minted generated names or anonymous
+          tags *)
+  mutable frag_abort_meta_decl : int;
+      (** aborts: the fragment ran a [metadcl] *)
+  mutable frag_abort_stale_read : int;
+      (** aborts: reads not provably fresh (open scopes, undiffable
+          symbol-table delta, or commit-time validation failure) *)
+  mutable frag_abort_foreign_closure : int;
+      (** aborts: a global was bound to a meta closure, which cannot
+          cross engines *)
 }
 
 type checkpoint

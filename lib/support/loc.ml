@@ -109,6 +109,20 @@ let backtrace t =
   in
   go [] t
 
+(* The two facts a per-invocation telemetry span wants from the chain —
+   producing macro and depth — in one walk with no list allocation.
+   Deeply nested expansions record one span per invocation, each of
+   which would otherwise build (and then count) an O(depth) backtrace,
+   making payload cost quadratic in nesting depth. *)
+let backtrace_summary t =
+  let rec go ~parent n t =
+    match t.origin with
+    | User -> (parent, n)
+    | Macro f ->
+        go ~parent:(if n = 0 then f.macro else parent) (n + 1) f.call_site
+  in
+  go ~parent:"" 0 t
+
 (** The outermost user-written location of the chain: [t] itself when it
     is user code, otherwise the root of the last call site. *)
 let rec root t = match t.origin with User -> t | Macro f -> root f.call_site
@@ -126,7 +140,19 @@ let pp ppf t =
     Fmt.pf ppf "%s:%d:%d-%d:%d" t.source t.start_pos.line t.start_pos.col
       t.end_pos.line t.end_pos.col
 
-let to_string t = Fmt.str "%a" pp t
+(* Same rendering as {!pp}, built by direct concatenation: this runs
+   once per recorded invocation span (and per diagnostic), and the
+   format-combinator path costs enough to show up in the telemetry
+   overhead benchmark. *)
+let to_string t =
+  if is_dummy t then "<unknown location>"
+  else
+    let i = string_of_int in
+    let common =
+      t.source ^ ":" ^ i t.start_pos.line ^ ":" ^ i t.start_pos.col ^ "-"
+    in
+    if t.start_pos.line = t.end_pos.line then common ^ i t.end_pos.col
+    else common ^ i t.end_pos.line ^ ":" ^ i t.end_pos.col
 
 (** Backtraces deeper than this render the innermost
     [max_backtrace_frames] frames and summarize the rest — runaway

@@ -64,6 +64,13 @@ val push_frame : macro:string -> call_site:t -> t -> t
 val backtrace : t -> frame list
 (** Expansion frames, innermost first; [[]] for user code. *)
 
+val backtrace_summary : t -> string * int
+(** [(producing macro, depth)] of the chain — [("", 0)] for user code —
+    computed in one walk with no allocation.  What a per-invocation
+    telemetry span records instead of materializing {!backtrace}: one
+    span fires per invocation, so the list-building variant would make
+    payload cost quadratic in nesting depth. *)
+
 val root : t -> t
 (** The outermost user-written location of the chain. *)
 

@@ -1,0 +1,114 @@
+(** Structured line-JSON logging (schema [ms2-log-1]).
+
+    One log record per line, one JSON object per record, so `grep
+    trace_id` and `jq` both work on a raw log stream.  The sink is a
+    process-global formatter (stderr by default) behind a mutex —
+    serve worker domains log concurrently, and a torn line is worse
+    than a brief lock.  Levels filter at the call site: a suppressed
+    record never builds its payload (the fields are a thunk), matching
+    the zero-overhead rule of {!Obs}.
+
+    Trace ids: {!new_trace_id} mints 16 hex chars from a digest of
+    (pid, time, counter) — unique enough to join log lines, responses
+    and flight dumps within one daemon's lifetime, short enough to
+    read aloud.  When a record carries no explicit [?trace] the
+    domain's {!Obs.current_trace} is stamped instead, so engine-level
+    code logging mid-request inherits the request's id for free. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string (s : string) : level option =
+  match String.lowercase_ascii s with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+(* The filter level is read on every call site, from any domain. *)
+let threshold = Atomic.make (level_rank Warn)
+
+let set_level (l : level) = Atomic.set threshold (level_rank l)
+let enabled (l : level) = level_rank l >= Atomic.get threshold
+
+let sink_mutex = Mutex.create ()
+let sink : out_channel ref = ref stderr
+
+let set_sink (oc : out_channel) =
+  Mutex.lock sink_mutex;
+  sink := oc;
+  Mutex.unlock sink_mutex
+
+(* ------------------------------------------------------------------ *)
+(* Trace ids                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let trace_counter = Atomic.make 0
+
+let new_trace_id () : string =
+  let n = Atomic.fetch_and_add trace_counter 1 in
+  let seed =
+    Printf.sprintf "%d:%f:%d" (Unix.getpid ()) (Unix.gettimeofday ()) n
+  in
+  String.sub (Digest.to_hex (Digest.string seed)) 0 16
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let value_to_json : Obs.value -> string = function
+  | Obs.Int i -> string_of_int i
+  | Obs.Bool b -> if b then "true" else "false"
+  | Obs.Float f -> (
+      match Float.classify_float f with
+      | FP_nan | FP_infinite -> "0"
+      | _ ->
+          if Float.is_integer f && Float.abs f < 1e15 then
+            Printf.sprintf "%.0f" f
+          else Printf.sprintf "%.6g" f)
+  | Obs.Str s -> Printf.sprintf "\"%s\"" (Json.escape s)
+
+let emit (l : level) ?trace ~(event : string)
+    (fields : unit -> Obs.payload) : unit =
+  if enabled l then begin
+    let ts_us = Obs.now_us () in
+    let trace =
+      match trace with Some _ as t -> t | None -> Obs.current_trace ()
+    in
+    let b = Buffer.create 160 in
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"schema\": \"ms2-log-1\", \"ts_us\": %.0f, \"level\": \"%s\", \
+          \"event\": \"%s\""
+         ts_us (level_name l) (Json.escape event));
+    (match trace with
+    | Some tid ->
+        Buffer.add_string b
+          (Printf.sprintf ", \"trace_id\": \"%s\"" (Json.escape tid))
+    | None -> ());
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string b
+          (Printf.sprintf ", \"%s\": %s" (Json.escape k) (value_to_json v)))
+      (fields ());
+    Buffer.add_string b "}\n";
+    Mutex.lock sink_mutex;
+    (try
+       output_string !sink (Buffer.contents b);
+       flush !sink
+     with _ -> ());
+    Mutex.unlock sink_mutex
+  end
+
+let debug ?trace ~event fields = emit Debug ?trace ~event fields
+let info ?trace ~event fields = emit Info ?trace ~event fields
+let warn ?trace ~event fields = emit Warn ?trace ~event fields
+let error ?trace ~event fields = emit Error ?trace ~event fields

@@ -1,0 +1,44 @@
+(** Structured line-JSON logging (schema [ms2-log-1]).
+
+    Every record is one line, one JSON object:
+    [{"schema": "ms2-log-1", "ts_us": ..., "level": "...",
+    "event": "...", "trace_id": "...", <fields>...}].  The [trace_id]
+    key appears when the record has a trace — explicit [?trace], or
+    the domain's ambient {!Obs.current_trace}.  Fields are an
+    {!Obs.payload} behind a thunk, never built for a suppressed level.
+
+    The sink (stderr by default) is shared by all domains under a
+    mutex, so concurrent records never tear.  Default level: [Warn]. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+
+val level_of_string : string -> level option
+(** Accepts ["debug"], ["info"], ["warn"]/["warning"], ["error"]
+    (case-insensitive). *)
+
+val set_level : level -> unit
+(** Records below this level are dropped at the call site. *)
+
+val enabled : level -> bool
+
+val set_sink : out_channel -> unit
+(** Redirect records (tests; default [stderr]).  The channel is
+    flushed after every record. *)
+
+val new_trace_id : unit -> string
+(** Mint a 16-hex-char id, unique within (and practically across)
+    this process's lifetime. *)
+
+val debug :
+  ?trace:string -> event:string -> (unit -> Obs.payload) -> unit
+
+val info :
+  ?trace:string -> event:string -> (unit -> Obs.payload) -> unit
+
+val warn :
+  ?trace:string -> event:string -> (unit -> Obs.payload) -> unit
+
+val error :
+  ?trace:string -> event:string -> (unit -> Obs.payload) -> unit

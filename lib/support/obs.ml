@@ -1,15 +1,33 @@
 (** Expansion telemetry: see the interface for the design contract.
 
-    Implementation notes.  The recorder keeps events in a reversed
-    list (append = cons); {!stop_recording}/{!events} reverse once.
-    Spans are recorded at {e close} time (when the duration is known),
-    so the chronological order used for rendering is close order —
-    Chrome trace viewers sort by [ts] themselves and nest complete
-    events by time containment, so emission order is cosmetic.  The
-    clock is [Unix.gettimeofday]: the same clock the watchdog polls,
-    wall-valid across [fork], precise to the microsecond — a
-    dedicated monotonic source would need a C stub this repo does not
-    carry.
+    Implementation notes.  The recorder keeps events in a pooled
+    structure-of-arrays buffer that persists across
+    {!start_recording}/{!stop_recording} cycles: names, categories,
+    phases, timestamps, durations and payloads live in parallel arrays
+    (timestamps and durations in flat [float array]s, so appending a
+    span stores unboxed floats), and the buffer grows by doubling and
+    is never shrunk.  Recording a span is therefore allocation-free in
+    steady state except for its payload; the immutable {!event}
+    records the public API exposes are materialized once, at
+    {!stop_recording}/{!events} time, off the hot path.  Spans are
+    recorded at {e close} time (when the duration is known), so the
+    chronological order used for rendering is close order — Chrome
+    trace viewers sort by [ts] themselves and nest complete events by
+    time containment, so emission order is cosmetic.  The clock is
+    [Unix.gettimeofday]: the same clock the watchdog polls, wall-valid
+    across [fork], precise to the microsecond — a dedicated monotonic
+    source would need a C stub this repo does not carry.
+
+    The {e flight recorder} is a second sink sharing the same
+    recording sites: a bounded per-domain ring of the most recent
+    immutable events, written lock-free by the owning domain and
+    readable (racily, but memory-safely — slots hold immutable
+    records, so a concurrent reader sees either the old or the new
+    event, never a torn one) from any domain for anomaly dumps.
+    Crucially, enabling the flight ring does {e not} make
+    {!recording} true: the engine keys cache bypasses, speculation
+    degradation and per-invocation spans off trace capture, and an
+    always-on flight ring must not trigger any of those.
 
     {b Domain safety} (see DESIGN.md, "Domain-safety invariants").
     Three different strategies, one per sink, each picked for its
@@ -48,29 +66,189 @@ let now_us () = Unix.gettimeofday () *. 1e6
 (* Recorder (domain-local)                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* The pooled capture buffer: parallel arrays, one slot per event.
+   Timestamps and durations are flat float arrays (unboxed stores);
+   names/categories/payloads are pointer stores.  The arrays are
+   retained across start/stop cycles, so steady-state recording
+   allocates nothing per span beyond its payload. *)
+type pool_buf = {
+  mutable p_names : string array;
+  mutable p_cats : string array;
+  mutable p_phs : Bytes.t;
+  mutable p_ts : float array;
+  mutable p_durs : float array;
+  mutable p_args : (unit -> payload) array;
+      (** payload {e thunks}: forced at materialization time
+          ({!pool_events}), not on the recording hot path.  Span
+          payloads at engine sites format locations and walk origin
+          chains — deferring them is most of the difference between
+          "recording on" and "sinks disabled" *)
+  mutable p_len : int;
+}
+
+let no_args () = []
+
+let pool_create cap =
+  {
+    p_names = Array.make cap "";
+    p_cats = Array.make cap "";
+    p_phs = Bytes.make cap 'X';
+    p_ts = Array.make cap 0.;
+    p_durs = Array.make cap 0.;
+    p_args = Array.make cap no_args;
+    p_len = 0;
+  }
+
+let pool_grow (p : pool_buf) =
+  let cap = Array.length p.p_names in
+  let cap' = cap * 2 in
+  let grow_arr a fill =
+    let a' = Array.make cap' fill in
+    Array.blit a 0 a' 0 cap;
+    a'
+  in
+  p.p_names <- grow_arr p.p_names "";
+  p.p_cats <- grow_arr p.p_cats "";
+  (let b = Bytes.make cap' 'X' in
+   Bytes.blit p.p_phs 0 b 0 cap;
+   p.p_phs <- b);
+  p.p_ts <- grow_arr p.p_ts 0.;
+  p.p_durs <- grow_arr p.p_durs 0.;
+  p.p_args <- grow_arr p.p_args no_args
+
+let pool_push (p : pool_buf) ~name ~cat ~ph ~ts ~dur args =
+  if p.p_len >= Array.length p.p_names then pool_grow p;
+  let i = p.p_len in
+  p.p_names.(i) <- name;
+  p.p_cats.(i) <- cat;
+  Bytes.set p.p_phs i ph;
+  p.p_ts.(i) <- ts;
+  p.p_durs.(i) <- dur;
+  p.p_args.(i) <- args;
+  p.p_len <- i + 1
+
+(* materialize the pooled slots as immutable events, chronological;
+   this is where the deferred payload thunks finally run *)
+let pool_events (p : pool_buf) : event list =
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      go (i - 1)
+        ({ ev_name = p.p_names.(i); ev_cat = p.p_cats.(i);
+           ev_ph = Bytes.get p.p_phs i; ev_ts_us = p.p_ts.(i);
+           ev_dur_us = p.p_durs.(i); ev_args = p.p_args.(i) () }
+        :: acc)
+  in
+  go (p.p_len - 1) []
+
+let pool_clear (p : pool_buf) =
+  (* drop the payload/name pointers so a cleared buffer does not pin
+     the last run's strings; the arrays themselves are the pool *)
+  Array.fill p.p_names 0 p.p_len "";
+  Array.fill p.p_cats 0 p.p_len "";
+  Array.fill p.p_args 0 p.p_len no_args;
+  p.p_len <- 0
+
+(* The flight ring: a bounded per-domain buffer of the most recent
+   events.  Single-writer (the owning domain) lock-free appends; any
+   domain may snapshot it for an anomaly dump. *)
+type ring = {
+  rg_label : string;
+  rg_cap : int;
+  rg_slots : event array;
+  rg_idx : int Atomic.t;  (** total events ever written *)
+}
+
+let ring_push (rg : ring) (ev : event) =
+  let i = Atomic.get rg.rg_idx in
+  rg.rg_slots.(i mod rg.rg_cap) <- ev;
+  (* the write above is published by this store; single writer, so a
+     plain set (not fetch_and_add) is enough *)
+  Atomic.set rg.rg_idx (i + 1)
+
+let ring_events (rg : ring) : event list =
+  let n = Atomic.get rg.rg_idx in
+  let first = if n > rg.rg_cap then n - rg.rg_cap else 0 in
+  let rec go i acc =
+    if i < first then acc
+    else
+      let ev = rg.rg_slots.(i mod rg.rg_cap) in
+      go (i - 1) (if ev.ev_name = "" then acc else ev :: acc)
+  in
+  go (n - 1) []
+
 type rec_state = {
-  mutable r_on : bool;
-  mutable r_events : event list;  (* newest first *)
+  mutable r_on : bool;  (** any sink active (capture or flight) *)
+  mutable r_capture : bool;  (** start/stop_recording trace capture *)
+  r_buf : pool_buf;
+  mutable r_flight : ring option;
+  mutable r_trace : string option;  (** stamped into recorded events *)
 }
 
 let rec_key : rec_state Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> { r_on = false; r_events = [] })
+  Domain.DLS.new_key (fun () ->
+      { r_on = false; r_capture = false; r_buf = pool_create 1024;
+        r_flight = None; r_trace = None })
 
 let rstate () = Domain.DLS.get rec_key
 
-let recording () = (rstate ()).r_on
-let start_recording () = (rstate ()).r_on <- true
+(* [recording] deliberately reports only trace *capture*: engine-side
+   gates (cache bypass announcements, speculation degradation,
+   per-invocation spans) must not fire for an always-on flight ring. *)
+let recording () = (rstate ()).r_capture
+
+let start_recording () =
+  let rs = rstate () in
+  rs.r_capture <- true;
+  rs.r_on <- true
 
 let stop_recording () =
   let rs = rstate () in
-  rs.r_on <- false;
-  let evs = List.rev rs.r_events in
-  rs.r_events <- [];
+  rs.r_capture <- false;
+  rs.r_on <- rs.r_flight <> None;
+  let evs = pool_events rs.r_buf in
+  pool_clear rs.r_buf;
   evs
 
-let events () = List.rev (rstate ()).r_events
+let events () = pool_events (rstate ()).r_buf
 
-let no_args () = []
+let set_trace t = (rstate ()).r_trace <- t
+let current_trace () = (rstate ()).r_trace
+
+let with_trace t f =
+  let rs = rstate () in
+  let saved = rs.r_trace in
+  rs.r_trace <- t;
+  Fun.protect ~finally:(fun () -> rs.r_trace <- saved) f
+
+let record (rs : rec_state) ~name ~cat ~ph ~ts ~dur args_thunk =
+  match rs.r_flight with
+  | None ->
+      (* capture-only: store the thunk, don't run it.  The ambient
+         trace id is pinned now (it is request-scoped mutable state);
+         the payload itself renders at stop_recording/events time,
+         off the hot path.  With no trace this is a single pointer
+         store — zero allocation beyond the pool slot. *)
+      if rs.r_capture then
+        let args_fn =
+          match rs.r_trace with
+          | None -> args_thunk
+          | Some tid -> fun () -> ("trace_id", Str tid) :: args_thunk ()
+        in
+        pool_push rs.r_buf ~name ~cat ~ph ~ts ~dur args_fn
+  | Some rg ->
+      (* the flight ring publishes immutable events to concurrent
+         anomaly-dump readers, so its payloads must materialize now *)
+      let args =
+        match rs.r_trace with
+        | None -> args_thunk ()
+        | Some tid -> ("trace_id", Str tid) :: args_thunk ()
+      in
+      ring_push rg
+        { ev_name = name; ev_cat = cat; ev_ph = ph; ev_ts_us = ts;
+          ev_dur_us = dur; ev_args = args };
+      if rs.r_capture then
+        pool_push rs.r_buf ~name ~cat ~ph ~ts ~dur (fun () -> args)
 
 let with_span ~cat ?(args = no_args) name f =
   let rs = rstate () in
@@ -81,10 +259,7 @@ let with_span ~cat ?(args = no_args) name f =
       (* a span survives the flag flipping mid-run (stop_recording in a
          nested scope): record iff still on *)
       if rs.r_on then
-        rs.r_events <-
-          { ev_name = name; ev_cat = cat; ev_ph = 'X'; ev_ts_us = t0;
-            ev_dur_us = now_us () -. t0; ev_args = args () }
-          :: rs.r_events
+        record rs ~name ~cat ~ph:'X' ~ts:t0 ~dur:(now_us () -. t0) args
     in
     match f () with
     | v ->
@@ -98,10 +273,57 @@ let with_span ~cat ?(args = no_args) name f =
 let instant ~cat ?(args = no_args) name =
   let rs = rstate () in
   if rs.r_on then
-    rs.r_events <-
-      { ev_name = name; ev_cat = cat; ev_ph = 'i'; ev_ts_us = now_us ();
-        ev_dur_us = 0.; ev_args = args () }
-      :: rs.r_events
+    record rs ~name ~cat ~ph:'i' ~ts:(now_us ()) ~dur:0. args
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Flight = struct
+  let default_capacity = 4096
+
+  (* every ring ever enabled, so an anomaly dump (or SIGQUIT) can
+     collect the recent events of *all* domains, not just its own *)
+  let rings_mutex = Mutex.create ()
+  let rings : ring list ref = ref []
+
+  let enabled () = (rstate ()).r_flight <> None
+
+  let enable ?(capacity = default_capacity) () =
+    let rs = rstate () in
+    match rs.r_flight with
+    | Some _ -> ()
+    | None ->
+        let dummy =
+          { ev_name = ""; ev_cat = ""; ev_ph = 'i'; ev_ts_us = 0.;
+            ev_dur_us = 0.; ev_args = [] }
+        in
+        let rg =
+          {
+            rg_label =
+              Printf.sprintf "domain-%d" (Domain.self () :> int);
+            rg_cap = max 16 capacity;
+            rg_slots = Array.make (max 16 capacity) dummy;
+            rg_idx = Atomic.make 0;
+          }
+        in
+        rs.r_flight <- Some rg;
+        rs.r_on <- true;
+        Mutex.lock rings_mutex;
+        rings := rg :: !rings;
+        Mutex.unlock rings_mutex
+
+  let events () =
+    match (rstate ()).r_flight with
+    | None -> []
+    | Some rg -> ring_events rg
+
+  let all_events () =
+    Mutex.lock rings_mutex;
+    let rgs = !rings in
+    Mutex.unlock rings_mutex;
+    List.rev_map (fun rg -> (rg.rg_label, ring_events rg)) rgs
+end
 
 (* ------------------------------------------------------------------ *)
 (* JSON helpers (no JSON library in the image: hand-rolled, stable     *)
@@ -145,6 +367,14 @@ let payload_to_json (p : payload) : string =
            Printf.sprintf "\"%s\": %s" (json_escape k) (value_to_json v))
          p)
   ^ "}"
+
+let event_to_json (e : event) : string =
+  Printf.sprintf
+    "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%c\", \"ts\": %.1f, \
+     \"dur\": %.1f, \"args\": %s}"
+    (json_escape e.ev_name) (json_escape e.ev_cat) e.ev_ph e.ev_ts_us
+    e.ev_dur_us
+    (payload_to_json e.ev_args)
 
 (* ------------------------------------------------------------------ *)
 (* Chrome trace-event rendering                                        *)
@@ -349,6 +579,68 @@ module Metrics = struct
               h.h_count (json_float h.h_sum)
               (String.concat ", " buckets));
         Buffer.add_string b "\n}\n";
+        Buffer.contents b)
+
+  (* Prometheus text exposition (format 0.0.4).  Metric names are the
+     registry names with every byte outside [a-zA-Z0-9_:] mapped to
+     '_' (so "serve.latency_ms.expand" scrapes as
+     [serve_latency_ms_expand]).  Histograms render the canonical
+     cumulative [_bucket{le=...}] series plus [_sum] / [_count]. *)
+  let prom_name name =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+        | _ -> '_')
+      name
+
+  let prom_float (f : float) : string =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.17g" f
+
+  let to_prometheus () : string =
+    locked (fun () ->
+        let b = Buffer.create 2048 in
+        List.iter
+          (fun k ->
+            let n = prom_name k in
+            Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" n);
+            Buffer.add_string b
+              (Printf.sprintf "%s %d\n" n
+                 (Atomic.get (Hashtbl.find counters k).c_v)))
+          (sorted_keys counters);
+        List.iter
+          (fun k ->
+            let n = prom_name k in
+            Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" n);
+            Buffer.add_string b
+              (Printf.sprintf "%s %s\n" n
+                 (prom_float (Hashtbl.find gauges k))))
+          (sorted_keys gauges);
+        List.iter
+          (fun k ->
+            let h = Hashtbl.find histograms k in
+            let n = prom_name k in
+            Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+            let cumulative = ref 0 in
+            Array.iteri
+              (fun i c ->
+                cumulative := !cumulative + c;
+                let le =
+                  if i < Array.length bucket_bounds then
+                    prom_float bucket_bounds.(i)
+                  else "+Inf"
+                in
+                Buffer.add_string b
+                  (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n le
+                     !cumulative))
+              h.h_buckets;
+            Buffer.add_string b
+              (Printf.sprintf "%s_sum %s\n" n (prom_float h.h_sum));
+            Buffer.add_string b
+              (Printf.sprintf "%s_count %d\n" n h.h_count))
+          (sorted_keys histograms);
         Buffer.contents b)
 
   let reset () =

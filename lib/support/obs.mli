@@ -72,8 +72,12 @@ val with_span :
   cat:string -> ?args:(unit -> payload) -> string -> (unit -> 'a) -> 'a
 (** [with_span ~cat name f] runs [f], recording a complete span around
     it when {!recording}; disabled, it is one flag test.  The span is
-    recorded (and [args] forced) even when [f] raises — a failing stage
-    still shows up in the timeline. *)
+    recorded even when [f] raises — a failing stage still shows up in
+    the timeline.  [args] must be pure: in capture-only mode the thunk
+    is deferred off the hot path and forced at
+    {!stop_recording}/{!events} time (when the flight ring is on it is
+    forced at record time, since ring slots publish immutable events to
+    concurrent readers); it is never forced while sinks are off. *)
 
 val instant : cat:string -> ?args:(unit -> payload) -> string -> unit
 (** Record a zero-duration event when {!recording}; otherwise free. *)
@@ -81,6 +85,61 @@ val instant : cat:string -> ?args:(unit -> payload) -> string -> unit
 val now_us : unit -> float
 (** The recorder's clock (microseconds).  Wall clock shared with the
     {!Watchdog}; monotonic for the process lifetimes involved here. *)
+
+(** {1 Trace context}
+
+    A per-domain request identity.  While set, every recorded event
+    (capture buffer {e and} flight ring) carries a [("trace_id", Str
+    id)] pair prepended to its args, which is what lets a flight dump,
+    a log line and a serve response be joined on one id.  Propagated
+    into {!Pool.map} worker domains automatically. *)
+
+val set_trace : string option -> unit
+(** Set or clear this domain's trace id. *)
+
+val current_trace : unit -> string option
+
+val with_trace : string option -> (unit -> 'a) -> 'a
+(** Run with the trace id set, restoring the previous value on exit
+    (even when the thunk raises). *)
+
+(** {1 Flight recorder}
+
+    An always-on bounded ring of recent events, per domain: writes are
+    lock-free single-writer stores, memory is fixed at
+    [capacity × one event] per domain, and nothing is rendered until
+    an anomaly asks for a dump.  Enabling the flight ring does {e not}
+    make {!recording} true — the engine keys cache-bypass and
+    speculation-degradation decisions on {!recording}, and the flight
+    recorder must never change expansion behavior.  Consequently the
+    ring sees the coarse structural spans (lex, parse, fragments,
+    cache, serve) but not the per-invocation spans the capture
+    recorder adds. *)
+
+module Flight : sig
+  val default_capacity : int
+  (** 4096 events per domain. *)
+
+  val enable : ?capacity:int -> unit -> unit
+  (** Attach a ring to the calling domain (idempotent; call once per
+      domain that should contribute to dumps). *)
+
+  val enabled : unit -> bool
+  (** Whether the calling domain has a ring attached. *)
+
+  val events : unit -> event list
+  (** The calling domain's ring contents, oldest first. *)
+
+  val all_events : unit -> (string * event list) list
+  (** Every registered domain's ring contents, as [(label, events)]
+      pairs suitable for {!chrome_trace}.  Reads race benignly with
+      concurrent writers: each slot holds an immutable event, so a
+      torn read yields a slightly stale mix, never a corrupt event. *)
+end
+
+val event_to_json : event -> string
+(** One event as a single-line JSON object ([name, cat, ph, ts, dur,
+    args]) — the flight-dump record format. *)
 
 val chrome_trace : (string * event list) list -> string
 (** Render per-process event lists as Chrome trace-event JSON:
@@ -137,6 +196,12 @@ module Metrics : sig
       [gauges] objects sorted by name, and [histograms] with
       count/sum/cumulative buckets ([le] bounds, Prometheus-style
       ["+Inf"] last). *)
+
+  val to_prometheus : unit -> string
+  (** The registry in Prometheus text exposition format 0.0.4: one
+      [# TYPE] comment per metric, names sanitized (every byte outside
+      [[a-zA-Z0-9_:]] becomes ['_']), histograms as cumulative
+      [_bucket{le="..."}] series plus [_sum] and [_count]. *)
 
   val reset : unit -> unit
 end

@@ -133,9 +133,17 @@ let map ~(jobs : int) ?(stop : ('r -> bool) option) (n : int)
     in
     loop ()
   in
-  (* The calling domain is worker 0; [jobs - 1] domains are spawned. *)
+  (* The calling domain is worker 0; [jobs - 1] domains are spawned.
+     Each spawned domain inherits the caller's trace context so events
+     recorded on a speculation worker join the request's trace id. *)
+  let trace = Obs.current_trace () in
   let spawned =
-    Array.init (jobs - 1) (fun k -> Domain.spawn (worker (k + 1)))
+    Array.init
+      (jobs - 1)
+      (fun k ->
+        Domain.spawn (fun () ->
+            Obs.set_trace trace;
+            worker (k + 1) ()))
   in
   worker 0 ();
   Array.iter Domain.join spawned;

@@ -105,14 +105,24 @@ let retryable = function
   | Expand_error | Respond_error | Internal ->
       false
 
-let ok_response ~(id : Json.t) (fields : (string * Json.t) list) : string =
+(* The trace id rides right after [id] so clients (and humans tailing
+   the wire) can join any response — success or error — against log
+   lines and flight dumps without digging into the payload. *)
+let trace_field = function
+  | Some tid -> [ ("trace_id", Json.Str tid) ]
+  | None -> []
+
+let ok_response ?trace_id ~(id : Json.t) (fields : (string * Json.t) list) :
+    string =
   Json.to_string
     (Json.Obj
        (("schema", Json.Str schema) :: ("id", id)
-       :: ("ok", Json.Bool true) :: fields))
+       :: (trace_field trace_id
+          @ (("ok", Json.Bool true) :: fields))))
 
-let error_response ~(id : Json.t) ~(kind : error_kind) ?retry_after_ms
-    ?(diagnostics : string list option) ~(message : string) () : string =
+let error_response ?trace_id ~(id : Json.t) ~(kind : error_kind)
+    ?retry_after_ms ?(diagnostics : string list option)
+    ~(message : string) () : string =
   let err =
     [ ("kind", Json.Str (kind_name kind)); ("message", Json.Str message) ]
     @ (match retry_after_ms with
@@ -126,7 +136,6 @@ let error_response ~(id : Json.t) ~(kind : error_kind) ?retry_after_ms
   in
   Json.to_string
     (Json.Obj
-       [ ("schema", Json.Str schema);
-         ("id", id);
-         ("ok", Json.Bool false);
-         ("error", Json.Obj err) ])
+       (("schema", Json.Str schema) :: ("id", id)
+       :: (trace_field trace_id
+          @ [ ("ok", Json.Bool false); ("error", Json.Obj err) ])))

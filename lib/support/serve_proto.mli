@@ -70,11 +70,13 @@ type error_kind =
 val kind_name : error_kind -> string
 val retryable : error_kind -> bool
 
-val ok_response : id:Json.t -> (string * Json.t) list -> string
-(** One response line (no trailing newline): [schema], [id], [ok: true],
-    then the given fields. *)
+val ok_response :
+  ?trace_id:string -> id:Json.t -> (string * Json.t) list -> string
+(** One response line (no trailing newline): [schema], [id],
+    [trace_id] when given, [ok: true], then the given fields. *)
 
 val error_response :
+  ?trace_id:string ->
   id:Json.t ->
   kind:error_kind ->
   ?retry_after_ms:int ->
@@ -83,4 +85,6 @@ val error_response :
   unit ->
   string
 (** One error-response line.  [diagnostics] are pre-rendered
-    {!Diag.to_json} lines, spliced verbatim. *)
+    {!Diag.to_json} lines, spliced verbatim.  [trace_id], when given,
+    rides after [id] exactly as in {!ok_response} — error responses
+    must be joinable against logs too. *)
